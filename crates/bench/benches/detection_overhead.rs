@@ -1,0 +1,54 @@
+//! μ4 / Figure 8's mechanism at micro scale: the per-step overhead of the
+//! pessimistic strategy's detection in a DU-only stream is a single flag
+//! check — compare scheduler throughput under both strategies with a no-op
+//! maintainer.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dyno_core::{Dyno, MaintainOutcome, Maintainer, Strategy, Umq, UpdateKind, UpdateMeta};
+
+struct Noop;
+
+impl Maintainer<()> for Noop {
+    fn maintain(
+        &mut self,
+        _batch: &[UpdateMeta<()>],
+        _rest: &[&[UpdateMeta<()>]],
+    ) -> MaintainOutcome {
+        MaintainOutcome::Committed
+    }
+
+    fn refresh_view_relevance(&mut self, _queue: &mut Umq<()>) {}
+}
+
+fn bench_scheduler_throughput(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dyno_step_du_only");
+    g.sample_size(30);
+    for strategy in [Strategy::Pessimistic, Strategy::Optimistic] {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(format!("{strategy:?}")),
+            &strategy,
+            |b, &strategy| {
+                b.iter_batched(
+                    || {
+                        let mut q: Umq<()> = Umq::new();
+                        for k in 0..1000u64 {
+                            q.enqueue(UpdateMeta::new(k, (k % 6) as u32, UpdateKind::Data, ()));
+                        }
+                        (q, Dyno::new(strategy), Noop)
+                    },
+                    |(mut q, mut dyno, mut m)| {
+                        while !q.is_empty() {
+                            dyno.step(&mut q, &mut m);
+                        }
+                        dyno.stats()
+                    },
+                    criterion::BatchSize::LargeInput,
+                )
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_scheduler_throughput);
+criterion_main!(benches);

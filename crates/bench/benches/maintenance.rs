@@ -1,0 +1,117 @@
+//! μ3: view-maintenance machinery — SWEEP incremental maintenance of one
+//! data update, Equation-6 incremental adaptation vs. full recompute, and
+//! batch adaptation of a merged schema-change group.
+
+use std::collections::HashMap;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dyno_relational::{DataUpdate, Delta, SignedBag, SourceUpdate, Tuple, Value};
+use dyno_sim::{build_testbed, TestbedConfig};
+use dyno_source::{SourceId, UpdateId, UpdateMessage};
+use dyno_view::{equation6_delta, sweep_maintain, InProcessPort, LocalProvider};
+
+fn cfg(tuples: usize) -> TestbedConfig {
+    TestbedConfig { tuples_per_relation: tuples, ..Default::default() }
+}
+
+fn one_insert(cfg: &TestbedConfig) -> DataUpdate {
+    let schema = cfg.schema(0);
+    let vals: Vec<Value> = (0..schema.arity()).map(|i| Value::from(i as i64)).collect();
+    DataUpdate::new(Delta::inserts(schema, [Tuple::new(vals)]).expect("testbed schema"))
+}
+
+fn bench_sweep(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sweep_one_du");
+    g.sample_size(20);
+    for tuples in [1_000usize, 5_000] {
+        let cfg = cfg(tuples);
+        let (mut space, view) = build_testbed(&cfg);
+        let du = one_insert(&cfg);
+        let msg = space.commit(SourceId(0), SourceUpdate::Data(du)).expect("valid");
+        let port = InProcessPort::new(space);
+        g.bench_with_input(BenchmarkId::from_parameter(tuples), &tuples, |b, _| {
+            b.iter_batched(
+                || port.clone(),
+                |mut port| sweep_maintain(&view, &msg, &[], &mut port),
+                criterion::BatchSize::LargeInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+type States = HashMap<String, (dyno_relational::Schema, SignedBag)>;
+type Deltas = HashMap<String, SignedBag>;
+
+fn states_and_delta(tuples: usize) -> (dyno_view::ViewDefinition, States, Deltas) {
+    let cfg = cfg(tuples);
+    let (space, view) = build_testbed(&cfg);
+    let mut old = HashMap::new();
+    for t in &view.query.tables {
+        let sid = space.locate(t).expect("testbed relation");
+        let rel = space.server(sid).catalog().get(t).expect("testbed relation");
+        old.insert(t.clone(), (rel.schema().clone(), rel.rows().clone()));
+    }
+    let du = one_insert(&cfg);
+    let mut deltas = HashMap::new();
+    deltas.insert("R0".to_string(), du.delta.rows().clone());
+    (view, old, deltas)
+}
+
+fn bench_equation6_vs_recompute(c: &mut Criterion) {
+    let mut g = c.benchmark_group("adaptation");
+    g.sample_size(20);
+    for tuples in [1_000usize, 5_000] {
+        let (view, old, deltas) = states_and_delta(tuples);
+        g.bench_with_input(BenchmarkId::new("equation6", tuples), &tuples, |b, _| {
+            b.iter(|| equation6_delta(&view.query, &old, &deltas).expect("well-formed"))
+        });
+        g.bench_with_input(BenchmarkId::new("recompute", tuples), &tuples, |b, _| {
+            b.iter(|| {
+                let mut provider = LocalProvider::new();
+                for (schema, rows) in old.values() {
+                    let mut r = rows.clone();
+                    if let Some(d) = deltas.get(&schema.relation) {
+                        r.merge(d);
+                    }
+                    provider.insert(schema.clone(), r);
+                }
+                dyno_relational::eval(&view.query, &provider).expect("well-formed")
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_compensation(c: &mut Criterion) {
+    // SWEEP with a growing pending set: compensation is per-pending-update
+    // local work.
+    let mut g = c.benchmark_group("sweep_compensation");
+    g.sample_size(20);
+    let cfg = cfg(1_000);
+    let (mut space, view) = build_testbed(&cfg);
+    let du = one_insert(&cfg);
+    let msg = space.commit(SourceId(0), SourceUpdate::Data(du)).expect("valid");
+    for n_pending in [0usize, 10, 50] {
+        let pending: Vec<UpdateMessage> = (0..n_pending)
+            .map(|k| UpdateMessage {
+                id: UpdateId(1000 + k as u64),
+                source: SourceId(0),
+                source_version: 2 + k as u64,
+                update: SourceUpdate::Data(one_insert(&cfg)),
+            })
+            .collect();
+        let port = InProcessPort::new(space.clone());
+        g.bench_with_input(BenchmarkId::from_parameter(n_pending), &pending, |b, pending| {
+            b.iter_batched(
+                || port.clone(),
+                |mut port| sweep_maintain(&view, &msg, pending, &mut port),
+                criterion::BatchSize::LargeInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_sweep, bench_equation6_vs_recompute, bench_compensation);
+criterion_main!(benches);

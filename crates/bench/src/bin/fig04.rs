@@ -1,0 +1,46 @@
+//! Paper Figure 4: unsafe dependency correction for view (1).
+//!
+//! Three updates on the BookInfo view — DU1 (a Catalog insert at the
+//! Library source), SC1 (the Store/Item → StoreItems mapping re-tune at the
+//! Retailer), SC2 (drop of `Catalog.Review`) — form a dependency cycle
+//! (concurrent dependencies both ways between the schema changes, plus the
+//! semantic dependency DU1 → SC2 on the Library source). The correction
+//! merges all three into one atomic batch.
+
+use dyno_core::{legal_schedule, DepGraph, UpdateKind, UpdateMeta};
+
+fn main() {
+    println!("== Figure 4: dependency correction for view (1) ==\n");
+    // Node 0: DU1 at the Library source (source 1).
+    // Node 1: SC1 at the Retailer source (source 0), view-relevant.
+    // Node 2: SC2 at the Library source (source 1), view-relevant.
+    let labels = ["DU1", "SC1", "SC2"];
+    let nodes: Vec<Vec<UpdateMeta<&str>>> = vec![
+        vec![UpdateMeta::new(0, 1, UpdateKind::Data, "DU1")],
+        vec![UpdateMeta::new(1, 0, UpdateKind::Schema { invalidates_view: true }, "SC1")],
+        vec![UpdateMeta::new(2, 1, UpdateKind::Schema { invalidates_view: true }, "SC2")],
+    ];
+    let views: Vec<&[UpdateMeta<&str>]> = nodes.iter().map(Vec::as_slice).collect();
+    let graph = DepGraph::build(&views);
+
+    println!("dependencies (M(dependent) <- M(prerequisite)):");
+    for d in graph.dependencies() {
+        let safety = if d.is_unsafe() { "UNSAFE" } else { "safe" };
+        println!(
+            "  M({}) <-{}- M({})   [{safety}]",
+            labels[d.dependent], d.kind, labels[d.prerequisite]
+        );
+    }
+    println!("\nlegal order after correction (cycle merge + topological sort):");
+    let schedule = legal_schedule(&graph);
+    for (i, batch) in schedule.batches.iter().enumerate() {
+        let members: Vec<&str> = batch.iter().map(|&n| labels[n]).collect();
+        if batch.len() == 1 {
+            println!("  {}: {}", i + 1, members[0]);
+        } else {
+            println!("  {}: merged batch {{{}}}", i + 1, members.join(", "));
+        }
+    }
+    assert_eq!(schedule.batches, vec![vec![0, 1, 2]], "paper: all three merge into one node");
+    println!("\n(matches the paper: DU1, SC1, SC2 merge into one atomic batch)");
+}

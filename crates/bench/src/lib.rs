@@ -1,0 +1,91 @@
+//! Shared helpers for the experiment binaries (`fig04`, `fig05`,
+//! `fig08`–`fig12`) that regenerate the paper's figures, and for the
+//! Criterion micro-benchmarks.
+
+use dyno_sim::TestbedConfig;
+
+/// Reads the testbed scale from `DYNO_TUPLES` (tuples per relation).
+/// Defaults to 2 000 for reasonable wall-clock time on one core; pass
+/// `DYNO_TUPLES=100000` for the paper's full size. The cost model is
+/// re-calibrated per scale ([`dyno_sim::CostModel::calibrated`]), so the
+/// simulated-second results keep the paper's magnitudes at any size.
+pub fn testbed_config() -> TestbedConfig {
+    let tuples = std::env::var("DYNO_TUPLES")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(2_000);
+    TestbedConfig { tuples_per_relation: tuples, ..Default::default() }
+}
+
+/// The cost model matched to [`testbed_config`]'s scale.
+pub fn cost_model() -> dyno_sim::CostModel {
+    dyno_sim::CostModel::calibrated(testbed_config().tuples_per_relation as u64)
+}
+
+/// Warns when running unoptimized (the experiment binaries are meant to run
+/// with `--release`).
+pub fn warn_if_debug() {
+    #[cfg(debug_assertions)]
+    eprintln!(
+        "note: running a debug build; pass --release for sensible wall-clock time \
+         (simulated results are identical)"
+    );
+}
+
+/// Renders an aligned text table: header row plus data rows.
+pub fn render_table(header: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let fmt_row = |cells: &[String]| {
+        cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:>width$}", c, width = widths[i]))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    let header_cells: Vec<String> = header.iter().map(|s| s.to_string()).collect();
+    let mut out = fmt_row(&header_cells);
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row));
+        out.push('\n');
+    }
+    out
+}
+
+/// Formats seconds with one decimal.
+pub fn secs(us: u64) -> String {
+    format!("{:.1}", us as f64 / 1e6)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_alignment() {
+        let t = render_table(
+            &["a", "long-header"],
+            &[vec!["1".into(), "2".into()], vec!["100".into(), "20000000".into()]],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("long-header"));
+        assert_eq!(lines[2].len(), lines[3].len());
+    }
+
+    #[test]
+    fn secs_format() {
+        assert_eq!(secs(1_500_000), "1.5");
+        assert_eq!(secs(0), "0.0");
+    }
+}

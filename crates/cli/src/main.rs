@@ -1,0 +1,41 @@
+//! `dyno-cli` — an interactive shell over the Dyno view-maintenance system.
+//!
+//! ```text
+//! $ cargo run -p dyno-cli
+//! dyno> source retailer
+//! dyno> table 0 Item sid:int,book:str
+//! dyno> view CREATE VIEW V AS SELECT Item.book FROM Item
+//! dyno> init
+//! dyno> insert 0 Item 1,Databases
+//! dyno> run
+//! dyno> show
+//! ```
+
+use std::io::{self, BufRead, Write};
+
+mod repl;
+
+fn main() -> io::Result<()> {
+    let mut shell = repl::Repl::new();
+    println!("dyno-cli — type `help` for commands, `quit` to exit");
+    let stdin = io::stdin();
+    let mut stdout = io::stdout();
+    loop {
+        print!("dyno> ");
+        stdout.flush()?;
+        let mut line = String::new();
+        if stdin.lock().read_line(&mut line)? == 0 {
+            break; // EOF
+        }
+        let trimmed = line.trim();
+        if trimmed.eq_ignore_ascii_case("quit") || trimmed.eq_ignore_ascii_case("exit") {
+            break;
+        }
+        match shell.execute(trimmed) {
+            Ok(out) if out.is_empty() => {}
+            Ok(out) => println!("{out}"),
+            Err(e) => println!("error: {e}"),
+        }
+    }
+    Ok(())
+}

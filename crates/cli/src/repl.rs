@@ -1,0 +1,413 @@
+//! The command interpreter behind `dyno-cli`: a tiny warehouse shell.
+//!
+//! Separated from `main.rs` so every command is unit-testable: the
+//! interpreter takes one line and returns the text to print (or an error
+//! message — the shell never crashes on bad input).
+
+use std::fmt::Write as _;
+
+use dyno_core::Strategy;
+use dyno_relational::{
+    parse_query, AttrType, Catalog, DataUpdate, Delta, Schema, SchemaChange, SourceUpdate,
+    Tuple, Value,
+};
+use dyno_source::{SourceId, SourceSpace, SourceServer};
+use dyno_view::{InProcessPort, SourcePort, ViewDefinition, Warehouse};
+
+/// Interactive state: the source space (behind a port) plus the warehouse.
+pub struct Repl {
+    port: InProcessPort,
+    warehouse: Warehouse,
+    initialized: bool,
+}
+
+impl Default for Repl {
+    fn default() -> Self {
+        Repl::new()
+    }
+}
+
+impl Repl {
+    /// A fresh shell: no sources, no views, pessimistic scheduling.
+    pub fn new() -> Self {
+        Repl {
+            port: InProcessPort::new(SourceSpace::new()),
+            warehouse: Warehouse::new(dyno_source::InfoSpace::new(), Strategy::Pessimistic),
+            initialized: false,
+        }
+    }
+
+    /// The built-in help text.
+    pub fn help() -> &'static str {
+        "commands:\n\
+         \x20 source <name>                         add an autonomous source\n\
+         \x20 table <source#> <Name> <col:type,..>  create a relation (types: int,str,float,bool)\n\
+         \x20 insert <source#> <Relation> <v,..>    commit a one-row insert\n\
+         \x20 delete <source#> <Relation> <v,..>    commit a one-row delete\n\
+         \x20 rename <source#> <From> <To>          commit a rename-relation schema change\n\
+         \x20 dropattr <source#> <Relation> <Attr>  commit a drop-attribute schema change\n\
+         \x20 view <SQL>                            register a view (CREATE VIEW n AS SELECT ...)\n\
+         \x20 init                                  materialize all views\n\
+         \x20 step                                  run one Dyno scheduling step\n\
+         \x20 run                                   run to quiescence\n\
+         \x20 sql <SELECT ...>                      ad-hoc query over current source states\n\
+         \x20 show                                  views, extents, queue and stats\n\
+         \x20 help                                  this text\n\
+         \x20 quit                                  exit"
+    }
+
+    /// Executes one command line; returns the text to display.
+    pub fn execute(&mut self, line: &str) -> Result<String, String> {
+        let line = line.trim();
+        if line.is_empty() {
+            return Ok(String::new());
+        }
+        let (cmd, rest) = line.split_once(char::is_whitespace).unwrap_or((line, ""));
+        let rest = rest.trim();
+        match cmd.to_ascii_lowercase().as_str() {
+            "help" => Ok(Repl::help().to_string()),
+            "source" => self.cmd_source(rest),
+            "table" => self.cmd_table(rest),
+            "insert" => self.cmd_dml(rest, true),
+            "delete" => self.cmd_dml(rest, false),
+            "rename" => self.cmd_rename(rest),
+            "dropattr" => self.cmd_dropattr(rest),
+            "view" => self.cmd_view(rest),
+            "init" => self.cmd_init(),
+            "step" => self.cmd_step(),
+            "run" => self.cmd_run(),
+            "sql" => self.cmd_sql(rest),
+            "show" => Ok(self.render_state()),
+            other => Err(format!("unknown command `{other}` — try `help`")),
+        }
+    }
+
+    fn cmd_source(&mut self, name: &str) -> Result<String, String> {
+        if name.is_empty() || name.contains(char::is_whitespace) {
+            return Err("usage: source <name>".into());
+        }
+        let id = SourceId(self.port.space().servers().len() as u32);
+        self.port
+            .space_mut()
+            .add_server(SourceServer::new(id, name.to_string(), Catalog::new()));
+        Ok(format!("source #{} `{name}` added", id.0))
+    }
+
+    fn parse_source(&self, token: &str) -> Result<SourceId, String> {
+        let idx: u32 = token.parse().map_err(|_| format!("`{token}` is not a source number"))?;
+        if (idx as usize) < self.port.space().servers().len() {
+            Ok(SourceId(idx))
+        } else {
+            Err(format!("no source #{idx} (add one with `source <name>`)"))
+        }
+    }
+
+    fn cmd_table(&mut self, rest: &str) -> Result<String, String> {
+        let mut parts = rest.split_whitespace();
+        let (src, name, cols) = match (parts.next(), parts.next(), parts.next()) {
+            (Some(s), Some(n), Some(c)) => (s, n, c),
+            _ => return Err("usage: table <source#> <Name> <col:type,...>".into()),
+        };
+        let source = self.parse_source(src)?;
+        let mut attrs = Vec::new();
+        for spec in cols.split(',') {
+            let (col, ty) = spec
+                .split_once(':')
+                .ok_or_else(|| format!("column spec `{spec}` must be name:type"))?;
+            let ty = match ty.to_ascii_lowercase().as_str() {
+                "int" => AttrType::Int,
+                "str" => AttrType::Str,
+                "float" => AttrType::Float,
+                "bool" => AttrType::Bool,
+                other => return Err(format!("unknown type `{other}`")),
+            };
+            attrs.push((col.to_string(), ty));
+        }
+        let schema = Schema::new(
+            name,
+            attrs.into_iter().map(|(n, t)| dyno_relational::Attribute::new(n, t)).collect(),
+        )
+        .map_err(|e| e.to_string())?;
+        // Creating a relation is itself an (additive) schema change.
+        self.port
+            .commit(source, SourceUpdate::Schema(SchemaChange::CreateRelation { schema }))
+            .map_err(|e| e.to_string())?;
+        Ok(format!("relation `{name}` created at source #{}", source.0))
+    }
+
+    fn parse_values(&self, source: SourceId, relation: &str, csv: &str) -> Result<Tuple, String> {
+        let schema = self
+            .port
+            .space()
+            .server(source)
+            .catalog()
+            .get(relation)
+            .map_err(|e| e.to_string())?
+            .schema()
+            .clone();
+        let raw: Vec<&str> = csv.split(',').collect();
+        if raw.len() != schema.arity() {
+            return Err(format!(
+                "`{relation}` has {} columns, got {} values",
+                schema.arity(),
+                raw.len()
+            ));
+        }
+        let mut vals = Vec::with_capacity(raw.len());
+        for (token, attr) in raw.iter().zip(schema.attrs()) {
+            let v = match attr.ty {
+                AttrType::Int => Value::from(
+                    token.parse::<i64>().map_err(|_| format!("`{token}` is not an int"))?,
+                ),
+                AttrType::Float => Value::float(
+                    token.parse::<f64>().map_err(|_| format!("`{token}` is not a float"))?,
+                ),
+                AttrType::Bool => Value::Bool(
+                    token.parse::<bool>().map_err(|_| format!("`{token}` is not a bool"))?,
+                ),
+                AttrType::Str => Value::str(*token),
+            };
+            vals.push(v);
+        }
+        Ok(Tuple::new(vals))
+    }
+
+    fn cmd_dml(&mut self, rest: &str, insert: bool) -> Result<String, String> {
+        let mut parts = rest.splitn(3, char::is_whitespace);
+        let (src, rel, vals) = match (parts.next(), parts.next(), parts.next()) {
+            (Some(s), Some(r), Some(v)) => (s, r, v.trim()),
+            _ => return Err("usage: insert|delete <source#> <Relation> <v1,v2,...>".into()),
+        };
+        let source = self.parse_source(src)?;
+        let tuple = self.parse_values(source, rel, vals)?;
+        let schema = self
+            .port
+            .space()
+            .server(source)
+            .catalog()
+            .get(rel)
+            .map_err(|e| e.to_string())?
+            .schema()
+            .clone();
+        let delta = if insert {
+            Delta::inserts(schema, [tuple])
+        } else {
+            Delta::deletes(schema, [tuple])
+        }
+        .map_err(|e| e.to_string())?;
+        let msg = self
+            .port
+            .commit(source, SourceUpdate::Data(DataUpdate::new(delta)))
+            .map_err(|e| e.to_string())?;
+        Ok(format!("committed {msg}"))
+    }
+
+    fn cmd_rename(&mut self, rest: &str) -> Result<String, String> {
+        let parts: Vec<&str> = rest.split_whitespace().collect();
+        let [src, from, to] = parts.as_slice() else {
+            return Err("usage: rename <source#> <From> <To>".into());
+        };
+        let source = self.parse_source(src)?;
+        let msg = self
+            .port
+            .commit(
+                source,
+                SourceUpdate::Schema(SchemaChange::RenameRelation {
+                    from: from.to_string(),
+                    to: to.to_string(),
+                }),
+            )
+            .map_err(|e| e.to_string())?;
+        Ok(format!("committed {msg}"))
+    }
+
+    fn cmd_dropattr(&mut self, rest: &str) -> Result<String, String> {
+        let parts: Vec<&str> = rest.split_whitespace().collect();
+        let [src, rel, attr] = parts.as_slice() else {
+            return Err("usage: dropattr <source#> <Relation> <Attr>".into());
+        };
+        let source = self.parse_source(src)?;
+        let msg = self
+            .port
+            .commit(
+                source,
+                SourceUpdate::Schema(SchemaChange::DropAttribute {
+                    relation: rel.to_string(),
+                    attr: attr.to_string(),
+                }),
+            )
+            .map_err(|e| e.to_string())?;
+        Ok(format!("committed {msg}"))
+    }
+
+    fn cmd_view(&mut self, sql: &str) -> Result<String, String> {
+        if self.initialized {
+            return Err("views must be registered before `init`".into());
+        }
+        let n = self.warehouse.view_count();
+        let view =
+            ViewDefinition::parse(sql, &format!("View{n}")).map_err(|e| e.to_string())?;
+        let name = view.name.clone();
+        self.warehouse.add_view(view);
+        Ok(format!("view `{name}` registered (initialize with `init`)"))
+    }
+
+    fn cmd_init(&mut self) -> Result<String, String> {
+        self.warehouse.initialize(&mut self.port).map_err(|e| e.to_string())?;
+        self.initialized = true;
+        let mut out = String::new();
+        for i in 0..self.warehouse.view_count() {
+            let _ = writeln!(
+                out,
+                "materialized `{}` [{} tuples]",
+                self.warehouse.view(i).name,
+                self.warehouse.mv(i).len()
+            );
+        }
+        Ok(out.trim_end().to_string())
+    }
+
+    fn cmd_step(&mut self) -> Result<String, String> {
+        self.require_init()?;
+        let outcome = self.warehouse.step(&mut self.port).map_err(|e| e.to_string())?;
+        Ok(format!("{outcome:?}"))
+    }
+
+    fn cmd_run(&mut self) -> Result<String, String> {
+        self.require_init()?;
+        let steps =
+            self.warehouse.run_to_quiescence(&mut self.port, 10_000).map_err(|e| e.to_string())?;
+        Ok(format!("quiesced after {steps} step(s)"))
+    }
+
+    fn cmd_sql(&mut self, sql: &str) -> Result<String, String> {
+        let query = parse_query(sql).map_err(|e| e.to_string())?;
+        let result = self.port.execute(&query, &[]).map_err(|e| e.to_string())?;
+        let mut out = format!("({})\n", result.cols.join(", "));
+        for (t, c) in result.rows.sorted_entries().into_iter().take(50) {
+            if c == 1 {
+                let _ = writeln!(out, "  {t}");
+            } else {
+                let _ = writeln!(out, "  {t} x{c}");
+            }
+        }
+        let _ = write!(out, "{} tuple(s)", result.weight());
+        Ok(out)
+    }
+
+    fn require_init(&self) -> Result<(), String> {
+        if self.initialized {
+            Ok(())
+        } else {
+            Err("run `init` first".into())
+        }
+    }
+
+    fn render_state(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "sources:");
+        for s in self.port.space().servers() {
+            let rels: Vec<&str> = s.catalog().relation_names().collect();
+            let _ = writeln!(out, "  #{} {} v{} [{}]", s.id().0, s.name(), s.version(), rels.join(", "));
+        }
+        let _ = writeln!(out, "views:");
+        for i in 0..self.warehouse.view_count() {
+            let _ = writeln!(
+                out,
+                "  {} [{} tuples, {} aborts]\n    {}",
+                self.warehouse.view(i).name,
+                self.warehouse.mv(i).len(),
+                self.warehouse.stats(i).aborts,
+                self.warehouse.view(i)
+            );
+        }
+        let _ = write!(out, "scheduler: {:?}", self.warehouse.dyno_stats());
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ok(repl: &mut Repl, cmd: &str) -> String {
+        repl.execute(cmd).unwrap_or_else(|e| panic!("`{cmd}` failed: {e}"))
+    }
+
+    /// A full session: build two sources, a view, push a DU and a rename,
+    /// and watch the view follow.
+    #[test]
+    fn end_to_end_session() {
+        let mut r = Repl::new();
+        ok(&mut r, "source retailer");
+        ok(&mut r, "source library");
+        ok(&mut r, "table 0 Item sid:int,book:str");
+        ok(&mut r, "table 1 Catalog title:str,publisher:str");
+        ok(&mut r, "insert 0 Item 1,Databases");
+        ok(&mut r, "insert 1 Catalog Databases,Prentice");
+        ok(
+            &mut r,
+            "view CREATE VIEW V AS SELECT Item.book, Catalog.publisher \
+             FROM Item, Catalog WHERE Item.book = Catalog.title",
+        );
+        let init = ok(&mut r, "init");
+        assert!(init.contains("[1 tuples]"), "{init}");
+
+        ok(&mut r, "insert 1 Catalog Streams,Stanford");
+        ok(&mut r, "insert 0 Item 2,Streams");
+        ok(&mut r, "rename 1 Catalog Books");
+        let run = ok(&mut r, "run");
+        assert!(run.contains("quiesced"), "{run}");
+
+        let show = ok(&mut r, "show");
+        assert!(show.contains("V [2 tuples"), "{show}");
+        assert!(show.contains("Books.title"), "view definition followed the rename: {show}");
+    }
+
+    #[test]
+    fn errors_are_messages_not_panics() {
+        let mut r = Repl::new();
+        assert!(r.execute("bogus").is_err());
+        assert!(r.execute("table 0 X a:int").unwrap_err().contains("no source #0"));
+        assert!(r.execute("step").unwrap_err().contains("init"));
+        ok(&mut r, "source s0");
+        ok(&mut r, "table 0 T a:int");
+        assert!(r.execute("insert 0 T notanint").unwrap_err().contains("not an int"));
+        assert!(r.execute("insert 0 T 1,2").unwrap_err().contains("1 columns"));
+        assert!(r.execute("view SELECT nope FROM T").is_err());
+    }
+
+    #[test]
+    fn adhoc_sql_queries_current_state() {
+        let mut r = Repl::new();
+        ok(&mut r, "source s0");
+        ok(&mut r, "table 0 T a:int,b:str");
+        ok(&mut r, "insert 0 T 1,x");
+        ok(&mut r, "insert 0 T 2,y");
+        let out = ok(&mut r, "sql SELECT T.b FROM T WHERE T.a >= 2");
+        assert!(out.contains("'y'"));
+        assert!(out.contains("1 tuple(s)"));
+    }
+
+    #[test]
+    fn delete_and_show() {
+        let mut r = Repl::new();
+        ok(&mut r, "source s0");
+        ok(&mut r, "table 0 T a:int");
+        ok(&mut r, "insert 0 T 5");
+        ok(&mut r, "view CREATE VIEW W AS SELECT T.a FROM T");
+        ok(&mut r, "init");
+        ok(&mut r, "delete 0 T 5");
+        ok(&mut r, "run");
+        let show = ok(&mut r, "show");
+        assert!(show.contains("W [0 tuples"), "{show}");
+    }
+
+    #[test]
+    fn help_lists_every_command() {
+        for cmd in ["source", "table", "insert", "delete", "rename", "dropattr", "view",
+                    "init", "step", "run", "sql", "show", "quit"] {
+            assert!(Repl::help().contains(cmd), "help is missing `{cmd}`");
+        }
+    }
+}

@@ -1,0 +1,242 @@
+//! Static correction of unsafe dependencies (paper Section 4.2).
+//!
+//! Given the dependency graph over the queue's nodes:
+//! 1. find cycles (Tarjan SCC) and **merge** each cycle into one atomic
+//!    batch — aborting is impossible because the source updates are already
+//!    committed, so cyclically-dependent updates must be maintained together
+//!    by the batch view-adaptation algorithm (paper Section 5);
+//! 2. **topologically sort** the resulting DAG so every dependency points
+//!    from a later to an earlier position — a *legal order* (Definition 7,
+//!    guaranteed to exist by Theorem 2).
+//!
+//! The sort is deterministic: among ready components it always picks the one
+//! whose earliest member appeared first in the original queue, disturbing
+//! the arrival order as little as possible.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::graph::DepGraph;
+use crate::tarjan::scc;
+
+/// A corrected processing schedule: batches of original node positions, in
+/// the order they must be maintained. Singleton batches are ordinary
+/// updates; larger batches are merged cycles.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Schedule {
+    /// Batches of original node indices. Within a batch, indices are in
+    /// original queue order (which preserves per-source commit order).
+    pub batches: Vec<Vec<usize>>,
+}
+
+impl Schedule {
+    /// Total number of original nodes scheduled.
+    pub fn node_count(&self) -> usize {
+        self.batches.iter().map(Vec::len).sum()
+    }
+
+    /// Number of merged (multi-node) batches.
+    pub fn merged_batches(&self) -> usize {
+        self.batches.iter().filter(|b| b.len() > 1).count()
+    }
+
+    /// True iff the schedule leaves every node in place as a singleton, in
+    /// the original order (i.e. correction was a no-op).
+    pub fn is_identity(&self) -> bool {
+        self.batches.iter().enumerate().all(|(i, b)| b.len() == 1 && b[0] == i)
+    }
+}
+
+/// Computes a legal schedule for the graph (merge cycles, then topological
+/// sort). Complexity O(n + e) for SCC plus O(n log n + e) for the
+/// deterministic sort.
+///
+/// ```
+/// use dyno_core::{legal_schedule, DepGraph, UpdateKind, UpdateMeta};
+///
+/// // A DU and a schema change from the *same* source: the commit order
+/// // (semantic) and the view-definition conflict (concurrent) pull in
+/// // opposite directions — a cycle, which merges into one batch.
+/// let du = vec![UpdateMeta::new(0, 7, UpdateKind::Data, ())];
+/// let sc = vec![UpdateMeta::new(
+///     1, 7, UpdateKind::Schema { invalidates_view: true }, (),
+/// )];
+/// let schedule = legal_schedule(&DepGraph::build(&[&du, &sc]));
+/// assert_eq!(schedule.batches, vec![vec![0, 1]]);
+/// ```
+pub fn legal_schedule(graph: &DepGraph) -> Schedule {
+    let adj = graph.prerequisite_adjacency();
+    let (assign, comp_count) = scc(&adj);
+
+    // Members of each component, in original-queue order (indices ascend).
+    let mut members: Vec<Vec<usize>> = vec![Vec::new(); comp_count];
+    for (v, &c) in assign.iter().enumerate() {
+        members[c].push(v);
+    }
+
+    // Condensed graph in "prerequisite → dependent" direction, so a standard
+    // Kahn sort emits prerequisites first.
+    let mut out_edges: Vec<Vec<usize>> = vec![Vec::new(); comp_count];
+    let mut in_degree = vec![0usize; comp_count];
+    for (v, prereqs) in adj.iter().enumerate() {
+        for &p in prereqs {
+            let (cv, cp) = (assign[v], assign[p]);
+            if cv != cp {
+                out_edges[cp].push(cv);
+                in_degree[cv] += 1;
+            }
+        }
+    }
+
+    // Kahn's algorithm; ready components ordered by earliest original member.
+    let earliest: Vec<usize> = members.iter().map(|m| m[0]).collect();
+    let mut ready: BinaryHeap<Reverse<(usize, usize)>> = BinaryHeap::new();
+    for c in 0..comp_count {
+        if in_degree[c] == 0 {
+            ready.push(Reverse((earliest[c], c)));
+        }
+    }
+    let mut batches = Vec::with_capacity(comp_count);
+    while let Some(Reverse((_, c))) = ready.pop() {
+        batches.push(members[c].clone());
+        for &d in &out_edges[c] {
+            in_degree[d] -= 1;
+            if in_degree[d] == 0 {
+                ready.push(Reverse((earliest[d], d)));
+            }
+        }
+    }
+    debug_assert_eq!(
+        batches.iter().map(Vec::len).sum::<usize>(),
+        graph.node_count(),
+        "condensation of a finite graph is acyclic, so Kahn emits every component",
+    );
+    Schedule { batches }
+}
+
+/// The "blind merge" alternative the paper argues against (Section 4.2):
+/// whenever the current order is not legal, merge *every* queued node into
+/// one atomic batch. Correct but coarse — more intermediate view states are
+/// skipped, and the long-running batch is more exposed to new conflicts.
+/// Kept as the ablation baseline for the cycle-merge strategy.
+pub fn merge_all_schedule(graph: &DepGraph) -> Schedule {
+    if graph.order_is_legal() {
+        Schedule { batches: (0..graph.node_count()).map(|i| vec![i]).collect() }
+    } else {
+        Schedule { batches: vec![(0..graph.node_count()).collect()] }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::DepGraph;
+    use crate::meta::{UpdateKind, UpdateMeta};
+
+    type M = UpdateMeta<()>;
+
+    fn du(key: u64, source: u32) -> M {
+        UpdateMeta::new(key, source, UpdateKind::Data, ())
+    }
+
+    fn sc(key: u64, source: u32) -> M {
+        UpdateMeta::new(key, source, UpdateKind::Schema { invalidates_view: true }, ())
+    }
+
+    fn schedule_of(nodes: &[Vec<M>]) -> Schedule {
+        let views: Vec<&[M]> = nodes.iter().map(|v| v.as_slice()).collect();
+        legal_schedule(&DepGraph::build(&views))
+    }
+
+    #[test]
+    fn independent_updates_keep_order() {
+        let s = schedule_of(&[vec![du(0, 0)], vec![du(1, 1)], vec![du(2, 2)]]);
+        assert!(s.is_identity());
+    }
+
+    #[test]
+    fn du_before_sc_gets_reordered() {
+        // DU (source 0) then invalidating SC (source 1): unsafe CD — SC first.
+        let s = schedule_of(&[vec![du(0, 0)], vec![sc(1, 1)]]);
+        assert_eq!(s.batches, vec![vec![1], vec![0]]);
+    }
+
+    #[test]
+    fn du_and_sc_same_source_merge() {
+        // DU then SC on the same source: CD wants SC first, SD wants DU
+        // first — a 2-cycle that must merge.
+        let s = schedule_of(&[vec![du(0, 0)], vec![sc(1, 0)]]);
+        assert_eq!(s.batches, vec![vec![0, 1]]);
+        assert_eq!(s.merged_batches(), 1);
+    }
+
+    #[test]
+    fn figure4_merges_all_three() {
+        // DU1 (library), SC1 (retailer, relevant), SC2 (library, relevant):
+        // mutual CDs between SC1/SC2 plus SD DU1→SC2 and CD DU1←SC1/SC2
+        // put all three in one cycle (paper Figure 4).
+        let s = schedule_of(&[vec![du(0, 1)], vec![sc(1, 0)], vec![sc(2, 1)]]);
+        assert_eq!(s.batches, vec![vec![0, 1, 2]]);
+    }
+
+    #[test]
+    fn schedule_is_legal_by_theorem2() {
+        let nodes = vec![
+            vec![du(0, 0)],
+            vec![sc(1, 1)],
+            vec![du(2, 0)],
+            vec![du(3, 2)],
+            vec![sc(4, 0)],
+        ];
+        let s = schedule_of(&nodes);
+        // Re-assemble the queue per the schedule and re-check legality.
+        let reordered: Vec<Vec<M>> = s
+            .batches
+            .iter()
+            .map(|b| b.iter().flat_map(|&i| nodes[i].clone()).collect())
+            .collect();
+        let views: Vec<&[M]> = reordered.iter().map(|v| v.as_slice()).collect();
+        let g2 = DepGraph::build(&views);
+        assert!(g2.order_is_legal(), "Theorem 2: corrected schedule is legal");
+    }
+
+    #[test]
+    fn batch_members_keep_original_order() {
+        let s = schedule_of(&[vec![du(0, 1)], vec![sc(1, 0)], vec![sc(2, 1)]]);
+        for b in &s.batches {
+            let mut sorted = b.clone();
+            sorted.sort_unstable();
+            assert_eq!(*b, sorted);
+        }
+    }
+
+    #[test]
+    fn deterministic_tiebreak_prefers_arrival_order() {
+        // Two independent chains; interleaving must follow original order.
+        let s = schedule_of(&[vec![du(0, 0)], vec![du(1, 1)], vec![du(2, 0)], vec![du(3, 1)]]);
+        assert!(s.is_identity());
+    }
+
+    #[test]
+    fn merge_all_is_identity_when_legal() {
+        let nodes = [vec![du(0, 0)], vec![du(1, 1)]];
+        let views: Vec<&[M]> = nodes.iter().map(|v| v.as_slice()).collect();
+        let s = merge_all_schedule(&DepGraph::build(&views));
+        assert!(s.is_identity());
+    }
+
+    #[test]
+    fn merge_all_collapses_on_conflict() {
+        let nodes = [vec![du(0, 0)], vec![sc(1, 1)], vec![du(2, 2)]];
+        let views: Vec<&[M]> = nodes.iter().map(|v| v.as_slice()).collect();
+        let s = merge_all_schedule(&DepGraph::build(&views));
+        assert_eq!(s.batches, vec![vec![0, 1, 2]]);
+    }
+
+    #[test]
+    fn empty_queue() {
+        let s = schedule_of(&[]);
+        assert!(s.batches.is_empty());
+        assert_eq!(s.node_count(), 0);
+    }
+}

@@ -1,0 +1,134 @@
+//! Dependency relationships between maintenance processes (paper Section 3).
+
+use std::fmt;
+
+/// The two dependency classes of the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum DepKind {
+    /// Concurrent dependency (Definition 3): `M(X) cd← M(Y)` iff `M(X)`
+    /// reads the view definition while `M(Y)` writes it. Every maintenance
+    /// reads the view definition; a view-invalidating schema change's
+    /// maintenance writes it — so every other update's maintenance is
+    /// concurrent-dependent on it.
+    Concurrent,
+    /// Semantic dependency (Definition 4): `M(X) sd← M(Y)` iff `X` and `Y`
+    /// were committed at the same source and `Y` committed first — the view
+    /// must reflect that source's states in commit order.
+    Semantic,
+}
+
+impl fmt::Display for DepKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DepKind::Concurrent => f.write_str("cd"),
+            DepKind::Semantic => f.write_str("sd"),
+        }
+    }
+}
+
+/// A directed dependency between two queue nodes: `M(dependent) ← M(prerequisite)`,
+/// meaning the prerequisite's maintenance must be processed first
+/// (Definition 5). Nodes are identified by their position in the queue
+/// snapshot the graph was built from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Dependency {
+    /// The node whose maintenance depends on the other.
+    pub dependent: usize,
+    /// The node that must be maintained first.
+    pub prerequisite: usize,
+    /// Concurrent or semantic.
+    pub kind: DepKind,
+}
+
+impl Dependency {
+    /// Definition 6: with nodes stored in queue (processing) order, a
+    /// dependency is **unsafe** iff the dependent is scheduled *before* its
+    /// prerequisite.
+    pub fn is_unsafe(&self) -> bool {
+        self.dependent < self.prerequisite
+    }
+}
+
+impl fmt::Display for Dependency {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "M(#{}) {}← M(#{})", self.dependent, self.kind, self.prerequisite)
+    }
+}
+
+/// Definition 6 relationship between two queue positions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PairRelationship {
+    /// No dependency in either direction.
+    Independent,
+    /// Dependencies exist and all point from later to earlier positions.
+    SafeDependent,
+    /// At least one dependency points from an earlier to a later position.
+    UnsafeDependent,
+}
+
+/// Classifies the relationship between two positions given all dependencies
+/// among them.
+pub fn classify_pair(deps: &[Dependency], a: usize, b: usize) -> PairRelationship {
+    let (first, second) = if a < b { (a, b) } else { (b, a) };
+    let mut any = false;
+    let mut unsafe_found = false;
+    for d in deps {
+        let touches = (d.dependent == first && d.prerequisite == second)
+            || (d.dependent == second && d.prerequisite == first);
+        if touches {
+            any = true;
+            if d.is_unsafe() {
+                unsafe_found = true;
+            }
+        }
+    }
+    if !any {
+        PairRelationship::Independent
+    } else if unsafe_found {
+        PairRelationship::UnsafeDependent
+    } else {
+        PairRelationship::SafeDependent
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn safety_by_position() {
+        // dependent after prerequisite: safe
+        assert!(!Dependency { dependent: 3, prerequisite: 1, kind: DepKind::Semantic }
+            .is_unsafe());
+        // dependent before prerequisite: unsafe
+        assert!(Dependency { dependent: 0, prerequisite: 2, kind: DepKind::Concurrent }
+            .is_unsafe());
+    }
+
+    #[test]
+    fn pair_classification() {
+        let deps = vec![
+            Dependency { dependent: 0, prerequisite: 1, kind: DepKind::Concurrent }, // unsafe
+            Dependency { dependent: 2, prerequisite: 1, kind: DepKind::Semantic },   // safe
+        ];
+        assert_eq!(classify_pair(&deps, 0, 1), PairRelationship::UnsafeDependent);
+        assert_eq!(classify_pair(&deps, 1, 2), PairRelationship::SafeDependent);
+        assert_eq!(classify_pair(&deps, 0, 2), PairRelationship::Independent);
+    }
+
+    #[test]
+    fn mutual_pair_is_unsafe() {
+        // A cycle between two positions always contains an unsafe direction.
+        let deps = vec![
+            Dependency { dependent: 0, prerequisite: 1, kind: DepKind::Concurrent },
+            Dependency { dependent: 1, prerequisite: 0, kind: DepKind::Concurrent },
+        ];
+        assert_eq!(classify_pair(&deps, 0, 1), PairRelationship::UnsafeDependent);
+    }
+
+    #[test]
+    fn display_forms() {
+        let d = Dependency { dependent: 0, prerequisite: 2, kind: DepKind::Concurrent };
+        assert_eq!(d.to_string(), "M(#0) cd← M(#2)");
+    }
+}

@@ -1,0 +1,43 @@
+//! # dyno-core — the Dyno concurrency-control scheduler
+//!
+//! Reproduction of the primary contribution of *"Detection and Correction of
+//! Conflicting Source Updates for View Maintenance"* (ICDE 2004): a
+//! data-model-independent scheduler that makes materialized-view maintenance
+//! correct under autonomous, concurrent source **data updates and schema
+//! changes**.
+//!
+//! The pieces map to the paper as follows:
+//! - [`meta`] — Definition 1's two maintenance shapes, abstracted to what the
+//!   scheduler needs (who committed, does it rewrite the view definition).
+//! - [`dependency`] — concurrent (Def. 3) and semantic (Def. 4) dependencies,
+//!   safe/unsafe classification (Def. 6).
+//! - [`graph`] — the O(m·n) + O(n) dependency-graph build (Section 4.1.1).
+//! - [`tarjan`] + [`correct`] — cycle detection, cycle **merge**, and
+//!   topological sort into a *legal order* (Section 4.2, Theorem 2).
+//! - [`umq`] — the Update Message Queue with the `NewSchemaChangeFlag` O(1)
+//!   fast path.
+//! - [`scheduler`] — the Dyno loop (Figure 6) with pessimistic/optimistic
+//!   detection strategies (Section 4.1.3).
+//!
+//! This crate deliberately has **no dependency on the relational layer**: the
+//! paper argues Dyno "has the potential to be plugged into any view system",
+//! and the [`scheduler::Maintainer`] trait is that plug.
+
+#![warn(missing_docs)]
+
+pub mod correct;
+pub mod dependency;
+pub mod graph;
+pub mod meta;
+pub mod scheduler;
+pub mod tarjan;
+pub mod umq;
+
+pub use correct::{legal_schedule, merge_all_schedule, Schedule};
+pub use dependency::{classify_pair, DepKind, Dependency, PairRelationship};
+pub use graph::DepGraph;
+pub use meta::{SourceKey, UpdateKey, UpdateKind, UpdateMeta};
+pub use scheduler::{
+    CorrectionPolicy, Dyno, DynoStats, MaintainOutcome, Maintainer, StepOutcome, Strategy,
+};
+pub use umq::Umq;

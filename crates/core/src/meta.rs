@@ -1,0 +1,99 @@
+//! Model-independent description of source updates.
+//!
+//! The paper claims Dyno is "independent of any data model": the scheduler
+//! never inspects tuples or DDL — it only needs to know, for each buffered
+//! update, *which source committed it* and *whether it is a schema change
+//! that invalidates the current view definition*. [`UpdateMeta`] captures
+//! exactly that, carrying the model-specific payload opaquely.
+
+use std::fmt;
+
+/// Scheduler-local key for one update (the view layer uses the wrapper's
+/// global update id).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct UpdateKey(pub u64);
+
+impl fmt::Display for UpdateKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "u{}", self.0)
+    }
+}
+
+/// Scheduler-local source identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SourceKey(pub u32);
+
+impl fmt::Display for SourceKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+/// What kind of maintenance an update requires (paper Definition 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UpdateKind {
+    /// Data update: `M(DU) = r(VD) r(DS₁)…r(DSₙ) w(MV) c(MV)` — reads the
+    /// view definition, never writes it.
+    Data,
+    /// Schema change: `M(SC) = r(VD) w(VD) r(DS₁)…r(DSₙ) w(MV) c(MV)` —
+    /// rewrites the view definition.
+    Schema {
+        /// True iff the change touches metadata (relations/attributes) that
+        /// the *current* view definition references, i.e. processing it will
+        /// actually rewrite the view definition. Only such changes are drawn
+        /// as concurrent-dependency prerequisites (Section 4.1.1).
+        invalidates_view: bool,
+    },
+}
+
+impl UpdateKind {
+    /// True for any schema change.
+    pub fn is_schema_change(self) -> bool {
+        matches!(self, UpdateKind::Schema { .. })
+    }
+
+    /// True iff this update's maintenance writes the view definition in a
+    /// way that invalidates concurrent readers.
+    pub fn writes_view_definition(self) -> bool {
+        matches!(self, UpdateKind::Schema { invalidates_view: true })
+    }
+}
+
+/// One buffered update, as the scheduler sees it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UpdateMeta<P> {
+    /// Scheduler key (unique; monotone in global commit order).
+    pub key: UpdateKey,
+    /// Committing source.
+    pub source: SourceKey,
+    /// Maintenance kind.
+    pub kind: UpdateKind,
+    /// Opaque model-specific payload (e.g. the actual delta or DDL).
+    pub payload: P,
+}
+
+impl<P> UpdateMeta<P> {
+    /// Convenience constructor.
+    pub fn new(key: u64, source: u32, kind: UpdateKind, payload: P) -> Self {
+        UpdateMeta { key: UpdateKey(key), source: SourceKey(source), kind, payload }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_predicates() {
+        assert!(!UpdateKind::Data.is_schema_change());
+        assert!(!UpdateKind::Data.writes_view_definition());
+        assert!(UpdateKind::Schema { invalidates_view: false }.is_schema_change());
+        assert!(!UpdateKind::Schema { invalidates_view: false }.writes_view_definition());
+        assert!(UpdateKind::Schema { invalidates_view: true }.writes_view_definition());
+    }
+
+    #[test]
+    fn keys_order_by_commit() {
+        assert!(UpdateKey(3) < UpdateKey(10));
+    }
+}

@@ -1,0 +1,152 @@
+//! Iterative Tarjan strongly-connected-components algorithm.
+//!
+//! Used to find dependency cycles (paper Section 3.5 "maintenance
+//! deadlocks") before the merge-and-topologically-sort correction. The
+//! implementation is iterative so pathological queues cannot overflow the
+//! stack. Complexity O(n + e).
+
+/// Computes strongly connected components of a directed graph given as
+/// adjacency lists. Returns `assignment[v] = component index`, with
+/// components numbered in **reverse topological order** of the condensation
+/// (a Tarjan property: a component is finished only after everything it can
+/// reach). Component count is also returned.
+pub fn scc(adj: &[Vec<usize>]) -> (Vec<usize>, usize) {
+    let n = adj.len();
+    const UNVISITED: usize = usize::MAX;
+    let mut index = vec![UNVISITED; n];
+    let mut lowlink = vec![0usize; n];
+    let mut on_stack = vec![false; n];
+    let mut stack: Vec<usize> = Vec::new();
+    let mut assignment = vec![UNVISITED; n];
+    let mut next_index = 0usize;
+    let mut comp_count = 0usize;
+
+    // Explicit DFS frames: (vertex, next child position).
+    let mut frames: Vec<(usize, usize)> = Vec::new();
+
+    for start in 0..n {
+        if index[start] != UNVISITED {
+            continue;
+        }
+        frames.push((start, 0));
+        index[start] = next_index;
+        lowlink[start] = next_index;
+        next_index += 1;
+        stack.push(start);
+        on_stack[start] = true;
+
+        while let Some(&mut (v, ref mut child)) = frames.last_mut() {
+            if *child < adj[v].len() {
+                let w = adj[v][*child];
+                *child += 1;
+                if index[w] == UNVISITED {
+                    index[w] = next_index;
+                    lowlink[w] = next_index;
+                    next_index += 1;
+                    stack.push(w);
+                    on_stack[w] = true;
+                    frames.push((w, 0));
+                } else if on_stack[w] {
+                    lowlink[v] = lowlink[v].min(index[w]);
+                }
+            } else {
+                frames.pop();
+                if lowlink[v] == index[v] {
+                    // v is a component root: pop the component.
+                    loop {
+                        let w = stack.pop().expect("component members on stack");
+                        on_stack[w] = false;
+                        assignment[w] = comp_count;
+                        if w == v {
+                            break;
+                        }
+                    }
+                    comp_count += 1;
+                }
+                if let Some(&(parent, _)) = frames.last() {
+                    lowlink[parent] = lowlink[parent].min(lowlink[v]);
+                }
+            }
+        }
+    }
+    (assignment, comp_count)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn components(adj: &[Vec<usize>]) -> Vec<Vec<usize>> {
+        let (assign, count) = scc(adj);
+        let mut out = vec![Vec::new(); count];
+        for (v, &c) in assign.iter().enumerate() {
+            out[c].push(v);
+        }
+        out
+    }
+
+    #[test]
+    fn singletons_in_dag() {
+        // 0 -> 1 -> 2
+        let adj = vec![vec![1], vec![2], vec![]];
+        let comps = components(&adj);
+        assert_eq!(comps.len(), 3);
+        assert!(comps.iter().all(|c| c.len() == 1));
+        // Reverse topological: node 2 (sink) finishes first.
+        let (assign, _) = scc(&adj);
+        assert!(assign[2] < assign[1] && assign[1] < assign[0]);
+    }
+
+    #[test]
+    fn two_cycle() {
+        let adj = vec![vec![1], vec![0]];
+        let comps = components(&adj);
+        assert_eq!(comps.len(), 1);
+        assert_eq!(comps[0].len(), 2);
+    }
+
+    #[test]
+    fn figure5_like_mixed_graph() {
+        // 0 <-> 1 form a cycle; 2 depends on that cycle; 3 isolated.
+        let adj = vec![vec![1], vec![0], vec![0], vec![]];
+        let (assign, count) = scc(&adj);
+        assert_eq!(count, 3);
+        assert_eq!(assign[0], assign[1]);
+        assert_ne!(assign[2], assign[0]);
+        // 2 depends on the cycle, so the cycle finishes first (smaller id).
+        assert!(assign[0] < assign[2]);
+    }
+
+    #[test]
+    fn self_loop_is_component() {
+        let adj = vec![vec![0], vec![]];
+        let (assign, count) = scc(&adj);
+        assert_eq!(count, 2);
+        assert_ne!(assign[0], assign[1]);
+    }
+
+    #[test]
+    fn long_chain_no_stack_overflow() {
+        // 100_000-node chain — would overflow a recursive implementation.
+        let n = 100_000;
+        let adj: Vec<Vec<usize>> =
+            (0..n).map(|i| if i + 1 < n { vec![i + 1] } else { vec![] }).collect();
+        let (_, count) = scc(&adj);
+        assert_eq!(count, n);
+    }
+
+    #[test]
+    fn big_cycle() {
+        let n = 1000;
+        let adj: Vec<Vec<usize>> = (0..n).map(|i| vec![(i + 1) % n]).collect();
+        let (_, count) = scc(&adj);
+        assert_eq!(count, 1);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let (assign, count) = scc(&[]);
+        assert!(assign.is_empty());
+        assert_eq!(count, 0);
+    }
+}

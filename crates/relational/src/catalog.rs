@@ -1,0 +1,255 @@
+//! A catalog of named relations — the storage layer of one data source.
+
+use std::collections::BTreeMap;
+
+use crate::ddl::{apply_to_relation, SchemaChange};
+use crate::error::RelationalError;
+use crate::exec::{RelationProvider, TableSlice};
+use crate::relation::Relation;
+use crate::schema::Schema;
+use crate::update::{DataUpdate, SourceUpdate};
+
+/// A set of named relations with DDL and DML application.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Catalog {
+    relations: BTreeMap<String, Relation>,
+}
+
+impl Catalog {
+    /// An empty catalog.
+    pub fn new() -> Self {
+        Catalog::default()
+    }
+
+    /// Creates an empty relation with the given schema.
+    pub fn create(&mut self, schema: Schema) -> Result<(), RelationalError> {
+        self.add_relation(Relation::empty(schema))
+    }
+
+    /// Adds a populated relation.
+    pub fn add_relation(&mut self, relation: Relation) -> Result<(), RelationalError> {
+        let name = relation.schema().relation.clone();
+        if self.relations.contains_key(&name) {
+            return Err(RelationalError::DuplicateRelation { relation: name });
+        }
+        self.relations.insert(name, relation);
+        Ok(())
+    }
+
+    /// Looks up a relation by name.
+    pub fn get(&self, name: &str) -> Result<&Relation, RelationalError> {
+        self.relations
+            .get(name)
+            .ok_or_else(|| RelationalError::UnknownRelation { relation: name.to_string() })
+    }
+
+    /// Mutable lookup.
+    pub fn get_mut(&mut self, name: &str) -> Result<&mut Relation, RelationalError> {
+        self.relations
+            .get_mut(name)
+            .ok_or_else(|| RelationalError::UnknownRelation { relation: name.to_string() })
+    }
+
+    /// True iff the relation exists.
+    pub fn contains(&self, name: &str) -> bool {
+        self.relations.contains_key(name)
+    }
+
+    /// Names of all relations, sorted.
+    pub fn relation_names(&self) -> impl Iterator<Item = &str> {
+        self.relations.keys().map(String::as_str)
+    }
+
+    /// Number of relations.
+    pub fn len(&self) -> usize {
+        self.relations.len()
+    }
+
+    /// True iff the catalog has no relations.
+    pub fn is_empty(&self) -> bool {
+        self.relations.is_empty()
+    }
+
+    /// Applies a data update to its relation.
+    pub fn apply_data_update(&mut self, du: &DataUpdate) -> Result<(), RelationalError> {
+        self.get_mut(&du.relation)?.apply(&du.delta)
+    }
+
+    /// Applies a schema change, updating/removing/creating relations as
+    /// needed.
+    pub fn apply_schema_change(&mut self, sc: &SchemaChange) -> Result<(), RelationalError> {
+        match sc {
+            SchemaChange::CreateRelation { schema } => self.create(schema.clone()),
+            SchemaChange::ReplaceRelations { dropped, replacement } => {
+                for d in dropped {
+                    // All dropped relations must exist, checked up front so a
+                    // failed change leaves the catalog untouched.
+                    self.get(d)?;
+                }
+                if self.contains(&replacement.schema().relation)
+                    && !dropped.contains(&replacement.schema().relation)
+                {
+                    return Err(RelationalError::DuplicateRelation {
+                        relation: replacement.schema().relation.clone(),
+                    });
+                }
+                for d in dropped {
+                    self.relations.remove(d);
+                }
+                self.add_relation((**replacement).clone())
+            }
+            SchemaChange::RenameRelation { from, to } => {
+                if self.contains(to) {
+                    return Err(RelationalError::DuplicateRelation { relation: to.clone() });
+                }
+                let rel = self.get(from)?;
+                let renamed = apply_to_relation(rel, sc)?.expect("rename keeps relation");
+                self.relations.remove(from);
+                self.relations.insert(to.clone(), renamed);
+                Ok(())
+            }
+            _ => {
+                let name = sc
+                    .touched_relations()
+                    .first()
+                    .copied()
+                    .ok_or_else(|| RelationalError::InvalidQuery {
+                        reason: format!("schema change touches no relation: {sc}"),
+                    })?
+                    .to_string();
+                let rel = self.get(&name)?;
+                match apply_to_relation(rel, sc)? {
+                    Some(updated) => {
+                        self.relations.insert(name, updated);
+                        Ok(())
+                    }
+                    None => {
+                        self.relations.remove(&name);
+                        Ok(())
+                    }
+                }
+            }
+        }
+    }
+
+    /// Applies any source update.
+    pub fn apply_update(&mut self, update: &SourceUpdate) -> Result<(), RelationalError> {
+        match update {
+            SourceUpdate::Data(du) => self.apply_data_update(du),
+            SourceUpdate::Schema(sc) => self.apply_schema_change(sc),
+        }
+    }
+}
+
+impl RelationProvider for Catalog {
+    fn table(&self, name: &str) -> Result<TableSlice<'_>, RelationalError> {
+        self.get(name).map(Into::into)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::relation::Delta;
+    use crate::schema::AttrType;
+    use crate::tuple::Tuple;
+    use crate::value::Value;
+
+    fn catalog() -> Catalog {
+        let mut c = Catalog::new();
+        c.create(Schema::of("R", &[("a", AttrType::Int), ("b", AttrType::Str)])).unwrap();
+        c
+    }
+
+    #[test]
+    fn create_and_duplicate() {
+        let mut c = catalog();
+        assert!(c.contains("R"));
+        assert!(c.create(Schema::of("R", &[("x", AttrType::Int)])).is_err());
+    }
+
+    #[test]
+    fn data_update_roundtrip() {
+        let mut c = catalog();
+        let schema = c.get("R").unwrap().schema().clone();
+        let du = DataUpdate::new(
+            Delta::inserts(schema, [Tuple::of([Value::from(1), Value::str("x")])]).unwrap(),
+        );
+        c.apply_data_update(&du).unwrap();
+        assert_eq!(c.get("R").unwrap().len(), 1);
+    }
+
+    #[test]
+    fn rename_moves_relation() {
+        let mut c = catalog();
+        c.apply_schema_change(&SchemaChange::RenameRelation {
+            from: "R".into(),
+            to: "S".into(),
+        })
+        .unwrap();
+        assert!(!c.contains("R"));
+        assert!(c.contains("S"));
+        assert_eq!(c.get("S").unwrap().schema().relation, "S");
+    }
+
+    #[test]
+    fn rename_onto_existing_rejected() {
+        let mut c = catalog();
+        c.create(Schema::of("S", &[("x", AttrType::Int)])).unwrap();
+        assert!(c
+            .apply_schema_change(&SchemaChange::RenameRelation {
+                from: "R".into(),
+                to: "S".into()
+            })
+            .is_err());
+        assert!(c.contains("R"), "failed rename must not mutate");
+    }
+
+    #[test]
+    fn drop_attribute_via_catalog() {
+        let mut c = catalog();
+        c.apply_schema_change(&SchemaChange::DropAttribute {
+            relation: "R".into(),
+            attr: "b".into(),
+        })
+        .unwrap();
+        assert_eq!(c.get("R").unwrap().schema().arity(), 1);
+    }
+
+    #[test]
+    fn replace_relations() {
+        let mut c = catalog();
+        c.create(Schema::of("R2", &[("x", AttrType::Int)])).unwrap();
+        let replacement = Relation::from_tuples(
+            Schema::of("M", &[("a", AttrType::Int)]),
+            [Tuple::of([1i64])],
+        )
+        .unwrap();
+        c.apply_schema_change(&SchemaChange::ReplaceRelations {
+            dropped: vec!["R".into(), "R2".into()],
+            replacement: Box::new(replacement),
+        })
+        .unwrap();
+        assert!(!c.contains("R") && !c.contains("R2"));
+        assert_eq!(c.get("M").unwrap().len(), 1);
+    }
+
+    #[test]
+    fn replace_missing_relation_fails_cleanly() {
+        let mut c = catalog();
+        let replacement = Relation::empty(Schema::of("M", &[("a", AttrType::Int)]));
+        let err = c.apply_schema_change(&SchemaChange::ReplaceRelations {
+            dropped: vec!["R".into(), "Ghost".into()],
+            replacement: Box::new(replacement),
+        });
+        assert!(err.is_err());
+        assert!(c.contains("R"), "failed replace must not drop anything");
+    }
+
+    #[test]
+    fn provider_surface() {
+        let c = catalog();
+        assert!(c.table("R").is_ok());
+        assert!(c.table("nope").unwrap_err().is_schema_conflict());
+    }
+}

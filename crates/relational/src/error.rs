@@ -1,0 +1,147 @@
+//! Error types for the relational substrate.
+
+use std::fmt;
+
+use crate::schema::AttrType;
+
+/// Errors raised by the relational layer.
+///
+/// The variants under "schema conflicts" ([`UnknownRelation`],
+/// [`UnknownAttribute`]) are exactly the failures the paper calls *broken
+/// queries*: a maintenance query constructed from an outdated view definition
+/// no longer matches the source schema.
+///
+/// [`UnknownRelation`]: RelationalError::UnknownRelation
+/// [`UnknownAttribute`]: RelationalError::UnknownAttribute
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RelationalError {
+    /// A query or update referenced a relation the catalog does not have.
+    UnknownRelation {
+        /// The missing relation name.
+        relation: String,
+    },
+    /// A query or update referenced an attribute the relation does not have.
+    UnknownAttribute {
+        /// The relation looked in.
+        relation: String,
+        /// The missing attribute name.
+        attr: String,
+    },
+    /// Creating a relation that already exists.
+    DuplicateRelation {
+        /// The clashing name.
+        relation: String,
+    },
+    /// Two attributes with the same name in one schema.
+    DuplicateAttribute {
+        /// The owning relation.
+        relation: String,
+        /// The clashing attribute name.
+        attr: String,
+    },
+    /// A tuple's width does not match the schema.
+    ArityMismatch {
+        /// The relation involved.
+        relation: String,
+        /// Expected arity.
+        expected: usize,
+        /// Actual arity.
+        got: usize,
+    },
+    /// A value's type does not match its attribute's declared type.
+    TypeMismatch {
+        /// The relation involved.
+        relation: String,
+        /// The attribute involved.
+        attr: String,
+        /// Declared type.
+        expected: AttrType,
+        /// Value's runtime type.
+        got: AttrType,
+    },
+    /// Deleting a tuple that is not present (bag multiplicity would go
+    /// negative).
+    DeleteMissing {
+        /// The relation involved.
+        relation: String,
+        /// Rendered tuple.
+        tuple: String,
+    },
+    /// Two operands of a predicate have incomparable types.
+    IncomparableTypes {
+        /// Rendered predicate.
+        predicate: String,
+    },
+    /// A query is structurally invalid (e.g. cross product between
+    /// disconnected tables when the executor requires join connectivity).
+    InvalidQuery {
+        /// Explanation.
+        reason: String,
+    },
+}
+
+impl RelationalError {
+    /// True iff this error is a *schema conflict* — the mechanical signature
+    /// of a broken query anomaly (paper Definition 2).
+    pub fn is_schema_conflict(&self) -> bool {
+        matches!(
+            self,
+            RelationalError::UnknownRelation { .. } | RelationalError::UnknownAttribute { .. }
+        )
+    }
+}
+
+impl fmt::Display for RelationalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RelationalError::UnknownRelation { relation } => {
+                write!(f, "unknown relation `{relation}`")
+            }
+            RelationalError::UnknownAttribute { relation, attr } => {
+                write!(f, "unknown attribute `{attr}` in relation `{relation}`")
+            }
+            RelationalError::DuplicateRelation { relation } => {
+                write!(f, "relation `{relation}` already exists")
+            }
+            RelationalError::DuplicateAttribute { relation, attr } => {
+                write!(f, "duplicate attribute `{attr}` in relation `{relation}`")
+            }
+            RelationalError::ArityMismatch { relation, expected, got } => {
+                write!(f, "arity mismatch for `{relation}`: expected {expected}, got {got}")
+            }
+            RelationalError::TypeMismatch { relation, attr, expected, got } => write!(
+                f,
+                "type mismatch for `{relation}.{attr}`: expected {expected}, got {got}"
+            ),
+            RelationalError::DeleteMissing { relation, tuple } => {
+                write!(f, "cannot delete absent tuple {tuple} from `{relation}`")
+            }
+            RelationalError::IncomparableTypes { predicate } => {
+                write!(f, "incomparable operand types in predicate {predicate}")
+            }
+            RelationalError::InvalidQuery { reason } => write!(f, "invalid query: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for RelationalError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schema_conflict_classification() {
+        assert!(RelationalError::UnknownRelation { relation: "R".into() }.is_schema_conflict());
+        assert!(RelationalError::UnknownAttribute { relation: "R".into(), attr: "a".into() }
+            .is_schema_conflict());
+        assert!(!RelationalError::DeleteMissing { relation: "R".into(), tuple: "(1)".into() }
+            .is_schema_conflict());
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let e = RelationalError::UnknownAttribute { relation: "R".into(), attr: "a".into() };
+        assert!(e.to_string().contains("R") && e.to_string().contains("a"));
+    }
+}

@@ -1,0 +1,659 @@
+//! SPJ query evaluation over signed bags.
+//!
+//! The executor validates the query against the *current* schemas of the
+//! provided tables — exactly like a query shipped to an autonomous source is
+//! parsed against that source's current catalog. A mismatch (missing
+//! relation or attribute) surfaces as a schema-conflict error, which the view
+//! manager layer interprets as a **broken query** (paper Definition 2).
+//!
+//! Evaluation is uniform over signed multiplicities, so the same engine
+//! serves ordinary queries (non-negative counts), maintenance queries with a
+//! delta bound in place of a relation, and the Equation-6 adaptation terms
+//! where deltas carry negative counts.
+
+use std::collections::{BTreeSet, HashMap};
+
+use crate::error::RelationalError;
+use crate::query::{CmpOp, Predicate, SpjQuery};
+use crate::relation::{Delta, Relation};
+use crate::schema::{ColRef, Schema};
+use crate::tuple::{SignedBag, Tuple};
+use crate::value::Value;
+
+/// A borrowed table: schema plus signed rows. Both [`Relation`] and
+/// [`Delta`] convert into this.
+#[derive(Debug, Clone, Copy)]
+pub struct TableSlice<'a> {
+    /// The table's schema.
+    pub schema: &'a Schema,
+    /// The table's signed rows.
+    pub rows: &'a SignedBag,
+}
+
+impl<'a> From<&'a Relation> for TableSlice<'a> {
+    fn from(r: &'a Relation) -> Self {
+        TableSlice { schema: r.schema(), rows: r.rows() }
+    }
+}
+
+impl<'a> From<&'a Delta> for TableSlice<'a> {
+    fn from(d: &'a Delta) -> Self {
+        TableSlice { schema: d.schema(), rows: d.rows() }
+    }
+}
+
+/// Supplies tables by name to the executor.
+pub trait RelationProvider {
+    /// Looks up a table; failing with [`RelationalError::UnknownRelation`]
+    /// when the name does not resolve.
+    fn table(&self, name: &str) -> Result<TableSlice<'_>, RelationalError>;
+}
+
+/// A provider that overrides selected names of a base provider with bound
+/// tables — used to splice an update's delta into a maintenance query in
+/// place of the updated relation.
+pub struct Overlay<'a, P: RelationProvider + ?Sized> {
+    base: &'a P,
+    bound: HashMap<String, TableSlice<'a>>,
+}
+
+impl<'a, P: RelationProvider + ?Sized> Overlay<'a, P> {
+    /// Creates an overlay over `base`.
+    pub fn new(base: &'a P) -> Self {
+        Overlay { base, bound: HashMap::new() }
+    }
+
+    /// Binds `name` to the given table, shadowing the base provider.
+    pub fn bind(mut self, name: impl Into<String>, table: TableSlice<'a>) -> Self {
+        self.bound.insert(name.into(), table);
+        self
+    }
+}
+
+impl<'a, P: RelationProvider + ?Sized> RelationProvider for Overlay<'a, P> {
+    fn table(&self, name: &str) -> Result<TableSlice<'_>, RelationalError> {
+        if let Some(t) = self.bound.get(name) {
+            Ok(*t)
+        } else {
+            self.base.table(name)
+        }
+    }
+}
+
+/// The result of evaluating an SPJ query: named output columns over a signed
+/// bag of rows.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueryResult {
+    /// Output column names, in SELECT-list order.
+    pub cols: Vec<String>,
+    /// Signed result rows.
+    pub rows: SignedBag,
+}
+
+impl QueryResult {
+    /// Empty result with the given columns.
+    pub fn empty(cols: Vec<String>) -> Self {
+        QueryResult { cols, rows: SignedBag::new() }
+    }
+
+    /// Converts into a [`Delta`] over `schema`, verifying column names align
+    /// positionally.
+    pub fn into_delta(self, schema: Schema) -> Result<Delta, RelationalError> {
+        if schema.arity() != self.cols.len() {
+            return Err(RelationalError::ArityMismatch {
+                relation: schema.relation.clone(),
+                expected: schema.arity(),
+                got: self.cols.len(),
+            });
+        }
+        Delta::from_rows(schema, self.rows.iter().map(|(t, c)| (t.clone(), c)))
+    }
+
+    /// Total row weight.
+    pub fn weight(&self) -> u64 {
+        self.rows.weight()
+    }
+}
+
+/// Internal: an intermediate join state — which columns each tuple position
+/// holds, and the signed rows.
+struct Cursor {
+    cols: Vec<ColRef>,
+    rows: SignedBag,
+}
+
+impl Cursor {
+    fn index_of(&self, col: &ColRef) -> Option<usize> {
+        self.cols.iter().position(|c| c == col)
+    }
+}
+
+/// Validates that every relation and column the query references exists in
+/// the provider's current schemas. This is the *schema handshake* a source
+/// performs before answering; its failure is the broken-query signal.
+pub fn validate<P: RelationProvider + ?Sized>(
+    query: &SpjQuery,
+    provider: &P,
+) -> Result<(), RelationalError> {
+    let mut schemas: HashMap<&str, &Schema> = HashMap::new();
+    for t in &query.tables {
+        let slice = provider.table(t)?;
+        schemas.insert(t.as_str(), slice.schema);
+    }
+    for col in query.referenced_cols() {
+        let schema = schemas.get(col.relation.as_str()).ok_or_else(|| {
+            RelationalError::InvalidQuery {
+                reason: format!("column {col} references a relation not in FROM"),
+            }
+        })?;
+        schema.require(&col.attr)?;
+    }
+    Ok(())
+}
+
+/// Evaluates an SPJ query against the provider.
+///
+/// The plan loads tables in a greedy order (constant-filtered tables first,
+/// then tables connected to the current intermediate by an equi-join),
+/// applies constant filters at load time, hash-joins on all applicable
+/// equi-join keys, and projects last. Multiplicities multiply through joins
+/// and add through projection, per bag-algebra semantics.
+pub fn eval<P: RelationProvider + ?Sized>(
+    query: &SpjQuery,
+    provider: &P,
+) -> Result<QueryResult, RelationalError> {
+    validate(query, provider)?;
+    if query.tables.is_empty() {
+        return Err(RelationalError::InvalidQuery { reason: "empty FROM clause".into() });
+    }
+
+    let order = plan_order(query, provider)?;
+    let mut cursor: Option<Cursor> = None;
+    let mut joined: BTreeSet<&str> = BTreeSet::new();
+
+    for table_name in order {
+        let slice = provider.table(table_name)?;
+        cursor = Some(match cursor {
+            None => load_filtered(query, table_name, slice)?,
+            Some(cur) => hash_join(cur, slice, query, &joined, table_name)?,
+        });
+        joined.insert(table_name);
+    }
+
+    let cursor = cursor.expect("non-empty FROM produces a cursor");
+    // Project to the SELECT list.
+    let mut indices = Vec::with_capacity(query.projection.len());
+    let mut cols = Vec::with_capacity(query.projection.len());
+    for item in &query.projection {
+        let idx = cursor.index_of(&item.col).ok_or_else(|| RelationalError::InvalidQuery {
+            reason: format!("projection column {} not found after join", item.col),
+        })?;
+        indices.push(idx);
+        cols.push(item.output.clone());
+    }
+    Ok(QueryResult { cols, rows: cursor.rows.project(&indices) })
+}
+
+/// Chooses the table processing order: first table = most constant-filtered
+/// (ties broken by FROM order), then repeatedly any table connected to the
+/// joined set by an equi-join predicate; disconnected tables come last
+/// (cartesian product).
+fn plan_order<'q, P: RelationProvider + ?Sized>(
+    query: &'q SpjQuery,
+    _provider: &P,
+) -> Result<Vec<&'q str>, RelationalError> {
+    let mut remaining: Vec<&str> = query.tables.iter().map(String::as_str).collect();
+    if remaining.is_empty() {
+        return Ok(vec![]);
+    }
+    let filters = |t: &str| {
+        query
+            .predicates
+            .iter()
+            .filter(|p| matches!(p, Predicate::Compare(c, _, _) if c.relation == t))
+            .count()
+    };
+    // Seed with the most-filtered table.
+    let seed_pos = (0..remaining.len())
+        .max_by_key(|&i| (filters(remaining[i]), usize::MAX - i))
+        .expect("non-empty");
+    let mut order = vec![remaining.remove(seed_pos)];
+    let mut joined: BTreeSet<&str> = order.iter().copied().collect();
+    while !remaining.is_empty() {
+        let next = remaining.iter().position(|t| {
+            query.predicates.iter().any(|p| {
+                if let Predicate::JoinEq(a, b) = p {
+                    (a.relation == *t && joined.contains(b.relation.as_str()))
+                        || (b.relation == *t && joined.contains(a.relation.as_str()))
+                } else {
+                    false
+                }
+            })
+        });
+        let pos = next.unwrap_or(0);
+        let t = remaining.remove(pos);
+        joined.insert(t);
+        order.push(t);
+    }
+    Ok(order)
+}
+
+/// Loads a table into a cursor, applying its constant filters.
+fn load_filtered(
+    query: &SpjQuery,
+    name: &str,
+    slice: TableSlice<'_>,
+) -> Result<Cursor, RelationalError> {
+    let cols: Vec<ColRef> = slice
+        .schema
+        .attrs()
+        .iter()
+        .map(|a| ColRef::new(name, a.name.clone()))
+        .collect();
+    let filters: Vec<(usize, CmpOp, &Value)> = query
+        .predicates
+        .iter()
+        .filter_map(|p| match p {
+            Predicate::Compare(c, op, v) if c.relation == name => {
+                slice.schema.index_of(&c.attr).map(|i| (i, *op, v))
+            }
+            _ => None,
+        })
+        .collect();
+    let mut rows = SignedBag::new();
+    'tuples: for (t, c) in slice.rows.iter() {
+        for (idx, op, v) in &filters {
+            if !compare(t.get(*idx), *op, v)? {
+                continue 'tuples;
+            }
+        }
+        rows.add(t.clone(), c);
+    }
+    Ok(Cursor { cols, rows })
+}
+
+/// SQL-style comparison: NULL never satisfies; mismatched types (other than
+/// NULL) are an error, surfacing workload bugs instead of silently returning
+/// empty results.
+fn compare(left: &Value, op: CmpOp, right: &Value) -> Result<bool, RelationalError> {
+    if left.is_null() || right.is_null() {
+        return Ok(false);
+    }
+    if left.runtime_type() != right.runtime_type() {
+        return Err(RelationalError::IncomparableTypes {
+            predicate: format!("{left} {op} {right}"),
+        });
+    }
+    Ok(op.eval(left.cmp(right)))
+}
+
+/// Hash-joins the current intermediate with the next table on all
+/// equi-join predicates that span them; degenerates to a cartesian product
+/// when none apply. The next table's constant filters are applied on the
+/// fly; the hash table is built over the smaller side, and non-matching
+/// probe rows are never materialized.
+fn hash_join(
+    cur: Cursor,
+    slice: TableSlice<'_>,
+    query: &SpjQuery,
+    joined: &BTreeSet<&str>,
+    new_name: &str,
+) -> Result<Cursor, RelationalError> {
+    let new_cols: Vec<ColRef> = slice
+        .schema
+        .attrs()
+        .iter()
+        .map(|a| ColRef::new(new_name, a.name.clone()))
+        .collect();
+    let filters: Vec<(usize, CmpOp, &Value)> = query
+        .predicates
+        .iter()
+        .filter_map(|p| match p {
+            Predicate::Compare(c, op, v) if c.relation == new_name => {
+                slice.schema.index_of(&c.attr).map(|i| (i, *op, v))
+            }
+            _ => None,
+        })
+        .collect();
+    let passes = |t: &Tuple| -> Result<bool, RelationalError> {
+        for (idx, op, v) in &filters {
+            if !compare(t.get(*idx), *op, v)? {
+                return Ok(false);
+            }
+        }
+        Ok(true)
+    };
+
+    // Keys: (index in cur, index in new) for each applicable JoinEq.
+    let mut keys: Vec<(usize, usize)> = Vec::new();
+    for p in &query.predicates {
+        if let Predicate::JoinEq(a, b) = p {
+            let (cur_side, new_side) = if a.relation == new_name
+                && joined.contains(b.relation.as_str())
+            {
+                (b, a)
+            } else if b.relation == new_name && joined.contains(a.relation.as_str()) {
+                (a, b)
+            } else {
+                continue;
+            };
+            let ci = cur.index_of(cur_side).ok_or_else(|| RelationalError::InvalidQuery {
+                reason: format!("join column {cur_side} missing from intermediate"),
+            })?;
+            let ni = slice.schema.require(&new_side.attr)?;
+            keys.push((ci, ni));
+        }
+    }
+
+    let mut out_cols = cur.cols;
+    out_cols.extend(new_cols);
+    let mut rows = SignedBag::new();
+
+    if keys.is_empty() {
+        // Cartesian product.
+        for (lt, lc) in cur.rows.iter() {
+            for (rt, rc) in slice.rows.iter() {
+                if passes(rt)? {
+                    rows.add(lt.concat(rt), lc * rc);
+                }
+            }
+        }
+        return Ok(Cursor { cols: out_cols, rows });
+    }
+
+    let cur_key_idx: Vec<usize> = keys.iter().map(|&(ci, _)| ci).collect();
+    let new_key_idx: Vec<usize> = keys.iter().map(|&(_, ni)| ni).collect();
+    let null_key = |t: &Tuple, idx: &[usize]| idx.iter().any(|&i| t.get(i).is_null());
+
+    if cur.rows.distinct_len() <= slice.rows.distinct_len() {
+        // Build over the (smaller) intermediate, probe the table.
+        let mut table: HashMap<Tuple, Vec<(&Tuple, i64)>> = HashMap::new();
+        for (t, c) in cur.rows.iter() {
+            if !null_key(t, &cur_key_idx) {
+                table.entry(t.project(&cur_key_idx)).or_default().push((t, c));
+            }
+        }
+        for (rt, rc) in slice.rows.iter() {
+            if null_key(rt, &new_key_idx) {
+                continue;
+            }
+            if let Some(matches) = table.get(&rt.project(&new_key_idx)) {
+                if passes(rt)? {
+                    for (lt, lc) in matches {
+                        rows.add(lt.concat(rt), lc * rc);
+                    }
+                }
+            }
+        }
+    } else {
+        // Build over the table (filtered), probe the intermediate.
+        let mut table: HashMap<Tuple, Vec<(&Tuple, i64)>> = HashMap::new();
+        for (t, c) in slice.rows.iter() {
+            if !null_key(t, &new_key_idx) && passes(t)? {
+                table.entry(t.project(&new_key_idx)).or_default().push((t, c));
+            }
+        }
+        for (lt, lc) in cur.rows.iter() {
+            if null_key(lt, &cur_key_idx) {
+                continue;
+            }
+            if let Some(matches) = table.get(&lt.project(&cur_key_idx)) {
+                for (rt, rc) in matches {
+                    rows.add(lt.concat(rt), lc * rc);
+                }
+            }
+        }
+    }
+    Ok(Cursor { cols: out_cols, rows })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::AttrType;
+
+    struct Two {
+        r: Relation,
+        s: Relation,
+    }
+
+    impl RelationProvider for Two {
+        fn table(&self, name: &str) -> Result<TableSlice<'_>, RelationalError> {
+            match name {
+                "R" => Ok((&self.r).into()),
+                "S" => Ok((&self.s).into()),
+                other => Err(RelationalError::UnknownRelation { relation: other.into() }),
+            }
+        }
+    }
+
+    fn fixture() -> Two {
+        let r = Relation::from_tuples(
+            Schema::of("R", &[("id", AttrType::Int), ("name", AttrType::Str)]),
+            [
+                Tuple::of([Value::from(1), Value::str("a")]),
+                Tuple::of([Value::from(2), Value::str("b")]),
+                Tuple::of([Value::from(2), Value::str("b")]), // duplicate
+            ],
+        )
+        .unwrap();
+        let s = Relation::from_tuples(
+            Schema::of("S", &[("id", AttrType::Int), ("price", AttrType::Int)]),
+            [
+                Tuple::of([Value::from(1), Value::from(10)]),
+                Tuple::of([Value::from(2), Value::from(20)]),
+                Tuple::of([Value::from(3), Value::from(30)]),
+            ],
+        )
+        .unwrap();
+        Two { r, s }
+    }
+
+    fn join_query() -> SpjQuery {
+        SpjQuery::over(["R", "S"])
+            .select("R", "name")
+            .select("S", "price")
+            .join_eq(("R", "id"), ("S", "id"))
+            .build()
+    }
+
+    #[test]
+    fn equi_join_with_duplicates() {
+        let out = eval(&join_query(), &fixture()).unwrap();
+        assert_eq!(out.cols, vec!["name", "price"]);
+        assert_eq!(out.rows.count(&Tuple::of([Value::str("a"), Value::from(10)])), 1);
+        assert_eq!(
+            out.rows.count(&Tuple::of([Value::str("b"), Value::from(20)])),
+            2,
+            "bag semantics: duplicate R row yields multiplicity 2"
+        );
+        assert_eq!(out.weight(), 3);
+    }
+
+    #[test]
+    fn constant_filter() {
+        let q = SpjQuery::over(["S"])
+            .select("S", "price")
+            .filter("S", "price", CmpOp::Gt, 15)
+            .build();
+        let out = eval(&q, &fixture()).unwrap();
+        assert_eq!(out.weight(), 2);
+    }
+
+    #[test]
+    fn missing_relation_is_schema_conflict() {
+        let q = SpjQuery::over(["Nope"]).select("Nope", "x").build();
+        let err = eval(&q, &fixture()).unwrap_err();
+        assert!(err.is_schema_conflict());
+    }
+
+    #[test]
+    fn missing_attribute_is_schema_conflict() {
+        let q = SpjQuery::over(["R"]).select("R", "ghost").build();
+        let err = eval(&q, &fixture()).unwrap_err();
+        assert!(err.is_schema_conflict());
+    }
+
+    #[test]
+    fn delta_overlay_substitutes_relation() {
+        let f = fixture();
+        let delta = Delta::inserts(
+            Schema::of("R", &[("id", AttrType::Int), ("name", AttrType::Str)]),
+            [Tuple::of([Value::from(3), Value::str("c")])],
+        )
+        .unwrap();
+        let overlay = Overlay::new(&f).bind("R", (&delta).into());
+        let out = eval(&join_query(), &overlay).unwrap();
+        assert_eq!(out.weight(), 1);
+        assert_eq!(out.rows.count(&Tuple::of([Value::str("c"), Value::from(30)])), 1);
+    }
+
+    #[test]
+    fn negative_multiplicities_flow_through_join() {
+        let f = fixture();
+        let delta = Delta::from_rows(
+            Schema::of("R", &[("id", AttrType::Int), ("name", AttrType::Str)]),
+            [(Tuple::of([Value::from(1), Value::str("a")]), -1)],
+        )
+        .unwrap();
+        let overlay = Overlay::new(&f).bind("R", (&delta).into());
+        let out = eval(&join_query(), &overlay).unwrap();
+        assert_eq!(out.rows.count(&Tuple::of([Value::str("a"), Value::from(10)])), -1);
+    }
+
+    #[test]
+    fn incremental_distributivity() {
+        // (R + Δ) ⋈ S == R ⋈ S + Δ ⋈ S
+        let f = fixture();
+        let q = join_query();
+        let delta = Delta::from_rows(
+            Schema::of("R", &[("id", AttrType::Int), ("name", AttrType::Str)]),
+            [
+                (Tuple::of([Value::from(3), Value::str("c")]), 2),
+                (Tuple::of([Value::from(1), Value::str("a")]), -1),
+            ],
+        )
+        .unwrap();
+        let base = eval(&q, &f).unwrap();
+        let overlay = Overlay::new(&f).bind("R", (&delta).into());
+        let delta_out = eval(&q, &overlay).unwrap();
+        let mut incremental = base.rows.clone();
+        incremental.merge(&delta_out.rows);
+
+        let mut r2 = f.r.clone();
+        r2.apply(&delta).unwrap();
+        let f2 = Two { r: r2, s: f.s.clone() };
+        let full = eval(&q, &f2).unwrap();
+        assert_eq!(incremental, full.rows);
+    }
+
+    #[test]
+    fn cartesian_when_disconnected() {
+        let q = SpjQuery::over(["R", "S"]).select("R", "name").select("S", "price").build();
+        let out = eval(&q, &fixture()).unwrap();
+        assert_eq!(out.weight(), 9);
+    }
+
+    #[test]
+    fn null_never_matches_filter_or_join() {
+        let r = Relation::from_tuples(
+            Schema::of("R", &[("id", AttrType::Int), ("name", AttrType::Str)]),
+            [Tuple::of([Value::Null, Value::str("n")])],
+        )
+        .unwrap();
+        let f = Two { r, s: fixture().s };
+        let out = eval(&join_query(), &f).unwrap();
+        assert!(out.rows.is_empty(), "NULL join key matches nothing");
+        let q = SpjQuery::over(["R"])
+            .select("R", "name")
+            .filter("R", "id", CmpOp::Eq, 1)
+            .build();
+        assert!(eval(&q, &f).unwrap().rows.is_empty());
+    }
+
+    #[test]
+    fn multi_key_join_requires_all_keys() {
+        // Join on id AND name-vs-price type-compatible column: use two
+        // integer keys so both must match.
+        let r = Relation::from_tuples(
+            Schema::of("R", &[("k1", AttrType::Int), ("k2", AttrType::Int)]),
+            [Tuple::of([1i64, 10]), Tuple::of([1i64, 20])],
+        )
+        .unwrap();
+        let s = Relation::from_tuples(
+            Schema::of("S", &[("k1", AttrType::Int), ("k2", AttrType::Int), ("v", AttrType::Int)]),
+            [Tuple::of([1i64, 10, 100]), Tuple::of([1i64, 30, 300])],
+        )
+        .unwrap();
+        struct P(Relation, Relation);
+        impl RelationProvider for P {
+            fn table(&self, name: &str) -> Result<TableSlice<'_>, RelationalError> {
+                match name {
+                    "R" => Ok((&self.0).into()),
+                    "S" => Ok((&self.1).into()),
+                    o => Err(RelationalError::UnknownRelation { relation: o.into() }),
+                }
+            }
+        }
+        let q = SpjQuery::over(["R", "S"])
+            .select("S", "v")
+            .join_eq(("R", "k1"), ("S", "k1"))
+            .join_eq(("R", "k2"), ("S", "k2"))
+            .build();
+        let out = eval(&q, &P(r, s)).unwrap();
+        assert_eq!(out.weight(), 1, "only the (1,10) pair satisfies both keys");
+        assert_eq!(out.rows.count(&Tuple::of([100i64])), 1);
+    }
+
+    #[test]
+    fn projecting_same_column_twice() {
+        let q = SpjQuery::over(["S"])
+            .select("S", "id")
+            .select_as("S", "id", "id_again")
+            .build();
+        let out = eval(&q, &fixture()).unwrap();
+        assert_eq!(out.cols, vec!["id", "id_again"]);
+        assert_eq!(out.rows.count(&Tuple::of([1i64, 1])), 1);
+    }
+
+    #[test]
+    fn column_outside_from_is_invalid_query() {
+        let q = SpjQuery::over(["S"]).select("R", "name").build();
+        let err = eval(&q, &fixture()).unwrap_err();
+        assert!(matches!(err, RelationalError::InvalidQuery { .. }));
+        assert!(!err.is_schema_conflict(), "a malformed query is not a broken query");
+    }
+
+    #[test]
+    fn empty_from_is_invalid() {
+        let q = SpjQuery { tables: vec![], projection: vec![], predicates: vec![] };
+        assert!(matches!(
+            eval(&q, &fixture()).unwrap_err(),
+            RelationalError::InvalidQuery { .. }
+        ));
+    }
+
+    #[test]
+    fn filters_on_both_sides_of_join() {
+        let q = SpjQuery::over(["R", "S"])
+            .select("R", "name")
+            .join_eq(("R", "id"), ("S", "id"))
+            .filter("R", "id", CmpOp::Ge, 2)
+            .filter("S", "price", CmpOp::Lt, 25)
+            .build();
+        let out = eval(&q, &fixture()).unwrap();
+        // R id 2 ('b' twice) joins S (2, 20): price < 25 passes.
+        assert_eq!(out.rows.count(&Tuple::of([Value::str("b")])), 2);
+        assert_eq!(out.weight(), 2);
+    }
+
+    #[test]
+    fn type_mismatch_in_filter_errors() {
+        let q = SpjQuery::over(["S"])
+            .select("S", "price")
+            .filter("S", "price", CmpOp::Eq, "not-an-int")
+            .build();
+        let err = eval(&q, &fixture()).unwrap_err();
+        assert!(matches!(err, RelationalError::IncomparableTypes { .. }));
+    }
+}

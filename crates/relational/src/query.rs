@@ -1,0 +1,301 @@
+//! Select-project-join (SPJ) query ASTs.
+//!
+//! Both the view definitions of the paper (Queries (1), (3), (4), (5)) and
+//! the per-source maintenance queries derived from them (Query (2)) are SPJ
+//! queries over named relations.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use crate::schema::ColRef;
+use crate::value::Value;
+
+/// Comparison operators for selection predicates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CmpOp {
+    /// `=`
+    Eq,
+    /// `<>`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+impl CmpOp {
+    /// Evaluates the operator on an ordering outcome.
+    pub fn eval(self, ord: std::cmp::Ordering) -> bool {
+        use std::cmp::Ordering::*;
+        match self {
+            CmpOp::Eq => ord == Equal,
+            CmpOp::Ne => ord != Equal,
+            CmpOp::Lt => ord == Less,
+            CmpOp::Le => ord != Greater,
+            CmpOp::Gt => ord == Greater,
+            CmpOp::Ge => ord != Less,
+        }
+    }
+}
+
+impl fmt::Display for CmpOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CmpOp::Eq => "=",
+            CmpOp::Ne => "<>",
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A conjunct of the query's WHERE clause.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Predicate {
+    /// Equi-join between two columns (`S.SID = I.SID`).
+    JoinEq(ColRef, ColRef),
+    /// Comparison of a column with a constant (`Book = 'Data Integration Guide'`).
+    Compare(ColRef, CmpOp, Value),
+}
+
+impl Predicate {
+    /// All column references appearing in this predicate.
+    pub fn cols(&self) -> Vec<&ColRef> {
+        match self {
+            Predicate::JoinEq(a, b) => vec![a, b],
+            Predicate::Compare(c, _, _) => vec![c],
+        }
+    }
+
+    /// Relations referenced by this predicate.
+    pub fn relations(&self) -> BTreeSet<&str> {
+        self.cols().into_iter().map(|c| c.relation.as_str()).collect()
+    }
+}
+
+impl fmt::Display for Predicate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Predicate::JoinEq(a, b) => write!(f, "{a} = {b}"),
+            Predicate::Compare(c, op, v) => write!(f, "{c} {op} {v}"),
+        }
+    }
+}
+
+/// One output column of the SELECT list: a source column plus the name it
+/// takes in the result (`R.Comments AS Review`).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ProjItem {
+    /// The source column.
+    pub col: ColRef,
+    /// The output column name.
+    pub output: String,
+}
+
+impl ProjItem {
+    /// Projection without renaming.
+    pub fn plain(col: ColRef) -> Self {
+        let output = col.attr.clone();
+        ProjItem { col, output }
+    }
+
+    /// Projection with an `AS` alias.
+    pub fn aliased(col: ColRef, output: impl Into<String>) -> Self {
+        ProjItem { col, output: output.into() }
+    }
+}
+
+impl fmt::Display for ProjItem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.output == self.col.attr {
+            write!(f, "{}", self.col)
+        } else {
+            write!(f, "{} AS {}", self.col, self.output)
+        }
+    }
+}
+
+/// A select-project-join query over named relations.
+///
+/// Relation names act as their own aliases (each relation appears at most
+/// once in the FROM list), matching the view queries used in the paper.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpjQuery {
+    /// Relations in the FROM clause.
+    pub tables: Vec<String>,
+    /// SELECT list.
+    pub projection: Vec<ProjItem>,
+    /// Conjunctive WHERE clause.
+    pub predicates: Vec<Predicate>,
+}
+
+impl SpjQuery {
+    /// Starts building a query over the given tables.
+    pub fn over<S: Into<String>, I: IntoIterator<Item = S>>(tables: I) -> SpjQueryBuilder {
+        SpjQueryBuilder {
+            query: SpjQuery {
+                tables: tables.into_iter().map(Into::into).collect(),
+                projection: Vec::new(),
+                predicates: Vec::new(),
+            },
+        }
+    }
+
+    /// All column references used anywhere in the query (projection and
+    /// predicates). These are exactly the schema elements whose invalidation
+    /// by a concurrent schema change breaks the query.
+    pub fn referenced_cols(&self) -> BTreeSet<ColRef> {
+        let mut cols: BTreeSet<ColRef> =
+            self.projection.iter().map(|p| p.col.clone()).collect();
+        for p in &self.predicates {
+            for c in p.cols() {
+                cols.insert(c.clone());
+            }
+        }
+        cols
+    }
+
+    /// True iff the query references the given relation.
+    pub fn references_relation(&self, relation: &str) -> bool {
+        self.tables.iter().any(|t| t == relation)
+    }
+
+    /// Predicates that only involve relations within `subset`.
+    pub fn predicates_within<'a>(
+        &'a self,
+        subset: &BTreeSet<&str>,
+    ) -> impl Iterator<Item = &'a Predicate> + 'a {
+        let subset: BTreeSet<String> = subset.iter().map(|s| s.to_string()).collect();
+        self.predicates
+            .iter()
+            .filter(move |p| p.relations().iter().all(|r| subset.contains(*r)))
+    }
+}
+
+impl fmt::Display for SpjQuery {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SELECT ")?;
+        for (i, p) in self.projection.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{p}")?;
+        }
+        write!(f, " FROM {}", self.tables.join(", "))?;
+        if !self.predicates.is_empty() {
+            write!(f, " WHERE ")?;
+            for (i, p) in self.predicates.iter().enumerate() {
+                if i > 0 {
+                    write!(f, " AND ")?;
+                }
+                write!(f, "{p}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Fluent builder for [`SpjQuery`].
+#[derive(Debug, Clone)]
+pub struct SpjQueryBuilder {
+    query: SpjQuery,
+}
+
+impl SpjQueryBuilder {
+    /// Adds a projection column `relation.attr`.
+    pub fn select(mut self, relation: &str, attr: &str) -> Self {
+        self.query.projection.push(ProjItem::plain(ColRef::new(relation, attr)));
+        self
+    }
+
+    /// Adds a projection column with an output alias.
+    pub fn select_as(mut self, relation: &str, attr: &str, output: &str) -> Self {
+        self.query.projection.push(ProjItem::aliased(ColRef::new(relation, attr), output));
+        self
+    }
+
+    /// Adds an equi-join predicate.
+    pub fn join_eq(mut self, left: (&str, &str), right: (&str, &str)) -> Self {
+        self.query.predicates.push(Predicate::JoinEq(
+            ColRef::new(left.0, left.1),
+            ColRef::new(right.0, right.1),
+        ));
+        self
+    }
+
+    /// Adds a comparison predicate against a constant.
+    pub fn filter(mut self, relation: &str, attr: &str, op: CmpOp, value: impl Into<Value>) -> Self {
+        self.query.predicates.push(Predicate::Compare(
+            ColRef::new(relation, attr),
+            op,
+            value.into(),
+        ));
+        self
+    }
+
+    /// Finishes the build.
+    pub fn build(self) -> SpjQuery {
+        self.query
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bookinfo_like() -> SpjQuery {
+        SpjQuery::over(["Store", "Item"])
+            .select("Store", "StoreName")
+            .select("Item", "Book")
+            .join_eq(("Store", "SID"), ("Item", "SID"))
+            .filter("Item", "Book", CmpOp::Eq, "Guide")
+            .build()
+    }
+
+    #[test]
+    fn referenced_cols_cover_projection_and_predicates() {
+        let q = bookinfo_like();
+        let cols = q.referenced_cols();
+        assert!(cols.contains(&ColRef::new("Store", "SID")));
+        assert!(cols.contains(&ColRef::new("Item", "Book")));
+        assert!(cols.contains(&ColRef::new("Store", "StoreName")));
+        assert_eq!(cols.len(), 4);
+    }
+
+    #[test]
+    fn display_roundtrip_shape() {
+        let q = bookinfo_like();
+        let s = q.to_string();
+        assert!(s.starts_with("SELECT "));
+        assert!(s.contains("FROM Store, Item"));
+        assert!(s.contains("WHERE Store.SID = Item.SID AND Item.Book = 'Guide'"));
+    }
+
+    #[test]
+    fn predicates_within_subset() {
+        let q = bookinfo_like();
+        let sub: BTreeSet<&str> = ["Item"].into_iter().collect();
+        let preds: Vec<_> = q.predicates_within(&sub).collect();
+        assert_eq!(preds.len(), 1, "only the constant filter is local to Item");
+    }
+
+    #[test]
+    fn cmp_op_eval() {
+        use std::cmp::Ordering::*;
+        assert!(CmpOp::Le.eval(Equal));
+        assert!(CmpOp::Le.eval(Less));
+        assert!(!CmpOp::Le.eval(Greater));
+        assert!(CmpOp::Ne.eval(Less));
+        assert!(!CmpOp::Eq.eval(Less));
+        assert!(CmpOp::Ge.eval(Greater));
+        assert!(CmpOp::Gt.eval(Greater));
+        assert!(CmpOp::Lt.eval(Less));
+    }
+}

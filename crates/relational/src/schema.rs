@@ -1,0 +1,242 @@
+//! Relation schemas and attribute references.
+
+use std::fmt;
+
+use crate::error::RelationalError;
+
+/// Static type of an attribute.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AttrType {
+    /// 64-bit integer.
+    Int,
+    /// 64-bit float.
+    Float,
+    /// UTF-8 string.
+    Str,
+    /// Boolean.
+    Bool,
+}
+
+impl fmt::Display for AttrType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            AttrType::Int => "INT",
+            AttrType::Float => "FLOAT",
+            AttrType::Str => "STR",
+            AttrType::Bool => "BOOL",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A named, typed attribute (column).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Attribute {
+    /// Column name, unique within its schema.
+    pub name: String,
+    /// Column type.
+    pub ty: AttrType,
+}
+
+impl Attribute {
+    /// Creates an attribute.
+    pub fn new(name: impl Into<String>, ty: AttrType) -> Self {
+        Attribute { name: name.into(), ty }
+    }
+}
+
+/// A fully qualified column reference `Relation.Attribute`, as used in view
+/// definitions, predicates, and projections.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ColRef {
+    /// Relation name.
+    pub relation: String,
+    /// Attribute name within that relation.
+    pub attr: String,
+}
+
+impl ColRef {
+    /// Creates a column reference.
+    pub fn new(relation: impl Into<String>, attr: impl Into<String>) -> Self {
+        ColRef { relation: relation.into(), attr: attr.into() }
+    }
+}
+
+impl fmt::Display for ColRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}.{}", self.relation, self.attr)
+    }
+}
+
+/// The schema of a relation: its name plus an ordered list of attributes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Schema {
+    /// Relation name, unique within its catalog.
+    pub relation: String,
+    attrs: Vec<Attribute>,
+}
+
+impl Schema {
+    /// Builds a schema, rejecting duplicate attribute names.
+    pub fn new(
+        relation: impl Into<String>,
+        attrs: Vec<Attribute>,
+    ) -> Result<Self, RelationalError> {
+        let relation = relation.into();
+        for (i, a) in attrs.iter().enumerate() {
+            if attrs[..i].iter().any(|b| b.name == a.name) {
+                return Err(RelationalError::DuplicateAttribute {
+                    relation,
+                    attr: a.name.clone(),
+                });
+            }
+        }
+        Ok(Schema { relation, attrs })
+    }
+
+    /// Shorthand: builds a schema from `(name, type)` pairs, panicking on
+    /// duplicates. Intended for tests and static testbed definitions.
+    pub fn of(relation: &str, cols: &[(&str, AttrType)]) -> Self {
+        Schema::new(
+            relation,
+            cols.iter().map(|(n, t)| Attribute::new(*n, *t)).collect(),
+        )
+        .expect("static schema must not contain duplicate attributes")
+    }
+
+    /// The attributes in declaration order.
+    pub fn attrs(&self) -> &[Attribute] {
+        &self.attrs
+    }
+
+    /// Number of attributes.
+    pub fn arity(&self) -> usize {
+        self.attrs.len()
+    }
+
+    /// Index of the named attribute, if present.
+    pub fn index_of(&self, attr: &str) -> Option<usize> {
+        self.attrs.iter().position(|a| a.name == attr)
+    }
+
+    /// True iff the schema contains the named attribute.
+    pub fn has_attr(&self, attr: &str) -> bool {
+        self.index_of(attr).is_some()
+    }
+
+    /// Index of the named attribute, or a [`RelationalError::UnknownAttribute`].
+    pub fn require(&self, attr: &str) -> Result<usize, RelationalError> {
+        self.index_of(attr).ok_or_else(|| RelationalError::UnknownAttribute {
+            relation: self.relation.clone(),
+            attr: attr.to_string(),
+        })
+    }
+
+    /// Returns a copy with the relation renamed.
+    pub fn renamed(&self, to: impl Into<String>) -> Schema {
+        Schema { relation: to.into(), attrs: self.attrs.clone() }
+    }
+
+    /// Returns a copy with one attribute renamed.
+    pub fn with_attr_renamed(&self, from: &str, to: &str) -> Result<Schema, RelationalError> {
+        let idx = self.require(from)?;
+        if self.has_attr(to) {
+            return Err(RelationalError::DuplicateAttribute {
+                relation: self.relation.clone(),
+                attr: to.to_string(),
+            });
+        }
+        let mut attrs = self.attrs.clone();
+        attrs[idx].name = to.to_string();
+        Ok(Schema { relation: self.relation.clone(), attrs })
+    }
+
+    /// Returns a copy with one attribute removed.
+    pub fn with_attr_dropped(&self, attr: &str) -> Result<Schema, RelationalError> {
+        let idx = self.require(attr)?;
+        let mut attrs = self.attrs.clone();
+        attrs.remove(idx);
+        Ok(Schema { relation: self.relation.clone(), attrs })
+    }
+
+    /// Returns a copy with an attribute appended.
+    pub fn with_attr_added(&self, attr: Attribute) -> Result<Schema, RelationalError> {
+        if self.has_attr(&attr.name) {
+            return Err(RelationalError::DuplicateAttribute {
+                relation: self.relation.clone(),
+                attr: attr.name,
+            });
+        }
+        let mut attrs = self.attrs.clone();
+        attrs.push(attr);
+        Ok(Schema { relation: self.relation.clone(), attrs })
+    }
+
+    /// Fully qualified reference to the named attribute of this relation.
+    pub fn col(&self, attr: &str) -> ColRef {
+        ColRef::new(self.relation.clone(), attr)
+    }
+}
+
+impl fmt::Display for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}(", self.relation)?;
+        for (i, a) in self.attrs.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{} {}", a.name, a.ty)?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn abc() -> Schema {
+        Schema::of("R", &[("a", AttrType::Int), ("b", AttrType::Str), ("c", AttrType::Float)])
+    }
+
+    #[test]
+    fn index_lookup() {
+        let s = abc();
+        assert_eq!(s.index_of("b"), Some(1));
+        assert_eq!(s.index_of("z"), None);
+        assert!(s.require("z").is_err());
+    }
+
+    #[test]
+    fn duplicate_attr_rejected() {
+        let err = Schema::new(
+            "R",
+            vec![Attribute::new("a", AttrType::Int), Attribute::new("a", AttrType::Int)],
+        );
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn rename_attr() {
+        let s = abc().with_attr_renamed("b", "bb").unwrap();
+        assert!(s.has_attr("bb"));
+        assert!(!s.has_attr("b"));
+        assert!(abc().with_attr_renamed("b", "a").is_err(), "rename onto existing name");
+        assert!(abc().with_attr_renamed("zz", "y").is_err());
+    }
+
+    #[test]
+    fn drop_and_add_attr() {
+        let s = abc().with_attr_dropped("a").unwrap();
+        assert_eq!(s.arity(), 2);
+        assert_eq!(s.index_of("b"), Some(0));
+        let s2 = s.with_attr_added(Attribute::new("d", AttrType::Bool)).unwrap();
+        assert_eq!(s2.arity(), 3);
+        assert!(s2.with_attr_added(Attribute::new("d", AttrType::Int)).is_err());
+    }
+
+    #[test]
+    fn display_schema() {
+        assert_eq!(abc().to_string(), "R(a INT, b STR, c FLOAT)");
+    }
+}

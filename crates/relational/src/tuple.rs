@@ -1,0 +1,275 @@
+//! Tuples (rows) and signed bags of tuples.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::error::RelationalError;
+use crate::schema::Schema;
+use crate::value::Value;
+
+/// A row: an ordered sequence of values matching some schema's attributes.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Tuple(Vec<Value>);
+
+impl Tuple {
+    /// Builds a tuple from values.
+    pub fn new(values: Vec<Value>) -> Self {
+        Tuple(values)
+    }
+
+    /// Builds a tuple from anything convertible into values.
+    pub fn of<V: Into<Value>, I: IntoIterator<Item = V>>(values: I) -> Self {
+        Tuple(values.into_iter().map(Into::into).collect())
+    }
+
+    /// The values.
+    pub fn values(&self) -> &[Value] {
+        &self.0
+    }
+
+    /// Number of fields.
+    pub fn arity(&self) -> usize {
+        self.0.len()
+    }
+
+    /// The value at `idx`.
+    pub fn get(&self, idx: usize) -> &Value {
+        &self.0[idx]
+    }
+
+    /// A new tuple containing the fields at `indices`, in that order.
+    pub fn project(&self, indices: &[usize]) -> Tuple {
+        Tuple(indices.iter().map(|&i| self.0[i].clone()).collect())
+    }
+
+    /// Concatenation of `self` and `other` (used by joins).
+    pub fn concat(&self, other: &Tuple) -> Tuple {
+        let mut v = Vec::with_capacity(self.0.len() + other.0.len());
+        v.extend_from_slice(&self.0);
+        v.extend_from_slice(&other.0);
+        Tuple(v)
+    }
+
+    /// Checks that this tuple's values are compatible with `schema`
+    /// (matching arity; each non-NULL value matching the attribute type).
+    pub fn check_against(&self, schema: &Schema) -> Result<(), RelationalError> {
+        if self.arity() != schema.arity() {
+            return Err(RelationalError::ArityMismatch {
+                relation: schema.relation.clone(),
+                expected: schema.arity(),
+                got: self.arity(),
+            });
+        }
+        for (v, a) in self.0.iter().zip(schema.attrs()) {
+            if let Some(ty) = v.runtime_type() {
+                if ty != a.ty {
+                    return Err(RelationalError::TypeMismatch {
+                        relation: schema.relation.clone(),
+                        attr: a.name.clone(),
+                        expected: a.ty,
+                        got: ty,
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Tuple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, v) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+/// A signed multiset of tuples: each tuple maps to a non-zero multiplicity.
+///
+/// Positive counts represent presence (or insertions in a delta); negative
+/// counts represent deletions. Both relations (non-negative bags) and deltas
+/// (arbitrary-signed bags) are built on this type, which keeps the
+/// incremental-maintenance algebra — `(R + Δ) ⋈ S = R ⋈ S + Δ ⋈ S` — uniform.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SignedBag {
+    counts: HashMap<Tuple, i64>,
+}
+
+impl SignedBag {
+    /// Empty bag.
+    pub fn new() -> Self {
+        SignedBag::default()
+    }
+
+    /// Adds `count` occurrences of `tuple`, removing the entry if the total
+    /// reaches zero. Returns the new multiplicity.
+    pub fn add(&mut self, tuple: Tuple, count: i64) -> i64 {
+        if count == 0 {
+            return self.count(&tuple);
+        }
+        use std::collections::hash_map::Entry;
+        match self.counts.entry(tuple) {
+            Entry::Occupied(mut e) => {
+                let c = e.get_mut();
+                *c += count;
+                if *c == 0 {
+                    e.remove();
+                    0
+                } else {
+                    *c
+                }
+            }
+            Entry::Vacant(e) => {
+                e.insert(count);
+                count
+            }
+        }
+    }
+
+    /// Multiplicity of `tuple` (zero if absent).
+    pub fn count(&self, tuple: &Tuple) -> i64 {
+        self.counts.get(tuple).copied().unwrap_or(0)
+    }
+
+    /// Number of distinct tuples.
+    pub fn distinct_len(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Sum of absolute multiplicities (the "size" of the bag as a workload).
+    pub fn weight(&self) -> u64 {
+        self.counts.values().map(|c| c.unsigned_abs()).sum()
+    }
+
+    /// Sum of signed multiplicities.
+    pub fn net(&self) -> i64 {
+        self.counts.values().sum()
+    }
+
+    /// True iff no tuples are present.
+    pub fn is_empty(&self) -> bool {
+        self.counts.is_empty()
+    }
+
+    /// True iff every multiplicity is positive.
+    pub fn is_non_negative(&self) -> bool {
+        self.counts.values().all(|&c| c > 0)
+    }
+
+    /// Iterates over `(tuple, multiplicity)` pairs in arbitrary order.
+    pub fn iter(&self) -> impl Iterator<Item = (&Tuple, i64)> {
+        self.counts.iter().map(|(t, &c)| (t, c))
+    }
+
+    /// Adds every entry of `other` into `self`.
+    pub fn merge(&mut self, other: &SignedBag) {
+        for (t, c) in other.iter() {
+            self.add(t.clone(), c);
+        }
+    }
+
+    /// The bag with all multiplicities negated.
+    pub fn negated(&self) -> SignedBag {
+        SignedBag { counts: self.counts.iter().map(|(t, c)| (t.clone(), -c)).collect() }
+    }
+
+    /// `self − other` as a new bag.
+    pub fn diff(&self, other: &SignedBag) -> SignedBag {
+        let mut out = self.clone();
+        for (t, c) in other.iter() {
+            out.add(t.clone(), -c);
+        }
+        out
+    }
+
+    /// Projects every tuple onto `indices`, combining multiplicities.
+    pub fn project(&self, indices: &[usize]) -> SignedBag {
+        let mut out = SignedBag::new();
+        for (t, c) in self.iter() {
+            out.add(t.project(indices), c);
+        }
+        out
+    }
+
+    /// Tuples in a deterministic (sorted) order — for display and tests.
+    pub fn sorted_entries(&self) -> Vec<(Tuple, i64)> {
+        let mut v: Vec<_> = self.counts.iter().map(|(t, &c)| (t.clone(), c)).collect();
+        v.sort();
+        v
+    }
+}
+
+impl FromIterator<(Tuple, i64)> for SignedBag {
+    fn from_iter<I: IntoIterator<Item = (Tuple, i64)>>(iter: I) -> Self {
+        let mut bag = SignedBag::new();
+        for (t, c) in iter {
+            bag.add(t, c);
+        }
+        bag
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(vals: &[i64]) -> Tuple {
+        Tuple::of(vals.iter().copied())
+    }
+
+    #[test]
+    fn add_and_cancel() {
+        let mut b = SignedBag::new();
+        b.add(t(&[1]), 2);
+        b.add(t(&[1]), -2);
+        assert!(b.is_empty());
+        assert_eq!(b.count(&t(&[1])), 0);
+    }
+
+    #[test]
+    fn merge_and_diff_are_inverse() {
+        let a: SignedBag = [(t(&[1]), 2), (t(&[2]), -1)].into_iter().collect();
+        let b: SignedBag = [(t(&[1]), 1), (t(&[3]), 4)].into_iter().collect();
+        let mut m = a.clone();
+        m.merge(&b);
+        assert_eq!(m.diff(&b), a);
+    }
+
+    #[test]
+    fn weight_and_net() {
+        let a: SignedBag = [(t(&[1]), 2), (t(&[2]), -3)].into_iter().collect();
+        assert_eq!(a.weight(), 5);
+        assert_eq!(a.net(), -1);
+        assert!(!a.is_non_negative());
+    }
+
+    #[test]
+    fn projection_combines_counts() {
+        let a: SignedBag =
+            [(Tuple::of([1, 10]), 1), (Tuple::of([1, 20]), 2)].into_iter().collect();
+        let p = a.project(&[0]);
+        assert_eq!(p.count(&t(&[1])), 3);
+    }
+
+    #[test]
+    fn tuple_ops() {
+        let x = Tuple::of([1, 2, 3]);
+        assert_eq!(x.project(&[2, 0]), Tuple::of([3, 1]));
+        assert_eq!(x.concat(&Tuple::of([4])), Tuple::of([1, 2, 3, 4]));
+    }
+
+    #[test]
+    fn type_check() {
+        use crate::schema::{AttrType, Schema};
+        let s = Schema::of("R", &[("a", AttrType::Int), ("b", AttrType::Str)]);
+        assert!(Tuple::of([Value::from(1), Value::str("x")]).check_against(&s).is_ok());
+        assert!(Tuple::of([Value::from(1), Value::Null]).check_against(&s).is_ok());
+        assert!(Tuple::of([Value::from(1)]).check_against(&s).is_err());
+        assert!(Tuple::of([Value::from(1), Value::from(2)]).check_against(&s).is_err());
+    }
+}

@@ -1,0 +1,87 @@
+//! Source updates: the unified `DU`/`SC` update type flowing through wrappers
+//! and the Update Message Queue.
+
+use std::fmt;
+
+use crate::ddl::SchemaChange;
+use crate::relation::Delta;
+
+/// A data update: a signed delta against one relation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DataUpdate {
+    /// The relation changed (name at commit time).
+    pub relation: String,
+    /// The signed tuple changes.
+    pub delta: Delta,
+}
+
+impl DataUpdate {
+    /// Wraps a delta as a data update.
+    pub fn new(delta: Delta) -> Self {
+        DataUpdate { relation: delta.schema().relation.clone(), delta }
+    }
+
+    /// Number of tuples touched (inserts + deletes).
+    pub fn weight(&self) -> u64 {
+        self.delta.weight()
+    }
+}
+
+impl fmt::Display for DataUpdate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "DU({}, {} tuples)", self.relation, self.weight())
+    }
+}
+
+/// Any update a source may autonomously commit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SourceUpdate {
+    /// A data update (`DU` in the paper).
+    Data(DataUpdate),
+    /// A schema change (`SC` in the paper).
+    Schema(SchemaChange),
+}
+
+impl SourceUpdate {
+    /// True iff this is a schema change.
+    pub fn is_schema_change(&self) -> bool {
+        matches!(self, SourceUpdate::Schema(_))
+    }
+
+    /// The relation(s) this update touches.
+    pub fn touched_relations(&self) -> Vec<&str> {
+        match self {
+            SourceUpdate::Data(du) => vec![du.relation.as_str()],
+            SourceUpdate::Schema(sc) => sc.touched_relations(),
+        }
+    }
+}
+
+impl fmt::Display for SourceUpdate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SourceUpdate::Data(du) => write!(f, "{du}"),
+            SourceUpdate::Schema(sc) => write!(f, "SC[{sc}]"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{AttrType, Schema};
+    use crate::tuple::Tuple;
+
+    #[test]
+    fn classification() {
+        let schema = Schema::of("R", &[("a", AttrType::Int)]);
+        let du = SourceUpdate::Data(DataUpdate::new(
+            Delta::inserts(schema, [Tuple::of([1i64])]).unwrap(),
+        ));
+        assert!(!du.is_schema_change());
+        assert_eq!(du.touched_relations(), vec!["R"]);
+        let sc = SourceUpdate::Schema(SchemaChange::DropRelation { relation: "R".into() });
+        assert!(sc.is_schema_change());
+        assert_eq!(sc.touched_relations(), vec!["R"]);
+    }
+}

@@ -1,0 +1,232 @@
+//! Scalar values stored in tuples.
+//!
+//! Values are dynamically typed; the [`AttrType`](crate::schema::AttrType) of
+//! the owning attribute constrains which variants a column may hold. Floats
+//! are wrapped in [`F64`] to obtain the total order / `Eq` / `Hash` required
+//! for bag semantics (relations are hash multisets of tuples).
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
+
+/// An `f64` with a total order suitable for use inside tuples.
+///
+/// NaN compares greater than all other values and equal to itself; `-0.0`
+/// is normalized to `0.0` so that hashing agrees with equality.
+#[derive(Debug, Clone, Copy)]
+pub struct F64(f64);
+
+impl F64 {
+    /// Wraps a raw float, normalizing `-0.0` to `0.0`.
+    pub fn new(v: f64) -> Self {
+        if v == 0.0 {
+            F64(0.0)
+        } else {
+            F64(v)
+        }
+    }
+
+    /// Returns the inner float.
+    pub fn get(self) -> f64 {
+        self.0
+    }
+
+    fn key(self) -> u64 {
+        if self.0.is_nan() {
+            f64::NAN.to_bits()
+        } else {
+            self.0.to_bits()
+        }
+    }
+}
+
+impl PartialEq for F64 {
+    fn eq(&self, other: &Self) -> bool {
+        self.key() == other.key()
+    }
+}
+
+impl Eq for F64 {}
+
+impl PartialOrd for F64 {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for F64 {
+    fn cmp(&self, other: &Self) -> Ordering {
+        match (self.0.is_nan(), other.0.is_nan()) {
+            (true, true) => Ordering::Equal,
+            (true, false) => Ordering::Greater,
+            (false, true) => Ordering::Less,
+            (false, false) => self.0.partial_cmp(&other.0).expect("non-NaN floats compare"),
+        }
+    }
+}
+
+impl Hash for F64 {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.key().hash(state);
+    }
+}
+
+impl From<f64> for F64 {
+    fn from(v: f64) -> Self {
+        F64::new(v)
+    }
+}
+
+impl fmt::Display for F64 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// A scalar value in a tuple.
+///
+/// Strings are reference-counted so that cloning tuples (which happens on
+/// every join output) is cheap.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Value {
+    /// SQL NULL. Compares equal to itself for bag-semantics purposes, but
+    /// never satisfies a comparison predicate (see `Predicate` evaluation).
+    Null,
+    /// Boolean.
+    Bool(bool),
+    /// 64-bit signed integer.
+    Int(i64),
+    /// 64-bit float with total order.
+    Float(F64),
+    /// UTF-8 string (cheaply clonable).
+    Str(Arc<str>),
+}
+
+impl Value {
+    /// Convenience constructor for string values.
+    pub fn str(s: impl AsRef<str>) -> Self {
+        Value::Str(Arc::from(s.as_ref()))
+    }
+
+    /// Convenience constructor for float values.
+    pub fn float(v: f64) -> Self {
+        Value::Float(F64::new(v))
+    }
+
+    /// True iff this is [`Value::Null`].
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// The runtime type tag of this value, or `None` for NULL (which is
+    /// compatible with every attribute type).
+    pub fn runtime_type(&self) -> Option<crate::schema::AttrType> {
+        use crate::schema::AttrType;
+        match self {
+            Value::Null => None,
+            Value::Bool(_) => Some(AttrType::Bool),
+            Value::Int(_) => Some(AttrType::Int),
+            Value::Float(_) => Some(AttrType::Float),
+            Value::Str(_) => Some(AttrType::Str),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+
+impl From<i32> for Value {
+    fn from(v: i32) -> Self {
+        Value::Int(v as i64)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::float(v)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::str(v)
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(Arc::from(v.as_str()))
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => write!(f, "NULL"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Float(v) => write!(f, "{v}"),
+            // Embedded quotes are doubled, matching the SQL dialect the
+            // parser reads back.
+            Value::Str(s) => write!(f, "'{}'", s.replace('\'', "''")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::hash_map::DefaultHasher;
+
+    fn hash_of<T: Hash>(t: &T) -> u64 {
+        let mut h = DefaultHasher::new();
+        t.hash(&mut h);
+        h.finish()
+    }
+
+    #[test]
+    fn negative_zero_normalizes() {
+        assert_eq!(F64::new(-0.0), F64::new(0.0));
+        assert_eq!(hash_of(&F64::new(-0.0)), hash_of(&F64::new(0.0)));
+    }
+
+    #[test]
+    fn nan_is_self_equal_and_maximal() {
+        let nan = F64::new(f64::NAN);
+        assert_eq!(nan, nan);
+        assert_eq!(hash_of(&nan), hash_of(&F64::new(f64::NAN)));
+        assert!(nan > F64::new(f64::INFINITY));
+    }
+
+    #[test]
+    fn float_total_order_matches_ieee_on_normals() {
+        assert!(F64::new(1.0) < F64::new(2.0));
+        assert!(F64::new(-1.0) < F64::new(0.0));
+    }
+
+    #[test]
+    fn value_display() {
+        assert_eq!(Value::from(3).to_string(), "3");
+        assert_eq!(Value::str("a").to_string(), "'a'");
+        assert_eq!(Value::str("O'Reilly").to_string(), "'O''Reilly'");
+        assert_eq!(Value::Null.to_string(), "NULL");
+    }
+
+    #[test]
+    fn runtime_types() {
+        use crate::schema::AttrType;
+        assert_eq!(Value::from(1).runtime_type(), Some(AttrType::Int));
+        assert_eq!(Value::Null.runtime_type(), None);
+        assert_eq!(Value::str("x").runtime_type(), Some(AttrType::Str));
+    }
+}

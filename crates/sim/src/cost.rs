@@ -1,0 +1,126 @@
+//! The simulated cost model.
+//!
+//! The paper's testbed was four Pentium-III PCs running Oracle8i over JDBC;
+//! its reported costs are wall-clock seconds. We replace the hardware with a
+//! deterministic virtual clock: every interaction with a source charges
+//! simulated time, calibrated so the two characteristic magnitudes match the
+//! paper's —
+//!
+//! * maintaining one **data update** costs a few hundred milliseconds
+//!   (paper Figure 8: ≈0.23 s/DU — 3000 DUs ≈ 700 s);
+//! * maintaining one **schema change** costs tens of seconds
+//!   (paper Figures 9–11: SC maintenance ≈ 25–60 s; the Figure 10 abort
+//!   peak sits where the inter-SC interval ≈ one SC maintenance time,
+//!   i.e. in the 17–29 s band).
+//!
+//! The shape of every experiment (who wins, where the peak falls) depends on
+//! these magnitudes and on *when commits land relative to maintenance*, not
+//! on Oracle's absolute throughput — which is why the substitution preserves
+//! the phenomena under study.
+
+/// Cost parameters, all in microseconds of simulated time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CostModel {
+    /// Round-trip latency per maintenance query shipped to a source.
+    pub query_latency_us: u64,
+    /// Source-side cost per tuple scanned while answering a query.
+    pub scan_tuple_us: u64,
+    /// Transfer + integration cost per result tuple shipped back.
+    pub result_tuple_us: u64,
+    /// View-manager-local computation per tuple (compensation joins,
+    /// Equation-6 terms, dependency bookkeeping).
+    pub local_tuple_us: u64,
+    /// Fixed view-synchronization (definition rewriting) cost per schema
+    /// change in a batch.
+    pub vs_rewrite_us: u64,
+    /// Cost per tuple written into the materialized view on commit.
+    pub mv_write_tuple_us: u64,
+}
+
+impl Default for CostModel {
+    /// Calibrated against the paper's magnitudes for the default testbed
+    /// scale (six relations; see `testbed::TestbedConfig`):
+    /// DU ≈ 0.25 s (5 queries × (40 ms latency + 10 ms scan)), SC ≈ 25 s
+    /// (dominated by re-fetching every relation's extent for adaptation).
+    fn default() -> Self {
+        CostModel {
+            query_latency_us: 40_000, // 40 ms
+            scan_tuple_us: 1,
+            result_tuple_us: 400,
+            local_tuple_us: 1,
+            vs_rewrite_us: 500_000,  // 0.5 s
+            mv_write_tuple_us: 100,
+        }
+    }
+}
+
+impl CostModel {
+    /// A model calibrated for an arbitrary testbed scale: the shipping
+    /// rate is chosen so that re-fetching one relation's extent costs ≈ 4
+    /// simulated seconds regardless of the tuple count, keeping one
+    /// schema-change maintenance at ≈ 25 s and one data update at ≈ 0.25 s
+    /// — the paper's magnitudes — at any `tuples_per_relation`.
+    pub fn calibrated(tuples_per_relation: u64) -> Self {
+        CostModel {
+            result_tuple_us: (4_000_000 / tuples_per_relation.max(1)).max(1),
+            ..CostModel::default()
+        }
+    }
+
+    /// A zero-cost model (untimed semantics checks).
+    pub fn free() -> Self {
+        CostModel {
+            query_latency_us: 0,
+            scan_tuple_us: 0,
+            result_tuple_us: 0,
+            local_tuple_us: 0,
+            vs_rewrite_us: 0,
+            mv_write_tuple_us: 0,
+        }
+    }
+
+    /// Cost of one query: latency + scan + shipping.
+    pub fn query_cost_us(&self, scanned: u64, result: u64) -> u64 {
+        self.query_latency_us + scanned * self.scan_tuple_us + result * self.result_tuple_us
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_magnitudes_match_paper() {
+        let c = CostModel::default();
+        // One DU over the 6-relation testbed at 10k tuples/relation:
+        // 5 queries, each scanning one relation, shipping ~1 tuple.
+        let du = 5 * c.query_cost_us(10_000, 1);
+        assert!((200_000..400_000).contains(&du), "DU ≈ 0.2–0.4 s, got {du} µs");
+        // One SC: VS + fetching all six relations (result = full extent).
+        let sc = c.vs_rewrite_us + 6 * c.query_cost_us(10_000, 10_000);
+        assert!(
+            (15_000_000..40_000_000).contains(&sc),
+            "SC ≈ 15–40 s, got {sc} µs"
+        );
+        // The ratio is what the experiments depend on: SC ≫ DU.
+        assert!(sc / du > 50);
+    }
+
+    #[test]
+    fn calibrated_is_scale_invariant() {
+        for n in [1_000u64, 10_000, 100_000] {
+            let c = CostModel::calibrated(n);
+            let sc = c.vs_rewrite_us + 6 * c.query_cost_us(n, n);
+            assert!(
+                (15_000_000..45_000_000).contains(&sc),
+                "SC ≈ 15–45 s at scale {n}, got {sc} µs"
+            );
+        }
+    }
+
+    #[test]
+    fn free_model_is_zero() {
+        let c = CostModel::free();
+        assert_eq!(c.query_cost_us(1_000_000, 1_000_000), 0);
+    }
+}

@@ -1,0 +1,36 @@
+//! # dyno-sim — the discrete-event experimental testbed
+//!
+//! Replaces the paper's four-PC/Oracle8i testbed with a deterministic
+//! virtual-clock simulation (see DESIGN.md §3 for the substitution
+//! rationale):
+//!
+//! - [`cost`] — the calibrated cost model (DU ≈ 0.25 s, SC ≈ 25 s, matching
+//!   the paper's magnitudes);
+//! - [`port`] — the timed [`dyno_view::SourcePort`]: maintenance queries
+//!   advance the clock, and scheduled autonomous commits land mid-flight,
+//!   reproducing every concurrency anomaly;
+//! - [`testbed`] — the Section 6.1 testbed (6 relations × 3 servers,
+//!   one-to-one 6-way join view with 24 output columns);
+//! - [`workload`] — schema-evolution-aware generators for the Section 6
+//!   workloads (DU floods, drop+rename SC trains);
+//! - [`runner`] — scenario execution with metrics collection;
+//! - [`consistency`] — convergence and strong-consistency auditors
+//!   (Section 4.4 correctness).
+
+#![warn(missing_docs)]
+
+pub mod consistency;
+pub mod cost;
+pub mod metrics;
+pub mod port;
+pub mod runner;
+pub mod testbed;
+pub mod workload;
+
+pub use consistency::{check_convergence, check_reflected, eval_view_at};
+pub use cost::CostModel;
+pub use metrics::Metrics;
+pub use port::{ScheduledCommit, SimPort};
+pub use runner::{run_scenario, RunReport, Scenario};
+pub use testbed::{build_space, build_testbed, build_view, TestbedConfig};
+pub use workload::{EventKind, WorkloadGen};

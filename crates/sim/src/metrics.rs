@@ -1,0 +1,61 @@
+//! Run metrics: what the paper's y-axes measure.
+
+/// Accumulated simulated-time metrics for one run.
+///
+/// "Maintenance cost" follows the paper's convention (Section 6.3,
+/// footnote 4): it **includes** abort cost — time spent on maintenance work
+/// that was later discarded because a query broke.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Metrics {
+    /// Simulated time spent in maintenance that committed (µs).
+    pub committed_us: u64,
+    /// Simulated time spent in maintenance that was aborted — the paper's
+    /// *abort cost* (µs).
+    pub abort_us: u64,
+    /// Committed time attributable to entries containing schema changes.
+    pub committed_sc_us: u64,
+    /// Aborted time from entries containing schema changes.
+    pub abort_sc_us: u64,
+    /// Number of maintenance queries executed.
+    pub queries: u64,
+    /// Number of aborts (broken queries suffered).
+    pub aborts: u64,
+    /// Maintenance attempts begun.
+    pub attempts: u64,
+    /// Scheduled source commits that could not be applied (workload bugs —
+    /// should stay zero).
+    pub skipped_commits: u64,
+    /// Simulated end-to-end completion time (µs from run start).
+    pub end_us: u64,
+}
+
+impl Metrics {
+    /// Total maintenance cost in µs (committed + aborted work), the paper's
+    /// primary y-axis.
+    pub fn total_cost_us(&self) -> u64 {
+        self.committed_us + self.abort_us
+    }
+
+    /// Total maintenance cost in seconds.
+    pub fn total_cost_s(&self) -> f64 {
+        self.total_cost_us() as f64 / 1e6
+    }
+
+    /// Abort cost in seconds.
+    pub fn abort_s(&self) -> f64 {
+        self.abort_us as f64 / 1e6
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals() {
+        let m = Metrics { committed_us: 2_000_000, abort_us: 500_000, ..Default::default() };
+        assert_eq!(m.total_cost_us(), 2_500_000);
+        assert!((m.total_cost_s() - 2.5).abs() < 1e-9);
+        assert!((m.abort_s() - 0.5).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,239 @@
+//! The experiment runner: drives a [`dyno_view::ViewManager`] against a
+//! [`SimPort`] until every scheduled source commit has been maintained.
+
+use dyno_core::{CorrectionPolicy, StepOutcome, Strategy};
+use dyno_view::{AdaptationMode, ViewDefinition, ViewError, ViewManager};
+
+use crate::consistency::{check_convergence, check_reflected};
+use crate::cost::CostModel;
+use crate::metrics::Metrics;
+use crate::port::{ScheduledCommit, SimPort};
+
+/// One experiment to run.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// The source space (initial states).
+    pub space: dyno_source::SourceSpace,
+    /// The view to materialize.
+    pub view: ViewDefinition,
+    /// Future autonomous commits.
+    pub schedule: Vec<ScheduledCommit>,
+    /// Detection strategy.
+    pub strategy: Strategy,
+    /// Correction policy (cycle merge vs. blind merge-all ablation).
+    pub policy: CorrectionPolicy,
+    /// View-adaptation mode (incremental-when-possible vs. recompute-only
+    /// ablation).
+    pub adaptation: AdaptationMode,
+    /// Cost model.
+    pub cost: CostModel,
+    /// When true, audit strong consistency after every committed entry
+    /// (expensive; for correctness tests, not cost experiments).
+    pub audit: bool,
+    /// Step budget (guards the theoretical infinite-abort loop of paper
+    /// Section 4.4).
+    pub max_steps: u64,
+}
+
+impl Scenario {
+    /// A scenario with defaults: pessimistic, calibrated costs, no audit,
+    /// generous step budget.
+    pub fn new(
+        space: dyno_source::SourceSpace,
+        view: ViewDefinition,
+        schedule: Vec<ScheduledCommit>,
+    ) -> Self {
+        let max_steps = 50 * schedule.len() as u64 + 1_000;
+        Scenario {
+            space,
+            view,
+            schedule,
+            strategy: Strategy::Pessimistic,
+            policy: CorrectionPolicy::default(),
+            adaptation: AdaptationMode::default(),
+            cost: CostModel::default(),
+            audit: false,
+            max_steps,
+        }
+    }
+
+    /// Sets the strategy.
+    pub fn with_strategy(mut self, strategy: Strategy) -> Self {
+        self.strategy = strategy;
+        self
+    }
+
+    /// Sets the correction policy.
+    pub fn with_policy(mut self, policy: CorrectionPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Sets the adaptation mode.
+    pub fn with_adaptation(mut self, adaptation: AdaptationMode) -> Self {
+        self.adaptation = adaptation;
+        self
+    }
+
+    /// Sets the cost model.
+    pub fn with_cost(mut self, cost: CostModel) -> Self {
+        self.cost = cost;
+        self
+    }
+
+    /// Enables the strong-consistency audit.
+    pub fn with_audit(mut self) -> Self {
+        self.audit = true;
+        self
+    }
+}
+
+/// What a run produced.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Simulated-time metrics (the paper's y-axes).
+    pub metrics: Metrics,
+    /// View-manager counters.
+    pub view_stats: dyno_view::ViewStats,
+    /// Scheduler counters.
+    pub dyno_stats: dyno_core::DynoStats,
+    /// Final materialized extent size.
+    pub final_mv_len: u64,
+    /// Whether the final extent matches the view over final source states.
+    pub converged: bool,
+    /// Strong-consistency audit failures (0 when `audit` was false or all
+    /// checks passed).
+    pub audit_violations: u64,
+    /// Steps executed.
+    pub steps: u64,
+    /// Whether the run exhausted its step budget before quiescing.
+    pub exhausted: bool,
+}
+
+/// Runs a scenario to completion.
+pub fn run_scenario(scenario: Scenario) -> Result<RunReport, ViewError> {
+    let Scenario { space, view, schedule, strategy, policy, adaptation, cost, audit, max_steps } =
+        scenario;
+    let info = space.info().clone();
+    let mut port = SimPort::new(space, schedule, cost);
+    let mut mgr = ViewManager::new(view, info, strategy)
+        .with_correction(policy)
+        .with_adaptation(adaptation);
+    mgr.initialize(&mut port)?;
+    port.start_metering();
+
+    let mut steps = 0;
+    let mut audit_violations = 0;
+    let mut exhausted = false;
+    loop {
+        if steps >= max_steps {
+            exhausted = true;
+            break;
+        }
+        match mgr.step(&mut port)? {
+            StepOutcome::Idle => {
+                if !port.advance_to_next_commit() {
+                    break;
+                }
+            }
+            StepOutcome::Committed => {
+                steps += 1;
+                if audit {
+                    let ok =
+                        check_reflected(port.space(), mgr.view(), mgr.reflected(), mgr.mv())
+                            .unwrap_or(false);
+                    if !ok {
+                        audit_violations += 1;
+                    }
+                }
+            }
+            StepOutcome::Aborted => {
+                steps += 1;
+            }
+            StepOutcome::Failed => unreachable!("manager.step surfaces failures as Err"),
+        }
+    }
+
+    let converged =
+        !exhausted && check_convergence(port.space(), mgr.view(), mgr.mv()).unwrap_or(false);
+    Ok(RunReport {
+        metrics: port.metrics(),
+        view_stats: mgr.stats(),
+        dyno_stats: mgr.dyno_stats(),
+        final_mv_len: mgr.mv().len(),
+        converged,
+        audit_violations,
+        steps,
+        exhausted,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testbed::{build_testbed, TestbedConfig};
+    use crate::workload::WorkloadGen;
+
+    fn tiny_cfg() -> TestbedConfig {
+        TestbedConfig { tuples_per_relation: 200, ..Default::default() }
+    }
+
+    #[test]
+    fn du_only_run_converges_with_audit() {
+        let cfg = tiny_cfg();
+        let (space, view) = build_testbed(&cfg);
+        let mut gen = WorkloadGen::new(cfg, 11);
+        let schedule = gen.du_flood(20);
+        let report = run_scenario(
+            Scenario::new(space, view, schedule).with_audit(),
+        )
+        .unwrap();
+        assert!(report.converged, "MV must converge to final source states");
+        assert_eq!(report.audit_violations, 0, "strong consistency at every commit");
+        assert_eq!(report.view_stats.du_committed, 20);
+        assert_eq!(report.metrics.aborts, 0);
+        assert_eq!(report.dyno_stats.graph_builds, 0, "O(1) fast path for DU-only");
+        assert!(report.metrics.total_cost_us() > 0);
+    }
+
+    #[test]
+    fn mixed_run_converges_both_strategies() {
+        for strategy in [Strategy::Pessimistic, Strategy::Optimistic] {
+            let cfg = tiny_cfg();
+            let (space, view) = build_testbed(&cfg);
+            let mut gen = WorkloadGen::new(cfg, 13);
+            let mut schedule = gen.du_flood(10);
+            schedule.extend(gen.sc_train(3, 1_000_000, 20_000_000));
+            let report = run_scenario(
+                Scenario::new(space, view, schedule)
+                    .with_strategy(strategy)
+                    .with_audit(),
+            )
+            .unwrap();
+            assert!(report.converged, "{strategy:?} must converge");
+            assert_eq!(report.audit_violations, 0, "{strategy:?} strong consistency");
+            assert!(!report.exhausted);
+            assert_eq!(report.metrics.skipped_commits, 0);
+        }
+    }
+
+    #[test]
+    fn pessimistic_never_costs_more_aborts_than_optimistic_here() {
+        // A flood of conflicting updates at t=0: pessimistic pre-exec
+        // correction avoids every abort; optimistic must suffer at least one.
+        let cfg = tiny_cfg();
+        let mk = |strategy| {
+            let (space, view) = build_testbed(&cfg);
+            let mut gen = WorkloadGen::new(cfg, 17);
+            let mut schedule = gen.du_flood(5);
+            schedule.extend(gen.sc_train(2, 0, 0));
+            run_scenario(Scenario::new(space, view, schedule).with_strategy(strategy)).unwrap()
+        };
+        let p = mk(Strategy::Pessimistic);
+        let o = mk(Strategy::Optimistic);
+        assert_eq!(p.metrics.aborts, 0, "pre-exec detection sees the flooded SCs");
+        assert!(o.metrics.aborts >= 1, "optimistic discovers conflicts the hard way");
+        assert!(p.metrics.total_cost_us() <= o.metrics.total_cost_us());
+        assert!(p.converged && o.converged);
+    }
+}

@@ -1,0 +1,163 @@
+//! The paper's experimental testbed (Section 6.1): six relations evenly
+//! distributed over three source servers, four attributes each, a
+//! materialized view defined as a one-to-one join among all six relations
+//! projecting all twenty-four attributes.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use dyno_relational::{AttrType, Catalog, Relation, Schema, SpjQuery, Tuple, Value};
+use dyno_source::{SourceId, SourceServer, SourceSpace};
+use dyno_view::ViewDefinition;
+
+/// Testbed parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TestbedConfig {
+    /// Number of source servers (paper: 3).
+    pub sources: u32,
+    /// Relations per server (paper: 2).
+    pub relations_per_source: u32,
+    /// Tuples per relation. The paper uses 100 000; the default here is
+    /// 10 000 so debug-mode tests stay fast — the simulated cost model is
+    /// calibrated for this scale, and experiments can pass the full size.
+    pub tuples_per_relation: usize,
+    /// Non-key attributes per relation (paper: 4 attributes total = key + 3).
+    pub extra_attrs: usize,
+    /// RNG seed for attribute values.
+    pub seed: u64,
+}
+
+impl Default for TestbedConfig {
+    fn default() -> Self {
+        TestbedConfig {
+            sources: 3,
+            relations_per_source: 2,
+            tuples_per_relation: 10_000,
+            extra_attrs: 3,
+            seed: 42,
+        }
+    }
+}
+
+impl TestbedConfig {
+    /// Total number of relations.
+    pub fn relation_count(&self) -> usize {
+        (self.sources * self.relations_per_source) as usize
+    }
+
+    /// Canonical relation names `R0..R{n-1}`.
+    pub fn relation_names(&self) -> Vec<String> {
+        (0..self.relation_count()).map(|i| format!("R{i}")).collect()
+    }
+
+    /// The schema of relation `i`: key `K` plus `A1..Am`.
+    pub fn schema(&self, i: usize) -> Schema {
+        let mut cols = vec![("K".to_string(), AttrType::Int)];
+        for a in 1..=self.extra_attrs {
+            cols.push((format!("A{a}"), AttrType::Int));
+        }
+        let attrs = cols
+            .into_iter()
+            .map(|(n, t)| dyno_relational::Attribute::new(n, t))
+            .collect();
+        Schema::new(format!("R{i}"), attrs).expect("generated attribute names are unique")
+    }
+}
+
+/// Builds the source space: relation `Ri` lives on server `i / relations_per_source`,
+/// populated with keys `0..tuples_per_relation` (so the n-way join is
+/// one-to-one) and pseudorandom attribute values.
+pub fn build_space(cfg: &TestbedConfig) -> SourceSpace {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut space = SourceSpace::new();
+    for s in 0..cfg.sources {
+        let mut catalog = Catalog::new();
+        for r in 0..cfg.relations_per_source {
+            let idx = (s * cfg.relations_per_source + r) as usize;
+            let schema = cfg.schema(idx);
+            let mut rel = Relation::empty(schema);
+            for k in 0..cfg.tuples_per_relation {
+                let mut vals = vec![Value::from(k as i64)];
+                for _ in 0..cfg.extra_attrs {
+                    vals.push(Value::from(rng.gen_range(0..1_000_000i64)));
+                }
+                rel.insert(Tuple::new(vals)).expect("generated tuples are well-typed");
+            }
+            catalog.add_relation(rel).expect("generated names are unique");
+        }
+        space.add_server(SourceServer::new(SourceId(s), format!("server{s}"), catalog));
+    }
+    space
+}
+
+/// The testbed view: `SELECT * FROM R0 ⋈ R1 ⋈ … ⋈ R{n-1}` joined pairwise
+/// on `K`, outputs named `Ri_attr` (24 columns at the paper's shape).
+pub fn build_view(cfg: &TestbedConfig) -> ViewDefinition {
+    let names = cfg.relation_names();
+    let mut b = SpjQuery::over(names.clone());
+    for (i, name) in names.iter().enumerate() {
+        let schema = cfg.schema(i);
+        for attr in schema.attrs() {
+            b = b.select_as(name, &attr.name, &format!("{name}_{}", attr.name));
+        }
+    }
+    for w in names.windows(2) {
+        b = b.join_eq((w[0].as_str(), "K"), (w[1].as_str(), "K"));
+    }
+    ViewDefinition::new("Testbed", b.build())
+}
+
+/// Convenience: a testbed space + view pair.
+pub fn build_testbed(cfg: &TestbedConfig) -> (SourceSpace, ViewDefinition) {
+    (build_space(cfg), build_view(cfg))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dyno_relational::eval;
+
+    fn tiny() -> TestbedConfig {
+        TestbedConfig { tuples_per_relation: 50, ..Default::default() }
+    }
+
+    #[test]
+    fn shape_matches_paper() {
+        let cfg = TestbedConfig::default();
+        assert_eq!(cfg.relation_count(), 6);
+        let view = build_view(&cfg);
+        assert_eq!(view.query.tables.len(), 6);
+        assert_eq!(view.output_cols().len(), 24, "all twenty-four attributes");
+        assert_eq!(view.query.predicates.len(), 5, "chain of one-to-one joins");
+    }
+
+    #[test]
+    fn join_is_one_to_one() {
+        let cfg = tiny();
+        let (space, view) = build_testbed(&cfg);
+        let out = eval(&view.query, &space.provider()).unwrap();
+        assert_eq!(out.weight(), 50, "one view tuple per key");
+    }
+
+    #[test]
+    fn distribution_over_servers() {
+        let cfg = tiny();
+        let space = build_space(&cfg);
+        assert_eq!(space.servers().len(), 3);
+        assert_eq!(space.locate("R0"), Some(SourceId(0)));
+        assert_eq!(space.locate("R1"), Some(SourceId(0)));
+        assert_eq!(space.locate("R2"), Some(SourceId(1)));
+        assert_eq!(space.locate("R5"), Some(SourceId(2)));
+    }
+
+    #[test]
+    fn deterministic_by_seed() {
+        let cfg = tiny();
+        let a = build_space(&cfg);
+        let b = build_space(&cfg);
+        assert_eq!(
+            a.server(SourceId(0)).catalog().get("R0").unwrap(),
+            b.server(SourceId(0)).catalog().get("R0").unwrap()
+        );
+    }
+}

@@ -1,0 +1,326 @@
+//! Workload generation for the Section 6 experiments.
+//!
+//! The generator tracks the evolving source schemas (renames, dropped
+//! attributes) so that every scheduled commit is valid at its commit time —
+//! exactly like autonomous sources, which always commit against their own
+//! current schema.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use dyno_relational::{DataUpdate, Delta, Schema, SchemaChange, SourceUpdate, Tuple, Value};
+use dyno_source::SourceId;
+
+use crate::port::ScheduledCommit;
+use crate::testbed::TestbedConfig;
+
+/// What happens at one point of a workload timeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// A random single-tuple insert against a random relation.
+    DataUpdate,
+    /// A delete of a tuple previously inserted by this generator (skipped —
+    /// degraded to an insert — when nothing has been inserted yet).
+    DataDelete,
+    /// A rename of a random relation (view-invalidating).
+    RenameRelation,
+    /// A drop of a random still-present non-key attribute
+    /// (view-invalidating; pruned by VS since no replacement exists).
+    DropAttribute,
+    /// An added attribute with a default (never view-invalidating: exercises
+    /// the flag-raised-but-no-reorder path).
+    AddAttribute,
+}
+
+/// Tracks evolving schemas and materializes timelines into commit schedules.
+#[derive(Debug, Clone)]
+pub struct WorkloadGen {
+    cfg: TestbedConfig,
+    rng: StdRng,
+    /// Current name of relation `i`.
+    names: Vec<String>,
+    /// Non-key attributes still present on relation `i`.
+    attrs: Vec<Vec<String>>,
+    rename_serial: u64,
+    /// Tuples this generator inserted and has not yet deleted, per relation
+    /// index, stored with the schema arity they were committed under.
+    live: Vec<Vec<Tuple>>,
+}
+
+impl WorkloadGen {
+    /// A generator over the given testbed, seeded independently of the
+    /// testbed's data seed.
+    pub fn new(cfg: TestbedConfig, seed: u64) -> Self {
+        let n = cfg.relation_count();
+        let names = cfg.relation_names();
+        let attrs = (0..n)
+            .map(|_| (1..=cfg.extra_attrs).map(|a| format!("A{a}")).collect())
+            .collect();
+        let live = vec![Vec::new(); n];
+        WorkloadGen { cfg, rng: StdRng::seed_from_u64(seed), names, attrs, rename_serial: 0, live }
+    }
+
+    /// The source hosting relation index `i`.
+    fn source_of(&self, i: usize) -> SourceId {
+        SourceId(i as u32 / self.cfg.relations_per_source)
+    }
+
+    /// Current schema of relation `i` (key + surviving attributes).
+    fn current_schema(&self, i: usize) -> Schema {
+        let mut attrs = vec![dyno_relational::Attribute::new("K", dyno_relational::AttrType::Int)];
+        for a in &self.attrs[i] {
+            attrs.push(dyno_relational::Attribute::new(a.clone(), dyno_relational::AttrType::Int));
+        }
+        Schema::new(self.names[i].clone(), attrs).expect("tracked attributes are unique")
+    }
+
+    /// Materializes one event at `at_us`.
+    pub fn event(&mut self, at_us: u64, kind: EventKind) -> ScheduledCommit {
+        match kind {
+            EventKind::DataUpdate => self.data_update(at_us),
+            EventKind::DataDelete => self.data_delete(at_us),
+            EventKind::RenameRelation => self.rename_relation(at_us),
+            EventKind::DropAttribute => self.drop_attribute(at_us),
+            EventKind::AddAttribute => self.add_attribute(at_us),
+        }
+    }
+
+    /// Materializes a whole timeline (must be sorted by time; the generator
+    /// tracks schema evolution in that order).
+    pub fn realize(&mut self, timeline: &[(u64, EventKind)]) -> Vec<ScheduledCommit> {
+        debug_assert!(timeline.windows(2).all(|w| w[0].0 <= w[1].0), "timeline must be sorted");
+        timeline.iter().map(|&(t, k)| self.event(t, k)).collect()
+    }
+
+    fn data_update(&mut self, at_us: u64) -> ScheduledCommit {
+        let i = self.rng.gen_range(0..self.cfg.relation_count());
+        let schema = self.current_schema(i);
+        let mut vals = vec![Value::from(
+            self.rng.gen_range(0..self.cfg.tuples_per_relation as i64),
+        )];
+        for _ in 0..schema.arity() - 1 {
+            vals.push(Value::from(self.rng.gen_range(0..1_000_000i64)));
+        }
+        let tuple = Tuple::new(vals);
+        self.live[i].push(tuple.clone());
+        let delta = Delta::inserts(schema, [tuple])
+            .expect("generated tuple matches tracked schema");
+        ScheduledCommit {
+            at_us,
+            source: self.source_of(i),
+            update: SourceUpdate::Data(DataUpdate::new(delta)),
+        }
+    }
+
+    fn data_delete(&mut self, at_us: u64) -> ScheduledCommit {
+        // Delete a tuple we inserted earlier, provided its relation's schema
+        // has not changed since (otherwise the stored tuple no longer
+        // matches); fall back to an insert when no such tuple exists.
+        let candidates: Vec<usize> = (0..self.cfg.relation_count())
+            .filter(|&i| {
+                self.live[i]
+                    .last()
+                    .is_some_and(|t| t.arity() == self.current_schema(i).arity())
+            })
+            .collect();
+        let Some(&i) = candidates.first() else {
+            return self.data_update(at_us);
+        };
+        let tuple = self.live[i].pop().expect("candidate has a live tuple");
+        let delta = Delta::deletes(self.current_schema(i), [tuple])
+            .expect("tuple arity checked against current schema");
+        ScheduledCommit {
+            at_us,
+            source: self.source_of(i),
+            update: SourceUpdate::Data(DataUpdate::new(delta)),
+        }
+    }
+
+    fn add_attribute(&mut self, at_us: u64) -> ScheduledCommit {
+        let i = self.rng.gen_range(0..self.cfg.relation_count());
+        self.rename_serial += 1;
+        let attr = format!("X{}", self.rename_serial);
+        self.attrs[i].push(attr.clone());
+        // Stored live tuples for this relation no longer match the widened
+        // schema; forget them rather than fabricate defaults.
+        self.live[i].clear();
+        ScheduledCommit {
+            at_us,
+            source: self.source_of(i),
+            update: SourceUpdate::Schema(SchemaChange::AddAttribute {
+                relation: self.names[i].clone(),
+                attr: dyno_relational::Attribute::new(attr, dyno_relational::AttrType::Int),
+                default: Value::from(0),
+            }),
+        }
+    }
+
+    fn rename_relation(&mut self, at_us: u64) -> ScheduledCommit {
+        let i = self.rng.gen_range(0..self.cfg.relation_count());
+        self.rename_serial += 1;
+        let from = self.names[i].clone();
+        let to = format!("R{i}_v{}", self.rename_serial);
+        self.names[i] = to.clone();
+        ScheduledCommit {
+            at_us,
+            source: self.source_of(i),
+            update: SourceUpdate::Schema(SchemaChange::RenameRelation { from, to }),
+        }
+    }
+
+    fn drop_attribute(&mut self, at_us: u64) -> ScheduledCommit {
+        // Pick a relation that still has a non-key attribute to drop.
+        let candidates: Vec<usize> =
+            (0..self.cfg.relation_count()).filter(|&i| !self.attrs[i].is_empty()).collect();
+        let i = candidates[self.rng.gen_range(0..candidates.len())];
+        let pos = self.rng.gen_range(0..self.attrs[i].len());
+        let attr = self.attrs[i].remove(pos);
+        self.live[i].clear();
+        ScheduledCommit {
+            at_us,
+            source: self.source_of(i),
+            update: SourceUpdate::Schema(SchemaChange::DropAttribute {
+                relation: self.names[i].clone(),
+                attr,
+            }),
+        }
+    }
+
+    /// The Figure-8 workload: `n` data updates, all buffered at time zero.
+    pub fn du_flood(&mut self, n: usize) -> Vec<ScheduledCommit> {
+        (0..n).map(|_| self.data_update(0)).collect()
+    }
+
+    /// A stream of `n` data updates spaced `gap_us` apart starting at
+    /// `start_us` (the mixed-workload experiments of Figures 10–12 trickle
+    /// DUs throughout the run).
+    pub fn du_stream(&mut self, n: usize, start_us: u64, gap_us: u64) -> Vec<ScheduledCommit> {
+        (0..n).map(|k| self.data_update(start_us + k as u64 * gap_us)).collect()
+    }
+
+    /// The full mixed workload of Figures 10–12: a DU stream plus an SC
+    /// train, generated in **chronological order** so every update targets
+    /// the schema its source will actually have at commit time (a DU
+    /// generated against a name a prior rename already retired could never
+    /// be committed by a real source).
+    pub fn mixed(
+        &mut self,
+        du_count: usize,
+        du_gap_us: u64,
+        sc_count: usize,
+        sc_start_us: u64,
+        sc_interval_us: u64,
+    ) -> Vec<ScheduledCommit> {
+        let mut timeline: Vec<(u64, EventKind)> = (0..du_count)
+            .map(|k| (k as u64 * du_gap_us, EventKind::DataUpdate))
+            .collect();
+        for k in 0..sc_count {
+            let kind =
+                if k == 0 { EventKind::DropAttribute } else { EventKind::RenameRelation };
+            timeline.push((sc_start_us + k as u64 * sc_interval_us, kind));
+        }
+        timeline.sort_by_key(|e| e.0);
+        self.realize(&timeline)
+    }
+
+    /// The Figures 10–12 schema-change train: one drop-attribute followed by
+    /// `n - 1` rename-relation changes, spaced `interval_us` apart starting
+    /// at `start_us` (paper Section 6.4).
+    pub fn sc_train(&mut self, n: usize, start_us: u64, interval_us: u64) -> Vec<ScheduledCommit> {
+        (0..n)
+            .map(|k| {
+                let at = start_us + k as u64 * interval_us;
+                if k == 0 {
+                    self.drop_attribute(at)
+                } else {
+                    self.rename_relation(at)
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testbed::build_space;
+
+    fn cfg() -> TestbedConfig {
+        TestbedConfig { tuples_per_relation: 100, ..Default::default() }
+    }
+
+    /// Every generated schedule must apply cleanly in time order — the
+    /// generator's schema tracking matches the sources' evolution.
+    #[test]
+    fn schedules_apply_cleanly() {
+        let cfg = cfg();
+        let mut space = build_space(&cfg);
+        let mut gen = WorkloadGen::new(cfg, 7);
+        let mut timeline = Vec::new();
+        for k in 0..30 {
+            timeline.push((k * 10, EventKind::DataUpdate));
+        }
+        timeline.push((95, EventKind::DropAttribute));
+        timeline.push((155, EventKind::RenameRelation));
+        timeline.push((255, EventKind::RenameRelation));
+        timeline.sort_by_key(|e| e.0);
+        let schedule = gen.realize(&timeline);
+        for c in schedule {
+            space.commit(c.source, c.update).expect("workload must be self-consistent");
+        }
+    }
+
+    #[test]
+    fn du_flood_is_all_at_zero() {
+        let mut gen = WorkloadGen::new(cfg(), 1);
+        let w = gen.du_flood(10);
+        assert_eq!(w.len(), 10);
+        assert!(w.iter().all(|c| c.at_us == 0));
+        assert!(w.iter().all(|c| !c.update.is_schema_change()));
+    }
+
+    #[test]
+    fn sc_train_shape() {
+        let mut gen = WorkloadGen::new(cfg(), 1);
+        let w = gen.sc_train(5, 1_000, 25_000_000);
+        assert_eq!(w.len(), 5);
+        assert!(matches!(
+            w[0].update,
+            SourceUpdate::Schema(SchemaChange::DropAttribute { .. })
+        ));
+        for c in &w[1..] {
+            assert!(matches!(
+                c.update,
+                SourceUpdate::Schema(SchemaChange::RenameRelation { .. })
+            ));
+        }
+        assert_eq!(w[1].at_us - w[0].at_us, 25_000_000);
+    }
+
+    #[test]
+    fn renames_chain_consistently() {
+        let cfg = cfg();
+        let mut space = build_space(&cfg);
+        let mut gen = WorkloadGen::new(cfg, 3);
+        // Many renames: later renames of the same relation must start from
+        // the previous new name.
+        let timeline: Vec<(u64, EventKind)> =
+            (0..40).map(|k| (k, EventKind::RenameRelation)).collect();
+        for c in gen.realize(&timeline) {
+            space.commit(c.source, c.update).expect("rename chains must be consistent");
+        }
+    }
+
+    #[test]
+    fn drop_attribute_exhaustion_moves_on() {
+        let cfg = cfg();
+        let mut space = build_space(&cfg);
+        let mut gen = WorkloadGen::new(cfg, 3);
+        // 18 drops = every non-key attribute of all six relations.
+        let timeline: Vec<(u64, EventKind)> =
+            (0..18).map(|k| (k, EventKind::DropAttribute)).collect();
+        for c in gen.realize(&timeline) {
+            space.commit(c.source, c.update).expect("drops must target present attributes");
+        }
+    }
+}

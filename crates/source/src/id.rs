@@ -1,0 +1,41 @@
+//! Identifiers for sources and update messages.
+
+use std::fmt;
+
+/// Identifies one autonomous data source (one "source server" in the
+/// paper's testbed).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SourceId(pub u32);
+
+impl fmt::Display for SourceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "DS{}", self.0)
+    }
+}
+
+/// Globally unique identifier of one committed source update, assigned by
+/// the wrapper in commit order across the whole source space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct UpdateId(pub u64);
+
+impl fmt::Display for UpdateId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "u{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        assert_eq!(SourceId(2).to_string(), "DS2");
+        assert_eq!(UpdateId(7).to_string(), "u7");
+    }
+
+    #[test]
+    fn ordering_follows_commit_order() {
+        assert!(UpdateId(1) < UpdateId(2));
+    }
+}

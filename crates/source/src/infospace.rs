@@ -1,0 +1,148 @@
+//! The information space: meta-knowledge about how dropped schema elements
+//! can be replaced.
+//!
+//! This models the substrate the EVE system [Lee/Nica/Rundensteiner, TKDE
+//! 2002] assumes for view synchronization: when a source drops an attribute
+//! or a relation, the integrator may know an *alternative* source that can
+//! supply equivalent information — e.g. in the paper's running example, when
+//! `Catalog.Review` is dropped, `ReaderDigest.Comments` joined on
+//! `Catalog.Title = ReaderDigest.Article` replaces it (Query (4)); and when
+//! the retailer's mapping collapses `Store`/`Item` into `StoreItems`
+//! (Figure 2), the replacement relation covers all their attributes.
+
+use dyno_relational::ColRef;
+
+/// Replacement for a dropped attribute: an attribute of another relation,
+/// reachable through an equi-join.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AttributeReplacement {
+    /// The attribute that disappeared.
+    pub dropped: ColRef,
+    /// The replacement attribute.
+    pub replacement: ColRef,
+    /// Equi-join condition linking the replacement relation into the view.
+    /// The left side refers to a relation already in the view (or to the
+    /// dropped attribute's relation); the right side to the replacement's
+    /// relation.
+    pub join: (ColRef, ColRef),
+}
+
+/// Replacement for one or more dropped relations by a single new relation
+/// with an attribute mapping.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RelationReplacement {
+    /// Relations that disappeared.
+    pub dropped: Vec<String>,
+    /// The replacement relation's name.
+    pub replacement: String,
+    /// Old column → new column, for every old column the replacement covers.
+    pub attr_map: Vec<(ColRef, ColRef)>,
+}
+
+impl RelationReplacement {
+    /// Maps an old column reference through the replacement, if covered.
+    pub fn map_col(&self, col: &ColRef) -> Option<ColRef> {
+        self.attr_map.iter().find(|(old, _)| old == col).map(|(_, new)| new.clone())
+    }
+}
+
+/// The integrator's meta-knowledge registry.
+#[derive(Debug, Clone, Default)]
+pub struct InfoSpace {
+    attr_replacements: Vec<AttributeReplacement>,
+    relation_replacements: Vec<RelationReplacement>,
+}
+
+impl InfoSpace {
+    /// Empty information space.
+    pub fn new() -> Self {
+        InfoSpace::default()
+    }
+
+    /// Registers an attribute replacement.
+    pub fn add_attr_replacement(&mut self, r: AttributeReplacement) {
+        self.attr_replacements.push(r);
+    }
+
+    /// Registers a relation replacement.
+    pub fn add_relation_replacement(&mut self, r: RelationReplacement) {
+        self.relation_replacements.push(r);
+    }
+
+    /// Finds a replacement for a dropped attribute.
+    pub fn attr_replacement(&self, dropped: &ColRef) -> Option<&AttributeReplacement> {
+        self.attr_replacements.iter().find(|r| &r.dropped == dropped)
+    }
+
+    /// Finds a replacement covering a dropped relation.
+    pub fn relation_replacement(&self, dropped: &str) -> Option<&RelationReplacement> {
+        self.relation_replacements
+            .iter()
+            .find(|r| r.dropped.iter().any(|d| d == dropped))
+    }
+
+    /// Finds the replacement entry whose `dropped` set matches the given
+    /// relations exactly (used for `ReplaceRelations` changes).
+    pub fn replacement_for_set(&self, dropped: &[String]) -> Option<&RelationReplacement> {
+        self.relation_replacements.iter().find(|r| {
+            r.dropped.len() == dropped.len() && dropped.iter().all(|d| r.dropped.contains(d))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn space() -> InfoSpace {
+        let mut s = InfoSpace::new();
+        s.add_attr_replacement(AttributeReplacement {
+            dropped: ColRef::new("Catalog", "Review"),
+            replacement: ColRef::new("ReaderDigest", "Comments"),
+            join: (ColRef::new("Catalog", "Title"), ColRef::new("ReaderDigest", "Article")),
+        });
+        s.add_relation_replacement(RelationReplacement {
+            dropped: vec!["Store".into(), "Item".into()],
+            replacement: "StoreItems".into(),
+            attr_map: vec![
+                (ColRef::new("Store", "StoreName"), ColRef::new("StoreItems", "StoreName")),
+                (ColRef::new("Item", "Book"), ColRef::new("StoreItems", "Book")),
+            ],
+        });
+        s
+    }
+
+    #[test]
+    fn attr_lookup() {
+        let s = space();
+        let r = s.attr_replacement(&ColRef::new("Catalog", "Review")).unwrap();
+        assert_eq!(r.replacement, ColRef::new("ReaderDigest", "Comments"));
+        assert!(s.attr_replacement(&ColRef::new("Catalog", "Nope")).is_none());
+    }
+
+    #[test]
+    fn relation_lookup() {
+        let s = space();
+        assert!(s.relation_replacement("Store").is_some());
+        assert!(s.relation_replacement("Item").is_some());
+        assert!(s.relation_replacement("Catalog").is_none());
+    }
+
+    #[test]
+    fn set_lookup_requires_exact_match() {
+        let s = space();
+        assert!(s.replacement_for_set(&["Item".into(), "Store".into()]).is_some());
+        assert!(s.replacement_for_set(&["Store".into()]).is_none());
+    }
+
+    #[test]
+    fn col_mapping() {
+        let s = space();
+        let r = s.relation_replacement("Store").unwrap();
+        assert_eq!(
+            r.map_col(&ColRef::new("Item", "Book")),
+            Some(ColRef::new("StoreItems", "Book"))
+        );
+        assert_eq!(r.map_col(&ColRef::new("Item", "Ghost")), None);
+    }
+}

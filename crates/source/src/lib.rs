@@ -1,0 +1,23 @@
+//! # dyno-source — autonomous data sources and wrappers
+//!
+//! The "remote source space" of the paper's framework (Figure 3): source
+//! servers that autonomously commit data updates and schema changes, keep
+//! commit logs with version history, and answer queries against their
+//! **current** state; wrappers that stamp committed updates into
+//! [`UpdateMessage`]s; and the EVE-style [`InfoSpace`] of replacement
+//! meta-knowledge that view synchronization consults when schema elements
+//! are dropped.
+
+#![warn(missing_docs)]
+
+pub mod id;
+pub mod infospace;
+pub mod message;
+pub mod server;
+pub mod space;
+
+pub use id::{SourceId, UpdateId};
+pub use infospace::{AttributeReplacement, InfoSpace, RelationReplacement};
+pub use message::UpdateMessage;
+pub use server::{LogEntry, SourceServer};
+pub use space::{SourceSpace, UnionProvider};

@@ -1,0 +1,62 @@
+//! Update messages — what wrappers emit toward the view manager's UMQ.
+
+use std::fmt;
+
+use dyno_relational::SourceUpdate;
+
+use crate::id::{SourceId, UpdateId};
+
+/// A committed source update as reported by a wrapper.
+///
+/// The wrapper is "intelligent" (paper Section 2): it reports not only the
+/// raw data delta but also schema-level changes, the committing source, and
+/// that source's local commit version (used for semantic-dependency
+/// ordering).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UpdateMessage {
+    /// Global id, assigned in commit order.
+    pub id: UpdateId,
+    /// The committing source.
+    pub source: SourceId,
+    /// The source's local version after this commit (1-based).
+    pub source_version: u64,
+    /// The update payload.
+    pub update: SourceUpdate,
+}
+
+impl UpdateMessage {
+    /// True iff this message carries a schema change.
+    pub fn is_schema_change(&self) -> bool {
+        self.update.is_schema_change()
+    }
+
+    /// Relations this update touches (names at commit time).
+    pub fn touched_relations(&self) -> Vec<&str> {
+        self.update.touched_relations()
+    }
+}
+
+impl fmt::Display for UpdateMessage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}@{}#{}: {}", self.id, self.source, self.source_version, self.update)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dyno_relational::SchemaChange;
+
+    #[test]
+    fn message_accessors() {
+        let m = UpdateMessage {
+            id: UpdateId(1),
+            source: SourceId(0),
+            source_version: 3,
+            update: SourceUpdate::Schema(SchemaChange::DropRelation { relation: "R".into() }),
+        };
+        assert!(m.is_schema_change());
+        assert_eq!(m.touched_relations(), vec!["R"]);
+        assert!(m.to_string().contains("DS0"));
+    }
+}

@@ -1,0 +1,211 @@
+//! An autonomous source server: a catalog plus a committed-update log with
+//! version history.
+//!
+//! Sources commit updates without coordinating with the view manager (the
+//! defining property of the loosely-coupled environment). Queries are always
+//! answered against the **current** state — this is what makes concurrent
+//! updates corrupt or break in-flight maintenance queries.
+//!
+//! The server keeps its commit log and sparse snapshots (one per schema
+//! change), so any historical state can be reconstructed. The view-adaptation
+//! algorithm uses this to obtain the pre-image of a replaced relation
+//! (`ΔRᵢ = Rᵢⁿᵉʷ − Rᵢ` in paper Equation 6); the paper attributes this
+//! capability to the "intelligent wrapper".
+
+use dyno_relational::{Catalog, RelationalError, SourceUpdate};
+
+use crate::id::SourceId;
+
+/// One committed update with the version it produced.
+#[derive(Debug, Clone)]
+pub struct LogEntry {
+    /// The source-local version after applying the update (1-based).
+    pub version: u64,
+    /// The update applied.
+    pub update: SourceUpdate,
+}
+
+/// An autonomous source server.
+#[derive(Debug, Clone)]
+pub struct SourceServer {
+    id: SourceId,
+    name: String,
+    catalog: Catalog,
+    version: u64,
+    log: Vec<LogEntry>,
+    /// Sparse snapshots `(version, catalog-at-that-version)`; always contains
+    /// version 0, plus one entry per committed schema change.
+    snapshots: Vec<(u64, Catalog)>,
+}
+
+impl SourceServer {
+    /// Creates a server over an initial catalog (version 0).
+    pub fn new(id: SourceId, name: impl Into<String>, catalog: Catalog) -> Self {
+        let snapshots = vec![(0, catalog.clone())];
+        SourceServer { id, name: name.into(), catalog, version: 0, log: Vec::new(), snapshots }
+    }
+
+    /// The server's id.
+    pub fn id(&self) -> SourceId {
+        self.id
+    }
+
+    /// The server's display name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The current catalog (what queries run against).
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// The current source-local version.
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// The commit log.
+    pub fn log(&self) -> &[LogEntry] {
+        &self.log
+    }
+
+    /// Commits an update autonomously. On success the catalog reflects the
+    /// update and the new version is returned; on failure nothing changes.
+    pub fn commit(&mut self, update: SourceUpdate) -> Result<u64, RelationalError> {
+        self.catalog.apply_update(&update)?;
+        self.version += 1;
+        let is_sc = update.is_schema_change();
+        self.log.push(LogEntry { version: self.version, update });
+        if is_sc {
+            self.snapshots.push((self.version, self.catalog.clone()));
+        }
+        Ok(self.version)
+    }
+
+    /// Reconstructs the catalog as of `version` by replaying the log from
+    /// the nearest earlier snapshot.
+    pub fn state_at(&self, version: u64) -> Result<Catalog, RelationalError> {
+        if version > self.version {
+            return Err(RelationalError::InvalidQuery {
+                reason: format!(
+                    "source {} asked for future version {version} (current {})",
+                    self.id, self.version
+                ),
+            });
+        }
+        let (snap_v, snap) = self
+            .snapshots
+            .iter()
+            .rev()
+            .find(|(v, _)| *v <= version)
+            .expect("snapshot at version 0 always exists");
+        let mut catalog = snap.clone();
+        for entry in &self.log {
+            if entry.version > *snap_v && entry.version <= version {
+                catalog.apply_update(&entry.update)?;
+            }
+        }
+        Ok(catalog)
+    }
+
+    /// The updates committed after `version`, in commit order.
+    pub fn updates_since(&self, version: u64) -> impl Iterator<Item = &LogEntry> {
+        self.log.iter().filter(move |e| e.version > version)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dyno_relational::{
+        AttrType, DataUpdate, Delta, Relation, Schema, SchemaChange, Tuple, Value,
+    };
+
+    fn server() -> SourceServer {
+        let mut c = Catalog::new();
+        c.add_relation(
+            Relation::from_tuples(
+                Schema::of("R", &[("a", AttrType::Int), ("b", AttrType::Str)]),
+                [Tuple::of([Value::from(1), Value::str("x")])],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        SourceServer::new(SourceId(0), "S0", c)
+    }
+
+    fn insert(server: &mut SourceServer, a: i64, b: &str) -> u64 {
+        let schema = server.catalog().get("R").unwrap().schema().clone();
+        server
+            .commit(SourceUpdate::Data(DataUpdate::new(
+                Delta::inserts(schema, [Tuple::of([Value::from(a), Value::str(b)])]).unwrap(),
+            )))
+            .unwrap()
+    }
+
+    #[test]
+    fn commit_advances_version() {
+        let mut s = server();
+        assert_eq!(insert(&mut s, 2, "y"), 1);
+        assert_eq!(s.version(), 1);
+        assert_eq!(s.catalog().get("R").unwrap().len(), 2);
+    }
+
+    #[test]
+    fn failed_commit_is_clean() {
+        let mut s = server();
+        let err = s.commit(SourceUpdate::Schema(SchemaChange::DropRelation {
+            relation: "Ghost".into(),
+        }));
+        assert!(err.is_err());
+        assert_eq!(s.version(), 0);
+        assert!(s.log().is_empty());
+    }
+
+    #[test]
+    fn state_at_reconstructs_history() {
+        let mut s = server();
+        insert(&mut s, 2, "y");
+        s.commit(SourceUpdate::Schema(SchemaChange::DropAttribute {
+            relation: "R".into(),
+            attr: "b".into(),
+        }))
+        .unwrap();
+        insert_narrow(&mut s, 3);
+
+        let v0 = s.state_at(0).unwrap();
+        assert_eq!(v0.get("R").unwrap().len(), 1);
+        assert_eq!(v0.get("R").unwrap().schema().arity(), 2);
+
+        let v1 = s.state_at(1).unwrap();
+        assert_eq!(v1.get("R").unwrap().len(), 2);
+
+        let v2 = s.state_at(2).unwrap();
+        assert_eq!(v2.get("R").unwrap().schema().arity(), 1);
+        assert_eq!(v2.get("R").unwrap().len(), 2);
+
+        let v3 = s.state_at(3).unwrap();
+        assert_eq!(v3.get("R").unwrap().len(), 3);
+
+        assert!(s.state_at(4).is_err(), "future versions are unknowable");
+    }
+
+    fn insert_narrow(s: &mut SourceServer, a: i64) {
+        let schema = s.catalog().get("R").unwrap().schema().clone();
+        s.commit(SourceUpdate::Data(DataUpdate::new(
+            Delta::inserts(schema, [Tuple::of([Value::from(a)])]).unwrap(),
+        )))
+        .unwrap();
+    }
+
+    #[test]
+    fn updates_since_filters() {
+        let mut s = server();
+        insert(&mut s, 2, "y");
+        insert(&mut s, 3, "z");
+        assert_eq!(s.updates_since(1).count(), 1);
+        assert_eq!(s.updates_since(0).count(), 2);
+        assert_eq!(s.updates_since(2).count(), 0);
+    }
+}

@@ -1,0 +1,736 @@
+//! View adaptation and merged-batch processing (paper Section 5 and
+//! Equation 6).
+//!
+//! When Dyno merges a dependency cycle, the resulting batch — data updates
+//! and schema changes from several sources — must be maintained **atomically**:
+//!
+//! 1. *preprocess*: split the batch per source, compose its schema changes
+//!    (`rename A→B` ∘ `rename B→C` ⇒ `rename A→C`; implemented in
+//!    `dyno_relational::ddl::compose`);
+//! 2. *rewrite*: synchronize the view definition through the composed
+//!    changes (module [`crate::vs`]), yielding `V′`;
+//! 3. *homogenize*: batch data updates may be schema-inconsistent when
+//!    schema changes interleave them (the paper's example: `insert (3,4)`,
+//!    `drop first attribute`, `insert (5)` — homogenized to
+//!    `insert (4),(5)`); [`homogenize_delta`] maps each delta through the
+//!    composed changes into the final schema;
+//! 4. *adapt*: compute the new extent. When the batch's schema changes are
+//!    renames/additions (the view's shape is preserved), the **incremental**
+//!    path computes `ΔV` by paper Equation 6 over the homogenized deltas
+//!    and applies it — writing only `|ΔV|` tuples to the view. Otherwise
+//!    (relation replacements, attribute replacements pulling in new
+//!    relations, column pruning) the **recompute** path evaluates `V′` over
+//!    the batch-point source states wholesale. Both paths fetch through
+//!    real (breakable!) maintenance queries and roll back the effect of
+//!    *pending-but-unprocessed* concurrent data updates locally — the same
+//!    compensation idea SWEEP uses.
+
+use std::collections::HashMap;
+
+use dyno_relational::{
+    ProjItem, QueryResult, RelationalError, Schema, SchemaChange, SignedBag, SourceUpdate,
+    SpjQuery,
+};
+use dyno_source::UpdateMessage;
+
+use crate::engine::{schema_from_bag, LocalProvider, SourcePort};
+use crate::vm::{MaintFailure, ViewDelta};
+use crate::vs::{synchronize_all, VsError};
+use crate::viewdef::ViewDefinition;
+
+/// The result of adapting the view for one (possibly merged) batch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Adapted {
+    /// The extent was recomputed wholesale at the batch point.
+    Replaced {
+        /// The rewritten view definition.
+        view: ViewDefinition,
+        /// Output column names of the adapted view.
+        cols: Vec<String>,
+        /// The full replacement extent.
+        extent: SignedBag,
+    },
+    /// The extent change was computed incrementally (paper Equation 6 over
+    /// homogenized batch deltas); only `delta` needs writing to the view.
+    Incremental {
+        /// The rewritten view definition (same output columns as before).
+        view: ViewDefinition,
+        /// The signed change to the extent.
+        delta: ViewDelta,
+    },
+}
+
+impl Adapted {
+    /// The rewritten view definition.
+    pub fn view(&self) -> &ViewDefinition {
+        match self {
+            Adapted::Replaced { view, .. } | Adapted::Incremental { view, .. } => view,
+        }
+    }
+}
+
+/// Which adaptation paths the view manager may use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AdaptationMode {
+    /// Incremental (Equation 6) when the batch preserves the view's shape,
+    /// recompute otherwise.
+    #[default]
+    Auto,
+    /// Always recompute — the ablation baseline for the incremental path.
+    RecomputeOnly,
+}
+
+/// Why batch adaptation failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BatchFailure {
+    /// A maintenance query broke against a concurrently changed schema.
+    Broken(MaintFailure),
+    /// The view cannot be synchronized over the batch's schema changes.
+    Undefinable(VsError),
+    /// Internal invariant violation.
+    Internal(RelationalError),
+}
+
+impl From<MaintFailure> for BatchFailure {
+    fn from(f: MaintFailure) -> Self {
+        match f {
+            MaintFailure::Internal(e) => BatchFailure::Internal(e),
+            broken => BatchFailure::Broken(broken),
+        }
+    }
+}
+
+/// Adapts the view through a batch of updates.
+///
+/// * `pending` — received-but-unprocessed messages *excluding* this batch.
+/// * Returns the adaptation plus any messages that arrived during the
+///   maintenance queries (to be enqueued by the caller).
+pub fn adapt_batch(
+    view: &ViewDefinition,
+    batch: &[&UpdateMessage],
+    pending: &[UpdateMessage],
+    info: &dyno_source::InfoSpace,
+    mode: AdaptationMode,
+    port: &mut dyn SourcePort,
+) -> (Result<Adapted, BatchFailure>, Vec<UpdateMessage>) {
+    let mut drained = Vec::new();
+    let result = adapt_inner(view, batch, pending, info, mode, port, &mut drained);
+    (result, drained)
+}
+
+fn adapt_inner(
+    view: &ViewDefinition,
+    batch: &[&UpdateMessage],
+    pending: &[UpdateMessage],
+    info: &dyno_source::InfoSpace,
+    mode: AdaptationMode,
+    port: &mut dyn SourcePort,
+    drained: &mut Vec<UpdateMessage>,
+) -> Result<Adapted, BatchFailure> {
+    // Step 1: compose the batch's schema changes (in commit order — the
+    // batch preserves queue order, which preserves per-source commit order).
+    let schema_changes: Vec<SchemaChange> = batch
+        .iter()
+        .filter_map(|m| match &m.update {
+            SourceUpdate::Schema(sc) => Some(sc.clone()),
+            SourceUpdate::Data(_) => None,
+        })
+        .collect();
+    let composed = dyno_relational::compose(&schema_changes);
+
+    // Step 2: rewrite the view definition.
+    let new_view =
+        synchronize_all(view, &composed, info).map_err(BatchFailure::Undefinable)?;
+    port.charge_local(composed.len() as u64);
+
+    if mode == AdaptationMode::Auto && incremental_applicable(view, &new_view, &composed) {
+        adapt_incremental(&new_view, batch, pending, port, drained)
+    } else {
+        adapt_recompute(new_view, batch, pending, port, drained)
+    }
+}
+
+/// The recompute path: fetch batch-point states for every relation of `V′`
+/// and evaluate it wholesale. Each fetch is a real maintenance query and
+/// may break.
+fn adapt_recompute(
+    new_view: ViewDefinition,
+    batch: &[&UpdateMessage],
+    pending: &[UpdateMessage],
+    port: &mut dyn SourcePort,
+    drained: &mut Vec<UpdateMessage>,
+) -> Result<Adapted, BatchFailure> {
+    let batch_ids: Vec<_> = batch.iter().map(|m| m.id).collect();
+    let mut states = LocalProvider::new();
+    for table in &new_view.query.tables {
+        let (schema, rows) =
+            fetch_batch_point_state(&new_view, table, &batch_ids, pending, port, drained)?;
+        states.insert(schema, rows);
+    }
+
+    // Evaluate V′ over the batch-point states.
+    let result = dyno_relational::eval(&new_view.query, &states)
+        .map_err(BatchFailure::Internal)?;
+    port.charge_local(result.weight());
+    if !result.rows.is_non_negative() {
+        return Err(BatchFailure::Internal(RelationalError::InvalidQuery {
+            reason: "recomputed view extent has negative multiplicities".into(),
+        }));
+    }
+    Ok(Adapted::Replaced { view: new_view, cols: result.cols, extent: result.rows })
+}
+
+/// Fetches one relation's current extent projected to the view's referenced
+/// columns, rolled back to the batch point by subtracting pending non-batch
+/// data updates (anomaly-type-(2) compensation). The batch's own effects —
+/// its data updates and committed schema changes — remain included.
+fn fetch_batch_point_state(
+    new_view: &ViewDefinition,
+    table: &str,
+    batch_ids: &[dyno_source::UpdateId],
+    pending: &[UpdateMessage],
+    port: &mut dyn SourcePort,
+    drained: &mut Vec<UpdateMessage>,
+) -> Result<(Schema, SignedBag), BatchFailure> {
+    let referenced = new_view.cols_of_relation(table);
+    let q = SpjQuery {
+        tables: vec![table.to_string()],
+        projection: referenced.iter().map(|c| ProjItem::plain(c.clone())).collect(),
+        predicates: Vec::new(),
+    };
+    let fetched = port
+        .execute(&q, &[])
+        .map_err(|e| BatchFailure::from(MaintFailure::from_query(&q, e)))?;
+    drained.extend(port.drain_arrivals());
+
+    let mut rows = fetched.rows;
+    let col_names: Vec<String> = fetched.cols.clone();
+    for m in pending.iter().chain(drained.iter()) {
+        if batch_ids.contains(&m.id) {
+            continue;
+        }
+        if let SourceUpdate::Data(du) = &m.update {
+            if du.relation == *table {
+                let projected =
+                    du.delta.project_to(&col_names).map_err(classify_rollback_error)?;
+                port.charge_local(projected.weight());
+                rows.merge(&projected.rows().negated());
+            }
+        }
+    }
+    Ok((narrow_schema(table, &col_names, &rows), rows))
+}
+
+/// The incremental path applies when the batch's composed schema changes
+/// preserve the view's *shape*: same relation count (after renames), same
+/// output columns, and no relation drops/replacements. Renames, additive
+/// changes, and drops of attributes the view never referenced all qualify.
+fn incremental_applicable(
+    old: &ViewDefinition,
+    new: &ViewDefinition,
+    composed: &[SchemaChange],
+) -> bool {
+    if old.query.tables.len() != new.query.tables.len() {
+        return false;
+    }
+    if old.output_cols() != new.output_cols() {
+        return false;
+    }
+    composed.iter().all(|c| {
+        matches!(
+            c,
+            SchemaChange::RenameRelation { .. }
+                | SchemaChange::RenameAttribute { .. }
+                | SchemaChange::AddAttribute { .. }
+                | SchemaChange::CreateRelation { .. }
+                | SchemaChange::DropAttribute { .. }
+        )
+    })
+}
+
+/// The incremental path (paper Section 5 + Equation 6): homogenize the
+/// batch's data updates into the final schema, derive per-relation deltas,
+/// reconstruct old states by rolling the fetched current states back past
+/// the batch's own deltas, and compute `ΔV` by Equation 6.
+fn adapt_incremental(
+    new_view: &ViewDefinition,
+    batch: &[&UpdateMessage],
+    pending: &[UpdateMessage],
+    port: &mut dyn SourcePort,
+    drained: &mut Vec<UpdateMessage>,
+) -> Result<Adapted, BatchFailure> {
+    let batch_ids: Vec<_> = batch.iter().map(|m| m.id).collect();
+
+    // Homogenize and group the batch's data updates by final relation name.
+    // Each delta must be mapped through the *raw* schema changes that follow
+    // it in the batch (batch order preserves per-source commit order): the
+    // composed sequence has collapsed away intermediate relation names that
+    // deltas committed mid-chain still carry.
+    let mut batch_deltas: HashMap<String, dyno_relational::Delta> = HashMap::new();
+    for (i, m) in batch.iter().enumerate() {
+        if let SourceUpdate::Data(du) = &m.update {
+            let later_scs: Vec<SchemaChange> = batch[i + 1..]
+                .iter()
+                .filter_map(|m| match &m.update {
+                    SourceUpdate::Schema(sc) => Some(sc.clone()),
+                    SourceUpdate::Data(_) => None,
+                })
+                .collect();
+            let homogenized =
+                homogenize_delta(&du.delta, &later_scs).map_err(BatchFailure::Internal)?;
+            port.charge_local(homogenized.weight());
+            let name = homogenized.schema().relation.clone();
+            if !new_view.references_relation(&name) {
+                continue; // irrelevant to this view
+            }
+            match batch_deltas.entry(name) {
+                std::collections::hash_map::Entry::Occupied(mut e) => {
+                    e.get_mut().merge(&homogenized).map_err(BatchFailure::Internal)?;
+                }
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    e.insert(homogenized);
+                }
+            }
+        }
+    }
+
+    // Fetch batch-point states, then roll the batch's own deltas back out to
+    // obtain the *old* states and the referenced-column-projected deltas.
+    let mut old_states: HashMap<String, (Schema, SignedBag)> = HashMap::new();
+    let mut deltas: HashMap<String, SignedBag> = HashMap::new();
+    for table in &new_view.query.tables {
+        let (schema, mut rows) =
+            fetch_batch_point_state(new_view, table, &batch_ids, pending, port, drained)?;
+        if let Some(delta) = batch_deltas.get(table) {
+            let cols: Vec<String> =
+                schema.attrs().iter().map(|a| a.name.clone()).collect();
+            let projected =
+                delta.project_to(&cols).map_err(classify_rollback_error)?;
+            rows.merge(&projected.rows().negated());
+            deltas.insert(table.clone(), projected.rows().clone());
+        }
+        old_states.insert(table.clone(), (schema, rows));
+    }
+
+    let dv = equation6_delta(&new_view.query, &old_states, &deltas)
+        .map_err(BatchFailure::Internal)?;
+    port.charge_local(dv.weight());
+    Ok(Adapted::Incremental {
+        view: new_view.clone(),
+        delta: ViewDelta { cols: new_view.output_cols(), rows: dv.rows },
+    })
+}
+
+/// Homogenizes a data update's delta through a composed schema-change
+/// sequence (paper Section 5): relation and attribute renames are followed,
+/// dropped attributes are projected out, and attributes added later are
+/// filled with their declared defaults — so deltas committed under different
+/// schema versions become union-compatible in the final schema.
+pub fn homogenize_delta(
+    delta: &dyno_relational::Delta,
+    composed: &[SchemaChange],
+) -> Result<dyno_relational::Delta, RelationalError> {
+    let mut name = delta.schema().relation.clone();
+    let mut schema = delta.schema().clone();
+    let mut rows = delta.rows().clone();
+    for change in composed {
+        match change {
+            SchemaChange::RenameRelation { from, to } if *from == name => {
+                name = to.clone();
+                schema = schema.renamed(to.clone());
+            }
+            SchemaChange::RenameAttribute { relation, from, to }
+                if *relation == name && schema.has_attr(from) =>
+            {
+                schema = schema.with_attr_renamed(from, to)?;
+            }
+            SchemaChange::DropAttribute { relation, attr }
+                if *relation == name && schema.has_attr(attr) =>
+            {
+                let idx = schema.require(attr)?;
+                let keep: Vec<usize> =
+                    (0..schema.arity()).filter(|&i| i != idx).collect();
+                schema = schema.with_attr_dropped(attr)?;
+                rows = rows.project(&keep);
+            }
+            SchemaChange::AddAttribute { relation, attr, default }
+                if *relation == name && !schema.has_attr(&attr.name) =>
+            {
+                schema = schema.with_attr_added(attr.clone())?;
+                let mut widened = SignedBag::new();
+                for (t, c) in rows.iter() {
+                    let mut vals = t.values().to_vec();
+                    vals.push(default.clone());
+                    widened.add(dyno_relational::Tuple::new(vals), c);
+                }
+                rows = widened;
+            }
+            _ => {}
+        }
+    }
+    dyno_relational::Delta::from_rows(schema, rows.iter().map(|(t, c)| (t.clone(), c)))
+}
+
+/// Rollback projection failures: a missing attribute means a concurrent
+/// schema change drifted under us — a broken-query situation, not a bug.
+fn classify_rollback_error(e: RelationalError) -> BatchFailure {
+    if e.is_schema_conflict() {
+        BatchFailure::Broken(MaintFailure::Broken { query: "<delta rollback>".into(), error: e })
+    } else {
+        BatchFailure::Internal(e)
+    }
+}
+
+/// Builds the schema of a fetched, projected state (the fetch projects to
+/// the view's referenced columns, so attribute names are the plain source
+/// names).
+fn narrow_schema(table: &str, cols: &[String], rows: &SignedBag) -> Schema {
+    schema_from_bag(table, cols, rows)
+}
+
+/// Paper Equation 6: the incremental delta of an n-way join view given, for
+/// each relation, its old state and its delta. Term `i` joins relations
+/// `1..i` at their **new** states, relation `i`'s **delta**, and relations
+/// `i+1..n` at their **old** states:
+///
+/// ```text
+/// ΔV = ΔR₁ ⋈ R₂ ⋈ … ⋈ Rₙ
+///    + R₁ⁿᵉʷ ⋈ ΔR₂ ⋈ R₃ ⋈ … ⋈ Rₙ
+///    + …
+///    + R₁ⁿᵉʷ ⋈ … ⋈ Rₙ₋₁ⁿᵉʷ ⋈ ΔRₙ
+/// ```
+///
+/// `old` maps each of the query's tables to `(schema, rows)` at the state
+/// the view currently reflects; `deltas` maps table name to its signed
+/// change (tables absent from `deltas` are unchanged). The query is
+/// evaluated once per changed relation, entirely locally.
+///
+/// ```
+/// use std::collections::HashMap;
+/// use dyno_relational::{AttrType, Schema, SignedBag, SpjQuery, Tuple};
+/// use dyno_view::equation6_delta;
+///
+/// let schema = |n: &str| Schema::of(n, &[("k", AttrType::Int)]);
+/// let row = |k: i64| Tuple::of([k]);
+/// let bag = |ks: &[i64]| ks.iter().map(|&k| (row(k), 1)).collect::<SignedBag>();
+///
+/// let query = SpjQuery::over(["R", "S"])
+///     .select("R", "k")
+///     .join_eq(("R", "k"), ("S", "k"))
+///     .build();
+/// let mut old = HashMap::new();
+/// old.insert("R".to_string(), (schema("R"), bag(&[1, 2])));
+/// old.insert("S".to_string(), (schema("S"), bag(&[2, 3])));
+/// // R gains key 3: the join gains one row.
+/// let mut deltas = HashMap::new();
+/// deltas.insert("R".to_string(), bag(&[3]));
+///
+/// let dv = equation6_delta(&query, &old, &deltas).unwrap();
+/// assert_eq!(dv.rows.count(&row(3)), 1);
+/// assert_eq!(dv.weight(), 1);
+/// ```
+pub fn equation6_delta(
+    query: &SpjQuery,
+    old: &HashMap<String, (Schema, SignedBag)>,
+    deltas: &HashMap<String, SignedBag>,
+) -> Result<QueryResult, RelationalError> {
+    let tables = &query.tables;
+    for t in tables {
+        if !old.contains_key(t) {
+            return Err(RelationalError::UnknownRelation { relation: t.clone() });
+        }
+    }
+    let empty_cols: Vec<String> = query.projection.iter().map(|p| p.output.clone()).collect();
+    let mut total = QueryResult::empty(empty_cols);
+
+    for (i, table_i) in tables.iter().enumerate() {
+        let Some(delta_i) = deltas.get(table_i) else {
+            continue; // unchanged relation contributes no term
+        };
+        if delta_i.is_empty() {
+            continue;
+        }
+        let mut provider = LocalProvider::new();
+        for (j, table_j) in tables.iter().enumerate() {
+            let (schema, old_rows) = &old[table_j];
+            let rows = if j < i {
+                // New state: old + delta.
+                let mut r = old_rows.clone();
+                if let Some(d) = deltas.get(table_j) {
+                    r.merge(d);
+                }
+                r
+            } else if j == i {
+                delta_i.clone()
+            } else {
+                old_rows.clone()
+            };
+            provider.insert(schema.clone(), rows);
+        }
+        let term = dyno_relational::eval(query, &provider)?;
+        total.rows.merge(&term.rows);
+        total.cols = term.cols;
+    }
+    Ok(total)
+}
+
+/// Convenience: applies Equation 6 and wraps the result as a [`ViewDelta`].
+pub fn equation6_view_delta(
+    view: &ViewDefinition,
+    old: &HashMap<String, (Schema, SignedBag)>,
+    deltas: &HashMap<String, SignedBag>,
+) -> Result<ViewDelta, RelationalError> {
+    let out = equation6_delta(&view.query, old, deltas)?;
+    Ok(ViewDelta { cols: view.output_cols(), rows: out.rows })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::InProcessPort;
+    use crate::testkit::*;
+    use dyno_relational::{Tuple, Value};
+    use dyno_source::SourceId;
+
+    fn states_of(space: &dyno_source::SourceSpace, view: &ViewDefinition)
+        -> HashMap<String, (Schema, SignedBag)> {
+        let mut out = HashMap::new();
+        for t in &view.query.tables {
+            let sid = space.locate(t).unwrap();
+            let rel = space.server(sid).catalog().get(t).unwrap();
+            out.insert(t.clone(), (rel.schema().clone(), rel.rows().clone()));
+        }
+        out
+    }
+
+    #[test]
+    fn equation6_matches_recompute_for_inserts() {
+        let space = bookinfo_space();
+        let view = bookinfo_view();
+        let old = states_of(&space, &view);
+        // Delta: insert an item matching Store 10 and the Guide catalog row.
+        let du = insert_item(10, "Data Integration Guide", "Adams", 36);
+        let mut deltas = HashMap::new();
+        deltas.insert("Item".to_string(), du.delta.rows().clone());
+
+        let dv = equation6_delta(&view.query, &old, &deltas).unwrap();
+
+        // Recompute: apply delta and evaluate fully, then diff.
+        let mut provider_old = LocalProvider::new();
+        let mut provider_new = LocalProvider::new();
+        for (name, (schema, rows)) in &old {
+            provider_old.insert(schema.clone(), rows.clone());
+            let mut r = rows.clone();
+            if let Some(d) = deltas.get(name) {
+                r.merge(d);
+            }
+            provider_new.insert(schema.clone(), r);
+        }
+        let before = dyno_relational::eval(&view.query, &provider_old).unwrap();
+        let after = dyno_relational::eval(&view.query, &provider_new).unwrap();
+        assert_eq!(dv.rows, after.rows.diff(&before.rows));
+        assert_eq!(dv.weight(), 1);
+    }
+
+    #[test]
+    fn equation6_multi_relation_deltas() {
+        let space = bookinfo_space();
+        let view = bookinfo_view();
+        let old = states_of(&space, &view);
+        let mut deltas = HashMap::new();
+        // Insert a store and an item that join with each other.
+        let mut store_d = SignedBag::new();
+        store_d.add(Tuple::of([Value::from(99), Value::str("Powell's")]), 1);
+        let mut item_d = SignedBag::new();
+        item_d.add(
+            Tuple::of([
+                Value::from(99),
+                Value::str("Databases"),
+                Value::str("Ullman"),
+                Value::from(45),
+            ]),
+            1,
+        );
+        // And delete the original matching item.
+        item_d.add(
+            Tuple::of([
+                Value::from(1),
+                Value::str("Databases"),
+                Value::str("Ullman"),
+                Value::from(50),
+            ]),
+            -1,
+        );
+        deltas.insert("Store".to_string(), store_d);
+        deltas.insert("Item".to_string(), item_d);
+
+        let dv = equation6_delta(&view.query, &old, &deltas).unwrap();
+        // Net effect: one row leaves (old item), one arrives (new pair).
+        assert_eq!(dv.rows.net(), 0);
+        assert_eq!(dv.rows.weight(), 2);
+    }
+
+    #[test]
+    fn homogenize_matches_paper_example() {
+        // Paper Section 5: "insert (3,4)", "drop first attribute",
+        // "insert (5)" — the first insert homogenizes to "insert (4)".
+        let schema2 = Schema::of("T", &[("a", dyno_relational::AttrType::Int), ("b", dyno_relational::AttrType::Int)]);
+        let early = dyno_relational::Delta::inserts(schema2, [Tuple::of([3i64, 4])]).unwrap();
+        let composed = vec![SchemaChange::DropAttribute { relation: "T".into(), attr: "a".into() }];
+        let h = homogenize_delta(&early, &composed).unwrap();
+        assert_eq!(h.schema().arity(), 1);
+        assert_eq!(h.rows().count(&Tuple::of([4i64])), 1);
+    }
+
+    #[test]
+    fn homogenize_follows_renames_and_adds() {
+        let schema = Schema::of("T", &[("a", dyno_relational::AttrType::Int)]);
+        let delta = dyno_relational::Delta::inserts(schema, [Tuple::of([1i64])]).unwrap();
+        let composed = vec![
+            SchemaChange::RenameRelation { from: "T".into(), to: "T2".into() },
+            SchemaChange::RenameAttribute { relation: "T2".into(), from: "a".into(), to: "x".into() },
+            SchemaChange::AddAttribute {
+                relation: "T2".into(),
+                attr: dyno_relational::Attribute::new("y", dyno_relational::AttrType::Int),
+                default: Value::from(0),
+            },
+        ];
+        let h = homogenize_delta(&delta, &composed).unwrap();
+        assert_eq!(h.schema().relation, "T2");
+        assert!(h.schema().has_attr("x") && h.schema().has_attr("y"));
+        assert_eq!(h.rows().count(&Tuple::of([1i64, 0])), 1);
+    }
+
+    #[test]
+    fn rename_batch_takes_incremental_path() {
+        // A rename plus a same-source DU merge into a batch whose composed
+        // changes preserve the view's shape → Equation-6 incremental path.
+        let mut space = bookinfo_space();
+        let view = bookinfo_view();
+        let du = insert_item(10, "Data Integration Guide", "Adams", 36);
+        let m1 = space.commit(SourceId(0), SourceUpdate::Data(du)).unwrap();
+        let m2 = space
+            .commit(
+                SourceId(0),
+                SourceUpdate::Schema(SchemaChange::RenameRelation {
+                    from: "Item".into(),
+                    to: "Item2".into(),
+                }),
+            )
+            .unwrap();
+        let info = space.info().clone();
+        let mut port = InProcessPort::new(space);
+        let (res, _) =
+            adapt_batch(&view, &[&m1, &m2], &[], &info, AdaptationMode::Auto, &mut port);
+        match res.unwrap() {
+            Adapted::Incremental { view: v, delta } => {
+                assert!(v.references_relation("Item2"));
+                assert_eq!(delta.rows.net(), 1, "one new view tuple from the insert");
+            }
+            other => panic!("expected incremental adaptation, got {other:?}"),
+        }
+        // Forcing recompute yields the same definition and a full extent
+        // whose content equals old extent + delta.
+        let (res2, _) = adapt_batch(
+            &view,
+            &[&m1, &m2],
+            &[],
+            &info,
+            AdaptationMode::RecomputeOnly,
+            &mut port,
+        );
+        match res2.unwrap() {
+            Adapted::Replaced { extent, .. } => assert_eq!(extent.weight(), 2),
+            other => panic!("RecomputeOnly must recompute, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn adapt_batch_reproduces_query5_scenario() {
+        // Section 3.5 / Figure 4: DU1 + SC1 (StoreItems) + SC2 (drop Review)
+        // merged into one batch; the adapted view is Query (5) and its
+        // extent reflects all three updates.
+        let mut space = bookinfo_space();
+        let view = bookinfo_view();
+        let du1 = insert_item(10, "Data Integration Guide", "Adams", 36);
+        let m1 = space.commit(SourceId(0), SourceUpdate::Data(du1)).unwrap();
+        let store = space.server(SourceId(0)).catalog().get("Store").unwrap().clone();
+        let item = space.server(SourceId(0)).catalog().get("Item").unwrap().clone();
+        let sc1 = storeitems_change(&store, &item);
+        let m2 = space.commit(SourceId(0), SourceUpdate::Schema(sc1)).unwrap();
+        let sc2 = SchemaChange::DropAttribute { relation: "Catalog".into(), attr: "Review".into() };
+        let m3 = space.commit(SourceId(1), SourceUpdate::Schema(sc2)).unwrap();
+
+        let info = space.info().clone();
+        let mut port = InProcessPort::new(space);
+        let batch = [&m1, &m2, &m3];
+        let (res, drained) =
+            adapt_batch(&view, &batch, &[], &info, AdaptationMode::Auto, &mut port);
+        assert!(drained.is_empty());
+        let adapted = res.unwrap();
+        assert!(adapted.view().references_relation("StoreItems"));
+        assert!(adapted.view().references_relation("ReaderDigest"));
+        // A relation replacement forces the recompute path; the extent holds
+        // 'Databases' (Store 1) and 'Data Integration Guide' (Store 10),
+        // both joining Catalog and ReaderDigest.
+        match adapted {
+            Adapted::Replaced { extent, .. } => assert_eq!(extent.weight(), 2),
+            other => panic!("expected recompute for a relation replacement, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn adapt_batch_breaks_on_concurrent_rename() {
+        // A schema change outside the batch renames Catalog before the
+        // adaptation queries run → broken query.
+        let mut space = bookinfo_space();
+        let view = bookinfo_view();
+        let sc2 = SchemaChange::DropAttribute { relation: "Catalog".into(), attr: "Review".into() };
+        let m = space.commit(SourceId(1), SourceUpdate::Schema(sc2)).unwrap();
+        // Concurrent, unbuffered rename commits at the source.
+        space
+            .commit(
+                SourceId(1),
+                SourceUpdate::Schema(SchemaChange::RenameRelation {
+                    from: "Catalog".into(),
+                    to: "Catalogue".into(),
+                }),
+            )
+            .unwrap();
+        let info = space.info().clone();
+        let mut port = InProcessPort::new(space);
+        let (res, _) =
+            adapt_batch(&view, &[&m], &[], &info, AdaptationMode::Auto, &mut port);
+        assert!(matches!(res.unwrap_err(), BatchFailure::Broken(_)));
+    }
+
+    #[test]
+    fn adapt_batch_compensates_pending_updates() {
+        // A pending (unprocessed, non-batch) DU must not leak into the
+        // batch-point extent.
+        let mut space = bookinfo_space();
+        let view = bookinfo_view();
+        let sc = SchemaChange::DropAttribute { relation: "Catalog".into(), attr: "Review".into() };
+        let m_sc = space.commit(SourceId(1), SourceUpdate::Schema(sc)).unwrap();
+        // Pending DU committed after the SC.
+        let du = insert_item(10, "Data Integration Guide", "Adams", 36);
+        let m_du = space.commit(SourceId(0), SourceUpdate::Data(du)).unwrap();
+
+        let info = space.info().clone();
+        let mut port = InProcessPort::new(space);
+        let (res, _) = adapt_batch(
+            &view,
+            &[&m_sc],
+            std::slice::from_ref(&m_du),
+            &info,
+            AdaptationMode::Auto,
+            &mut port,
+        );
+        // Only the original 'Databases' row — the pending insert is rolled
+        // back (it will be maintained by its own SWEEP pass later).
+        match res.unwrap() {
+            Adapted::Replaced { extent, .. } => assert_eq!(extent.weight(), 1),
+            other => panic!("attribute replacement adds a relation → recompute, got {other:?}"),
+        }
+    }
+}

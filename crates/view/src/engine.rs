@@ -1,0 +1,525 @@
+//! The query engine boundary between the view manager and the source space.
+//!
+//! The [`SourcePort`] trait is where all the paper's timing phenomena live:
+//! a port executes maintenance queries against the sources' **current**
+//! states (committing any updates that become due first — that is how
+//! concurrent updates sneak into query results), reports schema conflicts as
+//! broken queries, meters simulated cost, and streams newly committed
+//! updates back to the wrapper/UMQ side.
+//!
+//! `dyno-view` ships [`InProcessPort`], an untimed implementation over a
+//! [`SourceSpace`] for tests and examples; the discrete-event simulation in
+//! `dyno-sim` provides the timed implementation used by the experiments.
+
+use std::collections::HashMap;
+
+use dyno_relational::exec::{RelationProvider, TableSlice};
+use dyno_relational::{
+    eval, AttrType, Attribute, QueryResult, RelationalError, Schema, SignedBag, SpjQuery,
+};
+use dyno_source::{SourceId, SourceSpace, UpdateMessage};
+
+/// A table shipped with a query (e.g. an update's delta bound in place of
+/// its relation in a maintenance query).
+#[derive(Debug, Clone)]
+pub struct BoundTable {
+    /// The name the query refers to it by.
+    pub name: String,
+    /// Column names, in tuple order.
+    pub cols: Vec<String>,
+    /// Signed rows.
+    pub rows: SignedBag,
+}
+
+impl BoundTable {
+    /// Builds the schema the executor needs, inferring attribute types from
+    /// the data (bound tables are intermediate results; any non-NULL value
+    /// determines its column's type, and empty/all-NULL columns default to
+    /// `Int`, which type-checks trivially because there is nothing to check).
+    pub fn to_schema(&self) -> Schema {
+        schema_from_bag(&self.name, &self.cols, &self.rows)
+    }
+}
+
+/// Infers a [`Schema`] for an intermediate result.
+pub fn schema_from_bag(name: &str, cols: &[String], rows: &SignedBag) -> Schema {
+    let mut types: Vec<Option<AttrType>> = vec![None; cols.len()];
+    for (t, _) in rows.iter() {
+        let mut all_known = true;
+        for (i, v) in t.values().iter().enumerate() {
+            if types[i].is_none() {
+                types[i] = v.runtime_type();
+            }
+            all_known &= types[i].is_some();
+        }
+        if all_known {
+            break;
+        }
+    }
+    let attrs = cols
+        .iter()
+        .zip(&types)
+        .map(|(n, ty)| Attribute::new(n.clone(), ty.unwrap_or(AttrType::Int)))
+        .collect();
+    Schema::new(name, attrs).expect("intermediate columns are unique by construction")
+}
+
+/// Maintenance lifecycle notifications, so a timed port can meter
+/// per-maintenance and abort ("wasted work") costs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MaintEvent {
+    /// Maintenance of one queue entry is starting.
+    Begin {
+        /// Updates in the entry (1 unless a merged batch).
+        updates: usize,
+        /// How many of them are schema changes.
+        schema_changes: usize,
+    },
+    /// Maintenance committed to the view.
+    Commit,
+    /// Maintenance aborted on a broken query; all its work is discarded.
+    Abort,
+}
+
+/// The view manager's window onto the source space.
+pub trait SourcePort {
+    /// Current simulated time (milliseconds). Untimed ports return 0.
+    fn now_ms(&self) -> u64;
+
+    /// Executes a query over the sources' current states, with `bound`
+    /// tables spliced in by name. Schema conflicts surface as
+    /// `Err(e)` with `e.is_schema_conflict()` — the broken-query signal.
+    fn execute(
+        &mut self,
+        query: &SpjQuery,
+        bound: &[BoundTable],
+    ) -> Result<QueryResult, RelationalError>;
+
+    /// Fetches the named relation's extent *as of* a past source version
+    /// (the intelligent wrapper's history capability, used by view
+    /// adaptation for the pre-images of Equation 6). Pinned reads cannot be
+    /// broken by concurrent schema changes.
+    fn fetch_relation_at(
+        &mut self,
+        source: SourceId,
+        relation: &str,
+        version: u64,
+    ) -> Result<dyno_relational::Relation, RelationalError>;
+
+    /// The source currently hosting `relation`, if any.
+    fn locate(&mut self, relation: &str) -> Option<SourceId>;
+
+    /// Current version of a source.
+    fn source_version(&mut self, source: SourceId) -> u64;
+
+    /// Charges view-manager-local computation (compensation joins, Equation-6
+    /// term evaluation) at the local cost rate.
+    fn charge_local(&mut self, tuples: u64);
+
+    /// Charges the `w(MV)` write of `tuples` tuples into the materialized
+    /// view on commit. Defaults to the local rate.
+    fn charge_mv_write(&mut self, tuples: u64) {
+        self.charge_local(tuples);
+    }
+
+    /// Drains updates committed at the sources since the last drain —
+    /// the wrapper → UMQ stream. Called by the view manager before each
+    /// scheduling step and after each query (in-exec arrivals).
+    fn drain_arrivals(&mut self) -> Vec<UpdateMessage>;
+
+    /// Maintenance lifecycle notification (metering hook).
+    fn on_maintenance_event(&mut self, _event: MaintEvent) {}
+}
+
+/// Evaluates a query against a base provider plus bound tables. Shared by
+/// port implementations and by the view manager's *local* compensation
+/// evaluation.
+pub fn eval_with_bound<P: RelationProvider + ?Sized>(
+    base: &P,
+    query: &SpjQuery,
+    bound: &[BoundTable],
+) -> Result<QueryResult, RelationalError> {
+    let schemas: Vec<Schema> = bound.iter().map(BoundTable::to_schema).collect();
+    let mut overlay = dyno_relational::Overlay::new(base);
+    for (b, s) in bound.iter().zip(&schemas) {
+        overlay = overlay.bind(b.name.clone(), TableSlice { schema: s, rows: &b.rows });
+    }
+    eval(query, &overlay)
+}
+
+/// A provider over owned (schema, rows) pairs — used to evaluate queries
+/// entirely at the view manager (compensation, Equation-6 terms).
+#[derive(Debug, Clone, Default)]
+pub struct LocalProvider {
+    tables: HashMap<String, (Schema, SignedBag)>,
+}
+
+impl LocalProvider {
+    /// Empty provider.
+    pub fn new() -> Self {
+        LocalProvider::default()
+    }
+
+    /// Adds a table under its schema's relation name.
+    pub fn insert(&mut self, schema: Schema, rows: SignedBag) {
+        self.tables.insert(schema.relation.clone(), (schema, rows));
+    }
+
+    /// Adds a relation.
+    pub fn insert_relation(&mut self, relation: &dyno_relational::Relation) {
+        self.insert(relation.schema().clone(), relation.rows().clone());
+    }
+}
+
+impl RelationProvider for LocalProvider {
+    fn table(&self, name: &str) -> Result<TableSlice<'_>, RelationalError> {
+        self.tables
+            .get(name)
+            .map(|(s, r)| TableSlice { schema: s, rows: r })
+            .ok_or_else(|| RelationalError::UnknownRelation { relation: name.to_string() })
+    }
+}
+
+/// A decorator recording every source interaction in the notation of paper
+/// Definition 1 — `r(DS₁) r(DS₂) … w(MV) c(MV)` — so tests and examples can
+/// assert the *shape* of a maintenance process. (`r(VD)`/`w(VD)` happen
+/// inside the view manager and are logged by the lifecycle events.)
+pub struct TracingPort<'a, P: SourcePort + ?Sized> {
+    inner: &'a mut P,
+    trace: Vec<String>,
+}
+
+impl<'a, P: SourcePort + ?Sized> TracingPort<'a, P> {
+    /// Wraps a port.
+    pub fn new(inner: &'a mut P) -> Self {
+        TracingPort { inner, trace: Vec::new() }
+    }
+
+    /// The operations recorded so far.
+    pub fn trace(&self) -> &[String] {
+        &self.trace
+    }
+
+    /// Takes the recorded operations, leaving the trace empty.
+    pub fn take_trace(&mut self) -> Vec<String> {
+        std::mem::take(&mut self.trace)
+    }
+}
+
+impl<P: SourcePort + ?Sized> SourcePort for TracingPort<'_, P> {
+    fn now_ms(&self) -> u64 {
+        self.inner.now_ms()
+    }
+
+    fn execute(
+        &mut self,
+        query: &SpjQuery,
+        bound: &[BoundTable],
+    ) -> Result<QueryResult, RelationalError> {
+        let targets: Vec<&str> = query
+            .tables
+            .iter()
+            .filter(|t| !bound.iter().any(|b| b.name == **t))
+            .map(String::as_str)
+            .collect();
+        let result = self.inner.execute(query, bound);
+        for t in targets {
+            self.trace.push(match self.inner.locate(t) {
+                Some(sid) => format!("r({sid}:{t})"),
+                None => format!("r(?:{t})!"),
+            });
+        }
+        if result.is_err() {
+            if let Some(last) = self.trace.last_mut() {
+                last.push_str("BROKEN");
+            }
+        }
+        result
+    }
+
+    fn fetch_relation_at(
+        &mut self,
+        source: SourceId,
+        relation: &str,
+        version: u64,
+    ) -> Result<dyno_relational::Relation, RelationalError> {
+        self.trace.push(format!("r({source}:{relation}@{version})"));
+        self.inner.fetch_relation_at(source, relation, version)
+    }
+
+    fn locate(&mut self, relation: &str) -> Option<SourceId> {
+        self.inner.locate(relation)
+    }
+
+    fn source_version(&mut self, source: SourceId) -> u64 {
+        self.inner.source_version(source)
+    }
+
+    fn charge_local(&mut self, tuples: u64) {
+        self.inner.charge_local(tuples);
+    }
+
+    fn charge_mv_write(&mut self, tuples: u64) {
+        self.trace.push("w(MV)".to_string());
+        self.inner.charge_mv_write(tuples);
+    }
+
+    fn drain_arrivals(&mut self) -> Vec<UpdateMessage> {
+        self.inner.drain_arrivals()
+    }
+
+    fn on_maintenance_event(&mut self, event: MaintEvent) {
+        match event {
+            MaintEvent::Begin { schema_changes, .. } => {
+                self.trace.push(if schema_changes > 0 {
+                    "r(VD)w(VD)".to_string()
+                } else {
+                    "r(VD)".to_string()
+                });
+            }
+            MaintEvent::Commit => self.trace.push("c(MV)".to_string()),
+            MaintEvent::Abort => self.trace.push("ABORT".to_string()),
+        }
+        self.inner.on_maintenance_event(event);
+    }
+}
+
+/// An untimed, in-process port over a [`SourceSpace`]: queries see current
+/// states immediately; commits made through [`InProcessPort::commit`] are
+/// buffered as arrivals. Used by unit/integration tests and examples.
+#[derive(Debug, Clone)]
+pub struct InProcessPort {
+    space: SourceSpace,
+    arrivals: Vec<UpdateMessage>,
+}
+
+impl InProcessPort {
+    /// Wraps a source space.
+    pub fn new(space: SourceSpace) -> Self {
+        InProcessPort { space, arrivals: Vec::new() }
+    }
+
+    /// The wrapped space.
+    pub fn space(&self) -> &SourceSpace {
+        &self.space
+    }
+
+    /// Mutable access to the wrapped space (test setup).
+    pub fn space_mut(&mut self) -> &mut SourceSpace {
+        &mut self.space
+    }
+
+    /// Commits an update at a source and buffers the wrapper message as an
+    /// arrival for the view manager.
+    pub fn commit(
+        &mut self,
+        source: SourceId,
+        update: dyno_relational::SourceUpdate,
+    ) -> Result<UpdateMessage, RelationalError> {
+        let msg = self.space.commit(source, update)?;
+        self.arrivals.push(msg.clone());
+        Ok(msg)
+    }
+}
+
+impl SourcePort for InProcessPort {
+    fn now_ms(&self) -> u64 {
+        0
+    }
+
+    fn execute(
+        &mut self,
+        query: &SpjQuery,
+        bound: &[BoundTable],
+    ) -> Result<QueryResult, RelationalError> {
+        eval_with_bound(&self.space.provider(), query, bound)
+    }
+
+    fn fetch_relation_at(
+        &mut self,
+        source: SourceId,
+        relation: &str,
+        version: u64,
+    ) -> Result<dyno_relational::Relation, RelationalError> {
+        let catalog = self.space.server(source).state_at(version)?;
+        catalog.get(relation).cloned()
+    }
+
+    fn locate(&mut self, relation: &str) -> Option<SourceId> {
+        self.space.locate(relation)
+    }
+
+    fn source_version(&mut self, source: SourceId) -> u64 {
+        self.space.server(source).version()
+    }
+
+    fn charge_local(&mut self, _tuples: u64) {}
+
+    fn drain_arrivals(&mut self) -> Vec<UpdateMessage> {
+        std::mem::take(&mut self.arrivals)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dyno_relational::{Catalog, Relation, Tuple, Value};
+    use dyno_source::SourceServer;
+
+    fn small_space() -> SourceSpace {
+        let mut sp = SourceSpace::new();
+        let mut c = Catalog::new();
+        c.add_relation(
+            Relation::from_tuples(
+                Schema::of("R", &[("id", AttrType::Int), ("v", AttrType::Str)]),
+                [Tuple::of([Value::from(1), Value::str("a")])],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        sp.add_server(SourceServer::new(SourceId(0), "s0", c));
+        sp
+    }
+
+    #[test]
+    fn schema_inference_from_data() {
+        let mut rows = SignedBag::new();
+        rows.add(Tuple::of([Value::Null, Value::str("x")]), 1);
+        rows.add(Tuple::of([Value::from(3), Value::str("y")]), 1);
+        let s = schema_from_bag("T", &["a".into(), "b".into()], &rows);
+        assert_eq!(s.attrs()[0].ty, AttrType::Int);
+        assert_eq!(s.attrs()[1].ty, AttrType::Str);
+    }
+
+    #[test]
+    fn schema_inference_empty_defaults() {
+        let s = schema_from_bag("T", &["a".into()], &SignedBag::new());
+        assert_eq!(s.attrs()[0].ty, AttrType::Int);
+    }
+
+    #[test]
+    fn in_process_port_executes_and_streams() {
+        let mut port = InProcessPort::new(small_space());
+        let q = SpjQuery::over(["R"]).select("R", "v").build();
+        let out = port.execute(&q, &[]).unwrap();
+        assert_eq!(out.weight(), 1);
+
+        let schema = Schema::of("R", &[("id", AttrType::Int), ("v", AttrType::Str)]);
+        port.commit(
+            SourceId(0),
+            dyno_relational::SourceUpdate::Data(dyno_relational::DataUpdate::new(
+                dyno_relational::Delta::inserts(
+                    schema,
+                    [Tuple::of([Value::from(2), Value::str("b")])],
+                )
+                .unwrap(),
+            )),
+        )
+        .unwrap();
+        // The next query sees the committed update (concurrency!).
+        let out2 = port.execute(&q, &[]).unwrap();
+        assert_eq!(out2.weight(), 2);
+        // And the arrival is streamed exactly once.
+        assert_eq!(port.drain_arrivals().len(), 1);
+        assert!(port.drain_arrivals().is_empty());
+    }
+
+    #[test]
+    fn bound_table_shadows_source_relation() {
+        let mut port = InProcessPort::new(small_space());
+        let q = SpjQuery::over(["R"]).select("R", "v").build();
+        let mut rows = SignedBag::new();
+        rows.add(Tuple::of([Value::from(9), Value::str("z")]), 1);
+        let bound = BoundTable { name: "R".into(), cols: vec!["id".into(), "v".into()], rows };
+        let out = port.execute(&q, &[bound]).unwrap();
+        assert_eq!(out.weight(), 1);
+        assert_eq!(out.rows.count(&Tuple::of([Value::str("z")])), 1);
+    }
+
+    #[test]
+    fn historical_fetch_is_pinned() {
+        let mut port = InProcessPort::new(small_space());
+        port.commit(
+            SourceId(0),
+            dyno_relational::SourceUpdate::Schema(dyno_relational::SchemaChange::DropRelation {
+                relation: "R".into(),
+            }),
+        )
+        .unwrap();
+        // Current query breaks…
+        let q = SpjQuery::over(["R"]).select("R", "v").build();
+        assert!(port.execute(&q, &[]).unwrap_err().is_schema_conflict());
+        // …but the version-0 read still works.
+        let r = port.fetch_relation_at(SourceId(0), "R", 0).unwrap();
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn tracing_port_records_definition1_shape() {
+        use crate::testkit::{bookinfo_space, bookinfo_view, insert_item};
+        use dyno_core::Strategy;
+        use dyno_relational::SourceUpdate;
+
+        // M(DU) = r(VD) r(DS…)… w(MV) c(MV)  (paper Definition 1(1)).
+        let space = bookinfo_space();
+        let info = space.info().clone();
+        let mut port = InProcessPort::new(space);
+        let mut mgr =
+            crate::manager::ViewManager::new(bookinfo_view(), info, Strategy::Pessimistic);
+        mgr.initialize(&mut port).unwrap();
+        port.commit(
+            SourceId(0),
+            SourceUpdate::Data(insert_item(10, "Data Integration Guide", "Adams", 36)),
+        )
+        .unwrap();
+        let mut traced = TracingPort::new(&mut port);
+        mgr.run_to_quiescence(&mut traced, 10).unwrap();
+        let trace = traced.take_trace();
+        assert_eq!(trace.first().map(String::as_str), Some("r(VD)"));
+        assert_eq!(trace.last().map(String::as_str), Some("c(MV)"));
+        assert_eq!(trace[trace.len() - 2], "w(MV)");
+        let reads = trace.iter().filter(|t| t.starts_with("r(DS") || t.contains(":")).count();
+        assert_eq!(reads, 2, "probes Store and Catalog: {trace:?}");
+    }
+
+    #[test]
+    fn tracing_port_records_sc_shape() {
+        use crate::testkit::{bookinfo_space, bookinfo_view};
+        use dyno_core::Strategy;
+        use dyno_relational::{SchemaChange, SourceUpdate};
+
+        // M(SC) = r(VD) w(VD) r(DS…)… w(MV) c(MV)  (paper Definition 1(2)).
+        let space = bookinfo_space();
+        let info = space.info().clone();
+        let mut port = InProcessPort::new(space);
+        let mut mgr =
+            crate::manager::ViewManager::new(bookinfo_view(), info, Strategy::Pessimistic);
+        mgr.initialize(&mut port).unwrap();
+        port.commit(
+            SourceId(1),
+            SourceUpdate::Schema(SchemaChange::DropAttribute {
+                relation: "Catalog".into(),
+                attr: "Review".into(),
+            }),
+        )
+        .unwrap();
+        let mut traced = TracingPort::new(&mut port);
+        mgr.run_to_quiescence(&mut traced, 10).unwrap();
+        let trace = traced.take_trace();
+        assert_eq!(trace.first().map(String::as_str), Some("r(VD)w(VD)"));
+        assert_eq!(trace.last().map(String::as_str), Some("c(MV)"));
+        assert!(trace.contains(&"w(MV)".to_string()));
+    }
+
+    #[test]
+    fn local_provider_roundtrip() {
+        let mut lp = LocalProvider::new();
+        let schema = Schema::of("X", &[("a", AttrType::Int)]);
+        let mut rows = SignedBag::new();
+        rows.add(Tuple::of([Value::from(1)]), -2);
+        lp.insert(schema, rows);
+        let q = SpjQuery::over(["X"]).select("X", "a").build();
+        let out = eval(&q, &lp).unwrap();
+        assert_eq!(out.rows.count(&Tuple::of([Value::from(1)])), -2);
+    }
+}

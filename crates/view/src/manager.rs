@@ -1,0 +1,521 @@
+//! The view manager: integrates VM (SWEEP), VS, VA and the Dyno scheduler
+//! over a single materialized view (paper Figure 3).
+
+use std::collections::HashMap;
+
+use dyno_core::{
+    CorrectionPolicy, Dyno, DynoStats, MaintainOutcome, Maintainer, StepOutcome, Strategy, Umq,
+    UpdateKind, UpdateMeta,
+};
+use dyno_relational::{RelationalError, SourceUpdate};
+use dyno_source::{InfoSpace, SourceId, UpdateMessage};
+
+use crate::batch::{adapt_batch, Adapted, AdaptationMode, BatchFailure};
+use crate::engine::{MaintEvent, SourcePort};
+use crate::mview::MaterializedView;
+use crate::viewdef::ViewDefinition;
+use crate::vm::sweep_maintain;
+use crate::vs::VsError;
+
+/// Hard (non-retryable) view-management failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ViewError {
+    /// The view has no legal rewrite under a schema change.
+    Undefinable(VsError),
+    /// An internal invariant was violated.
+    Internal(RelationalError),
+}
+
+impl std::fmt::Display for ViewError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ViewError::Undefinable(e) => write!(f, "{e}"),
+            ViewError::Internal(e) => write!(f, "internal error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ViewError {}
+
+/// Counters for one manager's lifetime.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ViewStats {
+    /// Data updates committed to the view via SWEEP.
+    pub du_committed: u64,
+    /// Batches (schema-change or merged) committed via adaptation.
+    pub batches_committed: u64,
+    /// Of those, batches adapted incrementally (Equation 6) rather than by
+    /// recompute.
+    pub incremental_batches: u64,
+    /// Updates committed inside those batches.
+    pub batched_updates: u64,
+    /// Maintenance attempts aborted by broken queries.
+    pub aborts: u64,
+}
+
+/// The per-source versions the materialized view currently reflects.
+pub type ReflectedVersions = HashMap<SourceId, u64>;
+
+/// A materialized view plus everything needed to maintain it.
+#[derive(Debug, Clone)]
+pub struct ViewManager {
+    dyno: Dyno,
+    umq: Umq<UpdateMessage>,
+    core: ViewCore,
+}
+
+/// The manager's mutable state, separated so the maintenance context can
+/// borrow it alongside the scheduler and queue.
+#[derive(Debug, Clone)]
+struct ViewCore {
+    view: ViewDefinition,
+    mv: MaterializedView,
+    info: InfoSpace,
+    reflected: ReflectedVersions,
+    stats: ViewStats,
+    last_error: Option<ViewError>,
+    adaptation: AdaptationMode,
+}
+
+impl ViewManager {
+    /// Creates a manager for `view` with the given detection strategy.
+    /// Call [`ViewManager::initialize`] before processing updates.
+    pub fn new(view: ViewDefinition, info: InfoSpace, strategy: Strategy) -> Self {
+        let mv = MaterializedView::new(view.name.clone(), view.output_cols());
+        ViewManager {
+            dyno: Dyno::new(strategy),
+            umq: Umq::new(),
+            core: ViewCore {
+                view,
+                mv,
+                info,
+                reflected: HashMap::new(),
+                stats: ViewStats::default(),
+                last_error: None,
+                adaptation: AdaptationMode::default(),
+            },
+        }
+    }
+
+    /// Overrides the scheduler's correction policy (default: cycle merge;
+    /// `MergeAll` is the blind-merge ablation baseline of paper Section 4.2).
+    pub fn with_correction(mut self, policy: CorrectionPolicy) -> Self {
+        self.dyno = Dyno::new(self.dyno.strategy()).with_policy(policy);
+        self
+    }
+
+    /// Selects the view-adaptation mode (default: incremental when the
+    /// batch preserves the view's shape). `RecomputeOnly` is the ablation
+    /// baseline.
+    pub fn with_adaptation(mut self, mode: AdaptationMode) -> Self {
+        self.core.adaptation = mode;
+        self
+    }
+
+    /// Populates the extent by evaluating the view over the sources'
+    /// current states and records the reflected versions. Must run before
+    /// any source commits are in flight.
+    pub fn initialize(&mut self, port: &mut dyn SourcePort) -> Result<(), ViewError> {
+        let result = port
+            .execute(&self.core.view.query, &[])
+            .map_err(ViewError::Internal)?;
+        self.core
+            .mv
+            .replace(result.cols, result.rows)
+            .map_err(ViewError::Internal)?;
+        for table in &self.core.view.query.tables {
+            if let Some(sid) = port.locate(table) {
+                let v = port.source_version(sid);
+                self.core.reflected.insert(sid, v);
+            }
+        }
+        // Anything committed before this point is already in the extent the
+        // evaluation above produced — its buffered wrapper messages must not
+        // be maintained a second time.
+        port.drain_arrivals();
+        Ok(())
+    }
+
+    /// Enqueues wrapper messages into the UMQ (the `UMQ_Manager` of paper
+    /// Figure 7).
+    pub fn ingest<I: IntoIterator<Item = UpdateMessage>>(&mut self, messages: I) {
+        for msg in messages {
+            // Defensive idempotence: a message whose source version the view
+            // already reflects (e.g. one committed before initialization)
+            // must not be applied again.
+            if let Some(&v) = self.core.reflected.get(&msg.source) {
+                if msg.source_version <= v {
+                    continue;
+                }
+            }
+            let kind = match &msg.update {
+                SourceUpdate::Data(_) => UpdateKind::Data,
+                SourceUpdate::Schema(sc) => UpdateKind::Schema {
+                    invalidates_view: self.core.view.is_invalidated_by(sc),
+                },
+            };
+            self.umq
+                .enqueue(UpdateMeta::new(msg.id.0, msg.source.0, kind, msg));
+        }
+    }
+
+    /// Drains port arrivals and runs one Dyno scheduling step.
+    pub fn step(&mut self, port: &mut dyn SourcePort) -> Result<StepOutcome, ViewError> {
+        let arrivals = port.drain_arrivals();
+        self.ingest(arrivals);
+        let mut ctx = MaintCtx { core: &mut self.core, port, drained: Vec::new() };
+        let outcome = self.dyno.step(&mut self.umq, &mut ctx);
+        let drained = std::mem::take(&mut ctx.drained);
+        self.ingest(drained);
+        if outcome == StepOutcome::Failed {
+            return Err(self
+                .core
+                .last_error
+                .take()
+                .unwrap_or(ViewError::Internal(RelationalError::InvalidQuery {
+                    reason: "maintenance failed without recording an error".into(),
+                })));
+        }
+        Ok(outcome)
+    }
+
+    /// Steps until the queue is empty and no arrivals remain, or `max_steps`
+    /// is exhausted (guards against the theoretical infinite-abort loop of
+    /// paper Section 4.4).
+    pub fn run_to_quiescence(
+        &mut self,
+        port: &mut dyn SourcePort,
+        max_steps: u64,
+    ) -> Result<u64, ViewError> {
+        let mut steps = 0;
+        loop {
+            match self.step(port)? {
+                StepOutcome::Idle => {
+                    // `step` ingests arrivals before checking the queue, so
+                    // Idle means both the port stream and the queue are dry.
+                    return Ok(steps);
+                }
+                _ => {
+                    steps += 1;
+                    if steps >= max_steps {
+                        return Ok(steps);
+                    }
+                }
+            }
+        }
+    }
+
+    /// The current view definition (rewritten over time by VS).
+    pub fn view(&self) -> &ViewDefinition {
+        &self.core.view
+    }
+
+    /// The materialized extent.
+    pub fn mv(&self) -> &MaterializedView {
+        &self.core.mv
+    }
+
+    /// Per-source versions the extent currently reflects.
+    pub fn reflected(&self) -> &ReflectedVersions {
+        &self.core.reflected
+    }
+
+    /// Maintenance counters.
+    pub fn stats(&self) -> ViewStats {
+        self.core.stats
+    }
+
+    /// Scheduler counters.
+    pub fn dyno_stats(&self) -> DynoStats {
+        self.dyno.stats()
+    }
+
+    /// Buffered (unprocessed) update count.
+    pub fn backlog(&self) -> usize {
+        self.umq.update_count()
+    }
+}
+
+/// Borrowed maintenance context: implements the scheduler's [`Maintainer`]
+/// over the manager's state and a source port.
+struct MaintCtx<'a> {
+    core: &'a mut ViewCore,
+    port: &'a mut dyn SourcePort,
+    drained: Vec<UpdateMessage>,
+}
+
+impl MaintCtx<'_> {
+    fn commit_bookkeeping(&mut self, batch: &[UpdateMeta<UpdateMessage>]) {
+        for meta in batch {
+            let msg = &meta.payload;
+            let entry = self.core.reflected.entry(msg.source).or_insert(0);
+            *entry = (*entry).max(msg.source_version);
+        }
+    }
+}
+
+impl Maintainer<UpdateMessage> for MaintCtx<'_> {
+    fn maintain(
+        &mut self,
+        batch: &[UpdateMeta<UpdateMessage>],
+        rest: &[&[UpdateMeta<UpdateMessage>]],
+    ) -> MaintainOutcome {
+        self.port.on_maintenance_event(MaintEvent::Begin {
+            updates: batch.len(),
+            schema_changes: batch
+                .iter()
+                .filter(|m| m.payload.is_schema_change())
+                .count(),
+        });
+        let pending: Vec<UpdateMessage> = rest
+            .iter()
+            .flat_map(|node| node.iter().map(|m| m.payload.clone()))
+            .collect();
+
+        let is_plain_du = batch.len() == 1
+            && matches!(batch[0].payload.update, SourceUpdate::Data(_));
+
+        let failure: Option<BatchFailure> = if is_plain_du {
+            let (result, drained) =
+                sweep_maintain(&self.core.view, &batch[0].payload, &pending, self.port);
+            self.drained.extend(drained);
+            match result {
+                Ok(delta) => {
+                    let written = delta.rows.weight();
+                    match self.core.mv.apply_delta(&delta.cols, &delta.rows) {
+                        Ok(()) => {
+                            self.port.charge_mv_write(written);
+                            self.core.stats.du_committed += 1;
+                            None
+                        }
+                        Err(e) => Some(BatchFailure::Internal(e)),
+                    }
+                }
+                Err(f) => Some(f.into()),
+            }
+        } else {
+            let refs: Vec<&UpdateMessage> = batch.iter().map(|m| &m.payload).collect();
+            let (result, drained) = adapt_batch(
+                &self.core.view,
+                &refs,
+                &pending,
+                &self.core.info,
+                self.core.adaptation,
+                self.port,
+            );
+            self.drained.extend(drained);
+            match result {
+                Ok(Adapted::Replaced { view, cols, extent }) => {
+                    let written = extent.weight();
+                    match self.core.mv.replace(cols, extent) {
+                        Ok(()) => {
+                            self.port.charge_mv_write(written);
+                            self.core.view = view;
+                            self.core.stats.batches_committed += 1;
+                            self.core.stats.batched_updates += batch.len() as u64;
+                            None
+                        }
+                        Err(e) => Some(BatchFailure::Internal(e)),
+                    }
+                }
+                Ok(Adapted::Incremental { view, delta }) => {
+                    let written = delta.rows.weight();
+                    match self.core.mv.apply_delta(&delta.cols, &delta.rows) {
+                        Ok(()) => {
+                            self.port.charge_mv_write(written);
+                            self.core.view = view;
+                            self.core.stats.batches_committed += 1;
+                            self.core.stats.incremental_batches += 1;
+                            self.core.stats.batched_updates += batch.len() as u64;
+                            None
+                        }
+                        Err(e) => Some(BatchFailure::Internal(e)),
+                    }
+                }
+                Err(f) => Some(f),
+            }
+        };
+
+        match failure {
+            None => {
+                self.commit_bookkeeping(batch);
+                self.port.on_maintenance_event(MaintEvent::Commit);
+                MaintainOutcome::Committed
+            }
+            Some(BatchFailure::Broken(ref b)) => {
+                if std::env::var_os("DYNO_DEBUG_BROKEN").is_some() {
+                    eprintln!("[dyno] broken query: {b:?}");
+                }
+                self.core.stats.aborts += 1;
+                self.port.on_maintenance_event(MaintEvent::Abort);
+                MaintainOutcome::BrokenQuery
+            }
+            Some(BatchFailure::Undefinable(e)) => {
+                self.core.last_error = Some(ViewError::Undefinable(e));
+                self.port.on_maintenance_event(MaintEvent::Abort);
+                MaintainOutcome::Failed
+            }
+            Some(BatchFailure::Internal(e)) => {
+                self.core.last_error = Some(ViewError::Internal(e));
+                self.port.on_maintenance_event(MaintEvent::Abort);
+                MaintainOutcome::Failed
+            }
+        }
+    }
+
+    fn refresh_view_relevance(&mut self, queue: &mut Umq<UpdateMessage>) {
+        // Relevance must be computed *transitively*: a rename chain
+        // `R→R₁`, `R₁→R₂` only mentions `R₁` in its second hop, yet both
+        // hops invalidate a view over `R`. We therefore evolve a shadow
+        // view definition through the queued schema changes in queue
+        // order, classifying each change against the shadow as it stood
+        // when that change would be processed. Without this, a
+        // second-hop rename is classified irrelevant, escapes the merge,
+        // and the rewritten view references a name the source no longer
+        // has — an unbreakable livelock of broken queries.
+        let mut shadow = self.core.view.clone();
+        for meta in queue.metas_mut() {
+            if let SourceUpdate::Schema(sc) = &meta.payload.update {
+                let invalidates = shadow.is_invalidated_by(sc);
+                if invalidates {
+                    if let Ok(next) = crate::vs::synchronize(&shadow, sc, &self.core.info) {
+                        shadow = next;
+                    }
+                }
+                meta.kind = UpdateKind::Schema { invalidates_view: invalidates };
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::InProcessPort;
+    use crate::testkit::*;
+    use dyno_relational::SchemaChange;
+
+    fn manager(strategy: Strategy) -> (ViewManager, InProcessPort) {
+        let space = bookinfo_space();
+        let info = space.info().clone();
+        let mut port = InProcessPort::new(space);
+        let mut mgr = ViewManager::new(bookinfo_view(), info, strategy);
+        mgr.initialize(&mut port).unwrap();
+        (mgr, port)
+    }
+
+    #[test]
+    fn initialize_populates_extent() {
+        let (mgr, _) = manager(Strategy::Pessimistic);
+        assert_eq!(mgr.mv().len(), 1);
+        assert_eq!(mgr.reflected().len(), 2, "Retailer and Library reflected");
+    }
+
+    #[test]
+    fn data_update_maintained_incrementally() {
+        let (mut mgr, mut port) = manager(Strategy::Pessimistic);
+        port.commit(
+            dyno_source::SourceId(0),
+            SourceUpdate::Data(insert_item(10, "Data Integration Guide", "Adams", 36)),
+        )
+        .unwrap();
+        mgr.run_to_quiescence(&mut port, 100).unwrap();
+        assert_eq!(mgr.mv().len(), 2);
+        assert_eq!(mgr.stats().du_committed, 1);
+        assert_eq!(mgr.stats().aborts, 0);
+    }
+
+    #[test]
+    fn broken_query_anomaly_resolved_by_reordering() {
+        // Example 1(b): DU buffered, then the StoreItems restructuring
+        // commits. Pessimistic Dyno reorders so no broken query occurs…
+        let (mut mgr, mut port) = manager(Strategy::Pessimistic);
+        port.commit(
+            dyno_source::SourceId(0),
+            SourceUpdate::Data(insert_item(10, "Data Integration Guide", "Adams", 36)),
+        )
+        .unwrap();
+        let store = port.space().server(dyno_source::SourceId(0)).catalog().get("Store").unwrap().clone();
+        let item = port.space().server(dyno_source::SourceId(0)).catalog().get("Item").unwrap().clone();
+        port.commit(dyno_source::SourceId(0), SourceUpdate::Schema(storeitems_change(&store, &item)))
+            .unwrap();
+        mgr.run_to_quiescence(&mut port, 100).unwrap();
+        assert!(mgr.view().references_relation("StoreItems"));
+        assert_eq!(mgr.mv().len(), 2, "both books visible after adaptation");
+        assert_eq!(mgr.stats().aborts, 0, "pessimistic pre-exec avoided the break");
+        // DU and SC are same-source → cycle → merged batch.
+        assert!(mgr.dyno_stats().merges >= 1);
+    }
+
+    #[test]
+    fn optimistic_endures_abort_on_same_scenario() {
+        let (mut mgr, mut port) = manager(Strategy::Optimistic);
+        port.commit(
+            dyno_source::SourceId(0),
+            SourceUpdate::Data(insert_item(10, "Data Integration Guide", "Adams", 36)),
+        )
+        .unwrap();
+        let store = port.space().server(dyno_source::SourceId(0)).catalog().get("Store").unwrap().clone();
+        let item = port.space().server(dyno_source::SourceId(0)).catalog().get("Item").unwrap().clone();
+        port.commit(dyno_source::SourceId(0), SourceUpdate::Schema(storeitems_change(&store, &item)))
+            .unwrap();
+        mgr.run_to_quiescence(&mut port, 100).unwrap();
+        assert!(mgr.view().references_relation("StoreItems"));
+        assert_eq!(mgr.mv().len(), 2);
+        assert!(mgr.stats().aborts >= 1, "optimistic pays the broken query");
+    }
+
+    #[test]
+    fn cyclic_schema_changes_merge_and_commit() {
+        // Section 3.5: SC1 (StoreItems) + SC2 (drop Review) — both relevant,
+        // cyclic, processed as one atomic batch producing Query (5).
+        let (mut mgr, mut port) = manager(Strategy::Pessimistic);
+        let store = port.space().server(dyno_source::SourceId(0)).catalog().get("Store").unwrap().clone();
+        let item = port.space().server(dyno_source::SourceId(0)).catalog().get("Item").unwrap().clone();
+        port.commit(dyno_source::SourceId(0), SourceUpdate::Schema(storeitems_change(&store, &item)))
+            .unwrap();
+        port.commit(
+            dyno_source::SourceId(1),
+            SourceUpdate::Schema(SchemaChange::DropAttribute {
+                relation: "Catalog".into(),
+                attr: "Review".into(),
+            }),
+        )
+        .unwrap();
+        mgr.run_to_quiescence(&mut port, 100).unwrap();
+        assert!(mgr.view().references_relation("StoreItems"));
+        assert!(mgr.view().references_relation("ReaderDigest"));
+        assert_eq!(mgr.stats().batches_committed, 1);
+        assert_eq!(mgr.stats().batched_updates, 2);
+        assert_eq!(mgr.mv().len(), 1);
+    }
+
+    #[test]
+    fn undefinable_change_is_a_hard_error() {
+        let (mut mgr, mut port) = manager(Strategy::Pessimistic);
+        port.commit(
+            dyno_source::SourceId(1),
+            SourceUpdate::Schema(SchemaChange::DropRelation { relation: "Catalog".into() }),
+        )
+        .unwrap();
+        let err = mgr.run_to_quiescence(&mut port, 100).unwrap_err();
+        assert!(matches!(err, ViewError::Undefinable(_)));
+    }
+
+    #[test]
+    fn irrelevant_schema_change_commits_quietly() {
+        let (mut mgr, mut port) = manager(Strategy::Pessimistic);
+        port.commit(
+            dyno_source::SourceId(1),
+            SourceUpdate::Schema(SchemaChange::AddAttribute {
+                relation: "Catalog".into(),
+                attr: dyno_relational::Attribute::new("ISBN", dyno_relational::AttrType::Str),
+                default: dyno_relational::Value::Null,
+            }),
+        )
+        .unwrap();
+        mgr.run_to_quiescence(&mut port, 100).unwrap();
+        assert_eq!(mgr.mv().len(), 1, "extent untouched");
+        assert_eq!(mgr.stats().aborts, 0);
+    }
+}

@@ -1,0 +1,269 @@
+//! The paper's running example as a reusable fixture: the `BookInfo` view
+//! (Query (1)) over a Retailer source (`Store`, `Item`), a Library source
+//! (`Catalog`) and a Digest source (`ReaderDigest`), plus the information-
+//! space entries behind the rewrites of Queries (3)–(5).
+//!
+//! Used by unit tests, integration tests, and the runnable examples.
+
+use dyno_relational::{
+    AttrType, Catalog, DataUpdate, Delta, Relation, Schema, SchemaChange, SpjQuery, Tuple, Value,
+};
+use dyno_source::{
+    AttributeReplacement, RelationReplacement, SourceId, SourceServer, SourceSpace,
+};
+use dyno_relational::ColRef;
+
+use crate::viewdef::ViewDefinition;
+
+/// Schema of the Retailer's `Store` relation.
+pub fn store_schema() -> Schema {
+    Schema::of("Store", &[("SID", AttrType::Int), ("StoreName", AttrType::Str)])
+}
+
+/// Schema of the Retailer's `Item` relation.
+pub fn item_schema() -> Schema {
+    Schema::of(
+        "Item",
+        &[
+            ("SID", AttrType::Int),
+            ("Book", AttrType::Str),
+            ("Author", AttrType::Str),
+            ("Price", AttrType::Int),
+        ],
+    )
+}
+
+/// Schema of the Library's `Catalog` relation.
+pub fn catalog_schema() -> Schema {
+    Schema::of(
+        "Catalog",
+        &[
+            ("Title", AttrType::Str),
+            ("Author", AttrType::Str),
+            ("Category", AttrType::Str),
+            ("Publisher", AttrType::Str),
+            ("Review", AttrType::Str),
+        ],
+    )
+}
+
+/// Schema of the Digest's `ReaderDigest` relation (the alternative review
+/// source of paper Query (4)).
+pub fn readerdigest_schema() -> Schema {
+    Schema::of("ReaderDigest", &[("Article", AttrType::Str), ("Comments", AttrType::Str)])
+}
+
+/// The three-source space of the running example, pre-populated so the view
+/// has matching rows, with the information-space replacements registered.
+pub fn bookinfo_space() -> SourceSpace {
+    let mut space = SourceSpace::new();
+
+    // Source 0: Retailer (Store, Item).
+    let mut retailer = Catalog::new();
+    retailer
+        .add_relation(
+            Relation::from_tuples(
+                store_schema(),
+                [
+                    Tuple::of([Value::from(1), Value::str("BN")]),
+                    Tuple::of([Value::from(10), Value::str("Amazon")]),
+                ],
+            )
+            .expect("static fixture"),
+        )
+        .expect("static fixture");
+    retailer
+        .add_relation(
+            Relation::from_tuples(
+                item_schema(),
+                [Tuple::of([
+                    Value::from(1),
+                    Value::str("Databases"),
+                    Value::str("Ullman"),
+                    Value::from(50),
+                ])],
+            )
+            .expect("static fixture"),
+        )
+        .expect("static fixture");
+    space.add_server(SourceServer::new(SourceId(0), "Retailer", retailer));
+
+    // Source 1: Library (Catalog).
+    let mut library = Catalog::new();
+    library
+        .add_relation(
+            Relation::from_tuples(
+                catalog_schema(),
+                [
+                    Tuple::of([
+                        Value::str("Databases"),
+                        Value::str("Ullman"),
+                        Value::str("CS"),
+                        Value::str("Prentice"),
+                        Value::str("classic"),
+                    ]),
+                    Tuple::of([
+                        Value::str("Data Integration Guide"),
+                        Value::str("Adams"),
+                        Value::str("Engineering"),
+                        Value::str("Princeton"),
+                        Value::str("good"),
+                    ]),
+                ],
+            )
+            .expect("static fixture"),
+        )
+        .expect("static fixture");
+    space.add_server(SourceServer::new(SourceId(1), "Library", library));
+
+    // Source 2: Digest (ReaderDigest).
+    let mut digest = Catalog::new();
+    digest
+        .add_relation(
+            Relation::from_tuples(
+                readerdigest_schema(),
+                [
+                    Tuple::of([Value::str("Databases"), Value::str("thorough")]),
+                    Tuple::of([Value::str("Data Integration Guide"), Value::str("insightful")]),
+                ],
+            )
+            .expect("static fixture"),
+        )
+        .expect("static fixture");
+    space.add_server(SourceServer::new(SourceId(2), "Digest", digest));
+
+    // Information space: Review → ReaderDigest.Comments (paper Query (4));
+    // Store+Item → StoreItems (paper Figure 2 / Query (3)).
+    space.info_mut().add_attr_replacement(AttributeReplacement {
+        dropped: ColRef::new("Catalog", "Review"),
+        replacement: ColRef::new("ReaderDigest", "Comments"),
+        join: (ColRef::new("Catalog", "Title"), ColRef::new("ReaderDigest", "Article")),
+    });
+    space.info_mut().add_relation_replacement(RelationReplacement {
+        dropped: vec!["Store".into(), "Item".into()],
+        replacement: "StoreItems".into(),
+        attr_map: vec![
+            (ColRef::new("Store", "StoreName"), ColRef::new("StoreItems", "StoreName")),
+            (ColRef::new("Item", "Book"), ColRef::new("StoreItems", "Book")),
+            (ColRef::new("Item", "Author"), ColRef::new("StoreItems", "Author")),
+            (ColRef::new("Item", "Price"), ColRef::new("StoreItems", "Price")),
+        ],
+    });
+    space
+}
+
+/// The `BookInfo` view of paper Query (1).
+pub fn bookinfo_view() -> ViewDefinition {
+    let q = SpjQuery::over(["Store", "Item", "Catalog"])
+        .select("Store", "StoreName")
+        .select("Item", "Book")
+        .select("Item", "Author")
+        .select("Item", "Price")
+        .select("Catalog", "Publisher")
+        .select("Catalog", "Category")
+        .select("Catalog", "Review")
+        .join_eq(("Store", "SID"), ("Item", "SID"))
+        .join_eq(("Item", "Book"), ("Catalog", "Title"))
+        .build();
+    ViewDefinition::new("BookInfo", q)
+}
+
+/// Schema of the `StoreItems` relation produced by re-tuning the
+/// XML-to-relational mapping (paper Figure 2).
+pub fn storeitems_schema() -> Schema {
+    Schema::of(
+        "StoreItems",
+        &[
+            ("StoreName", AttrType::Str),
+            ("Book", AttrType::Str),
+            ("Author", AttrType::Str),
+            ("Price", AttrType::Int),
+        ],
+    )
+}
+
+/// Builds the `ReplaceRelations` schema change collapsing `Store` and `Item`
+/// into `StoreItems` (paper Figure 2 / SC1 of Section 3.5), populating the
+/// replacement relation from the given current extents.
+pub fn storeitems_change(store: &Relation, item: &Relation) -> SchemaChange {
+    let sid_s = store.schema().index_of("SID").expect("fixture schema");
+    let name_s = store.schema().index_of("StoreName").expect("fixture schema");
+    let sid_i = item.schema().index_of("SID").expect("fixture schema");
+    let mut out = Relation::empty(storeitems_schema());
+    for (it, ic) in item.rows().iter() {
+        for (st, sc) in store.rows().iter() {
+            if st.get(sid_s) == it.get(sid_i) {
+                let joined = Tuple::new(vec![
+                    st.get(name_s).clone(),
+                    it.get(1).clone(),
+                    it.get(2).clone(),
+                    it.get(3).clone(),
+                ]);
+                for _ in 0..(ic * sc) {
+                    out.insert(joined.clone()).expect("typed by construction");
+                }
+            }
+        }
+    }
+    SchemaChange::ReplaceRelations {
+        dropped: vec!["Store".into(), "Item".into()],
+        replacement: Box::new(out),
+    }
+}
+
+/// A data update inserting one `Item` row.
+pub fn insert_item(sid: i64, book: &str, author: &str, price: i64) -> DataUpdate {
+    DataUpdate::new(
+        Delta::inserts(
+            item_schema(),
+            [Tuple::of([
+                Value::from(sid),
+                Value::str(book),
+                Value::str(author),
+                Value::from(price),
+            ])],
+        )
+        .expect("typed by construction"),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dyno_relational::eval;
+
+    #[test]
+    fn fixture_view_has_matching_rows() {
+        let space = bookinfo_space();
+        let view = bookinfo_view();
+        let out = eval(&view.query, &space.provider()).unwrap();
+        // 'Databases' joins Store 1 / Catalog 'Databases' → exactly one row.
+        assert_eq!(out.weight(), 1);
+    }
+
+    #[test]
+    fn storeitems_change_preserves_join_content() {
+        let space = bookinfo_space();
+        let store = space.server(SourceId(0)).catalog().get("Store").unwrap();
+        let item = space.server(SourceId(0)).catalog().get("Item").unwrap();
+        match storeitems_change(store, item) {
+            SchemaChange::ReplaceRelations { replacement, .. } => {
+                assert_eq!(replacement.len(), 1, "one matching SID pair");
+                let q = SpjQuery::over(["StoreItems"])
+                    .select("StoreItems", "StoreName")
+                    .select("StoreItems", "Book")
+                    .build();
+                let mut space2 = space.clone();
+                space2
+                    .commit(
+                        SourceId(0),
+                        dyno_relational::SourceUpdate::Schema(storeitems_change(store, item)),
+                    )
+                    .unwrap();
+                let out = eval(&q, &space2.provider()).unwrap();
+                assert_eq!(out.weight(), 1);
+            }
+            other => panic!("unexpected change {other}"),
+        }
+    }
+}

@@ -1,0 +1,178 @@
+//! View definitions — the critical shared resource of the paper.
+//!
+//! Every maintenance process *reads* the view definition (to construct its
+//! maintenance queries); processing a schema change *rewrites* it. The
+//! read/write conflict on this object is the root cause of broken-query
+//! anomalies (paper Section 3.2).
+
+use std::fmt;
+
+use dyno_relational::{ColRef, SchemaChange, SpjQuery};
+
+/// A named SPJ view over the source space.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ViewDefinition {
+    /// The view's name (e.g. `BookInfo`).
+    pub name: String,
+    /// The defining query.
+    pub query: SpjQuery,
+}
+
+impl ViewDefinition {
+    /// Creates a view definition.
+    pub fn new(name: impl Into<String>, query: SpjQuery) -> Self {
+        ViewDefinition { name: name.into(), query }
+    }
+
+    /// Parses a view from SQL: either `CREATE VIEW name AS SELECT …` or a
+    /// bare `SELECT …` (which gets `default_name`).
+    ///
+    /// ```
+    /// use dyno_view::ViewDefinition;
+    /// let v = ViewDefinition::parse(
+    ///     "CREATE VIEW BookInfo AS \
+    ///      SELECT Store.StoreName, Item.Book FROM Store, Item \
+    ///      WHERE Store.SID = Item.SID",
+    ///     "unnamed",
+    /// ).unwrap();
+    /// assert_eq!(v.name, "BookInfo");
+    /// assert!(v.references_relation("Item"));
+    /// ```
+    pub fn parse(
+        sql: &str,
+        default_name: &str,
+    ) -> Result<Self, dyno_relational::ParseError> {
+        let (name, query) = dyno_relational::parse_create_view(sql)?;
+        Ok(ViewDefinition::new(name.unwrap_or_else(|| default_name.to_string()), query))
+    }
+
+    /// Output column names, in SELECT order.
+    pub fn output_cols(&self) -> Vec<String> {
+        self.query.projection.iter().map(|p| p.output.clone()).collect()
+    }
+
+    /// True iff the schema change touches metadata this view references —
+    /// the criterion of paper Section 4.1.1 for drawing a concurrent
+    /// dependency edge: the change will force a rewrite of this definition.
+    pub fn is_invalidated_by(&self, sc: &SchemaChange) -> bool {
+        if self.query.tables.iter().any(|t| sc.invalidates_relation(t)) {
+            return true;
+        }
+        self.query
+            .referenced_cols()
+            .iter()
+            .any(|c| sc.invalidates_column(&c.relation, &c.attr))
+    }
+
+    /// Column references the view uses from the given relation.
+    pub fn cols_of_relation(&self, relation: &str) -> Vec<ColRef> {
+        self.query
+            .referenced_cols()
+            .into_iter()
+            .filter(|c| c.relation == relation)
+            .collect()
+    }
+
+    /// True iff the view's FROM clause includes the relation.
+    pub fn references_relation(&self, relation: &str) -> bool {
+        self.query.references_relation(relation)
+    }
+}
+
+impl fmt::Display for ViewDefinition {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "CREATE VIEW {} AS {}", self.name, self.query)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dyno_relational::{Attribute, AttrType, Value};
+
+    /// The paper's Query (1): BookInfo over Store ⋈ Item ⋈ Catalog.
+    pub(crate) fn bookinfo() -> ViewDefinition {
+        let q = SpjQuery::over(["Store", "Item", "Catalog"])
+            .select("Store", "StoreName")
+            .select("Item", "Book")
+            .select("Item", "Author")
+            .select("Item", "Price")
+            .select("Catalog", "Publisher")
+            .select("Catalog", "Category")
+            .select("Catalog", "Review")
+            .join_eq(("Store", "SID"), ("Item", "SID"))
+            .join_eq(("Item", "Book"), ("Catalog", "Title"))
+            .build();
+        ViewDefinition::new("BookInfo", q)
+    }
+
+    #[test]
+    fn invalidated_by_relation_level_changes() {
+        let v = bookinfo();
+        assert!(v.is_invalidated_by(&SchemaChange::DropRelation { relation: "Store".into() }));
+        assert!(v.is_invalidated_by(&SchemaChange::RenameRelation {
+            from: "Item".into(),
+            to: "Items2".into()
+        }));
+        assert!(!v.is_invalidated_by(&SchemaChange::DropRelation {
+            relation: "Unrelated".into()
+        }));
+    }
+
+    #[test]
+    fn invalidated_by_referenced_attribute_changes() {
+        let v = bookinfo();
+        // Review is projected (Example 1 / Section 3.5's SC2).
+        assert!(v.is_invalidated_by(&SchemaChange::DropAttribute {
+            relation: "Catalog".into(),
+            attr: "Review".into()
+        }));
+        // Join attribute.
+        assert!(v.is_invalidated_by(&SchemaChange::RenameAttribute {
+            relation: "Store".into(),
+            from: "SID".into(),
+            to: "StoreID".into()
+        }));
+        // An attribute the view never references (paper: "a broken query
+        // anomaly may not always cause the query to fail").
+        assert!(!v.is_invalidated_by(&SchemaChange::DropAttribute {
+            relation: "Catalog".into(),
+            attr: "Year".into()
+        }));
+    }
+
+    #[test]
+    fn additive_changes_never_invalidate() {
+        let v = bookinfo();
+        assert!(!v.is_invalidated_by(&SchemaChange::AddAttribute {
+            relation: "Catalog".into(),
+            attr: Attribute::new("ISBN", AttrType::Str),
+            default: Value::Null,
+        }));
+    }
+
+    #[test]
+    fn output_cols_in_select_order() {
+        assert_eq!(
+            bookinfo().output_cols(),
+            vec!["StoreName", "Book", "Author", "Price", "Publisher", "Category", "Review"]
+        );
+    }
+
+    #[test]
+    fn display_renders_create_view() {
+        let s = bookinfo().to_string();
+        assert!(s.starts_with("CREATE VIEW BookInfo AS SELECT "));
+        assert!(s.contains("FROM Store, Item, Catalog"));
+        assert!(s.contains("WHERE Store.SID = Item.SID AND Item.Book = Catalog.Title"));
+    }
+
+    #[test]
+    fn cols_of_relation() {
+        let v = bookinfo();
+        let cols = v.cols_of_relation("Store");
+        assert!(cols.contains(&ColRef::new("Store", "StoreName")));
+        assert!(cols.contains(&ColRef::new("Store", "SID")));
+        assert_eq!(cols.len(), 2);
+    }
+}

@@ -1,0 +1,492 @@
+//! A multi-view warehouse: several materialized views over the same source
+//! space, maintained through **one** Update Message Queue and one Dyno
+//! schedule.
+//!
+//! The paper presents a single view for clarity, but its framework
+//! (Figure 3) is a warehouse: the UMQ buffers every source update once, and
+//! each update's maintenance must be correct for *every* view. The
+//! scheduler-side generalizations are small and instructive:
+//!
+//! - a schema change is view-relevant (draws concurrent-dependency edges)
+//!   iff it invalidates **any** view's definition — transitively, via the
+//!   same shadow-evolution walk the single-view manager uses;
+//! - one queue entry is maintained against all views **atomically**: a
+//!   broken query during any view's maintenance aborts the entry for all of
+//!   them (their already-computed deltas are discarded — abort cost), so
+//!   every view reflects the same per-source state vector at all times.
+
+use std::collections::HashMap;
+
+use dyno_core::{
+    CorrectionPolicy, Dyno, DynoStats, MaintainOutcome, Maintainer, StepOutcome, Strategy, Umq,
+    UpdateKind, UpdateMeta,
+};
+use dyno_relational::{RelationalError, SourceUpdate};
+use dyno_source::{InfoSpace, UpdateMessage};
+
+use crate::batch::{adapt_batch, Adapted, AdaptationMode, BatchFailure};
+use crate::engine::{MaintEvent, SourcePort};
+use crate::mview::MaterializedView;
+use crate::viewdef::ViewDefinition;
+use crate::vm::sweep_maintain;
+use crate::manager::{ReflectedVersions, ViewError, ViewStats};
+
+/// One view's state inside the warehouse.
+#[derive(Debug, Clone)]
+struct ViewSlot {
+    view: ViewDefinition,
+    mv: MaterializedView,
+    stats: ViewStats,
+}
+
+/// A set of materialized views maintained together.
+#[derive(Debug, Clone)]
+pub struct Warehouse {
+    dyno: Dyno,
+    umq: Umq<UpdateMessage>,
+    slots: Vec<ViewSlot>,
+    info: InfoSpace,
+    reflected: ReflectedVersions,
+    adaptation: AdaptationMode,
+    last_error: Option<ViewError>,
+}
+
+impl Warehouse {
+    /// An empty warehouse with the given detection strategy.
+    pub fn new(info: InfoSpace, strategy: Strategy) -> Self {
+        Warehouse {
+            dyno: Dyno::new(strategy),
+            umq: Umq::new(),
+            slots: Vec::new(),
+            info,
+            reflected: HashMap::new(),
+            adaptation: AdaptationMode::default(),
+            last_error: None,
+        }
+    }
+
+    /// Overrides the correction policy.
+    pub fn with_correction(mut self, policy: CorrectionPolicy) -> Self {
+        self.dyno = Dyno::new(self.dyno.strategy()).with_policy(policy);
+        self
+    }
+
+    /// Selects the view-adaptation mode.
+    pub fn with_adaptation(mut self, mode: AdaptationMode) -> Self {
+        self.adaptation = mode;
+        self
+    }
+
+    /// Registers a view. Call before [`Warehouse::initialize`].
+    pub fn add_view(&mut self, view: ViewDefinition) {
+        let mv = MaterializedView::new(view.name.clone(), view.output_cols());
+        self.slots.push(ViewSlot { view, mv, stats: ViewStats::default() });
+    }
+
+    /// Populates every view's extent from the sources' current states and
+    /// records the reflected versions.
+    pub fn initialize(&mut self, port: &mut dyn SourcePort) -> Result<(), ViewError> {
+        for slot in &mut self.slots {
+            let result = port.execute(&slot.view.query, &[]).map_err(ViewError::Internal)?;
+            slot.mv.replace(result.cols, result.rows).map_err(ViewError::Internal)?;
+            for table in &slot.view.query.tables {
+                if let Some(sid) = port.locate(table) {
+                    let v = port.source_version(sid);
+                    self.reflected.insert(sid, v);
+                }
+            }
+        }
+        // Messages for updates already included in the initial evaluation
+        // must not be maintained again.
+        port.drain_arrivals();
+        Ok(())
+    }
+
+    /// Enqueues wrapper messages, classifying each schema change against
+    /// *all* views.
+    pub fn ingest<I: IntoIterator<Item = UpdateMessage>>(&mut self, messages: I) {
+        for msg in messages {
+            // Defensive idempotence: skip messages every view already
+            // reflects (see `ViewManager::ingest`).
+            if let Some(&v) = self.reflected.get(&msg.source) {
+                if msg.source_version <= v {
+                    continue;
+                }
+            }
+            let kind = match &msg.update {
+                SourceUpdate::Data(_) => UpdateKind::Data,
+                SourceUpdate::Schema(sc) => UpdateKind::Schema {
+                    invalidates_view: self.slots.iter().any(|s| s.view.is_invalidated_by(sc)),
+                },
+            };
+            self.umq.enqueue(UpdateMeta::new(msg.id.0, msg.source.0, kind, msg));
+        }
+    }
+
+    /// Drains arrivals and runs one scheduling step.
+    pub fn step(&mut self, port: &mut dyn SourcePort) -> Result<StepOutcome, ViewError> {
+        let arrivals = port.drain_arrivals();
+        self.ingest(arrivals);
+        let mut ctx = WarehouseCtx {
+            slots: &mut self.slots,
+            info: &self.info,
+            reflected: &mut self.reflected,
+            adaptation: self.adaptation,
+            last_error: &mut self.last_error,
+            port,
+            drained: Vec::new(),
+        };
+        let outcome = self.dyno.step(&mut self.umq, &mut ctx);
+        let drained = std::mem::take(&mut ctx.drained);
+        self.ingest(drained);
+        if outcome == StepOutcome::Failed {
+            return Err(self.last_error.take().unwrap_or(ViewError::Internal(
+                RelationalError::InvalidQuery {
+                    reason: "warehouse maintenance failed without an error".into(),
+                },
+            )));
+        }
+        Ok(outcome)
+    }
+
+    /// Steps until quiescent or `max_steps` exhausted.
+    pub fn run_to_quiescence(
+        &mut self,
+        port: &mut dyn SourcePort,
+        max_steps: u64,
+    ) -> Result<u64, ViewError> {
+        let mut steps = 0;
+        loop {
+            match self.step(port)? {
+                StepOutcome::Idle => return Ok(steps),
+                _ => {
+                    steps += 1;
+                    if steps >= max_steps {
+                        return Ok(steps);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Number of registered views.
+    pub fn view_count(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// The `i`-th view's current definition.
+    pub fn view(&self, i: usize) -> &ViewDefinition {
+        &self.slots[i].view
+    }
+
+    /// The `i`-th view's extent.
+    pub fn mv(&self, i: usize) -> &MaterializedView {
+        &self.slots[i].mv
+    }
+
+    /// The `i`-th view's maintenance counters.
+    pub fn stats(&self, i: usize) -> ViewStats {
+        self.slots[i].stats
+    }
+
+    /// Scheduler counters.
+    pub fn dyno_stats(&self) -> DynoStats {
+        self.dyno.stats()
+    }
+
+    /// Per-source versions every view currently reflects (they advance in
+    /// lockstep — entries are maintained atomically across views).
+    pub fn reflected(&self) -> &ReflectedVersions {
+        &self.reflected
+    }
+}
+
+struct WarehouseCtx<'a> {
+    slots: &'a mut Vec<ViewSlot>,
+    info: &'a InfoSpace,
+    reflected: &'a mut ReflectedVersions,
+    adaptation: AdaptationMode,
+    last_error: &'a mut Option<ViewError>,
+    port: &'a mut dyn SourcePort,
+    drained: Vec<UpdateMessage>,
+}
+
+impl Maintainer<UpdateMessage> for WarehouseCtx<'_> {
+    fn maintain(
+        &mut self,
+        batch: &[UpdateMeta<UpdateMessage>],
+        rest: &[&[UpdateMeta<UpdateMessage>]],
+    ) -> MaintainOutcome {
+        self.port.on_maintenance_event(MaintEvent::Begin {
+            updates: batch.len(),
+            schema_changes: batch.iter().filter(|m| m.payload.is_schema_change()).count(),
+        });
+        let pending: Vec<UpdateMessage> =
+            rest.iter().flat_map(|n| n.iter().map(|m| m.payload.clone())).collect();
+        let is_plain_du =
+            batch.len() == 1 && matches!(batch[0].payload.update, SourceUpdate::Data(_));
+
+        // Phase 1: compute every view's change without committing anything,
+        // so a broken query in view k discards views 0..k's work too.
+        enum Staged {
+            Delta(crate::vm::ViewDelta),
+            Adapted(Adapted),
+        }
+        let mut staged: Vec<Staged> = Vec::with_capacity(self.slots.len());
+        for slot in self.slots.iter() {
+            let outcome = if is_plain_du {
+                let (result, drained) =
+                    sweep_maintain(&slot.view, &batch[0].payload, &pending, self.port);
+                self.drained.extend(drained);
+                match result {
+                    Ok(delta) => Staged::Delta(delta),
+                    Err(f) => return self.fail(BatchFailure::from(f)),
+                }
+            } else {
+                let refs: Vec<&UpdateMessage> = batch.iter().map(|m| &m.payload).collect();
+                let (result, drained) = adapt_batch(
+                    &slot.view,
+                    &refs,
+                    &pending,
+                    self.info,
+                    self.adaptation,
+                    self.port,
+                );
+                self.drained.extend(drained);
+                match result {
+                    Ok(adapted) => Staged::Adapted(adapted),
+                    Err(f) => return self.fail(f),
+                }
+            };
+            staged.push(outcome);
+        }
+
+        // Phase 2: commit to every view.
+        for (slot, change) in self.slots.iter_mut().zip(staged) {
+            let applied = match change {
+                Staged::Delta(delta) => {
+                    let written = delta.rows.weight();
+                    slot.mv.apply_delta(&delta.cols, &delta.rows).map(|()| {
+                        self.port.charge_mv_write(written);
+                        slot.stats.du_committed += 1;
+                    })
+                }
+                Staged::Adapted(Adapted::Replaced { view, cols, extent }) => {
+                    let written = extent.weight();
+                    slot.mv.replace(cols, extent).map(|()| {
+                        self.port.charge_mv_write(written);
+                        slot.view = view;
+                        slot.stats.batches_committed += 1;
+                        slot.stats.batched_updates += batch.len() as u64;
+                    })
+                }
+                Staged::Adapted(Adapted::Incremental { view, delta }) => {
+                    let written = delta.rows.weight();
+                    slot.mv.apply_delta(&delta.cols, &delta.rows).map(|()| {
+                        self.port.charge_mv_write(written);
+                        slot.view = view;
+                        slot.stats.batches_committed += 1;
+                        slot.stats.incremental_batches += 1;
+                        slot.stats.batched_updates += batch.len() as u64;
+                    })
+                }
+            };
+            if let Err(e) = applied {
+                *self.last_error = Some(ViewError::Internal(e));
+                self.port.on_maintenance_event(MaintEvent::Abort);
+                return MaintainOutcome::Failed;
+            }
+        }
+        for meta in batch {
+            let entry = self.reflected.entry(meta.payload.source).or_insert(0);
+            *entry = (*entry).max(meta.payload.source_version);
+        }
+        self.port.on_maintenance_event(MaintEvent::Commit);
+        MaintainOutcome::Committed
+    }
+
+    fn refresh_view_relevance(&mut self, queue: &mut Umq<UpdateMessage>) {
+        // Shadow-evolve every view through the queue; a schema change is
+        // relevant if it invalidates any shadow at its queue position.
+        let mut shadows: Vec<ViewDefinition> =
+            self.slots.iter().map(|s| s.view.clone()).collect();
+        for meta in queue.metas_mut() {
+            if let SourceUpdate::Schema(sc) = &meta.payload.update {
+                let mut invalidates = false;
+                for shadow in &mut shadows {
+                    if shadow.is_invalidated_by(sc) {
+                        invalidates = true;
+                        if let Ok(next) = crate::vs::synchronize(shadow, sc, self.info) {
+                            *shadow = next;
+                        }
+                    }
+                }
+                meta.kind = UpdateKind::Schema { invalidates_view: invalidates };
+            }
+        }
+    }
+}
+
+impl WarehouseCtx<'_> {
+    fn fail(&mut self, failure: BatchFailure) -> MaintainOutcome {
+        match failure {
+            BatchFailure::Broken(_) => {
+                for slot in self.slots.iter_mut() {
+                    slot.stats.aborts += 1;
+                }
+                self.port.on_maintenance_event(MaintEvent::Abort);
+                MaintainOutcome::BrokenQuery
+            }
+            BatchFailure::Undefinable(e) => {
+                *self.last_error = Some(ViewError::Undefinable(e));
+                self.port.on_maintenance_event(MaintEvent::Abort);
+                MaintainOutcome::Failed
+            }
+            BatchFailure::Internal(e) => {
+                *self.last_error = Some(ViewError::Internal(e));
+                self.port.on_maintenance_event(MaintEvent::Abort);
+                MaintainOutcome::Failed
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::InProcessPort;
+    use crate::testkit::*;
+    use dyno_relational::{SchemaChange, SpjQuery};
+    use dyno_source::SourceId;
+
+    /// A second view over the Retailer only: store price list.
+    fn pricelist_view() -> ViewDefinition {
+        let q = SpjQuery::over(["Store", "Item"])
+            .select("Store", "StoreName")
+            .select("Item", "Book")
+            .select("Item", "Price")
+            .join_eq(("Store", "SID"), ("Item", "SID"))
+            .build();
+        ViewDefinition::new("PriceList", q)
+    }
+
+    /// A third view over the Library only.
+    fn catalog_view() -> ViewDefinition {
+        let q = SpjQuery::over(["Catalog"])
+            .select("Catalog", "Title")
+            .select("Catalog", "Publisher")
+            .build();
+        ViewDefinition::new("Titles", q)
+    }
+
+    fn warehouse() -> (Warehouse, InProcessPort) {
+        let space = bookinfo_space();
+        let info = space.info().clone();
+        let mut port = InProcessPort::new(space);
+        let mut wh = Warehouse::new(info, Strategy::Pessimistic);
+        wh.add_view(bookinfo_view());
+        wh.add_view(pricelist_view());
+        wh.add_view(catalog_view());
+        wh.initialize(&mut port).unwrap();
+        (wh, port)
+    }
+
+    #[test]
+    fn initializes_all_views() {
+        let (wh, _) = warehouse();
+        assert_eq!(wh.view_count(), 3);
+        assert_eq!(wh.mv(0).len(), 1, "BookInfo: one matching book");
+        assert_eq!(wh.mv(1).len(), 1, "PriceList: one item");
+        assert_eq!(wh.mv(2).len(), 2, "Titles: both catalog rows");
+    }
+
+    #[test]
+    fn one_du_updates_exactly_the_affected_views() {
+        let (mut wh, mut port) = warehouse();
+        port.commit(
+            SourceId(0),
+            SourceUpdate::Data(insert_item(10, "Data Integration Guide", "Adams", 36)),
+        )
+        .unwrap();
+        wh.run_to_quiescence(&mut port, 100).unwrap();
+        assert_eq!(wh.mv(0).len(), 2, "BookInfo gains the joined row");
+        assert_eq!(wh.mv(1).len(), 2, "PriceList gains the item");
+        assert_eq!(wh.mv(2).len(), 2, "Titles untouched");
+    }
+
+    #[test]
+    fn schema_change_rewrites_only_affected_views() {
+        let (mut wh, mut port) = warehouse();
+        let store = port.space().server(SourceId(0)).catalog().get("Store").unwrap().clone();
+        let item = port.space().server(SourceId(0)).catalog().get("Item").unwrap().clone();
+        port.commit(SourceId(0), SourceUpdate::Schema(storeitems_change(&store, &item)))
+            .unwrap();
+        wh.run_to_quiescence(&mut port, 100).unwrap();
+        assert!(wh.view(0).references_relation("StoreItems"));
+        assert!(wh.view(1).references_relation("StoreItems"));
+        assert_eq!(wh.view(2), &catalog_view(), "Library-only view untouched");
+        assert_eq!(wh.mv(0).len(), 1);
+        assert_eq!(wh.mv(1).len(), 1);
+        assert_eq!(wh.mv(2).len(), 2);
+    }
+
+    #[test]
+    fn views_reflect_the_same_state_vector() {
+        let (mut wh, mut port) = warehouse();
+        port.commit(
+            SourceId(0),
+            SourceUpdate::Data(insert_item(10, "Data Integration Guide", "Adams", 36)),
+        )
+        .unwrap();
+        port.commit(
+            SourceId(1),
+            SourceUpdate::Schema(SchemaChange::DropAttribute {
+                relation: "Catalog".into(),
+                attr: "Review".into(),
+            }),
+        )
+        .unwrap();
+        wh.run_to_quiescence(&mut port, 100).unwrap();
+        // Every view matches a fresh evaluation of its (current) definition
+        // over the final source states.
+        for i in 0..wh.view_count() {
+            let expected = dyno_relational::eval(&wh.view(i).query, &port.space().provider())
+                .expect("final definitions are valid");
+            assert_eq!(wh.mv(i).extent(), &expected.rows, "view {i} converged");
+        }
+    }
+
+    #[test]
+    fn sc_relevant_to_any_view_is_scheduled_first() {
+        // An SC irrelevant to view 0 but relevant to view 2 still reorders.
+        let (mut wh, mut port) = warehouse();
+        port.commit(
+            SourceId(1),
+            SourceUpdate::Schema(SchemaChange::RenameAttribute {
+                relation: "Catalog".into(),
+                from: "Publisher".into(),
+                to: "House".into(),
+            }),
+        )
+        .unwrap();
+        wh.run_to_quiescence(&mut port, 100).unwrap();
+        // BookInfo and Titles both project Publisher → both rewritten.
+        assert!(wh.view(0).query.to_string().contains("Catalog.House AS Publisher"));
+        assert!(wh.view(2).query.to_string().contains("Catalog.House AS Publisher"));
+        assert_eq!(wh.view(1), &pricelist_view(), "Retailer view untouched");
+    }
+
+    #[test]
+    fn undefinable_for_one_view_fails_the_warehouse() {
+        let (mut wh, mut port) = warehouse();
+        port.commit(
+            SourceId(1),
+            SourceUpdate::Schema(SchemaChange::DropRelation { relation: "Catalog".into() }),
+        )
+        .unwrap();
+        assert!(matches!(
+            wh.run_to_quiescence(&mut port, 100),
+            Err(ViewError::Undefinable(_))
+        ));
+    }
+}

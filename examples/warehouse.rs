@@ -1,0 +1,74 @@
+//! A multi-view warehouse over the BookInfo sources: three materialized
+//! views — the full integration view, a retailer price list, and a library
+//! title index — maintained through one Update Message Queue and one Dyno
+//! schedule. A schema change relevant to *any* view re-orders the shared
+//! queue; every view always reflects the same per-source state vector.
+//!
+//! Run with: `cargo run --example warehouse`
+
+use dyno::prelude::*;
+use dyno::view::testkit::{bookinfo_space, bookinfo_view, insert_item, storeitems_change};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let space = bookinfo_space();
+    let info = space.info().clone();
+    let mut port = InProcessPort::new(space);
+
+    let mut wh = Warehouse::new(info, Strategy::Pessimistic);
+    wh.add_view(bookinfo_view());
+    wh.add_view(ViewDefinition::parse(
+        "CREATE VIEW PriceList AS \
+         SELECT Store.StoreName, Item.Book, Item.Price FROM Store, Item \
+         WHERE Store.SID = Item.SID",
+        "PriceList",
+    )?);
+    wh.add_view(ViewDefinition::parse(
+        "CREATE VIEW Titles AS SELECT Catalog.Title, Catalog.Publisher FROM Catalog",
+        "Titles",
+    )?);
+    wh.initialize(&mut port)?;
+
+    println!("initialized {} views:", wh.view_count());
+    for i in 0..wh.view_count() {
+        println!("  {} [{} tuples]", wh.view(i).name, wh.mv(i).len());
+    }
+
+    // A data update lands at the retailer…
+    port.commit(
+        SourceId(0),
+        SourceUpdate::Data(insert_item(10, "Data Integration Guide", "Adams", 36)),
+    )?;
+    // …followed by the Figure-2 mapping restructure (Store ⋈ Item →
+    // StoreItems), which invalidates BookInfo *and* PriceList but not Titles.
+    let store = port.space().server(SourceId(0)).catalog().get("Store")?.clone();
+    let item = port.space().server(SourceId(0)).catalog().get("Item")?.clone();
+    port.commit(SourceId(0), SourceUpdate::Schema(storeitems_change(&store, &item)))?;
+
+    wh.run_to_quiescence(&mut port, 100)?;
+
+    println!("\nafter one insert + the StoreItems restructure:");
+    for i in 0..wh.view_count() {
+        println!(
+            "  {} [{} tuples]  aborts={} batches={}\n    {}",
+            wh.view(i).name,
+            wh.mv(i).len(),
+            wh.stats(i).aborts,
+            wh.stats(i).batches_committed,
+            wh.view(i)
+        );
+    }
+    println!(
+        "\nscheduler: {} graph builds, {} merges, reflected versions {:?}",
+        wh.dyno_stats().graph_builds,
+        wh.dyno_stats().merges,
+        wh.reflected()
+    );
+
+    assert!(wh.view(0).references_relation("StoreItems"));
+    assert!(wh.view(1).references_relation("StoreItems"));
+    assert!(wh.view(2).references_relation("Catalog"));
+    assert_eq!(wh.mv(0).len(), 2);
+    assert_eq!(wh.mv(1).len(), 2);
+    assert_eq!(wh.mv(2).len(), 2);
+    Ok(())
+}

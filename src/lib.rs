@@ -1,0 +1,66 @@
+//! # dyno — Detection and Correction of Conflicting Source Updates for View Maintenance
+//!
+//! A from-scratch Rust reproduction of the ICDE 2004 paper by Chen, Chen,
+//! Zhang and Rundensteiner: the **Dyno** dynamic scheduler that makes
+//! materialized-view maintenance correct when autonomous data sources
+//! concurrently commit both **data updates** and **schema changes**.
+//!
+//! The workspace is layered (see `DESIGN.md` for the full inventory):
+//!
+//! | crate | contents |
+//! |---|---|
+//! | [`relational`] | in-memory relational substrate: bag relations, signed deltas, SPJ query engine, DDL |
+//! | [`source`] | autonomous source servers, wrappers, the EVE-style information space |
+//! | [`core`] | Dyno itself: dependency graph, cycle merge, topological correction, pessimistic/optimistic scheduling — data-model-independent |
+//! | [`view`] | the view manager: UMQ, SWEEP maintenance with compensation, view synchronization, view adaptation (paper Equation 6) |
+//! | [`sim`] | the discrete-event testbed replacing the paper's Oracle cluster: virtual clock, cost model, workloads, consistency auditors |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use dyno::prelude::*;
+//! use dyno::view::testkit::{bookinfo_space, bookinfo_view, insert_item};
+//!
+//! // The paper's running example: the BookInfo view over three sources.
+//! let space = bookinfo_space();
+//! let info = space.info().clone();
+//! let mut port = InProcessPort::new(space);
+//! let mut mgr = ViewManager::new(bookinfo_view(), info, Strategy::Pessimistic);
+//! mgr.initialize(&mut port).unwrap();
+//!
+//! // A source autonomously commits a data update…
+//! port.commit(
+//!     SourceId(0),
+//!     SourceUpdate::Data(insert_item(10, "Data Integration Guide", "Adams", 36)),
+//! )
+//! .unwrap();
+//!
+//! // …and the manager maintains the view incrementally, compensating for
+//! // any concurrent updates and re-ordering around schema changes.
+//! mgr.run_to_quiescence(&mut port, 100).unwrap();
+//! assert_eq!(mgr.mv().len(), 2);
+//! ```
+
+pub use dyno_core as core;
+pub use dyno_relational as relational;
+pub use dyno_sim as sim;
+pub use dyno_source as source;
+pub use dyno_view as view;
+
+/// The most commonly used items, re-exported flat.
+pub mod prelude {
+    pub use dyno_core::{Dyno, DynoStats, StepOutcome, Strategy, Umq, UpdateKind, UpdateMeta};
+    pub use dyno_relational::{
+        AttrType, Attribute, Catalog, CmpOp, ColRef, DataUpdate, Delta, Relation,
+        RelationalError, Schema, SchemaChange, SourceUpdate, SpjQuery, Tuple, Value,
+    };
+    pub use dyno_sim::{
+        run_scenario, CostModel, RunReport, Scenario, ScheduledCommit, SimPort, TestbedConfig,
+        WorkloadGen,
+    };
+    pub use dyno_source::{InfoSpace, SourceId, SourceServer, SourceSpace, UpdateMessage};
+    pub use dyno_view::{
+        InProcessPort, MaterializedView, SourcePort, ViewDefinition, ViewError, ViewManager,
+        Warehouse,
+    };
+}

@@ -1,0 +1,74 @@
+//! The incremental (Equation 6) adaptation path must be observationally
+//! equivalent to wholesale recomputation: for any shape-preserving workload,
+//! both `AdaptationMode`s produce the same final view definition and extent;
+//! incremental is used exactly when applicable.
+
+use proptest::prelude::*;
+
+use dyno::core::Strategy;
+use dyno::prelude::*;
+use dyno::sim::{build_testbed, check_convergence, EventKind};
+use dyno::view::AdaptationMode;
+
+fn run_with_mode(
+    timeline: &[(u64, EventKind)],
+    seed: u64,
+    mode: AdaptationMode,
+) -> (ViewManager, InProcessPort) {
+    let cfg = TestbedConfig { tuples_per_relation: 40, ..Default::default() };
+    let (space, view) = build_testbed(&cfg);
+    let info = space.info().clone();
+    let mut gen = WorkloadGen::new(cfg, seed);
+    let schedule = gen.realize(timeline);
+    let mut port = InProcessPort::new(space);
+    let mut mgr = ViewManager::new(view, info, Strategy::Pessimistic).with_adaptation(mode);
+    mgr.initialize(&mut port).expect("testbed initializes");
+    for c in schedule {
+        port.commit(c.source, c.update).expect("workload is schema-consistent");
+    }
+    mgr.run_to_quiescence(&mut port, 2_000).expect("quiesces");
+    (mgr, port)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+
+    /// Auto (incremental where applicable) and RecomputeOnly agree on the
+    /// final definition and extent for arbitrary DU/rename/drop workloads.
+    #[test]
+    fn modes_agree(
+        events in prop::collection::vec(
+            prop::sample::select(vec![
+                EventKind::DataUpdate,
+                EventKind::DataUpdate,
+                EventKind::RenameRelation,
+                EventKind::DropAttribute,
+            ]),
+            1..12
+        ),
+        seed in 0u64..500,
+    ) {
+        let timeline: Vec<(u64, EventKind)> =
+            events.into_iter().enumerate().map(|(i, k)| (i as u64, k)).collect();
+        let (auto, auto_port) = run_with_mode(&timeline, seed, AdaptationMode::Auto);
+        let (reco, _) = run_with_mode(&timeline, seed, AdaptationMode::RecomputeOnly);
+        prop_assert_eq!(auto.view(), reco.view());
+        prop_assert_eq!(auto.mv().extent(), reco.mv().extent());
+        prop_assert!(check_convergence(auto_port.space(), auto.view(), auto.mv()).unwrap());
+        prop_assert_eq!(reco.stats().incremental_batches, 0,
+            "RecomputeOnly never takes the incremental path");
+    }
+}
+
+/// A rename-plus-insert batch is adapted incrementally under Auto.
+#[test]
+fn auto_uses_incremental_for_renames() {
+    let timeline = vec![
+        (0, EventKind::DataUpdate),
+        (0, EventKind::RenameRelation),
+        (0, EventKind::RenameRelation),
+    ];
+    let (mgr, port) = run_with_mode(&timeline, 7, AdaptationMode::Auto);
+    assert!(mgr.stats().incremental_batches >= 1, "stats: {:?}", mgr.stats());
+    assert!(check_convergence(port.space(), mgr.view(), mgr.mv()).unwrap());
+}

@@ -1,0 +1,149 @@
+//! Property tests for the bag algebra underlying incremental maintenance:
+//! the identity `(R + Δ) ⋈ S = R ⋈ S + Δ ⋈ S` and its supporting laws are
+//! what make SWEEP compensation and Equation 6 correct.
+
+use proptest::prelude::*;
+// Explicit import disambiguates from `dyno`'s scheduling `Strategy`.
+use proptest::strategy::Strategy;
+
+use dyno::prelude::*;
+use dyno::relational::SignedBag;
+use dyno::view::LocalProvider;
+
+fn r_schema() -> Schema {
+    Schema::of("R", &[("k", AttrType::Int), ("a", AttrType::Int)])
+}
+
+fn s_schema() -> Schema {
+    Schema::of("S", &[("k", AttrType::Int), ("b", AttrType::Int)])
+}
+
+prop_compose! {
+    /// A small signed bag of (k, v) tuples with keys in a narrow range so
+    /// joins actually match.
+    fn signed_rows(max_count: i64)(
+        rows in prop::collection::vec(((0..6i64), (0..4i64), (-max_count..=max_count)), 0..12)
+    ) -> Vec<(Tuple, i64)> {
+        rows.into_iter()
+            .map(|(k, v, c)| (Tuple::of([k, v]), c))
+            .collect()
+    }
+}
+
+fn bag_of(rows: &[(Tuple, i64)]) -> SignedBag {
+    rows.iter().cloned().collect()
+}
+
+/// Non-negative bag (a relation state).
+fn relation_rows() -> impl Strategy<Value = Vec<(Tuple, i64)>> {
+    signed_rows(3).prop_map(|rows| {
+        rows.into_iter().map(|(t, c)| (t, c.abs())).collect()
+    })
+}
+
+fn join_query() -> SpjQuery {
+    SpjQuery::over(["R", "S"])
+        .select("R", "a")
+        .select("S", "b")
+        .join_eq(("R", "k"), ("S", "k"))
+        .build()
+}
+
+fn eval_rs(r: SignedBag, s: SignedBag) -> SignedBag {
+    let mut p = LocalProvider::new();
+    p.insert(r_schema(), r);
+    p.insert(s_schema(), s);
+    dyno::relational::eval(&join_query(), &p).expect("well-typed join").rows
+}
+
+proptest! {
+    /// merge/diff are inverse; negation cancels.
+    #[test]
+    fn merge_diff_inverse(a in signed_rows(4), b in signed_rows(4)) {
+        let (a, b) = (bag_of(&a), bag_of(&b));
+        let mut m = a.clone();
+        m.merge(&b);
+        prop_assert_eq!(m.diff(&b), a.clone());
+        let mut z = a.clone();
+        z.merge(&a.negated());
+        prop_assert!(z.is_empty());
+    }
+
+    /// merge is commutative and associative.
+    #[test]
+    fn merge_commutative_associative(
+        a in signed_rows(4), b in signed_rows(4), c in signed_rows(4)
+    ) {
+        let (a, b, c) = (bag_of(&a), bag_of(&b), bag_of(&c));
+        let mut ab = a.clone(); ab.merge(&b);
+        let mut ba = b.clone(); ba.merge(&a);
+        prop_assert_eq!(&ab, &ba);
+        let mut ab_c = ab.clone(); ab_c.merge(&c);
+        let mut bc = b.clone(); bc.merge(&c);
+        let mut a_bc = a.clone(); a_bc.merge(&bc);
+        prop_assert_eq!(ab_c, a_bc);
+    }
+
+    /// The incremental-maintenance identity: (R + Δ) ⋈ S = R ⋈ S + Δ ⋈ S.
+    #[test]
+    fn join_distributes_over_delta(
+        r in relation_rows(), delta in signed_rows(2), s in relation_rows()
+    ) {
+        let (r, delta, s) = (bag_of(&r), bag_of(&delta), bag_of(&s));
+        let mut r_plus = r.clone();
+        r_plus.merge(&delta);
+        let full = eval_rs(r_plus, s.clone());
+        let mut incremental = eval_rs(r, s.clone());
+        incremental.merge(&eval_rs(delta, s));
+        prop_assert_eq!(full, incremental);
+    }
+
+    /// Projection is linear: π(A + B) = π(A) + π(B).
+    #[test]
+    fn projection_linear(a in signed_rows(3), b in signed_rows(3)) {
+        let (a, b) = (bag_of(&a), bag_of(&b));
+        let mut sum = a.clone();
+        sum.merge(&b);
+        let lhs = sum.project(&[0]);
+        let mut rhs = a.project(&[0]);
+        rhs.merge(&b.project(&[0]));
+        prop_assert_eq!(lhs, rhs);
+    }
+
+    /// Applying a delta to a relation then diffing recovers the delta's
+    /// effect (Relation::diff is the inverse of Relation::apply).
+    #[test]
+    fn relation_diff_recovers_apply(base in relation_rows(), extra in relation_rows()) {
+        let old = Relation::from_tuples(
+            r_schema(),
+            base.iter().flat_map(|(t, c)| std::iter::repeat_n(t.clone(), *c as usize)),
+        ).expect("well-typed");
+        let delta = Delta::from_rows(r_schema(), extra.iter().cloned()).expect("well-typed");
+        let mut new = old.clone();
+        new.apply(&delta).expect("pure inserts always apply");
+        let recovered = Relation::diff(&old, &new);
+        prop_assert_eq!(recovered.rows(), delta.rows());
+    }
+
+    /// Query evaluation commutes with overlay binding: binding Δ in place of
+    /// R equals evaluating with R replaced by Δ.
+    #[test]
+    fn overlay_equals_substitution(delta in signed_rows(2), s in relation_rows()) {
+        let (delta, s) = (bag_of(&delta), bag_of(&s));
+        // Path 1: LocalProvider with delta as R directly.
+        let direct = eval_rs(delta.clone(), s.clone());
+        // Path 2: bound table overlaying a base provider that has R and S.
+        let mut base = LocalProvider::new();
+        base.insert(r_schema(), SignedBag::new());
+        base.insert(s_schema(), s);
+        let bound = dyno::view::BoundTable {
+            name: "R".into(),
+            cols: vec!["k".into(), "a".into()],
+            rows: delta,
+        };
+        let via_overlay = dyno::view::eval_with_bound(&base, &join_query(), &[bound])
+            .expect("well-typed")
+            .rows;
+        prop_assert_eq!(direct, via_overlay);
+    }
+}

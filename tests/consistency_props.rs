@@ -1,0 +1,98 @@
+//! End-to-end property test of the paper's correctness claims (Section 4.4):
+//! for arbitrary interleavings of data updates and schema changes, under
+//! both detection strategies, the view manager
+//!
+//! * converges (final extent = view over final source states),
+//! * maintains strong consistency (after every commit the extent matches
+//!   the exact per-source state vector it claims to reflect),
+//! * never leaves scheduled commits unapplied, and
+//! * terminates within its step budget.
+
+use proptest::prelude::*;
+
+use dyno::core::Strategy as Detection;
+use dyno::prelude::*;
+use dyno::sim::{build_testbed, EventKind};
+
+prop_compose! {
+    /// A random timeline: events with random kinds at random times within a
+    /// 60-simulated-second window (the conflict-prone regime: a schema
+    /// change's maintenance takes ~25 s).
+    fn timeline()(
+        events in prop::collection::vec(
+            ((0u64..60), prop::sample::select(vec![
+                EventKind::DataUpdate,
+                EventKind::DataUpdate,
+                EventKind::DataDelete,
+                EventKind::RenameRelation,
+                EventKind::DropAttribute,
+                EventKind::AddAttribute,
+            ])),
+            1..14
+        )
+    ) -> Vec<(u64, EventKind)> {
+        let mut t: Vec<(u64, EventKind)> =
+            events.into_iter().map(|(s, k)| (s * 1_000_000, k)).collect();
+        t.sort_by_key(|e| e.0);
+        // At most 3 attribute drops fit the testbed (3 extra attrs; dropping
+        // more is fine for the generator but thins the view quickly).
+        t
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    #[test]
+    fn any_interleaving_converges_with_strong_consistency(
+        timeline in timeline(),
+        seed in 0u64..1000,
+    ) {
+        for strategy in [Detection::Pessimistic, Detection::Optimistic] {
+            let cfg = TestbedConfig { tuples_per_relation: 60, ..Default::default() };
+            let (space, view) = build_testbed(&cfg);
+            let mut gen = WorkloadGen::new(cfg, seed);
+            let schedule = gen.realize(&timeline);
+            let report = run_scenario(
+                Scenario::new(space, view, schedule)
+                    .with_strategy(strategy)
+                    .with_audit(),
+            )
+            .expect("no hard failures on testbed workloads");
+            prop_assert!(!report.exhausted, "{strategy:?}: step budget exhausted");
+            prop_assert_eq!(report.metrics.skipped_commits, 0,
+                "{:?}: workload generator must stay schema-consistent", strategy);
+            prop_assert!(report.converged, "{strategy:?}: view did not converge");
+            prop_assert_eq!(report.audit_violations, 0,
+                "{:?}: strong consistency violated", strategy);
+        }
+    }
+
+    /// DU-only interleavings additionally never abort and never build a
+    /// dependency graph (the O(1) fast path).
+    #[test]
+    fn du_only_interleavings_use_fast_path(
+        times in prop::collection::vec(0u64..30, 1..20),
+        seed in 0u64..1000,
+    ) {
+        let mut timeline: Vec<(u64, EventKind)> =
+            times.into_iter().map(|s| (s * 1_000_000, EventKind::DataUpdate)).collect();
+        timeline.sort_by_key(|e| e.0);
+        let cfg = TestbedConfig { tuples_per_relation: 60, ..Default::default() };
+        let (space, view) = build_testbed(&cfg);
+        let mut gen = WorkloadGen::new(cfg, seed);
+        let schedule = gen.realize(&timeline);
+        let n = schedule.len() as u64;
+        let report = run_scenario(
+            Scenario::new(space, view, schedule)
+                .with_strategy(Detection::Pessimistic)
+                .with_audit(),
+        )
+        .expect("DU-only runs cannot fail");
+        prop_assert!(report.converged);
+        prop_assert_eq!(report.audit_violations, 0);
+        prop_assert_eq!(report.metrics.aborts, 0);
+        prop_assert_eq!(report.dyno_stats.graph_builds, 0);
+        prop_assert_eq!(report.view_stats.du_committed, n);
+    }
+}

@@ -1,0 +1,105 @@
+//! Property test for paper Equation 6: the incremental n-way-join delta
+//! equals full recomputation over the new states diffed against the old
+//! extent, for arbitrary relation states and arbitrary signed deltas.
+
+use std::collections::HashMap;
+
+use proptest::prelude::*;
+
+use dyno::prelude::*;
+use dyno::relational::SignedBag;
+use dyno::view::{equation6_delta, LocalProvider, ViewDefinition};
+
+fn schema(i: usize) -> Schema {
+    Schema::of(&format!("R{i}"), &[("k", AttrType::Int), ("v", AttrType::Int)])
+}
+
+fn view(n: usize) -> ViewDefinition {
+    let names: Vec<String> = (0..n).map(|i| format!("R{i}")).collect();
+    let mut b = SpjQuery::over(names.clone());
+    for (i, name) in names.iter().enumerate() {
+        b = b.select_as(name, "v", &format!("v{i}"));
+    }
+    for w in names.windows(2) {
+        b = b.join_eq((w[0].as_str(), "k"), (w[1].as_str(), "k"));
+    }
+    ViewDefinition::new("V", b.build())
+}
+
+prop_compose! {
+    fn rel_rows()(rows in prop::collection::vec(((0..5i64), (0..3i64), 1..3i64), 0..8))
+        -> Vec<(Tuple, i64)> {
+        rows.into_iter().map(|(k, v, c)| (Tuple::of([k, v]), c)).collect()
+    }
+}
+
+prop_compose! {
+    /// A delta that only deletes tuples that exist (so `old + delta` stays a
+    /// valid relation) and inserts new ones.
+    fn delta_rows()(rows in prop::collection::vec(((0..5i64), (3..6i64), 1..3i64), 0..6))
+        -> Vec<(Tuple, i64)> {
+        rows.into_iter().map(|(k, v, c)| (Tuple::of([k, v]), c)).collect()
+    }
+}
+
+proptest! {
+    /// ΔV from Equation 6 equals eval(V, new states) − eval(V, old states),
+    /// with up to all relations changing at once.
+    #[test]
+    fn equation6_equals_recompute_diff(
+        states in prop::collection::vec(rel_rows(), 3),
+        inserts in prop::collection::vec(delta_rows(), 3),
+        changed_mask in 0u8..8,
+    ) {
+        let n = 3;
+        let view = view(n);
+        let mut old: HashMap<String, (Schema, SignedBag)> = HashMap::new();
+        for (i, rows) in states.iter().enumerate() {
+            old.insert(format!("R{i}"), (schema(i), rows.iter().cloned().collect()));
+        }
+        let mut deltas: HashMap<String, SignedBag> = HashMap::new();
+        for (i, rows) in inserts.iter().enumerate() {
+            if changed_mask & (1 << i) != 0 {
+                let mut d: SignedBag = rows.iter().cloned().collect();
+                // Also delete half of the existing tuples of this relation,
+                // exercising negative multiplicities.
+                for (j, (t, c)) in states[i].iter().enumerate() {
+                    if j % 2 == 0 {
+                        d.add(t.clone(), -c);
+                    }
+                }
+                deltas.insert(format!("R{i}"), d);
+            }
+        }
+
+        let dv = equation6_delta(&view.query, &old, &deltas).expect("well-formed");
+
+        let eval_over = |pick_new: bool| -> SignedBag {
+            let mut p = LocalProvider::new();
+            for (name, (schema, rows)) in &old {
+                let mut r = rows.clone();
+                if pick_new {
+                    if let Some(d) = deltas.get(name) {
+                        r.merge(d);
+                    }
+                }
+                p.insert(schema.clone(), r);
+            }
+            dyno::relational::eval(&view.query, &p).expect("well-formed").rows
+        };
+        let expected = eval_over(true).diff(&eval_over(false));
+        prop_assert_eq!(dv.rows, expected);
+    }
+
+    /// An empty delta map yields an empty ΔV.
+    #[test]
+    fn equation6_no_change_is_empty(states in prop::collection::vec(rel_rows(), 3)) {
+        let view = view(3);
+        let mut old: HashMap<String, (Schema, SignedBag)> = HashMap::new();
+        for (i, rows) in states.iter().enumerate() {
+            old.insert(format!("R{i}"), (schema(i), rows.iter().cloned().collect()));
+        }
+        let dv = equation6_delta(&view.query, &old, &HashMap::new()).expect("well-formed");
+        prop_assert!(dv.rows.is_empty());
+    }
+}

@@ -1,0 +1,103 @@
+//! Property test for Section-5 update homogenization: applying a delta and
+//! then a schema-change sequence to a relation equals applying the sequence
+//! first and then the *homogenized* delta —
+//! `changes(R ⊎ Δ) = changes(R) ⊎ homogenize(Δ, changes)`.
+
+use proptest::prelude::*;
+// Explicit import disambiguates from `dyno`'s scheduling `Strategy`.
+use proptest::strategy::Strategy;
+
+use dyno::prelude::*;
+use dyno::view::homogenize_delta;
+
+fn base_relation() -> Relation {
+    Relation::from_tuples(
+        Schema::of("T", &[("a", AttrType::Int), ("b", AttrType::Int), ("c", AttrType::Int)]),
+        [Tuple::of([1i64, 2, 3]), Tuple::of([4i64, 5, 6])],
+    )
+    .expect("static fixture")
+}
+
+/// A consistent schema-change walk over `T` (renames, drops, adds), plus an
+/// insert-only delta valid against the *initial* schema.
+fn walk_and_delta() -> impl Strategy<Value = (Vec<SchemaChange>, Delta)> {
+    let ops = prop::collection::vec((0u8..4, 0usize..8), 0..6);
+    let rows = prop::collection::vec((10i64..20, 10i64..20, 10i64..20), 0..5);
+    (ops, rows).prop_map(|(ops, rows)| {
+        // Build the walk exactly like the sources would: track the schema.
+        let mut rel = base_relation();
+        let mut name = "T".to_string();
+        let mut serial = 0u32;
+        let mut changes = Vec::new();
+        for (op, pick) in ops {
+            let attrs: Vec<String> =
+                rel.schema().attrs().iter().map(|a| a.name.clone()).collect();
+            let change = match op {
+                0 => {
+                    serial += 1;
+                    let to = format!("T{serial}");
+                    let c = SchemaChange::RenameRelation { from: name.clone(), to: to.clone() };
+                    name = to;
+                    c
+                }
+                1 if !attrs.is_empty() => {
+                    serial += 1;
+                    SchemaChange::RenameAttribute {
+                        relation: name.clone(),
+                        from: attrs[pick % attrs.len()].clone(),
+                        to: format!("x{serial}"),
+                    }
+                }
+                2 if attrs.len() > 1 => SchemaChange::DropAttribute {
+                    relation: name.clone(),
+                    attr: attrs[pick % attrs.len()].clone(),
+                },
+                _ => {
+                    serial += 1;
+                    SchemaChange::AddAttribute {
+                        relation: name.clone(),
+                        attr: Attribute::new(format!("n{serial}"), AttrType::Int),
+                        default: Value::from(-1),
+                    }
+                }
+            };
+            rel = dyno::relational::apply_to_relation(&rel, &change)
+                .expect("walk is consistent")
+                .expect("relation survives");
+            changes.push(change);
+        }
+        let delta = Delta::inserts(
+            base_relation().schema().clone(),
+            rows.into_iter().map(|(a, b, c)| Tuple::of([a, b, c])),
+        )
+        .expect("rows match the initial schema");
+        (changes, delta)
+    })
+}
+
+fn apply_changes(rel: &Relation, changes: &[SchemaChange]) -> Relation {
+    let mut r = rel.clone();
+    for c in changes {
+        r = dyno::relational::apply_to_relation(&r, c)
+            .expect("consistent walk")
+            .expect("relation survives");
+    }
+    r
+}
+
+proptest! {
+    #[test]
+    fn homogenization_commutes_with_schema_evolution((changes, delta) in walk_and_delta()) {
+        // Path 1: apply the delta first, then evolve the schema.
+        let mut with_delta = base_relation();
+        with_delta.apply(&delta).expect("pure inserts");
+        let evolved_then = apply_changes(&with_delta, &changes);
+
+        // Path 2: evolve the schema first, then apply the homogenized delta.
+        let mut evolved = apply_changes(&base_relation(), &changes);
+        let homogenized = homogenize_delta(&delta, &changes).expect("consistent walk");
+        evolved.apply(&homogenized).expect("homogenized delta fits the evolved schema");
+
+        prop_assert_eq!(evolved_then, evolved);
+    }
+}
