@@ -1,7 +1,7 @@
 //! μ2: cycle detection, merge, and topological sort (paper Section 4.2,
 //! Theorem 2) — O(n + e) on chains, DAGs and cyclic graphs.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dyno_bench::harness::Harness;
 use dyno_core::{legal_schedule, DepGraph, DepKind, Dependency};
 
 fn chain(n: usize) -> DepGraph {
@@ -17,31 +17,19 @@ fn cyclic(n: usize) -> DepGraph {
     for i in 1..n {
         deps.push(Dependency { dependent: i, prerequisite: i - 1, kind: DepKind::Semantic });
         if i % 10 == 0 {
-            deps.push(Dependency {
-                dependent: i - 1,
-                prerequisite: i,
-                kind: DepKind::Concurrent,
-            });
+            deps.push(Dependency { dependent: i - 1, prerequisite: i, kind: DepKind::Concurrent });
         }
     }
     DepGraph::from_edges(n, deps)
 }
 
-fn bench_correction(c: &mut Criterion) {
-    let mut g = c.benchmark_group("legal_schedule");
-    g.sample_size(30);
+fn main() {
+    let mut h = Harness::new("legal_schedule");
     for n in [100usize, 1000, 10_000] {
         let ch = chain(n);
-        g.bench_with_input(BenchmarkId::new("chain", n), &ch, |b, graph| {
-            b.iter(|| legal_schedule(graph))
-        });
+        h.bench(&format!("chain/{n}"), || legal_schedule(&ch));
         let cy = cyclic(n);
-        g.bench_with_input(BenchmarkId::new("cyclic", n), &cy, |b, graph| {
-            b.iter(|| legal_schedule(graph))
-        });
+        h.bench(&format!("cyclic/{n}"), || legal_schedule(&cy));
     }
-    g.finish();
+    h.finish();
 }
-
-criterion_group!(benches, bench_correction);
-criterion_main!(benches);

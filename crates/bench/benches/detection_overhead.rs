@@ -3,7 +3,7 @@
 //! check — compare scheduler throughput under both strategies with a no-op
 //! maintainer.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dyno_bench::harness::Harness;
 use dyno_core::{Dyno, MaintainOutcome, Maintainer, Strategy, Umq, UpdateKind, UpdateMeta};
 
 struct Noop;
@@ -20,35 +20,25 @@ impl Maintainer<()> for Noop {
     fn refresh_view_relevance(&mut self, _queue: &mut Umq<()>) {}
 }
 
-fn bench_scheduler_throughput(c: &mut Criterion) {
-    let mut g = c.benchmark_group("dyno_step_du_only");
-    g.sample_size(30);
+fn main() {
+    let mut h = Harness::new("dyno_step_du_only");
     for strategy in [Strategy::Pessimistic, Strategy::Optimistic] {
-        g.bench_with_input(
-            BenchmarkId::from_parameter(format!("{strategy:?}")),
-            &strategy,
-            |b, &strategy| {
-                b.iter_batched(
-                    || {
-                        let mut q: Umq<()> = Umq::new();
-                        for k in 0..1000u64 {
-                            q.enqueue(UpdateMeta::new(k, (k % 6) as u32, UpdateKind::Data, ()));
-                        }
-                        (q, Dyno::new(strategy), Noop)
-                    },
-                    |(mut q, mut dyno, mut m)| {
-                        while !q.is_empty() {
-                            dyno.step(&mut q, &mut m);
-                        }
-                        dyno.stats()
-                    },
-                    criterion::BatchSize::LargeInput,
-                )
+        h.bench_with_setup(
+            &format!("{strategy:?}"),
+            || {
+                let mut q: Umq<()> = Umq::new();
+                for k in 0..1000u64 {
+                    q.enqueue(UpdateMeta::new(k, (k % 6) as u32, UpdateKind::Data, ()));
+                }
+                (q, Dyno::new(strategy), Noop)
+            },
+            |(mut q, mut dyno, mut m)| {
+                while !q.is_empty() {
+                    dyno.step(&mut q, &mut m);
+                }
+                dyno.stats()
             },
         );
     }
-    g.finish();
+    h.finish();
 }
-
-criterion_group!(benches, bench_scheduler_throughput);
-criterion_main!(benches);

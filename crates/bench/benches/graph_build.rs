@@ -4,7 +4,7 @@
 //! changes among `n` updates, collapsing to a trivial O(n) semantic pass
 //! when `m = 0` — and O(1) for the schema-change-flag fast path.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dyno_bench::harness::Harness;
 use dyno_core::{DepGraph, Umq, UpdateKind, UpdateMeta};
 
 fn queue(n_du: usize, n_sc: usize) -> Vec<Vec<UpdateMeta<()>>> {
@@ -23,36 +23,21 @@ fn queue(n_du: usize, n_sc: usize) -> Vec<Vec<UpdateMeta<()>>> {
     nodes
 }
 
-fn bench_graph_build(c: &mut Criterion) {
-    let mut g = c.benchmark_group("graph_build");
-    g.sample_size(30);
+fn main() {
+    let mut h = Harness::new("graph_build");
     for (n_du, n_sc) in [(200, 0), (200, 5), (200, 20), (1000, 5), (1000, 20)] {
         let nodes = queue(n_du, n_sc);
-        g.bench_with_input(
-            BenchmarkId::from_parameter(format!("{n_du}du_{n_sc}sc")),
-            &nodes,
-            |b, nodes| {
-                b.iter(|| {
-                    let views: Vec<&[UpdateMeta<()>]> =
-                        nodes.iter().map(Vec::as_slice).collect();
-                    DepGraph::build(&views)
-                })
-            },
-        );
+        h.bench(&format!("{n_du}du_{n_sc}sc"), || {
+            let views: Vec<&[UpdateMeta<()>]> = nodes.iter().map(Vec::as_slice).collect();
+            DepGraph::build(&views)
+        });
     }
-    g.finish();
-}
 
-fn bench_flag_fast_path(c: &mut Criterion) {
     // The O(1) alternative to graph building in DU-only phases.
     let mut q: Umq<()> = Umq::new();
     for k in 0..1000 {
         q.enqueue(UpdateMeta::new(k, (k % 6) as u32, UpdateKind::Data, ()));
     }
-    c.bench_function("schema_change_flag_check", |b| {
-        b.iter(|| q.schema_change_flag())
-    });
+    h.bench("schema_change_flag_check", || q.schema_change_flag());
+    h.finish();
 }
-
-criterion_group!(benches, bench_graph_build, bench_flag_fast_path);
-criterion_main!(benches);

@@ -4,7 +4,7 @@
 
 use std::collections::HashMap;
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dyno_bench::harness::Harness;
 use dyno_relational::{DataUpdate, Delta, SignedBag, SourceUpdate, Tuple, Value};
 use dyno_sim::{build_testbed, TestbedConfig};
 use dyno_source::{SourceId, UpdateId, UpdateMessage};
@@ -20,24 +20,19 @@ fn one_insert(cfg: &TestbedConfig) -> DataUpdate {
     DataUpdate::new(Delta::inserts(schema, [Tuple::new(vals)]).expect("testbed schema"))
 }
 
-fn bench_sweep(c: &mut Criterion) {
-    let mut g = c.benchmark_group("sweep_one_du");
-    g.sample_size(20);
+fn bench_sweep(h: &mut Harness) {
     for tuples in [1_000usize, 5_000] {
         let cfg = cfg(tuples);
         let (mut space, view) = build_testbed(&cfg);
         let du = one_insert(&cfg);
         let msg = space.commit(SourceId(0), SourceUpdate::Data(du)).expect("valid");
         let port = InProcessPort::new(space);
-        g.bench_with_input(BenchmarkId::from_parameter(tuples), &tuples, |b, _| {
-            b.iter_batched(
-                || port.clone(),
-                |mut port| sweep_maintain(&view, &msg, &[], &mut port),
-                criterion::BatchSize::LargeInput,
-            )
-        });
+        h.bench_with_setup(
+            &format!("sweep_one_du/{tuples}"),
+            || port.clone(),
+            |mut port| sweep_maintain(&view, &msg, &[], &mut port),
+        );
     }
-    g.finish();
 }
 
 type States = HashMap<String, (dyno_relational::Schema, SignedBag)>;
@@ -58,36 +53,29 @@ fn states_and_delta(tuples: usize) -> (dyno_view::ViewDefinition, States, Deltas
     (view, old, deltas)
 }
 
-fn bench_equation6_vs_recompute(c: &mut Criterion) {
-    let mut g = c.benchmark_group("adaptation");
-    g.sample_size(20);
+fn bench_equation6_vs_recompute(h: &mut Harness) {
     for tuples in [1_000usize, 5_000] {
         let (view, old, deltas) = states_and_delta(tuples);
-        g.bench_with_input(BenchmarkId::new("equation6", tuples), &tuples, |b, _| {
-            b.iter(|| equation6_delta(&view.query, &old, &deltas).expect("well-formed"))
+        h.bench(&format!("equation6/{tuples}"), || {
+            equation6_delta(&view.query, &old, &deltas).expect("well-formed")
         });
-        g.bench_with_input(BenchmarkId::new("recompute", tuples), &tuples, |b, _| {
-            b.iter(|| {
-                let mut provider = LocalProvider::new();
-                for (schema, rows) in old.values() {
-                    let mut r = rows.clone();
-                    if let Some(d) = deltas.get(&schema.relation) {
-                        r.merge(d);
-                    }
-                    provider.insert(schema.clone(), r);
+        h.bench(&format!("recompute/{tuples}"), || {
+            let mut provider = LocalProvider::new();
+            for (schema, rows) in old.values() {
+                let mut r = rows.clone();
+                if let Some(d) = deltas.get(&schema.relation) {
+                    r.merge(d);
                 }
-                dyno_relational::eval(&view.query, &provider).expect("well-formed")
-            })
+                provider.insert(schema.clone(), r);
+            }
+            dyno_relational::eval(&view.query, &provider).expect("well-formed")
         });
     }
-    g.finish();
 }
 
-fn bench_compensation(c: &mut Criterion) {
+fn bench_compensation(h: &mut Harness) {
     // SWEEP with a growing pending set: compensation is per-pending-update
     // local work.
-    let mut g = c.benchmark_group("sweep_compensation");
-    g.sample_size(20);
     let cfg = cfg(1_000);
     let (mut space, view) = build_testbed(&cfg);
     let du = one_insert(&cfg);
@@ -102,16 +90,18 @@ fn bench_compensation(c: &mut Criterion) {
             })
             .collect();
         let port = InProcessPort::new(space.clone());
-        g.bench_with_input(BenchmarkId::from_parameter(n_pending), &pending, |b, pending| {
-            b.iter_batched(
-                || port.clone(),
-                |mut port| sweep_maintain(&view, &msg, pending, &mut port),
-                criterion::BatchSize::LargeInput,
-            )
-        });
+        h.bench_with_setup(
+            &format!("sweep_compensation/{n_pending}"),
+            || port.clone(),
+            |mut port| sweep_maintain(&view, &msg, &pending, &mut port),
+        );
     }
-    g.finish();
 }
 
-criterion_group!(benches, bench_sweep, bench_equation6_vs_recompute, bench_compensation);
-criterion_main!(benches);
+fn main() {
+    let mut h = Harness::new("maintenance");
+    bench_sweep(&mut h);
+    bench_equation6_vs_recompute(&mut h);
+    bench_compensation(&mut h);
+    h.finish();
+}

@@ -7,13 +7,14 @@
 //! on a rename-heavy workload (no attribute drops, so every batch is
 //! shape-preserving) at increasing view sizes.
 
-use dyno_bench::{render_table, secs, warn_if_debug};
+use dyno_bench::{render_table, secs, warn_if_debug, write_json_table, BenchArgs};
 use dyno_core::Strategy;
 use dyno_sim::{build_testbed, run_scenario, CostModel, Scenario, TestbedConfig, WorkloadGen};
 use dyno_view::AdaptationMode;
 
 fn main() {
     warn_if_debug();
+    let args = BenchArgs::parse();
     println!("== Ablation: incremental (Eq. 6) vs recompute-only adaptation ==");
     println!("50 DUs + 6 renames at 30 s intervals, pessimistic; simulated seconds\n");
 
@@ -52,13 +53,12 @@ fn main() {
         }
         rows.push(cells);
     }
-    println!(
-        "{}",
-        render_table(
-            &["tuples/rel", "incremental (s)", "eq6 batches", "recompute (s)"],
-            &rows
-        )
-    );
+    let header = ["tuples/rel", "incremental (s)", "eq6 batches", "recompute (s)"];
+    println!("{}", render_table(&header, &rows));
+    if let Some(path) = &args.json {
+        write_json_table(path, "ablation_adapt", &header, &rows).expect("write --json output");
+        println!("series written to {path}\n");
+    }
     println!(
         "the incremental path saves the full-extent materialized-view write on\n\
          every shape-preserving batch; the saving grows with the view size."

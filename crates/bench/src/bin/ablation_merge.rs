@@ -8,7 +8,9 @@
 //! of view refreshes (commits — each is an intermediate state made visible)
 //! and the total/abort cost, under the pessimistic strategy.
 
-use dyno_bench::{cost_model, render_table, secs, testbed_config, warn_if_debug};
+use dyno_bench::{
+    cost_model, render_table, secs, testbed_config, warn_if_debug, write_json_table, BenchArgs,
+};
 use dyno_core::{CorrectionPolicy, Strategy};
 use dyno_sim::{build_testbed, run_scenario, Scenario, WorkloadGen};
 
@@ -16,6 +18,7 @@ const SEEDS: u64 = 3;
 
 fn main() {
     warn_if_debug();
+    let args = BenchArgs::parse();
     let cfg = testbed_config();
     println!("== Ablation: cycle merge vs. blind merge-all (Section 4.2) ==");
     println!("200 DUs + 10 SCs, pessimistic; simulated seconds, mean of 3 seeds\n");
@@ -47,21 +50,20 @@ fn main() {
         }
         rows.push(cells);
     }
-    println!(
-        "{}",
-        render_table(
-            &[
-                "interval (s)",
-                "cycles (s)",
-                "abort (s)",
-                "refreshes",
-                "merge-all (s)",
-                "abort (s)",
-                "refreshes",
-            ],
-            &rows
-        )
-    );
+    let header = [
+        "interval (s)",
+        "cycles (s)",
+        "abort (s)",
+        "refreshes",
+        "merge-all (s)",
+        "abort (s)",
+        "refreshes",
+    ];
+    println!("{}", render_table(&header, &rows));
+    if let Some(path) = &args.json {
+        write_json_table(path, "ablation_merge", &header, &rows).expect("write --json output");
+        println!("series written to {path}\n");
+    }
     println!(
         "the paper's argument quantified: blind merging exposes far fewer\n\
          intermediate view states (refreshes) and tends to waste more work\n\

@@ -7,9 +7,11 @@
 //! semantic dependency DU1 → SC2 on the Library source). The correction
 //! merges all three into one atomic batch.
 
+use dyno_bench::{write_json_table, BenchArgs};
 use dyno_core::{legal_schedule, DepGraph, UpdateKind, UpdateMeta};
 
 fn main() {
+    let args = BenchArgs::parse();
     println!("== Figure 4: dependency correction for view (1) ==\n");
     // Node 0: DU1 at the Library source (source 1).
     // Node 1: SC1 at the Retailer source (source 0), view-relevant.
@@ -43,4 +45,17 @@ fn main() {
     }
     assert_eq!(schedule.batches, vec![vec![0, 1, 2]], "paper: all three merge into one node");
     println!("\n(matches the paper: DU1, SC1, SC2 merge into one atomic batch)");
+    if let Some(path) = &args.json {
+        let rows: Vec<Vec<String>> = schedule
+            .batches
+            .iter()
+            .enumerate()
+            .map(|(i, b)| {
+                let members: Vec<&str> = b.iter().map(|&n| labels[n]).collect();
+                vec![(i + 1).to_string(), members.join(",")]
+            })
+            .collect();
+        write_json_table(path, "fig04", &["batch", "members"], &rows).expect("write --json output");
+        println!("series written to {path}");
+    }
 }

@@ -7,6 +7,7 @@
 //! with the same structure: two multi-node cycles plus forward and backward
 //! (unsafe) edges.
 
+use dyno_bench::{write_json_table, BenchArgs};
 use dyno_core::{legal_schedule, DepGraph, DepKind, Dependency};
 
 fn dep(dependent: usize, prerequisite: usize, kind: DepKind) -> Dependency {
@@ -14,6 +15,7 @@ fn dep(dependent: usize, prerequisite: usize, kind: DepKind) -> Dependency {
 }
 
 fn main() {
+    let args = BenchArgs::parse();
     println!("== Figure 5: complex example of dependency correction ==\n");
     // Queue positions 0..8 (the paper numbers them 1..8).
     let deps = vec![
@@ -52,9 +54,8 @@ fn main() {
     println!("\nlegal order after topological sort: {}", rendered.join(" "));
 
     // Verify legality: every dependency must point backward in the new order.
-    let pos_of = |node: usize| {
-        schedule.batches.iter().position(|b| b.contains(&node)).expect("scheduled")
-    };
+    let pos_of =
+        |node: usize| schedule.batches.iter().position(|b| b.contains(&node)).expect("scheduled");
     for d in graph.dependencies() {
         assert!(
             pos_of(d.prerequisite) <= pos_of(d.dependent),
@@ -62,4 +63,13 @@ fn main() {
         );
     }
     println!("\nall dependencies safe in the corrected order (Theorem 2).");
+    if let Some(path) = &args.json {
+        let rows: Vec<Vec<String>> = rendered
+            .iter()
+            .enumerate()
+            .map(|(i, members)| vec![(i + 1).to_string(), members.clone()])
+            .collect();
+        write_json_table(path, "fig05", &["batch", "members"], &rows).expect("write --json output");
+        println!("series written to {path}");
+    }
 }

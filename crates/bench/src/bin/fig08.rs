@@ -8,12 +8,15 @@
 //! overhead is almost unobservable — holds by construction of the fast
 //! path, and this binary demonstrates it end to end.
 
-use dyno_bench::{cost_model, render_table, secs, testbed_config, warn_if_debug};
+use dyno_bench::{
+    cost_model, render_table, secs, testbed_config, warn_if_debug, write_json_table, BenchArgs,
+};
 use dyno_core::Strategy;
 use dyno_sim::{build_testbed, run_scenario, Scenario, WorkloadGen};
 
 fn main() {
     warn_if_debug();
+    let args = BenchArgs::parse();
     let cfg = testbed_config();
     println!("== Figure 8: DU processing and detection ==");
     println!(
@@ -51,9 +54,11 @@ fn main() {
         cells.push(format!("{:+.2}%", overhead * 100.0));
         rows.push(cells);
     }
-    println!(
-        "{}",
-        render_table(&["#DUs", "with detection (s)", "without detection (s)", "overhead"], &rows)
-    );
+    let header = ["#DUs", "with detection (s)", "without detection (s)", "overhead"];
+    println!("{}", render_table(&header, &rows));
     println!("paper's conclusion reproduced: detection overhead on DU processing ~ 0.");
+    if let Some(path) = &args.json {
+        write_json_table(path, "fig08", &header, &rows).expect("write --json output");
+        println!("\nseries written to {path}");
+    }
 }

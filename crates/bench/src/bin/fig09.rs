@@ -12,16 +12,17 @@
 //! query is sent), and *optimistic* (maintenance dives in, suffers the
 //! broken query, and pays the abort).
 
-use dyno_bench::{cost_model, render_table, secs, testbed_config, warn_if_debug};
+use dyno_bench::{
+    cost_model, render_table, secs, testbed_config, warn_if_debug, write_json_table, BenchArgs,
+};
 use dyno_core::Strategy;
 use dyno_relational::{DataUpdate, Delta, SchemaChange, SourceUpdate, Tuple, Value};
-use dyno_sim::{build_testbed, run_scenario, ScheduledCommit, Scenario, TestbedConfig};
+use dyno_sim::{build_testbed, run_scenario, Scenario, ScheduledCommit, TestbedConfig};
 use dyno_source::SourceId;
 
 fn du_on_r0(cfg: &TestbedConfig, at_us: u64) -> ScheduledCommit {
     let schema = cfg.schema(0);
-    let vals: Vec<Value> =
-        (0..schema.arity()).map(|i| Value::from((5 + i) as i64)).collect();
+    let vals: Vec<Value> = (0..schema.arity()).map(|i| Value::from((5 + i) as i64)).collect();
     ScheduledCommit {
         at_us,
         source: SourceId(0),
@@ -55,6 +56,7 @@ fn rename_r5(at_us: u64) -> ScheduledCommit {
 
 fn main() {
     warn_if_debug();
+    let args = BenchArgs::parse();
     let cfg = testbed_config();
     println!("== Figure 9: cost of broken query ==");
     println!("values are simulated seconds (maintenance cost incl. abort)\n");
@@ -67,10 +69,7 @@ fn main() {
             "One DU + One SC",
             Box::new(|gap| vec![du_on_r0(&testbed_config(), 0), drop_attr_r3(gap)]),
         ),
-        (
-            "One SC + One SC",
-            Box::new(|gap| vec![drop_attr_r3(0), rename_r5(gap)]),
-        ),
+        ("One SC + One SC", Box::new(|gap| vec![drop_attr_r3(0), rename_r5(gap)])),
     ];
 
     let mut rows = Vec::new();
@@ -99,13 +98,12 @@ fn main() {
         }
         rows.push(cells);
     }
-    println!(
-        "{}",
-        render_table(
-            &["workload", "no-conc (s)", "pessimistic (s)", "optimistic (s)", "opt aborts"],
-            &rows
-        )
-    );
+    let header = ["workload", "no-conc (s)", "pessimistic (s)", "optimistic (s)", "opt aborts"];
+    println!("{}", render_table(&header, &rows));
+    if let Some(path) = &args.json {
+        write_json_table(path, "fig09", &header, &rows).expect("write --json output");
+        println!("series written to {path}\n");
+    }
     println!(
         "shape reproduced: optimistic pays the abort (worst for SC+SC, where the\n\
          aborted work is an expensive schema-change maintenance); pessimistic\n\

@@ -13,7 +13,9 @@
 //!   to pure maintenance;
 //! * pessimistic ≤ optimistic throughout.
 
-use dyno_bench::{cost_model, render_table, secs, testbed_config, warn_if_debug};
+use dyno_bench::{
+    cost_model, render_table, secs, testbed_config, warn_if_debug, write_json_table, BenchArgs,
+};
 use dyno_core::Strategy;
 use dyno_sim::{build_testbed, run_scenario, Scenario, WorkloadGen};
 
@@ -21,6 +23,7 @@ const SEEDS: u64 = 3;
 
 fn main() {
     warn_if_debug();
+    let args = BenchArgs::parse();
     let cfg = testbed_config();
     println!("== Figure 10: time interval of schema changes ==");
     println!("200 DUs + 10 SCs (1 drop-attr + 9 renames); simulated seconds, mean of 3 seeds\n");
@@ -50,22 +53,64 @@ fn main() {
         }
         rows.push(cells);
     }
-    println!(
-        "{}",
-        render_table(
-            &[
-                "interval (s)",
-                "optimistic (s)",
-                "abort of opt (s)",
-                "pessimistic (s)",
-                "abort of pess (s)",
-            ],
-            &rows
-        )
-    );
+    let header = [
+        "interval (s)",
+        "optimistic (s)",
+        "abort of opt (s)",
+        "pessimistic (s)",
+        "abort of pess (s)",
+    ];
+    println!("{}", render_table(&header, &rows));
     println!(
         "expected shape: cost lowest at interval 0 (everything corrected at once),\n\
          peaks when the interval matches one SC maintenance time (~25 s), then\n\
          flattens; pessimistic stays at or below optimistic."
+    );
+    if let Some(path) = &args.json {
+        write_json_table(path, "fig10", &header, &rows).expect("write --json output");
+        println!("\nseries written to {path}");
+    }
+    if let Some(path) = &args.trace {
+        traced_run(path, &cfg);
+    }
+}
+
+/// One representative traced run (interval 17 s, optimistic — plenty of
+/// aborts): JSONL trace to `path`, metrics snapshot to `path.metrics.json`.
+fn traced_run(path: &str, cfg: &dyno_sim::TestbedConfig) {
+    let (space, view) = build_testbed(cfg);
+    let mut gen = WorkloadGen::new(*cfg, 0xF10 + 17);
+    let schedule = gen.mixed(200, 500_000, 10, 0, 17_000_000);
+    let report = run_scenario(
+        Scenario::new(space, view, schedule)
+            .with_strategy(Strategy::Optimistic)
+            .with_cost(cost_model())
+            .with_tracing(),
+    )
+    .expect("traced run");
+    std::fs::write(path, report.obs.trace_jsonl()).expect("write trace");
+    let metrics_path = format!("{path}.metrics.json");
+    std::fs::write(&metrics_path, report.obs.metrics_json()).expect("write metrics snapshot");
+
+    // The snapshot is a projection of the same registry the Metrics struct
+    // reads, so these hold exactly.
+    let reg = report.obs.registry();
+    assert_eq!(reg.counter_value("sim.committed_us"), Some(report.metrics.committed_us));
+    assert_eq!(reg.counter_value("sim.abort_us"), Some(report.metrics.abort_us));
+    assert_eq!(reg.counter_value("sim.aborts"), Some(report.metrics.aborts));
+    let spans = report
+        .obs
+        .trace_records()
+        .iter()
+        .filter(|r| r.kind == dyno_obs::RecordKind::SpanStart && r.name == "view.maintain")
+        .count() as u64;
+    assert_eq!(spans, report.metrics.attempts, "one span per maintenance attempt");
+    println!(
+        "\ntraced run (interval 17 s, optimistic): {} records ({} maintenance spans, \
+         {} aborts) -> {path}\nmetrics snapshot (consistent with sim::Metrics) -> \
+         {metrics_path}",
+        report.obs.trace_records().len(),
+        spans,
+        report.metrics.aborts,
     );
 }

@@ -8,7 +8,9 @@
 //! of schema changes for both strategies; pessimistic stays below
 //! optimistic thanks to pre-exec detection.
 
-use dyno_bench::{cost_model, render_table, secs, testbed_config, warn_if_debug};
+use dyno_bench::{
+    cost_model, render_table, secs, testbed_config, warn_if_debug, write_json_table, BenchArgs,
+};
 use dyno_core::Strategy;
 use dyno_sim::{build_testbed, run_scenario, Scenario, WorkloadGen};
 
@@ -16,6 +18,7 @@ const SEEDS: u64 = 3;
 
 fn main() {
     warn_if_debug();
+    let args = BenchArgs::parse();
     let cfg = testbed_config();
     println!("== Figure 11: increasing number of schema changes ==");
     println!("200 DUs + k SCs at 25 s intervals; simulated seconds, mean of 3 seeds\n");
@@ -45,12 +48,12 @@ fn main() {
         }
         rows.push(cells);
     }
-    println!(
-        "{}",
-        render_table(
-            &["#SCs", "optimistic (s)", "abort of opt (s)", "pessimistic (s)", "abort of pess (s)"],
-            &rows
-        )
-    );
+    let header =
+        ["#SCs", "optimistic (s)", "abort of opt (s)", "pessimistic (s)", "abort of pess (s)"];
+    println!("{}", render_table(&header, &rows));
     println!("expected shape: abort cost grows with #SCs; pessimistic <= optimistic.");
+    if let Some(path) = &args.json {
+        write_json_table(path, "fig11", &header, &rows).expect("write --json output");
+        println!("\nseries written to {path}");
+    }
 }

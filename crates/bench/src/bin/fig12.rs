@@ -6,7 +6,9 @@
 //! cost grows with the DU count, but the **abort cost stays flat** — broken
 //! queries are caused by schema changes, not data updates.
 
-use dyno_bench::{cost_model, render_table, secs, testbed_config, warn_if_debug};
+use dyno_bench::{
+    cost_model, render_table, secs, testbed_config, warn_if_debug, write_json_table, BenchArgs,
+};
 use dyno_core::Strategy;
 use dyno_sim::{build_testbed, run_scenario, Scenario, WorkloadGen};
 
@@ -14,6 +16,7 @@ const SEEDS: u64 = 3;
 
 fn main() {
     warn_if_debug();
+    let args = BenchArgs::parse();
     let cfg = testbed_config();
     println!("== Figure 12: increasing number of data updates ==");
     println!("n DUs + 5 SCs (1 drop-attr + 4 renames) at 25 s intervals; simulated seconds, mean of 3 seeds\n");
@@ -43,15 +46,15 @@ fn main() {
         }
         rows.push(cells);
     }
-    println!(
-        "{}",
-        render_table(
-            &["#DUs", "optimistic (s)", "abort of opt (s)", "pessimistic (s)", "abort of pess (s)"],
-            &rows
-        )
-    );
+    let header =
+        ["#DUs", "optimistic (s)", "abort of opt (s)", "pessimistic (s)", "abort of pess (s)"];
+    println!("{}", render_table(&header, &rows));
     println!(
         "expected shape: total cost grows with #DUs, abort cost stays roughly\n\
          constant — aborts are caused by schema changes, not data updates."
     );
+    if let Some(path) = &args.json {
+        write_json_table(path, "fig12", &header, &rows).expect("write --json output");
+        println!("\nseries written to {path}");
+    }
 }

@@ -1,0 +1,197 @@
+//! A small timing harness for the micro-benchmarks (`benches/*.rs`),
+//! replacing the external criterion dependency so the workspace builds
+//! offline.
+//!
+//! Methodology: warm up, estimate the per-call cost, then group calls into
+//! blocks sized so each timed block is long enough for the OS clock to
+//! resolve (~20 µs), and report per-call statistics over many blocks. The
+//! per-bench time budget comes from `DYNO_BENCH_MS` (default 200 ms).
+
+use std::hint::black_box;
+use std::time::Instant;
+
+use crate::render_table;
+
+/// Per-call timing statistics for one benchmark, in nanoseconds.
+#[derive(Debug, Clone, Copy)]
+pub struct Stats {
+    /// Number of timed samples (blocks).
+    pub samples: usize,
+    /// Calls per timed block.
+    pub block: u64,
+    /// Fastest per-call time observed.
+    pub min_ns: f64,
+    /// Median per-call time (the headline number).
+    pub median_ns: f64,
+    /// Mean per-call time.
+    pub mean_ns: f64,
+    /// Slowest per-call time observed.
+    pub max_ns: f64,
+}
+
+impl Stats {
+    fn from_samples(mut per_call_ns: Vec<f64>, block: u64) -> Stats {
+        per_call_ns.sort_by(|a, b| a.total_cmp(b));
+        let n = per_call_ns.len();
+        let median = if n % 2 == 1 {
+            per_call_ns[n / 2]
+        } else {
+            (per_call_ns[n / 2 - 1] + per_call_ns[n / 2]) / 2.0
+        };
+        Stats {
+            samples: n,
+            block,
+            min_ns: per_call_ns[0],
+            median_ns: median,
+            mean_ns: per_call_ns.iter().sum::<f64>() / n as f64,
+            max_ns: per_call_ns[n - 1],
+        }
+    }
+}
+
+/// Formats nanoseconds with an adaptive unit.
+pub fn fmt_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.1} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.2} s", ns / 1e9)
+    }
+}
+
+/// One benchmark group: collects results and prints an aligned table.
+#[derive(Debug)]
+pub struct Harness {
+    group: String,
+    budget_ns: f64,
+    rows: Vec<(String, Stats)>,
+}
+
+impl Harness {
+    /// A harness for `group`, budgeted per bench by `DYNO_BENCH_MS`
+    /// (default 200 ms).
+    pub fn new(group: &str) -> Self {
+        let ms: f64 =
+            std::env::var("DYNO_BENCH_MS").ok().and_then(|s| s.parse().ok()).unwrap_or(200.0);
+        Harness { group: group.to_string(), budget_ns: ms * 1e6, rows: Vec::new() }
+    }
+
+    /// Benchmarks a routine callable back-to-back (no per-call setup).
+    pub fn bench<R>(&mut self, id: &str, mut routine: impl FnMut() -> R) {
+        // Warm up and estimate cost: at least 3 calls or 10 ms.
+        let warm_start = Instant::now();
+        let mut warm_calls = 0u64;
+        while warm_calls < 3 || warm_start.elapsed().as_millis() < 10 {
+            black_box(routine());
+            warm_calls += 1;
+            if warm_calls >= 1_000_000 {
+                break;
+            }
+        }
+        let est_ns = (warm_start.elapsed().as_nanos() as f64 / warm_calls as f64).max(1.0);
+
+        // Blocks long enough to time reliably; enough samples for the budget.
+        let block = ((20_000.0 / est_ns).ceil() as u64).clamp(1, 1_000_000);
+        let samples = ((self.budget_ns / (est_ns * block as f64)) as usize).clamp(10, 2_000);
+        let mut per_call = Vec::with_capacity(samples);
+        for _ in 0..samples {
+            let t = Instant::now();
+            for _ in 0..block {
+                black_box(routine());
+            }
+            per_call.push(t.elapsed().as_nanos() as f64 / block as f64);
+        }
+        self.rows.push((id.to_string(), Stats::from_samples(per_call, block)));
+    }
+
+    /// Benchmarks a routine that consumes fresh state built by `setup`
+    /// (setup time is excluded). For routines heavy enough that one call
+    /// per timed block is fine — the criterion `iter_batched` replacement.
+    pub fn bench_with_setup<S, R>(
+        &mut self,
+        id: &str,
+        mut setup: impl FnMut() -> S,
+        mut routine: impl FnMut(S) -> R,
+    ) {
+        let warm_start = Instant::now();
+        let mut est_ns = 0.0;
+        for _ in 0..3 {
+            let s = setup();
+            let t = Instant::now();
+            black_box(routine(s));
+            est_ns += t.elapsed().as_nanos() as f64;
+        }
+        est_ns = (est_ns / 3.0).max(1.0);
+        let _ = warm_start;
+
+        let samples = ((self.budget_ns / est_ns) as usize).clamp(5, 500);
+        let mut per_call = Vec::with_capacity(samples);
+        for _ in 0..samples {
+            let s = setup();
+            let t = Instant::now();
+            black_box(routine(s));
+            per_call.push(t.elapsed().as_nanos() as f64);
+        }
+        self.rows.push((id.to_string(), Stats::from_samples(per_call, 1)));
+    }
+
+    /// The collected results.
+    pub fn results(&self) -> &[(String, Stats)] {
+        &self.rows
+    }
+
+    /// Prints the group's results as an aligned table.
+    pub fn finish(self) {
+        println!("== bench group: {} ==", self.group);
+        let rows: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|(id, s)| {
+                vec![
+                    id.clone(),
+                    s.samples.to_string(),
+                    fmt_ns(s.min_ns),
+                    fmt_ns(s.median_ns),
+                    fmt_ns(s.mean_ns),
+                    fmt_ns(s.max_ns),
+                ]
+            })
+            .collect();
+        println!("{}", render_table(&["bench", "samples", "min", "median", "mean", "max"], &rows));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_over_known_samples() {
+        let s = Stats::from_samples(vec![10.0, 30.0, 20.0, 40.0], 1);
+        assert_eq!(s.samples, 4);
+        assert_eq!(s.min_ns, 10.0);
+        assert_eq!(s.max_ns, 40.0);
+        assert_eq!(s.median_ns, 25.0);
+        assert_eq!(s.mean_ns, 25.0);
+    }
+
+    #[test]
+    fn fmt_ns_units() {
+        assert_eq!(fmt_ns(12.0), "12.0 ns");
+        assert_eq!(fmt_ns(1_500.0), "1.50 µs");
+        assert_eq!(fmt_ns(2_500_000.0), "2.50 ms");
+        assert_eq!(fmt_ns(3_000_000_000.0), "3.00 s");
+    }
+
+    #[test]
+    fn harness_records_a_result() {
+        std::env::set_var("DYNO_BENCH_MS", "1");
+        let mut h = Harness::new("t");
+        h.bench("add", || std::hint::black_box(2u64) + 2);
+        assert_eq!(h.results().len(), 1);
+        assert!(h.results()[0].1.min_ns > 0.0);
+    }
+}

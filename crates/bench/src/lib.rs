@@ -1,8 +1,89 @@
 //! Shared helpers for the experiment binaries (`fig04`, `fig05`,
 //! `fig08`–`fig12`) that regenerate the paper's figures, and for the
-//! Criterion micro-benchmarks.
+//! in-repo micro-benchmarks ([`harness`]).
 
 use dyno_sim::TestbedConfig;
+
+pub mod harness;
+
+/// Command-line options shared by the experiment binaries.
+#[derive(Debug, Clone, Default)]
+pub struct BenchArgs {
+    /// `--json <path>`: also write the figure's series as JSON.
+    pub json: Option<String>,
+    /// `--trace <path>`: run one representative scenario with structured
+    /// tracing on, writing the JSONL trace to `<path>` and the metrics
+    /// snapshot to `<path>.metrics.json` (binaries that support it).
+    pub trace: Option<String>,
+}
+
+impl BenchArgs {
+    /// Parses `std::env::args`, exiting with a usage message on unknown
+    /// flags.
+    pub fn parse() -> BenchArgs {
+        let mut out = BenchArgs::default();
+        let mut args = std::env::args().skip(1);
+        let bin = std::env::args().next().unwrap_or_else(|| "bench".into());
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--json" => out.json = args.next().or_else(|| usage(&bin)),
+                "--trace" => out.trace = args.next().or_else(|| usage(&bin)),
+                _ => {
+                    usage(&bin);
+                }
+            }
+        }
+        out
+    }
+}
+
+fn usage(bin: &str) -> Option<String> {
+    eprintln!("usage: {bin} [--json <path>] [--trace <path>]");
+    std::process::exit(2);
+}
+
+/// Writes a figure's table as JSON: `{"figure": ..., "header": [...],
+/// "rows": [[...], ...]}`, with all strings escaped by the obs JSON
+/// writer. Cells are emitted as numbers when they parse as such, so the
+/// series plot directly.
+pub fn write_json_table(
+    path: &str,
+    figure: &str,
+    header: &[&str],
+    rows: &[Vec<String>],
+) -> std::io::Result<()> {
+    let mut out = String::new();
+    out.push_str("{\"figure\":");
+    dyno_obs::json::push_str(&mut out, figure);
+    out.push_str(",\"header\":[");
+    for (i, h) in header.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        dyno_obs::json::push_str(&mut out, h);
+    }
+    out.push_str("],\"rows\":[");
+    for (i, row) in rows.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push('[');
+        for (j, cell) in row.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            // A bare numeric cell (no %, units, or commas) stays a number.
+            if cell.parse::<f64>().map(f64::is_finite).unwrap_or(false) {
+                out.push_str(cell);
+            } else {
+                dyno_obs::json::push_str(&mut out, cell);
+            }
+        }
+        out.push(']');
+    }
+    out.push_str("]}\n");
+    std::fs::write(path, out)
+}
 
 /// Reads the testbed scale from `DYNO_TUPLES` (tuples per relation).
 /// Defaults to 2 000 for reasonable wall-clock time on one core; pass
@@ -10,10 +91,7 @@ use dyno_sim::TestbedConfig;
 /// re-calibrated per scale ([`dyno_sim::CostModel::calibrated`]), so the
 /// simulated-second results keep the paper's magnitudes at any size.
 pub fn testbed_config() -> TestbedConfig {
-    let tuples = std::env::var("DYNO_TUPLES")
-        .ok()
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(2_000);
+    let tuples = std::env::var("DYNO_TUPLES").ok().and_then(|s| s.parse().ok()).unwrap_or(2_000);
     TestbedConfig { tuples_per_relation: tuples, ..Default::default() }
 }
 
@@ -87,5 +165,25 @@ mod tests {
     fn secs_format() {
         assert_eq!(secs(1_500_000), "1.5");
         assert_eq!(secs(0), "0.0");
+    }
+
+    #[test]
+    fn json_table_quotes_text_and_passes_numbers() {
+        let dir = std::env::temp_dir().join("dyno_bench_json_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t.json");
+        write_json_table(
+            path.to_str().unwrap(),
+            "fig-test",
+            &["n", "cost (s)"],
+            &[vec!["100".into(), "1.5".into()], vec!["200".into(), "+0.25%".into()]],
+        )
+        .unwrap();
+        let got = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(
+            got,
+            "{\"figure\":\"fig-test\",\"header\":[\"n\",\"cost (s)\"],\
+             \"rows\":[[100,1.5],[200,\"+0.25%\"]]}\n"
+        );
     }
 }

@@ -7,11 +7,12 @@
 use std::fmt::Write as _;
 
 use dyno_core::Strategy;
+use dyno_obs::Collector;
 use dyno_relational::{
-    parse_query, AttrType, Catalog, DataUpdate, Delta, Schema, SchemaChange, SourceUpdate,
-    Tuple, Value,
+    parse_query, AttrType, Catalog, DataUpdate, Delta, Schema, SchemaChange, SourceUpdate, Tuple,
+    Value,
 };
-use dyno_source::{SourceId, SourceSpace, SourceServer};
+use dyno_source::{SourceId, SourceServer, SourceSpace};
 use dyno_view::{InProcessPort, SourcePort, ViewDefinition, Warehouse};
 
 /// Interactive state: the source space (behind a port) plus the warehouse.
@@ -32,7 +33,8 @@ impl Repl {
     pub fn new() -> Self {
         Repl {
             port: InProcessPort::new(SourceSpace::new()),
-            warehouse: Warehouse::new(dyno_source::InfoSpace::new(), Strategy::Pessimistic),
+            warehouse: Warehouse::new(dyno_source::InfoSpace::new(), Strategy::Pessimistic)
+                .with_obs(Collector::wall()),
             initialized: false,
         }
     }
@@ -52,6 +54,8 @@ impl Repl {
          \x20 run                                   run to quiescence\n\
          \x20 sql <SELECT ...>                      ad-hoc query over current source states\n\
          \x20 show                                  views, extents, queue and stats\n\
+         \x20 stats                                 metrics registry snapshot (counters, gauges, histograms)\n\
+         \x20 trace on|off|dump <path>              toggle structured tracing / write the JSONL trace\n\
          \x20 help                                  this text\n\
          \x20 quit                                  exit"
     }
@@ -78,6 +82,8 @@ impl Repl {
             "run" => self.cmd_run(),
             "sql" => self.cmd_sql(rest),
             "show" => Ok(self.render_state()),
+            "stats" => Ok(self.warehouse.obs().metrics_text().trim_end().to_string()),
+            "trace" => self.cmd_trace(rest),
             other => Err(format!("unknown command `{other}` — try `help`")),
         }
     }
@@ -87,9 +93,7 @@ impl Repl {
             return Err("usage: source <name>".into());
         }
         let id = SourceId(self.port.space().servers().len() as u32);
-        self.port
-            .space_mut()
-            .add_server(SourceServer::new(id, name.to_string(), Catalog::new()));
+        self.port.space_mut().add_server(SourceServer::new(id, name.to_string(), Catalog::new()));
         Ok(format!("source #{} `{name}` added", id.0))
     }
 
@@ -189,12 +193,9 @@ impl Repl {
             .map_err(|e| e.to_string())?
             .schema()
             .clone();
-        let delta = if insert {
-            Delta::inserts(schema, [tuple])
-        } else {
-            Delta::deletes(schema, [tuple])
-        }
-        .map_err(|e| e.to_string())?;
+        let delta =
+            if insert { Delta::inserts(schema, [tuple]) } else { Delta::deletes(schema, [tuple]) }
+                .map_err(|e| e.to_string())?;
         let msg = self
             .port
             .commit(source, SourceUpdate::Data(DataUpdate::new(delta)))
@@ -245,8 +246,7 @@ impl Repl {
             return Err("views must be registered before `init`".into());
         }
         let n = self.warehouse.view_count();
-        let view =
-            ViewDefinition::parse(sql, &format!("View{n}")).map_err(|e| e.to_string())?;
+        let view = ViewDefinition::parse(sql, &format!("View{n}")).map_err(|e| e.to_string())?;
         let name = view.name.clone();
         self.warehouse.add_view(view);
         Ok(format!("view `{name}` registered (initialize with `init`)"))
@@ -295,6 +295,37 @@ impl Repl {
         Ok(out)
     }
 
+    fn cmd_trace(&mut self, rest: &str) -> Result<String, String> {
+        let obs = self.warehouse.obs();
+        let (sub, arg) = rest.split_once(char::is_whitespace).unwrap_or((rest, ""));
+        match sub {
+            "" => Ok(format!(
+                "tracing is {} ({} record(s) buffered)",
+                if obs.tracing_on() { "on" } else { "off" },
+                obs.trace_records().len()
+            )),
+            "on" => {
+                obs.set_tracing(true);
+                Ok("tracing on".into())
+            }
+            "off" => {
+                obs.set_tracing(false);
+                Ok("tracing off".into())
+            }
+            "dump" => {
+                let path = arg.trim();
+                if path.is_empty() {
+                    return Err("usage: trace dump <path>".into());
+                }
+                let records = obs.trace_records().len();
+                std::fs::write(path, obs.trace_jsonl())
+                    .map_err(|e| format!("cannot write `{path}`: {e}"))?;
+                Ok(format!("{records} trace record(s) written to {path}"))
+            }
+            other => Err(format!("unknown trace subcommand `{other}` — on, off or dump <path>")),
+        }
+    }
+
     fn require_init(&self) -> Result<(), String> {
         if self.initialized {
             Ok(())
@@ -308,7 +339,14 @@ impl Repl {
         let _ = writeln!(out, "sources:");
         for s in self.port.space().servers() {
             let rels: Vec<&str> = s.catalog().relation_names().collect();
-            let _ = writeln!(out, "  #{} {} v{} [{}]", s.id().0, s.name(), s.version(), rels.join(", "));
+            let _ = writeln!(
+                out,
+                "  #{} {} v{} [{}]",
+                s.id().0,
+                s.name(),
+                s.version(),
+                rels.join(", ")
+            );
         }
         let _ = writeln!(out, "views:");
         for i in 0..self.warehouse.view_count() {
@@ -405,9 +443,53 @@ mod tests {
 
     #[test]
     fn help_lists_every_command() {
-        for cmd in ["source", "table", "insert", "delete", "rename", "dropattr", "view",
-                    "init", "step", "run", "sql", "show", "quit"] {
+        for cmd in [
+            "source", "table", "insert", "delete", "rename", "dropattr", "view", "init", "step",
+            "run", "sql", "show", "stats", "trace", "quit",
+        ] {
             assert!(Repl::help().contains(cmd), "help is missing `{cmd}`");
         }
+    }
+
+    /// `stats` snapshots the metrics registry the warehouse writes into.
+    #[test]
+    fn stats_reflect_maintenance_work() {
+        let mut r = Repl::new();
+        ok(&mut r, "source s0");
+        ok(&mut r, "table 0 T a:int");
+        ok(&mut r, "view CREATE VIEW W AS SELECT T.a FROM T");
+        ok(&mut r, "init");
+        ok(&mut r, "insert 0 T 1");
+        ok(&mut r, "run");
+        let stats = ok(&mut r, "stats");
+        assert!(stats.contains("view.commits"), "{stats}");
+        assert!(stats.contains("dyno.steps"), "{stats}");
+    }
+
+    /// `trace on` captures spans; `trace dump` writes them as JSONL;
+    /// `trace off` stops capture.
+    #[test]
+    fn trace_toggle_and_dump() {
+        let mut r = Repl::new();
+        assert!(ok(&mut r, "trace").contains("off"));
+        ok(&mut r, "trace on");
+        assert!(ok(&mut r, "trace").contains("on"));
+        ok(&mut r, "source s0");
+        ok(&mut r, "table 0 T a:int");
+        ok(&mut r, "view CREATE VIEW W AS SELECT T.a FROM T");
+        ok(&mut r, "init");
+        ok(&mut r, "insert 0 T 3");
+        ok(&mut r, "run");
+        let path = std::env::temp_dir().join("dyno_cli_trace_test.jsonl");
+        let dump = ok(&mut r, &format!("trace dump {}", path.display()));
+        assert!(dump.contains("written"), "{dump}");
+        let body = std::fs::read_to_string(&path).expect("dump file exists");
+        std::fs::remove_file(&path).ok();
+        assert!(body.lines().count() > 0, "trace must not be empty");
+        assert!(body.contains("\"view.maintain\""), "{body}");
+        ok(&mut r, "trace off");
+        assert!(ok(&mut r, "trace").contains("off"));
+        assert!(r.execute("trace bogus").is_err());
+        assert!(r.execute("trace dump").is_err());
     }
 }

@@ -16,6 +16,8 @@
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
+use dyno_obs::{field, Collector, Level};
+
 use crate::graph::DepGraph;
 use crate::tarjan::scc;
 
@@ -114,6 +116,21 @@ pub fn legal_schedule(graph: &DepGraph) -> Schedule {
     Schedule { batches }
 }
 
+/// [`legal_schedule`] with its outcome reported to `obs`: counts the SCCs
+/// found and emits one `correct.cycle_merged` event per multi-node cycle
+/// (with the number of nodes merged into it).
+pub fn legal_schedule_observed(graph: &DepGraph, obs: &Collector) -> Schedule {
+    let schedule = legal_schedule(graph);
+    obs.counter("correct.sccs").add(schedule.batches.len() as u64);
+    for batch in &schedule.batches {
+        if batch.len() > 1 {
+            obs.counter("correct.merged_nodes").add(batch.len() as u64);
+            obs.event(Level::Info, "correct.cycle_merged", &[field("nodes", batch.len())]);
+        }
+    }
+    schedule
+}
+
 /// The "blind merge" alternative the paper argues against (Section 4.2):
 /// whenever the current order is not legal, merge *every* queued node into
 /// one atomic batch. Correct but coarse — more intermediate view states are
@@ -181,20 +198,12 @@ mod tests {
 
     #[test]
     fn schedule_is_legal_by_theorem2() {
-        let nodes = vec![
-            vec![du(0, 0)],
-            vec![sc(1, 1)],
-            vec![du(2, 0)],
-            vec![du(3, 2)],
-            vec![sc(4, 0)],
-        ];
+        let nodes =
+            vec![vec![du(0, 0)], vec![sc(1, 1)], vec![du(2, 0)], vec![du(3, 2)], vec![sc(4, 0)]];
         let s = schedule_of(&nodes);
         // Re-assemble the queue per the schedule and re-check legality.
-        let reordered: Vec<Vec<M>> = s
-            .batches
-            .iter()
-            .map(|b| b.iter().flat_map(|&i| nodes[i].clone()).collect())
-            .collect();
+        let reordered: Vec<Vec<M>> =
+            s.batches.iter().map(|b| b.iter().flat_map(|&i| nodes[i].clone()).collect()).collect();
         let views: Vec<&[M]> = reordered.iter().map(|v| v.as_slice()).collect();
         let g2 = DepGraph::build(&views);
         assert!(g2.order_is_legal(), "Theorem 2: corrected schedule is legal");

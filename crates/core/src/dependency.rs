@@ -98,11 +98,9 @@ mod tests {
     #[test]
     fn safety_by_position() {
         // dependent after prerequisite: safe
-        assert!(!Dependency { dependent: 3, prerequisite: 1, kind: DepKind::Semantic }
-            .is_unsafe());
+        assert!(!Dependency { dependent: 3, prerequisite: 1, kind: DepKind::Semantic }.is_unsafe());
         // dependent before prerequisite: unsafe
-        assert!(Dependency { dependent: 0, prerequisite: 2, kind: DepKind::Concurrent }
-            .is_unsafe());
+        assert!(Dependency { dependent: 0, prerequisite: 2, kind: DepKind::Concurrent }.is_unsafe());
     }
 
     #[test]

@@ -16,6 +16,8 @@
 
 use std::collections::{BTreeMap, BTreeSet};
 
+use dyno_obs::{field, Collector, Level};
+
 use crate::dependency::{DepKind, Dependency};
 use crate::meta::{SourceKey, UpdateMeta};
 
@@ -79,13 +81,38 @@ impl DepGraph {
             node_count: n,
             deps: deps
                 .into_iter()
-                .map(|(dependent, prerequisite, kind)| Dependency {
-                    dependent,
-                    prerequisite,
-                    kind,
-                })
+                .map(|(dependent, prerequisite, kind)| Dependency { dependent, prerequisite, kind })
                 .collect(),
         }
+    }
+
+    /// [`DepGraph::build`] wrapped in a `graph.build` span, reporting edge
+    /// counts and the unsafe-order verdict to `obs`. The scheduler calls
+    /// this; direct callers that don't observe keep using `build`.
+    pub fn build_observed<P>(nodes: &[&[UpdateMeta<P>]], obs: &Collector) -> DepGraph {
+        let _span = obs.span("graph.build", &[field("nodes", nodes.len())]);
+        let graph = DepGraph::build(nodes);
+        let (cd, sd) = graph.edge_counts();
+        obs.counter("graph.builds").inc();
+        obs.counter("graph.cd_edges").add(cd as u64);
+        obs.counter("graph.sd_edges").add(sd as u64);
+        obs.event(
+            Level::Debug,
+            "graph.built",
+            &[
+                field("nodes", nodes.len()),
+                field("cd_edges", cd),
+                field("sd_edges", sd),
+                field("order_is_legal", graph.order_is_legal()),
+            ],
+        );
+        graph
+    }
+
+    /// `(concurrent, semantic)` edge counts.
+    pub fn edge_counts(&self) -> (usize, usize) {
+        let cd = self.deps.iter().filter(|d| d.kind == DepKind::Concurrent).count();
+        (cd, self.deps.len() - cd)
     }
 
     /// Builds a graph from explicit dependencies (for tests, benchmarks and

@@ -1,7 +1,9 @@
 //! The Dyno scheduler loop (paper Figure 6) with pluggable detection
 //! strategy (Section 4.1.3).
 
-use crate::correct::{legal_schedule, merge_all_schedule};
+use dyno_obs::{field, Collector, Counter, Gauge, Level};
+
+use crate::correct::{legal_schedule_observed, merge_all_schedule};
 use crate::graph::DepGraph;
 use crate::meta::UpdateMeta;
 use crate::umq::Umq;
@@ -16,6 +18,16 @@ pub enum Strategy {
     /// In-exec detection only: maintenance is attempted optimistically; a
     /// broken query triggers correction after the fact (abort + redo).
     Optimistic,
+}
+
+impl Strategy {
+    /// Lower-case name, used as a trace field.
+    pub fn name(self) -> &'static str {
+        match self {
+            Strategy::Pessimistic => "pessimistic",
+            Strategy::Optimistic => "optimistic",
+        }
+    }
 }
 
 /// How unsafe dependencies are corrected (paper Section 4.2).
@@ -57,11 +69,7 @@ pub trait Maintainer<P> {
     /// processed, excluding `batch`): compensation-based view maintenance
     /// needs it to subtract the effect of concurrent, not-yet-maintained
     /// data updates from maintenance-query results (anomaly types 1–2).
-    fn maintain(
-        &mut self,
-        batch: &[UpdateMeta<P>],
-        rest: &[&[UpdateMeta<P>]],
-    ) -> MaintainOutcome;
+    fn maintain(&mut self, batch: &[UpdateMeta<P>], rest: &[&[UpdateMeta<P>]]) -> MaintainOutcome;
 
     /// Recomputes whether each buffered schema change still invalidates the
     /// *current* (possibly just rewritten) view definition. Called before
@@ -103,6 +111,39 @@ pub enum StepOutcome {
     Failed,
 }
 
+/// Registry handles the scheduler updates on its hot path. Bound once at
+/// construction: incrementing is a `Cell` store, never a name lookup. On a
+/// disabled collector the handles are detached cells — still just stores,
+/// and invisible.
+#[derive(Debug, Clone, Default)]
+struct DynoMetrics {
+    steps: Counter,
+    committed: Counter,
+    broken_queries: Counter,
+    graph_builds: Counter,
+    reorders: Counter,
+    merges: Counter,
+    fast_path_hits: Counter,
+    umq_depth: Gauge,
+    umq_updates: Gauge,
+}
+
+impl DynoMetrics {
+    fn bind(obs: &Collector) -> Self {
+        DynoMetrics {
+            steps: obs.counter("dyno.steps"),
+            committed: obs.counter("dyno.committed"),
+            broken_queries: obs.counter("dyno.broken_queries"),
+            graph_builds: obs.counter("dyno.graph_builds"),
+            reorders: obs.counter("dyno.reorders"),
+            merges: obs.counter("dyno.merges"),
+            fast_path_hits: obs.counter("dyno.fast_path_hits"),
+            umq_depth: obs.gauge("umq.depth"),
+            umq_updates: obs.gauge("umq.updates"),
+        }
+    }
+}
+
 /// The Dyno dynamic scheduler: integrates detection (pre-exec and/or
 /// in-exec) and static correction into the maintenance loop of paper
 /// Figure 6.
@@ -114,6 +155,8 @@ pub struct Dyno {
     /// Raised by an abort so the next step corrects even if no new schema
     /// change arrived meanwhile.
     force_correction: bool,
+    obs: Collector,
+    metrics: DynoMetrics,
 }
 
 impl Dyno {
@@ -125,6 +168,8 @@ impl Dyno {
             policy: CorrectionPolicy::default(),
             stats: DynoStats::default(),
             force_correction: false,
+            obs: Collector::disabled(),
+            metrics: DynoMetrics::default(),
         }
     }
 
@@ -132,6 +177,19 @@ impl Dyno {
     pub fn with_policy(mut self, policy: CorrectionPolicy) -> Self {
         self.policy = policy;
         self
+    }
+
+    /// Attaches an observability collector; scheduler phases become spans
+    /// and the `dyno.*` / `umq.*` metrics go live.
+    pub fn with_obs(mut self, obs: Collector) -> Self {
+        self.metrics = DynoMetrics::bind(&obs);
+        self.obs = obs;
+        self
+    }
+
+    /// The attached collector (disabled unless [`Dyno::with_obs`] was used).
+    pub fn obs(&self) -> &Collector {
+        &self.obs
     }
 
     /// The configured correction policy.
@@ -157,11 +215,22 @@ impl Dyno {
         queue: &mut Umq<P>,
         maintainer: &mut M,
     ) -> StepOutcome {
+        self.metrics.steps.inc();
+        self.metrics.umq_depth.set(queue.len() as i64);
+        if self.obs.is_enabled() {
+            // update_count is O(queue); don't pay it when nobody is looking.
+            self.metrics.umq_updates.set(queue.update_count() as i64);
+        }
+        let _step = self.obs.span(
+            "dyno.step",
+            &[field("strategy", self.strategy.name()), field("queue_depth", queue.len())],
+        );
         let should_correct = match self.strategy {
             Strategy::Pessimistic => {
                 let flagged = queue.take_schema_change_flag();
                 if !flagged && !self.force_correction {
                     self.stats.fast_path_hits += 1;
+                    self.metrics.fast_path_hits.inc();
                 }
                 flagged || self.force_correction
             }
@@ -176,6 +245,11 @@ impl Dyno {
             }
         };
         if should_correct {
+            self.obs.event(
+                Level::Info,
+                "dyno.detect",
+                &[field("trigger", if self.force_correction { "abort" } else { "flag" })],
+            );
             self.correct(queue, maintainer);
             self.force_correction = false;
         }
@@ -184,16 +258,23 @@ impl Dyno {
         let Some((head, rest)) = nodes.split_first() else {
             return StepOutcome::Idle;
         };
-        let outcome = maintainer.maintain(head, rest);
+        let outcome = {
+            let _maintain = self.obs.span("dyno.maintain", &[field("batch", head.len())]);
+            maintainer.maintain(head, rest)
+        };
         drop(nodes);
         match outcome {
             MaintainOutcome::Committed => {
                 self.stats.committed += 1;
+                self.metrics.committed.inc();
                 queue.remove_head();
+                self.metrics.umq_depth.set(queue.len() as i64);
                 StepOutcome::Committed
             }
             MaintainOutcome::BrokenQuery => {
                 self.stats.broken_queries += 1;
+                self.metrics.broken_queries.inc();
+                self.obs.event(Level::Warn, "dyno.broken_query", &[]);
                 // In-exec detection fired: by Theorem 1 an unsafe dependency
                 // exists; correct now (both strategies) and retry later.
                 self.correct(queue, maintainer);
@@ -208,16 +289,26 @@ impl Dyno {
     /// Builds the dependency graph over the queue and applies a legal
     /// schedule (Sections 4.1.1 and 4.2).
     fn correct<P, M: Maintainer<P>>(&mut self, queue: &mut Umq<P>, maintainer: &mut M) {
+        let _span = self.obs.span("dyno.correct", &[field("nodes", queue.len())]);
         maintainer.refresh_view_relevance(queue);
-        let graph = DepGraph::build(&queue.nodes());
+        let graph = DepGraph::build_observed(&queue.nodes(), &self.obs);
         self.stats.graph_builds += 1;
+        self.metrics.graph_builds.inc();
         let schedule = match self.policy {
-            CorrectionPolicy::MergeCycles => legal_schedule(&graph),
+            CorrectionPolicy::MergeCycles => legal_schedule_observed(&graph, &self.obs),
             CorrectionPolicy::MergeAll => merge_all_schedule(&graph),
         };
         if !schedule.is_identity() {
             self.stats.reorders += 1;
-            self.stats.merges += schedule.merged_batches() as u64;
+            self.metrics.reorders.inc();
+            let merged = schedule.merged_batches() as u64;
+            self.stats.merges += merged;
+            self.metrics.merges.add(merged);
+            self.obs.event(
+                Level::Info,
+                "dyno.reordered",
+                &[field("batches", schedule.batches.len()), field("merged_batches", merged)],
+            );
             queue.apply_schedule(&schedule);
         }
     }
@@ -340,8 +431,7 @@ mod tests {
         q.enqueue(sc(2, 2));
         q.enqueue(du(3, 3));
         let mut m = Scripted { breaks_while_queued: vec![2], maintained: vec![] };
-        let mut dyno =
-            Dyno::new(Strategy::Pessimistic).with_policy(CorrectionPolicy::MergeAll);
+        let mut dyno = Dyno::new(Strategy::Pessimistic).with_policy(CorrectionPolicy::MergeAll);
         while !q.is_empty() {
             dyno.step(&mut q, &mut m);
         }
@@ -355,12 +445,56 @@ mod tests {
         q.enqueue(du(0, 0));
         q.enqueue(du(1, 1));
         let mut m = Scripted { breaks_while_queued: vec![], maintained: vec![] };
-        let mut dyno =
-            Dyno::new(Strategy::Pessimistic).with_policy(CorrectionPolicy::MergeAll);
+        let mut dyno = Dyno::new(Strategy::Pessimistic).with_policy(CorrectionPolicy::MergeAll);
         while !q.is_empty() {
             dyno.step(&mut q, &mut m);
         }
         assert_eq!(m.maintained, vec![vec![0], vec![1]]);
+    }
+
+    #[test]
+    fn observed_run_mirrors_stats_in_registry() {
+        let obs = dyno_obs::Collector::wall().with_tracing(256);
+        let mut q = Umq::new();
+        q.enqueue(du(0, 0));
+        q.enqueue(sc(1, 1));
+        q.enqueue(du(2, 2));
+        let mut m = Scripted { breaks_while_queued: vec![1], maintained: vec![] };
+        let mut dyno = Dyno::new(Strategy::Pessimistic).with_obs(obs.clone());
+        while !q.is_empty() {
+            dyno.step(&mut q, &mut m);
+        }
+        let reg = obs.registry();
+        let stats = dyno.stats();
+        assert_eq!(reg.counter_value("dyno.committed"), Some(stats.committed));
+        assert_eq!(reg.counter_value("dyno.graph_builds"), Some(stats.graph_builds));
+        assert_eq!(reg.counter_value("dyno.fast_path_hits"), Some(stats.fast_path_hits));
+        assert_eq!(reg.counter_value("graph.builds"), Some(stats.graph_builds));
+        assert_eq!(reg.gauge_value("umq.depth"), Some(0), "drained");
+        // Phase spans made it into the trace.
+        let names: Vec<&str> = obs.trace_records().iter().map(|r| r.name).collect();
+        assert!(names.contains(&"dyno.step"));
+        assert!(names.contains(&"dyno.correct"));
+        assert!(names.contains(&"graph.build"));
+        assert!(names.contains(&"dyno.maintain"));
+    }
+
+    #[test]
+    fn disabled_collector_records_nothing() {
+        // The default Dyno carries a disabled collector: stepping must leave
+        // no trace records and no registry entries anywhere.
+        let mut q = Umq::new();
+        q.enqueue(du(0, 0));
+        q.enqueue(sc(1, 1));
+        let mut m = Scripted { breaks_while_queued: vec![], maintained: vec![] };
+        let mut dyno = Dyno::new(Strategy::Pessimistic);
+        while !q.is_empty() {
+            dyno.step(&mut q, &mut m);
+        }
+        assert!(!dyno.obs().is_enabled());
+        assert!(dyno.obs().trace_records().is_empty());
+        assert_eq!(dyno.obs().registry().counter_value("dyno.steps"), None);
+        assert_eq!(dyno.stats().committed, 2, "scheduling itself is unaffected");
     }
 
     #[test]

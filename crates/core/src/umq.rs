@@ -104,16 +104,11 @@ impl<P> Umq<P> {
             self.entries.len(),
             "schedule must cover the queue snapshot it was computed from"
         );
-        let mut old: Vec<Option<Vec<UpdateMeta<P>>>> =
-            self.entries.drain(..).map(Some).collect();
+        let mut old: Vec<Option<Vec<UpdateMeta<P>>>> = self.entries.drain(..).map(Some).collect();
         for batch in &schedule.batches {
             let mut merged: Vec<UpdateMeta<P>> = Vec::new();
             for &idx in batch {
-                merged.extend(
-                    old[idx]
-                        .take()
-                        .expect("schedule references each node exactly once"),
-                );
+                merged.extend(old[idx].take().expect("schedule references each node exactly once"));
             }
             self.entries.push_back(merged);
         }

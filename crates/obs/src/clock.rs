@@ -1,0 +1,102 @@
+//! Pluggable time sources for trace timestamps.
+//!
+//! The collector never calls `Instant::now` directly: it asks a [`Clock`].
+//! Real processes (the CLI) use [`WallClock`]; the discrete-event simulation
+//! uses [`VirtualClock`], whose cell `dyno-sim`'s port advances, so every
+//! trace record is stamped in *simulated* microseconds and lines up with the
+//! cost model rather than with host scheduling noise.
+
+use std::cell::Cell;
+use std::fmt::Debug;
+use std::rc::Rc;
+use std::time::Instant;
+
+/// A monotonic microsecond clock.
+pub trait Clock: Debug {
+    /// Current time in microseconds. The origin is clock-defined (process
+    /// start for wall clocks, simulation epoch for virtual ones); only
+    /// differences and ordering are meaningful.
+    fn now_us(&self) -> u64;
+}
+
+/// Wall time, measured from clock creation.
+#[derive(Debug, Clone)]
+pub struct WallClock {
+    origin: Instant,
+}
+
+impl WallClock {
+    /// A wall clock whose zero is "now".
+    pub fn new() -> Self {
+        WallClock { origin: Instant::now() }
+    }
+}
+
+impl Default for WallClock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Clock for WallClock {
+    fn now_us(&self) -> u64 {
+        self.origin.elapsed().as_micros() as u64
+    }
+}
+
+/// A manually-advanced clock: a shared cell of simulated microseconds.
+///
+/// Clones share the same cell, so the simulation port can keep one handle
+/// and the collector another; [`VirtualClock::set`] is visible to both.
+#[derive(Debug, Clone, Default)]
+pub struct VirtualClock {
+    now: Rc<Cell<u64>>,
+}
+
+impl VirtualClock {
+    /// A virtual clock starting at 0 µs.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Moves the clock to `us`. Callers are expected to move it forward
+    /// only, but this is not enforced (rewinding would merely produce
+    /// out-of-order timestamps in the trace).
+    pub fn set(&self, us: u64) {
+        self.now.set(us);
+    }
+
+    /// Current simulated time.
+    pub fn get(&self) -> u64 {
+        self.now.get()
+    }
+}
+
+impl Clock for VirtualClock {
+    fn now_us(&self) -> u64 {
+        self.now.get()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wall_clock_is_monotonic() {
+        let c = WallClock::new();
+        let a = c.now_us();
+        let b = c.now_us();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn virtual_clock_shares_cell_across_clones() {
+        let c = VirtualClock::new();
+        let view = c.clone();
+        assert_eq!(view.now_us(), 0);
+        c.set(42_000);
+        assert_eq!(view.now_us(), 42_000);
+        assert_eq!(c.get(), 42_000);
+    }
+}

@@ -1,0 +1,88 @@
+//! Minimal JSON writing helpers (no parser, no serde).
+//!
+//! Everything dyno-obs exports — JSONL traces, metric snapshots, the bench
+//! binaries' `--json` result files — is assembled with these few functions,
+//! so string escaping is correct in exactly one place.
+
+/// Appends `s` to `out` as a JSON string literal, quotes included.
+///
+/// Escapes `"` and `\`, the common control characters as their short forms
+/// (`\n`, `\t`, `\r`), and every other control character as `\u00XX`.
+pub fn push_str(out: &mut String, s: &str) {
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// `s` as a JSON string literal (quotes included).
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    push_str(&mut out, s);
+    out
+}
+
+/// Appends a JSON number for `v`. Non-finite values (which JSON cannot
+/// represent) become `null`.
+pub fn push_f64(out: &mut String, v: f64) {
+    if v.is_finite() {
+        out.push_str(&format!("{v}"));
+    } else {
+        out.push_str("null");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plain_strings_pass_through() {
+        assert_eq!(escape("hello"), r#""hello""#);
+        assert_eq!(escape(""), r#""""#);
+    }
+
+    #[test]
+    fn quotes_and_backslashes_escape() {
+        assert_eq!(escape(r#"a"b"#), r#""a\"b""#);
+        assert_eq!(escape(r"a\b"), r#""a\\b""#);
+    }
+
+    #[test]
+    fn control_characters_escape() {
+        assert_eq!(escape("a\nb"), r#""a\nb""#);
+        assert_eq!(escape("a\tb"), r#""a\tb""#);
+        assert_eq!(escape("a\rb"), r#""a\rb""#);
+        assert_eq!(escape("a\u{1}b"), "\"a\\u0001b\"");
+        assert_eq!(escape("\u{1f}"), "\"\\u001f\"");
+    }
+
+    #[test]
+    fn unicode_passes_through_unescaped() {
+        assert_eq!(escape("café ☕"), "\"café ☕\"");
+    }
+
+    #[test]
+    fn floats_render_and_nonfinite_is_null() {
+        let mut s = String::new();
+        push_f64(&mut s, 1.5);
+        assert_eq!(s, "1.5");
+        s.clear();
+        push_f64(&mut s, f64::NAN);
+        assert_eq!(s, "null");
+        s.clear();
+        push_f64(&mut s, f64::INFINITY);
+        assert_eq!(s, "null");
+    }
+}

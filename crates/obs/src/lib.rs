@@ -1,0 +1,54 @@
+//! # dyno-obs — zero-dependency structured tracing and metrics
+//!
+//! The observability substrate for the Dyno reproduction: a self-contained
+//! replacement for the `tracing` + `metrics` crates, built on nothing but
+//! `std`, so the workspace stays buildable with no registry access.
+//!
+//! Three pieces:
+//!
+//! - [`Collector`] — the handle the whole stack carries around. Cheap to
+//!   clone (one `Rc`), and its [`Default`]/[`Collector::disabled`] form is a
+//!   **true no-op**: spans and events on a disabled collector neither
+//!   allocate nor format anything, so instrumented hot paths (the Dyno
+//!   detection loop, the simulation port) cost a branch when observability
+//!   is off.
+//! - [`metrics::Registry`] — monotonic [`metrics::Counter`]s,
+//!   [`metrics::Gauge`]s, and log₂-bucketed [`metrics::Histogram`]s, with
+//!   aligned-text and JSON snapshots. Handles are `Rc<Cell<_>>` behind the
+//!   scenes: registering is a map lookup, updating is a `Cell` store.
+//! - [`trace`] — structured records (spans with parent ids and key=value
+//!   [`Field`]s, point events with levels) in a bounded ring buffer, with
+//!   JSONL export. When the ring is full the oldest records are dropped and
+//!   counted, never reallocated.
+//!
+//! Timestamps come from a pluggable [`Clock`]: the CLI uses [`WallClock`]
+//! (wall micros since collector creation), the simulation stamps records in
+//! **simulated microseconds** via [`VirtualClock`], which shares a cell with
+//! `dyno-sim`'s virtual clock.
+//!
+//! ```
+//! use dyno_obs::{field, Collector, Level};
+//!
+//! let obs = Collector::wall().with_tracing(1024);
+//! let steps = obs.counter("dyno.steps");
+//! {
+//!     let _span = obs.span("dyno.step", &[field("queue_depth", 3u64)]);
+//!     steps.inc();
+//!     obs.event(Level::Info, "dyno.fast_path", &[]);
+//! }
+//! assert_eq!(steps.get(), 1);
+//! assert_eq!(obs.trace_records().len(), 3); // start, event, end
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod clock;
+pub mod collector;
+pub mod json;
+pub mod metrics;
+pub mod trace;
+
+pub use clock::{Clock, VirtualClock, WallClock};
+pub use collector::{Collector, Span};
+pub use metrics::{Counter, Gauge, Histogram, Registry};
+pub use trace::{field, Field, FieldValue, Level, Record, RecordKind};

@@ -1,0 +1,361 @@
+//! Metrics: monotonic counters, gauges, and log₂-bucketed histograms.
+//!
+//! A [`Registry`] maps static names to shared handles. Handles are
+//! `Rc<Cell<_>>` (histograms: `Rc<RefCell<_>>`): registering is a one-time
+//! map lookup, updating is a plain store — cheap enough to leave on
+//! unconditionally, which is why `dyno-sim`'s `Metrics` can be a pure
+//! projection of a registry without a measurable cost.
+//!
+//! Everything is single-threaded by design (the whole reproduction is);
+//! clones of a handle share the same cell.
+
+use std::cell::{Cell, RefCell};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::rc::Rc;
+
+use crate::json;
+
+/// A monotonically increasing counter.
+#[derive(Debug, Clone, Default)]
+pub struct Counter(Rc<Cell<u64>>);
+
+impl Counter {
+    /// Adds 1.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.0.set(self.0.get().wrapping_add(n));
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.get()
+    }
+}
+
+/// A gauge: a signed value that can move both ways.
+#[derive(Debug, Clone, Default)]
+pub struct Gauge(Rc<Cell<i64>>);
+
+impl Gauge {
+    /// Sets the value.
+    pub fn set(&self, v: i64) {
+        self.0.set(v);
+    }
+
+    /// Adds `d` (may be negative).
+    pub fn add(&self, d: i64) {
+        self.0.set(self.0.get() + d);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.0.get()
+    }
+}
+
+/// Number of histogram buckets: one for zero plus one per power of two up
+/// to `u64::MAX`.
+pub const HISTOGRAM_BUCKETS: usize = 65;
+
+/// Maps a value to its bucket: 0 → bucket 0; otherwise bucket `k` holds
+/// values in `[2^(k-1), 2^k)`.
+pub fn bucket_index(v: u64) -> usize {
+    if v == 0 {
+        0
+    } else {
+        64 - v.leading_zeros() as usize
+    }
+}
+
+/// Inclusive lower bound of bucket `i` (see [`bucket_index`]).
+pub fn bucket_lo(i: usize) -> u64 {
+    match i {
+        0 => 0,
+        k => 1u64 << (k - 1),
+    }
+}
+
+#[derive(Debug)]
+struct HistData {
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+    buckets: [u64; HISTOGRAM_BUCKETS],
+}
+
+impl Default for HistData {
+    fn default() -> Self {
+        HistData { count: 0, sum: 0, min: 0, max: 0, buckets: [0; HISTOGRAM_BUCKETS] }
+    }
+}
+
+/// A log₂-bucketed histogram of `u64` samples (typically microseconds).
+#[derive(Debug, Clone, Default)]
+pub struct Histogram(Rc<RefCell<HistData>>);
+
+impl Histogram {
+    /// Records one sample.
+    pub fn record(&self, v: u64) {
+        let mut h = self.0.borrow_mut();
+        if h.count == 0 || v < h.min {
+            h.min = v;
+        }
+        if v > h.max {
+            h.max = v;
+        }
+        h.count += 1;
+        h.sum = h.sum.wrapping_add(v);
+        h.buckets[bucket_index(v)] += 1;
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.0.borrow().count
+    }
+
+    /// Sum of samples.
+    pub fn sum(&self) -> u64 {
+        self.0.borrow().sum
+    }
+
+    /// Smallest sample (0 if empty).
+    pub fn min(&self) -> u64 {
+        self.0.borrow().min
+    }
+
+    /// Largest sample (0 if empty).
+    pub fn max(&self) -> u64 {
+        self.0.borrow().max
+    }
+
+    /// Occupancy of bucket `i`.
+    pub fn bucket(&self, i: usize) -> u64 {
+        self.0.borrow().buckets[i]
+    }
+
+    /// `(bucket lower bound, count)` for every non-empty bucket, ascending.
+    pub fn nonzero_buckets(&self) -> Vec<(u64, u64)> {
+        let h = self.0.borrow();
+        (0..HISTOGRAM_BUCKETS)
+            .filter(|&i| h.buckets[i] != 0)
+            .map(|i| (bucket_lo(i), h.buckets[i]))
+            .collect()
+    }
+}
+
+#[derive(Debug, Default)]
+struct RegistryInner {
+    counters: BTreeMap<&'static str, Counter>,
+    gauges: BTreeMap<&'static str, Gauge>,
+    histograms: BTreeMap<&'static str, Histogram>,
+}
+
+/// A named collection of metrics. Clones share the same underlying maps.
+#[derive(Debug, Clone, Default)]
+pub struct Registry {
+    inner: Rc<RefCell<RegistryInner>>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The counter named `name`, registering it at 0 on first use.
+    pub fn counter(&self, name: &'static str) -> Counter {
+        self.inner.borrow_mut().counters.entry(name).or_default().clone()
+    }
+
+    /// The gauge named `name`, registering it at 0 on first use.
+    pub fn gauge(&self, name: &'static str) -> Gauge {
+        self.inner.borrow_mut().gauges.entry(name).or_default().clone()
+    }
+
+    /// The histogram named `name`, registering it empty on first use.
+    pub fn histogram(&self, name: &'static str) -> Histogram {
+        self.inner.borrow_mut().histograms.entry(name).or_default().clone()
+    }
+
+    /// Current value of a counter, if registered.
+    pub fn counter_value(&self, name: &str) -> Option<u64> {
+        self.inner.borrow().counters.get(name).map(Counter::get)
+    }
+
+    /// Current value of a gauge, if registered.
+    pub fn gauge_value(&self, name: &str) -> Option<i64> {
+        self.inner.borrow().gauges.get(name).map(Gauge::get)
+    }
+
+    /// An aligned, human-readable snapshot of every registered metric.
+    pub fn snapshot_text(&self) -> String {
+        let inner = self.inner.borrow();
+        let width = inner
+            .counters
+            .keys()
+            .chain(inner.gauges.keys())
+            .chain(inner.histograms.keys())
+            .map(|n| n.len())
+            .max()
+            .unwrap_or(0);
+        let mut out = String::new();
+        if !inner.counters.is_empty() {
+            out.push_str("counters\n");
+            for (name, c) in &inner.counters {
+                let _ = writeln!(out, "  {name:<width$}  {}", c.get());
+            }
+        }
+        if !inner.gauges.is_empty() {
+            out.push_str("gauges\n");
+            for (name, g) in &inner.gauges {
+                let _ = writeln!(out, "  {name:<width$}  {}", g.get());
+            }
+        }
+        if !inner.histograms.is_empty() {
+            out.push_str("histograms\n");
+            for (name, h) in &inner.histograms {
+                let _ = write!(
+                    out,
+                    "  {name:<width$}  count={} sum={} min={} max={}",
+                    h.count(),
+                    h.sum(),
+                    h.min(),
+                    h.max()
+                );
+                for (lo, n) in h.nonzero_buckets() {
+                    let _ = write!(out, " [{lo}+]={n}");
+                }
+                out.push('\n');
+            }
+        }
+        out
+    }
+
+    /// The snapshot as a single JSON object:
+    /// `{"counters":{..},"gauges":{..},"histograms":{name:{count,sum,min,max,buckets:[[lo,n],..]}}}`.
+    pub fn snapshot_json(&self) -> String {
+        let inner = self.inner.borrow();
+        let mut out = String::from("{\"counters\":{");
+        for (i, (name, c)) in inner.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            json::push_str(&mut out, name);
+            let _ = write!(out, ":{}", c.get());
+        }
+        out.push_str("},\"gauges\":{");
+        for (i, (name, g)) in inner.gauges.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            json::push_str(&mut out, name);
+            let _ = write!(out, ":{}", g.get());
+        }
+        out.push_str("},\"histograms\":{");
+        for (i, (name, h)) in inner.histograms.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            json::push_str(&mut out, name);
+            let _ = write!(
+                out,
+                ":{{\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"buckets\":[",
+                h.count(),
+                h.sum(),
+                h.min(),
+                h.max()
+            );
+            for (j, (lo, n)) in h.nonzero_buckets().into_iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                let _ = write!(out, "[{lo},{n}]");
+            }
+            out.push_str("]}");
+        }
+        out.push_str("}}");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge_share_state_across_clones() {
+        let r = Registry::new();
+        let a = r.counter("x");
+        let b = r.counter("x");
+        a.inc();
+        b.add(2);
+        assert_eq!(r.counter_value("x"), Some(3));
+
+        let g = r.gauge("depth");
+        g.set(5);
+        r.gauge("depth").add(-2);
+        assert_eq!(r.gauge_value("depth"), Some(3));
+    }
+
+    #[test]
+    fn bucket_boundaries_are_powers_of_two() {
+        // Bucket 0 is exactly zero; bucket k covers [2^(k-1), 2^k).
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(7), 3);
+        assert_eq!(bucket_index(8), 4);
+        assert_eq!(bucket_index(1023), 10);
+        assert_eq!(bucket_index(1024), 11);
+        assert_eq!(bucket_index(u64::MAX), 64);
+        // Lower bounds invert the mapping at each boundary.
+        for k in 1..HISTOGRAM_BUCKETS {
+            let lo = bucket_lo(k);
+            assert_eq!(bucket_index(lo), k);
+            assert_eq!(bucket_index(lo - 1), k - 1, "lo={lo}");
+        }
+    }
+
+    #[test]
+    fn histogram_accumulates() {
+        let r = Registry::new();
+        let h = r.histogram("us");
+        for v in [0, 1, 1, 3, 1000] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.sum(), 1005);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 1000);
+        assert_eq!(h.bucket(0), 1); // the zero
+        assert_eq!(h.bucket(1), 2); // the ones
+        assert_eq!(h.bucket(2), 1); // 3 ∈ [2,4)
+        assert_eq!(h.bucket(10), 1); // 1000 ∈ [512,1024)
+        assert_eq!(h.nonzero_buckets(), vec![(0, 1), (1, 2), (2, 1), (512, 1)]);
+    }
+
+    #[test]
+    fn snapshots_render_all_metric_kinds() {
+        let r = Registry::new();
+        r.counter("a.count").add(7);
+        r.gauge("b.depth").set(-2);
+        r.histogram("c.us").record(5);
+        let text = r.snapshot_text();
+        assert!(text.contains("a.count"));
+        assert!(text.contains('7'));
+        assert!(text.contains("-2"));
+        assert!(text.contains("count=1"));
+        let json = r.snapshot_json();
+        assert!(json.contains("\"a.count\":7"));
+        assert!(json.contains("\"b.depth\":-2"));
+        assert!(json.contains("\"buckets\":[[4,1]]"));
+    }
+}

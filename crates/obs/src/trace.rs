@@ -1,0 +1,357 @@
+//! Structured trace records: spans, events, fields, and the bounded ring.
+//!
+//! A span is two records (`SpanStart`, `SpanEnd`) sharing an id; the tracer
+//! keeps a stack of open spans so every record carries the id of its
+//! enclosing span (`parent_id`, 0 at the root). Records land in a bounded
+//! ring buffer: when full, the oldest record is dropped and counted —
+//! tracing never grows without bound and never reallocates after warm-up.
+
+use std::collections::VecDeque;
+use std::fmt::Write as _;
+
+use crate::json;
+
+/// A field value. `Str` carries `&'static str` so hot-path fields never
+/// allocate; `Text` is for dynamic strings on cold paths (error messages).
+#[derive(Debug, Clone, PartialEq)]
+pub enum FieldValue {
+    /// A static string (no allocation).
+    Str(&'static str),
+    /// An owned string (cold paths only).
+    Text(String),
+    /// An unsigned integer.
+    U64(u64),
+    /// A signed integer.
+    I64(i64),
+    /// A float.
+    F64(f64),
+    /// A boolean.
+    Bool(bool),
+}
+
+impl From<&'static str> for FieldValue {
+    fn from(v: &'static str) -> Self {
+        FieldValue::Str(v)
+    }
+}
+impl From<String> for FieldValue {
+    fn from(v: String) -> Self {
+        FieldValue::Text(v)
+    }
+}
+impl From<u64> for FieldValue {
+    fn from(v: u64) -> Self {
+        FieldValue::U64(v)
+    }
+}
+impl From<usize> for FieldValue {
+    fn from(v: usize) -> Self {
+        FieldValue::U64(v as u64)
+    }
+}
+impl From<u32> for FieldValue {
+    fn from(v: u32) -> Self {
+        FieldValue::U64(v as u64)
+    }
+}
+impl From<i64> for FieldValue {
+    fn from(v: i64) -> Self {
+        FieldValue::I64(v)
+    }
+}
+impl From<f64> for FieldValue {
+    fn from(v: f64) -> Self {
+        FieldValue::F64(v)
+    }
+}
+impl From<bool> for FieldValue {
+    fn from(v: bool) -> Self {
+        FieldValue::Bool(v)
+    }
+}
+
+/// A named field: `key = value`.
+pub type Field = (&'static str, FieldValue);
+
+/// Builds a [`Field`] from anything convertible to a [`FieldValue`].
+pub fn field(key: &'static str, value: impl Into<FieldValue>) -> Field {
+    (key, value.into())
+}
+
+/// Event severity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Level {
+    /// Fine-grained diagnostics.
+    Debug,
+    /// Normal operational events.
+    Info,
+    /// Something surprising that deserves attention (e.g. a skipped commit).
+    Warn,
+}
+
+impl Level {
+    /// Lower-case name, as exported in JSONL.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Level::Debug => "debug",
+            Level::Info => "info",
+            Level::Warn => "warn",
+        }
+    }
+}
+
+/// What a [`Record`] records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecordKind {
+    /// A span opened.
+    SpanStart,
+    /// A span closed (carries `dur_us`).
+    SpanEnd,
+    /// A point event.
+    Event,
+}
+
+impl RecordKind {
+    fn as_str(self) -> &'static str {
+        match self {
+            RecordKind::SpanStart => "span_start",
+            RecordKind::SpanEnd => "span_end",
+            RecordKind::Event => "event",
+        }
+    }
+}
+
+/// One trace record.
+#[derive(Debug, Clone)]
+pub struct Record {
+    /// Record kind.
+    pub kind: RecordKind,
+    /// Severity (events; spans are `Info`).
+    pub level: Level,
+    /// Span or event name.
+    pub name: &'static str,
+    /// Id of the span this record belongs to (0 for root-level events).
+    pub span_id: u64,
+    /// Id of the enclosing span (0 at the root).
+    pub parent_id: u64,
+    /// Timestamp in clock microseconds.
+    pub ts_us: u64,
+    /// Span duration; `SpanEnd` only.
+    pub dur_us: Option<u64>,
+    /// Key=value payload.
+    pub fields: Vec<Field>,
+}
+
+impl Record {
+    /// Appends this record as one JSON line (newline included).
+    pub fn push_jsonl(&self, out: &mut String) {
+        let _ = write!(
+            out,
+            "{{\"ts_us\":{},\"kind\":\"{}\",\"level\":\"{}\",\"name\":",
+            self.ts_us,
+            self.kind.as_str(),
+            self.level.as_str()
+        );
+        json::push_str(out, self.name);
+        let _ = write!(out, ",\"span\":{},\"parent\":{}", self.span_id, self.parent_id);
+        if let Some(d) = self.dur_us {
+            let _ = write!(out, ",\"dur_us\":{d}");
+        }
+        if !self.fields.is_empty() {
+            out.push_str(",\"fields\":{");
+            for (i, (k, v)) in self.fields.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                json::push_str(out, k);
+                out.push(':');
+                match v {
+                    FieldValue::Str(s) => json::push_str(out, s),
+                    FieldValue::Text(s) => json::push_str(out, s),
+                    FieldValue::U64(n) => {
+                        let _ = write!(out, "{n}");
+                    }
+                    FieldValue::I64(n) => {
+                        let _ = write!(out, "{n}");
+                    }
+                    FieldValue::F64(n) => json::push_f64(out, *n),
+                    FieldValue::Bool(b) => {
+                        let _ = write!(out, "{b}");
+                    }
+                }
+            }
+            out.push('}');
+        }
+        out.push_str("}\n");
+    }
+}
+
+/// The bounded record ring plus the open-span stack.
+#[derive(Debug)]
+pub struct Tracer {
+    capacity: usize,
+    ring: VecDeque<Record>,
+    dropped: u64,
+    next_id: u64,
+    stack: Vec<u64>,
+}
+
+impl Tracer {
+    /// A tracer holding at most `capacity` records (minimum 1).
+    pub fn new(capacity: usize) -> Self {
+        Tracer {
+            capacity: capacity.max(1),
+            ring: VecDeque::new(),
+            dropped: 0,
+            next_id: 1,
+            stack: Vec::new(),
+        }
+    }
+
+    fn push(&mut self, rec: Record) {
+        if self.ring.len() == self.capacity {
+            self.ring.pop_front();
+            self.dropped += 1;
+        }
+        self.ring.push_back(rec);
+    }
+
+    /// Opens a span; returns its id.
+    pub fn begin_span(&mut self, name: &'static str, ts_us: u64, fields: Vec<Field>) -> u64 {
+        let id = self.next_id;
+        self.next_id += 1;
+        let parent = self.stack.last().copied().unwrap_or(0);
+        self.stack.push(id);
+        self.push(Record {
+            kind: RecordKind::SpanStart,
+            level: Level::Info,
+            name,
+            span_id: id,
+            parent_id: parent,
+            ts_us,
+            dur_us: None,
+            fields,
+        });
+        id
+    }
+
+    /// Closes span `id` opened at `start_us`. Spans close LIFO (RAII guards
+    /// enforce this); out-of-order closes just pop to the matching frame.
+    pub fn end_span(&mut self, name: &'static str, id: u64, start_us: u64, ts_us: u64) {
+        while let Some(top) = self.stack.pop() {
+            if top == id {
+                break;
+            }
+        }
+        let parent = self.stack.last().copied().unwrap_or(0);
+        self.push(Record {
+            kind: RecordKind::SpanEnd,
+            level: Level::Info,
+            name,
+            span_id: id,
+            parent_id: parent,
+            ts_us,
+            dur_us: Some(ts_us.saturating_sub(start_us)),
+            fields: Vec::new(),
+        });
+    }
+
+    /// Records a point event inside the current span.
+    pub fn event(&mut self, level: Level, name: &'static str, ts_us: u64, fields: Vec<Field>) {
+        let parent = self.stack.last().copied().unwrap_or(0);
+        self.push(Record {
+            kind: RecordKind::Event,
+            level,
+            name,
+            span_id: parent,
+            parent_id: parent,
+            ts_us,
+            dur_us: None,
+            fields,
+        });
+    }
+
+    /// Records currently in the ring, oldest first.
+    pub fn records(&self) -> impl Iterator<Item = &Record> {
+        self.ring.iter()
+    }
+
+    /// Number of records evicted because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Ring capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Serializes the ring as JSONL, oldest record first.
+    pub fn export_jsonl(&self) -> String {
+        let mut out = String::new();
+        for rec in &self.ring {
+            rec.push_jsonl(&mut out);
+        }
+        out
+    }
+
+    /// Empties the ring (keeps the id counter and open-span stack).
+    pub fn clear(&mut self) {
+        self.ring.clear();
+        self.dropped = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_nesting_assigns_parent_ids() {
+        let mut t = Tracer::new(64);
+        let outer = t.begin_span("outer", 10, vec![]);
+        let inner = t.begin_span("inner", 20, vec![]);
+        t.event(Level::Info, "tick", 25, vec![]);
+        t.end_span("inner", inner, 20, 30);
+        t.end_span("outer", outer, 10, 40);
+
+        let recs: Vec<&Record> = t.records().collect();
+        assert_eq!(recs.len(), 5);
+        assert_eq!((recs[0].name, recs[0].parent_id), ("outer", 0));
+        assert_eq!((recs[1].name, recs[1].parent_id), ("inner", outer));
+        assert_eq!((recs[2].name, recs[2].span_id), ("tick", inner));
+        assert_eq!(recs[3].dur_us, Some(10));
+        assert_eq!(recs[4].dur_us, Some(30));
+        assert_eq!(recs[4].parent_id, 0);
+    }
+
+    #[test]
+    fn ring_buffer_wraps_and_counts_drops() {
+        let mut t = Tracer::new(3);
+        for i in 0..5u64 {
+            t.event(Level::Info, "e", i, vec![field("i", i)]);
+        }
+        assert_eq!(t.dropped(), 2);
+        let ts: Vec<u64> = t.records().map(|r| r.ts_us).collect();
+        assert_eq!(ts, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn jsonl_is_one_object_per_line() {
+        let mut t = Tracer::new(8);
+        let s = t.begin_span("step", 5, vec![field("strategy", "pessimistic")]);
+        t.event(Level::Warn, "skip", 6, vec![field("err", String::from("x\"y"))]);
+        t.end_span("step", s, 5, 9);
+        let out = t.export_jsonl();
+        let lines: Vec<&str> = out.trim_end().split('\n').collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].starts_with("{\"ts_us\":5,\"kind\":\"span_start\""));
+        assert!(lines[0].contains("\"strategy\":\"pessimistic\""));
+        assert!(lines[1].contains("\"level\":\"warn\""));
+        assert!(lines[1].contains("\"err\":\"x\\\"y\""));
+        assert!(lines[2].contains("\"dur_us\":4"));
+        for l in lines {
+            assert!(l.starts_with('{') && l.ends_with('}'));
+        }
+    }
+}

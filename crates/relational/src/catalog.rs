@@ -182,11 +182,8 @@ mod tests {
     #[test]
     fn rename_moves_relation() {
         let mut c = catalog();
-        c.apply_schema_change(&SchemaChange::RenameRelation {
-            from: "R".into(),
-            to: "S".into(),
-        })
-        .unwrap();
+        c.apply_schema_change(&SchemaChange::RenameRelation { from: "R".into(), to: "S".into() })
+            .unwrap();
         assert!(!c.contains("R"));
         assert!(c.contains("S"));
         assert_eq!(c.get("S").unwrap().schema().relation, "S");
@@ -197,10 +194,7 @@ mod tests {
         let mut c = catalog();
         c.create(Schema::of("S", &[("x", AttrType::Int)])).unwrap();
         assert!(c
-            .apply_schema_change(&SchemaChange::RenameRelation {
-                from: "R".into(),
-                to: "S".into()
-            })
+            .apply_schema_change(&SchemaChange::RenameRelation { from: "R".into(), to: "S".into() })
             .is_err());
         assert!(c.contains("R"), "failed rename must not mutate");
     }
@@ -220,11 +214,9 @@ mod tests {
     fn replace_relations() {
         let mut c = catalog();
         c.create(Schema::of("R2", &[("x", AttrType::Int)])).unwrap();
-        let replacement = Relation::from_tuples(
-            Schema::of("M", &[("a", AttrType::Int)]),
-            [Tuple::of([1i64])],
-        )
-        .unwrap();
+        let replacement =
+            Relation::from_tuples(Schema::of("M", &[("a", AttrType::Int)]), [Tuple::of([1i64])])
+                .unwrap();
         c.apply_schema_change(&SchemaChange::ReplaceRelations {
             dropped: vec!["R".into(), "R2".into()],
             replacement: Box::new(replacement),

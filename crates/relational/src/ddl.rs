@@ -93,10 +93,7 @@ impl SchemaChange {
     /// existing view definition). Pre-exec detection can ignore such changes
     /// when drawing concurrent-dependency edges.
     pub fn is_purely_additive(&self) -> bool {
-        matches!(
-            self,
-            SchemaChange::AddAttribute { .. } | SchemaChange::CreateRelation { .. }
-        )
+        matches!(self, SchemaChange::AddAttribute { .. } | SchemaChange::CreateRelation { .. })
     }
 
     /// True iff applying this change invalidates a reference to
@@ -108,13 +105,9 @@ impl SchemaChange {
             SchemaChange::RenameAttribute { relation: r, from, .. } => {
                 r == relation && from == attr
             }
-            SchemaChange::DropAttribute { relation: r, attr: a } => {
-                r == relation && a == attr
-            }
+            SchemaChange::DropAttribute { relation: r, attr: a } => r == relation && a == attr,
             SchemaChange::DropRelation { relation: r } => r == relation,
-            SchemaChange::ReplaceRelations { dropped, .. } => {
-                dropped.iter().any(|d| d == relation)
-            }
+            SchemaChange::ReplaceRelations { dropped, .. } => dropped.iter().any(|d| d == relation),
             SchemaChange::AddAttribute { .. } | SchemaChange::CreateRelation { .. } => false,
         }
     }
@@ -125,9 +118,7 @@ impl SchemaChange {
         match self {
             SchemaChange::RenameRelation { from, .. } => from == relation,
             SchemaChange::DropRelation { relation: r } => r == relation,
-            SchemaChange::ReplaceRelations { dropped, .. } => {
-                dropped.iter().any(|d| d == relation)
-            }
+            SchemaChange::ReplaceRelations { dropped, .. } => dropped.iter().any(|d| d == relation),
             _ => false,
         }
     }
@@ -196,8 +187,7 @@ pub fn apply_to_relation(
             expect_touches(rel, relation)?;
             let idx = rel.schema().require(attr)?;
             let schema = rel.schema().with_attr_dropped(attr)?;
-            let keep: Vec<usize> =
-                (0..rel.schema().arity()).filter(|&i| i != idx).collect();
+            let keep: Vec<usize> = (0..rel.schema().arity()).filter(|&i| i != idx).collect();
             Ok(Some(Relation::replace_parts(schema, rel.rows().project(&keep))))
         }
         SchemaChange::DropRelation { relation } => {
@@ -208,14 +198,12 @@ pub fn apply_to_relation(
             if dropped.iter().any(|d| *d == rel.schema().relation) {
                 Ok(None)
             } else {
-                Err(RelationalError::UnknownRelation {
-                    relation: rel.schema().relation.clone(),
-                })
+                Err(RelationalError::UnknownRelation { relation: rel.schema().relation.clone() })
             }
         }
-        SchemaChange::CreateRelation { schema } => Err(RelationalError::DuplicateRelation {
-            relation: schema.relation.clone(),
-        }),
+        SchemaChange::CreateRelation { schema } => {
+            Err(RelationalError::DuplicateRelation { relation: schema.relation.clone() })
+        }
     }
 }
 
@@ -250,9 +238,9 @@ fn push_composed(out: &mut Vec<SchemaChange>, ch: SchemaChange) {
     match &ch {
         SchemaChange::RenameRelation { from, to } => {
             // Collapse with an earlier rename chain ending at `from`.
-            let prior = out.iter().position(|c| {
-                matches!(c, SchemaChange::RenameRelation { to: t0, .. } if t0 == from)
-            });
+            let prior = out.iter().position(
+                |c| matches!(c, SchemaChange::RenameRelation { to: t0, .. } if t0 == from),
+            );
             if let Some(i) = prior {
                 let f0 = match &out[i] {
                     SchemaChange::RenameRelation { from: f0, .. } => f0.clone(),
@@ -263,8 +251,7 @@ fn push_composed(out: &mut Vec<SchemaChange>, ch: SchemaChange) {
                     // A→B then B→A: both vanish.
                     out.remove(i);
                 } else {
-                    out[i] =
-                        SchemaChange::RenameRelation { from: f0.clone(), to: to.clone() };
+                    out[i] = SchemaChange::RenameRelation { from: f0.clone(), to: to.clone() };
                 }
                 // The intermediate name no longer exists at any point of the
                 // composed sequence: changes recorded between the two renames
@@ -304,10 +291,8 @@ fn push_composed(out: &mut Vec<SchemaChange>, ch: SchemaChange) {
         }
         SchemaChange::DropAttribute { relation, attr } => {
             // `rename a→b` then `drop b` ⇒ `drop a`.
-            let mut effective = SchemaChange::DropAttribute {
-                relation: relation.clone(),
-                attr: attr.clone(),
-            };
+            let mut effective =
+                SchemaChange::DropAttribute { relation: relation.clone(), attr: attr.clone() };
             let mut removed = None;
             for (i, prev) in out.iter().enumerate() {
                 if let SchemaChange::RenameAttribute { relation: r0, from: f0, to: t0 } = prev {
@@ -432,11 +417,7 @@ mod tests {
 
     fn rel() -> Relation {
         let schema = Schema::of("R", &[("a", AttrType::Int), ("b", AttrType::Str)]);
-        Relation::from_tuples(
-            schema,
-            [Tuple::of([Value::from(1), Value::str("x")])],
-        )
-        .unwrap()
+        Relation::from_tuples(schema, [Tuple::of([Value::from(1), Value::str("x")])]).unwrap()
     }
 
     #[test]
@@ -487,9 +468,8 @@ mod tests {
 
     #[test]
     fn drop_relation_removes() {
-        let out =
-            apply_to_relation(&rel(), &SchemaChange::DropRelation { relation: "R".into() })
-                .unwrap();
+        let out = apply_to_relation(&rel(), &SchemaChange::DropRelation { relation: "R".into() })
+            .unwrap();
         assert!(out.is_none());
     }
 
@@ -517,8 +497,16 @@ mod tests {
     #[test]
     fn compose_attr_rename_chain() {
         let composed = compose(&[
-            SchemaChange::RenameAttribute { relation: "R".into(), from: "a".into(), to: "b".into() },
-            SchemaChange::RenameAttribute { relation: "R".into(), from: "b".into(), to: "c".into() },
+            SchemaChange::RenameAttribute {
+                relation: "R".into(),
+                from: "a".into(),
+                to: "b".into(),
+            },
+            SchemaChange::RenameAttribute {
+                relation: "R".into(),
+                from: "b".into(),
+                to: "c".into(),
+            },
         ]);
         assert_eq!(
             composed,
@@ -533,7 +521,11 @@ mod tests {
     #[test]
     fn compose_rename_then_drop_attr() {
         let composed = compose(&[
-            SchemaChange::RenameAttribute { relation: "R".into(), from: "a".into(), to: "b".into() },
+            SchemaChange::RenameAttribute {
+                relation: "R".into(),
+                from: "a".into(),
+                to: "b".into(),
+            },
             SchemaChange::DropAttribute { relation: "R".into(), attr: "b".into() },
         ]);
         assert_eq!(

@@ -109,10 +109,9 @@ impl fmt::Display for RelationalError {
             RelationalError::ArityMismatch { relation, expected, got } => {
                 write!(f, "arity mismatch for `{relation}`: expected {expected}, got {got}")
             }
-            RelationalError::TypeMismatch { relation, attr, expected, got } => write!(
-                f,
-                "type mismatch for `{relation}.{attr}`: expected {expected}, got {got}"
-            ),
+            RelationalError::TypeMismatch { relation, attr, expected, got } => {
+                write!(f, "type mismatch for `{relation}.{attr}`: expected {expected}, got {got}")
+            }
             RelationalError::DeleteMissing { relation, tuple } => {
                 write!(f, "cannot delete absent tuple {tuple} from `{relation}`")
             }

@@ -141,11 +141,10 @@ pub fn validate<P: RelationProvider + ?Sized>(
         schemas.insert(t.as_str(), slice.schema);
     }
     for col in query.referenced_cols() {
-        let schema = schemas.get(col.relation.as_str()).ok_or_else(|| {
-            RelationalError::InvalidQuery {
+        let schema =
+            schemas.get(col.relation.as_str()).ok_or_else(|| RelationalError::InvalidQuery {
                 reason: format!("column {col} references a relation not in FROM"),
-            }
-        })?;
+            })?;
         schema.require(&col.attr)?;
     }
     Ok(())
@@ -244,12 +243,8 @@ fn load_filtered(
     name: &str,
     slice: TableSlice<'_>,
 ) -> Result<Cursor, RelationalError> {
-    let cols: Vec<ColRef> = slice
-        .schema
-        .attrs()
-        .iter()
-        .map(|a| ColRef::new(name, a.name.clone()))
-        .collect();
+    let cols: Vec<ColRef> =
+        slice.schema.attrs().iter().map(|a| ColRef::new(name, a.name.clone())).collect();
     let filters: Vec<(usize, CmpOp, &Value)> = query
         .predicates
         .iter()
@@ -299,12 +294,8 @@ fn hash_join(
     joined: &BTreeSet<&str>,
     new_name: &str,
 ) -> Result<Cursor, RelationalError> {
-    let new_cols: Vec<ColRef> = slice
-        .schema
-        .attrs()
-        .iter()
-        .map(|a| ColRef::new(new_name, a.name.clone()))
-        .collect();
+    let new_cols: Vec<ColRef> =
+        slice.schema.attrs().iter().map(|a| ColRef::new(new_name, a.name.clone())).collect();
     let filters: Vec<(usize, CmpOp, &Value)> = query
         .predicates
         .iter()
@@ -328,15 +319,14 @@ fn hash_join(
     let mut keys: Vec<(usize, usize)> = Vec::new();
     for p in &query.predicates {
         if let Predicate::JoinEq(a, b) = p {
-            let (cur_side, new_side) = if a.relation == new_name
-                && joined.contains(b.relation.as_str())
-            {
-                (b, a)
-            } else if b.relation == new_name && joined.contains(a.relation.as_str()) {
-                (a, b)
-            } else {
-                continue;
-            };
+            let (cur_side, new_side) =
+                if a.relation == new_name && joined.contains(b.relation.as_str()) {
+                    (b, a)
+                } else if b.relation == new_name && joined.contains(a.relation.as_str()) {
+                    (a, b)
+                } else {
+                    continue;
+                };
             let ci = cur.index_of(cur_side).ok_or_else(|| RelationalError::InvalidQuery {
                 reason: format!("join column {cur_side} missing from intermediate"),
             })?;
@@ -472,10 +462,8 @@ mod tests {
 
     #[test]
     fn constant_filter() {
-        let q = SpjQuery::over(["S"])
-            .select("S", "price")
-            .filter("S", "price", CmpOp::Gt, 15)
-            .build();
+        let q =
+            SpjQuery::over(["S"]).select("S", "price").filter("S", "price", CmpOp::Gt, 15).build();
         let out = eval(&q, &fixture()).unwrap();
         assert_eq!(out.weight(), 2);
     }
@@ -564,10 +552,7 @@ mod tests {
         let f = Two { r, s: fixture().s };
         let out = eval(&join_query(), &f).unwrap();
         assert!(out.rows.is_empty(), "NULL join key matches nothing");
-        let q = SpjQuery::over(["R"])
-            .select("R", "name")
-            .filter("R", "id", CmpOp::Eq, 1)
-            .build();
+        let q = SpjQuery::over(["R"]).select("R", "name").filter("R", "id", CmpOp::Eq, 1).build();
         assert!(eval(&q, &f).unwrap().rows.is_empty());
     }
 
@@ -607,10 +592,7 @@ mod tests {
 
     #[test]
     fn projecting_same_column_twice() {
-        let q = SpjQuery::over(["S"])
-            .select("S", "id")
-            .select_as("S", "id", "id_again")
-            .build();
+        let q = SpjQuery::over(["S"]).select("S", "id").select_as("S", "id", "id_again").build();
         let out = eval(&q, &fixture()).unwrap();
         assert_eq!(out.cols, vec!["id", "id_again"]);
         assert_eq!(out.rows.count(&Tuple::of([1i64, 1])), 1);
@@ -627,10 +609,7 @@ mod tests {
     #[test]
     fn empty_from_is_invalid() {
         let q = SpjQuery { tables: vec![], projection: vec![], predicates: vec![] };
-        assert!(matches!(
-            eval(&q, &fixture()).unwrap_err(),
-            RelationalError::InvalidQuery { .. }
-        ));
+        assert!(matches!(eval(&q, &fixture()).unwrap_err(), RelationalError::InvalidQuery { .. }));
     }
 
     #[test]

@@ -414,10 +414,8 @@ mod tests {
 
     #[test]
     fn parses_create_view_wrapper() {
-        let (name, q) = parse_create_view(
-            "CREATE VIEW BookInfo AS SELECT Item.Book FROM Item",
-        )
-        .unwrap();
+        let (name, q) =
+            parse_create_view("CREATE VIEW BookInfo AS SELECT Item.Book FROM Item").unwrap();
         assert_eq!(name.as_deref(), Some("BookInfo"));
         assert_eq!(q.tables, vec!["Item"]);
         let (none, _) = parse_create_view("SELECT Item.Book FROM Item").unwrap();

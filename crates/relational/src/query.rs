@@ -152,8 +152,7 @@ impl SpjQuery {
     /// predicates). These are exactly the schema elements whose invalidation
     /// by a concurrent schema change breaks the query.
     pub fn referenced_cols(&self) -> BTreeSet<ColRef> {
-        let mut cols: BTreeSet<ColRef> =
-            self.projection.iter().map(|p| p.col.clone()).collect();
+        let mut cols: BTreeSet<ColRef> = self.projection.iter().map(|p| p.col.clone()).collect();
         for p in &self.predicates {
             for c in p.cols() {
                 cols.insert(c.clone());
@@ -173,9 +172,7 @@ impl SpjQuery {
         subset: &BTreeSet<&str>,
     ) -> impl Iterator<Item = &'a Predicate> + 'a {
         let subset: BTreeSet<String> = subset.iter().map(|s| s.to_string()).collect();
-        self.predicates
-            .iter()
-            .filter(move |p| p.relations().iter().all(|r| subset.contains(*r)))
+        self.predicates.iter().filter(move |p| p.relations().iter().all(|r| subset.contains(*r)))
     }
 }
 
@@ -223,15 +220,20 @@ impl SpjQueryBuilder {
 
     /// Adds an equi-join predicate.
     pub fn join_eq(mut self, left: (&str, &str), right: (&str, &str)) -> Self {
-        self.query.predicates.push(Predicate::JoinEq(
-            ColRef::new(left.0, left.1),
-            ColRef::new(right.0, right.1),
-        ));
+        self.query
+            .predicates
+            .push(Predicate::JoinEq(ColRef::new(left.0, left.1), ColRef::new(right.0, right.1)));
         self
     }
 
     /// Adds a comparison predicate against a constant.
-    pub fn filter(mut self, relation: &str, attr: &str, op: CmpOp, value: impl Into<Value>) -> Self {
+    pub fn filter(
+        mut self,
+        relation: &str,
+        attr: &str,
+        op: CmpOp,
+        value: impl Into<Value>,
+    ) -> Self {
         self.query.predicates.push(Predicate::Compare(
             ColRef::new(relation, attr),
             op,

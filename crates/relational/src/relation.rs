@@ -220,8 +220,7 @@ impl Delta {
     pub fn project_to(&self, attrs: &[String]) -> Result<Delta, RelationalError> {
         let indices: Vec<usize> =
             attrs.iter().map(|a| self.schema.require(a)).collect::<Result<_, _>>()?;
-        let kept: Vec<_> =
-            indices.iter().map(|&i| self.schema.attrs()[i].clone()).collect();
+        let kept: Vec<_> = indices.iter().map(|&i| self.schema.attrs()[i].clone()).collect();
         let schema = Schema::new(self.schema.relation.clone(), kept)?;
         Ok(Delta { schema, rows: self.rows.project(&indices) })
     }
@@ -284,8 +283,7 @@ mod tests {
 
     #[test]
     fn delta_projection() {
-        let d = Delta::from_rows(schema(), [(t(1, 10), 1), (t(1, 20), 1), (t(2, 30), -1)])
-            .unwrap();
+        let d = Delta::from_rows(schema(), [(t(1, 10), 1), (t(1, 20), 1), (t(2, 30), -1)]).unwrap();
         let p = d.project_to(&["a".to_string()]).unwrap();
         assert_eq!(p.rows().count(&Tuple::of([1i64])), 2);
         assert_eq!(p.rows().count(&Tuple::of([2i64])), -1);

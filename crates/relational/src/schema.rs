@@ -85,10 +85,7 @@ impl Schema {
         let relation = relation.into();
         for (i, a) in attrs.iter().enumerate() {
             if attrs[..i].iter().any(|b| b.name == a.name) {
-                return Err(RelationalError::DuplicateAttribute {
-                    relation,
-                    attr: a.name.clone(),
-                });
+                return Err(RelationalError::DuplicateAttribute { relation, attr: a.name.clone() });
             }
         }
         Ok(Schema { relation, attrs })
@@ -97,11 +94,8 @@ impl Schema {
     /// Shorthand: builds a schema from `(name, type)` pairs, panicking on
     /// duplicates. Intended for tests and static testbed definitions.
     pub fn of(relation: &str, cols: &[(&str, AttrType)]) -> Self {
-        Schema::new(
-            relation,
-            cols.iter().map(|(n, t)| Attribute::new(*n, *t)).collect(),
-        )
-        .expect("static schema must not contain duplicate attributes")
+        Schema::new(relation, cols.iter().map(|(n, t)| Attribute::new(*n, *t)).collect())
+            .expect("static schema must not contain duplicate attributes")
     }
 
     /// The attributes in declaration order.

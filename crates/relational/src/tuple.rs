@@ -250,8 +250,7 @@ mod tests {
 
     #[test]
     fn projection_combines_counts() {
-        let a: SignedBag =
-            [(Tuple::of([1, 10]), 1), (Tuple::of([1, 20]), 2)].into_iter().collect();
+        let a: SignedBag = [(Tuple::of([1, 10]), 1), (Tuple::of([1, 20]), 2)].into_iter().collect();
         let p = a.project(&[0]);
         assert_eq!(p.count(&t(&[1])), 3);
     }

@@ -48,7 +48,7 @@ impl Default for CostModel {
             scan_tuple_us: 1,
             result_tuple_us: 400,
             local_tuple_us: 1,
-            vs_rewrite_us: 500_000,  // 0.5 s
+            vs_rewrite_us: 500_000, // 0.5 s
             mv_write_tuple_us: 100,
         }
     }
@@ -98,10 +98,7 @@ mod tests {
         assert!((200_000..400_000).contains(&du), "DU ≈ 0.2–0.4 s, got {du} µs");
         // One SC: VS + fetching all six relations (result = full extent).
         let sc = c.vs_rewrite_us + 6 * c.query_cost_us(10_000, 10_000);
-        assert!(
-            (15_000_000..40_000_000).contains(&sc),
-            "SC ≈ 15–40 s, got {sc} µs"
-        );
+        assert!((15_000_000..40_000_000).contains(&sc), "SC ≈ 15–40 s, got {sc} µs");
         // The ratio is what the experiments depend on: SC ≫ DU.
         assert!(sc / du > 50);
     }

@@ -14,6 +14,7 @@
 //! - [`workload`] — schema-evolution-aware generators for the Section 6
 //!   workloads (DU floods, drop+rename SC trains);
 //! - [`runner`] — scenario execution with metrics collection;
+//! - [`rng`] — the in-repo seeded PRNG behind all generated data;
 //! - [`consistency`] — convergence and strong-consistency auditors
 //!   (Section 4.4 correctness).
 
@@ -23,6 +24,7 @@ pub mod consistency;
 pub mod cost;
 pub mod metrics;
 pub mod port;
+pub mod rng;
 pub mod runner;
 pub mod testbed;
 pub mod workload;
@@ -31,6 +33,7 @@ pub use consistency::{check_convergence, check_reflected, eval_view_at};
 pub use cost::CostModel;
 pub use metrics::Metrics;
 pub use port::{ScheduledCommit, SimPort};
+pub use rng::Rng;
 pub use runner::{run_scenario, RunReport, Scenario};
 pub use testbed::{build_space, build_testbed, build_view, TestbedConfig};
 pub use workload::{EventKind, WorkloadGen};

@@ -10,6 +10,7 @@
 
 use std::collections::VecDeque;
 
+use dyno_obs::{field, Collector, Counter, Histogram, Level, VirtualClock};
 use dyno_relational::{QueryResult, Relation, RelationalError, SourceUpdate, SpjQuery};
 use dyno_source::{SourceId, SourceSpace, UpdateMessage};
 use dyno_view::{eval_with_bound, BoundTable, MaintEvent, SourcePort};
@@ -28,6 +29,41 @@ pub struct ScheduledCommit {
     pub update: SourceUpdate,
 }
 
+/// The port's run counters, bound once to `sim.*` registry entries so hot
+/// paths update `Cell`s instead of looking up names.
+#[derive(Debug, Clone)]
+struct SimCounters {
+    committed_us: Counter,
+    abort_us: Counter,
+    committed_sc_us: Counter,
+    abort_sc_us: Counter,
+    queries: Counter,
+    aborts: Counter,
+    attempts: Counter,
+    skipped_commits: Counter,
+    /// Per-entry simulated cost of committed maintenance (log₂ buckets).
+    entry_committed: Histogram,
+    /// Per-entry simulated cost of aborted maintenance.
+    entry_abort: Histogram,
+}
+
+impl SimCounters {
+    fn bind(obs: &Collector) -> Self {
+        SimCounters {
+            committed_us: obs.counter("sim.committed_us"),
+            abort_us: obs.counter("sim.abort_us"),
+            committed_sc_us: obs.counter("sim.committed_sc_us"),
+            abort_sc_us: obs.counter("sim.abort_sc_us"),
+            queries: obs.counter("sim.queries"),
+            aborts: obs.counter("sim.aborts"),
+            attempts: obs.counter("sim.attempts"),
+            skipped_commits: obs.counter("sim.skipped_commits"),
+            entry_committed: obs.histogram("sim.entry_committed_us"),
+            entry_abort: obs.histogram("sim.entry_abort_us"),
+        }
+    }
+}
+
 /// The timed port.
 #[derive(Debug, Clone)]
 pub struct SimPort {
@@ -36,10 +72,12 @@ pub struct SimPort {
     schedule: VecDeque<ScheduledCommit>,
     arrivals: Vec<UpdateMessage>,
     cost: CostModel,
-    metrics: Metrics,
     metering: bool,
     maint_begin_us: Option<u64>,
     maint_has_sc: bool,
+    clock: VirtualClock,
+    obs: Collector,
+    sim: SimCounters,
 }
 
 impl SimPort {
@@ -47,18 +85,30 @@ impl SimPort {
     /// ties keep the given order) and a cost model. Metering starts
     /// disabled so view initialization is free; call
     /// [`SimPort::start_metering`] when the run begins.
+    ///
+    /// The port owns an enabled [`Collector`] stamped by its virtual clock:
+    /// run counters live in its registry (the [`Metrics`] struct is a
+    /// projection of them) and, when tracing is switched on, events and
+    /// spans carry simulated-µs timestamps. Share it with the view manager
+    /// (`ViewManager::with_obs(port.obs().clone())`) to get one coherent
+    /// timeline across the scheduler, the maintenance paths, and the port.
     pub fn new(space: SourceSpace, mut schedule: Vec<ScheduledCommit>, cost: CostModel) -> Self {
         schedule.sort_by_key(|c| c.at_us);
+        let clock = VirtualClock::new();
+        let obs = Collector::with_virtual_clock(clock.clone());
+        let sim = SimCounters::bind(&obs);
         SimPort {
             space,
             now_us: 0,
             schedule: schedule.into(),
             arrivals: Vec::new(),
             cost,
-            metrics: Metrics::default(),
             metering: false,
             maint_begin_us: None,
             maint_has_sc: false,
+            clock,
+            obs,
+            sim,
         }
     }
 
@@ -72,11 +122,28 @@ impl SimPort {
         &self.space
     }
 
-    /// Metrics so far.
+    /// The port's collector. Clones share the pipeline, so this is the
+    /// handle to thread into `ViewManager::with_obs` / `Warehouse::with_obs`
+    /// and to flip tracing on (`set_tracing`) for a run.
+    pub fn obs(&self) -> &Collector {
+        &self.obs
+    }
+
+    /// Metrics so far: a projection of the `sim.*` registry counters plus
+    /// the current clock, so registry snapshots and this struct can never
+    /// disagree.
     pub fn metrics(&self) -> Metrics {
-        let mut m = self.metrics;
-        m.end_us = self.now_us;
-        m
+        Metrics {
+            committed_us: self.sim.committed_us.get(),
+            abort_us: self.sim.abort_us.get(),
+            committed_sc_us: self.sim.committed_sc_us.get(),
+            abort_sc_us: self.sim.abort_sc_us.get(),
+            queries: self.sim.queries.get(),
+            aborts: self.sim.aborts.get(),
+            attempts: self.sim.attempts.get(),
+            skipped_commits: self.sim.skipped_commits.get(),
+            end_us: self.now_us,
+        }
     }
 
     /// True iff scheduled commits remain.
@@ -90,12 +157,19 @@ impl SimPort {
         match self.schedule.front() {
             Some(c) => {
                 let t = c.at_us.max(self.now_us);
-                self.now_us = t;
+                self.set_now(t);
                 self.apply_due_commits();
                 true
             }
             None => false,
         }
+    }
+
+    /// Moves the clock, keeping the collector's virtual clock in lockstep
+    /// so trace timestamps are simulated µs.
+    fn set_now(&mut self, t_us: u64) {
+        self.now_us = t_us;
+        self.clock.set(t_us);
     }
 
     /// Advances the clock and applies newly due commits. Only used at
@@ -104,7 +178,7 @@ impl SimPort {
     /// also being visible to the next query result, or compensation would
     /// subtract updates the query never saw.
     fn advance(&mut self, dt_us: u64) {
-        self.now_us += dt_us;
+        self.set_now(self.now_us + dt_us);
         self.apply_due_commits();
     }
 
@@ -113,7 +187,7 @@ impl SimPort {
     /// whose time passes during a quiet advance are applied at the next
     /// pre-evaluation point, exactly when they next become observable.
     fn advance_quiet(&mut self, dt_us: u64) {
-        self.now_us += dt_us;
+        self.set_now(self.now_us + dt_us);
     }
 
     fn apply_due_commits(&mut self) {
@@ -124,7 +198,14 @@ impl SimPort {
             let c = self.schedule.pop_front().expect("peeked");
             match self.space.commit(c.source, c.update) {
                 Ok(msg) => self.arrivals.push(msg),
-                Err(_) => self.metrics.skipped_commits += 1,
+                Err(_) => {
+                    self.sim.skipped_commits.inc();
+                    self.obs.event(
+                        Level::Warn,
+                        "sim.skipped_commit",
+                        &[field("source", c.source.0), field("at_us", c.at_us)],
+                    );
+                }
             }
         }
     }
@@ -139,9 +220,7 @@ impl SimPort {
             .map(|t| {
                 self.space
                     .locate(t)
-                    .and_then(|sid| {
-                        self.space.server(sid).catalog().get(t).ok().map(Relation::len)
-                    })
+                    .and_then(|sid| self.space.server(sid).catalog().get(t).ok().map(Relation::len))
                     .unwrap_or(0)
             })
             .sum()
@@ -159,7 +238,7 @@ impl SourcePort for SimPort {
         bound: &[BoundTable],
     ) -> Result<QueryResult, RelationalError> {
         if self.metering {
-            self.metrics.queries += 1;
+            self.sim.queries.inc();
             // The round trip: commits landing during it are visible.
             self.advance(self.cost.query_latency_us);
         }
@@ -218,7 +297,7 @@ impl SourcePort for SimPort {
         }
         match event {
             MaintEvent::Begin { schema_changes, updates: _ } => {
-                self.metrics.attempts += 1;
+                self.sim.attempts.inc();
                 self.maint_has_sc = schema_changes > 0;
                 self.maint_begin_us = Some(self.now_us);
                 // VS rewriting cost is paid per schema change in the batch.
@@ -227,19 +306,21 @@ impl SourcePort for SimPort {
             MaintEvent::Commit => {
                 if let Some(t0) = self.maint_begin_us.take() {
                     let dt = self.now_us - t0;
-                    self.metrics.committed_us += dt;
+                    self.sim.committed_us.add(dt);
+                    self.sim.entry_committed.record(dt);
                     if self.maint_has_sc {
-                        self.metrics.committed_sc_us += dt;
+                        self.sim.committed_sc_us.add(dt);
                     }
                 }
             }
             MaintEvent::Abort => {
                 if let Some(t0) = self.maint_begin_us.take() {
                     let dt = self.now_us - t0;
-                    self.metrics.aborts += 1;
-                    self.metrics.abort_us += dt;
+                    self.sim.aborts.inc();
+                    self.sim.abort_us.add(dt);
+                    self.sim.entry_abort.record(dt);
                     if self.maint_has_sc {
-                        self.metrics.abort_sc_us += dt;
+                        self.sim.abort_sc_us.add(dt);
                     }
                 }
             }
@@ -367,8 +448,7 @@ mod tests {
     fn quiet_advance_defers_commit_visibility() {
         // A commit falling due during a post-eval charge must not be
         // streamed before the next pre-eval point.
-        let schedule =
-            vec![ScheduledCommit { at_us: 1_000, source: SourceId(0), update: du(2) }];
+        let schedule = vec![ScheduledCommit { at_us: 1_000, source: SourceId(0), update: du(2) }];
         let mut port = SimPort::new(space(), vec![], CostModel::default());
         port.start_metering();
         port.schedule = schedule.into();

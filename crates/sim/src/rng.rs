@@ -1,0 +1,146 @@
+//! A tiny seeded PRNG, replacing the `rand` crate (unavailable offline).
+//!
+//! [`Rng`] is SplitMix64 (Steele, Lea & Flood 2014): 64 bits of state, one
+//! add + two xor-multiply mixes per output, passes BigCrush, and — the
+//! property the testbed actually needs — identical streams for identical
+//! seeds on every platform. The API mirrors the small slice of `rand` the
+//! workspace used: `gen_range(lo..hi)` over the integer types, plus a few
+//! helpers the randomized test suites want.
+//!
+//! Range reduction is by modulo, which has negligible bias for the spans
+//! used here (≤ 2⁶³ ≪ 2⁶⁴) and keeps the generator trivially auditable.
+
+use std::ops::Range;
+
+/// A seeded SplitMix64 generator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Rng {
+    state: u64,
+}
+
+impl Rng {
+    /// A generator with the given seed. Equal seeds give equal streams.
+    pub fn new(seed: u64) -> Self {
+        Rng { state: seed }
+    }
+
+    /// The next raw 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// A value uniform in `range` (half-open, must be non-empty).
+    pub fn gen_range<T: RangeSample>(&mut self, range: Range<T>) -> T {
+        T::sample(self, range)
+    }
+
+    /// `true` with probability `num / denom`.
+    pub fn gen_ratio(&mut self, num: u64, denom: u64) -> bool {
+        debug_assert!(num <= denom && denom > 0);
+        self.next_u64() % denom < num
+    }
+
+    /// A uniformly chosen element of a non-empty slice.
+    pub fn choose<'a, T>(&mut self, items: &'a [T]) -> &'a T {
+        assert!(!items.is_empty(), "choose from empty slice");
+        &items[self.gen_range(0..items.len())]
+    }
+
+    /// Fisher–Yates shuffle in place.
+    pub fn shuffle<T>(&mut self, items: &mut [T]) {
+        for i in (1..items.len()).rev() {
+            let j = self.gen_range(0..i + 1);
+            items.swap(i, j);
+        }
+    }
+}
+
+/// Integer types [`Rng::gen_range`] can sample.
+pub trait RangeSample: Copy {
+    /// Uniform sample from the half-open `range`.
+    fn sample(rng: &mut Rng, range: Range<Self>) -> Self;
+}
+
+macro_rules! impl_unsigned_sample {
+    ($($t:ty),*) => {$(
+        impl RangeSample for $t {
+            fn sample(rng: &mut Rng, range: Range<Self>) -> Self {
+                assert!(range.start < range.end, "empty range");
+                let span = (range.end - range.start) as u64;
+                range.start + (rng.next_u64() % span) as $t
+            }
+        }
+    )*};
+}
+impl_unsigned_sample!(u32, u64, usize);
+
+impl RangeSample for i64 {
+    fn sample(rng: &mut Rng, range: Range<Self>) -> Self {
+        assert!(range.start < range.end, "empty range");
+        let span = range.end.wrapping_sub(range.start) as u64;
+        range.start.wrapping_add((rng.next_u64() % span) as i64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equal_seeds_give_equal_streams() {
+        let mut a = Rng::new(42);
+        let mut b = Rng::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = Rng::new(43);
+        assert_ne!(Rng::new(42).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn known_splitmix64_vector() {
+        // Reference output for seed 1234567 (from the SplitMix64 paper's
+        // reference C implementation).
+        let mut r = Rng::new(1234567);
+        assert_eq!(r.next_u64(), 6457827717110365317);
+        assert_eq!(r.next_u64(), 3203168211198807973);
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut r = Rng::new(7);
+        for _ in 0..1000 {
+            let u = r.gen_range(10..20usize);
+            assert!((10..20).contains(&u));
+            let i = r.gen_range(-5..5i64);
+            assert!((-5..5).contains(&i));
+            let w = r.gen_range(0..1u64);
+            assert_eq!(w, 0);
+        }
+    }
+
+    #[test]
+    fn range_values_cover_the_span() {
+        let mut r = Rng::new(99);
+        let mut seen = [false; 10];
+        for _ in 0..500 {
+            seen[r.gen_range(0..10usize)] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all residues hit: {seen:?}");
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut r = Rng::new(5);
+        let mut v: Vec<u32> = (0..50).collect();
+        r.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(v, sorted, "50 elements virtually never shuffle to identity");
+    }
+}

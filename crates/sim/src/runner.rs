@@ -2,6 +2,7 @@
 //! [`SimPort`] until every scheduled source commit has been maintained.
 
 use dyno_core::{CorrectionPolicy, StepOutcome, Strategy};
+use dyno_obs::Collector;
 use dyno_view::{AdaptationMode, ViewDefinition, ViewError, ViewManager};
 
 use crate::consistency::{check_convergence, check_reflected};
@@ -33,6 +34,10 @@ pub struct Scenario {
     /// Step budget (guards the theoretical infinite-abort loop of paper
     /// Section 4.4).
     pub max_steps: u64,
+    /// When true, the run's collector records a structured trace (spans per
+    /// maintenance attempt, scheduler decisions, abort events) stamped in
+    /// simulated µs; export it from [`RunReport::obs`].
+    pub tracing: bool,
 }
 
 impl Scenario {
@@ -54,6 +59,7 @@ impl Scenario {
             cost: CostModel::default(),
             audit: false,
             max_steps,
+            tracing: false,
         }
     }
 
@@ -86,6 +92,12 @@ impl Scenario {
         self.audit = true;
         self
     }
+
+    /// Enables structured tracing for the run.
+    pub fn with_tracing(mut self) -> Self {
+        self.tracing = true;
+        self
+    }
 }
 
 /// What a run produced.
@@ -108,15 +120,33 @@ pub struct RunReport {
     pub steps: u64,
     /// Whether the run exhausted its step budget before quiescing.
     pub exhausted: bool,
+    /// The run's collector: registry snapshots (`sim.*`, `dyno.*`,
+    /// `view.*`, …) and — when [`Scenario::tracing`] was on — the full
+    /// trace, ready for `trace_jsonl()` / `metrics_json()` export.
+    pub obs: Collector,
 }
 
 /// Runs a scenario to completion.
 pub fn run_scenario(scenario: Scenario) -> Result<RunReport, ViewError> {
-    let Scenario { space, view, schedule, strategy, policy, adaptation, cost, audit, max_steps } =
-        scenario;
+    let Scenario {
+        space,
+        view,
+        schedule,
+        strategy,
+        policy,
+        adaptation,
+        cost,
+        audit,
+        max_steps,
+        tracing,
+    } = scenario;
     let info = space.info().clone();
     let mut port = SimPort::new(space, schedule, cost);
+    if tracing {
+        port.obs().set_tracing(true);
+    }
     let mut mgr = ViewManager::new(view, info, strategy)
+        .with_obs(port.obs().clone())
         .with_correction(policy)
         .with_adaptation(adaptation);
     mgr.initialize(&mut port)?;
@@ -139,9 +169,8 @@ pub fn run_scenario(scenario: Scenario) -> Result<RunReport, ViewError> {
             StepOutcome::Committed => {
                 steps += 1;
                 if audit {
-                    let ok =
-                        check_reflected(port.space(), mgr.view(), mgr.reflected(), mgr.mv())
-                            .unwrap_or(false);
+                    let ok = check_reflected(port.space(), mgr.view(), mgr.reflected(), mgr.mv())
+                        .unwrap_or(false);
                     if !ok {
                         audit_violations += 1;
                     }
@@ -156,8 +185,13 @@ pub fn run_scenario(scenario: Scenario) -> Result<RunReport, ViewError> {
 
     let converged =
         !exhausted && check_convergence(port.space(), mgr.view(), mgr.mv()).unwrap_or(false);
+    let metrics = port.metrics();
+    assert_eq!(
+        metrics.skipped_commits, 0,
+        "workload scheduled a commit its source rejected — generator bug",
+    );
     Ok(RunReport {
-        metrics: port.metrics(),
+        metrics,
         view_stats: mgr.stats(),
         dyno_stats: mgr.dyno_stats(),
         final_mv_len: mgr.mv().len(),
@@ -165,6 +199,7 @@ pub fn run_scenario(scenario: Scenario) -> Result<RunReport, ViewError> {
         audit_violations,
         steps,
         exhausted,
+        obs: port.obs().clone(),
     })
 }
 
@@ -184,10 +219,7 @@ mod tests {
         let (space, view) = build_testbed(&cfg);
         let mut gen = WorkloadGen::new(cfg, 11);
         let schedule = gen.du_flood(20);
-        let report = run_scenario(
-            Scenario::new(space, view, schedule).with_audit(),
-        )
-        .unwrap();
+        let report = run_scenario(Scenario::new(space, view, schedule).with_audit()).unwrap();
         assert!(report.converged, "MV must converge to final source states");
         assert_eq!(report.audit_violations, 0, "strong consistency at every commit");
         assert_eq!(report.view_stats.du_committed, 20);
@@ -205,9 +237,7 @@ mod tests {
             let mut schedule = gen.du_flood(10);
             schedule.extend(gen.sc_train(3, 1_000_000, 20_000_000));
             let report = run_scenario(
-                Scenario::new(space, view, schedule)
-                    .with_strategy(strategy)
-                    .with_audit(),
+                Scenario::new(space, view, schedule).with_strategy(strategy).with_audit(),
             )
             .unwrap();
             assert!(report.converged, "{strategy:?} must converge");
@@ -215,6 +245,38 @@ mod tests {
             assert!(!report.exhausted);
             assert_eq!(report.metrics.skipped_commits, 0);
         }
+    }
+
+    #[test]
+    fn traced_run_metrics_project_the_registry() {
+        let cfg = tiny_cfg();
+        let (space, view) = build_testbed(&cfg);
+        let mut gen = WorkloadGen::new(cfg, 13);
+        let mut schedule = gen.du_flood(10);
+        schedule.extend(gen.sc_train(2, 1_000_000, 10_000_000));
+        let report = run_scenario(
+            Scenario::new(space, view, schedule).with_strategy(Strategy::Optimistic).with_tracing(),
+        )
+        .unwrap();
+        let reg = report.obs.registry();
+        let counter = |name| reg.counter_value(name).unwrap_or(0);
+        // Metrics is a projection of the registry, so equality is exact.
+        assert_eq!(counter("sim.committed_us"), report.metrics.committed_us);
+        assert_eq!(counter("sim.abort_us"), report.metrics.abort_us);
+        assert_eq!(counter("sim.aborts"), report.metrics.aborts);
+        assert_eq!(counter("sim.attempts"), report.metrics.attempts);
+        assert_eq!(counter("sim.queries"), report.metrics.queries);
+        // One span per maintenance attempt, stamped in simulated µs.
+        let spans: Vec<_> = report
+            .obs
+            .trace_records()
+            .iter()
+            .filter(|r| r.kind == dyno_obs::RecordKind::SpanStart && r.name == "view.maintain")
+            .map(|r| r.ts_us)
+            .collect();
+        assert_eq!(spans.len() as u64, report.metrics.attempts);
+        assert!(spans.windows(2).all(|w| w[0] <= w[1]), "virtual timestamps are monotone");
+        assert!(spans.last().copied().unwrap_or(0) <= report.metrics.end_us);
     }
 
     #[test]

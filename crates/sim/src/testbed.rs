@@ -3,9 +3,7 @@
 //! materialized view defined as a one-to-one join among all six relations
 //! projecting all twenty-four attributes.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-
+use crate::rng::Rng;
 use dyno_relational::{AttrType, Catalog, Relation, Schema, SpjQuery, Tuple, Value};
 use dyno_source::{SourceId, SourceServer, SourceSpace};
 use dyno_view::ViewDefinition;
@@ -56,10 +54,7 @@ impl TestbedConfig {
         for a in 1..=self.extra_attrs {
             cols.push((format!("A{a}"), AttrType::Int));
         }
-        let attrs = cols
-            .into_iter()
-            .map(|(n, t)| dyno_relational::Attribute::new(n, t))
-            .collect();
+        let attrs = cols.into_iter().map(|(n, t)| dyno_relational::Attribute::new(n, t)).collect();
         Schema::new(format!("R{i}"), attrs).expect("generated attribute names are unique")
     }
 }
@@ -68,7 +63,7 @@ impl TestbedConfig {
 /// populated with keys `0..tuples_per_relation` (so the n-way join is
 /// one-to-one) and pseudorandom attribute values.
 pub fn build_space(cfg: &TestbedConfig) -> SourceSpace {
-    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut rng = Rng::new(cfg.seed);
     let mut space = SourceSpace::new();
     for s in 0..cfg.sources {
         let mut catalog = Catalog::new();

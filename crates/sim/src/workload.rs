@@ -5,9 +5,7 @@
 //! exactly like autonomous sources, which always commit against their own
 //! current schema.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-
+use crate::rng::Rng;
 use dyno_relational::{DataUpdate, Delta, Schema, SchemaChange, SourceUpdate, Tuple, Value};
 use dyno_source::SourceId;
 
@@ -36,7 +34,7 @@ pub enum EventKind {
 #[derive(Debug, Clone)]
 pub struct WorkloadGen {
     cfg: TestbedConfig,
-    rng: StdRng,
+    rng: Rng,
     /// Current name of relation `i`.
     names: Vec<String>,
     /// Non-key attributes still present on relation `i`.
@@ -53,11 +51,10 @@ impl WorkloadGen {
     pub fn new(cfg: TestbedConfig, seed: u64) -> Self {
         let n = cfg.relation_count();
         let names = cfg.relation_names();
-        let attrs = (0..n)
-            .map(|_| (1..=cfg.extra_attrs).map(|a| format!("A{a}")).collect())
-            .collect();
+        let attrs =
+            (0..n).map(|_| (1..=cfg.extra_attrs).map(|a| format!("A{a}")).collect()).collect();
         let live = vec![Vec::new(); n];
-        WorkloadGen { cfg, rng: StdRng::seed_from_u64(seed), names, attrs, rename_serial: 0, live }
+        WorkloadGen { cfg, rng: Rng::new(seed), names, attrs, rename_serial: 0, live }
     }
 
     /// The source hosting relation index `i`.
@@ -95,16 +92,15 @@ impl WorkloadGen {
     fn data_update(&mut self, at_us: u64) -> ScheduledCommit {
         let i = self.rng.gen_range(0..self.cfg.relation_count());
         let schema = self.current_schema(i);
-        let mut vals = vec![Value::from(
-            self.rng.gen_range(0..self.cfg.tuples_per_relation as i64),
-        )];
+        let mut vals =
+            vec![Value::from(self.rng.gen_range(0..self.cfg.tuples_per_relation as i64))];
         for _ in 0..schema.arity() - 1 {
             vals.push(Value::from(self.rng.gen_range(0..1_000_000i64)));
         }
         let tuple = Tuple::new(vals);
         self.live[i].push(tuple.clone());
-        let delta = Delta::inserts(schema, [tuple])
-            .expect("generated tuple matches tracked schema");
+        let delta =
+            Delta::inserts(schema, [tuple]).expect("generated tuple matches tracked schema");
         ScheduledCommit {
             at_us,
             source: self.source_of(i),
@@ -118,9 +114,7 @@ impl WorkloadGen {
         // matches); fall back to an insert when no such tuple exists.
         let candidates: Vec<usize> = (0..self.cfg.relation_count())
             .filter(|&i| {
-                self.live[i]
-                    .last()
-                    .is_some_and(|t| t.arity() == self.current_schema(i).arity())
+                self.live[i].last().is_some_and(|t| t.arity() == self.current_schema(i).arity())
             })
             .collect();
         let Some(&i) = candidates.first() else {
@@ -211,12 +205,10 @@ impl WorkloadGen {
         sc_start_us: u64,
         sc_interval_us: u64,
     ) -> Vec<ScheduledCommit> {
-        let mut timeline: Vec<(u64, EventKind)> = (0..du_count)
-            .map(|k| (k as u64 * du_gap_us, EventKind::DataUpdate))
-            .collect();
+        let mut timeline: Vec<(u64, EventKind)> =
+            (0..du_count).map(|k| (k as u64 * du_gap_us, EventKind::DataUpdate)).collect();
         for k in 0..sc_count {
-            let kind =
-                if k == 0 { EventKind::DropAttribute } else { EventKind::RenameRelation };
+            let kind = if k == 0 { EventKind::DropAttribute } else { EventKind::RenameRelation };
             timeline.push((sc_start_us + k as u64 * sc_interval_us, kind));
         }
         timeline.sort_by_key(|e| e.0);
@@ -284,15 +276,9 @@ mod tests {
         let mut gen = WorkloadGen::new(cfg(), 1);
         let w = gen.sc_train(5, 1_000, 25_000_000);
         assert_eq!(w.len(), 5);
-        assert!(matches!(
-            w[0].update,
-            SourceUpdate::Schema(SchemaChange::DropAttribute { .. })
-        ));
+        assert!(matches!(w[0].update, SourceUpdate::Schema(SchemaChange::DropAttribute { .. })));
         for c in &w[1..] {
-            assert!(matches!(
-                c.update,
-                SourceUpdate::Schema(SchemaChange::RenameRelation { .. })
-            ));
+            assert!(matches!(c.update, SourceUpdate::Schema(SchemaChange::RenameRelation { .. })));
         }
         assert_eq!(w[1].at_us - w[0].at_us, 25_000_000);
     }

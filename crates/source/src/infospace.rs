@@ -76,9 +76,7 @@ impl InfoSpace {
 
     /// Finds a replacement covering a dropped relation.
     pub fn relation_replacement(&self, dropped: &str) -> Option<&RelationReplacement> {
-        self.relation_replacements
-            .iter()
-            .find(|r| r.dropped.iter().any(|d| d == dropped))
+        self.relation_replacements.iter().find(|r| r.dropped.iter().any(|d| d == dropped))
     }
 
     /// Finds the replacement entry whose `dropped` set matches the given

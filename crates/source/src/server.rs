@@ -155,9 +155,8 @@ mod tests {
     #[test]
     fn failed_commit_is_clean() {
         let mut s = server();
-        let err = s.commit(SourceUpdate::Schema(SchemaChange::DropRelation {
-            relation: "Ghost".into(),
-        }));
+        let err =
+            s.commit(SourceUpdate::Schema(SchemaChange::DropRelation { relation: "Ghost".into() }));
         assert!(err.is_err());
         assert_eq!(s.version(), 0);
         assert!(s.log().is_empty());

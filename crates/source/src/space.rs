@@ -64,10 +64,7 @@ impl SourceSpace {
     /// The source currently hosting `relation`, if any. Relation names are
     /// globally unique across the source space (as in the paper's testbed).
     pub fn locate(&self, relation: &str) -> Option<SourceId> {
-        self.servers
-            .iter()
-            .find(|s| s.catalog().contains(relation))
-            .map(|s| s.id())
+        self.servers.iter().find(|s| s.catalog().contains(relation)).map(|s| s.id())
     }
 
     /// Commits an update at a source, returning the stamped wrapper message.

@@ -28,15 +28,14 @@
 use std::collections::HashMap;
 
 use dyno_relational::{
-    ProjItem, QueryResult, RelationalError, Schema, SchemaChange, SignedBag, SourceUpdate,
-    SpjQuery,
+    ProjItem, QueryResult, RelationalError, Schema, SchemaChange, SignedBag, SourceUpdate, SpjQuery,
 };
 use dyno_source::UpdateMessage;
 
 use crate::engine::{schema_from_bag, LocalProvider, SourcePort};
+use crate::viewdef::ViewDefinition;
 use crate::vm::{MaintFailure, ViewDelta};
 use crate::vs::{synchronize_all, VsError};
-use crate::viewdef::ViewDefinition;
 
 /// The result of adapting the view for one (possibly merged) batch.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -118,6 +117,43 @@ pub fn adapt_batch(
     (result, drained)
 }
 
+/// [`adapt_batch`] under a `va.adapt` span: reports which adaptation path
+/// was taken per batch (`va.mode` event, `va.incremental`/`va.recompute`
+/// counters) and surfaces broken maintenance queries as `va.broken_query`
+/// warning events.
+pub fn adapt_batch_observed(
+    view: &ViewDefinition,
+    batch: &[&UpdateMessage],
+    pending: &[UpdateMessage],
+    info: &dyno_source::InfoSpace,
+    mode: AdaptationMode,
+    port: &mut dyn SourcePort,
+    obs: &dyno_obs::Collector,
+) -> (Result<Adapted, BatchFailure>, Vec<UpdateMessage>) {
+    use dyno_obs::{field, Level};
+    let _span =
+        obs.span("va.adapt", &[field("updates", batch.len()), field("pending", pending.len())]);
+    let out = adapt_batch(view, batch, pending, info, mode, port);
+    match &out.0 {
+        Ok(Adapted::Incremental { .. }) => {
+            obs.counter("va.incremental").inc();
+            obs.event(Level::Info, "va.mode", &[field("mode", "incremental")]);
+        }
+        Ok(Adapted::Replaced { .. }) => {
+            obs.counter("va.recompute").inc();
+            obs.event(Level::Info, "va.mode", &[field("mode", "recompute")]);
+        }
+        Err(BatchFailure::Broken(MaintFailure::Broken { query, .. })) => {
+            obs.counter("engine.break_detections").inc();
+            if obs.tracing_on() {
+                obs.event(Level::Warn, "va.broken_query", &[field("query", query.clone())]);
+            }
+        }
+        Err(_) => {}
+    }
+    out
+}
+
 fn adapt_inner(
     view: &ViewDefinition,
     batch: &[&UpdateMessage],
@@ -139,8 +175,7 @@ fn adapt_inner(
     let composed = dyno_relational::compose(&schema_changes);
 
     // Step 2: rewrite the view definition.
-    let new_view =
-        synchronize_all(view, &composed, info).map_err(BatchFailure::Undefinable)?;
+    let new_view = synchronize_all(view, &composed, info).map_err(BatchFailure::Undefinable)?;
     port.charge_local(composed.len() as u64);
 
     if mode == AdaptationMode::Auto && incremental_applicable(view, &new_view, &composed) {
@@ -169,8 +204,7 @@ fn adapt_recompute(
     }
 
     // Evaluate V′ over the batch-point states.
-    let result = dyno_relational::eval(&new_view.query, &states)
-        .map_err(BatchFailure::Internal)?;
+    let result = dyno_relational::eval(&new_view.query, &states).map_err(BatchFailure::Internal)?;
     port.charge_local(result.weight());
     if !result.rows.is_non_negative() {
         return Err(BatchFailure::Internal(RelationalError::InvalidQuery {
@@ -198,9 +232,8 @@ fn fetch_batch_point_state(
         projection: referenced.iter().map(|c| ProjItem::plain(c.clone())).collect(),
         predicates: Vec::new(),
     };
-    let fetched = port
-        .execute(&q, &[])
-        .map_err(|e| BatchFailure::from(MaintFailure::from_query(&q, e)))?;
+    let fetched =
+        port.execute(&q, &[]).map_err(|e| BatchFailure::from(MaintFailure::from_query(&q, e)))?;
     drained.extend(port.drain_arrivals());
 
     let mut rows = fetched.rows;
@@ -211,8 +244,7 @@ fn fetch_batch_point_state(
         }
         if let SourceUpdate::Data(du) = &m.update {
             if du.relation == *table {
-                let projected =
-                    du.delta.project_to(&col_names).map_err(classify_rollback_error)?;
+                let projected = du.delta.project_to(&col_names).map_err(classify_rollback_error)?;
                 port.charge_local(projected.weight());
                 rows.merge(&projected.rows().negated());
             }
@@ -302,18 +334,16 @@ fn adapt_incremental(
         let (schema, mut rows) =
             fetch_batch_point_state(new_view, table, &batch_ids, pending, port, drained)?;
         if let Some(delta) = batch_deltas.get(table) {
-            let cols: Vec<String> =
-                schema.attrs().iter().map(|a| a.name.clone()).collect();
-            let projected =
-                delta.project_to(&cols).map_err(classify_rollback_error)?;
+            let cols: Vec<String> = schema.attrs().iter().map(|a| a.name.clone()).collect();
+            let projected = delta.project_to(&cols).map_err(classify_rollback_error)?;
             rows.merge(&projected.rows().negated());
             deltas.insert(table.clone(), projected.rows().clone());
         }
         old_states.insert(table.clone(), (schema, rows));
     }
 
-    let dv = equation6_delta(&new_view.query, &old_states, &deltas)
-        .map_err(BatchFailure::Internal)?;
+    let dv =
+        equation6_delta(&new_view.query, &old_states, &deltas).map_err(BatchFailure::Internal)?;
     port.charge_local(dv.weight());
     Ok(Adapted::Incremental {
         view: new_view.clone(),
@@ -348,8 +378,7 @@ pub fn homogenize_delta(
                 if *relation == name && schema.has_attr(attr) =>
             {
                 let idx = schema.require(attr)?;
-                let keep: Vec<usize> =
-                    (0..schema.arity()).filter(|&i| i != idx).collect();
+                let keep: Vec<usize> = (0..schema.arity()).filter(|&i| i != idx).collect();
                 schema = schema.with_attr_dropped(attr)?;
                 rows = rows.project(&keep);
             }
@@ -492,8 +521,10 @@ mod tests {
     use dyno_relational::{Tuple, Value};
     use dyno_source::SourceId;
 
-    fn states_of(space: &dyno_source::SourceSpace, view: &ViewDefinition)
-        -> HashMap<String, (Schema, SignedBag)> {
+    fn states_of(
+        space: &dyno_source::SourceSpace,
+        view: &ViewDefinition,
+    ) -> HashMap<String, (Schema, SignedBag)> {
         let mut out = HashMap::new();
         for t in &view.query.tables {
             let sid = space.locate(t).unwrap();
@@ -574,7 +605,10 @@ mod tests {
     fn homogenize_matches_paper_example() {
         // Paper Section 5: "insert (3,4)", "drop first attribute",
         // "insert (5)" — the first insert homogenizes to "insert (4)".
-        let schema2 = Schema::of("T", &[("a", dyno_relational::AttrType::Int), ("b", dyno_relational::AttrType::Int)]);
+        let schema2 = Schema::of(
+            "T",
+            &[("a", dyno_relational::AttrType::Int), ("b", dyno_relational::AttrType::Int)],
+        );
         let early = dyno_relational::Delta::inserts(schema2, [Tuple::of([3i64, 4])]).unwrap();
         let composed = vec![SchemaChange::DropAttribute { relation: "T".into(), attr: "a".into() }];
         let h = homogenize_delta(&early, &composed).unwrap();
@@ -588,7 +622,11 @@ mod tests {
         let delta = dyno_relational::Delta::inserts(schema, [Tuple::of([1i64])]).unwrap();
         let composed = vec![
             SchemaChange::RenameRelation { from: "T".into(), to: "T2".into() },
-            SchemaChange::RenameAttribute { relation: "T2".into(), from: "a".into(), to: "x".into() },
+            SchemaChange::RenameAttribute {
+                relation: "T2".into(),
+                from: "a".into(),
+                to: "x".into(),
+            },
             SchemaChange::AddAttribute {
                 relation: "T2".into(),
                 attr: dyno_relational::Attribute::new("y", dyno_relational::AttrType::Int),
@@ -620,8 +658,7 @@ mod tests {
             .unwrap();
         let info = space.info().clone();
         let mut port = InProcessPort::new(space);
-        let (res, _) =
-            adapt_batch(&view, &[&m1, &m2], &[], &info, AdaptationMode::Auto, &mut port);
+        let (res, _) = adapt_batch(&view, &[&m1, &m2], &[], &info, AdaptationMode::Auto, &mut port);
         match res.unwrap() {
             Adapted::Incremental { view: v, delta } => {
                 assert!(v.references_relation("Item2"));
@@ -631,14 +668,8 @@ mod tests {
         }
         // Forcing recompute yields the same definition and a full extent
         // whose content equals old extent + delta.
-        let (res2, _) = adapt_batch(
-            &view,
-            &[&m1, &m2],
-            &[],
-            &info,
-            AdaptationMode::RecomputeOnly,
-            &mut port,
-        );
+        let (res2, _) =
+            adapt_batch(&view, &[&m1, &m2], &[], &info, AdaptationMode::RecomputeOnly, &mut port);
         match res2.unwrap() {
             Adapted::Replaced { extent, .. } => assert_eq!(extent.weight(), 2),
             other => panic!("RecomputeOnly must recompute, got {other:?}"),
@@ -699,8 +730,7 @@ mod tests {
             .unwrap();
         let info = space.info().clone();
         let mut port = InProcessPort::new(space);
-        let (res, _) =
-            adapt_batch(&view, &[&m], &[], &info, AdaptationMode::Auto, &mut port);
+        let (res, _) = adapt_batch(&view, &[&m], &[], &info, AdaptationMode::Auto, &mut port);
         assert!(matches!(res.unwrap_err(), BatchFailure::Broken(_)));
     }
 

@@ -30,8 +30,8 @@ pub mod vs;
 pub mod warehouse;
 
 pub use batch::{
-    adapt_batch, equation6_delta, equation6_view_delta, homogenize_delta, Adapted,
-    AdaptationMode, BatchFailure,
+    adapt_batch, adapt_batch_observed, equation6_delta, equation6_view_delta, homogenize_delta,
+    AdaptationMode, Adapted, BatchFailure,
 };
 pub use engine::{
     eval_with_bound, schema_from_bag, BoundTable, InProcessPort, LocalProvider, MaintEvent,
@@ -40,6 +40,6 @@ pub use engine::{
 pub use manager::{ReflectedVersions, ViewError, ViewManager, ViewStats};
 pub use mview::MaterializedView;
 pub use viewdef::ViewDefinition;
-pub use vm::{sweep_maintain, MaintFailure, ViewDelta};
+pub use vm::{sweep_maintain, sweep_maintain_observed, MaintFailure, ViewDelta};
 pub use vs::{synchronize, synchronize_all, VsError};
 pub use warehouse::Warehouse;

@@ -7,14 +7,15 @@ use dyno_core::{
     CorrectionPolicy, Dyno, DynoStats, MaintainOutcome, Maintainer, StepOutcome, Strategy, Umq,
     UpdateKind, UpdateMeta,
 };
+use dyno_obs::{field, Collector, Level};
 use dyno_relational::{RelationalError, SourceUpdate};
 use dyno_source::{InfoSpace, SourceId, UpdateMessage};
 
-use crate::batch::{adapt_batch, Adapted, AdaptationMode, BatchFailure};
+use crate::batch::{adapt_batch_observed, AdaptationMode, Adapted, BatchFailure};
 use crate::engine::{MaintEvent, SourcePort};
 use crate::mview::MaterializedView;
 use crate::viewdef::ViewDefinition;
-use crate::vm::sweep_maintain;
+use crate::vm::sweep_maintain_observed;
 use crate::vs::VsError;
 
 /// Hard (non-retryable) view-management failures.
@@ -75,6 +76,7 @@ struct ViewCore {
     stats: ViewStats,
     last_error: Option<ViewError>,
     adaptation: AdaptationMode,
+    obs: Collector,
 }
 
 impl ViewManager {
@@ -93,6 +95,7 @@ impl ViewManager {
                 stats: ViewStats::default(),
                 last_error: None,
                 adaptation: AdaptationMode::default(),
+                obs: Collector::disabled(),
             },
         }
     }
@@ -100,8 +103,25 @@ impl ViewManager {
     /// Overrides the scheduler's correction policy (default: cycle merge;
     /// `MergeAll` is the blind-merge ablation baseline of paper Section 4.2).
     pub fn with_correction(mut self, policy: CorrectionPolicy) -> Self {
-        self.dyno = Dyno::new(self.dyno.strategy()).with_policy(policy);
+        self.dyno =
+            Dyno::new(self.dyno.strategy()).with_policy(policy).with_obs(self.core.obs.clone());
         self
+    }
+
+    /// Attaches an observability collector: the scheduler and every
+    /// maintenance path report spans, events, and `view.*`/`vm.*`/`va.*`
+    /// metrics through it. The default is a disabled collector, which costs
+    /// nothing on the hot paths.
+    pub fn with_obs(mut self, obs: Collector) -> Self {
+        self.dyno = self.dyno.clone().with_obs(obs.clone());
+        self.core.obs = obs;
+        self
+    }
+
+    /// The manager's observability collector (disabled unless one was
+    /// attached with [`ViewManager::with_obs`]).
+    pub fn obs(&self) -> &Collector {
+        &self.core.obs
     }
 
     /// Selects the view-adaptation mode (default: incremental when the
@@ -116,13 +136,8 @@ impl ViewManager {
     /// current states and records the reflected versions. Must run before
     /// any source commits are in flight.
     pub fn initialize(&mut self, port: &mut dyn SourcePort) -> Result<(), ViewError> {
-        let result = port
-            .execute(&self.core.view.query, &[])
-            .map_err(ViewError::Internal)?;
-        self.core
-            .mv
-            .replace(result.cols, result.rows)
-            .map_err(ViewError::Internal)?;
+        let result = port.execute(&self.core.view.query, &[]).map_err(ViewError::Internal)?;
+        self.core.mv.replace(result.cols, result.rows).map_err(ViewError::Internal)?;
         for table in &self.core.view.query.tables {
             if let Some(sid) = port.locate(table) {
                 let v = port.source_version(sid);
@@ -150,12 +165,11 @@ impl ViewManager {
             }
             let kind = match &msg.update {
                 SourceUpdate::Data(_) => UpdateKind::Data,
-                SourceUpdate::Schema(sc) => UpdateKind::Schema {
-                    invalidates_view: self.core.view.is_invalidated_by(sc),
-                },
+                SourceUpdate::Schema(sc) => {
+                    UpdateKind::Schema { invalidates_view: self.core.view.is_invalidated_by(sc) }
+                }
             };
-            self.umq
-                .enqueue(UpdateMeta::new(msg.id.0, msg.source.0, kind, msg));
+            self.umq.enqueue(UpdateMeta::new(msg.id.0, msg.source.0, kind, msg));
         }
     }
 
@@ -168,13 +182,11 @@ impl ViewManager {
         let drained = std::mem::take(&mut ctx.drained);
         self.ingest(drained);
         if outcome == StepOutcome::Failed {
-            return Err(self
-                .core
-                .last_error
-                .take()
-                .unwrap_or(ViewError::Internal(RelationalError::InvalidQuery {
+            return Err(self.core.last_error.take().unwrap_or(ViewError::Internal(
+                RelationalError::InvalidQuery {
                     reason: "maintenance failed without recording an error".into(),
-                })));
+                },
+            )));
         }
         Ok(outcome)
     }
@@ -260,24 +272,32 @@ impl Maintainer<UpdateMessage> for MaintCtx<'_> {
         batch: &[UpdateMeta<UpdateMessage>],
         rest: &[&[UpdateMeta<UpdateMessage>]],
     ) -> MaintainOutcome {
-        self.port.on_maintenance_event(MaintEvent::Begin {
-            updates: batch.len(),
-            schema_changes: batch
-                .iter()
-                .filter(|m| m.payload.is_schema_change())
-                .count(),
-        });
-        let pending: Vec<UpdateMessage> = rest
-            .iter()
-            .flat_map(|node| node.iter().map(|m| m.payload.clone()))
-            .collect();
+        let schema_changes = batch.iter().filter(|m| m.payload.is_schema_change()).count();
+        self.port.on_maintenance_event(MaintEvent::Begin { updates: batch.len(), schema_changes });
+        let pending: Vec<UpdateMessage> =
+            rest.iter().flat_map(|node| node.iter().map(|m| m.payload.clone())).collect();
 
-        let is_plain_du = batch.len() == 1
-            && matches!(batch[0].payload.update, SourceUpdate::Data(_));
+        let is_plain_du =
+            batch.len() == 1 && matches!(batch[0].payload.update, SourceUpdate::Data(_));
+
+        let _span = self.core.obs.span(
+            "view.maintain",
+            &[
+                field("updates", batch.len()),
+                field("schema_changes", schema_changes),
+                field("kind", if is_plain_du { "du" } else { "batch" }),
+            ],
+        );
+        self.core.obs.counter("view.attempts").inc();
 
         let failure: Option<BatchFailure> = if is_plain_du {
-            let (result, drained) =
-                sweep_maintain(&self.core.view, &batch[0].payload, &pending, self.port);
+            let (result, drained) = sweep_maintain_observed(
+                &self.core.view,
+                &batch[0].payload,
+                &pending,
+                self.port,
+                &self.core.obs,
+            );
             self.drained.extend(drained);
             match result {
                 Ok(delta) => {
@@ -295,13 +315,14 @@ impl Maintainer<UpdateMessage> for MaintCtx<'_> {
             }
         } else {
             let refs: Vec<&UpdateMessage> = batch.iter().map(|m| &m.payload).collect();
-            let (result, drained) = adapt_batch(
+            let (result, drained) = adapt_batch_observed(
                 &self.core.view,
                 &refs,
                 &pending,
                 &self.core.info,
                 self.core.adaptation,
                 self.port,
+                &self.core.obs,
             );
             self.drained.extend(drained);
             match result {
@@ -339,6 +360,7 @@ impl Maintainer<UpdateMessage> for MaintCtx<'_> {
         match failure {
             None => {
                 self.commit_bookkeeping(batch);
+                self.core.obs.counter("view.commits").inc();
                 self.port.on_maintenance_event(MaintEvent::Commit);
                 MaintainOutcome::Committed
             }
@@ -347,6 +369,14 @@ impl Maintainer<UpdateMessage> for MaintCtx<'_> {
                     eprintln!("[dyno] broken query: {b:?}");
                 }
                 self.core.stats.aborts += 1;
+                self.core.obs.counter("view.aborts").inc();
+                if self.core.obs.tracing_on() {
+                    self.core.obs.event(
+                        Level::Warn,
+                        "view.abort",
+                        &[field("updates", batch.len())],
+                    );
+                }
                 self.port.on_maintenance_event(MaintEvent::Abort);
                 MaintainOutcome::BrokenQuery
             }
@@ -373,6 +403,7 @@ impl Maintainer<UpdateMessage> for MaintCtx<'_> {
         // second-hop rename is classified irrelevant, escapes the merge,
         // and the rewritten view references a name the source no longer
         // has — an unbreakable livelock of broken queries.
+        self.core.obs.counter("vs.relevance_refreshes").inc();
         let mut shadow = self.core.view.clone();
         for meta in queue.metas_mut() {
             if let SourceUpdate::Schema(sc) = &meta.payload.update {
@@ -380,6 +411,7 @@ impl Maintainer<UpdateMessage> for MaintCtx<'_> {
                 if invalidates {
                     if let Ok(next) = crate::vs::synchronize(&shadow, sc, &self.core.info) {
                         shadow = next;
+                        self.core.obs.counter("vs.shadow_rewrites").inc();
                     }
                 }
                 meta.kind = UpdateKind::Schema { invalidates_view: invalidates };
@@ -435,10 +467,15 @@ mod tests {
             SourceUpdate::Data(insert_item(10, "Data Integration Guide", "Adams", 36)),
         )
         .unwrap();
-        let store = port.space().server(dyno_source::SourceId(0)).catalog().get("Store").unwrap().clone();
-        let item = port.space().server(dyno_source::SourceId(0)).catalog().get("Item").unwrap().clone();
-        port.commit(dyno_source::SourceId(0), SourceUpdate::Schema(storeitems_change(&store, &item)))
-            .unwrap();
+        let store =
+            port.space().server(dyno_source::SourceId(0)).catalog().get("Store").unwrap().clone();
+        let item =
+            port.space().server(dyno_source::SourceId(0)).catalog().get("Item").unwrap().clone();
+        port.commit(
+            dyno_source::SourceId(0),
+            SourceUpdate::Schema(storeitems_change(&store, &item)),
+        )
+        .unwrap();
         mgr.run_to_quiescence(&mut port, 100).unwrap();
         assert!(mgr.view().references_relation("StoreItems"));
         assert_eq!(mgr.mv().len(), 2, "both books visible after adaptation");
@@ -455,10 +492,15 @@ mod tests {
             SourceUpdate::Data(insert_item(10, "Data Integration Guide", "Adams", 36)),
         )
         .unwrap();
-        let store = port.space().server(dyno_source::SourceId(0)).catalog().get("Store").unwrap().clone();
-        let item = port.space().server(dyno_source::SourceId(0)).catalog().get("Item").unwrap().clone();
-        port.commit(dyno_source::SourceId(0), SourceUpdate::Schema(storeitems_change(&store, &item)))
-            .unwrap();
+        let store =
+            port.space().server(dyno_source::SourceId(0)).catalog().get("Store").unwrap().clone();
+        let item =
+            port.space().server(dyno_source::SourceId(0)).catalog().get("Item").unwrap().clone();
+        port.commit(
+            dyno_source::SourceId(0),
+            SourceUpdate::Schema(storeitems_change(&store, &item)),
+        )
+        .unwrap();
         mgr.run_to_quiescence(&mut port, 100).unwrap();
         assert!(mgr.view().references_relation("StoreItems"));
         assert_eq!(mgr.mv().len(), 2);
@@ -470,10 +512,15 @@ mod tests {
         // Section 3.5: SC1 (StoreItems) + SC2 (drop Review) — both relevant,
         // cyclic, processed as one atomic batch producing Query (5).
         let (mut mgr, mut port) = manager(Strategy::Pessimistic);
-        let store = port.space().server(dyno_source::SourceId(0)).catalog().get("Store").unwrap().clone();
-        let item = port.space().server(dyno_source::SourceId(0)).catalog().get("Item").unwrap().clone();
-        port.commit(dyno_source::SourceId(0), SourceUpdate::Schema(storeitems_change(&store, &item)))
-            .unwrap();
+        let store =
+            port.space().server(dyno_source::SourceId(0)).catalog().get("Store").unwrap().clone();
+        let item =
+            port.space().server(dyno_source::SourceId(0)).catalog().get("Item").unwrap().clone();
+        port.commit(
+            dyno_source::SourceId(0),
+            SourceUpdate::Schema(storeitems_change(&store, &item)),
+        )
+        .unwrap();
         port.commit(
             dyno_source::SourceId(1),
             SourceUpdate::Schema(SchemaChange::DropAttribute {
@@ -500,6 +547,43 @@ mod tests {
         .unwrap();
         let err = mgr.run_to_quiescence(&mut port, 100).unwrap_err();
         assert!(matches!(err, ViewError::Undefinable(_)));
+    }
+
+    #[test]
+    fn observed_manager_reports_maintenance_metrics() {
+        let space = bookinfo_space();
+        let info = space.info().clone();
+        let mut port = InProcessPort::new(space);
+        let obs = Collector::wall().with_tracing(1024);
+        let mut mgr =
+            ViewManager::new(bookinfo_view(), info, Strategy::Optimistic).with_obs(obs.clone());
+        mgr.initialize(&mut port).unwrap();
+        port.commit(
+            dyno_source::SourceId(0),
+            SourceUpdate::Data(insert_item(10, "Data Integration Guide", "Adams", 36)),
+        )
+        .unwrap();
+        let store =
+            port.space().server(dyno_source::SourceId(0)).catalog().get("Store").unwrap().clone();
+        let item =
+            port.space().server(dyno_source::SourceId(0)).catalog().get("Item").unwrap().clone();
+        port.commit(
+            dyno_source::SourceId(0),
+            SourceUpdate::Schema(storeitems_change(&store, &item)),
+        )
+        .unwrap();
+        mgr.run_to_quiescence(&mut port, 100).unwrap();
+
+        let reg = obs.registry();
+        let counter = |name| reg.counter_value(name).unwrap_or(0);
+        let stats = mgr.stats();
+        assert_eq!(counter("view.aborts"), stats.aborts, "abort counter mirrors ViewStats");
+        assert_eq!(counter("view.commits"), stats.du_committed + stats.batches_committed);
+        assert_eq!(counter("view.attempts"), counter("view.commits") + counter("view.aborts"));
+        assert!(counter("va.recompute") + counter("va.incremental") >= 1);
+        let names: Vec<&str> = obs.trace_records().iter().map(|r| r.name).collect();
+        assert!(names.contains(&"view.maintain"));
+        assert!(names.contains(&"va.adapt"));
     }
 
     #[test]

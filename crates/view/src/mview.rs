@@ -51,7 +51,11 @@ impl MaterializedView {
     /// The resulting extent must be non-negative (a view never holds
     /// "negative tuples"); violations indicate a maintenance bug and are
     /// reported as errors.
-    pub fn apply_delta(&mut self, cols: &[String], delta: &SignedBag) -> Result<(), RelationalError> {
+    pub fn apply_delta(
+        &mut self,
+        cols: &[String],
+        delta: &SignedBag,
+    ) -> Result<(), RelationalError> {
         if cols != self.cols.as_slice() {
             return Err(RelationalError::InvalidQuery {
                 reason: format!(
@@ -79,7 +83,10 @@ impl MaterializedView {
     pub fn replace(&mut self, cols: Vec<String>, extent: SignedBag) -> Result<(), RelationalError> {
         if !extent.is_non_negative() {
             return Err(RelationalError::InvalidQuery {
-                reason: format!("replacement extent for `{}` has negative multiplicities", self.name),
+                reason: format!(
+                    "replacement extent for `{}` has negative multiplicities",
+                    self.name
+                ),
             });
         }
         self.cols = cols;

@@ -5,13 +5,11 @@
 //!
 //! Used by unit tests, integration tests, and the runnable examples.
 
+use dyno_relational::ColRef;
 use dyno_relational::{
     AttrType, Catalog, DataUpdate, Delta, Relation, Schema, SchemaChange, SpjQuery, Tuple, Value,
 };
-use dyno_source::{
-    AttributeReplacement, RelationReplacement, SourceId, SourceServer, SourceSpace,
-};
-use dyno_relational::ColRef;
+use dyno_source::{AttributeReplacement, RelationReplacement, SourceId, SourceServer, SourceSpace};
 
 use crate::viewdef::ViewDefinition;
 

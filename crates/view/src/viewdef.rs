@@ -38,10 +38,7 @@ impl ViewDefinition {
     /// assert_eq!(v.name, "BookInfo");
     /// assert!(v.references_relation("Item"));
     /// ```
-    pub fn parse(
-        sql: &str,
-        default_name: &str,
-    ) -> Result<Self, dyno_relational::ParseError> {
+    pub fn parse(sql: &str, default_name: &str) -> Result<Self, dyno_relational::ParseError> {
         let (name, query) = dyno_relational::parse_create_view(sql)?;
         Ok(ViewDefinition::new(name.unwrap_or_else(|| default_name.to_string()), query))
     }
@@ -58,19 +55,12 @@ impl ViewDefinition {
         if self.query.tables.iter().any(|t| sc.invalidates_relation(t)) {
             return true;
         }
-        self.query
-            .referenced_cols()
-            .iter()
-            .any(|c| sc.invalidates_column(&c.relation, &c.attr))
+        self.query.referenced_cols().iter().any(|c| sc.invalidates_column(&c.relation, &c.attr))
     }
 
     /// Column references the view uses from the given relation.
     pub fn cols_of_relation(&self, relation: &str) -> Vec<ColRef> {
-        self.query
-            .referenced_cols()
-            .into_iter()
-            .filter(|c| c.relation == relation)
-            .collect()
+        self.query.referenced_cols().into_iter().filter(|c| c.relation == relation).collect()
     }
 
     /// True iff the view's FROM clause includes the relation.
@@ -88,7 +78,7 @@ impl fmt::Display for ViewDefinition {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use dyno_relational::{Attribute, AttrType, Value};
+    use dyno_relational::{AttrType, Attribute, Value};
 
     /// The paper's Query (1): BookInfo over Store ⋈ Item ⋈ Catalog.
     pub(crate) fn bookinfo() -> ViewDefinition {
@@ -114,9 +104,7 @@ mod tests {
             from: "Item".into(),
             to: "Items2".into()
         }));
-        assert!(!v.is_invalidated_by(&SchemaChange::DropRelation {
-            relation: "Unrelated".into()
-        }));
+        assert!(!v.is_invalidated_by(&SchemaChange::DropRelation { relation: "Unrelated".into() }));
     }
 
     #[test]

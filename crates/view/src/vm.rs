@@ -10,9 +10,8 @@
 //! update `Δⱼ` of the queried relation — a pure view-manager-side
 //! computation, no extra source round trip.
 
-use dyno_relational::{
-    ColRef, Predicate, ProjItem, RelationalError, SignedBag, SpjQuery,
-};
+use dyno_obs::{field, Collector, Level};
+use dyno_relational::{ColRef, Predicate, ProjItem, RelationalError, SignedBag, SpjQuery};
 use dyno_source::UpdateMessage;
 
 use crate::engine::{eval_with_bound, BoundTable, LocalProvider, SourcePort};
@@ -80,6 +79,29 @@ pub fn sweep_maintain(
     (result, drained)
 }
 
+/// [`sweep_maintain`] under a `vm.sweep` span: reports the compensation-set
+/// size, and surfaces a broken maintenance query — the in-exec detection of
+/// paper Figure 7's `Query_Engine` — as a `vm.broken_query` warning event.
+pub fn sweep_maintain_observed(
+    view: &ViewDefinition,
+    msg: &UpdateMessage,
+    pending: &[UpdateMessage],
+    port: &mut dyn SourcePort,
+    obs: &Collector,
+) -> (Result<ViewDelta, MaintFailure>, Vec<UpdateMessage>) {
+    let _span = obs.span("vm.sweep", &[field("pending", pending.len())]);
+    obs.counter("vm.sweeps").inc();
+    obs.counter("vm.compensations").add(pending.len() as u64);
+    let out = sweep_maintain(view, msg, pending, port);
+    if let Err(MaintFailure::Broken { query, .. }) = &out.0 {
+        obs.counter("engine.break_detections").inc();
+        if obs.tracing_on() {
+            obs.event(Level::Warn, "vm.broken_query", &[field("query", query.clone())]);
+        }
+    }
+    out
+}
+
 fn sweep_inner(
     view: &ViewDefinition,
     msg: &UpdateMessage,
@@ -116,8 +138,8 @@ fn sweep_inner(
     };
     let mut lp = LocalProvider::new();
     lp.insert(du.delta.schema().clone(), du.delta.rows().clone());
-    let seed = dyno_relational::eval(&local_q, &lp)
-        .map_err(|e| MaintFailure::from_query(&local_q, e))?;
+    let seed =
+        dyno_relational::eval(&local_q, &lp).map_err(|e| MaintFailure::from_query(&local_q, e))?;
     port.charge_local(du.delta.weight());
 
     // Intermediate state: flattened column names + which view relations are
@@ -166,18 +188,15 @@ fn sweep_inner(
         for p in &view.query.predicates {
             match p {
                 Predicate::JoinEq(a, b) => {
-                    let (d_side, t_side) = if a.relation == target && joined.contains(&b.relation)
-                    {
+                    let (d_side, t_side) = if a.relation == target && joined.contains(&b.relation) {
                         (b, a)
                     } else if b.relation == target && joined.contains(&a.relation) {
                         (a, b)
                     } else {
                         continue;
                     };
-                    q.predicates.push(Predicate::JoinEq(
-                        ColRef::new(D, flat(d_side)),
-                        t_side.clone(),
-                    ));
+                    q.predicates
+                        .push(Predicate::JoinEq(ColRef::new(D, flat(d_side)), t_side.clone()));
                 }
                 Predicate::Compare(c, op, v) if c.relation == target => {
                     q.predicates.push(Predicate::Compare(c.clone(), *op, v.clone()));
@@ -188,8 +207,7 @@ fn sweep_inner(
 
         let bound =
             vec![BoundTable { name: D.to_string(), cols: d_cols.clone(), rows: d_rows.clone() }];
-        let result =
-            port.execute(&q, &bound).map_err(|e| MaintFailure::from_query(&q, e))?;
+        let result = port.execute(&q, &bound).map_err(|e| MaintFailure::from_query(&q, e))?;
         drained.extend(port.drain_arrivals());
 
         // SWEEP compensation: subtract the effect of every pending data
@@ -274,9 +292,7 @@ mod tests {
         let view = bookinfo_view();
         let du = insert_item(10, "Data Integration Guide", "Adams", 36);
         // Commit at the source first (the wrapper reports after commit).
-        port.space_mut()
-            .commit(SourceId(0), SourceUpdate::Data(du.clone()))
-            .unwrap();
+        port.space_mut().commit(SourceId(0), SourceUpdate::Data(du.clone())).unwrap();
         let (res, drained) = sweep_maintain(&view, &msg_of(0, 0, du), &[], &mut port);
         let delta = res.unwrap();
         assert!(drained.is_empty());
@@ -311,7 +327,8 @@ mod tests {
         // probes Item. Without compensation the query result includes the
         // new item — and maintaining ΔI later would duplicate the tuple.
         let mut space = bookinfo_space();
-        let cat_schema = space.server(SourceId(1)).catalog().get("Catalog").unwrap().schema().clone();
+        let cat_schema =
+            space.server(SourceId(1)).catalog().get("Catalog").unwrap().schema().clone();
         let dc = DataUpdate::new(
             Delta::inserts(
                 cat_schema,
@@ -367,7 +384,8 @@ mod tests {
     fn irrelevant_update_is_free() {
         let space = bookinfo_space();
         let mut port = InProcessPort::new(space);
-        let schema = dyno_relational::Schema::of("Unrelated", &[("x", dyno_relational::AttrType::Int)]);
+        let schema =
+            dyno_relational::Schema::of("Unrelated", &[("x", dyno_relational::AttrType::Int)]);
         let du = DataUpdate::new(Delta::inserts(schema, [Tuple::of([1i64])]).unwrap());
         let (res, _) = sweep_maintain(&bookinfo_view(), &msg_of(0, 2, du), &[], &mut port);
         assert!(res.unwrap().rows.is_empty());

@@ -71,20 +71,15 @@ pub fn synchronize(
             drop_attribute(view, &ColRef::new(relation.clone(), attr.clone()), info, sc)
         }
         SchemaChange::DropRelation { relation } => {
-            let repl = info.relation_replacement(relation).ok_or_else(|| {
-                VsError::Undefinable {
-                    change: sc.to_string(),
-                    reason: format!("no replacement known for relation `{relation}`"),
-                }
+            let repl = info.relation_replacement(relation).ok_or_else(|| VsError::Undefinable {
+                change: sc.to_string(),
+                reason: format!("no replacement known for relation `{relation}`"),
             })?;
             replace_relations(view, std::slice::from_ref(relation), &repl.clone(), sc)
         }
         SchemaChange::ReplaceRelations { dropped, replacement } => {
-            let in_view: Vec<String> = dropped
-                .iter()
-                .filter(|d| view.references_relation(d))
-                .cloned()
-                .collect();
+            let in_view: Vec<String> =
+                dropped.iter().filter(|d| view.references_relation(d)).cloned().collect();
             let repl = match info.replacement_for_set(dropped) {
                 Some(r) => r.clone(),
                 None => implicit_replacement(view, dropped, replacement),
@@ -150,17 +145,10 @@ fn drop_attribute(
     if let Some(repl) = info.attr_replacement(dropped) {
         // Rewrite every use to the replacement column; pull the replacement
         // relation (and its linking join) into the view.
-        rewrite_cols(&mut q, |c| {
-            if c == dropped {
-                Some(repl.replacement.clone())
-            } else {
-                None
-            }
-        });
+        rewrite_cols(&mut q, |c| if c == dropped { Some(repl.replacement.clone()) } else { None });
         if !q.tables.contains(&repl.replacement.relation) {
             q.tables.push(repl.replacement.relation.clone());
-            q.predicates
-                .push(Predicate::JoinEq(repl.join.0.clone(), repl.join.1.clone()));
+            q.predicates.push(Predicate::JoinEq(repl.join.0.clone(), repl.join.1.clone()));
         }
         return Ok(ViewDefinition::new(view.name.clone(), q));
     }
@@ -262,10 +250,7 @@ fn rewrite_cols(q: &mut SpjQuery, f: impl Fn(&ColRef) -> Option<ColRef>) {
 /// `None` — leave unchanged; `Some(Some(new))` — replace; `Some(None)` —
 /// the reference is unmappable (recorded by the caller; reference left in
 /// place so the error message can cite it).
-fn rewrite_cols_fallible(
-    q: &mut SpjQuery,
-    f: &mut impl FnMut(&ColRef) -> Option<Option<ColRef>>,
-) {
+fn rewrite_cols_fallible(q: &mut SpjQuery, f: &mut impl FnMut(&ColRef) -> Option<Option<ColRef>>) {
     let mut apply = |c: &mut ColRef| {
         if let Some(Some(new)) = f(c) {
             *c = new;
@@ -398,10 +383,8 @@ mod tests {
                 .join_eq(("Old", "k"), ("Other", "k"))
                 .build(),
         );
-        let replacement = Relation::empty(Schema::of(
-            "New",
-            &[("a", AttrType::Int), ("k", AttrType::Int)],
-        ));
+        let replacement =
+            Relation::empty(Schema::of("New", &[("a", AttrType::Int), ("k", AttrType::Int)]));
         let sc = SchemaChange::ReplaceRelations {
             dropped: vec!["Old".into()],
             replacement: Box::new(replacement),

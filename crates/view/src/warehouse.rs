@@ -21,15 +21,16 @@ use dyno_core::{
     CorrectionPolicy, Dyno, DynoStats, MaintainOutcome, Maintainer, StepOutcome, Strategy, Umq,
     UpdateKind, UpdateMeta,
 };
+use dyno_obs::{field, Collector, Level};
 use dyno_relational::{RelationalError, SourceUpdate};
 use dyno_source::{InfoSpace, UpdateMessage};
 
-use crate::batch::{adapt_batch, Adapted, AdaptationMode, BatchFailure};
+use crate::batch::{adapt_batch_observed, AdaptationMode, Adapted, BatchFailure};
 use crate::engine::{MaintEvent, SourcePort};
+use crate::manager::{ReflectedVersions, ViewError, ViewStats};
 use crate::mview::MaterializedView;
 use crate::viewdef::ViewDefinition;
-use crate::vm::sweep_maintain;
-use crate::manager::{ReflectedVersions, ViewError, ViewStats};
+use crate::vm::sweep_maintain_observed;
 
 /// One view's state inside the warehouse.
 #[derive(Debug, Clone)]
@@ -49,6 +50,7 @@ pub struct Warehouse {
     reflected: ReflectedVersions,
     adaptation: AdaptationMode,
     last_error: Option<ViewError>,
+    obs: Collector,
 }
 
 impl Warehouse {
@@ -62,13 +64,26 @@ impl Warehouse {
             reflected: HashMap::new(),
             adaptation: AdaptationMode::default(),
             last_error: None,
+            obs: Collector::disabled(),
         }
     }
 
     /// Overrides the correction policy.
     pub fn with_correction(mut self, policy: CorrectionPolicy) -> Self {
-        self.dyno = Dyno::new(self.dyno.strategy()).with_policy(policy);
+        self.dyno = Dyno::new(self.dyno.strategy()).with_policy(policy).with_obs(self.obs.clone());
         self
+    }
+
+    /// Attaches an observability collector (see [`crate::ViewManager::with_obs`]).
+    pub fn with_obs(mut self, obs: Collector) -> Self {
+        self.dyno = self.dyno.clone().with_obs(obs.clone());
+        self.obs = obs;
+        self
+    }
+
+    /// The warehouse's observability collector.
+    pub fn obs(&self) -> &Collector {
+        &self.obs
     }
 
     /// Selects the view-adaptation mode.
@@ -133,6 +148,7 @@ impl Warehouse {
             reflected: &mut self.reflected,
             adaptation: self.adaptation,
             last_error: &mut self.last_error,
+            obs: &self.obs,
             port,
             drained: Vec::new(),
         };
@@ -207,6 +223,7 @@ struct WarehouseCtx<'a> {
     reflected: &'a mut ReflectedVersions,
     adaptation: AdaptationMode,
     last_error: &'a mut Option<ViewError>,
+    obs: &'a Collector,
     port: &'a mut dyn SourcePort,
     drained: Vec<UpdateMessage>,
 }
@@ -217,14 +234,23 @@ impl Maintainer<UpdateMessage> for WarehouseCtx<'_> {
         batch: &[UpdateMeta<UpdateMessage>],
         rest: &[&[UpdateMeta<UpdateMessage>]],
     ) -> MaintainOutcome {
-        self.port.on_maintenance_event(MaintEvent::Begin {
-            updates: batch.len(),
-            schema_changes: batch.iter().filter(|m| m.payload.is_schema_change()).count(),
-        });
+        let schema_changes = batch.iter().filter(|m| m.payload.is_schema_change()).count();
+        self.port.on_maintenance_event(MaintEvent::Begin { updates: batch.len(), schema_changes });
         let pending: Vec<UpdateMessage> =
             rest.iter().flat_map(|n| n.iter().map(|m| m.payload.clone())).collect();
         let is_plain_du =
             batch.len() == 1 && matches!(batch[0].payload.update, SourceUpdate::Data(_));
+
+        let _span = self.obs.span(
+            "view.maintain",
+            &[
+                field("updates", batch.len()),
+                field("schema_changes", schema_changes),
+                field("kind", if is_plain_du { "du" } else { "batch" }),
+                field("views", self.slots.len()),
+            ],
+        );
+        self.obs.counter("view.attempts").inc();
 
         // Phase 1: compute every view's change without committing anything,
         // so a broken query in view k discards views 0..k's work too.
@@ -235,8 +261,13 @@ impl Maintainer<UpdateMessage> for WarehouseCtx<'_> {
         let mut staged: Vec<Staged> = Vec::with_capacity(self.slots.len());
         for slot in self.slots.iter() {
             let outcome = if is_plain_du {
-                let (result, drained) =
-                    sweep_maintain(&slot.view, &batch[0].payload, &pending, self.port);
+                let (result, drained) = sweep_maintain_observed(
+                    &slot.view,
+                    &batch[0].payload,
+                    &pending,
+                    self.port,
+                    self.obs,
+                );
                 self.drained.extend(drained);
                 match result {
                     Ok(delta) => Staged::Delta(delta),
@@ -244,13 +275,14 @@ impl Maintainer<UpdateMessage> for WarehouseCtx<'_> {
                 }
             } else {
                 let refs: Vec<&UpdateMessage> = batch.iter().map(|m| &m.payload).collect();
-                let (result, drained) = adapt_batch(
+                let (result, drained) = adapt_batch_observed(
                     &slot.view,
                     &refs,
                     &pending,
                     self.info,
                     self.adaptation,
                     self.port,
+                    self.obs,
                 );
                 self.drained.extend(drained);
                 match result {
@@ -301,6 +333,7 @@ impl Maintainer<UpdateMessage> for WarehouseCtx<'_> {
             let entry = self.reflected.entry(meta.payload.source).or_insert(0);
             *entry = (*entry).max(meta.payload.source_version);
         }
+        self.obs.counter("view.commits").inc();
         self.port.on_maintenance_event(MaintEvent::Commit);
         MaintainOutcome::Committed
     }
@@ -308,8 +341,8 @@ impl Maintainer<UpdateMessage> for WarehouseCtx<'_> {
     fn refresh_view_relevance(&mut self, queue: &mut Umq<UpdateMessage>) {
         // Shadow-evolve every view through the queue; a schema change is
         // relevant if it invalidates any shadow at its queue position.
-        let mut shadows: Vec<ViewDefinition> =
-            self.slots.iter().map(|s| s.view.clone()).collect();
+        self.obs.counter("vs.relevance_refreshes").inc();
+        let mut shadows: Vec<ViewDefinition> = self.slots.iter().map(|s| s.view.clone()).collect();
         for meta in queue.metas_mut() {
             if let SourceUpdate::Schema(sc) = &meta.payload.update {
                 let mut invalidates = false;
@@ -318,6 +351,7 @@ impl Maintainer<UpdateMessage> for WarehouseCtx<'_> {
                         invalidates = true;
                         if let Ok(next) = crate::vs::synchronize(shadow, sc, self.info) {
                             *shadow = next;
+                            self.obs.counter("vs.shadow_rewrites").inc();
                         }
                     }
                 }
@@ -333,6 +367,10 @@ impl WarehouseCtx<'_> {
             BatchFailure::Broken(_) => {
                 for slot in self.slots.iter_mut() {
                     slot.stats.aborts += 1;
+                }
+                self.obs.counter("view.aborts").inc();
+                if self.obs.tracing_on() {
+                    self.obs.event(Level::Warn, "view.abort", &[]);
                 }
                 self.port.on_maintenance_event(MaintEvent::Abort);
                 MaintainOutcome::BrokenQuery
@@ -419,8 +457,7 @@ mod tests {
         let (mut wh, mut port) = warehouse();
         let store = port.space().server(SourceId(0)).catalog().get("Store").unwrap().clone();
         let item = port.space().server(SourceId(0)).catalog().get("Item").unwrap().clone();
-        port.commit(SourceId(0), SourceUpdate::Schema(storeitems_change(&store, &item)))
-            .unwrap();
+        port.commit(SourceId(0), SourceUpdate::Schema(storeitems_change(&store, &item))).unwrap();
         wh.run_to_quiescence(&mut port, 100).unwrap();
         assert!(wh.view(0).references_relation("StoreItems"));
         assert!(wh.view(1).references_relation("StoreItems"));
@@ -484,9 +521,6 @@ mod tests {
             SourceUpdate::Schema(SchemaChange::DropRelation { relation: "Catalog".into() }),
         )
         .unwrap();
-        assert!(matches!(
-            wh.run_to_quiescence(&mut port, 100),
-            Err(ViewError::Undefinable(_))
-        ));
+        assert!(matches!(wh.run_to_quiescence(&mut port, 100), Err(ViewError::Undefinable(_))));
     }
 }

@@ -16,8 +16,8 @@
 //! Run with: `cargo run --example bookinfo`
 
 use dyno::prelude::*;
-use dyno::view::testkit::{bookinfo_space, bookinfo_view, insert_item, storeitems_change};
 use dyno::view::sweep_maintain;
+use dyno::view::testkit::{bookinfo_space, bookinfo_view, insert_item, storeitems_change};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("=== Paper Query (1): the BookInfo view ===\n  {}\n", bookinfo_view());

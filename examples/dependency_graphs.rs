@@ -38,7 +38,11 @@ fn show(title: &str, nodes: &[Vec<M>]) -> DepGraph {
         .iter()
         .map(|b| {
             let names: Vec<&str> = b.iter().map(|&i| label(i)).collect();
-            if names.len() == 1 { names[0].to_string() } else { format!("{{{}}}", names.join(",")) }
+            if names.len() == 1 {
+                names[0].to_string()
+            } else {
+                format!("{{{}}}", names.join(","))
+            }
         })
         .collect();
     println!("  legal order: {}\n", rendered.join("  ->  "));
@@ -56,16 +60,10 @@ fn main() {
 
     // Same updates, same *source*: the SD (commit order) and the CD (view
     // definition) pull in opposite directions — a cycle, merged.
-    show(
-        "cycle: DU and SC from the same source",
-        &[vec![du(0, 0, "DU")], vec![sc(1, 0, "SC")]],
-    );
+    show("cycle: DU and SC from the same source", &[vec![du(0, 0, "DU")], vec![sc(1, 0, "SC")]]);
 
     // Paper Figure 4: DU1 (Library), SC1 (Retailer), SC2 (Library).
-    show(
-        "paper Figure 4",
-        &[vec![du(0, 1, "DU1")], vec![sc(1, 0, "SC1")], vec![sc(2, 1, "SC2")]],
-    );
+    show("paper Figure 4", &[vec![du(0, 1, "DU1")], vec![sc(1, 0, "SC1")], vec![sc(2, 1, "SC2")]]);
 
     // Independent updates stay untouched (Definition 6 case 1).
     let g = show(

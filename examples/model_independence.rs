@@ -127,9 +127,8 @@ impl Maintainer<DocUpdate> for TagIndexMaintainer {
     fn refresh_view_relevance(&mut self, queue: &mut Umq<DocUpdate>) {
         for meta in queue.metas_mut() {
             if let DocUpdate::RenameCollection { from, .. } = &meta.payload {
-                meta.kind = UpdateKind::Schema {
-                    invalidates_view: self.watched.iter().any(|w| w == from),
-                };
+                meta.kind =
+                    UpdateKind::Schema { invalidates_view: self.watched.iter().any(|w| w == from) };
             }
         }
     }
@@ -175,9 +174,7 @@ fn main() {
     for (i, (source, u)) in updates.into_iter().enumerate() {
         let kind = match &u {
             DocUpdate::Insert { .. } => UpdateKind::Data,
-            DocUpdate::RenameCollection { .. } => {
-                UpdateKind::Schema { invalidates_view: true }
-            }
+            DocUpdate::RenameCollection { .. } => UpdateKind::Schema { invalidates_view: true },
         };
         queue.enqueue(UpdateMeta::new(i as u64, source, kind, u));
     }
@@ -193,11 +190,7 @@ fn main() {
 
     println!("\nfinal view definition (watched collections): {:?}", maintainer.watched);
     println!("materialized tag index: {:?}", maintainer.index);
-    println!(
-        "scheduler stats: {:?}\nbroken scans suffered: {}",
-        dyno.stats(),
-        maintainer.aborts
-    );
+    println!("scheduler stats: {:?}\nbroken scans suffered: {}", dyno.stats(), maintainer.aborts);
 
     // The same guarantees as the relational instantiation: both documents
     // indexed exactly once, the definition follows the rename, and the

@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# Full offline verification gauntlet: formatting, lints, build, tests
+# (default and feature-gated randomized suites), and the figure binaries'
+# JSON/trace export smoke test. No network access is required at any step.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo fmt --check =="
+cargo fmt --all -- --check
+
+echo "== cargo clippy (warnings are errors) =="
+cargo clippy --workspace --all-targets --offline -- -D warnings
+
+echo "== cargo build --release (offline) =="
+cargo build --release --offline
+
+echo "== cargo test (default features) =="
+cargo test -q --workspace --offline
+
+echo "== cargo test --features proptest (randomized suites) =="
+cargo test -q --workspace --offline --features proptest
+
+echo "== fig10 --json/--trace smoke test =="
+out="$(mktemp -d)"
+trap 'rm -rf "$out"' EXIT
+DYNO_TUPLES=300 cargo run -q --release --offline -p dyno-bench --bin fig10 -- \
+    --json "$out/fig10.json" --trace "$out/fig10.jsonl" >/dev/null
+test -s "$out/fig10.json"
+test -s "$out/fig10.jsonl"
+test -s "$out/fig10.jsonl.metrics.json"
+
+echo "verify: all green"

@@ -42,6 +42,7 @@
 //! ```
 
 pub use dyno_core as core;
+pub use dyno_obs as obs;
 pub use dyno_relational as relational;
 pub use dyno_sim as sim;
 pub use dyno_source as source;
@@ -51,8 +52,8 @@ pub use dyno_view as view;
 pub mod prelude {
     pub use dyno_core::{Dyno, DynoStats, StepOutcome, Strategy, Umq, UpdateKind, UpdateMeta};
     pub use dyno_relational::{
-        AttrType, Attribute, Catalog, CmpOp, ColRef, DataUpdate, Delta, Relation,
-        RelationalError, Schema, SchemaChange, SourceUpdate, SpjQuery, Tuple, Value,
+        AttrType, Attribute, Catalog, CmpOp, ColRef, DataUpdate, Delta, Relation, RelationalError,
+        Schema, SchemaChange, SourceUpdate, SpjQuery, Tuple, Value,
     };
     pub use dyno_sim::{
         run_scenario, CostModel, RunReport, Scenario, ScheduledCommit, SimPort, TestbedConfig,

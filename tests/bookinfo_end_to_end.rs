@@ -26,8 +26,7 @@ fn quiesce(mgr: &mut ViewManager, port: &mut InProcessPort) {
         "extent must match the view over final source states"
     );
     assert!(
-        check_reflected(port.space(), mgr.view(), mgr.reflected(), mgr.mv())
-            .expect("checkable"),
+        check_reflected(port.space(), mgr.view(), mgr.reflected(), mgr.mv()).expect("checkable"),
         "extent must match the reflected state vector"
     );
 }
@@ -216,12 +215,8 @@ fn irrelevant_changes_cause_no_rewrite() {
 #[test]
 fn deletes_shrink_the_view() {
     let (mut mgr, mut port) = managed(Strategy::Pessimistic);
-    let existing = Tuple::of([
-        Value::from(1),
-        Value::str("Databases"),
-        Value::str("Ullman"),
-        Value::from(50),
-    ]);
+    let existing =
+        Tuple::of([Value::from(1), Value::str("Databases"), Value::str("Ullman"), Value::from(50)]);
     port.commit(
         SourceId(0),
         SourceUpdate::Data(DataUpdate::new(

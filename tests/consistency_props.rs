@@ -1,98 +1,130 @@
-//! End-to-end property test of the paper's correctness claims (Section 4.4):
-//! for arbitrary interleavings of data updates and schema changes, under
-//! both detection strategies, the view manager
+//! End-to-end randomized test of the paper's correctness claims (Section
+//! 4.4): for arbitrary interleavings of data updates and schema changes,
+//! under both detection strategies, the view manager
 //!
 //! * converges (final extent = view over final source states),
 //! * maintains strong consistency (after every commit the extent matches
 //!   the exact per-source state vector it claims to reflect),
 //! * never leaves scheduled commits unapplied, and
 //! * terminates within its step budget.
-
-use proptest::prelude::*;
+//!
+//! Cases are drawn from the in-repo seeded PRNG (`dyno::sim::Rng`), so
+//! every run replays the same case set and a failure is reproducible.
+#![cfg(feature = "proptest")]
 
 use dyno::core::Strategy as Detection;
 use dyno::prelude::*;
-use dyno::sim::{build_testbed, EventKind};
+use dyno::sim::{build_testbed, EventKind, Rng};
 
-prop_compose! {
-    /// A random timeline: events with random kinds at random times within a
-    /// 60-simulated-second window (the conflict-prone regime: a schema
-    /// change's maintenance takes ~25 s).
-    fn timeline()(
-        events in prop::collection::vec(
-            ((0u64..60), prop::sample::select(vec![
-                EventKind::DataUpdate,
-                EventKind::DataUpdate,
-                EventKind::DataDelete,
-                EventKind::RenameRelation,
-                EventKind::DropAttribute,
-                EventKind::AddAttribute,
-            ])),
-            1..14
-        )
-    ) -> Vec<(u64, EventKind)> {
-        let mut t: Vec<(u64, EventKind)> =
-            events.into_iter().map(|(s, k)| (s * 1_000_000, k)).collect();
-        t.sort_by_key(|e| e.0);
-        // At most 3 attribute drops fit the testbed (3 extra attrs; dropping
-        // more is fine for the generator but thins the view quickly).
-        t
-    }
+const KINDS: [EventKind; 6] = [
+    EventKind::DataUpdate,
+    EventKind::DataUpdate,
+    EventKind::DataDelete,
+    EventKind::RenameRelation,
+    EventKind::DropAttribute,
+    EventKind::AddAttribute,
+];
+
+/// A random timeline: 1..14 events with random kinds at random times within
+/// a 60-simulated-second window (the conflict-prone regime: a schema
+/// change's maintenance takes ~25 s).
+fn timeline(rng: &mut Rng) -> Vec<(u64, EventKind)> {
+    let n = rng.gen_range(1..14usize);
+    let mut t: Vec<(u64, EventKind)> =
+        (0..n).map(|_| (rng.gen_range(0..60u64) * 1_000_000, *rng.choose(&KINDS))).collect();
+    t.sort_by_key(|e| e.0);
+    t
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
-
-    #[test]
-    fn any_interleaving_converges_with_strong_consistency(
-        timeline in timeline(),
-        seed in 0u64..1000,
-    ) {
+#[test]
+fn any_interleaving_converges_with_strong_consistency() {
+    let mut rng = Rng::new(0xC0_4517);
+    for case in 0..24 {
+        let timeline = timeline(&mut rng);
+        let seed = rng.gen_range(0..1000u64);
         for strategy in [Detection::Pessimistic, Detection::Optimistic] {
             let cfg = TestbedConfig { tuples_per_relation: 60, ..Default::default() };
             let (space, view) = build_testbed(&cfg);
             let mut gen = WorkloadGen::new(cfg, seed);
             let schedule = gen.realize(&timeline);
             let report = run_scenario(
-                Scenario::new(space, view, schedule)
-                    .with_strategy(strategy)
-                    .with_audit(),
+                Scenario::new(space, view, schedule).with_strategy(strategy).with_audit(),
             )
             .expect("no hard failures on testbed workloads");
-            prop_assert!(!report.exhausted, "{strategy:?}: step budget exhausted");
-            prop_assert_eq!(report.metrics.skipped_commits, 0,
-                "{:?}: workload generator must stay schema-consistent", strategy);
-            prop_assert!(report.converged, "{strategy:?}: view did not converge");
-            prop_assert_eq!(report.audit_violations, 0,
-                "{:?}: strong consistency violated", strategy);
+            assert!(!report.exhausted, "case {case} {strategy:?}: step budget exhausted");
+            assert_eq!(
+                report.metrics.skipped_commits, 0,
+                "case {case} {strategy:?}: workload generator must stay schema-consistent"
+            );
+            assert!(report.converged, "case {case} {strategy:?}: view did not converge");
+            assert_eq!(
+                report.audit_violations, 0,
+                "case {case} {strategy:?}: strong consistency violated"
+            );
         }
     }
+}
 
-    /// DU-only interleavings additionally never abort and never build a
-    /// dependency graph (the O(1) fast path).
-    #[test]
-    fn du_only_interleavings_use_fast_path(
-        times in prop::collection::vec(0u64..30, 1..20),
-        seed in 0u64..1000,
-    ) {
-        let mut timeline: Vec<(u64, EventKind)> =
-            times.into_iter().map(|s| (s * 1_000_000, EventKind::DataUpdate)).collect();
+/// DU-only interleavings additionally never abort and never build a
+/// dependency graph (the O(1) fast path).
+#[test]
+fn du_only_interleavings_use_fast_path() {
+    let mut rng = Rng::new(0xD0_4517);
+    for case in 0..24 {
+        let n_events = rng.gen_range(1..20usize);
+        let mut timeline: Vec<(u64, EventKind)> = (0..n_events)
+            .map(|_| (rng.gen_range(0..30u64) * 1_000_000, EventKind::DataUpdate))
+            .collect();
         timeline.sort_by_key(|e| e.0);
+        let seed = rng.gen_range(0..1000u64);
         let cfg = TestbedConfig { tuples_per_relation: 60, ..Default::default() };
         let (space, view) = build_testbed(&cfg);
         let mut gen = WorkloadGen::new(cfg, seed);
         let schedule = gen.realize(&timeline);
         let n = schedule.len() as u64;
         let report = run_scenario(
-            Scenario::new(space, view, schedule)
-                .with_strategy(Detection::Pessimistic)
-                .with_audit(),
+            Scenario::new(space, view, schedule).with_strategy(Detection::Pessimistic).with_audit(),
         )
         .expect("DU-only runs cannot fail");
-        prop_assert!(report.converged);
-        prop_assert_eq!(report.audit_violations, 0);
-        prop_assert_eq!(report.metrics.aborts, 0);
-        prop_assert_eq!(report.dyno_stats.graph_builds, 0);
-        prop_assert_eq!(report.view_stats.du_committed, n);
+        assert!(report.converged, "case {case}");
+        assert_eq!(report.audit_violations, 0, "case {case}");
+        assert_eq!(report.metrics.aborts, 0, "case {case}");
+        assert_eq!(report.dyno_stats.graph_builds, 0, "case {case}");
+        assert_eq!(report.view_stats.du_committed, n, "case {case}");
+    }
+}
+
+/// The observability registry is a faithful projection: over random traced
+/// workloads, the `sim.*` counters always equal the `sim::Metrics` the
+/// report carries (they are the same cells, read two ways).
+#[test]
+fn registry_totals_project_sim_metrics() {
+    let mut rng = Rng::new(0x0B5_4517);
+    for case in 0..12 {
+        let timeline = timeline(&mut rng);
+        let seed = rng.gen_range(0..1000u64);
+        let strategy = if rng.gen_range(0..2u32) == 0 {
+            Detection::Pessimistic
+        } else {
+            Detection::Optimistic
+        };
+        let cfg = TestbedConfig { tuples_per_relation: 60, ..Default::default() };
+        let (space, view) = build_testbed(&cfg);
+        let mut gen = WorkloadGen::new(cfg, seed);
+        let schedule = gen.realize(&timeline);
+        let report = run_scenario(
+            Scenario::new(space, view, schedule).with_strategy(strategy).with_tracing(),
+        )
+        .expect("testbed workloads succeed");
+        let reg = report.obs.registry();
+        let counter = |name: &str| reg.counter_value(name).unwrap_or(0);
+        assert_eq!(counter("sim.committed_us"), report.metrics.committed_us, "case {case}");
+        assert_eq!(counter("sim.abort_us"), report.metrics.abort_us, "case {case}");
+        assert_eq!(counter("sim.committed_sc_us"), report.metrics.committed_sc_us, "case {case}");
+        assert_eq!(counter("sim.abort_sc_us"), report.metrics.abort_sc_us, "case {case}");
+        assert_eq!(counter("sim.queries"), report.metrics.queries, "case {case}");
+        assert_eq!(counter("sim.aborts"), report.metrics.aborts, "case {case}");
+        assert_eq!(counter("sim.attempts"), report.metrics.attempts, "case {case}");
+        assert_eq!(counter("sim.skipped_commits"), report.metrics.skipped_commits, "case {case}");
     }
 }

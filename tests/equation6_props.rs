@@ -1,13 +1,13 @@
-//! Property test for paper Equation 6: the incremental n-way-join delta
+//! Randomized test for paper Equation 6: the incremental n-way-join delta
 //! equals full recomputation over the new states diffed against the old
 //! extent, for arbitrary relation states and arbitrary signed deltas.
+#![cfg(feature = "proptest")]
 
 use std::collections::HashMap;
 
-use proptest::prelude::*;
-
 use dyno::prelude::*;
 use dyno::relational::SignedBag;
+use dyno::sim::Rng;
 use dyno::view::{equation6_delta, LocalProvider, ViewDefinition};
 
 fn schema(i: usize) -> Schema {
@@ -26,32 +26,44 @@ fn view(n: usize) -> ViewDefinition {
     ViewDefinition::new("V", b.build())
 }
 
-prop_compose! {
-    fn rel_rows()(rows in prop::collection::vec(((0..5i64), (0..3i64), 1..3i64), 0..8))
-        -> Vec<(Tuple, i64)> {
-        rows.into_iter().map(|(k, v, c)| (Tuple::of([k, v]), c)).collect()
-    }
+/// 0..8 rows over keys 0..5, values 0..3, multiplicities 1..3.
+fn rel_rows(rng: &mut Rng) -> Vec<(Tuple, i64)> {
+    let n = rng.gen_range(0..8usize);
+    (0..n)
+        .map(|_| {
+            let k = rng.gen_range(0..5i64);
+            let v = rng.gen_range(0..3i64);
+            let c = rng.gen_range(1..3i64);
+            (Tuple::of([k, v]), c)
+        })
+        .collect()
 }
 
-prop_compose! {
-    /// A delta that only deletes tuples that exist (so `old + delta` stays a
-    /// valid relation) and inserts new ones.
-    fn delta_rows()(rows in prop::collection::vec(((0..5i64), (3..6i64), 1..3i64), 0..6))
-        -> Vec<(Tuple, i64)> {
-        rows.into_iter().map(|(k, v, c)| (Tuple::of([k, v]), c)).collect()
-    }
+/// Insert rows disjoint from [`rel_rows`] (values 3..6), so `old + delta`
+/// stays a valid relation after the deletes the test mixes in.
+fn delta_rows(rng: &mut Rng) -> Vec<(Tuple, i64)> {
+    let n = rng.gen_range(0..6usize);
+    (0..n)
+        .map(|_| {
+            let k = rng.gen_range(0..5i64);
+            let v = rng.gen_range(3..6i64);
+            let c = rng.gen_range(1..3i64);
+            (Tuple::of([k, v]), c)
+        })
+        .collect()
 }
 
-proptest! {
-    /// ΔV from Equation 6 equals eval(V, new states) − eval(V, old states),
-    /// with up to all relations changing at once.
-    #[test]
-    fn equation6_equals_recompute_diff(
-        states in prop::collection::vec(rel_rows(), 3),
-        inserts in prop::collection::vec(delta_rows(), 3),
-        changed_mask in 0u8..8,
-    ) {
+/// ΔV from Equation 6 equals eval(V, new states) − eval(V, old states),
+/// with up to all relations changing at once.
+#[test]
+fn equation6_equals_recompute_diff() {
+    let mut rng = Rng::new(0xE6_4517);
+    for case in 0..64 {
         let n = 3;
+        let states: Vec<Vec<(Tuple, i64)>> = (0..n).map(|_| rel_rows(&mut rng)).collect();
+        let inserts: Vec<Vec<(Tuple, i64)>> = (0..n).map(|_| delta_rows(&mut rng)).collect();
+        let changed_mask = rng.gen_range(0..8u32) as u8;
+
         let view = view(n);
         let mut old: HashMap<String, (Schema, SignedBag)> = HashMap::new();
         for (i, rows) in states.iter().enumerate() {
@@ -88,18 +100,22 @@ proptest! {
             dyno::relational::eval(&view.query, &p).expect("well-formed").rows
         };
         let expected = eval_over(true).diff(&eval_over(false));
-        prop_assert_eq!(dv.rows, expected);
+        assert_eq!(dv.rows, expected, "case {case}");
     }
+}
 
-    /// An empty delta map yields an empty ΔV.
-    #[test]
-    fn equation6_no_change_is_empty(states in prop::collection::vec(rel_rows(), 3)) {
+/// An empty delta map yields an empty ΔV.
+#[test]
+fn equation6_no_change_is_empty() {
+    let mut rng = Rng::new(0xE6_0517);
+    for case in 0..32 {
         let view = view(3);
         let mut old: HashMap<String, (Schema, SignedBag)> = HashMap::new();
-        for (i, rows) in states.iter().enumerate() {
-            old.insert(format!("R{i}"), (schema(i), rows.iter().cloned().collect()));
+        for i in 0..3 {
+            let rows = rel_rows(&mut rng);
+            old.insert(format!("R{i}"), (schema(i), rows.into_iter().collect()));
         }
         let dv = equation6_delta(&view.query, &old, &HashMap::new()).expect("well-formed");
-        prop_assert!(dv.rows.is_empty());
+        assert!(dv.rows.is_empty(), "case {case}");
     }
 }

@@ -1,13 +1,11 @@
-//! Property test for Section-5 update homogenization: applying a delta and
-//! then a schema-change sequence to a relation equals applying the sequence
-//! first and then the *homogenized* delta —
+//! Randomized test for Section-5 update homogenization: applying a delta
+//! and then a schema-change sequence to a relation equals applying the
+//! sequence first and then the *homogenized* delta —
 //! `changes(R ⊎ Δ) = changes(R) ⊎ homogenize(Δ, changes)`.
-
-use proptest::prelude::*;
-// Explicit import disambiguates from `dyno`'s scheduling `Strategy`.
-use proptest::strategy::Strategy;
+#![cfg(feature = "proptest")]
 
 use dyno::prelude::*;
+use dyno::sim::Rng;
 use dyno::view::homogenize_delta;
 
 fn base_relation() -> Relation {
@@ -19,60 +17,64 @@ fn base_relation() -> Relation {
 }
 
 /// A consistent schema-change walk over `T` (renames, drops, adds), plus an
-/// insert-only delta valid against the *initial* schema.
-fn walk_and_delta() -> impl Strategy<Value = (Vec<SchemaChange>, Delta)> {
-    let ops = prop::collection::vec((0u8..4, 0usize..8), 0..6);
-    let rows = prop::collection::vec((10i64..20, 10i64..20, 10i64..20), 0..5);
-    (ops, rows).prop_map(|(ops, rows)| {
-        // Build the walk exactly like the sources would: track the schema.
-        let mut rel = base_relation();
-        let mut name = "T".to_string();
-        let mut serial = 0u32;
-        let mut changes = Vec::new();
-        for (op, pick) in ops {
-            let attrs: Vec<String> =
-                rel.schema().attrs().iter().map(|a| a.name.clone()).collect();
-            let change = match op {
-                0 => {
-                    serial += 1;
-                    let to = format!("T{serial}");
-                    let c = SchemaChange::RenameRelation { from: name.clone(), to: to.clone() };
-                    name = to;
-                    c
-                }
-                1 if !attrs.is_empty() => {
-                    serial += 1;
-                    SchemaChange::RenameAttribute {
-                        relation: name.clone(),
-                        from: attrs[pick % attrs.len()].clone(),
-                        to: format!("x{serial}"),
-                    }
-                }
-                2 if attrs.len() > 1 => SchemaChange::DropAttribute {
+/// insert-only delta valid against the *initial* schema. The walk is built
+/// exactly like the sources would build it: by tracking the evolving schema.
+fn walk_and_delta(rng: &mut Rng) -> (Vec<SchemaChange>, Delta) {
+    let n_ops = rng.gen_range(0..6usize);
+    let mut rel = base_relation();
+    let mut name = "T".to_string();
+    let mut serial = 0u32;
+    let mut changes = Vec::new();
+    for _ in 0..n_ops {
+        let op = rng.gen_range(0..4u32) as u8;
+        let pick = rng.gen_range(0..8usize);
+        let attrs: Vec<String> = rel.schema().attrs().iter().map(|a| a.name.clone()).collect();
+        let change = match op {
+            0 => {
+                serial += 1;
+                let to = format!("T{serial}");
+                let c = SchemaChange::RenameRelation { from: name.clone(), to: to.clone() };
+                name = to;
+                c
+            }
+            1 if !attrs.is_empty() => {
+                serial += 1;
+                SchemaChange::RenameAttribute {
                     relation: name.clone(),
-                    attr: attrs[pick % attrs.len()].clone(),
-                },
-                _ => {
-                    serial += 1;
-                    SchemaChange::AddAttribute {
-                        relation: name.clone(),
-                        attr: Attribute::new(format!("n{serial}"), AttrType::Int),
-                        default: Value::from(-1),
-                    }
+                    from: attrs[pick % attrs.len()].clone(),
+                    to: format!("x{serial}"),
                 }
-            };
-            rel = dyno::relational::apply_to_relation(&rel, &change)
-                .expect("walk is consistent")
-                .expect("relation survives");
-            changes.push(change);
-        }
-        let delta = Delta::inserts(
-            base_relation().schema().clone(),
-            rows.into_iter().map(|(a, b, c)| Tuple::of([a, b, c])),
-        )
+            }
+            2 if attrs.len() > 1 => SchemaChange::DropAttribute {
+                relation: name.clone(),
+                attr: attrs[pick % attrs.len()].clone(),
+            },
+            _ => {
+                serial += 1;
+                SchemaChange::AddAttribute {
+                    relation: name.clone(),
+                    attr: Attribute::new(format!("n{serial}"), AttrType::Int),
+                    default: Value::from(-1),
+                }
+            }
+        };
+        rel = dyno::relational::apply_to_relation(&rel, &change)
+            .expect("walk is consistent")
+            .expect("relation survives");
+        changes.push(change);
+    }
+    let n_rows = rng.gen_range(0..5usize);
+    let rows: Vec<Tuple> = (0..n_rows)
+        .map(|_| {
+            let a = rng.gen_range(10..20i64);
+            let b = rng.gen_range(10..20i64);
+            let c = rng.gen_range(10..20i64);
+            Tuple::of([a, b, c])
+        })
+        .collect();
+    let delta = Delta::inserts(base_relation().schema().clone(), rows)
         .expect("rows match the initial schema");
-        (changes, delta)
-    })
+    (changes, delta)
 }
 
 fn apply_changes(rel: &Relation, changes: &[SchemaChange]) -> Relation {
@@ -85,9 +87,12 @@ fn apply_changes(rel: &Relation, changes: &[SchemaChange]) -> Relation {
     r
 }
 
-proptest! {
-    #[test]
-    fn homogenization_commutes_with_schema_evolution((changes, delta) in walk_and_delta()) {
+#[test]
+fn homogenization_commutes_with_schema_evolution() {
+    let mut rng = Rng::new(0x404_4517);
+    for case in 0..64 {
+        let (changes, delta) = walk_and_delta(&mut rng);
+
         // Path 1: apply the delta first, then evolve the schema.
         let mut with_delta = base_relation();
         with_delta.apply(&delta).expect("pure inserts");
@@ -98,6 +103,6 @@ proptest! {
         let homogenized = homogenize_delta(&delta, &changes).expect("consistent walk");
         evolved.apply(&homogenized).expect("homogenized delta fits the evolved schema");
 
-        prop_assert_eq!(evolved_then, evolved);
+        assert_eq!(evolved_then, evolved, "case {case}: {changes:?}");
     }
 }

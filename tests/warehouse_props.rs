@@ -1,13 +1,12 @@
-//! End-to-end property test for the multi-view warehouse: under arbitrary
+//! End-to-end randomized test for the multi-view warehouse: under arbitrary
 //! DU/SC interleavings, every view converges to its (current) definition
 //! evaluated over the final source states, and all views advance through
 //! the same per-source state vector.
-
-use proptest::prelude::*;
+#![cfg(feature = "proptest")]
 
 use dyno::core::Strategy as Detection;
 use dyno::prelude::*;
-use dyno::sim::{build_space, EventKind, TestbedConfig};
+use dyno::sim::{build_space, EventKind, Rng, TestbedConfig};
 use dyno::view::Warehouse;
 
 /// Three views of different widths over the six-relation testbed.
@@ -29,32 +28,32 @@ fn views(cfg: &TestbedConfig) -> Vec<ViewDefinition> {
     vec![full, narrow, single]
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 12, ..ProptestConfig::default() })]
+const KINDS: [EventKind; 5] = [
+    EventKind::DataUpdate,
+    EventKind::DataUpdate,
+    EventKind::DataUpdate,
+    EventKind::RenameRelation,
+    EventKind::DropAttribute,
+];
 
-    #[test]
-    fn all_views_converge_under_any_interleaving(
-        events in prop::collection::vec(
-            prop::sample::select(vec![
-                EventKind::DataUpdate,
-                EventKind::DataUpdate,
-                EventKind::DataUpdate,
-                EventKind::RenameRelation,
-                EventKind::DropAttribute,
-            ]),
-            1..10
-        ),
-        seed in 0u64..500,
-        strategy_roll in 0u8..2,
-    ) {
-        let strategy =
-            if strategy_roll == 0 { Detection::Pessimistic } else { Detection::Optimistic };
+#[test]
+fn all_views_converge_under_any_interleaving() {
+    let mut rng = Rng::new(0x3A4_4517);
+    for case in 0..12 {
+        let n_events = rng.gen_range(1..10usize);
+        let timeline: Vec<(u64, EventKind)> =
+            (0..n_events).map(|i| (i as u64, *rng.choose(&KINDS))).collect();
+        let seed = rng.gen_range(0..500u64);
+        let strategy = if rng.gen_range(0..2u32) == 0 {
+            Detection::Pessimistic
+        } else {
+            Detection::Optimistic
+        };
+
         let cfg = TestbedConfig { tuples_per_relation: 40, ..Default::default() };
         let space = build_space(&cfg);
         let info = space.info().clone();
         let mut gen = WorkloadGen::new(cfg, seed);
-        let timeline: Vec<(u64, EventKind)> =
-            events.into_iter().enumerate().map(|(i, k)| (i as u64, k)).collect();
         let schedule = gen.realize(&timeline);
 
         let mut port = InProcessPort::new(space);
@@ -74,12 +73,10 @@ proptest! {
         for i in 0..wh.view_count() {
             let expected = dyno::relational::eval(&wh.view(i).query, &port.space().provider())
                 .expect("final definitions are valid");
-            prop_assert_eq!(
+            assert_eq!(
                 wh.mv(i).extent(),
                 &expected.rows,
-                "view {} did not converge under {:?}",
-                i,
-                strategy
+                "case {case}: view {i} did not converge under {strategy:?}"
             );
         }
     }
