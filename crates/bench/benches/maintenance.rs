@@ -20,6 +20,39 @@ fn one_insert(cfg: &TestbedConfig) -> DataUpdate {
     DataUpdate::new(Delta::inserts(schema, [Tuple::new(vals)]).expect("testbed schema"))
 }
 
+/// Relation sizes for the index sweep, from `DYNO_SWEEP_TUPLES` (default
+/// the paper's 100 000 plus two doublings).
+fn sweep_sizes() -> Vec<usize> {
+    std::env::var("DYNO_SWEEP_TUPLES")
+        .unwrap_or_else(|_| "100000,200000,400000".into())
+        .split(',')
+        .filter_map(|s| s.trim().parse().ok())
+        .collect()
+}
+
+/// Per-DU maintenance time as relation size grows. With key indexes every
+/// `__D ⋈ Ri` step is a constant-size probe, so the curve stays flat;
+/// without them each step hash-builds over the whole relation, so the
+/// per-DU cost grows linearly with the relation size.
+fn bench_du_size_sweep(h: &mut Harness) {
+    for indexed in [true, false] {
+        for tuples in sweep_sizes() {
+            let tb = TestbedConfig { indexes: indexed, ..cfg(tuples) };
+            let (mut space, view) = build_testbed(&tb);
+            let du = one_insert(&tb);
+            let msg = space.commit(SourceId(0), SourceUpdate::Data(du)).expect("valid");
+            let mut port = InProcessPort::new(space);
+            let mode = if indexed { "indexed" } else { "scan" };
+            // `sweep_maintain` only reads through the port (its cost
+            // charges are no-ops in-process), so one port serves every
+            // sample without a per-call clone of the whole source space.
+            h.bench(&format!("sweep_du_{mode}/{tuples}"), || {
+                sweep_maintain(&view, &msg, &[], &mut port)
+            });
+        }
+    }
+}
+
 fn bench_sweep(h: &mut Harness) {
     for tuples in [1_000usize, 5_000] {
         let cfg = cfg(tuples);
@@ -100,6 +133,7 @@ fn bench_compensation(h: &mut Harness) {
 
 fn main() {
     let mut h = Harness::new("maintenance");
+    bench_du_size_sweep(&mut h);
     bench_sweep(&mut h);
     bench_equation6_vs_recompute(&mut h);
     bench_compensation(&mut h);

@@ -143,8 +143,16 @@ impl Harness {
         &self.rows
     }
 
-    /// Prints the group's results as an aligned table.
+    /// Prints the group's results as an aligned table. When
+    /// `DYNO_BENCH_JSON` names a file, each result is also appended to it
+    /// as one JSON line (`{"group":...,"bench":...,"median_ns":...}`), so
+    /// scripts can assemble machine-readable baselines across groups.
     pub fn finish(self) {
+        if let Ok(path) = std::env::var("DYNO_BENCH_JSON") {
+            if let Err(e) = self.append_json(&path) {
+                eprintln!("warning: could not write {path}: {e}");
+            }
+        }
         println!("== bench group: {} ==", self.group);
         let rows: Vec<Vec<String>> = self
             .rows
@@ -161,6 +169,24 @@ impl Harness {
             })
             .collect();
         println!("{}", render_table(&["bench", "samples", "min", "median", "mean", "max"], &rows));
+    }
+
+    fn append_json(&self, path: &str) -> std::io::Result<()> {
+        use std::io::Write;
+        let mut out = String::new();
+        for (id, s) in &self.rows {
+            out.push_str("{\"group\":");
+            dyno_obs::json::push_str(&mut out, &self.group);
+            out.push_str(",\"bench\":");
+            dyno_obs::json::push_str(&mut out, id);
+            out.push_str(&format!(
+                ",\"samples\":{},\"block\":{},\"min_ns\":{:.1},\"median_ns\":{:.1},\
+                 \"mean_ns\":{:.1},\"max_ns\":{:.1}}}\n",
+                s.samples, s.block, s.min_ns, s.median_ns, s.mean_ns, s.max_ns
+            ));
+        }
+        let mut f = std::fs::OpenOptions::new().create(true).append(true).open(path)?;
+        f.write_all(out.as_bytes())
     }
 }
 

@@ -5,15 +5,31 @@ use std::collections::BTreeMap;
 use crate::ddl::{apply_to_relation, SchemaChange};
 use crate::error::RelationalError;
 use crate::exec::{RelationProvider, TableSlice};
+use crate::index::HashIndex;
 use crate::relation::Relation;
 use crate::schema::Schema;
 use crate::update::{DataUpdate, SourceUpdate};
 
-/// A set of named relations with DDL and DML application.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+/// A set of named relations with DDL and DML application, plus the
+/// secondary hash indexes maintained over them.
+#[derive(Debug, Clone, Default)]
 pub struct Catalog {
     relations: BTreeMap<String, Relation>,
+    /// Secondary indexes per relation, maintained through
+    /// [`Catalog::apply_data_update`] / [`Catalog::apply_schema_change`].
+    indexes: BTreeMap<String, Vec<HashIndex>>,
 }
+
+/// Catalog equality is over relation *content* only: indexes are an access
+/// path derived from it, so two catalogs holding the same relations are
+/// equal whether or not indexes were declared on them.
+impl PartialEq for Catalog {
+    fn eq(&self, other: &Self) -> bool {
+        self.relations == other.relations
+    }
+}
+
+impl Eq for Catalog {}
 
 impl Catalog {
     /// An empty catalog.
@@ -43,11 +59,37 @@ impl Catalog {
             .ok_or_else(|| RelationalError::UnknownRelation { relation: name.to_string() })
     }
 
-    /// Mutable lookup.
+    /// Mutable lookup. Mutating a relation directly bypasses index
+    /// maintenance, so any secondary indexes on it are dropped first —
+    /// use [`Catalog::apply_data_update`] to keep indexes live.
     pub fn get_mut(&mut self, name: &str) -> Result<&mut Relation, RelationalError> {
+        self.indexes.remove(name);
         self.relations
             .get_mut(name)
             .ok_or_else(|| RelationalError::UnknownRelation { relation: name.to_string() })
+    }
+
+    /// Declares (or rebuilds) a secondary hash index on `relation` covering
+    /// `attrs`. Idempotent per attribute set; fails if the relation or any
+    /// attribute is unknown.
+    pub fn create_index(&mut self, relation: &str, attrs: &[&str]) -> Result<(), RelationalError> {
+        let rel = self.get(relation)?;
+        let owned: Vec<String> = attrs.iter().map(|a| a.to_string()).collect();
+        let index = HashIndex::build(rel, &owned)?;
+        let list = self.indexes.entry(relation.to_string()).or_default();
+        list.retain(|i| !i.covers(attrs));
+        list.push(index);
+        Ok(())
+    }
+
+    /// All indexes on `relation` (empty when none are declared).
+    pub fn indexes_on(&self, relation: &str) -> &[HashIndex] {
+        self.indexes.get(relation).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// The index on `relation` covering exactly `attrs`, if one exists.
+    pub fn index_covering(&self, relation: &str, attrs: &[&str]) -> Option<&HashIndex> {
+        self.indexes_on(relation).iter().find(|i| i.covers(attrs))
     }
 
     /// True iff the relation exists.
@@ -70,14 +112,32 @@ impl Catalog {
         self.relations.is_empty()
     }
 
-    /// Applies a data update to its relation.
+    /// Applies a data update to its relation, maintaining every index on it
+    /// incrementally from the delta.
     pub fn apply_data_update(&mut self, du: &DataUpdate) -> Result<(), RelationalError> {
-        self.get_mut(&du.relation)?.apply(&du.delta)
+        self.relations
+            .get_mut(&du.relation)
+            .ok_or_else(|| RelationalError::UnknownRelation { relation: du.relation.clone() })?
+            .apply(&du.delta)?;
+        if let Some(list) = self.indexes.get_mut(&du.relation) {
+            for index in list {
+                index.apply(du.delta.rows().iter());
+            }
+        }
+        Ok(())
     }
 
     /// Applies a schema change, updating/removing/creating relations as
-    /// needed.
+    /// needed. Secondary indexes follow the relation: renames carry them
+    /// over, attribute changes rebuild them (dropping any index whose key
+    /// attribute was dropped), and relation drops/replacements discard them.
     pub fn apply_schema_change(&mut self, sc: &SchemaChange) -> Result<(), RelationalError> {
+        self.apply_schema_change_inner(sc)?;
+        self.refresh_indexes_after(sc);
+        Ok(())
+    }
+
+    fn apply_schema_change_inner(&mut self, sc: &SchemaChange) -> Result<(), RelationalError> {
         match sc {
             SchemaChange::CreateRelation { schema } => self.create(schema.clone()),
             SchemaChange::ReplaceRelations { dropped, replacement } => {
@@ -132,6 +192,55 @@ impl Catalog {
         }
     }
 
+    /// Post-DDL index fixup; only called after the change applied cleanly,
+    /// so a failed change leaves indexes untouched too.
+    fn refresh_indexes_after(&mut self, sc: &SchemaChange) {
+        match sc {
+            SchemaChange::CreateRelation { .. } => {}
+            SchemaChange::RenameRelation { from, to } => {
+                if let Some(list) = self.indexes.remove(from) {
+                    self.indexes.insert(to.clone(), list);
+                }
+            }
+            SchemaChange::RenameAttribute { relation, from, to } => {
+                if let Some(list) = self.indexes.get_mut(relation) {
+                    for index in list {
+                        index.rename_attr(from, to);
+                    }
+                }
+            }
+            SchemaChange::AddAttribute { relation, .. }
+            | SchemaChange::DropAttribute { relation, .. } => {
+                // Column positions shifted (or an indexed attribute went
+                // away): rebuild from the post-change relation.
+                self.rebuild_indexes(relation);
+            }
+            SchemaChange::DropRelation { relation } => {
+                self.indexes.remove(relation);
+            }
+            SchemaChange::ReplaceRelations { dropped, replacement } => {
+                for d in dropped {
+                    self.indexes.remove(d);
+                }
+                self.indexes.remove(&replacement.schema().relation);
+            }
+        }
+    }
+
+    fn rebuild_indexes(&mut self, relation: &str) {
+        let Some(list) = self.indexes.remove(relation) else { return };
+        let Some(rel) = self.relations.get(relation) else { return };
+        let rebuilt: Vec<HashIndex> = list
+            .into_iter()
+            // An index whose key attribute was dropped fails to build and
+            // is discarded — exactly the invalidation we want.
+            .filter_map(|old| HashIndex::build(rel, old.attrs()).ok())
+            .collect();
+        if !rebuilt.is_empty() {
+            self.indexes.insert(relation.to_string(), rebuilt);
+        }
+    }
+
     /// Applies any source update.
     pub fn apply_update(&mut self, update: &SourceUpdate) -> Result<(), RelationalError> {
         match update {
@@ -144,6 +253,10 @@ impl Catalog {
 impl RelationProvider for Catalog {
     fn table(&self, name: &str) -> Result<TableSlice<'_>, RelationalError> {
         self.get(name).map(Into::into)
+    }
+
+    fn index_on(&self, name: &str, attrs: &[&str]) -> Option<&HashIndex> {
+        self.index_covering(name, attrs)
     }
 }
 
@@ -243,5 +356,117 @@ mod tests {
         let c = catalog();
         assert!(c.table("R").is_ok());
         assert!(c.table("nope").unwrap_err().is_schema_conflict());
+    }
+
+    fn indexed_catalog() -> Catalog {
+        let mut c = Catalog::new();
+        c.add_relation(
+            Relation::from_tuples(
+                Schema::of("R", &[("a", AttrType::Int), ("b", AttrType::Str)]),
+                [
+                    Tuple::of([Value::from(1), Value::str("x")]),
+                    Tuple::of([Value::from(2), Value::str("y")]),
+                ],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        c.create_index("R", &["a"]).unwrap();
+        c
+    }
+
+    #[test]
+    fn data_update_maintains_index() {
+        let mut c = indexed_catalog();
+        let schema = c.get("R").unwrap().schema().clone();
+        let du = DataUpdate::new(
+            Delta::from_rows(
+                schema,
+                [
+                    (Tuple::of([Value::from(1), Value::str("x")]), -1),
+                    (Tuple::of([Value::from(3), Value::str("z")]), 1),
+                ],
+            )
+            .unwrap(),
+        );
+        c.apply_data_update(&du).unwrap();
+        let idx = c.index_covering("R", &["a"]).unwrap();
+        let (one, three) = (Value::from(1), Value::from(3));
+        assert!(idx.probe(&[&one]).is_empty());
+        assert_eq!(idx.probe(&[&three]).len(), 1);
+    }
+
+    #[test]
+    fn rename_relation_carries_indexes() {
+        let mut c = indexed_catalog();
+        c.apply_schema_change(&SchemaChange::RenameRelation { from: "R".into(), to: "S".into() })
+            .unwrap();
+        assert!(c.index_covering("S", &["a"]).is_some());
+        assert!(c.indexes_on("R").is_empty());
+    }
+
+    #[test]
+    fn rename_attribute_follows_in_index() {
+        let mut c = indexed_catalog();
+        c.apply_schema_change(&SchemaChange::RenameAttribute {
+            relation: "R".into(),
+            from: "a".into(),
+            to: "a2".into(),
+        })
+        .unwrap();
+        assert!(c.index_covering("R", &["a"]).is_none());
+        let idx = c.index_covering("R", &["a2"]).unwrap();
+        let two = Value::from(2);
+        assert_eq!(idx.probe(&[&two]).len(), 1);
+    }
+
+    #[test]
+    fn drop_indexed_attribute_drops_index() {
+        let mut c = indexed_catalog();
+        c.apply_schema_change(&SchemaChange::DropAttribute {
+            relation: "R".into(),
+            attr: "a".into(),
+        })
+        .unwrap();
+        assert!(c.indexes_on("R").is_empty());
+    }
+
+    #[test]
+    fn drop_other_attribute_rebuilds_index() {
+        let mut c = indexed_catalog();
+        c.apply_schema_change(&SchemaChange::DropAttribute {
+            relation: "R".into(),
+            attr: "b".into(),
+        })
+        .unwrap();
+        let idx = c.index_covering("R", &["a"]).unwrap();
+        let one = Value::from(1);
+        let hits = idx.probe(&[&one]);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].0.arity(), 1, "rebuilt index holds post-DDL rows");
+    }
+
+    #[test]
+    fn drop_relation_drops_indexes() {
+        let mut c = indexed_catalog();
+        c.apply_schema_change(&SchemaChange::DropRelation { relation: "R".into() }).unwrap();
+        assert!(c.indexes_on("R").is_empty());
+    }
+
+    #[test]
+    fn get_mut_invalidates_indexes() {
+        let mut c = indexed_catalog();
+        c.get_mut("R").unwrap();
+        assert!(c.indexes_on("R").is_empty(), "direct mutation cannot desync an index");
+    }
+
+    #[test]
+    fn equality_ignores_indexes() {
+        let plain = {
+            let mut c = indexed_catalog();
+            c.get_mut("R").unwrap(); // drops the index, keeps the rows
+            c
+        };
+        assert_eq!(plain, indexed_catalog());
     }
 }

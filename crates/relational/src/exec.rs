@@ -11,14 +11,74 @@
 //! delta bound in place of a relation, and the Equation-6 adaptation terms
 //! where deltas carry negative counts.
 
+use std::cell::Cell;
 use std::collections::{BTreeSet, HashMap};
 
 use crate::error::RelationalError;
+use crate::index::{key_hash, HashIndex};
 use crate::query::{CmpOp, Predicate, SpjQuery};
 use crate::relation::{Delta, Relation};
 use crate::schema::{ColRef, Schema};
 use crate::tuple::{SignedBag, Tuple};
 use crate::value::Value;
+
+/// Cumulative per-thread execution statistics, for attributing work in
+/// traces. `dyno-relational` has no dependencies (including on the obs
+/// crate), so the executor counts into a thread-local and callers sample
+/// deltas into whatever metrics sink they own.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExecStats {
+    /// Base-table rows visited (scans plus collision-checked bucket rows).
+    pub rows_scanned: u64,
+    /// Secondary-index lookups issued (load probes and join probes).
+    pub index_probes: u64,
+    /// Join steps executed via index-nested-loop probes.
+    pub index_join_steps: u64,
+    /// Join steps executed via the hash-join fallback.
+    pub hash_join_steps: u64,
+    /// Join steps that degenerated to a cartesian product because no
+    /// equi-join predicate connected the next table to the intermediate.
+    pub cartesian_fallbacks: u64,
+}
+
+impl ExecStats {
+    /// Field-wise difference since an earlier snapshot.
+    pub fn since(self, earlier: ExecStats) -> ExecStats {
+        ExecStats {
+            rows_scanned: self.rows_scanned.wrapping_sub(earlier.rows_scanned),
+            index_probes: self.index_probes.wrapping_sub(earlier.index_probes),
+            index_join_steps: self.index_join_steps.wrapping_sub(earlier.index_join_steps),
+            hash_join_steps: self.hash_join_steps.wrapping_sub(earlier.hash_join_steps),
+            cartesian_fallbacks: self.cartesian_fallbacks.wrapping_sub(earlier.cartesian_fallbacks),
+        }
+    }
+}
+
+thread_local! {
+    static EXEC_STATS: Cell<ExecStats> = const {
+        Cell::new(ExecStats {
+            rows_scanned: 0,
+            index_probes: 0,
+            index_join_steps: 0,
+            hash_join_steps: 0,
+            cartesian_fallbacks: 0,
+        })
+    };
+}
+
+/// A snapshot of this thread's cumulative [`ExecStats`]. Sample before and
+/// after a call and take [`ExecStats::since`] to attribute its work.
+pub fn thread_stats() -> ExecStats {
+    EXEC_STATS.with(Cell::get)
+}
+
+fn bump(f: impl FnOnce(&mut ExecStats)) {
+    EXEC_STATS.with(|s| {
+        let mut v = s.get();
+        f(&mut v);
+        s.set(v);
+    });
+}
 
 /// A borrowed table: schema plus signed rows. Both [`Relation`] and
 /// [`Delta`] convert into this.
@@ -47,6 +107,20 @@ pub trait RelationProvider {
     /// Looks up a table; failing with [`RelationalError::UnknownRelation`]
     /// when the name does not resolve.
     fn table(&self, name: &str) -> Result<TableSlice<'_>, RelationalError>;
+
+    /// A secondary hash index on `name` covering exactly `attrs`
+    /// (order-insensitive), if the provider maintains one. The default —
+    /// no index support — keeps the executor on its scan and hash-join
+    /// paths, so plain providers need not implement anything.
+    fn index_on(&self, _name: &str, _attrs: &[&str]) -> Option<&HashIndex> {
+        None
+    }
+
+    /// Distinct-row cardinality of `name`, used by the planner to order
+    /// joins smallest-input-first. `None` means unknown (planned last).
+    fn cardinality(&self, name: &str) -> Option<usize> {
+        self.table(name).ok().map(|t| t.rows.distinct_len())
+    }
 }
 
 /// A provider that overrides selected names of a base provider with bound
@@ -76,6 +150,16 @@ impl<'a, P: RelationProvider + ?Sized> RelationProvider for Overlay<'a, P> {
             Ok(*t)
         } else {
             self.base.table(name)
+        }
+    }
+
+    fn index_on(&self, name: &str, attrs: &[&str]) -> Option<&HashIndex> {
+        // A bound table shadows the base relation entirely — its indexes
+        // describe rows the query must not see.
+        if self.bound.contains_key(name) {
+            None
+        } else {
+            self.base.index_on(name, attrs)
         }
     }
 }
@@ -152,11 +236,15 @@ pub fn validate<P: RelationProvider + ?Sized>(
 
 /// Evaluates an SPJ query against the provider.
 ///
-/// The plan loads tables in a greedy order (constant-filtered tables first,
-/// then tables connected to the current intermediate by an equi-join),
-/// applies constant filters at load time, hash-joins on all applicable
-/// equi-join keys, and projects last. Multiplicities multiply through joins
-/// and add through projection, per bag-algebra semantics.
+/// The plan loads tables in a greedy order (smallest input first — for a
+/// maintenance query that is the delta side — with ties broken toward
+/// constant-filtered tables, then repeatedly the smallest table connected
+/// to the current intermediate by an equi-join), applies constant filters
+/// at load time, joins on all applicable equi-join keys — probing a
+/// provider index when one covers the join key and the driving side is
+/// small, hash-joining otherwise — and projects last. Multiplicities
+/// multiply through joins and add through projection, per bag-algebra
+/// semantics.
 pub fn eval<P: RelationProvider + ?Sized>(
     query: &SpjQuery,
     provider: &P,
@@ -173,8 +261,8 @@ pub fn eval<P: RelationProvider + ?Sized>(
     for table_name in order {
         let slice = provider.table(table_name)?;
         cursor = Some(match cursor {
-            None => load_filtered(query, table_name, slice)?,
-            Some(cur) => hash_join(cur, slice, query, &joined, table_name)?,
+            None => load_filtered(query, table_name, slice, provider)?,
+            Some(cur) => hash_join(cur, slice, query, &joined, table_name, provider)?,
         });
         joined.insert(table_name);
     }
@@ -193,13 +281,16 @@ pub fn eval<P: RelationProvider + ?Sized>(
     Ok(QueryResult { cols, rows: cursor.rows.project(&indices) })
 }
 
-/// Chooses the table processing order: first table = most constant-filtered
-/// (ties broken by FROM order), then repeatedly any table connected to the
-/// joined set by an equi-join predicate; disconnected tables come last
-/// (cartesian product).
+/// Chooses the table processing order. The seed is the smallest input by
+/// provider cardinality — for a maintenance query, the bound delta — with
+/// ties broken toward the most constant-filtered table, then FROM order.
+/// After that, repeatedly the smallest table connected to the joined set by
+/// an equi-join predicate. A disconnected table forces a cartesian product;
+/// that fallback is counted in [`ExecStats::cartesian_fallbacks`] rather
+/// than taken silently.
 fn plan_order<'q, P: RelationProvider + ?Sized>(
     query: &'q SpjQuery,
-    _provider: &P,
+    provider: &P,
 ) -> Result<Vec<&'q str>, RelationalError> {
     let mut remaining: Vec<&str> = query.tables.iter().map(String::as_str).collect();
     if remaining.is_empty() {
@@ -212,24 +303,33 @@ fn plan_order<'q, P: RelationProvider + ?Sized>(
             .filter(|p| matches!(p, Predicate::Compare(c, _, _) if c.relation == t))
             .count()
     };
-    // Seed with the most-filtered table.
+    let card = |t: &str| provider.cardinality(t).unwrap_or(usize::MAX);
     let seed_pos = (0..remaining.len())
-        .max_by_key(|&i| (filters(remaining[i]), usize::MAX - i))
+        .min_by_key(|&i| (card(remaining[i]), std::cmp::Reverse(filters(remaining[i])), i))
         .expect("non-empty");
     let mut order = vec![remaining.remove(seed_pos)];
     let mut joined: BTreeSet<&str> = order.iter().copied().collect();
     while !remaining.is_empty() {
-        let next = remaining.iter().position(|t| {
+        let connected = |t: &str| {
             query.predicates.iter().any(|p| {
                 if let Predicate::JoinEq(a, b) = p {
-                    (a.relation == *t && joined.contains(b.relation.as_str()))
-                        || (b.relation == *t && joined.contains(a.relation.as_str()))
+                    (a.relation == t && joined.contains(b.relation.as_str()))
+                        || (b.relation == t && joined.contains(a.relation.as_str()))
                 } else {
                     false
                 }
             })
-        });
-        let pos = next.unwrap_or(0);
+        };
+        let next = (0..remaining.len())
+            .filter(|&i| connected(remaining[i]))
+            .min_by_key(|&i| (card(remaining[i]), i));
+        let pos = match next {
+            Some(pos) => pos,
+            None => {
+                bump(|s| s.cartesian_fallbacks += 1);
+                (0..remaining.len()).min_by_key(|&i| (card(remaining[i]), i)).expect("non-empty")
+            }
+        };
         let t = remaining.remove(pos);
         joined.insert(t);
         order.push(t);
@@ -237,11 +337,23 @@ fn plan_order<'q, P: RelationProvider + ?Sized>(
     Ok(order)
 }
 
-/// Loads a table into a cursor, applying its constant filters.
-fn load_filtered(
+/// True iff every constant filter compares a non-null literal against a
+/// column of the same type. Only then is an index shortcut provably
+/// equivalent to the scan: [`compare`] returns `false` for NULL literals
+/// and *errors* on type mismatches, and both behaviors must survive intact,
+/// so ill-typed filters always take the scan path.
+fn filters_well_typed(filters: &[(usize, CmpOp, &Value)], schema: &Schema) -> bool {
+    filters.iter().all(|&(i, _, v)| !v.is_null() && v.runtime_type() == Some(schema.attrs()[i].ty))
+}
+
+/// Loads a table into a cursor, applying its constant filters. When a
+/// well-typed equality filter is covered by a provider index, the matching
+/// rows are probed instead of scanned.
+fn load_filtered<P: RelationProvider + ?Sized>(
     query: &SpjQuery,
     name: &str,
     slice: TableSlice<'_>,
+    provider: &P,
 ) -> Result<Cursor, RelationalError> {
     let cols: Vec<ColRef> =
         slice.schema.attrs().iter().map(|a| ColRef::new(name, a.name.clone())).collect();
@@ -256,7 +368,40 @@ fn load_filtered(
         })
         .collect();
     let mut rows = SignedBag::new();
+    let mut scanned = 0u64;
+
+    if filters_well_typed(&filters, slice.schema) {
+        if let Some(&(ei, _, ev)) = filters.iter().find(|&&(_, op, _)| op == CmpOp::Eq) {
+            let attr = slice.schema.attrs()[ei].name.as_str();
+            if let Some(index) = provider.index_on(name, &[attr]) {
+                let key = [ev];
+                if let Some(bucket) = index.lookup(&key) {
+                    'hits: for (t, c) in bucket.iter() {
+                        scanned += 1;
+                        if !index.key_matches(t, &key) {
+                            continue;
+                        }
+                        // Residual filters (the indexed one re-checks as a
+                        // no-op). Well-typedness means this cannot error.
+                        for (idx, op, v) in &filters {
+                            if !compare(t.get(*idx), *op, v)? {
+                                continue 'hits;
+                            }
+                        }
+                        rows.add(t.clone(), c);
+                    }
+                }
+                bump(|s| {
+                    s.index_probes += 1;
+                    s.rows_scanned += scanned;
+                });
+                return Ok(Cursor { cols, rows });
+            }
+        }
+    }
+
     'tuples: for (t, c) in slice.rows.iter() {
+        scanned += 1;
         for (idx, op, v) in &filters {
             if !compare(t.get(*idx), *op, v)? {
                 continue 'tuples;
@@ -264,6 +409,7 @@ fn load_filtered(
         }
         rows.add(t.clone(), c);
     }
+    bump(|s| s.rows_scanned += scanned);
     Ok(Cursor { cols, rows })
 }
 
@@ -282,17 +428,29 @@ fn compare(left: &Value, op: CmpOp, right: &Value) -> Result<bool, RelationalErr
     Ok(op.eval(left.cmp(right)))
 }
 
-/// Hash-joins the current intermediate with the next table on all
-/// equi-join predicates that span them; degenerates to a cartesian product
-/// when none apply. The next table's constant filters are applied on the
-/// fly; the hash table is built over the smaller side, and non-matching
-/// probe rows are never materialized.
-fn hash_join(
+/// How much smaller the driving (probe) side must be before an
+/// index-nested-loop join beats rebuilding a hash table over the indexed
+/// side. With a maintenance delta driving (|Δ| ≈ 1) any indexed table
+/// qualifies; for comparably sized inputs the hash join stays cheaper.
+const INDEX_JOIN_FANOUT: usize = 4;
+
+/// Joins the current intermediate with the next table on all equi-join
+/// predicates that span them; degenerates to a cartesian product when none
+/// apply. When the provider has an index covering exactly the join-key
+/// attributes and the intermediate is at least [`INDEX_JOIN_FANOUT`]×
+/// smaller than the table, each intermediate row probes the index —
+/// O(|Δ| × fan-out) instead of O(|table|). Otherwise a hash join runs over
+/// 64-bit key hashes of borrowed values (no per-row key tuples are
+/// materialized), built over the smaller side. The next table's constant
+/// filters are applied before any hash lookup, so non-qualifying rows
+/// never hash.
+fn hash_join<P: RelationProvider + ?Sized>(
     cur: Cursor,
     slice: TableSlice<'_>,
     query: &SpjQuery,
     joined: &BTreeSet<&str>,
     new_name: &str,
+    provider: &P,
 ) -> Result<Cursor, RelationalError> {
     let new_cols: Vec<ColRef> =
         slice.schema.attrs().iter().map(|a| ColRef::new(new_name, a.name.clone())).collect();
@@ -338,16 +496,19 @@ fn hash_join(
     let mut out_cols = cur.cols;
     out_cols.extend(new_cols);
     let mut rows = SignedBag::new();
+    let mut scanned = 0u64;
 
     if keys.is_empty() {
         // Cartesian product.
         for (lt, lc) in cur.rows.iter() {
             for (rt, rc) in slice.rows.iter() {
+                scanned += 1;
                 if passes(rt)? {
                     rows.add(lt.concat(rt), lc * rc);
                 }
             }
         }
+        bump(|s| s.rows_scanned += scanned);
         return Ok(Cursor { cols: out_cols, rows });
     }
 
@@ -355,21 +516,80 @@ fn hash_join(
     let new_key_idx: Vec<usize> = keys.iter().map(|&(_, ni)| ni).collect();
     let null_key = |t: &Tuple, idx: &[usize]| idx.iter().any(|&i| t.get(i).is_null());
 
+    // Index-nested-loop: probe the table's index with each intermediate
+    // row. Only when the index covers the exact join-key attribute set,
+    // every constant filter is well-typed (so skipping unprobed rows
+    // cannot swallow a type error the scan would raise), and the
+    // intermediate is small enough that probing beats one table pass.
+    if filters_well_typed(&filters, slice.schema)
+        && cur.rows.distinct_len().saturating_mul(INDEX_JOIN_FANOUT) <= slice.rows.distinct_len()
+    {
+        let key_attrs: Vec<&str> =
+            new_key_idx.iter().map(|&i| slice.schema.attrs()[i].name.as_str()).collect();
+        if let Some(index) = provider.index_on(new_name, &key_attrs) {
+            // The index may list its key attributes in a different order;
+            // line the probe values up with it.
+            let probe_cols: Vec<usize> = index
+                .attrs()
+                .iter()
+                .map(|a| {
+                    let j = key_attrs
+                        .iter()
+                        .position(|k| k == a)
+                        .expect("covering index key is a permutation of the join key");
+                    cur_key_idx[j]
+                })
+                .collect();
+            let mut probes = 0u64;
+            for (lt, lc) in cur.rows.iter() {
+                if null_key(lt, &cur_key_idx) {
+                    continue;
+                }
+                let key: Vec<&Value> = probe_cols.iter().map(|&i| lt.get(i)).collect();
+                probes += 1;
+                if let Some(bucket) = index.lookup(&key) {
+                    for (rt, rc) in bucket.iter() {
+                        scanned += 1;
+                        if !index.key_matches(rt, &key) {
+                            continue;
+                        }
+                        if passes(rt)? {
+                            rows.add(lt.concat(rt), lc * rc);
+                        }
+                    }
+                }
+            }
+            bump(|s| {
+                s.index_probes += probes;
+                s.rows_scanned += scanned;
+                s.index_join_steps += 1;
+            });
+            return Ok(Cursor { cols: out_cols, rows });
+        }
+    }
+
+    // Hash-join fallback over 64-bit hashes of borrowed key values; bucket
+    // entries are verified against the actual key columns, so hash
+    // collisions cannot produce spurious matches.
+    let hash_of = |t: &Tuple, idx: &[usize]| key_hash(idx.iter().map(|&i| t.get(i)));
+    let keys_match = |lt: &Tuple, rt: &Tuple| keys.iter().all(|&(ci, ni)| lt.get(ci) == rt.get(ni));
+
     if cur.rows.distinct_len() <= slice.rows.distinct_len() {
         // Build over the (smaller) intermediate, probe the table.
-        let mut table: HashMap<Tuple, Vec<(&Tuple, i64)>> = HashMap::new();
+        let mut table: HashMap<u64, Vec<(&Tuple, i64)>> = HashMap::new();
         for (t, c) in cur.rows.iter() {
             if !null_key(t, &cur_key_idx) {
-                table.entry(t.project(&cur_key_idx)).or_default().push((t, c));
+                table.entry(hash_of(t, &cur_key_idx)).or_default().push((t, c));
             }
         }
         for (rt, rc) in slice.rows.iter() {
-            if null_key(rt, &new_key_idx) {
+            scanned += 1;
+            if null_key(rt, &new_key_idx) || !passes(rt)? {
                 continue;
             }
-            if let Some(matches) = table.get(&rt.project(&new_key_idx)) {
-                if passes(rt)? {
-                    for (lt, lc) in matches {
+            if let Some(matches) = table.get(&hash_of(rt, &new_key_idx)) {
+                for (lt, lc) in matches {
+                    if keys_match(lt, rt) {
                         rows.add(lt.concat(rt), lc * rc);
                     }
                 }
@@ -377,23 +597,30 @@ fn hash_join(
         }
     } else {
         // Build over the table (filtered), probe the intermediate.
-        let mut table: HashMap<Tuple, Vec<(&Tuple, i64)>> = HashMap::new();
+        let mut table: HashMap<u64, Vec<(&Tuple, i64)>> = HashMap::new();
         for (t, c) in slice.rows.iter() {
+            scanned += 1;
             if !null_key(t, &new_key_idx) && passes(t)? {
-                table.entry(t.project(&new_key_idx)).or_default().push((t, c));
+                table.entry(hash_of(t, &new_key_idx)).or_default().push((t, c));
             }
         }
         for (lt, lc) in cur.rows.iter() {
             if null_key(lt, &cur_key_idx) {
                 continue;
             }
-            if let Some(matches) = table.get(&lt.project(&cur_key_idx)) {
+            if let Some(matches) = table.get(&hash_of(lt, &cur_key_idx)) {
                 for (rt, rc) in matches {
-                    rows.add(lt.concat(rt), lc * rc);
+                    if keys_match(lt, rt) {
+                        rows.add(lt.concat(rt), lc * rc);
+                    }
                 }
             }
         }
     }
+    bump(|s| {
+        s.rows_scanned += scanned;
+        s.hash_join_steps += 1;
+    });
     Ok(Cursor { cols: out_cols, rows })
 }
 
@@ -634,5 +861,118 @@ mod tests {
             .build();
         let err = eval(&q, &fixture()).unwrap_err();
         assert!(matches!(err, RelationalError::IncomparableTypes { .. }));
+    }
+
+    /// The fixture as an indexed catalog: same tables, indexes on the join
+    /// and filter columns.
+    fn indexed_catalog() -> crate::Catalog {
+        let f = fixture();
+        let mut c = crate::Catalog::new();
+        c.add_relation(f.r).unwrap();
+        c.add_relation(f.s).unwrap();
+        c.create_index("S", &["id"]).unwrap();
+        c.create_index("S", &["price"]).unwrap();
+        c
+    }
+
+    #[test]
+    fn indexed_join_matches_scan_join() {
+        // S is much larger than R, so the join takes the index-nested-loop
+        // path; the result must equal the scan-based evaluation exactly.
+        let r = Relation::from_tuples(
+            Schema::of("R", &[("id", AttrType::Int), ("name", AttrType::Str)]),
+            [
+                Tuple::of([Value::from(1), Value::str("a")]),
+                Tuple::of([Value::from(2), Value::str("b")]),
+                Tuple::of([Value::from(2), Value::str("b")]),
+            ],
+        )
+        .unwrap();
+        let s = Relation::from_tuples(
+            Schema::of("S", &[("id", AttrType::Int), ("price", AttrType::Int)]),
+            (0..20).map(|i| Tuple::of([Value::from(i), Value::from(i * 10)])),
+        )
+        .unwrap();
+        let naive = eval(&join_query(), &Two { r: r.clone(), s: s.clone() }).unwrap();
+        let mut c = crate::Catalog::new();
+        c.add_relation(r).unwrap();
+        c.add_relation(s).unwrap();
+        c.create_index("S", &["id"]).unwrap();
+        let before = thread_stats();
+        let indexed = eval(&join_query(), &c).unwrap();
+        let d = thread_stats().since(before);
+        assert_eq!(naive, indexed);
+        assert_eq!(d.index_join_steps, 1, "S-side index on id must be probed");
+        assert_eq!(d.index_probes, 2, "one probe per distinct R row");
+    }
+
+    #[test]
+    fn indexed_eq_filter_probes_instead_of_scanning() {
+        let q = SpjQuery::over(["S"]).select("S", "price").filter("S", "id", CmpOp::Eq, 2).build();
+        let c = indexed_catalog();
+        let before = thread_stats();
+        let out = eval(&q, &c).unwrap();
+        let d = thread_stats().since(before);
+        assert_eq!(out.weight(), 1);
+        assert_eq!(out.rows.count(&Tuple::of([20i64])), 1);
+        assert_eq!(d.index_probes, 1);
+        assert!(d.rows_scanned < 3, "probe must not visit the whole table");
+    }
+
+    #[test]
+    fn type_mismatch_still_errors_with_index_present() {
+        // An ill-typed filter must take the scan path and surface the same
+        // error the naive evaluator raises, index or no index.
+        let q = SpjQuery::over(["S"])
+            .select("S", "price")
+            .filter("S", "price", CmpOp::Eq, "not-an-int")
+            .build();
+        let err = eval(&q, &indexed_catalog()).unwrap_err();
+        assert!(matches!(err, RelationalError::IncomparableTypes { .. }));
+    }
+
+    #[test]
+    fn overlay_binding_shadows_base_index() {
+        let c = indexed_catalog();
+        let delta = Delta::inserts(
+            Schema::of("S", &[("id", AttrType::Int), ("price", AttrType::Int)]),
+            [Tuple::of([Value::from(9), Value::from(90)])],
+        )
+        .unwrap();
+        let overlay = Overlay::new(&c).bind("S", (&delta).into());
+        let q = SpjQuery::over(["S"]).select("S", "price").filter("S", "id", CmpOp::Eq, 9).build();
+        let out = eval(&q, &overlay).unwrap();
+        assert_eq!(out.weight(), 1, "bound table is seen, not the stale indexed base");
+        assert!(overlay.index_on("S", &["id"]).is_none());
+    }
+
+    #[test]
+    fn cartesian_fallback_is_counted() {
+        let q = SpjQuery::over(["R", "S"]).select("R", "name").select("S", "price").build();
+        let before = thread_stats();
+        eval(&q, &fixture()).unwrap();
+        let d = thread_stats().since(before);
+        assert_eq!(d.cartesian_fallbacks, 1);
+        let before = thread_stats();
+        eval(&join_query(), &fixture()).unwrap();
+        assert_eq!(thread_stats().since(before).cartesian_fallbacks, 0);
+    }
+
+    #[test]
+    fn planner_seeds_from_smallest_input() {
+        // R has 2 distinct rows, S has 3: R seeds, and with a bound delta
+        // (1 row) shadowing R, the delta seeds.
+        let f = fixture();
+        let q = join_query();
+        let order = plan_order(&q, &f).unwrap();
+        assert_eq!(order, vec!["R", "S"]);
+        let delta = Delta::inserts(
+            Schema::of("S", &[("id", AttrType::Int), ("price", AttrType::Int)]),
+            [Tuple::of([Value::from(1), Value::from(10)])],
+        )
+        .unwrap();
+        let overlay = Overlay::new(&f).bind("S", (&delta).into());
+        let order = plan_order(&q, &overlay).unwrap();
+        assert_eq!(order, vec!["S", "R"], "the 1-row bound delta must drive the join");
     }
 }

@@ -22,6 +22,7 @@ pub mod catalog;
 pub mod ddl;
 pub mod error;
 pub mod exec;
+pub mod index;
 pub mod parser;
 pub mod query;
 pub mod relation;
@@ -33,7 +34,10 @@ pub mod value;
 pub use catalog::Catalog;
 pub use ddl::{apply_to_relation, compose, SchemaChange};
 pub use error::RelationalError;
-pub use exec::{eval, validate, Overlay, QueryResult, RelationProvider, TableSlice};
+pub use exec::{
+    eval, thread_stats, validate, ExecStats, Overlay, QueryResult, RelationProvider, TableSlice,
+};
+pub use index::{key_hash, HashIndex};
 pub use parser::{parse_create_view, parse_query, ParseError};
 pub use query::{CmpOp, Predicate, ProjItem, SpjQuery, SpjQueryBuilder};
 pub use relation::{Delta, Relation};

@@ -41,6 +41,13 @@ struct SimCounters {
     aborts: Counter,
     attempts: Counter,
     skipped_commits: Counter,
+    /// Tuples the executor actually touched (scan + probe paths).
+    rows_scanned: Counter,
+    /// Secondary-index lookups the executor performed.
+    index_probes: Counter,
+    /// Joins that fell back to a cartesian product (planner found no
+    /// connecting predicate).
+    cartesian_fallback: Counter,
     /// Per-entry simulated cost of committed maintenance (log₂ buckets).
     entry_committed: Histogram,
     /// Per-entry simulated cost of aborted maintenance.
@@ -58,6 +65,9 @@ impl SimCounters {
             aborts: obs.counter("sim.aborts"),
             attempts: obs.counter("sim.attempts"),
             skipped_commits: obs.counter("sim.skipped_commits"),
+            rows_scanned: obs.counter("exec.rows_scanned"),
+            index_probes: obs.counter("exec.index_probes"),
+            cartesian_fallback: obs.counter("exec.cartesian_fallback"),
             entry_committed: obs.histogram("sim.entry_committed_us"),
             entry_abort: obs.histogram("sim.entry_abort_us"),
         }
@@ -242,8 +252,17 @@ impl SourcePort for SimPort {
             // The round trip: commits landing during it are visible.
             self.advance(self.cost.query_latency_us);
         }
+        let before = dyno_relational::thread_stats();
         let result = eval_with_bound(&self.space.provider(), query, bound);
+        let d = dyno_relational::thread_stats().since(before);
+        self.sim.rows_scanned.add(d.rows_scanned);
+        self.sim.index_probes.add(d.index_probes);
+        self.sim.cartesian_fallback.add(d.cartesian_fallbacks);
         if self.metering {
+            // Simulated time is charged from *schema-level* relation sizes,
+            // not the executor's actual work: the simulated-seconds series
+            // of the paper figures must not depend on which access path the
+            // in-process executor happened to pick.
             let scanned = self.scanned_tuples(query, bound);
             let shipped = result.as_ref().map(|r| r.weight()).unwrap_or(0);
             self.advance_quiet(

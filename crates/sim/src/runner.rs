@@ -280,6 +280,28 @@ mod tests {
     }
 
     #[test]
+    fn simulated_costs_are_independent_of_the_exec_path() {
+        // The paper figures' simulated-seconds series must be identical
+        // whether maintenance queries probe secondary indexes or scan:
+        // costs are charged from schema-level relation sizes, never from
+        // the access path the in-process executor picked.
+        for strategy in [Strategy::Pessimistic, Strategy::Optimistic] {
+            let run = |indexes: bool| {
+                let cfg = TestbedConfig { indexes, ..tiny_cfg() };
+                let (space, view) = build_testbed(&cfg);
+                let mut gen = WorkloadGen::new(cfg, 23);
+                let mut schedule = gen.du_flood(12);
+                schedule.extend(gen.sc_train(3, 2_000_000, 15_000_000));
+                run_scenario(Scenario::new(space, view, schedule).with_strategy(strategy)).unwrap()
+            };
+            let on = run(true);
+            let off = run(false);
+            assert_eq!(on.metrics, off.metrics, "{strategy:?}: identical simulated series");
+            assert!(on.converged && off.converged);
+        }
+    }
+
+    #[test]
     fn pessimistic_never_costs_more_aborts_than_optimistic_here() {
         // A flood of conflicting updates at t=0: pessimistic pre-exec
         // correction avoids every abort; optimistic must suffer at least one.

@@ -23,6 +23,10 @@ pub struct TestbedConfig {
     pub extra_attrs: usize,
     /// RNG seed for attribute values.
     pub seed: u64,
+    /// Declare a secondary hash index on each relation's join key `K`, so
+    /// maintenance queries probe instead of scanning. On by default — pass
+    /// `false` to measure the scan baseline.
+    pub indexes: bool,
 }
 
 impl Default for TestbedConfig {
@@ -33,6 +37,7 @@ impl Default for TestbedConfig {
             tuples_per_relation: 10_000,
             extra_attrs: 3,
             seed: 42,
+            indexes: true,
         }
     }
 }
@@ -81,6 +86,11 @@ pub fn build_space(cfg: &TestbedConfig) -> SourceSpace {
             catalog.add_relation(rel).expect("generated names are unique");
         }
         space.add_server(SourceServer::new(SourceId(s), format!("server{s}"), catalog));
+    }
+    if cfg.indexes {
+        for name in cfg.relation_names() {
+            space.create_index(&name, &["K"]).expect("testbed relations exist");
+        }
     }
     space
 }
@@ -143,6 +153,20 @@ mod tests {
         assert_eq!(space.locate("R1"), Some(SourceId(0)));
         assert_eq!(space.locate("R2"), Some(SourceId(1)));
         assert_eq!(space.locate("R5"), Some(SourceId(2)));
+    }
+
+    #[test]
+    fn key_indexes_declared_by_default() {
+        let cfg = tiny();
+        let space = build_space(&cfg);
+        for (i, name) in cfg.relation_names().iter().enumerate() {
+            let sid = space.locate(name).unwrap();
+            let idx = space.server(sid).catalog().index_covering(name, &["K"]);
+            assert!(idx.is_some(), "R{i} has a key index");
+            assert_eq!(idx.unwrap().len(), cfg.tuples_per_relation);
+        }
+        let scan = build_space(&TestbedConfig { indexes: false, ..tiny() });
+        assert!(scan.server(SourceId(0)).catalog().index_covering("R0", &["K"]).is_none());
     }
 
     #[test]

@@ -60,6 +60,17 @@ impl SourceServer {
         &self.catalog
     }
 
+    /// Declares a secondary hash index on a relation of this source; the
+    /// catalog maintains it across committed updates. The index also joins
+    /// the version-0 snapshot so historical reconstructions keep it.
+    pub fn create_index(&mut self, relation: &str, attrs: &[&str]) -> Result<(), RelationalError> {
+        self.catalog.create_index(relation, attrs)?;
+        if self.version == 0 {
+            self.snapshots[0].1.create_index(relation, attrs)?;
+        }
+        Ok(())
+    }
+
     /// The current source-local version.
     pub fn version(&self) -> u64 {
         self.version

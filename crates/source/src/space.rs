@@ -4,7 +4,7 @@
 use std::collections::HashMap;
 
 use dyno_relational::exec::{RelationProvider, TableSlice};
-use dyno_relational::{RelationalError, SourceUpdate};
+use dyno_relational::{HashIndex, RelationalError, SourceUpdate};
 
 use crate::id::{SourceId, UpdateId};
 use crate::infospace::InfoSpace;
@@ -67,6 +67,15 @@ impl SourceSpace {
         self.servers.iter().find(|s| s.catalog().contains(relation)).map(|s| s.id())
     }
 
+    /// Declares a secondary hash index on `relation` at whichever source
+    /// hosts it. Fails when no source hosts the relation.
+    pub fn create_index(&mut self, relation: &str, attrs: &[&str]) -> Result<(), RelationalError> {
+        let id = self
+            .locate(relation)
+            .ok_or_else(|| RelationalError::UnknownRelation { relation: relation.to_string() })?;
+        self.server_mut(id).create_index(relation, attrs)
+    }
+
     /// Commits an update at a source, returning the stamped wrapper message.
     /// Fails (changing nothing) if the update does not apply to the source's
     /// current schema.
@@ -109,6 +118,14 @@ impl RelationProvider for UnionProvider<'_> {
             }
         }
         Err(RelationalError::UnknownRelation { relation: name.to_string() })
+    }
+
+    fn index_on(&self, name: &str, attrs: &[&str]) -> Option<&HashIndex> {
+        self.space
+            .servers
+            .iter()
+            .find(|s| s.catalog().contains(name))
+            .and_then(|s| s.catalog().index_on(name, attrs))
     }
 }
 

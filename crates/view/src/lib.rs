@@ -23,6 +23,7 @@ pub mod batch;
 pub mod engine;
 pub mod manager;
 pub mod mview;
+pub mod plan;
 pub mod testkit;
 pub mod viewdef;
 pub mod vm;
@@ -39,6 +40,7 @@ pub use engine::{
 };
 pub use manager::{ReflectedVersions, ViewError, ViewManager, ViewStats};
 pub use mview::MaterializedView;
+pub use plan::{MaintPlan, MaintStep, PlanCache};
 pub use viewdef::ViewDefinition;
 pub use vm::{sweep_maintain, sweep_maintain_observed, MaintFailure, ViewDelta};
 pub use vs::{synchronize, synchronize_all, VsError};

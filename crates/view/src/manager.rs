@@ -14,6 +14,7 @@ use dyno_source::{InfoSpace, SourceId, UpdateMessage};
 use crate::batch::{adapt_batch_observed, AdaptationMode, Adapted, BatchFailure};
 use crate::engine::{MaintEvent, SourcePort};
 use crate::mview::MaterializedView;
+use crate::plan::PlanCache;
 use crate::viewdef::ViewDefinition;
 use crate::vm::sweep_maintain_observed;
 use crate::vs::VsError;
@@ -77,6 +78,7 @@ struct ViewCore {
     last_error: Option<ViewError>,
     adaptation: AdaptationMode,
     obs: Collector,
+    plans: PlanCache,
 }
 
 impl ViewManager {
@@ -96,6 +98,7 @@ impl ViewManager {
                 last_error: None,
                 adaptation: AdaptationMode::default(),
                 obs: Collector::disabled(),
+                plans: PlanCache::new(),
             },
         }
     }
@@ -296,6 +299,7 @@ impl Maintainer<UpdateMessage> for MaintCtx<'_> {
                 &batch[0].payload,
                 &pending,
                 self.port,
+                &mut self.core.plans,
                 &self.core.obs,
             );
             self.drained.extend(drained);
@@ -332,6 +336,7 @@ impl Maintainer<UpdateMessage> for MaintCtx<'_> {
                         Ok(()) => {
                             self.port.charge_mv_write(written);
                             self.core.view = view;
+                            self.core.plans.invalidate(schema_changes as u64, &self.core.obs);
                             self.core.stats.batches_committed += 1;
                             self.core.stats.batched_updates += batch.len() as u64;
                             None
@@ -345,6 +350,7 @@ impl Maintainer<UpdateMessage> for MaintCtx<'_> {
                         Ok(()) => {
                             self.port.charge_mv_write(written);
                             self.core.view = view;
+                            self.core.plans.invalidate(schema_changes as u64, &self.core.obs);
                             self.core.stats.batches_committed += 1;
                             self.core.stats.incremental_batches += 1;
                             self.core.stats.batched_updates += batch.len() as u64;

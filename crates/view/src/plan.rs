@@ -1,0 +1,297 @@
+//! Cached maintenance-query plans.
+//!
+//! The *shape* of a SWEEP maintenance run — the local seed query, the chain
+//! of `__D ⋈ target` queries, and the final projection — depends only on
+//! the view definition and the updated relation, not on the delta's rows.
+//! A fig08-style run maintains thousands of data updates against a view
+//! that changes only when view synchronization rewrites it, so the plan is
+//! computed once per (view definition, relation) and replayed from a
+//! [`PlanCache`].
+//!
+//! Invalidation is two-layered: the view manager explicitly invalidates on
+//! every schema-change batch commit (VS rewrote or revalidated the view),
+//! and the cache additionally fingerprints the rendered view definition —
+//! if a view ever changes without an explicit invalidation, the fingerprint
+//! mismatch clears the cache rather than serving a stale plan.
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::rc::Rc;
+
+use dyno_obs::Collector;
+use dyno_relational::{ColRef, Predicate, ProjItem, RelationalError, SpjQuery};
+
+use crate::viewdef::ViewDefinition;
+use crate::vm::{flat, D};
+
+/// One maintenance-query step: join the running intermediate `__D` with
+/// `target` through the view's predicates.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MaintStep {
+    /// The view relation this step joins in.
+    pub target: String,
+    /// The `__D ⋈ target` query shipped to the source hosting `target`.
+    pub query: SpjQuery,
+    /// Column names of the intermediate flowing *into* this step (the
+    /// bound `__D` table's columns).
+    pub d_cols_in: Vec<String>,
+}
+
+/// The full per-relation maintenance plan for a view.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MaintPlan {
+    /// The updated relation this plan maintains.
+    pub relation: String,
+    /// Step 0: local projection/selection of the delta itself.
+    pub local_query: SpjQuery,
+    /// The `__D ⋈ target` chain, in join order.
+    pub steps: Vec<MaintStep>,
+    /// Projection from the final intermediate to the view's SELECT list.
+    pub final_indices: Vec<usize>,
+    /// The view's output column names.
+    pub out_cols: Vec<String>,
+}
+
+impl MaintPlan {
+    /// Plans maintenance of an update to `relation` against `view`. The
+    /// relation must be referenced by the view.
+    pub fn build(view: &ViewDefinition, relation: &str) -> Result<MaintPlan, RelationalError> {
+        let out_cols = view.output_cols();
+
+        // Step 0: local projection/selection of the delta itself.
+        let referenced = view.cols_of_relation(relation);
+        let local_query = SpjQuery {
+            tables: vec![relation.to_string()],
+            projection: referenced.iter().map(|c| ProjItem::aliased(c.clone(), flat(c))).collect(),
+            predicates: view
+                .query
+                .predicates
+                .iter()
+                .filter(|p| matches!(p, Predicate::Compare(c, _, _) if c.relation == relation))
+                .cloned()
+                .collect(),
+        };
+        let mut d_cols: Vec<String> =
+            local_query.projection.iter().map(|p| p.output.clone()).collect();
+        let mut joined: Vec<String> = vec![relation.to_string()];
+
+        // Join order: repeatedly pick a not-yet-joined view relation
+        // connected to the current intermediate by an equi-join predicate.
+        let mut remaining: Vec<String> =
+            view.query.tables.iter().filter(|t| **t != relation).cloned().collect();
+        let mut steps = Vec::with_capacity(remaining.len());
+        while !remaining.is_empty() {
+            let next_pos = remaining
+                .iter()
+                .position(|t| {
+                    view.query.predicates.iter().any(|p| match p {
+                        Predicate::JoinEq(a, b) => {
+                            (a.relation == *t && joined.contains(&b.relation))
+                                || (b.relation == *t && joined.contains(&a.relation))
+                        }
+                        _ => false,
+                    })
+                })
+                .unwrap_or(0);
+            let target = remaining.remove(next_pos);
+
+            // The maintenance query: __D ⋈ target with the view's join and
+            // filter predicates, projecting __D plus target's referenced
+            // columns (flattened).
+            let target_refs = view.cols_of_relation(&target);
+            let mut q = SpjQuery {
+                tables: vec![D.to_string(), target.clone()],
+                projection: d_cols
+                    .iter()
+                    .map(|c| ProjItem::aliased(ColRef::new(D, c.clone()), c.clone()))
+                    .chain(target_refs.iter().map(|c| ProjItem::aliased(c.clone(), flat(c))))
+                    .collect(),
+                predicates: Vec::new(),
+            };
+            for p in &view.query.predicates {
+                match p {
+                    Predicate::JoinEq(a, b) => {
+                        let (d_side, t_side) =
+                            if a.relation == target && joined.contains(&b.relation) {
+                                (b, a)
+                            } else if b.relation == target && joined.contains(&a.relation) {
+                                (a, b)
+                            } else {
+                                continue;
+                            };
+                        q.predicates
+                            .push(Predicate::JoinEq(ColRef::new(D, flat(d_side)), t_side.clone()));
+                    }
+                    Predicate::Compare(c, op, v) if c.relation == target => {
+                        q.predicates.push(Predicate::Compare(c.clone(), *op, v.clone()));
+                    }
+                    Predicate::Compare(..) => {}
+                }
+            }
+
+            let d_cols_out: Vec<String> = q.projection.iter().map(|p| p.output.clone()).collect();
+            steps.push(MaintStep { target: target.clone(), query: q, d_cols_in: d_cols });
+            d_cols = d_cols_out;
+            joined.push(target);
+        }
+
+        // Final projection to the view's SELECT list.
+        let final_indices: Vec<usize> = view
+            .query
+            .projection
+            .iter()
+            .map(|item| {
+                d_cols.iter().position(|c| *c == flat(&item.col)).ok_or_else(|| {
+                    RelationalError::InvalidQuery {
+                        reason: format!("column {} missing from maintenance result", item.col),
+                    }
+                })
+            })
+            .collect::<Result<_, _>>()?;
+
+        Ok(MaintPlan {
+            relation: relation.to_string(),
+            local_query,
+            steps,
+            final_indices,
+            out_cols,
+        })
+    }
+}
+
+/// Per-view cache of [`MaintPlan`]s, keyed by updated relation and pinned
+/// to a fingerprint of the view definition.
+#[derive(Debug, Clone, Default)]
+pub struct PlanCache {
+    fingerprint: Option<u64>,
+    plans: HashMap<String, Rc<MaintPlan>>,
+}
+
+fn fingerprint_of(view: &ViewDefinition) -> u64 {
+    let mut h = DefaultHasher::new();
+    view.to_string().hash(&mut h);
+    h.finish()
+}
+
+impl PlanCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        PlanCache::default()
+    }
+
+    /// Number of cached plans.
+    pub fn len(&self) -> usize {
+        self.plans.len()
+    }
+
+    /// True iff no plans are cached.
+    pub fn is_empty(&self) -> bool {
+        self.plans.is_empty()
+    }
+
+    /// Explicit invalidation: a schema-change batch committed, so VS has
+    /// rewritten (or at least revalidated) the view under `schema_changes`
+    /// source schema changes. Counts one invalidation per schema change —
+    /// the granularity the fig10 trace check asserts against.
+    pub fn invalidate(&mut self, schema_changes: u64, obs: &Collector) {
+        if schema_changes == 0 {
+            return;
+        }
+        self.plans.clear();
+        self.fingerprint = None;
+        obs.counter("plan.cache_invalidations").add(schema_changes);
+    }
+
+    /// The plan maintaining `relation` against `view`: cached when the view
+    /// fingerprint still matches, rebuilt (and counted as a miss) otherwise.
+    pub fn plan_for(
+        &mut self,
+        view: &ViewDefinition,
+        relation: &str,
+        obs: &Collector,
+    ) -> Result<Rc<MaintPlan>, RelationalError> {
+        let fp = fingerprint_of(view);
+        if self.fingerprint != Some(fp) {
+            if self.fingerprint.is_some() {
+                // The view changed without an explicit invalidation — the
+                // fingerprint safety net catches it.
+                obs.counter("plan.cache_invalidations").inc();
+            }
+            self.plans.clear();
+            self.fingerprint = Some(fp);
+        }
+        if let Some(plan) = self.plans.get(relation) {
+            obs.counter("plan.cache_hits").inc();
+            return Ok(Rc::clone(plan));
+        }
+        obs.counter("plan.cache_misses").inc();
+        let plan = Rc::new(MaintPlan::build(view, relation)?);
+        self.plans.insert(relation.to_string(), Rc::clone(&plan));
+        Ok(plan)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testkit::bookinfo_view;
+    use dyno_obs::Collector;
+
+    #[test]
+    fn plan_is_cached_per_relation() {
+        let obs = Collector::wall();
+        let mut cache = PlanCache::new();
+        let view = bookinfo_view();
+        let p1 = cache.plan_for(&view, "Item", &obs).unwrap();
+        let p2 = cache.plan_for(&view, "Item", &obs).unwrap();
+        assert!(Rc::ptr_eq(&p1, &p2));
+        cache.plan_for(&view, "Catalog", &obs).unwrap();
+        assert_eq!(cache.len(), 2);
+        assert_eq!(obs.registry().counter_value("plan.cache_hits"), Some(1));
+        assert_eq!(obs.registry().counter_value("plan.cache_misses"), Some(2));
+    }
+
+    #[test]
+    fn explicit_invalidation_clears_and_counts() {
+        let obs = Collector::wall();
+        let mut cache = PlanCache::new();
+        let view = bookinfo_view();
+        cache.plan_for(&view, "Item", &obs).unwrap();
+        cache.invalidate(3, &obs);
+        assert!(cache.is_empty());
+        assert_eq!(obs.registry().counter_value("plan.cache_invalidations"), Some(3));
+        // Re-planning after invalidation is a miss, not a hit.
+        cache.plan_for(&view, "Item", &obs).unwrap();
+        assert_eq!(obs.registry().counter_value("plan.cache_hits"), None);
+    }
+
+    #[test]
+    fn fingerprint_mismatch_is_a_safety_net() {
+        let obs = Collector::wall();
+        let mut cache = PlanCache::new();
+        let view = bookinfo_view();
+        cache.plan_for(&view, "Item", &obs).unwrap();
+        let mut renamed = view.clone();
+        renamed.name = "other_view".into();
+        cache.plan_for(&renamed, "Item", &obs).unwrap();
+        assert_eq!(obs.registry().counter_value("plan.cache_invalidations"), Some(1));
+        assert_eq!(cache.len(), 1, "plans for the old definition are gone");
+    }
+
+    #[test]
+    fn plan_join_order_matches_sweep_expectations() {
+        let view = bookinfo_view();
+        let plan = MaintPlan::build(&view, "Item").unwrap();
+        assert_eq!(plan.steps.len(), view.query.tables.len() - 1);
+        for step in &plan.steps {
+            assert_eq!(step.query.tables[0], D);
+            assert_eq!(step.query.tables[1], step.target);
+            assert!(
+                step.query.predicates.iter().any(|p| matches!(p, Predicate::JoinEq(..))),
+                "each step joins through at least one equi-join key"
+            );
+        }
+        assert_eq!(plan.out_cols, view.output_cols());
+    }
+}

@@ -10,11 +10,14 @@
 //! update `Δⱼ` of the queried relation — a pure view-manager-side
 //! computation, no extra source round trip.
 
+use std::rc::Rc;
+
 use dyno_obs::{field, Collector, Level};
-use dyno_relational::{ColRef, Predicate, ProjItem, RelationalError, SignedBag, SpjQuery};
+use dyno_relational::{ColRef, RelationalError, SignedBag, SpjQuery};
 use dyno_source::UpdateMessage;
 
 use crate::engine::{eval_with_bound, BoundTable, LocalProvider, SourcePort};
+use crate::plan::{MaintPlan, PlanCache};
 use crate::viewdef::ViewDefinition;
 
 /// A computed change to the view extent.
@@ -58,7 +61,7 @@ pub(crate) fn flat(c: &ColRef) -> String {
 }
 
 /// Name of the shipped intermediate table in maintenance queries.
-const D: &str = "__D";
+pub(crate) const D: &str = "__D";
 
 /// Maintains one data update against the view.
 ///
@@ -75,31 +78,35 @@ pub fn sweep_maintain(
     port: &mut dyn SourcePort,
 ) -> (Result<ViewDelta, MaintFailure>, Vec<UpdateMessage>) {
     let mut drained: Vec<UpdateMessage> = Vec::new();
-    let result = sweep_inner(view, msg, pending, port, &mut drained);
+    let result = sweep_inner(view, msg, pending, port, &mut drained, None);
     (result, drained)
 }
 
 /// [`sweep_maintain`] under a `vm.sweep` span: reports the compensation-set
-/// size, and surfaces a broken maintenance query — the in-exec detection of
-/// paper Figure 7's `Query_Engine` — as a `vm.broken_query` warning event.
+/// size, surfaces a broken maintenance query — the in-exec detection of
+/// paper Figure 7's `Query_Engine` — as a `vm.broken_query` warning event,
+/// and plans through the view's [`PlanCache`] (hits/misses/invalidations
+/// land in the `plan.*` counters).
 pub fn sweep_maintain_observed(
     view: &ViewDefinition,
     msg: &UpdateMessage,
     pending: &[UpdateMessage],
     port: &mut dyn SourcePort,
+    plans: &mut PlanCache,
     obs: &Collector,
 ) -> (Result<ViewDelta, MaintFailure>, Vec<UpdateMessage>) {
     let _span = obs.span("vm.sweep", &[field("pending", pending.len())]);
     obs.counter("vm.sweeps").inc();
     obs.counter("vm.compensations").add(pending.len() as u64);
-    let out = sweep_maintain(view, msg, pending, port);
-    if let Err(MaintFailure::Broken { query, .. }) = &out.0 {
+    let mut drained: Vec<UpdateMessage> = Vec::new();
+    let result = sweep_inner(view, msg, pending, port, &mut drained, Some((plans, obs)));
+    if let Err(MaintFailure::Broken { query, .. }) = &result {
         obs.counter("engine.break_detections").inc();
         if obs.tracing_on() {
             obs.event(Level::Warn, "vm.broken_query", &[field("query", query.clone())]);
         }
     }
-    out
+    (result, drained)
 }
 
 fn sweep_inner(
@@ -108,6 +115,7 @@ fn sweep_inner(
     pending: &[UpdateMessage],
     port: &mut dyn SourcePort,
     drained: &mut Vec<UpdateMessage>,
+    plans: Option<(&mut PlanCache, &Collector)>,
 ) -> Result<ViewDelta, MaintFailure> {
     let du = match &msg.update {
         dyno_relational::SourceUpdate::Data(du) => du,
@@ -117,97 +125,58 @@ fn sweep_inner(
             }))
         }
     };
-    let out_cols: Vec<String> = view.output_cols();
     if !view.references_relation(&du.relation) {
         // The update is irrelevant to this view: empty delta, no queries.
-        return Ok(ViewDelta { cols: out_cols, rows: SignedBag::new() });
+        return Ok(ViewDelta { cols: view.output_cols(), rows: SignedBag::new() });
     }
+    let plan: Rc<MaintPlan> = match plans {
+        Some((cache, obs)) => {
+            cache.plan_for(view, &du.relation, obs).map_err(MaintFailure::Internal)?
+        }
+        None => Rc::new(MaintPlan::build(view, &du.relation).map_err(MaintFailure::Internal)?),
+    };
+    execute_plan(&plan, msg, pending, port, drained)
+}
+
+/// Runs a maintenance plan: seed the intermediate from the delta, walk the
+/// `__D ⋈ target` chain with SWEEP compensation, project to the view's
+/// SELECT list.
+fn execute_plan(
+    plan: &MaintPlan,
+    msg: &UpdateMessage,
+    pending: &[UpdateMessage],
+    port: &mut dyn SourcePort,
+    drained: &mut Vec<UpdateMessage>,
+) -> Result<ViewDelta, MaintFailure> {
+    let du = match &msg.update {
+        dyno_relational::SourceUpdate::Data(du) => du,
+        dyno_relational::SourceUpdate::Schema(_) => {
+            return Err(MaintFailure::Internal(RelationalError::InvalidQuery {
+                reason: "execute_plan called with a schema change".into(),
+            }))
+        }
+    };
 
     // Step 0: local projection/selection of the delta itself.
-    let referenced = view.cols_of_relation(&du.relation);
-    let local_q = SpjQuery {
-        tables: vec![du.relation.clone()],
-        projection: referenced.iter().map(|c| ProjItem::aliased(c.clone(), flat(c))).collect(),
-        predicates: view
-            .query
-            .predicates
-            .iter()
-            .filter(|p| matches!(p, Predicate::Compare(c, _, _) if c.relation == du.relation))
-            .cloned()
-            .collect(),
-    };
     let mut lp = LocalProvider::new();
     lp.insert(du.delta.schema().clone(), du.delta.rows().clone());
-    let seed =
-        dyno_relational::eval(&local_q, &lp).map_err(|e| MaintFailure::from_query(&local_q, e))?;
+    let seed = dyno_relational::eval(&plan.local_query, &lp)
+        .map_err(|e| MaintFailure::from_query(&plan.local_query, e))?;
     port.charge_local(du.delta.weight());
-
-    // Intermediate state: flattened column names + which view relations are
-    // already represented.
-    let mut d_cols: Vec<String> = seed.cols.clone();
-    let mut d_colrefs: Vec<ColRef> = referenced.clone();
     let mut d_rows = seed.rows;
-    let mut joined: Vec<String> = vec![du.relation.clone()];
 
-    // Join order: repeatedly pick a not-yet-joined view relation connected
-    // to the current intermediate by an equi-join predicate.
-    let mut remaining: Vec<String> =
-        view.query.tables.iter().filter(|t| **t != du.relation).cloned().collect();
-    while !remaining.is_empty() {
+    for step in &plan.steps {
         if d_rows.is_empty() {
             // Empty intermediate joins to empty: skip the remaining queries.
-            return Ok(ViewDelta { cols: out_cols, rows: SignedBag::new() });
+            return Ok(ViewDelta { cols: plan.out_cols.clone(), rows: SignedBag::new() });
         }
-        let next_pos = remaining
-            .iter()
-            .position(|t| {
-                view.query.predicates.iter().any(|p| match p {
-                    Predicate::JoinEq(a, b) => {
-                        (a.relation == *t && joined.contains(&b.relation))
-                            || (b.relation == *t && joined.contains(&a.relation))
-                    }
-                    _ => false,
-                })
-            })
-            .unwrap_or(0);
-        let target = remaining.remove(next_pos);
-
-        // Build the maintenance query: __D ⋈ target with the view's join
-        // and filter predicates, projecting __D plus target's referenced
-        // columns (flattened).
-        let target_refs = view.cols_of_relation(&target);
-        let mut q = SpjQuery {
-            tables: vec![D.to_string(), target.clone()],
-            projection: d_cols
-                .iter()
-                .map(|c| ProjItem::aliased(ColRef::new(D, c.clone()), c.clone()))
-                .chain(target_refs.iter().map(|c| ProjItem::aliased(c.clone(), flat(c))))
-                .collect(),
-            predicates: Vec::new(),
-        };
-        for p in &view.query.predicates {
-            match p {
-                Predicate::JoinEq(a, b) => {
-                    let (d_side, t_side) = if a.relation == target && joined.contains(&b.relation) {
-                        (b, a)
-                    } else if b.relation == target && joined.contains(&a.relation) {
-                        (a, b)
-                    } else {
-                        continue;
-                    };
-                    q.predicates
-                        .push(Predicate::JoinEq(ColRef::new(D, flat(d_side)), t_side.clone()));
-                }
-                Predicate::Compare(c, op, v) if c.relation == target => {
-                    q.predicates.push(Predicate::Compare(c.clone(), *op, v.clone()));
-                }
-                Predicate::Compare(..) => {}
-            }
-        }
-
-        let bound =
-            vec![BoundTable { name: D.to_string(), cols: d_cols.clone(), rows: d_rows.clone() }];
-        let result = port.execute(&q, &bound).map_err(|e| MaintFailure::from_query(&q, e))?;
+        let q = &step.query;
+        let bound = vec![BoundTable {
+            name: D.to_string(),
+            cols: step.d_cols_in.clone(),
+            rows: d_rows.clone(),
+        }];
+        let result = port.execute(q, &bound).map_err(|e| MaintFailure::from_query(q, e))?;
         drained.extend(port.drain_arrivals());
 
         // SWEEP compensation: subtract the effect of every pending data
@@ -218,15 +187,15 @@ fn sweep_inner(
                 continue;
             }
             if let dyno_relational::SourceUpdate::Data(pdu) = &m.update {
-                if pdu.relation == target {
+                if pdu.relation == step.target {
                     let comp_bound = vec![
                         BoundTable {
                             name: D.to_string(),
-                            cols: d_cols.clone(),
+                            cols: step.d_cols_in.clone(),
                             rows: d_rows.clone(),
                         },
                         BoundTable {
-                            name: target.clone(),
+                            name: step.target.clone(),
                             cols: pdu
                                 .delta
                                 .schema()
@@ -237,35 +206,18 @@ fn sweep_inner(
                             rows: pdu.delta.rows().clone(),
                         },
                     ];
-                    let comp = eval_with_bound(&LocalProvider::new(), &q, &comp_bound)
-                        .map_err(|e| MaintFailure::from_query(&q, e))?;
+                    let comp = eval_with_bound(&LocalProvider::new(), q, &comp_bound)
+                        .map_err(|e| MaintFailure::from_query(q, e))?;
                     port.charge_local(comp.weight() + pdu.delta.weight());
                     rows.merge(&comp.rows.negated());
                 }
             }
         }
-
-        d_cols = q.projection.iter().map(|p| p.output.clone()).collect();
-        d_colrefs.extend(target_refs);
         d_rows = rows;
-        joined.push(target);
     }
 
-    // Final projection to the view's SELECT list.
-    let indices: Vec<usize> = view
-        .query
-        .projection
-        .iter()
-        .map(|item| {
-            d_cols.iter().position(|c| *c == flat(&item.col)).ok_or_else(|| {
-                MaintFailure::Internal(RelationalError::InvalidQuery {
-                    reason: format!("column {} missing from maintenance result", item.col),
-                })
-            })
-        })
-        .collect::<Result<_, _>>()?;
     port.charge_local(d_rows.weight());
-    Ok(ViewDelta { cols: out_cols, rows: d_rows.project(&indices) })
+    Ok(ViewDelta { cols: plan.out_cols.clone(), rows: d_rows.project(&plan.final_indices) })
 }
 
 #[cfg(test)]

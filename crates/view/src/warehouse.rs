@@ -29,6 +29,7 @@ use crate::batch::{adapt_batch_observed, AdaptationMode, Adapted, BatchFailure};
 use crate::engine::{MaintEvent, SourcePort};
 use crate::manager::{ReflectedVersions, ViewError, ViewStats};
 use crate::mview::MaterializedView;
+use crate::plan::PlanCache;
 use crate::viewdef::ViewDefinition;
 use crate::vm::sweep_maintain_observed;
 
@@ -38,6 +39,7 @@ struct ViewSlot {
     view: ViewDefinition,
     mv: MaterializedView,
     stats: ViewStats,
+    plans: PlanCache,
 }
 
 /// A set of materialized views maintained together.
@@ -95,7 +97,12 @@ impl Warehouse {
     /// Registers a view. Call before [`Warehouse::initialize`].
     pub fn add_view(&mut self, view: ViewDefinition) {
         let mv = MaterializedView::new(view.name.clone(), view.output_cols());
-        self.slots.push(ViewSlot { view, mv, stats: ViewStats::default() });
+        self.slots.push(ViewSlot {
+            view,
+            mv,
+            stats: ViewStats::default(),
+            plans: PlanCache::new(),
+        });
     }
 
     /// Populates every view's extent from the sources' current states and
@@ -259,13 +266,14 @@ impl Maintainer<UpdateMessage> for WarehouseCtx<'_> {
             Adapted(Adapted),
         }
         let mut staged: Vec<Staged> = Vec::with_capacity(self.slots.len());
-        for slot in self.slots.iter() {
+        for slot in self.slots.iter_mut() {
             let outcome = if is_plain_du {
                 let (result, drained) = sweep_maintain_observed(
                     &slot.view,
                     &batch[0].payload,
                     &pending,
                     self.port,
+                    &mut slot.plans,
                     self.obs,
                 );
                 self.drained.extend(drained);
@@ -308,6 +316,7 @@ impl Maintainer<UpdateMessage> for WarehouseCtx<'_> {
                     slot.mv.replace(cols, extent).map(|()| {
                         self.port.charge_mv_write(written);
                         slot.view = view;
+                        slot.plans.invalidate(schema_changes as u64, self.obs);
                         slot.stats.batches_committed += 1;
                         slot.stats.batched_updates += batch.len() as u64;
                     })
@@ -317,6 +326,7 @@ impl Maintainer<UpdateMessage> for WarehouseCtx<'_> {
                     slot.mv.apply_delta(&delta.cols, &delta.rows).map(|()| {
                         self.port.charge_mv_write(written);
                         slot.view = view;
+                        slot.plans.invalidate(schema_changes as u64, self.obs);
                         slot.stats.batches_committed += 1;
                         slot.stats.incremental_batches += 1;
                         slot.stats.batched_updates += batch.len() as u64;

@@ -1,0 +1,44 @@
+#!/usr/bin/env bash
+# Regenerates the checked-in performance baseline `BENCH_pr2.json`:
+#
+#  - the maintenance micro-benchmarks, including the per-DU index size
+#    sweep (`sweep_du_indexed/N` vs `sweep_du_scan/N` — flat vs linear),
+#    exported as JSON lines via DYNO_BENCH_JSON;
+#  - the fig08 and fig10 simulated-seconds series (`--json`), which must
+#    be byte-identical with the plan cache on or off — the executor's
+#    access path never feeds the simulated cost model.
+#
+# Knobs (env): DYNO_BENCH_MS per-bench budget, DYNO_SWEEP_TUPLES sweep
+# sizes, DYNO_TUPLES testbed scale for the figure runs.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out="$(mktemp -d)"
+trap 'rm -rf "$out"' EXIT
+
+: "${DYNO_BENCH_MS:=200}"
+: "${DYNO_SWEEP_TUPLES:=100000,200000,400000}"
+: "${DYNO_TUPLES:=2000}"
+
+echo "== maintenance micro-benchmarks (sweep sizes: $DYNO_SWEEP_TUPLES) =="
+DYNO_BENCH_MS="$DYNO_BENCH_MS" DYNO_SWEEP_TUPLES="$DYNO_SWEEP_TUPLES" \
+DYNO_BENCH_JSON="$out/bench.jsonl" \
+    cargo bench -q --offline -p dyno-bench --bench maintenance
+
+echo "== fig08 / fig10 simulated-seconds series (DYNO_TUPLES=$DYNO_TUPLES) =="
+DYNO_TUPLES="$DYNO_TUPLES" cargo run -q --release --offline -p dyno-bench \
+    --bin fig08 -- --json "$out/fig08.json" >/dev/null
+DYNO_TUPLES="$DYNO_TUPLES" cargo run -q --release --offline -p dyno-bench \
+    --bin fig10 -- --json "$out/fig10.json" >/dev/null
+
+{
+    printf '{"baseline":"pr2",\n"bench":[\n'
+    sed '$!s/$/,/' "$out/bench.jsonl"
+    printf '],\n"fig08":'
+    cat "$out/fig08.json"
+    printf ',"fig10":'
+    cat "$out/fig10.json"
+    printf '}\n'
+} > BENCH_pr2.json
+
+echo "wrote BENCH_pr2.json"

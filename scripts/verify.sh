@@ -20,6 +20,10 @@ cargo test -q --workspace --offline
 echo "== cargo test --features proptest (randomized suites) =="
 cargo test -q --workspace --offline --features proptest
 
+echo "== bench harness smoke test (bounded budget) =="
+DYNO_BENCH_MS=50 DYNO_SWEEP_TUPLES=400,800 \
+    cargo bench -q --offline -p dyno-bench >/dev/null
+
 echo "== fig10 --json/--trace smoke test =="
 out="$(mktemp -d)"
 trap 'rm -rf "$out"' EXIT
@@ -28,5 +32,14 @@ DYNO_TUPLES=300 cargo run -q --release --offline -p dyno-bench --bin fig10 -- \
 test -s "$out/fig10.json"
 test -s "$out/fig10.jsonl"
 test -s "$out/fig10.jsonl.metrics.json"
+
+echo "== plan cache invalidates on every committed schema change =="
+# The traced fig10 run commits a train of 10 SCs; each must have cleared
+# the maintenance-plan cache.
+invalidations="$(grep -o '"plan.cache_invalidations":[0-9]*' \
+    "$out/fig10.jsonl.metrics.json" | grep -o '[0-9]*$')"
+test -n "$invalidations"
+test "$invalidations" -ge 10
+echo "plan.cache_invalidations = $invalidations (>= 10)"
 
 echo "verify: all green"
