@@ -52,6 +52,20 @@ pub fn write_json_table(
     header: &[&str],
     rows: &[Vec<String>],
 ) -> std::io::Result<()> {
+    write_json_table_with_status(path, figure, header, rows, None)
+}
+
+/// Like [`write_json_table`], with a trailing `"last_error"` field: `null`
+/// for a clean run, or the warehouse's sticky
+/// [`dyno_view::Warehouse::last_error`] message — so scripts consuming a
+/// figure can tell a truncated series from a complete one.
+pub fn write_json_table_with_status(
+    path: &str,
+    figure: &str,
+    header: &[&str],
+    rows: &[Vec<String>],
+    last_error: Option<&str>,
+) -> std::io::Result<()> {
     let mut out = String::new();
     out.push_str("{\"figure\":");
     dyno_obs::json::push_str(&mut out, figure);
@@ -81,7 +95,15 @@ pub fn write_json_table(
         }
         out.push(']');
     }
-    out.push_str("]}\n");
+    out.push(']');
+    match last_error {
+        Some(e) => {
+            out.push_str(",\"last_error\":");
+            dyno_obs::json::push_str(&mut out, e);
+        }
+        None => out.push_str(",\"last_error\":null"),
+    }
+    out.push_str("}\n");
     std::fs::write(path, out)
 }
 
@@ -183,7 +205,30 @@ mod tests {
         assert_eq!(
             got,
             "{\"figure\":\"fig-test\",\"header\":[\"n\",\"cost (s)\"],\
-             \"rows\":[[100,1.5],[200,\"+0.25%\"]]}\n"
+             \"rows\":[[100,1.5],[200,\"+0.25%\"]],\"last_error\":null}\n"
+        );
+    }
+
+    #[test]
+    fn json_table_surfaces_last_error() {
+        let dir = std::env::temp_dir().join("dyno_bench_json_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("err.json");
+        write_json_table_with_status(
+            path.to_str().unwrap(),
+            "chaos",
+            &["seed", "converged"],
+            &[vec!["1".into(), "false".into()]],
+            Some("source \"2\" unavailable: retry budget exhausted"),
+        )
+        .unwrap();
+        let got = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(
+            got,
+            "{\"figure\":\"chaos\",\"header\":[\"seed\",\"converged\"],\
+             \"rows\":[[1,\"false\"]],\
+             \"last_error\":\"source \\\"2\\\" unavailable: retry budget exhausted\"}\n",
+            "the error lands in a dedicated field, JSON-escaped"
         );
     }
 }

@@ -82,7 +82,7 @@ impl Repl {
             "run" => self.cmd_run(),
             "sql" => self.cmd_sql(rest),
             "show" => Ok(self.render_state()),
-            "stats" => Ok(self.warehouse.obs().metrics_text().trim_end().to_string()),
+            "stats" => Ok(self.cmd_stats()),
             "trace" => self.cmd_trace(rest),
             other => Err(format!("unknown command `{other}` — try `help`")),
         }
@@ -295,6 +295,17 @@ impl Repl {
         Ok(out)
     }
 
+    fn cmd_stats(&self) -> String {
+        let mut out = self.warehouse.obs().metrics_text().trim_end().to_string();
+        match self.warehouse.last_error() {
+            Some(e) => {
+                let _ = write!(out, "\nlast_error: {e}");
+            }
+            None => out.push_str("\nlast_error: none"),
+        }
+        out
+    }
+
     fn cmd_trace(&mut self, rest: &str) -> Result<String, String> {
         let obs = self.warehouse.obs();
         let (sub, arg) = rest.split_once(char::is_whitespace).unwrap_or((rest, ""));
@@ -464,6 +475,7 @@ mod tests {
         let stats = ok(&mut r, "stats");
         assert!(stats.contains("view.commits"), "{stats}");
         assert!(stats.contains("dyno.steps"), "{stats}");
+        assert!(stats.contains("last_error: none"), "healthy session: {stats}");
     }
 
     /// `trace on` captures spans; `trace dump` writes them as JSONL;

@@ -56,6 +56,10 @@ pub enum MaintainOutcome {
     /// internal invariant violation). The scheduler stops touching the queue
     /// and surfaces the failure to the caller.
     Failed,
+    /// A source the entry needs is unavailable (crashed / retry budget
+    /// exhausted). The entry stays at the head of the queue — parked, not
+    /// aborted — and maintenance resumes once the source recovers.
+    Parked,
 }
 
 /// The maintenance machinery Dyno drives: the composite of VM, VS, VA and
@@ -94,6 +98,8 @@ pub struct DynoStats {
     /// Head checks that skipped detection via the O(1) schema-change-flag
     /// fast path.
     pub fast_path_hits: u64,
+    /// Maintenance attempts parked on an unavailable source.
+    pub parked: u64,
 }
 
 /// What one [`Dyno::step`] did.
@@ -109,6 +115,9 @@ pub enum StepOutcome {
     /// Maintenance reported an internal failure; the queue is untouched and
     /// the caller must inspect the maintainer's error state.
     Failed,
+    /// The head entry needs a source that is currently down; it stays queued
+    /// untouched and the caller should advance time before stepping again.
+    Parked,
 }
 
 /// Registry handles the scheduler updates on its hot path. Bound once at
@@ -124,6 +133,7 @@ struct DynoMetrics {
     reorders: Counter,
     merges: Counter,
     fast_path_hits: Counter,
+    parked: Counter,
     umq_depth: Gauge,
     umq_updates: Gauge,
 }
@@ -138,6 +148,7 @@ impl DynoMetrics {
             reorders: obs.counter("dyno.reorders"),
             merges: obs.counter("dyno.merges"),
             fast_path_hits: obs.counter("dyno.fast_path_hits"),
+            parked: obs.counter("dyno.parked"),
             umq_depth: obs.gauge("umq.depth"),
             umq_updates: obs.gauge("umq.updates"),
         }
@@ -177,6 +188,13 @@ impl Dyno {
     pub fn with_policy(mut self, policy: CorrectionPolicy) -> Self {
         self.policy = policy;
         self
+    }
+
+    /// Changes the correction policy in place, preserving accumulated stats
+    /// and the bound collector (unlike rebuilding via [`Dyno::new`] +
+    /// [`Dyno::with_policy`], which would silently reset both).
+    pub fn set_policy(&mut self, policy: CorrectionPolicy) {
+        self.policy = policy;
     }
 
     /// Attaches an observability collector; scheduler phases become spans
@@ -283,6 +301,14 @@ impl Dyno {
                 StepOutcome::Aborted
             }
             MaintainOutcome::Failed => StepOutcome::Failed,
+            MaintainOutcome::Parked => {
+                self.stats.parked += 1;
+                self.metrics.parked.inc();
+                self.obs.event(Level::Warn, "dyno.parked", &[]);
+                // No correction, no removal: the schedule is still legal; the
+                // entry simply cannot run until its source comes back.
+                StepOutcome::Parked
+            }
         }
     }
 
@@ -495,6 +521,74 @@ mod tests {
         assert!(dyno.obs().trace_records().is_empty());
         assert_eq!(dyno.obs().registry().counter_value("dyno.steps"), None);
         assert_eq!(dyno.stats().committed, 2, "scheduling itself is unaffected");
+    }
+
+    /// Parks the first `park_for` attempts, then delegates to [`Scripted`].
+    struct Flaky {
+        park_for: u32,
+        inner: Scripted,
+    }
+
+    impl Maintainer<()> for Flaky {
+        fn maintain(
+            &mut self,
+            batch: &[UpdateMeta<()>],
+            rest: &[&[UpdateMeta<()>]],
+        ) -> MaintainOutcome {
+            if self.park_for > 0 {
+                self.park_for -= 1;
+                return MaintainOutcome::Parked;
+            }
+            self.inner.maintain(batch, rest)
+        }
+
+        fn refresh_view_relevance(&mut self, queue: &mut Umq<()>) {
+            self.inner.refresh_view_relevance(queue);
+        }
+    }
+
+    #[test]
+    fn parked_head_stays_queued_and_resumes() {
+        let mut q = Umq::new();
+        q.enqueue(du(0, 0));
+        q.enqueue(du(1, 1));
+        let mut m = Flaky {
+            park_for: 2,
+            inner: Scripted { breaks_while_queued: vec![], maintained: vec![] },
+        };
+        let mut dyno = Dyno::new(Strategy::Pessimistic);
+        assert_eq!(dyno.step(&mut q, &mut m), StepOutcome::Parked);
+        assert_eq!(dyno.step(&mut q, &mut m), StepOutcome::Parked);
+        assert_eq!(q.len(), 2, "parked entries are not consumed");
+        while !q.is_empty() {
+            dyno.step(&mut q, &mut m);
+        }
+        assert_eq!(m.inner.maintained, vec![vec![0], vec![1]], "order preserved across parks");
+        assert_eq!(dyno.stats().parked, 2);
+        assert_eq!(dyno.stats().broken_queries, 0, "a park is not an abort");
+    }
+
+    #[test]
+    fn set_policy_preserves_stats_and_obs() {
+        let obs = dyno_obs::Collector::wall();
+        let mut q = Umq::new();
+        q.enqueue(du(0, 0));
+        let mut m = Scripted { breaks_while_queued: vec![], maintained: vec![] };
+        let mut dyno = Dyno::new(Strategy::Pessimistic).with_obs(obs.clone());
+        while !q.is_empty() {
+            dyno.step(&mut q, &mut m);
+        }
+        let before = dyno.stats();
+        dyno.set_policy(CorrectionPolicy::MergeAll);
+        assert_eq!(dyno.policy(), CorrectionPolicy::MergeAll);
+        assert_eq!(dyno.stats(), before, "stats survive a policy change");
+        assert!(dyno.obs().is_enabled(), "collector binding survives too");
+        // The bound metric handles still feed the same registry.
+        q.enqueue(du(1, 1));
+        while !q.is_empty() {
+            dyno.step(&mut q, &mut m);
+        }
+        assert_eq!(obs.registry().counter_value("dyno.committed"), Some(dyno.stats().committed));
     }
 
     #[test]

@@ -1,0 +1,38 @@
+//! # dyno-fault — deterministic fault injection & recovery
+//!
+//! The warehouse in the paper's architecture talks to its sources over a
+//! network: update messages flow wrapper → UMQ, and maintenance queries flow
+//! engine → source. The seed repo wired both paths as direct in-process
+//! calls, which silently assumes a perfect network. This crate makes the
+//! channel explicit — a [`Transport`] sits on the delivery path and a fault
+//! oracle on the query path — so the recovery machinery in the view manager
+//! can be exercised under *seeded, reproducible* chaos:
+//!
+//! * [`Direct`] is the default transport: a zero-overhead passthrough with
+//!   today's behavior, bit-identical to the pre-fault code path.
+//! * [`ChaosTransport`] draws from a SplitMix64 PRNG ([`rng::Rng`]) keyed by
+//!   an explicit seed and injects message **drop** (withheld until NACKed),
+//!   **duplication**, **reordering**, and **bounded delay** on delivery,
+//!   plus **timeouts**, **transient errors**, and **crash/restart windows**
+//!   on maintenance queries.
+//! * [`Recovery`] is the receiver-side sequencer: exactly-once, in-order
+//!   per-source delivery via `(source, version)` dedupe, a reorder buffer,
+//!   and a NACK/refetch hook for gaps.
+//! * [`RetryPolicy`] bounds query retries with exponential backoff,
+//!   deterministic jitter, and a simulated-time budget.
+//!
+//! Everything is driven by simulated time (`dyno-obs`'s virtual clock) and a
+//! seeded PRNG — a chaos run is a pure function of `(scenario, profile,
+//! seed)`, which is what lets the chaos suite assert convergence instead of
+//! merely hoping for it.
+
+pub mod profile;
+pub mod recovery;
+pub mod retry;
+pub mod rng;
+pub mod transport;
+
+pub use profile::FaultProfile;
+pub use recovery::Recovery;
+pub use retry::RetryPolicy;
+pub use transport::{ChaosTransport, Direct, QueryFault, Transport};

@@ -1,0 +1,114 @@
+//! Fault profiles: which failure modes a [`ChaosTransport`] injects and how
+//! hard, expressed as per-mille probabilities so the seeded PRNG draws are
+//! exact integer arithmetic.
+//!
+//! [`ChaosTransport`]: crate::transport::ChaosTransport
+
+/// Injection rates and magnitudes for one chaos run. All probabilities are
+/// per-mille (`0..=1000`); durations are simulated microseconds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultProfile {
+    /// Short name, used in counters/labels and test output.
+    pub name: &'static str,
+    /// Per-message probability of being *dropped*: withheld from delivery
+    /// until the receiver NACKs the gap (nothing is ever lost forever —
+    /// wrappers keep their send log, so a refetch always succeeds).
+    pub drop_pm: u64,
+    /// Per-message probability of duplicated delivery.
+    pub dup_pm: u64,
+    /// Per-batch probability of shuffling the delivery order.
+    pub reorder_pm: u64,
+    /// Per-message probability of delayed delivery.
+    pub delay_pm: u64,
+    /// Upper bound for a delivery delay (µs, exclusive; 0 disables delay).
+    pub max_delay_us: u64,
+    /// Per-query probability that the answer is lost (the query runs and
+    /// costs time at the source, but the manager must retry).
+    pub timeout_pm: u64,
+    /// Per-query probability of a transient error before the query runs.
+    pub transient_pm: u64,
+    /// Per-query probability that the contacted source crashes.
+    pub crash_pm: u64,
+    /// How long a crashed source stays down (µs).
+    pub crash_down_us: u64,
+}
+
+impl FaultProfile {
+    /// No faults at all (a chaos run with this profile must behave exactly
+    /// like the direct transport).
+    pub fn quiet() -> Self {
+        FaultProfile {
+            name: "quiet",
+            drop_pm: 0,
+            dup_pm: 0,
+            reorder_pm: 0,
+            delay_pm: 0,
+            max_delay_us: 0,
+            timeout_pm: 0,
+            transient_pm: 0,
+            crash_pm: 0,
+            crash_down_us: 0,
+        }
+    }
+
+    /// Messages vanish until NACKed and arrive twice: exercises the
+    /// refetch hook and the `UpdateId` dedupe.
+    pub fn drop_dup() -> Self {
+        FaultProfile { name: "drop_dup", drop_pm: 200, dup_pm: 250, ..FaultProfile::quiet() }
+    }
+
+    /// Messages arrive late and out of order: exercises the per-source
+    /// reorder buffer and the consistency-critical flush after queries.
+    pub fn reorder_delay() -> Self {
+        FaultProfile {
+            name: "reorder_delay",
+            reorder_pm: 400,
+            delay_pm: 300,
+            max_delay_us: 3_000_000,
+            ..FaultProfile::quiet()
+        }
+    }
+
+    /// Sources time out, error transiently, and crash outright: exercises
+    /// the retry policy, the backoff budget, and queue parking/resume.
+    pub fn crash_restart() -> Self {
+        FaultProfile {
+            name: "crash_restart",
+            timeout_pm: 120,
+            transient_pm: 120,
+            crash_pm: 60,
+            crash_down_us: 2_000_000,
+            ..FaultProfile::quiet()
+        }
+    }
+
+    /// The acceptance grid: every preset that injects faults.
+    pub fn all() -> [FaultProfile; 3] {
+        [FaultProfile::drop_dup(), FaultProfile::reorder_delay(), FaultProfile::crash_restart()]
+    }
+
+    /// True iff the profile injects any delivery-path fault.
+    pub fn faults_delivery(&self) -> bool {
+        self.drop_pm + self.dup_pm + self.reorder_pm + self.delay_pm > 0
+    }
+
+    /// True iff the profile injects any query-path fault.
+    pub fn faults_queries(&self) -> bool {
+        self.timeout_pm + self.transient_pm + self.crash_pm > 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_cover_both_paths() {
+        assert!(FaultProfile::drop_dup().faults_delivery());
+        assert!(!FaultProfile::drop_dup().faults_queries());
+        assert!(FaultProfile::reorder_delay().faults_delivery());
+        assert!(FaultProfile::crash_restart().faults_queries());
+        assert!(!FaultProfile::quiet().faults_delivery());
+        assert!(!FaultProfile::quiet().faults_queries());
+    }
+}

@@ -1,0 +1,325 @@
+//! Delivery recovery: the receiver-side sequencer that turns the chaos
+//! transport's lossy, duplicated, out-of-order stream back into exactly-once
+//! in-order per-source delivery.
+//!
+//! The UMQ's dependency analysis chains a source's updates by *queue
+//! position*, so within-source version order on enqueue is a correctness
+//! requirement, not a nicety; cross-source interleaving stays free. The
+//! sequencer dedupes by (source, version) — equivalent to `UpdateId` dedupe,
+//! since versions are dense per source — buffers out-of-order arrivals, and
+//! NACKs the transport on gaps so dropped messages are refetched from the
+//! wrapper's send log.
+
+use std::collections::{BTreeMap, HashMap};
+
+use dyno_obs::{Collector, Counter};
+use dyno_source::{SourceId, UpdateMessage};
+
+use crate::transport::Transport;
+
+/// Recovery-side registry handles.
+#[derive(Debug, Clone, Default)]
+struct RecoveryCounters {
+    duplicates_dropped: Counter,
+    out_of_order: Counter,
+    gap_refetches: Counter,
+}
+
+impl RecoveryCounters {
+    fn bind(obs: &Collector) -> Self {
+        RecoveryCounters {
+            duplicates_dropped: obs.counter("fault.duplicates_dropped"),
+            out_of_order: obs.counter("fault.out_of_order"),
+            gap_refetches: obs.counter("fault.gap_refetches"),
+        }
+    }
+}
+
+/// Per-source resequencing state between a [`Transport`] and the consumer.
+#[derive(Debug, Clone)]
+pub struct Recovery {
+    /// Highest version released to the consumer, per source.
+    delivered: HashMap<SourceId, u64>,
+    /// Out-of-order arrivals waiting for their predecessors, keyed by
+    /// source then version (BTreeMaps so release order is deterministic).
+    buffer: BTreeMap<SourceId, BTreeMap<u64, UpdateMessage>>,
+    /// False = broken-recovery ablation: everything passes through verbatim
+    /// (duplicates, gaps and all), which demonstrably violates convergence.
+    enabled: bool,
+    counters: RecoveryCounters,
+}
+
+impl Recovery {
+    /// A sequencer whose baseline is the per-source versions already known
+    /// to the consumer (messages at or below the baseline are duplicates).
+    pub fn new(baseline: HashMap<SourceId, u64>) -> Self {
+        Recovery {
+            delivered: baseline,
+            buffer: BTreeMap::new(),
+            enabled: true,
+            counters: RecoveryCounters::default(),
+        }
+    }
+
+    /// Binds the `fault.duplicates_dropped` / `fault.out_of_order` /
+    /// `fault.gap_refetches` counters into a collector's registry.
+    pub fn with_obs(mut self, obs: &Collector) -> Self {
+        self.counters = RecoveryCounters::bind(obs);
+        self
+    }
+
+    /// Disables dedupe/resequencing (the deliberately broken recovery path
+    /// used to prove the chaos suite can fail).
+    pub fn with_recovery(mut self, enabled: bool) -> Self {
+        self.enabled = enabled;
+        self
+    }
+
+    /// Highest version released for `source`.
+    pub fn delivered(&self, source: SourceId) -> u64 {
+        self.delivered.get(&source).copied().unwrap_or(0)
+    }
+
+    /// Messages currently parked in reorder buffers.
+    pub fn buffered(&self) -> usize {
+        self.buffer.values().map(BTreeMap::len).sum()
+    }
+
+    /// Feeds transport deliveries through the sequencer; released in-order
+    /// messages are appended to `out`. Gaps trigger a NACK/refetch against
+    /// the transport.
+    pub fn admit(
+        &mut self,
+        msgs: Vec<UpdateMessage>,
+        transport: &mut dyn Transport,
+        out: &mut Vec<UpdateMessage>,
+    ) {
+        if !self.enabled {
+            out.extend(msgs);
+            return;
+        }
+        for m in msgs {
+            self.insert(m);
+        }
+        self.release(transport, out);
+    }
+
+    /// Forces delivery of everything `source` has committed up to `version`
+    /// (the consistency-critical flush: a maintenance query has just *seen*
+    /// that state, so compensation needs the messages now, not later).
+    pub fn sync_to(
+        &mut self,
+        source: SourceId,
+        version: u64,
+        transport: &mut dyn Transport,
+        out: &mut Vec<UpdateMessage>,
+    ) {
+        if !self.enabled {
+            return;
+        }
+        let d = self.delivered(source);
+        if d >= version {
+            return;
+        }
+        self.counters.gap_refetches.inc();
+        let refetched = transport.nack(source, d);
+        for m in refetched {
+            self.insert(m);
+        }
+        self.release(transport, out);
+    }
+
+    /// Final-drain flush: refetches every held message for every known
+    /// source (quiescence must not strand messages inside the transport).
+    pub fn flush_all(&mut self, transport: &mut dyn Transport, out: &mut Vec<UpdateMessage>) {
+        if !self.enabled {
+            out.extend(transport.poll(u64::MAX));
+            return;
+        }
+        let mut sources: Vec<SourceId> = self.delivered.keys().copied().collect();
+        sources.sort_unstable();
+        for s in sources {
+            let refetched = transport.nack(s, self.delivered(s));
+            for m in refetched {
+                self.insert(m);
+            }
+        }
+        self.release(transport, out);
+    }
+
+    fn insert(&mut self, m: UpdateMessage) {
+        let d = self.delivered.entry(m.source).or_insert(0);
+        if m.source_version <= *d {
+            self.counters.duplicates_dropped.inc();
+            return;
+        }
+        if m.source_version > *d + 1 {
+            self.counters.out_of_order.inc();
+        }
+        let buf = self.buffer.entry(m.source).or_default();
+        if buf.insert(m.source_version, m).is_some() {
+            self.counters.duplicates_dropped.inc();
+        }
+    }
+
+    /// Releases every contiguous prefix; NACKs once per gapped source and
+    /// retries until the transport has nothing more to give.
+    fn release(&mut self, transport: &mut dyn Transport, out: &mut Vec<UpdateMessage>) {
+        loop {
+            self.pop_ready(out);
+            let gaps: Vec<(SourceId, u64)> = self
+                .buffer
+                .iter()
+                .filter(|(_, buf)| !buf.is_empty())
+                .map(|(&s, _)| (s, self.delivered(s)))
+                .collect();
+            if gaps.is_empty() {
+                return;
+            }
+            let mut refetched = Vec::new();
+            for (s, d) in gaps {
+                self.counters.gap_refetches.inc();
+                refetched.extend(transport.nack(s, d));
+            }
+            if refetched.is_empty() {
+                // The missing messages have not reached the transport yet
+                // (e.g. still buffered at the wrapper); they stay parked in
+                // the reorder buffer until a later admit.
+                return;
+            }
+            for m in refetched {
+                self.insert(m);
+            }
+        }
+    }
+
+    fn pop_ready(&mut self, out: &mut Vec<UpdateMessage>) {
+        for (s, buf) in self.buffer.iter_mut() {
+            let d = self.delivered.entry(*s).or_insert(0);
+            while let Some(entry) = buf.first_entry() {
+                if *entry.key() == *d + 1 {
+                    out.push(entry.remove());
+                    *d += 1;
+                } else {
+                    break;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::FaultProfile;
+    use crate::transport::{ChaosTransport, Direct};
+    use dyno_relational::{AttrType, DataUpdate, Delta, Schema, SourceUpdate, Tuple};
+    use dyno_source::UpdateId;
+
+    fn msg(id: u64, source: u32, version: u64) -> UpdateMessage {
+        let schema = Schema::of("R", &[("a", AttrType::Int)]);
+        UpdateMessage {
+            id: UpdateId(id),
+            source: SourceId(source),
+            source_version: version,
+            update: SourceUpdate::Data(DataUpdate::new(
+                Delta::inserts(schema, [Tuple::of([id as i64])]).unwrap(),
+            )),
+        }
+    }
+
+    fn versions(out: &[UpdateMessage]) -> Vec<(u32, u64)> {
+        out.iter().map(|m| (m.source.0, m.source_version)).collect()
+    }
+
+    #[test]
+    fn in_order_stream_passes_through() {
+        let mut r = Recovery::new(HashMap::new());
+        let mut t = Direct;
+        let mut out = Vec::new();
+        r.admit(vec![msg(1, 0, 1), msg(2, 0, 2), msg(3, 1, 1)], &mut t, &mut out);
+        assert_eq!(versions(&out), vec![(0, 1), (0, 2), (1, 1)]);
+        assert_eq!(r.buffered(), 0);
+    }
+
+    #[test]
+    fn duplicates_are_dropped() {
+        let mut r = Recovery::new(HashMap::new());
+        let mut t = Direct;
+        let mut out = Vec::new();
+        r.admit(vec![msg(1, 0, 1), msg(1, 0, 1), msg(2, 0, 2)], &mut t, &mut out);
+        r.admit(vec![msg(2, 0, 2)], &mut t, &mut out);
+        assert_eq!(versions(&out), vec![(0, 1), (0, 2)], "each version released once");
+    }
+
+    #[test]
+    fn out_of_order_is_buffered_then_released_in_order() {
+        let mut r = Recovery::new(HashMap::new());
+        let mut t = Direct;
+        let mut out = Vec::new();
+        r.admit(vec![msg(3, 0, 3), msg(2, 0, 2)], &mut t, &mut out);
+        assert!(out.is_empty(), "v1 missing: nothing released");
+        assert_eq!(r.buffered(), 2);
+        r.admit(vec![msg(1, 0, 1)], &mut t, &mut out);
+        assert_eq!(versions(&out), vec![(0, 1), (0, 2), (0, 3)]);
+        assert_eq!(r.buffered(), 0);
+    }
+
+    #[test]
+    fn gap_is_refetched_from_the_transport() {
+        let mut t = ChaosTransport::new(FaultProfile { drop_pm: 1000, ..FaultProfile::quiet() }, 1);
+        // v1 and v2 are dropped into the transport's hold…
+        assert!(t.send(vec![msg(1, 0, 1), msg(2, 0, 2)], 0).is_empty());
+        let mut r = Recovery::new(HashMap::new());
+        let mut out = Vec::new();
+        // …v3 arrives directly; the gap NACK pulls v1 and v2 back.
+        r.admit(vec![msg(3, 0, 3)], &mut t, &mut out);
+        assert_eq!(versions(&out), vec![(0, 1), (0, 2), (0, 3)]);
+    }
+
+    #[test]
+    fn sync_to_force_delivers_known_state() {
+        let mut t = ChaosTransport::new(FaultProfile { drop_pm: 1000, ..FaultProfile::quiet() }, 1);
+        assert!(t.send(vec![msg(1, 0, 1), msg(2, 0, 2)], 0).is_empty());
+        let mut r = Recovery::new(HashMap::new());
+        let mut out = Vec::new();
+        // A query just saw source 0 at version 2: everything through v2 must
+        // be delivered now for compensation to be complete.
+        r.sync_to(SourceId(0), 2, &mut t, &mut out);
+        assert_eq!(versions(&out), vec![(0, 1), (0, 2)]);
+        assert_eq!(r.delivered(SourceId(0)), 2);
+    }
+
+    #[test]
+    fn baseline_filters_pre_initialization_messages() {
+        let mut r = Recovery::new(HashMap::from([(SourceId(0), 2)]));
+        let mut t = Direct;
+        let mut out = Vec::new();
+        r.admit(vec![msg(1, 0, 1), msg(2, 0, 2), msg(3, 0, 3)], &mut t, &mut out);
+        assert_eq!(versions(&out), vec![(0, 3)], "baseline versions are duplicates");
+    }
+
+    #[test]
+    fn disabled_recovery_passes_everything_verbatim() {
+        let mut r = Recovery::new(HashMap::new()).with_recovery(false);
+        let mut t = Direct;
+        let mut out = Vec::new();
+        r.admit(vec![msg(2, 0, 2), msg(1, 0, 1), msg(1, 0, 1)], &mut t, &mut out);
+        assert_eq!(versions(&out), vec![(0, 2), (0, 1), (0, 1)], "dups and disorder leak");
+    }
+
+    #[test]
+    fn flush_all_drains_the_transport() {
+        let profile = FaultProfile { delay_pm: 500, drop_pm: 500, ..FaultProfile::quiet() };
+        let mut t = ChaosTransport::new(FaultProfile { max_delay_us: 1_000_000, ..profile }, 4);
+        let sent: Vec<UpdateMessage> = (1..=20).map(|v| msg(v, 0, v)).collect();
+        let mut r = Recovery::new(HashMap::from([(SourceId(0), 0)]));
+        let mut out = Vec::new();
+        let delivered = t.send(sent, 0);
+        r.admit(delivered, &mut t, &mut out);
+        r.flush_all(&mut t, &mut out);
+        assert_eq!(out.len(), 20, "every message exactly once");
+        assert!(versions(&out).windows(2).all(|w| w[0].1 + 1 == w[1].1));
+        assert_eq!(t.held_len(), 0);
+    }
+}

@@ -1,0 +1,77 @@
+//! Retry policy for maintenance queries: exponential backoff with
+//! deterministic jitter and a per-query simulated-time budget.
+
+use crate::rng::Rng;
+
+/// How a faulted port retries maintenance queries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Attempts per query before giving up (1 = no retries).
+    pub max_attempts: u32,
+    /// First backoff (µs); doubles each retry.
+    pub base_backoff_us: u64,
+    /// Backoff ceiling (µs).
+    pub max_backoff_us: u64,
+    /// Total simulated time (µs) one query may spend waiting — retries and
+    /// crash-recovery waits included — before the entry is parked.
+    pub budget_us: u64,
+    /// Jitter as per-mille of the backoff (`0..=1000`), drawn from the
+    /// seeded PRNG so retries are reproducible.
+    pub jitter_pm: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 6,
+            base_backoff_us: 50_000,
+            max_backoff_us: 1_600_000,
+            budget_us: 8_000_000,
+            jitter_pm: 250,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The backoff before retry number `attempt` (1-based): exponential in
+    /// `attempt`, capped, plus up to `jitter_pm`‰ of deterministic jitter.
+    pub fn backoff_us(&self, attempt: u32, rng: &mut Rng) -> u64 {
+        let exp = self.base_backoff_us.saturating_mul(1u64 << (attempt - 1).min(20));
+        let capped = exp.min(self.max_backoff_us);
+        let jitter_span = capped * self.jitter_pm / 1000;
+        if jitter_span == 0 {
+            capped
+        } else {
+            capped + rng.gen_range(0..jitter_span)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_grows_and_caps() {
+        let policy = RetryPolicy { jitter_pm: 0, ..RetryPolicy::default() };
+        let mut rng = Rng::new(1);
+        let b1 = policy.backoff_us(1, &mut rng);
+        let b2 = policy.backoff_us(2, &mut rng);
+        let b6 = policy.backoff_us(6, &mut rng);
+        assert_eq!(b1, policy.base_backoff_us);
+        assert_eq!(b2, 2 * b1);
+        assert_eq!(b6, policy.max_backoff_us, "capped at the ceiling");
+    }
+
+    #[test]
+    fn jitter_is_bounded_and_deterministic() {
+        let policy = RetryPolicy::default();
+        let base = RetryPolicy { jitter_pm: 0, ..policy }.backoff_us(3, &mut Rng::new(1));
+        for seed in 0..20 {
+            let a = policy.backoff_us(3, &mut Rng::new(seed));
+            let b = policy.backoff_us(3, &mut Rng::new(seed));
+            assert_eq!(a, b, "same seed, same jitter");
+            assert!(a >= base && a < base + base * policy.jitter_pm / 1000 + 1);
+        }
+    }
+}

@@ -1,0 +1,368 @@
+//! The message/query transport between sources and the view manager.
+//!
+//! [`Transport`] sits on both legs of the paper's Figure 3 architecture:
+//! wrapper messages pass through [`Transport::send`]/[`Transport::poll`] on
+//! their way to the UMQ, and every maintenance query asks
+//! [`Transport::query_fault`] before contacting a source. [`Direct`] is
+//! today's perfectly reliable in-process path (zero overhead);
+//! [`ChaosTransport`] injects drop/duplication/reorder/delay on delivery and
+//! timeout/transient-error/crash on the query path, driven entirely by a
+//! seeded SplitMix64 and the simulated clock, so every run replays exactly.
+
+use std::collections::HashMap;
+
+use dyno_obs::{Collector, Counter};
+use dyno_source::{SourceId, UpdateMessage};
+
+use crate::profile::FaultProfile;
+use crate::rng::Rng;
+
+/// A fault injected on the maintenance-query path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueryFault {
+    /// The query ran at the source but the answer was lost; the caller pays
+    /// the round trip and must retry.
+    Timeout,
+    /// The source refused the connection; the caller retries after backoff
+    /// without the query having run.
+    Transient,
+    /// The source crashed and stays down until the given simulated time.
+    SourceDown {
+        /// Earliest µs at which the source answers again.
+        until_us: u64,
+    },
+}
+
+/// The delivery/query fabric between sources and the view manager.
+pub trait Transport {
+    /// Accepts freshly committed wrapper messages; returns the subset
+    /// delivered *now* (possibly duplicated/reordered). The rest is held.
+    fn send(&mut self, msgs: Vec<UpdateMessage>, now_us: u64) -> Vec<UpdateMessage>;
+
+    /// Held messages whose delivery time has come.
+    fn poll(&mut self, now_us: u64) -> Vec<UpdateMessage>;
+
+    /// Retransmission request: every held message of `source` with
+    /// `source_version > after`, in version order. Wrappers log what they
+    /// send, so a NACK can always be satisfied from the transport's store.
+    fn nack(&mut self, source: SourceId, after: u64) -> Vec<UpdateMessage>;
+
+    /// The fault (if any) to inject for a query about to contact `source`.
+    fn query_fault(&mut self, source: SourceId, now_us: u64) -> Option<QueryFault>;
+
+    /// The earliest future µs at which held state changes on its own (a
+    /// delayed delivery falls due or a crashed source restarts).
+    fn next_event_us(&self, now_us: u64) -> Option<u64>;
+
+    /// Total faults injected so far (all kinds).
+    fn injected_total(&self) -> u64;
+}
+
+/// The reliable transport: immediate in-order delivery, no query faults.
+/// This is the default path and must stay indistinguishable from having no
+/// transport at all.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Direct;
+
+impl Transport for Direct {
+    fn send(&mut self, msgs: Vec<UpdateMessage>, _now_us: u64) -> Vec<UpdateMessage> {
+        msgs
+    }
+
+    fn poll(&mut self, _now_us: u64) -> Vec<UpdateMessage> {
+        Vec::new()
+    }
+
+    fn nack(&mut self, _source: SourceId, _after: u64) -> Vec<UpdateMessage> {
+        Vec::new()
+    }
+
+    fn query_fault(&mut self, _source: SourceId, _now_us: u64) -> Option<QueryFault> {
+        None
+    }
+
+    fn next_event_us(&self, _now_us: u64) -> Option<u64> {
+        None
+    }
+
+    fn injected_total(&self) -> u64 {
+        0
+    }
+}
+
+/// `fault.*` registry handles, bound once at construction.
+#[derive(Debug, Clone, Default)]
+struct FaultCounters {
+    injected: Counter,
+    dropped: Counter,
+    duplicated: Counter,
+    reordered: Counter,
+    delayed: Counter,
+    timeouts: Counter,
+    transients: Counter,
+    crashes: Counter,
+    nacks: Counter,
+    redelivered: Counter,
+}
+
+impl FaultCounters {
+    fn bind(obs: &Collector) -> Self {
+        FaultCounters {
+            injected: obs.counter("fault.injected_total"),
+            dropped: obs.counter("fault.dropped"),
+            duplicated: obs.counter("fault.duplicated"),
+            reordered: obs.counter("fault.reordered"),
+            delayed: obs.counter("fault.delayed"),
+            timeouts: obs.counter("fault.query_timeouts"),
+            transients: obs.counter("fault.query_transients"),
+            crashes: obs.counter("fault.crashes"),
+            nacks: obs.counter("fault.nacks"),
+            redelivered: obs.counter("fault.redelivered"),
+        }
+    }
+}
+
+/// Delivery time of a dropped message: never, unless NACKed back to life.
+const NEVER: u64 = u64::MAX;
+
+/// The deterministic chaos transport. Every decision comes from one seeded
+/// [`Rng`] in arrival order, so a `(seed, profile, workload)` triple replays
+/// the exact same fault sequence.
+#[derive(Debug, Clone)]
+pub struct ChaosTransport {
+    profile: FaultProfile,
+    rng: Rng,
+    /// Held messages: `(deliver_at_us, message)`, unordered; [`NEVER`] marks
+    /// a drop recoverable only by NACK.
+    held: Vec<(u64, UpdateMessage)>,
+    /// Crash windows per source.
+    down_until: HashMap<SourceId, u64>,
+    counters: FaultCounters,
+}
+
+impl ChaosTransport {
+    /// A chaos transport with the given profile and fault seed.
+    pub fn new(profile: FaultProfile, seed: u64) -> Self {
+        ChaosTransport {
+            profile,
+            rng: Rng::new(seed),
+            held: Vec::new(),
+            down_until: HashMap::new(),
+            counters: FaultCounters::default(),
+        }
+    }
+
+    /// Binds the `fault.*` counters into a collector's registry.
+    pub fn with_obs(mut self, obs: &Collector) -> Self {
+        self.counters = FaultCounters::bind(obs);
+        self
+    }
+
+    /// Number of messages currently held (dropped or delayed).
+    pub fn held_len(&self) -> usize {
+        self.held.len()
+    }
+
+    fn inject(&mut self, c: fn(&FaultCounters) -> &Counter) {
+        self.counters.injected.inc();
+        c(&self.counters).inc();
+    }
+
+    fn roll(&mut self, pm: u64) -> bool {
+        pm > 0 && self.rng.gen_ratio(pm, 1000)
+    }
+}
+
+impl Transport for ChaosTransport {
+    fn send(&mut self, msgs: Vec<UpdateMessage>, now_us: u64) -> Vec<UpdateMessage> {
+        let mut out = Vec::with_capacity(msgs.len());
+        for msg in msgs {
+            // A crashed source's wrapper cannot talk to the manager either:
+            // its messages wait out the crash window.
+            let down = self.down_until.get(&msg.source).copied().filter(|&t| t > now_us);
+            if let Some(until) = down {
+                self.held.push((until, msg));
+                continue;
+            }
+            if self.roll(self.profile.drop_pm) {
+                self.inject(|c| &c.dropped);
+                self.held.push((NEVER, msg));
+                continue;
+            }
+            if self.roll(self.profile.delay_pm) && self.profile.max_delay_us > 0 {
+                self.inject(|c| &c.delayed);
+                let dt = self.rng.gen_range(1..self.profile.max_delay_us);
+                self.held.push((now_us + dt, msg));
+                continue;
+            }
+            let dup = self.roll(self.profile.dup_pm);
+            out.push(msg.clone());
+            if dup {
+                self.inject(|c| &c.duplicated);
+                out.push(msg);
+            }
+        }
+        if out.len() > 1 && self.roll(self.profile.reorder_pm) {
+            self.inject(|c| &c.reordered);
+            self.rng.shuffle(&mut out);
+        }
+        out
+    }
+
+    fn poll(&mut self, now_us: u64) -> Vec<UpdateMessage> {
+        // Drops (`NEVER`) are only recoverable by NACK, no matter how far
+        // the clock advances.
+        let (mut due, keep): (Vec<_>, Vec<_>) =
+            self.held.drain(..).partition(|&(at, _)| at != NEVER && at <= now_us);
+        self.held = keep;
+        due.sort_by_key(|(at, msg)| (*at, msg.source_version));
+        due.into_iter().map(|(_, m)| m).collect()
+    }
+
+    fn nack(&mut self, source: SourceId, after: u64) -> Vec<UpdateMessage> {
+        self.counters.nacks.inc();
+        let (hit, keep): (Vec<_>, Vec<_>) = self
+            .held
+            .drain(..)
+            .partition(|(_, msg)| msg.source == source && msg.source_version > after);
+        self.held = keep;
+        let mut out: Vec<UpdateMessage> = hit.into_iter().map(|(_, m)| m).collect();
+        out.sort_by_key(|m| m.source_version);
+        self.counters.redelivered.add(out.len() as u64);
+        out
+    }
+
+    fn query_fault(&mut self, source: SourceId, now_us: u64) -> Option<QueryFault> {
+        if let Some(&until) = self.down_until.get(&source) {
+            if until > now_us {
+                return Some(QueryFault::SourceDown { until_us: until });
+            }
+        }
+        if self.roll(self.profile.crash_pm) {
+            self.inject(|c| &c.crashes);
+            let until = now_us + self.profile.crash_down_us;
+            self.down_until.insert(source, until);
+            return Some(QueryFault::SourceDown { until_us: until });
+        }
+        if self.roll(self.profile.timeout_pm) {
+            self.inject(|c| &c.timeouts);
+            return Some(QueryFault::Timeout);
+        }
+        if self.roll(self.profile.transient_pm) {
+            self.inject(|c| &c.transients);
+            return Some(QueryFault::Transient);
+        }
+        None
+    }
+
+    fn next_event_us(&self, now_us: u64) -> Option<u64> {
+        let held = self.held.iter().map(|&(at, _)| at).filter(|&at| at > now_us && at < NEVER);
+        let downs = self.down_until.values().copied().filter(|&at| at > now_us);
+        held.chain(downs).min()
+    }
+
+    fn injected_total(&self) -> u64 {
+        self.counters.injected.get()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dyno_relational::{AttrType, DataUpdate, Delta, Schema, SourceUpdate, Tuple};
+    use dyno_source::UpdateId;
+
+    fn msg(id: u64, source: u32, version: u64) -> UpdateMessage {
+        let schema = Schema::of("R", &[("a", AttrType::Int)]);
+        UpdateMessage {
+            id: UpdateId(id),
+            source: SourceId(source),
+            source_version: version,
+            update: SourceUpdate::Data(DataUpdate::new(
+                Delta::inserts(schema, [Tuple::of([id as i64])]).unwrap(),
+            )),
+        }
+    }
+
+    #[test]
+    fn direct_is_a_passthrough() {
+        let mut t = Direct;
+        let sent = t.send(vec![msg(1, 0, 1), msg(2, 0, 2)], 0);
+        assert_eq!(sent.len(), 2);
+        assert!(t.poll(u64::MAX).is_empty());
+        assert_eq!(t.query_fault(SourceId(0), 0), None);
+        assert_eq!(t.injected_total(), 0);
+    }
+
+    #[test]
+    fn chaos_is_deterministic_per_seed() {
+        let run = |seed| {
+            let mut t = ChaosTransport::new(FaultProfile::drop_dup(), seed);
+            let mut delivered = Vec::new();
+            for i in 0..50 {
+                delivered.extend(t.send(vec![msg(i, 0, i + 1)], i * 1000));
+            }
+            (delivered.iter().map(|m| m.id.0).collect::<Vec<_>>(), t.injected_total())
+        };
+        assert_eq!(run(7), run(7), "same seed, same fault sequence");
+        assert_ne!(run(7).0, run(8).0, "different seed, different sequence");
+    }
+
+    #[test]
+    fn dropped_messages_are_recovered_by_nack() {
+        let mut t = ChaosTransport::new(FaultProfile { drop_pm: 1000, ..FaultProfile::quiet() }, 1);
+        let delivered = t.send(vec![msg(1, 0, 1), msg(2, 0, 2)], 0);
+        assert!(delivered.is_empty(), "everything dropped");
+        assert!(t.poll(u64::MAX).is_empty(), "drops never fall due on their own");
+        let refetched = t.nack(SourceId(0), 0);
+        assert_eq!(refetched.len(), 2);
+        assert!(refetched.windows(2).all(|w| w[0].source_version < w[1].source_version));
+        assert_eq!(t.held_len(), 0);
+    }
+
+    #[test]
+    fn nack_respects_source_and_version_bounds() {
+        let mut t = ChaosTransport::new(FaultProfile { drop_pm: 1000, ..FaultProfile::quiet() }, 1);
+        t.send(vec![msg(1, 0, 1), msg(2, 0, 2), msg(3, 1, 1)], 0);
+        let refetched = t.nack(SourceId(0), 1);
+        assert_eq!(refetched.len(), 1);
+        assert_eq!(refetched[0].source_version, 2);
+        assert_eq!(t.held_len(), 2, "other source's and already-acked messages stay");
+    }
+
+    #[test]
+    fn delayed_messages_fall_due() {
+        let profile = FaultProfile { delay_pm: 1000, max_delay_us: 1_000, ..FaultProfile::quiet() };
+        let mut t = ChaosTransport::new(profile, 3);
+        assert!(t.send(vec![msg(1, 0, 1)], 0).is_empty());
+        let due_at = t.next_event_us(0).expect("one delayed message");
+        assert!(due_at > 0 && due_at < 1_000);
+        assert!(t.poll(due_at - 1).is_empty());
+        assert_eq!(t.poll(due_at).len(), 1);
+        assert_eq!(t.next_event_us(due_at), None);
+    }
+
+    #[test]
+    fn crashed_source_faults_queries_until_restart() {
+        let profile =
+            FaultProfile { crash_pm: 1000, crash_down_us: 500_000, ..FaultProfile::quiet() };
+        let mut t = ChaosTransport::new(profile, 5);
+        let Some(QueryFault::SourceDown { until_us }) = t.query_fault(SourceId(0), 0) else {
+            panic!("source must crash");
+        };
+        assert_eq!(until_us, 500_000);
+        // While down, messages from that source are held…
+        assert!(t.send(vec![msg(1, 0, 1)], 100).is_empty());
+        // …and delivered after the restart.
+        assert_eq!(t.poll(until_us).len(), 1);
+    }
+
+    #[test]
+    fn duplication_delivers_twice_with_counter() {
+        let mut t = ChaosTransport::new(FaultProfile { dup_pm: 1000, ..FaultProfile::quiet() }, 9);
+        let delivered = t.send(vec![msg(1, 0, 1)], 0);
+        assert_eq!(delivered.len(), 2);
+        assert_eq!(delivered[0].id, delivered[1].id);
+        assert_eq!(t.injected_total(), 1);
+    }
+}

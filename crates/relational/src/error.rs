@@ -78,6 +78,15 @@ pub enum RelationalError {
         /// Explanation.
         reason: String,
     },
+    /// A source cannot be reached right now (crashed, or every retry inside
+    /// the budget failed). Unlike a schema conflict this says nothing about
+    /// the view definition: the query may succeed verbatim later.
+    Unavailable {
+        /// The unreachable source, rendered for diagnostics.
+        source: String,
+        /// Why it is considered unavailable.
+        reason: String,
+    },
 }
 
 impl RelationalError {
@@ -88,6 +97,12 @@ impl RelationalError {
             self,
             RelationalError::UnknownRelation { .. } | RelationalError::UnknownAttribute { .. }
         )
+    }
+
+    /// True iff this error means a source is temporarily unreachable — a
+    /// *liveness* failure to park on, never a broken query to correct.
+    pub fn is_unavailable(&self) -> bool {
+        matches!(self, RelationalError::Unavailable { .. })
     }
 }
 
@@ -119,6 +134,9 @@ impl fmt::Display for RelationalError {
                 write!(f, "incomparable operand types in predicate {predicate}")
             }
             RelationalError::InvalidQuery { reason } => write!(f, "invalid query: {reason}"),
+            RelationalError::Unavailable { source, reason } => {
+                write!(f, "source {source} unavailable: {reason}")
+            }
         }
     }
 }
@@ -136,6 +154,15 @@ mod tests {
             .is_schema_conflict());
         assert!(!RelationalError::DeleteMissing { relation: "R".into(), tuple: "(1)".into() }
             .is_schema_conflict());
+    }
+
+    #[test]
+    fn unavailable_is_not_a_schema_conflict() {
+        let e = RelationalError::Unavailable { source: "s0".into(), reason: "crashed".into() };
+        assert!(e.is_unavailable());
+        assert!(!e.is_schema_conflict(), "a down source must never trigger correction");
+        assert!(e.to_string().contains("s0") && e.to_string().contains("crashed"));
+        assert!(!RelationalError::UnknownRelation { relation: "R".into() }.is_unavailable());
     }
 
     #[test]

@@ -98,6 +98,56 @@ mod tests {
     }
 
     #[test]
+    fn absent_source_is_taken_at_version_zero() {
+        let mut space = bookinfo_space();
+        let view = bookinfo_view();
+        space
+            .commit(
+                SourceId(0),
+                SourceUpdate::Data(insert_item(10, "Data Integration Guide", "Adams", 36)),
+            )
+            .unwrap();
+        // An empty vector and an explicit all-zeros vector must agree:
+        // sources missing from the map are "never reflected".
+        let absent = eval_view_at(&space, &view, &HashMap::new()).unwrap();
+        let zeroed: HashMap<SourceId, u64> = space.versions().keys().map(|&s| (s, 0)).collect();
+        assert_eq!(absent, eval_view_at(&space, &view, &zeroed).unwrap());
+        assert_eq!(absent.weight(), 1, "pre-commit state");
+        // Dropping only the committed source from the current vector rolls
+        // just that source back.
+        let mut partial = space.versions();
+        partial.remove(&SourceId(0));
+        assert_eq!(eval_view_at(&space, &view, &partial).unwrap().weight(), 1);
+        assert_eq!(eval_view_at(&space, &view, &space.versions()).unwrap().weight(), 2);
+    }
+
+    #[test]
+    fn rolled_back_catalog_missing_a_relation_is_an_error() {
+        use dyno_relational::SchemaChange;
+        let mut space = bookinfo_space();
+        let view = bookinfo_view();
+        let v0 = space.versions();
+        space
+            .commit(
+                SourceId(0),
+                SourceUpdate::Schema(SchemaChange::RenameRelation {
+                    from: "Item".into(),
+                    to: "Tome".into(),
+                }),
+            )
+            .unwrap();
+        // At current versions the un-rewritten view references a name no
+        // catalog has — a definite error, not an empty result.
+        let err = eval_view_at(&space, &view, &space.versions()).unwrap_err();
+        assert!(
+            matches!(err, RelationalError::UnknownRelation { ref relation } if relation == "Item"),
+            "unexpected error: {err}"
+        );
+        // The pre-change vector still evaluates: history has the relation.
+        assert_eq!(eval_view_at(&space, &view, &v0).unwrap().weight(), 1);
+    }
+
+    #[test]
     fn eval_view_at_rolls_back() {
         let mut space = bookinfo_space();
         let view = bookinfo_view();

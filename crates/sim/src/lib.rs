@@ -14,21 +14,29 @@
 //! - [`workload`] — schema-evolution-aware generators for the Section 6
 //!   workloads (DU floods, drop+rename SC trains);
 //! - [`runner`] — scenario execution with metrics collection;
+//! - [`chaos`] — the seeded fault-injection runner: the same testbed driven
+//!   through a [`dyno_fault::ChaosTransport`], with parked-entry wakeups
+//!   and quiescence flushing;
 //! - [`rng`] — the in-repo seeded PRNG behind all generated data;
 //! - [`consistency`] — convergence and strong-consistency auditors
 //!   (Section 4.4 correctness).
 
 #![warn(missing_docs)]
 
+pub mod chaos;
 pub mod consistency;
 pub mod cost;
 pub mod metrics;
 pub mod port;
-pub mod rng;
 pub mod runner;
+
+/// The in-repo seeded PRNG (now hosted by `dyno-fault`, re-exported here so
+/// existing `dyno_sim::rng::Rng` paths keep working).
+pub use dyno_fault::rng;
 pub mod testbed;
 pub mod workload;
 
+pub use chaos::{run_chaos, ChaosConfig, ChaosReport};
 pub use consistency::{check_convergence, check_reflected, eval_view_at};
 pub use cost::CostModel;
 pub use metrics::Metrics;

@@ -41,6 +41,10 @@ struct SimCounters {
     aborts: Counter,
     attempts: Counter,
     skipped_commits: Counter,
+    /// Maintenance attempts parked on an unavailable source, and the
+    /// simulated time they consumed before parking.
+    parks: Counter,
+    parked_us: Counter,
     /// Tuples the executor actually touched (scan + probe paths).
     rows_scanned: Counter,
     /// Secondary-index lookups the executor performed.
@@ -65,6 +69,8 @@ impl SimCounters {
             aborts: obs.counter("sim.aborts"),
             attempts: obs.counter("sim.attempts"),
             skipped_commits: obs.counter("sim.skipped_commits"),
+            parks: obs.counter("sim.parks"),
+            parked_us: obs.counter("sim.parked_us"),
             rows_scanned: obs.counter("exec.rows_scanned"),
             index_probes: obs.counter("exec.index_probes"),
             cartesian_fallback: obs.counter("exec.cartesian_fallback"),
@@ -175,6 +181,20 @@ impl SimPort {
         }
     }
 
+    /// The next scheduled commit's time, if any.
+    pub fn next_commit_at_us(&self) -> Option<u64> {
+        self.schedule.front().map(|c| c.at_us)
+    }
+
+    /// Jumps the clock forward to `t_us` (never backward) and applies newly
+    /// due commits — the chaos driver's way of waiting out a transport
+    /// event (delayed delivery, source restart) when the manager is parked.
+    pub fn advance_to(&mut self, t_us: u64) {
+        let t = t_us.max(self.now_us);
+        self.set_now(t);
+        self.apply_due_commits();
+    }
+
     /// Moves the clock, keeping the collector's virtual clock in lockstep
     /// so trace timestamps are simulated µs.
     fn set_now(&mut self, t_us: u64) {
@@ -240,6 +260,19 @@ impl SimPort {
 impl SourcePort for SimPort {
     fn now_ms(&self) -> u64 {
         self.now_us / 1000
+    }
+
+    fn now_us(&self) -> u64 {
+        self.now_us
+    }
+
+    fn advance_wait(&mut self, us: u64) {
+        // Backoff/crash waits pass quietly: commits falling due during the
+        // wait become observable at the next pre-evaluation point, like any
+        // other post-eval charge.
+        if self.metering {
+            self.advance_quiet(us);
+        }
     }
 
     fn execute(
@@ -341,6 +374,14 @@ impl SourcePort for SimPort {
                     if self.maint_has_sc {
                         self.sim.abort_sc_us.add(dt);
                     }
+                }
+            }
+            MaintEvent::Park => {
+                // Not an abort: no maintenance work was discarded, the
+                // entry just could not run. Track it separately.
+                if let Some(t0) = self.maint_begin_us.take() {
+                    self.sim.parks.inc();
+                    self.sim.parked_us.add(self.now_us - t0);
                 }
             }
         }

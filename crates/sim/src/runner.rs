@@ -179,6 +179,11 @@ pub fn run_scenario(scenario: Scenario) -> Result<RunReport, ViewError> {
             StepOutcome::Aborted => {
                 steps += 1;
             }
+            StepOutcome::Parked => {
+                // A bare SimPort never reports a source unavailable; only
+                // the chaos runner (crate::chaos) drives parked entries.
+                steps += 1;
+            }
             StepOutcome::Failed => unreachable!("manager.step surfaces failures as Err"),
         }
     }

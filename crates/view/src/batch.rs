@@ -86,6 +86,8 @@ pub enum BatchFailure {
     Broken(MaintFailure),
     /// The view cannot be synchronized over the batch's schema changes.
     Undefinable(VsError),
+    /// A source the batch needs is down; park the entry and retry later.
+    Unavailable(RelationalError),
     /// Internal invariant violation.
     Internal(RelationalError),
 }
@@ -94,6 +96,7 @@ impl From<MaintFailure> for BatchFailure {
     fn from(f: MaintFailure) -> Self {
         match f {
             MaintFailure::Internal(e) => BatchFailure::Internal(e),
+            MaintFailure::Unavailable(e) => BatchFailure::Unavailable(e),
             broken => BatchFailure::Broken(broken),
         }
     }

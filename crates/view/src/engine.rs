@@ -79,12 +79,27 @@ pub enum MaintEvent {
     Commit,
     /// Maintenance aborted on a broken query; all its work is discarded.
     Abort,
+    /// Maintenance could not run because a source it needs is down; the
+    /// entry stays queued and nothing about the view changed.
+    Park,
 }
 
 /// The view manager's window onto the source space.
 pub trait SourcePort {
     /// Current simulated time (milliseconds). Untimed ports return 0.
     fn now_ms(&self) -> u64;
+
+    /// Current simulated time in microseconds — the resolution fault
+    /// injection works at. Defaults to `now_ms() * 1000`; timed ports
+    /// override with their exact clock.
+    fn now_us(&self) -> u64 {
+        self.now_ms() * 1000
+    }
+
+    /// Charges pure waiting time (retry backoff, crash-recovery waits) to
+    /// the clock without attributing it to any query. Untimed ports ignore
+    /// it.
+    fn advance_wait(&mut self, _us: u64) {}
 
     /// Executes a query over the sources' current states, with `bound`
     /// tables spliced in by name. Schema conflicts surface as
@@ -211,6 +226,14 @@ impl<P: SourcePort + ?Sized> SourcePort for TracingPort<'_, P> {
         self.inner.now_ms()
     }
 
+    fn now_us(&self) -> u64 {
+        self.inner.now_us()
+    }
+
+    fn advance_wait(&mut self, us: u64) {
+        self.inner.advance_wait(us);
+    }
+
     fn execute(
         &mut self,
         query: &SpjQuery,
@@ -279,6 +302,7 @@ impl<P: SourcePort + ?Sized> SourcePort for TracingPort<'_, P> {
             }
             MaintEvent::Commit => self.trace.push("c(MV)".to_string()),
             MaintEvent::Abort => self.trace.push("ABORT".to_string()),
+            MaintEvent::Park => self.trace.push("PARK".to_string()),
         }
         self.inner.on_maintenance_event(event);
     }

@@ -1,0 +1,183 @@
+//! The UMQ admission gate: idempotent, gap-aware ingestion.
+//!
+//! The dependency analysis chains one source's updates by queue position, so
+//! the enqueue order per source must equal its version order, and nothing may
+//! be enqueued twice. A perfect transport guarantees both for free; a faulty
+//! one (or an at-least-once wrapper retry) does not. The gate makes the
+//! boundary safe regardless of what the delivery path promises:
+//!
+//! * **dedupe** — a `(source, version)` at or below the admitted high-water
+//!   mark, or already waiting in the buffer, is dropped
+//!   (`fault.duplicates_dropped`);
+//! * **resequencing** — an early arrival parks in a per-source reorder
+//!   buffer until its predecessors show up, then releases in version order.
+//!
+//! This is the second, authoritative dedupe line behind the transport-side
+//! [`Recovery`](dyno_fault::Recovery) sequencer: even a port that bypasses
+//! the fault layer entirely cannot double-apply an update.
+
+use std::collections::{BTreeMap, HashMap};
+
+use dyno_obs::{Collector, Counter};
+use dyno_source::{SourceId, UpdateMessage};
+
+/// Admission state for one UMQ.
+#[derive(Debug, Clone)]
+pub struct IngressGate {
+    /// Highest version admitted to the queue, per source.
+    admitted: HashMap<SourceId, u64>,
+    /// Early arrivals waiting for their predecessors (BTreeMaps keep the
+    /// release order deterministic).
+    buffer: BTreeMap<SourceId, BTreeMap<u64, UpdateMessage>>,
+    /// False = pass-through (the broken-recovery ablation).
+    dedupe: bool,
+    duplicates_dropped: Counter,
+    resequenced: Counter,
+}
+
+impl Default for IngressGate {
+    fn default() -> Self {
+        IngressGate::new()
+    }
+}
+
+impl IngressGate {
+    /// A gate with detached counters (bind with [`IngressGate::bind_obs`]).
+    pub fn new() -> Self {
+        IngressGate {
+            admitted: HashMap::new(),
+            buffer: BTreeMap::new(),
+            dedupe: true,
+            duplicates_dropped: Counter::default(),
+            resequenced: Counter::default(),
+        }
+    }
+
+    /// Binds the gate's counters into a collector's registry.
+    pub fn bind_obs(&mut self, obs: &Collector) {
+        self.duplicates_dropped = obs.counter("fault.duplicates_dropped");
+        self.resequenced = obs.counter("fault.resequenced");
+    }
+
+    /// Enables/disables dedupe+resequencing (disable only to demonstrate
+    /// that the chaos suite catches the resulting corruption).
+    pub fn set_dedupe(&mut self, enabled: bool) {
+        self.dedupe = enabled;
+    }
+
+    /// Messages parked in reorder buffers.
+    pub fn pending(&self) -> usize {
+        self.buffer.values().map(BTreeMap::len).sum()
+    }
+
+    /// Offers one message; returns the messages now admissible, in order.
+    /// `floor` is the version the view already reflects for the source (the
+    /// admission baseline the first time a source is seen).
+    pub fn admit(&mut self, msg: UpdateMessage, floor: u64) -> Vec<UpdateMessage> {
+        if !self.dedupe {
+            return vec![msg];
+        }
+        let source = msg.source;
+        let admitted = *self.admitted.entry(source).or_insert(floor);
+        if msg.source_version <= admitted {
+            self.duplicates_dropped.inc();
+            return Vec::new();
+        }
+        let buf = self.buffer.entry(source).or_default();
+        if buf.insert(msg.source_version, msg).is_some() {
+            self.duplicates_dropped.inc();
+        }
+        // Release the contiguous prefix.
+        let mut out = Vec::new();
+        let admitted = self.admitted.get_mut(&source).expect("entry inserted above");
+        while let Some(entry) = buf.first_entry() {
+            if *entry.key() == *admitted + 1 {
+                out.push(entry.remove());
+                *admitted += 1;
+            } else {
+                break;
+            }
+        }
+        if out.len() > 1 {
+            self.resequenced.add(out.len() as u64 - 1);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dyno_relational::{AttrType, DataUpdate, Delta, Schema, SourceUpdate, Tuple};
+    use dyno_source::UpdateId;
+
+    fn msg(id: u64, source: u32, version: u64) -> UpdateMessage {
+        let schema = Schema::of("R", &[("a", AttrType::Int)]);
+        UpdateMessage {
+            id: UpdateId(id),
+            source: SourceId(source),
+            source_version: version,
+            update: SourceUpdate::Data(DataUpdate::new(
+                Delta::inserts(schema, [Tuple::of([id as i64])]).unwrap(),
+            )),
+        }
+    }
+
+    fn released(out: &[UpdateMessage]) -> Vec<u64> {
+        out.iter().map(|m| m.source_version).collect()
+    }
+
+    #[test]
+    fn in_order_messages_flow_through() {
+        let mut g = IngressGate::new();
+        assert_eq!(released(&g.admit(msg(1, 0, 1), 0)), vec![1]);
+        assert_eq!(released(&g.admit(msg(2, 0, 2), 0)), vec![2]);
+        assert_eq!(g.pending(), 0);
+    }
+
+    #[test]
+    fn duplicate_of_admitted_version_is_dropped() {
+        let obs = Collector::wall();
+        let mut g = IngressGate::new();
+        g.bind_obs(&obs);
+        assert_eq!(g.admit(msg(1, 0, 1), 0).len(), 1);
+        assert!(g.admit(msg(1, 0, 1), 0).is_empty());
+        assert!(g.admit(msg(1, 0, 1), 0).is_empty());
+        assert_eq!(obs.registry().counter_value("fault.duplicates_dropped"), Some(2));
+    }
+
+    #[test]
+    fn early_arrival_waits_for_predecessor() {
+        let mut g = IngressGate::new();
+        assert!(g.admit(msg(3, 0, 3), 0).is_empty());
+        assert!(g.admit(msg(2, 0, 2), 0).is_empty());
+        assert_eq!(g.pending(), 2);
+        assert_eq!(released(&g.admit(msg(1, 0, 1), 0)), vec![1, 2, 3]);
+        assert_eq!(g.pending(), 0);
+    }
+
+    #[test]
+    fn duplicate_of_buffered_version_is_dropped() {
+        let mut g = IngressGate::new();
+        assert!(g.admit(msg(2, 0, 2), 0).is_empty());
+        assert!(g.admit(msg(2, 0, 2), 0).is_empty());
+        assert_eq!(g.pending(), 1, "second copy was not double-buffered");
+    }
+
+    #[test]
+    fn floor_seeds_the_baseline_per_source() {
+        let mut g = IngressGate::new();
+        assert!(g.admit(msg(1, 0, 3), 3).is_empty(), "at the floor: duplicate");
+        assert_eq!(released(&g.admit(msg(2, 0, 4), 3)), vec![4]);
+        // Sources are independent.
+        assert_eq!(released(&g.admit(msg(3, 1, 1), 0)), vec![1]);
+    }
+
+    #[test]
+    fn disabled_gate_passes_duplicates() {
+        let mut g = IngressGate::new();
+        g.set_dedupe(false);
+        assert_eq!(g.admit(msg(1, 0, 1), 0).len(), 1);
+        assert_eq!(g.admit(msg(1, 0, 1), 0).len(), 1, "ablation: the dup leaks");
+    }
+}

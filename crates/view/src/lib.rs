@@ -21,6 +21,8 @@
 
 pub mod batch;
 pub mod engine;
+pub mod fport;
+pub mod ingress;
 pub mod manager;
 pub mod mview;
 pub mod plan;
@@ -38,6 +40,8 @@ pub use engine::{
     eval_with_bound, schema_from_bag, BoundTable, InProcessPort, LocalProvider, MaintEvent,
     SourcePort, TracingPort,
 };
+pub use fport::FaultedPort;
+pub use ingress::IngressGate;
 pub use manager::{ReflectedVersions, ViewError, ViewManager, ViewStats};
 pub use mview::MaterializedView;
 pub use plan::{MaintPlan, MaintStep, PlanCache};

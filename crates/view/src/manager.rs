@@ -13,6 +13,7 @@ use dyno_source::{InfoSpace, SourceId, UpdateMessage};
 
 use crate::batch::{adapt_batch_observed, AdaptationMode, Adapted, BatchFailure};
 use crate::engine::{MaintEvent, SourcePort};
+use crate::ingress::IngressGate;
 use crate::mview::MaterializedView;
 use crate::plan::PlanCache;
 use crate::viewdef::ViewDefinition;
@@ -79,6 +80,7 @@ struct ViewCore {
     adaptation: AdaptationMode,
     obs: Collector,
     plans: PlanCache,
+    ingress: IngressGate,
 }
 
 impl ViewManager {
@@ -99,15 +101,17 @@ impl ViewManager {
                 adaptation: AdaptationMode::default(),
                 obs: Collector::disabled(),
                 plans: PlanCache::new(),
+                ingress: IngressGate::new(),
             },
         }
     }
 
     /// Overrides the scheduler's correction policy (default: cycle merge;
     /// `MergeAll` is the blind-merge ablation baseline of paper Section 4.2).
+    /// Mutates the scheduler in place, so builder-call order does not matter
+    /// and accumulated stats / the bound collector survive.
     pub fn with_correction(mut self, policy: CorrectionPolicy) -> Self {
-        self.dyno =
-            Dyno::new(self.dyno.strategy()).with_policy(policy).with_obs(self.core.obs.clone());
+        self.dyno.set_policy(policy);
         self
     }
 
@@ -117,7 +121,16 @@ impl ViewManager {
     /// nothing on the hot paths.
     pub fn with_obs(mut self, obs: Collector) -> Self {
         self.dyno = self.dyno.clone().with_obs(obs.clone());
+        self.core.ingress.bind_obs(&obs);
         self.core.obs = obs;
+        self
+    }
+
+    /// Enables/disables the UMQ admission gate's dedupe+resequencing
+    /// (default on). Disabling exists solely so the chaos suite can prove
+    /// it detects the resulting double-applies.
+    pub fn with_ingest_dedupe(mut self, enabled: bool) -> Self {
+        self.core.ingress.set_dedupe(enabled);
         self
     }
 
@@ -158,21 +171,20 @@ impl ViewManager {
     /// Figure 7).
     pub fn ingest<I: IntoIterator<Item = UpdateMessage>>(&mut self, messages: I) {
         for msg in messages {
-            // Defensive idempotence: a message whose source version the view
-            // already reflects (e.g. one committed before initialization)
-            // must not be applied again.
-            if let Some(&v) = self.core.reflected.get(&msg.source) {
-                if msg.source_version <= v {
-                    continue;
-                }
+            // The admission gate dedupes by (source, version) — including
+            // messages committed before initialization, via the reflected
+            // floor — and resequences early arrivals so enqueue order always
+            // equals version order per source.
+            let floor = self.core.reflected.get(&msg.source).copied().unwrap_or(0);
+            for msg in self.core.ingress.admit(msg, floor) {
+                let kind = match &msg.update {
+                    SourceUpdate::Data(_) => UpdateKind::Data,
+                    SourceUpdate::Schema(sc) => UpdateKind::Schema {
+                        invalidates_view: self.core.view.is_invalidated_by(sc),
+                    },
+                };
+                self.umq.enqueue(UpdateMeta::new(msg.id.0, msg.source.0, kind, msg));
             }
-            let kind = match &msg.update {
-                SourceUpdate::Data(_) => UpdateKind::Data,
-                SourceUpdate::Schema(sc) => {
-                    UpdateKind::Schema { invalidates_view: self.core.view.is_invalidated_by(sc) }
-                }
-            };
-            self.umq.enqueue(UpdateMeta::new(msg.id.0, msg.source.0, kind, msg));
         }
     }
 
@@ -386,6 +398,14 @@ impl Maintainer<UpdateMessage> for MaintCtx<'_> {
                 self.port.on_maintenance_event(MaintEvent::Abort);
                 MaintainOutcome::BrokenQuery
             }
+            Some(BatchFailure::Unavailable(e)) => {
+                self.core.obs.counter("view.parked").inc();
+                if self.core.obs.tracing_on() {
+                    self.core.obs.event(Level::Warn, "view.park", &[field("error", e.to_string())]);
+                }
+                self.port.on_maintenance_event(MaintEvent::Park);
+                MaintainOutcome::Parked
+            }
             Some(BatchFailure::Undefinable(e)) => {
                 self.core.last_error = Some(ViewError::Undefinable(e));
                 self.port.on_maintenance_event(MaintEvent::Abort);
@@ -590,6 +610,46 @@ mod tests {
         let names: Vec<&str> = obs.trace_records().iter().map(|r| r.name).collect();
         assert!(names.contains(&"view.maintain"));
         assert!(names.contains(&"va.adapt"));
+    }
+
+    #[test]
+    fn with_correction_preserves_stats_and_obs_regardless_of_order() {
+        // Regression: with_correction used to rebuild the scheduler from
+        // scratch, silently discarding accumulated stats and — when called
+        // after with_obs — keeping the collector only by luck of ordering.
+        let space = bookinfo_space();
+        let info = space.info().clone();
+        let mut port = InProcessPort::new(space);
+        let obs = Collector::wall();
+        // Builder order 1: correction BEFORE obs.
+        let mgr1 = ViewManager::new(bookinfo_view(), info.clone(), Strategy::Pessimistic)
+            .with_correction(CorrectionPolicy::MergeAll)
+            .with_obs(obs.clone());
+        // Builder order 2: correction AFTER obs.
+        let mgr2 = ViewManager::new(bookinfo_view(), info, Strategy::Pessimistic)
+            .with_obs(obs.clone())
+            .with_correction(CorrectionPolicy::MergeAll);
+        drop(mgr1);
+
+        // Mid-run policy change: stats accumulated so far must survive.
+        let mut mgr = mgr2;
+        mgr.initialize(&mut port).unwrap();
+        port.commit(
+            dyno_source::SourceId(0),
+            SourceUpdate::Data(insert_item(10, "Data Integration Guide", "Adams", 36)),
+        )
+        .unwrap();
+        mgr.run_to_quiescence(&mut port, 100).unwrap();
+        let before = mgr.dyno_stats();
+        assert!(before.committed > 0);
+        let mgr = mgr.with_correction(CorrectionPolicy::MergeCycles);
+        assert_eq!(mgr.dyno_stats(), before, "stats survive a mid-run policy change");
+        // The scheduler still reports into the same registry.
+        assert_eq!(
+            obs.registry().counter_value("dyno.committed"),
+            Some(before.committed),
+            "collector binding survives with_correction"
+        );
     }
 
     #[test]

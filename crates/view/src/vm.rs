@@ -40,13 +40,19 @@ pub enum MaintFailure {
         /// The underlying schema conflict.
         error: RelationalError,
     },
+    /// A source the maintenance needs is down (crash window / exhausted
+    /// retry budget). Not a broken query — no correction — and not an
+    /// internal bug: the entry parks and retries when the source is back.
+    Unavailable(RelationalError),
     /// Anything else: an internal invariant violation, surfaced verbatim.
     Internal(RelationalError),
 }
 
 impl MaintFailure {
     pub(crate) fn from_query(query: &SpjQuery, error: RelationalError) -> Self {
-        if error.is_schema_conflict() {
+        if error.is_unavailable() {
+            MaintFailure::Unavailable(error)
+        } else if error.is_schema_conflict() {
             MaintFailure::Broken { query: query.to_string(), error }
         } else {
             MaintFailure::Internal(error)

@@ -27,6 +27,7 @@ use dyno_source::{InfoSpace, UpdateMessage};
 
 use crate::batch::{adapt_batch_observed, AdaptationMode, Adapted, BatchFailure};
 use crate::engine::{MaintEvent, SourcePort};
+use crate::ingress::IngressGate;
 use crate::manager::{ReflectedVersions, ViewError, ViewStats};
 use crate::mview::MaterializedView;
 use crate::plan::PlanCache;
@@ -53,6 +54,7 @@ pub struct Warehouse {
     adaptation: AdaptationMode,
     last_error: Option<ViewError>,
     obs: Collector,
+    ingress: IngressGate,
 }
 
 impl Warehouse {
@@ -67,19 +69,30 @@ impl Warehouse {
             adaptation: AdaptationMode::default(),
             last_error: None,
             obs: Collector::disabled(),
+            ingress: IngressGate::new(),
         }
     }
 
-    /// Overrides the correction policy.
+    /// Overrides the correction policy. Mutates the scheduler in place, so
+    /// builder-call order does not matter and accumulated stats / the bound
+    /// collector survive.
     pub fn with_correction(mut self, policy: CorrectionPolicy) -> Self {
-        self.dyno = Dyno::new(self.dyno.strategy()).with_policy(policy).with_obs(self.obs.clone());
+        self.dyno.set_policy(policy);
         self
     }
 
     /// Attaches an observability collector (see [`crate::ViewManager::with_obs`]).
     pub fn with_obs(mut self, obs: Collector) -> Self {
         self.dyno = self.dyno.clone().with_obs(obs.clone());
+        self.ingress.bind_obs(&obs);
         self.obs = obs;
+        self
+    }
+
+    /// Enables/disables UMQ admission dedupe+resequencing (default on); see
+    /// [`crate::ViewManager::with_ingest_dedupe`].
+    pub fn with_ingest_dedupe(mut self, enabled: bool) -> Self {
+        self.ingress.set_dedupe(enabled);
         self
     }
 
@@ -128,20 +141,19 @@ impl Warehouse {
     /// *all* views.
     pub fn ingest<I: IntoIterator<Item = UpdateMessage>>(&mut self, messages: I) {
         for msg in messages {
-            // Defensive idempotence: skip messages every view already
-            // reflects (see `ViewManager::ingest`).
-            if let Some(&v) = self.reflected.get(&msg.source) {
-                if msg.source_version <= v {
-                    continue;
-                }
+            // The admission gate dedupes and resequences per source (see
+            // `ViewManager::ingest`); the reflected floor covers messages
+            // committed before initialization.
+            let floor = self.reflected.get(&msg.source).copied().unwrap_or(0);
+            for msg in self.ingress.admit(msg, floor) {
+                let kind = match &msg.update {
+                    SourceUpdate::Data(_) => UpdateKind::Data,
+                    SourceUpdate::Schema(sc) => UpdateKind::Schema {
+                        invalidates_view: self.slots.iter().any(|s| s.view.is_invalidated_by(sc)),
+                    },
+                };
+                self.umq.enqueue(UpdateMeta::new(msg.id.0, msg.source.0, kind, msg));
             }
-            let kind = match &msg.update {
-                SourceUpdate::Data(_) => UpdateKind::Data,
-                SourceUpdate::Schema(sc) => UpdateKind::Schema {
-                    invalidates_view: self.slots.iter().any(|s| s.view.is_invalidated_by(sc)),
-                },
-            };
-            self.umq.enqueue(UpdateMeta::new(msg.id.0, msg.source.0, kind, msg));
         }
     }
 
@@ -163,13 +175,21 @@ impl Warehouse {
         let drained = std::mem::take(&mut ctx.drained);
         self.ingest(drained);
         if outcome == StepOutcome::Failed {
-            return Err(self.last_error.take().unwrap_or(ViewError::Internal(
+            // Keep the error inspectable through `last_error()` even after
+            // it has been returned (the CLI `stats` view reads it).
+            return Err(self.last_error.clone().unwrap_or(ViewError::Internal(
                 RelationalError::InvalidQuery {
                     reason: "warehouse maintenance failed without an error".into(),
                 },
             )));
         }
         Ok(outcome)
+    }
+
+    /// The most recent hard maintenance failure, if any (sticky until the
+    /// next one overwrites it).
+    pub fn last_error(&self) -> Option<&ViewError> {
+        self.last_error.as_ref()
     }
 
     /// Steps until quiescent or `max_steps` exhausted.
@@ -385,6 +405,14 @@ impl WarehouseCtx<'_> {
                 self.port.on_maintenance_event(MaintEvent::Abort);
                 MaintainOutcome::BrokenQuery
             }
+            BatchFailure::Unavailable(e) => {
+                self.obs.counter("view.parked").inc();
+                if self.obs.tracing_on() {
+                    self.obs.event(Level::Warn, "view.park", &[field("error", e.to_string())]);
+                }
+                self.port.on_maintenance_event(MaintEvent::Park);
+                MaintainOutcome::Parked
+            }
             BatchFailure::Undefinable(e) => {
                 *self.last_error = Some(ViewError::Undefinable(e));
                 self.port.on_maintenance_event(MaintEvent::Abort);
@@ -521,6 +549,37 @@ mod tests {
         assert!(wh.view(0).query.to_string().contains("Catalog.House AS Publisher"));
         assert!(wh.view(2).query.to_string().contains("Catalog.House AS Publisher"));
         assert_eq!(wh.view(1), &pricelist_view(), "Retailer view untouched");
+    }
+
+    #[test]
+    fn with_correction_preserves_stats_and_obs_regardless_of_order() {
+        // Regression: Warehouse::with_correction rebuilt the scheduler,
+        // resetting DynoStats and dropping the collector binding whenever it
+        // was called before with_obs.
+        let space = bookinfo_space();
+        let info = space.info().clone();
+        let mut port = InProcessPort::new(space);
+        let obs = Collector::wall();
+        let mut wh = Warehouse::new(info, Strategy::Pessimistic)
+            .with_correction(CorrectionPolicy::MergeAll)
+            .with_obs(obs.clone());
+        wh.add_view(bookinfo_view());
+        wh.initialize(&mut port).unwrap();
+        port.commit(
+            SourceId(0),
+            SourceUpdate::Data(insert_item(10, "Data Integration Guide", "Adams", 36)),
+        )
+        .unwrap();
+        wh.run_to_quiescence(&mut port, 100).unwrap();
+        let before = wh.dyno_stats();
+        assert!(before.committed > 0);
+        assert_eq!(
+            obs.registry().counter_value("dyno.committed"),
+            Some(before.committed),
+            "correction-then-obs order must not orphan the scheduler's metrics"
+        );
+        let wh = wh.with_correction(CorrectionPolicy::MergeCycles);
+        assert_eq!(wh.dyno_stats(), before, "stats survive a mid-run policy change");
     }
 
     #[test]

@@ -42,4 +42,20 @@ test -n "$invalidations"
 test "$invalidations" -ge 10
 echo "plan.cache_invalidations = $invalidations (>= 10)"
 
+echo "== chaos smoke (full seeded grid, wall-clock capped) =="
+# The full fault-injection grid (seeds x profiles x strategies x policies;
+# see tests/chaos_props.rs) with pinned seeds. Runs in release so the cap is
+# comfortable; `timeout` guards against a hung recovery loop ever blocking
+# verification. Each run appends its injected-fault count to the summary
+# file — a suite that injected nothing proves nothing, so that is an error.
+chaos_summary="$out/chaos_summary.txt"
+: > "$chaos_summary"
+DYNO_CHAOS_SUMMARY="$chaos_summary" timeout 600 \
+    cargo test -q --release --offline --test chaos_props -- --include-ignored
+test -s "$chaos_summary"
+injected_total="$(awk -F= '/^fault.injected_total=/ { n += $2 } END { print n+0 }' \
+    "$chaos_summary")"
+test "$injected_total" -gt 0
+echo "fault.injected_total = $injected_total (summed over $(wc -l < "$chaos_summary") runs)"
+
 echo "verify: all green"

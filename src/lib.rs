@@ -13,7 +13,8 @@
 //! | [`source`] | autonomous source servers, wrappers, the EVE-style information space |
 //! | [`core`] | Dyno itself: dependency graph, cycle merge, topological correction, pessimistic/optimistic scheduling — data-model-independent |
 //! | [`view`] | the view manager: UMQ, SWEEP maintenance with compensation, view synchronization, view adaptation (paper Equation 6) |
-//! | [`sim`] | the discrete-event testbed replacing the paper's Oracle cluster: virtual clock, cost model, workloads, consistency auditors |
+//! | [`fault`] | deterministic fault injection: the transport seam between warehouse and sources, chaos profiles, retry policies, delivery recovery |
+//! | [`sim`] | the discrete-event testbed replacing the paper's Oracle cluster: virtual clock, cost model, workloads, consistency auditors, chaos runner |
 //!
 //! ## Quickstart
 //!
@@ -42,6 +43,7 @@
 //! ```
 
 pub use dyno_core as core;
+pub use dyno_fault as fault;
 pub use dyno_obs as obs;
 pub use dyno_relational as relational;
 pub use dyno_sim as sim;
@@ -51,17 +53,18 @@ pub use dyno_view as view;
 /// The most commonly used items, re-exported flat.
 pub mod prelude {
     pub use dyno_core::{Dyno, DynoStats, StepOutcome, Strategy, Umq, UpdateKind, UpdateMeta};
+    pub use dyno_fault::{ChaosTransport, Direct, FaultProfile, RetryPolicy, Transport};
     pub use dyno_relational::{
         AttrType, Attribute, Catalog, CmpOp, ColRef, DataUpdate, Delta, Relation, RelationalError,
         Schema, SchemaChange, SourceUpdate, SpjQuery, Tuple, Value,
     };
     pub use dyno_sim::{
-        run_scenario, CostModel, RunReport, Scenario, ScheduledCommit, SimPort, TestbedConfig,
-        WorkloadGen,
+        run_chaos, run_scenario, ChaosConfig, ChaosReport, CostModel, RunReport, Scenario,
+        ScheduledCommit, SimPort, TestbedConfig, WorkloadGen,
     };
     pub use dyno_source::{InfoSpace, SourceId, SourceServer, SourceSpace, UpdateMessage};
     pub use dyno_view::{
-        InProcessPort, MaterializedView, SourcePort, ViewDefinition, ViewError, ViewManager,
-        Warehouse,
+        FaultedPort, InProcessPort, MaterializedView, SourcePort, ViewDefinition, ViewError,
+        ViewManager, Warehouse,
     };
 }
