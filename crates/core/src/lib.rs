@@ -32,6 +32,7 @@ pub mod meta;
 pub mod scheduler;
 pub mod tarjan;
 pub mod umq;
+pub mod wire;
 
 pub use correct::{legal_schedule, merge_all_schedule, Schedule};
 pub use dependency::{classify_pair, DepKind, Dependency, PairRelationship};

@@ -29,6 +29,33 @@ impl<P> Umq<P> {
         Umq::default()
     }
 
+    /// Rebuilds a queue from recovered state: the batch structure (including
+    /// merged SC batches) and the schema-change flag exactly as a WAL
+    /// checkpoint captured them. `total_enqueued` restarts from the restored
+    /// update count — statistics are not part of the durability contract.
+    pub fn restore(batches: Vec<Vec<UpdateMeta<P>>>, new_schema_change: bool) -> Self {
+        let enqueued = batches.iter().map(|b| b.len() as u64).sum();
+        Umq {
+            entries: batches.into_iter().filter(|b| !b.is_empty()).collect(),
+            new_schema_change,
+            enqueued,
+        }
+    }
+
+    /// Removes every buffered update whose key is in `keys` (recovery uses
+    /// this to drop updates a logged `Applied` record proves were committed).
+    /// Entries left empty disappear. Returns how many updates were removed.
+    pub fn remove_by_keys(&mut self, keys: &[crate::meta::UpdateKey]) -> usize {
+        let mut removed = 0;
+        for batch in &mut self.entries {
+            let before = batch.len();
+            batch.retain(|m| !keys.contains(&m.key));
+            removed += before - batch.len();
+        }
+        self.entries.retain(|b| !b.is_empty());
+        removed
+    }
+
     /// Enqueues a newly arrived update (the `UMQ_Manager` process of paper
     /// Figure 7): appends it as a singleton entry and raises the
     /// schema-change flag if it is a schema change.
@@ -172,6 +199,29 @@ mod tests {
         let mut q = Umq::new();
         q.enqueue(du(0));
         q.apply_schedule(&Schedule { batches: vec![vec![0], vec![1]] });
+    }
+
+    #[test]
+    fn restore_rebuilds_batches_and_flag() {
+        let q = Umq::restore(vec![vec![sc(1)], vec![du(0), du(2)], vec![]], true);
+        assert_eq!(q.len(), 2, "empty batches are dropped");
+        assert_eq!(q.update_count(), 3);
+        assert_eq!(q.total_enqueued(), 3);
+        assert!(q.schema_change_flag());
+    }
+
+    #[test]
+    fn remove_by_keys_drops_committed_updates() {
+        let mut q = Umq::new();
+        q.enqueue(du(0));
+        q.enqueue(sc(1));
+        q.enqueue(du(2));
+        q.apply_schedule(&Schedule { batches: vec![vec![1], vec![0, 2]] });
+        use crate::meta::UpdateKey;
+        assert_eq!(q.remove_by_keys(&[UpdateKey(1)]), 1);
+        assert_eq!(q.len(), 1, "the emptied SC batch disappears");
+        assert_eq!(q.remove_by_keys(&[UpdateKey(0), UpdateKey(2), UpdateKey(9)]), 2);
+        assert!(q.is_empty());
     }
 
     #[test]

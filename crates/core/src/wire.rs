@@ -1,0 +1,126 @@
+//! Binary (de)serialization of scheduler metadata for the warehouse WAL.
+//!
+//! `UpdateMeta<P>` is generic over its payload, so the encoder takes a
+//! payload closure — the view layer supplies `dyno_source::wire::enc_message`
+//! when it persists its UMQ. Strategy and correction policy travel as one
+//! tag byte each, so a recovered warehouse restarts with the scheduler
+//! configuration it crashed with.
+
+use crate::meta::{UpdateKind, UpdateMeta};
+use crate::scheduler::{CorrectionPolicy, Strategy};
+use dyno_durable::codec::{Dec, Enc, WireError};
+
+/// Encode an [`UpdateKind`].
+pub fn enc_kind(e: &mut Enc, k: UpdateKind) {
+    match k {
+        UpdateKind::Data => e.u8(0),
+        UpdateKind::Schema { invalidates_view } => {
+            e.u8(1);
+            e.bool(invalidates_view);
+        }
+    }
+}
+
+/// Decode an [`UpdateKind`].
+pub fn dec_kind(d: &mut Dec<'_>) -> Result<UpdateKind, WireError> {
+    Ok(match d.u8()? {
+        0 => UpdateKind::Data,
+        1 => UpdateKind::Schema { invalidates_view: d.bool()? },
+        t => return Err(WireError::Invalid(format!("update kind tag {t}"))),
+    })
+}
+
+/// Encode an [`UpdateMeta`]; `payload` writes the model-specific part.
+pub fn enc_meta<P>(e: &mut Enc, m: &UpdateMeta<P>, payload: impl FnOnce(&mut Enc, &P)) {
+    e.u64(m.key.0);
+    e.u32(m.source.0);
+    enc_kind(e, m.kind);
+    payload(e, &m.payload);
+}
+
+/// Decode an [`UpdateMeta`]; `payload` reads the model-specific part.
+pub fn dec_meta<P>(
+    d: &mut Dec<'_>,
+    payload: impl FnOnce(&mut Dec<'_>) -> Result<P, WireError>,
+) -> Result<UpdateMeta<P>, WireError> {
+    let key = d.u64()?;
+    let source = d.u32()?;
+    let kind = dec_kind(d)?;
+    Ok(UpdateMeta::new(key, source, kind, payload(d)?))
+}
+
+/// Encode a [`Strategy`].
+pub fn enc_strategy(e: &mut Enc, s: Strategy) {
+    e.u8(match s {
+        Strategy::Pessimistic => 0,
+        Strategy::Optimistic => 1,
+    });
+}
+
+/// Decode a [`Strategy`].
+pub fn dec_strategy(d: &mut Dec<'_>) -> Result<Strategy, WireError> {
+    Ok(match d.u8()? {
+        0 => Strategy::Pessimistic,
+        1 => Strategy::Optimistic,
+        t => return Err(WireError::Invalid(format!("strategy tag {t}"))),
+    })
+}
+
+/// Encode a [`CorrectionPolicy`].
+pub fn enc_policy(e: &mut Enc, p: CorrectionPolicy) {
+    e.u8(match p {
+        CorrectionPolicy::MergeCycles => 0,
+        CorrectionPolicy::MergeAll => 1,
+    });
+}
+
+/// Decode a [`CorrectionPolicy`].
+pub fn dec_policy(d: &mut Dec<'_>) -> Result<CorrectionPolicy, WireError> {
+    Ok(match d.u8()? {
+        0 => CorrectionPolicy::MergeCycles,
+        1 => CorrectionPolicy::MergeAll,
+        t => return Err(WireError::Invalid(format!("correction policy tag {t}"))),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn meta_round_trips_with_opaque_payload() {
+        let m = UpdateMeta::new(9, 2, UpdateKind::Schema { invalidates_view: true }, 77u64);
+        let mut e = Enc::new();
+        enc_meta(&mut e, &m, |e, p| e.u64(*p));
+        let buf = e.finish();
+        let mut d = Dec::new(&buf);
+        assert_eq!(dec_meta(&mut d, |d| d.u64()).unwrap(), m);
+        assert!(d.is_done());
+    }
+
+    #[test]
+    fn scheduler_config_round_trips() {
+        for s in [Strategy::Pessimistic, Strategy::Optimistic] {
+            let mut e = Enc::new();
+            enc_strategy(&mut e, s);
+            let buf = e.finish();
+            assert_eq!(dec_strategy(&mut Dec::new(&buf)).unwrap(), s);
+        }
+        for p in [CorrectionPolicy::MergeCycles, CorrectionPolicy::MergeAll] {
+            let mut e = Enc::new();
+            enc_policy(&mut e, p);
+            let buf = e.finish();
+            assert_eq!(dec_policy(&mut Dec::new(&buf)).unwrap(), p);
+        }
+    }
+
+    #[test]
+    fn unknown_tags_are_invalid() {
+        for bytes in [[9u8], [9u8], [9u8]] {
+            let mut d = Dec::new(&bytes);
+            assert!(dec_kind(&mut d).is_err());
+        }
+        assert!(dec_strategy(&mut Dec::new(&[7])).is_err());
+        assert!(dec_policy(&mut Dec::new(&[7])).is_err());
+    }
+}

@@ -9,7 +9,7 @@
 //! timeout/transient-error/crash on the query path, driven entirely by a
 //! seeded SplitMix64 and the simulated clock, so every run replays exactly.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 use dyno_obs::{Collector, Counter};
 use dyno_source::{SourceId, UpdateMessage};
@@ -46,6 +46,25 @@ pub trait Transport {
     /// `source_version > after`, in version order. Wrappers log what they
     /// send, so a NACK can always be satisfied from the transport's store.
     fn nack(&mut self, source: SourceId, after: u64) -> Vec<UpdateMessage>;
+
+    /// Durable retransmission: every message of `source` with
+    /// `source_version > after` that the wrapper still remembers, in version
+    /// order — *including* messages that were already delivered once. A
+    /// restarted warehouse whose in-memory delivery state died with it calls
+    /// this to resubscribe from its last durable high-water mark. The
+    /// default forwards to [`Transport::nack`], which is exact for
+    /// transports that never lose delivered state ([`Direct`] delivers
+    /// straight into the UMQ, so nothing can be in flight across a kill).
+    fn replay(&mut self, source: SourceId, after: u64) -> Vec<UpdateMessage> {
+        self.nack(source, after)
+    }
+
+    /// The warehouse durably acknowledged everything of `source` up to and
+    /// including `source_version == upto`; the wrapper may forget it. A
+    /// no-op by default.
+    fn ack(&mut self, source: SourceId, upto: u64) {
+        let _ = (source, upto);
+    }
 
     /// The fault (if any) to inject for a query about to contact `source`.
     fn query_fault(&mut self, source: SourceId, now_us: u64) -> Option<QueryFault>;
@@ -137,6 +156,11 @@ pub struct ChaosTransport {
     held: Vec<(u64, UpdateMessage)>,
     /// Crash windows per source.
     down_until: HashMap<SourceId, u64>,
+    /// The wrapper-side send log: everything ever offered to the transport,
+    /// keyed by `(source, source_version)`, pruned by [`Transport::ack`].
+    /// This is what lets [`Transport::replay`] re-deliver messages that were
+    /// *successfully* delivered once but died with a killed warehouse.
+    sent: BTreeMap<SourceId, BTreeMap<u64, UpdateMessage>>,
     counters: FaultCounters,
 }
 
@@ -148,6 +172,7 @@ impl ChaosTransport {
             rng: Rng::new(seed),
             held: Vec::new(),
             down_until: HashMap::new(),
+            sent: BTreeMap::new(),
             counters: FaultCounters::default(),
         }
     }
@@ -161,6 +186,12 @@ impl ChaosTransport {
     /// Number of messages currently held (dropped or delayed).
     pub fn held_len(&self) -> usize {
         self.held.len()
+    }
+
+    /// Number of messages in the wrapper send log (un-acked retransmission
+    /// candidates).
+    pub fn sent_len(&self) -> usize {
+        self.sent.values().map(BTreeMap::len).sum()
     }
 
     fn inject(&mut self, c: fn(&FaultCounters) -> &Counter) {
@@ -177,6 +208,9 @@ impl Transport for ChaosTransport {
     fn send(&mut self, msgs: Vec<UpdateMessage>, now_us: u64) -> Vec<UpdateMessage> {
         let mut out = Vec::with_capacity(msgs.len());
         for msg in msgs {
+            // The wrapper logs before the network rolls its dice: replay()
+            // can resurrect the message whatever happens to it below.
+            self.sent.entry(msg.source).or_default().insert(msg.source_version, msg.clone());
             // A crashed source's wrapper cannot talk to the manager either:
             // its messages wait out the crash window.
             let down = self.down_until.get(&msg.source).copied().filter(|&t| t > now_us);
@@ -230,6 +264,27 @@ impl Transport for ChaosTransport {
         out.sort_by_key(|m| m.source_version);
         self.counters.redelivered.add(out.len() as u64);
         out
+    }
+
+    fn replay(&mut self, source: SourceId, after: u64) -> Vec<UpdateMessage> {
+        // Everything the wrapper remembers beyond `after` is retransmitted
+        // from the send log; matching held copies are drained so the same
+        // message does not also fall due later (the gate would drop the
+        // duplicate anyway, but the clean form keeps held-state small).
+        self.held.retain(|(_, m)| !(m.source == source && m.source_version > after));
+        let out: Vec<UpdateMessage> = match self.sent.get(&source) {
+            Some(log) => log.range(after + 1..).map(|(_, m)| m.clone()).collect(),
+            None => Vec::new(),
+        };
+        self.counters.nacks.inc();
+        self.counters.redelivered.add(out.len() as u64);
+        out
+    }
+
+    fn ack(&mut self, source: SourceId, upto: u64) {
+        if let Some(log) = self.sent.get_mut(&source) {
+            *log = log.split_off(&(upto + 1));
+        }
     }
 
     fn query_fault(&mut self, source: SourceId, now_us: u64) -> Option<QueryFault> {
@@ -355,6 +410,42 @@ mod tests {
         assert!(t.send(vec![msg(1, 0, 1)], 100).is_empty());
         // …and delivered after the restart.
         assert_eq!(t.poll(until_us).len(), 1);
+    }
+
+    #[test]
+    fn replay_covers_already_delivered_messages() {
+        // A quiet transport delivers immediately — nack has nothing, but a
+        // restarted warehouse still gets everything back via replay.
+        let mut t = ChaosTransport::new(FaultProfile::quiet(), 1);
+        let delivered = t.send(vec![msg(1, 0, 1), msg(2, 0, 2), msg(3, 1, 1)], 0);
+        assert_eq!(delivered.len(), 3);
+        assert!(t.nack(SourceId(0), 0).is_empty(), "nothing held");
+        let replayed = t.replay(SourceId(0), 0);
+        assert_eq!(replayed.iter().map(|m| m.source_version).collect::<Vec<_>>(), vec![1, 2]);
+        // Replay respects the durable high-water mark…
+        assert_eq!(t.replay(SourceId(0), 1).len(), 1);
+        // …and an ack makes the wrapper forget for good.
+        t.ack(SourceId(0), 2);
+        assert!(t.replay(SourceId(0), 0).is_empty());
+        assert_eq!(t.sent_len(), 1, "source 1's message is still remembered");
+    }
+
+    #[test]
+    fn replay_drains_held_copies() {
+        let mut t = ChaosTransport::new(FaultProfile { drop_pm: 1000, ..FaultProfile::quiet() }, 1);
+        assert!(t.send(vec![msg(1, 0, 1)], 0).is_empty(), "dropped");
+        assert_eq!(t.held_len(), 1);
+        let replayed = t.replay(SourceId(0), 0);
+        assert_eq!(replayed.len(), 1);
+        assert_eq!(t.held_len(), 0, "the held copy will not fall due again");
+    }
+
+    #[test]
+    fn direct_replay_defaults_to_nack() {
+        let mut t = Direct;
+        t.send(vec![msg(1, 0, 1)], 0);
+        assert!(t.replay(SourceId(0), 0).is_empty());
+        t.ack(SourceId(0), 1); // default no-op must not panic
     }
 
     #[test]

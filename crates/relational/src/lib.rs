@@ -30,6 +30,7 @@ pub mod schema;
 pub mod tuple;
 pub mod update;
 pub mod value;
+pub mod wire;
 
 pub use catalog::Catalog;
 pub use ddl::{apply_to_relation, compose, SchemaChange};

@@ -26,6 +26,7 @@
 pub mod chaos;
 pub mod consistency;
 pub mod cost;
+pub mod crash;
 pub mod metrics;
 pub mod port;
 pub mod runner;
@@ -39,6 +40,7 @@ pub mod workload;
 pub use chaos::{run_chaos, ChaosConfig, ChaosReport};
 pub use consistency::{check_convergence, check_reflected, eval_view_at};
 pub use cost::CostModel;
+pub use crash::{run_crash_chaos, CrashConfig, CrashReport};
 pub use metrics::Metrics;
 pub use port::{ScheduledCommit, SimPort};
 pub use rng::Rng;

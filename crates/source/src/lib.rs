@@ -15,6 +15,7 @@ pub mod infospace;
 pub mod message;
 pub mod server;
 pub mod space;
+pub mod wire;
 
 pub use id::{SourceId, UpdateId};
 pub use infospace::{AttributeReplacement, InfoSpace, RelationReplacement};

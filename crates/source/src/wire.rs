@@ -1,0 +1,48 @@
+//! Binary (de)serialization of source-layer messages for the warehouse WAL.
+
+use crate::id::{SourceId, UpdateId};
+use crate::message::UpdateMessage;
+use dyno_durable::codec::{Dec, Enc, WireError};
+use dyno_relational::wire::{dec_source_update, enc_source_update};
+
+/// Encode an [`UpdateMessage`] (id, source, version, payload).
+pub fn enc_message(e: &mut Enc, m: &UpdateMessage) {
+    e.u64(m.id.0);
+    e.u32(m.source.0);
+    e.u64(m.source_version);
+    enc_source_update(e, &m.update);
+}
+
+/// Decode an [`UpdateMessage`].
+pub fn dec_message(d: &mut Dec<'_>) -> Result<UpdateMessage, WireError> {
+    Ok(UpdateMessage {
+        id: UpdateId(d.u64()?),
+        source: SourceId(d.u32()?),
+        source_version: d.u64()?,
+        update: dec_source_update(d)?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dyno_relational::{DataUpdate, Delta, Schema, SourceUpdate, Tuple, Value};
+
+    #[test]
+    fn message_round_trips() {
+        let schema = Schema::of("item", &[("k", dyno_relational::AttrType::Int)]);
+        let delta = Delta::from_rows(schema, vec![(Tuple::new(vec![Value::Int(5)]), 1)]).unwrap();
+        let m = UpdateMessage {
+            id: UpdateId(42),
+            source: SourceId(3),
+            source_version: 17,
+            update: SourceUpdate::Data(DataUpdate::new(delta)),
+        };
+        let mut e = Enc::new();
+        enc_message(&mut e, &m);
+        let buf = e.finish();
+        let mut d = Dec::new(&buf);
+        assert_eq!(dec_message(&mut d).unwrap(), m);
+        assert!(d.is_done());
+    }
+}

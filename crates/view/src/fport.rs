@@ -141,6 +141,38 @@ impl<P: SourcePort, T: Transport> FaultedPort<P, T> {
         &self.transport
     }
 
+    /// Tears the port down to its parts — a warehouse **kill**. The recovery
+    /// sequencer, its reorder buffers, and the undrained `out` messages die
+    /// with the process (that is the point: only WAL + transport survive);
+    /// the inner port and transport are the outside world and live on.
+    pub fn into_parts(self) -> (P, T) {
+        (self.inner, self.transport)
+    }
+
+    /// Re-subscribes after a restart: asks the transport to replay, per
+    /// source, everything beyond what this (rebuilt) port's baseline says
+    /// was delivered. With the baseline taken from recovered WAL marks, the
+    /// replay covers exactly the window between the last durable admission
+    /// and the crash; the recovery sequencer and the warehouse's ingress
+    /// gate dedupe any overlap.
+    pub fn resubscribe(&mut self) {
+        let sources = self.all_sources.clone();
+        for s in sources {
+            let after = self.recovery.delivered(s);
+            let replayed = self.transport.replay(s, after);
+            if !replayed.is_empty() {
+                self.recovery.admit(replayed, &mut self.transport, &mut self.out);
+            }
+        }
+    }
+
+    /// Tells the transport that `source`'s messages through `upto` are
+    /// durable on the warehouse side (checkpointed or applied) and need not
+    /// be retained for replay.
+    pub fn ack_durable(&mut self, source: SourceId, upto: u64) {
+        self.transport.ack(source, upto);
+    }
+
     /// The earliest future simulated µs at which transport-held state
     /// changes on its own (delayed delivery due / crashed source restart).
     pub fn next_wakeup_us(&self) -> Option<u64> {

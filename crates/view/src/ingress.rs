@@ -70,6 +70,36 @@ impl IngressGate {
         self.buffer.values().map(BTreeMap::len).sum()
     }
 
+    /// Whether dedupe+resequencing is enabled.
+    pub fn dedupe_enabled(&self) -> bool {
+        self.dedupe
+    }
+
+    /// The admitted high-water marks as sorted `(source, version)` pairs —
+    /// the warehouse WAL persists these so a restart resubscribes from
+    /// exactly where admission stopped.
+    pub fn marks(&self) -> Vec<(u32, u64)> {
+        let mut v: Vec<(u32, u64)> = self.admitted.iter().map(|(s, &ver)| (s.0, ver)).collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Restores the high-water marks from recovered state, replacing any
+    /// current admission state (reorder buffers start empty: anything that
+    /// was parked pre-crash is redelivered by resubscription).
+    pub fn restore_marks(&mut self, marks: &[(u32, u64)]) {
+        self.admitted = marks.iter().map(|&(s, v)| (SourceId(s), v)).collect();
+        self.buffer.clear();
+    }
+
+    /// Memory footprint: retained map entries (per-source marks) plus parked
+    /// messages. The gate keeps **no** per-version state at or below the
+    /// high-water mark — dedupe there is a single integer compare — so under
+    /// any redelivery volume this stays O(sources + reorder window).
+    pub fn footprint(&self) -> usize {
+        self.admitted.len() + self.buffer.len() + self.pending()
+    }
+
     /// Offers one message; returns the messages now admissible, in order.
     /// `floor` is the version the view already reflects for the source (the
     /// admission baseline the first time a source is seen).
@@ -100,6 +130,11 @@ impl IngressGate {
         }
         if out.len() > 1 {
             self.resequenced.add(out.len() as u64 - 1);
+        }
+        // Everything below the high-water mark is evicted: a drained reorder
+        // buffer must not leave a permanent per-source map entry behind.
+        if buf.is_empty() {
+            self.buffer.remove(&source);
         }
         out
     }
@@ -171,6 +206,69 @@ mod tests {
         assert_eq!(released(&g.admit(msg(2, 0, 4), 3)), vec![4]);
         // Sources are independent.
         assert_eq!(released(&g.admit(msg(3, 1, 1), 0)), vec![1]);
+    }
+
+    #[test]
+    fn marks_round_trip_through_restore() {
+        let mut g = IngressGate::new();
+        g.admit(msg(1, 0, 1), 0);
+        g.admit(msg(2, 0, 2), 0);
+        g.admit(msg(3, 1, 1), 0);
+        assert_eq!(g.marks(), vec![(0, 2), (1, 1)]);
+
+        let mut fresh = IngressGate::new();
+        fresh.restore_marks(&g.marks());
+        assert!(fresh.admit(msg(4, 0, 2), 0).is_empty(), "below restored mark: duplicate");
+        assert_eq!(released(&fresh.admit(msg(5, 0, 3), 0)), vec![3]);
+    }
+
+    #[test]
+    fn footprint_stays_bounded_under_redelivery_heavy_traffic() {
+        // An at-least-once transport redelivers every message many times and
+        // the stream is long. A seen-set design would grow O(versions); the
+        // high-water-mark design must stay O(sources + reorder window).
+        let mut g = IngressGate::new();
+        let mut admitted = 0u64;
+        for v in 1..=1_000u64 {
+            for _ in 0..3 {
+                admitted += g.admit(msg(v, 0, v), 0).len() as u64;
+            }
+            // A stale duplicate from far below the mark, every round.
+            g.admit(msg(1, 0, 1), 0);
+        }
+        assert_eq!(admitted, 1_000);
+        assert_eq!(
+            g.footprint(),
+            1,
+            "one mark entry, no buffers: memory is independent of stream length"
+        );
+
+        // Now with a persistent reorder gap of window 4.
+        let mut g = IngressGate::new();
+        for v in 2..=1_000u64 {
+            g.admit(msg(v, 0, v), 0);
+            if v >= 5 {
+                // Predecessor arrives 4 versions late.
+                g.admit(msg(v - 4, 0, v - 4), 0);
+                g.admit(msg(v - 4, 0, v - 4), 0); // and is redelivered
+            }
+        }
+        assert!(
+            g.footprint() <= 2 + 4,
+            "footprint {} exceeds marks + reorder window",
+            g.footprint()
+        );
+    }
+
+    #[test]
+    fn drained_reorder_buffer_leaves_no_empty_entry() {
+        let mut g = IngressGate::new();
+        for s in 0..100u32 {
+            assert!(g.admit(msg(1, s, 2), 0).is_empty(), "parks: gap at version 1");
+            assert_eq!(g.admit(msg(2, s, 1), 0).len(), 2, "gap fills, buffer drains");
+        }
+        assert_eq!(g.pending(), 0);
+        assert_eq!(g.footprint(), 100, "only the 100 marks remain — no empty buffers");
     }
 
     #[test]

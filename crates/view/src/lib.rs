@@ -30,6 +30,7 @@ pub mod testkit;
 pub mod viewdef;
 pub mod vm;
 pub mod vs;
+pub mod wal;
 pub mod warehouse;
 
 pub use batch::{
@@ -48,4 +49,8 @@ pub use plan::{MaintPlan, MaintStep, PlanCache};
 pub use viewdef::ViewDefinition;
 pub use vm::{sweep_maintain, sweep_maintain_observed, MaintFailure, ViewDelta};
 pub use vs::{synchronize, synchronize_all, VsError};
+pub use wal::{
+    AppliedChange, AppliedRecord, CrashPlan, CrashPoint, DurableLog, DurableState, RecoverError,
+    RecoverReport, ViewState,
+};
 pub use warehouse::Warehouse;

@@ -7,6 +7,7 @@ use dyno_core::{
     CorrectionPolicy, Dyno, DynoStats, MaintainOutcome, Maintainer, StepOutcome, Strategy, Umq,
     UpdateKind, UpdateMeta,
 };
+use dyno_durable::storage::Storage;
 use dyno_obs::{field, Collector, Level};
 use dyno_relational::{RelationalError, SourceUpdate};
 use dyno_source::{InfoSpace, SourceId, UpdateMessage};
@@ -19,6 +20,10 @@ use crate::plan::PlanCache;
 use crate::viewdef::ViewDefinition;
 use crate::vm::sweep_maintain_observed;
 use crate::vs::VsError;
+use crate::wal::{
+    sorted_versions, AppliedChange, AppliedRecord, CrashPlan, DurableLog, DurableState,
+    RecoverError, RecoverReport, ViewState,
+};
 
 /// Hard (non-retryable) view-management failures.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -81,6 +86,7 @@ struct ViewCore {
     obs: Collector,
     plans: PlanCache,
     ingress: IngressGate,
+    wal: Option<DurableLog>,
 }
 
 impl ViewManager {
@@ -102,8 +108,105 @@ impl ViewManager {
                 obs: Collector::disabled(),
                 plans: PlanCache::new(),
                 ingress: IngressGate::new(),
+                wal: None,
             },
         }
+    }
+
+    /// Attaches a write-ahead log and writes the first checkpoint. Call
+    /// **after** [`ViewManager::initialize`] so the baseline snapshot covers
+    /// the populated extent.
+    pub fn with_wal(mut self, mut log: DurableLog) -> Self {
+        log.bind_obs(&self.core.obs);
+        self.core.wal = Some(log);
+        self.checkpoint_now();
+        self
+    }
+
+    fn durable_state(&self) -> DurableState {
+        DurableState {
+            strategy: self.dyno.strategy(),
+            policy: self.dyno.policy(),
+            adaptation: self.core.adaptation,
+            dedupe: self.core.ingress.dedupe_enabled(),
+            views: vec![ViewState {
+                sql: self.core.view.to_string(),
+                cols: self.core.mv.cols().to_vec(),
+                extent: self.core.mv.extent().clone(),
+            }],
+            reflected: sorted_versions(self.core.reflected.iter().map(|(s, v)| (s.0, *v))),
+            marks: self.core.ingress.marks(),
+            batches: self.umq.nodes().iter().map(|b| b.to_vec()).collect(),
+            sc_flag: self.umq.schema_change_flag(),
+        }
+    }
+
+    /// Forces a checkpoint now (no-op without a WAL or after a power cut).
+    pub fn checkpoint_now(&mut self) {
+        if self.core.wal.is_some() {
+            let state = self.durable_state();
+            if let Some(log) = self.core.wal.as_mut() {
+                log.checkpoint(&state);
+            }
+        }
+    }
+
+    /// Arms a deterministic power cut on the attached WAL (chaos testing).
+    pub fn arm_crash(&mut self, plan: CrashPlan) {
+        if let Some(log) = self.core.wal.as_mut() {
+            log.arm(plan);
+        }
+    }
+
+    /// True once the attached WAL's simulated power has been cut.
+    pub fn wal_power_cut(&self) -> bool {
+        self.core.wal.as_ref().is_some_and(DurableLog::power_cut)
+    }
+
+    /// The ingress gate's admitted high-water marks (resubscription baseline).
+    pub fn ingress_marks(&self) -> Vec<(u32, u64)> {
+        self.core.ingress.marks()
+    }
+
+    /// Rebuilds a manager from a WAL — the single-view counterpart of
+    /// [`crate::Warehouse::recover`]; see there for the replay semantics.
+    pub fn recover(
+        storage: Box<dyn Storage>,
+        info: InfoSpace,
+        obs: Collector,
+    ) -> Result<(Self, RecoverReport), RecoverError> {
+        let (log, state, report) = crate::wal::recover(storage, &obs)?;
+        let [vs]: [ViewState; 1] = <[ViewState; 1]>::try_from(state.views)
+            .map_err(|v| RecoverError::Corrupt(format!("manager log holds {} views", v.len())))?;
+        let view = ViewDefinition::parse(&vs.sql, "view")
+            .map_err(|e| RecoverError::Corrupt(format!("checkpointed view sql: {e}")))?;
+        let mut mv = MaterializedView::new(view.name.clone(), vs.cols.clone());
+        mv.replace(vs.cols, vs.extent)
+            .map_err(|e| RecoverError::Corrupt(format!("checkpointed extent: {e}")))?;
+        let mut dyno = Dyno::new(state.strategy).with_obs(obs.clone());
+        dyno.set_policy(state.policy);
+        let mut ingress = IngressGate::new();
+        ingress.bind_obs(&obs);
+        ingress.set_dedupe(state.dedupe);
+        ingress.restore_marks(&state.marks);
+        let mgr = ViewManager {
+            dyno,
+            umq: Umq::restore(state.batches, state.sc_flag),
+            core: ViewCore {
+                view,
+                mv,
+                info,
+                reflected: state.reflected.iter().map(|&(s, v)| (SourceId(s), v)).collect(),
+                stats: ViewStats::default(),
+                last_error: None,
+                adaptation: state.adaptation,
+                obs,
+                plans: PlanCache::new(),
+                ingress,
+                wal: Some(log),
+            },
+        };
+        Ok((mgr, report))
     }
 
     /// Overrides the scheduler's correction policy (default: cycle merge;
@@ -183,7 +286,11 @@ impl ViewManager {
                         invalidates_view: self.core.view.is_invalidated_by(sc),
                     },
                 };
-                self.umq.enqueue(UpdateMeta::new(msg.id.0, msg.source.0, kind, msg));
+                let meta = UpdateMeta::new(msg.id.0, msg.source.0, kind, msg);
+                if let Some(log) = self.core.wal.as_mut() {
+                    log.log_admitted(&meta);
+                }
+                self.umq.enqueue(meta);
             }
         }
     }
@@ -202,6 +309,9 @@ impl ViewManager {
                     reason: "maintenance failed without recording an error".into(),
                 },
             )));
+        }
+        if self.core.wal.as_ref().is_some_and(DurableLog::should_checkpoint) {
+            self.checkpoint_now();
         }
         Ok(outcome)
     }
@@ -305,6 +415,14 @@ impl Maintainer<UpdateMessage> for MaintCtx<'_> {
         );
         self.core.obs.counter("view.attempts").inc();
 
+        // Commit protocol, write 1 of 2: the intent is durable before any
+        // maintenance query runs (see `crate::wal`).
+        if let Some(log) = self.core.wal.as_mut() {
+            let keys: Vec<u64> = batch.iter().map(|m| m.key.0).collect();
+            log.log_intent(&keys, schema_changes > 0);
+        }
+
+        let mut logged: Option<AppliedChange> = None;
         let failure: Option<BatchFailure> = if is_plain_du {
             let (result, drained) = sweep_maintain_observed(
                 &self.core.view,
@@ -322,6 +440,9 @@ impl Maintainer<UpdateMessage> for MaintCtx<'_> {
                         Ok(()) => {
                             self.port.charge_mv_write(written);
                             self.core.stats.du_committed += 1;
+                            if self.core.wal.is_some() {
+                                logged = Some(AppliedChange::Delta { rows: delta.rows.clone() });
+                            }
                             None
                         }
                         Err(e) => Some(BatchFailure::Internal(e)),
@@ -344,6 +465,13 @@ impl Maintainer<UpdateMessage> for MaintCtx<'_> {
             match result {
                 Ok(Adapted::Replaced { view, cols, extent }) => {
                     let written = extent.weight();
+                    if self.core.wal.is_some() {
+                        logged = Some(AppliedChange::Replace {
+                            sql: view.to_string(),
+                            cols: cols.clone(),
+                            extent: extent.clone(),
+                        });
+                    }
                     match self.core.mv.replace(cols, extent) {
                         Ok(()) => {
                             self.port.charge_mv_write(written);
@@ -358,6 +486,12 @@ impl Maintainer<UpdateMessage> for MaintCtx<'_> {
                 }
                 Ok(Adapted::Incremental { view, delta }) => {
                     let written = delta.rows.weight();
+                    if self.core.wal.is_some() {
+                        logged = Some(AppliedChange::Incremental {
+                            sql: view.to_string(),
+                            rows: delta.rows.clone(),
+                        });
+                    }
                     match self.core.mv.apply_delta(&delta.cols, &delta.rows) {
                         Ok(()) => {
                             self.port.charge_mv_write(written);
@@ -378,6 +512,19 @@ impl Maintainer<UpdateMessage> for MaintCtx<'_> {
         match failure {
             None => {
                 self.commit_bookkeeping(batch);
+                // Commit protocol, write 2 of 2: the applied record makes
+                // the in-memory commit durable (crash before it = redo).
+                if let Some(log) = self.core.wal.as_mut() {
+                    let change =
+                        logged.unwrap_or(AppliedChange::Delta { rows: Default::default() });
+                    log.log_applied(&AppliedRecord {
+                        keys: batch.iter().map(|m| m.key.0).collect(),
+                        changes: vec![change],
+                        reflected: sorted_versions(
+                            self.core.reflected.iter().map(|(s, v)| (s.0, *v)),
+                        ),
+                    });
+                }
                 self.core.obs.counter("view.commits").inc();
                 self.port.on_maintenance_event(MaintEvent::Commit);
                 MaintainOutcome::Committed
@@ -650,6 +797,33 @@ mod tests {
             Some(before.committed),
             "collector binding survives with_correction"
         );
+    }
+
+    #[test]
+    fn manager_recovers_from_wal() {
+        let space = bookinfo_space();
+        let info = space.info().clone();
+        let mut port = InProcessPort::new(space);
+        let disk = dyno_durable::MemStorage::new();
+        let mut mgr = ViewManager::new(bookinfo_view(), info.clone(), Strategy::Pessimistic);
+        mgr.initialize(&mut port).unwrap();
+        let mut mgr = mgr.with_wal(crate::wal::DurableLog::create(Box::new(disk.clone())).unwrap());
+        port.commit(
+            dyno_source::SourceId(0),
+            SourceUpdate::Data(insert_item(10, "Data Integration Guide", "Adams", 36)),
+        )
+        .unwrap();
+        mgr.run_to_quiescence(&mut port, 100).unwrap();
+        let frozen = mgr.mv().sorted_tuples();
+        let reflected = mgr.reflected().clone();
+        drop(mgr);
+
+        let (back, report) = ViewManager::recover(Box::new(disk), info, Collector::wall()).unwrap();
+        assert_eq!(report.torn_records, 0);
+        assert_eq!(back.mv().sorted_tuples(), frozen, "extent is bit-identical");
+        assert_eq!(back.reflected(), &reflected);
+        assert_eq!(back.view(), &bookinfo_view());
+        assert_eq!(back.backlog(), 0);
     }
 
     #[test]

@@ -1,0 +1,788 @@
+//! The warehouse's durable commit protocol over a [`dyno_durable::Wal`].
+//!
+//! ## Records
+//!
+//! | tag | record | written |
+//! |---|---|---|
+//! | 1 | `Checkpoint(DurableState)` | at attach, periodically, and at the end of every recovery (as a [`Wal::rewrite`], truncating the log) |
+//! | 2 | `Admitted(UpdateMeta)` | when the ingress gate admits a message to the UMQ |
+//! | 3 | `Intent{keys, has_sc}` | immediately **before** a batch's maintenance executes |
+//! | 4 | `Applied{keys, changes, reflected}` | immediately **after** the in-memory commit of a batch, as **one** record covering every view |
+//!
+//! ## The recovery invariants
+//!
+//! * **Intent without Applied ⇒ nothing happened.** The in-memory commit is
+//!   atomic with writing `Applied`; a crash between them discards the
+//!   process along with its un-logged view writes, so replay simply re-parks
+//!   the batch (it is still in the restored UMQ) and the restarted scheduler
+//!   redoes it. This is the paper's Equation 6 atomicity made durable: a
+//!   batch node is either fully applied (one `Applied` record covering every
+//!   view and every batched update) or not at all.
+//! * **Torn tail ⇒ never sent.** [`dyno_durable::Wal::open`] stops at the
+//!   first corrupt byte; everything before it is a complete record,
+//!   everything after was never acknowledged to anyone (the warehouse acks
+//!   sources only from checkpoints/applied state).
+//! * **Dependency edges are not persisted.** Correction is a deterministic
+//!   function of (queue, views, policy); the restored scheduler recomputes
+//!   the graph from the restored queue, so persisting it would only create a
+//!   second source of truth. SC-batch *boundaries* (merged entries) ARE
+//!   persisted — they are queue structure, not derived data.
+//!
+//! ## Deterministic power cuts
+//!
+//! [`CrashPlan`] arms the log to simulate a power failure at a chosen
+//! protocol point: after the N-th matching record is written, the log
+//! silently drops every later write, exactly like a host that lost power
+//! with its page cache unflushed. The chaos driver polls
+//! [`DurableLog::power_cut`] and kills/recovers the warehouse when it trips.
+
+use dyno_core::wire as core_wire;
+use dyno_core::{CorrectionPolicy, Strategy, UpdateMeta};
+use dyno_durable::codec::{dec_seq, enc_seq, Dec, Enc, WireError};
+use dyno_durable::storage::Storage;
+use dyno_durable::wal::{Wal, WalError};
+use dyno_obs::{field, Collector};
+use dyno_relational::wire as rel_wire;
+use dyno_relational::SignedBag;
+use dyno_source::wire as src_wire;
+use dyno_source::UpdateMessage;
+
+use crate::batch::AdaptationMode;
+
+/// One view's recoverable state: its definition (as round-trippable SQL),
+/// output columns, and extent.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ViewState {
+    /// `CREATE VIEW name AS SELECT …` — the Display form of the definition.
+    pub sql: String,
+    /// Output column names of the materialized extent.
+    pub cols: Vec<String>,
+    /// The extent itself.
+    pub extent: SignedBag,
+}
+
+/// Everything a warehouse needs to resume after a kill: scheduler
+/// configuration, every view, the version vector, the ingress gate's
+/// high-water marks, and the UMQ including merged-batch boundaries.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DurableState {
+    /// Detection strategy the scheduler ran with.
+    pub strategy: Strategy,
+    /// Correction policy the scheduler ran with.
+    pub policy: CorrectionPolicy,
+    /// View-adaptation mode.
+    pub adaptation: AdaptationMode,
+    /// Whether the ingress gate's dedupe/resequencing was enabled.
+    pub dedupe: bool,
+    /// Every registered view, in slot order.
+    pub views: Vec<ViewState>,
+    /// Per-source versions the views reflect, sorted by source.
+    pub reflected: Vec<(u32, u64)>,
+    /// The ingress gate's admitted high-water marks, sorted by source —
+    /// the resubscription baseline after a restart.
+    pub marks: Vec<(u32, u64)>,
+    /// The UMQ's entries in order, each a batch of one or more updates
+    /// (SC-batch boundaries survive the crash).
+    pub batches: Vec<Vec<UpdateMeta<UpdateMessage>>>,
+    /// The `NewSchemaChangeFlag`.
+    pub sc_flag: bool,
+}
+
+/// The change one `Applied` record carries for one view slot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AppliedChange {
+    /// SWEEP delta merged into the extent (definition and columns unchanged).
+    Delta {
+        /// Signed rows merged into the extent.
+        rows: SignedBag,
+    },
+    /// Adaptation replaced the extent wholesale (and rewrote the definition).
+    Replace {
+        /// The rewritten definition's SQL.
+        sql: String,
+        /// The adapted view's output columns.
+        cols: Vec<String>,
+        /// The full replacement extent.
+        extent: SignedBag,
+    },
+    /// Adaptation rewrote the definition but patched the extent
+    /// incrementally (Equation 6; output columns unchanged).
+    Incremental {
+        /// The rewritten definition's SQL.
+        sql: String,
+        /// Signed rows merged into the extent.
+        rows: SignedBag,
+    },
+}
+
+/// One atomic commit: which queue entries it consumed, what it did to every
+/// view, and the version vector after it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AppliedRecord {
+    /// Update keys of the committed batch.
+    pub keys: Vec<u64>,
+    /// Per-view changes, in slot order.
+    pub changes: Vec<AppliedChange>,
+    /// The full reflected version vector after the commit, sorted.
+    pub reflected: Vec<(u32, u64)>,
+}
+
+/// Where in the commit protocol a planned power cut strikes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CrashPoint {
+    /// After a completed commit (`Applied` durable), before the next step.
+    BetweenSteps,
+    /// After the `Intent` of a single plain-DU maintenance, before its
+    /// `Applied` — the half-done SWEEP.
+    AfterIntent,
+    /// After the `Intent` of a merged batch or schema-change node, before
+    /// its `Applied` — the half-done adaptation Equation 6 must never
+    /// expose.
+    MidBatch,
+}
+
+/// A deterministic kill: power is cut right after the `(skip+1)`-th record
+/// matching [`CrashPoint`] is written.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CrashPlan {
+    /// The protocol point to strike at.
+    pub point: CrashPoint,
+    /// How many matching records to let through first.
+    pub skip: u64,
+}
+
+/// Why a recovery could not produce a warehouse.
+#[derive(Debug, Clone)]
+pub enum RecoverError {
+    /// The underlying log failed (storage I/O).
+    Wal(WalError),
+    /// The log contains no checkpoint record — nothing to recover from.
+    NoCheckpoint,
+    /// An intact (CRC-valid) record decoded to an impossible value.
+    Corrupt(String),
+}
+
+impl std::fmt::Display for RecoverError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RecoverError::Wal(e) => write!(f, "{e}"),
+            RecoverError::NoCheckpoint => write!(f, "log holds no checkpoint record"),
+            RecoverError::Corrupt(why) => write!(f, "corrupt log record: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for RecoverError {}
+
+impl From<WalError> for RecoverError {
+    fn from(e: WalError) -> Self {
+        RecoverError::Wal(e)
+    }
+}
+
+/// What a recovery replay found.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RecoverReport {
+    /// Intact records replayed (checkpoint + tail).
+    pub replayed_records: u64,
+    /// 1 if a torn/corrupt tail was discarded.
+    pub torn_records: u64,
+    /// Bytes discarded with it.
+    pub torn_bytes: u64,
+    /// In-flight intents without a matching `Applied` — batches the crash
+    /// interrupted mid-maintenance, re-parked for the restarted scheduler.
+    pub reparked_intents: u64,
+}
+
+const TAG_CHECKPOINT: u8 = 1;
+const TAG_ADMITTED: u8 = 2;
+const TAG_INTENT: u8 = 3;
+const TAG_APPLIED: u8 = 4;
+
+/// Default checkpoint policy: snapshot after this many appended records.
+pub const DEFAULT_CHECKPOINT_EVERY: u64 = 64;
+
+/// The commit-protocol log: typed records over a [`Wal`], plus the armed
+/// power-cut machinery for crash testing.
+///
+/// Log methods are infallible by design: a storage failure mid-run is
+/// indistinguishable from a power cut, so it latches [`DurableLog::power_cut`]
+/// instead of surfacing an error into the maintenance path (the driver kills
+/// and recovers, which is exactly the correct response).
+#[derive(Debug, Clone)]
+pub struct DurableLog {
+    wal: Wal,
+    checkpoint_every: u64,
+    appends_since_ckpt: u64,
+    plan: Option<CrashPlan>,
+    cut: bool,
+    obs: Collector,
+}
+
+enum RecordKind {
+    Admitted,
+    Intent { batch_len: usize, has_sc: bool },
+    Applied,
+}
+
+impl DurableLog {
+    /// Starts a fresh log on `storage` (erasing prior content).
+    pub fn create(storage: Box<dyn Storage>) -> Result<Self, WalError> {
+        Ok(DurableLog {
+            wal: Wal::create(storage)?,
+            checkpoint_every: DEFAULT_CHECKPOINT_EVERY,
+            appends_since_ckpt: 0,
+            plan: None,
+            cut: false,
+            obs: Collector::disabled(),
+        })
+    }
+
+    /// Overrides the checkpoint policy: snapshot after `n` appended records
+    /// (`u64::MAX` disables periodic checkpoints).
+    pub fn with_checkpoint_every(mut self, n: u64) -> Self {
+        self.checkpoint_every = n.max(1);
+        self
+    }
+
+    /// Binds `wal.*` counters into a collector's registry.
+    pub fn bind_obs(&mut self, obs: &Collector) {
+        self.obs = obs.clone();
+        self.wal.bind_obs(obs);
+    }
+
+    /// Arms a deterministic power cut.
+    pub fn arm(&mut self, plan: CrashPlan) {
+        self.plan = Some(plan);
+    }
+
+    /// True once the (simulated) power has been cut: every write since was
+    /// silently dropped and the process should be considered dead.
+    pub fn power_cut(&self) -> bool {
+        self.cut
+    }
+
+    /// Current log size in bytes (0 after a cut is *not* implied — the cut
+    /// only stops new writes).
+    pub fn len_bytes(&self) -> u64 {
+        self.wal.len_bytes().unwrap_or(0)
+    }
+
+    fn append(&mut self, kind: RecordKind, payload: &[u8]) {
+        if self.cut {
+            return;
+        }
+        if self.wal.append(payload).is_err() {
+            self.cut = true;
+            return;
+        }
+        self.appends_since_ckpt += 1;
+        if let Some(plan) = &mut self.plan {
+            let matches = match (&plan.point, &kind) {
+                (CrashPoint::BetweenSteps, RecordKind::Applied) => true,
+                (CrashPoint::AfterIntent, RecordKind::Intent { batch_len, has_sc }) => {
+                    *batch_len == 1 && !has_sc
+                }
+                (CrashPoint::MidBatch, RecordKind::Intent { batch_len, has_sc }) => {
+                    *batch_len > 1 || *has_sc
+                }
+                _ => false,
+            };
+            if matches {
+                if plan.skip == 0 {
+                    self.cut = true;
+                    self.obs.counter("wal.power_cuts").inc();
+                } else {
+                    plan.skip -= 1;
+                }
+            }
+        }
+    }
+
+    /// Logs one gate-admitted message (with its classification) before it
+    /// enters the UMQ.
+    pub fn log_admitted(&mut self, meta: &UpdateMeta<UpdateMessage>) {
+        let mut e = Enc::new();
+        e.u8(TAG_ADMITTED);
+        core_wire::enc_meta(&mut e, meta, src_wire::enc_message);
+        self.append(RecordKind::Admitted, &e.finish());
+    }
+
+    /// Logs the intent to maintain a batch, before any query runs.
+    pub fn log_intent(&mut self, keys: &[u64], has_sc: bool) {
+        let mut e = Enc::new();
+        e.u8(TAG_INTENT);
+        enc_seq(&mut e, keys, |e, k| e.u64(*k));
+        e.bool(has_sc);
+        self.append(RecordKind::Intent { batch_len: keys.len(), has_sc }, &e.finish());
+    }
+
+    /// Logs a completed commit — one atomic record across every view.
+    pub fn log_applied(&mut self, rec: &AppliedRecord) {
+        let mut e = Enc::new();
+        e.u8(TAG_APPLIED);
+        enc_applied(&mut e, rec);
+        self.append(RecordKind::Applied, &e.finish());
+    }
+
+    /// True when the size/record-count policy says it is checkpoint time.
+    pub fn should_checkpoint(&self) -> bool {
+        !self.cut && self.appends_since_ckpt >= self.checkpoint_every
+    }
+
+    /// Writes a checkpoint, atomically truncating the log to that single
+    /// record (sequence numbers keep counting).
+    pub fn checkpoint(&mut self, state: &DurableState) {
+        if self.cut {
+            return;
+        }
+        let mut e = Enc::new();
+        e.u8(TAG_CHECKPOINT);
+        enc_state(&mut e, state);
+        if self.wal.rewrite(&e.finish()).is_err() {
+            self.cut = true;
+            return;
+        }
+        self.appends_since_ckpt = 0;
+    }
+}
+
+/// Replays a log: checkpoint + tail, folding every intact record into the
+/// state, discarding the torn tail, and counting intents the crash left
+/// open. Ends by writing a fresh checkpoint (which truncates the torn bytes
+/// and makes recovery idempotent). Returns the reopened log, the state to
+/// rebuild a warehouse from, and the replay accounting.
+pub fn recover(
+    storage: Box<dyn Storage>,
+    obs: &Collector,
+) -> Result<(DurableLog, DurableState, RecoverReport), RecoverError> {
+    let (wal, replay) = Wal::open(storage)?;
+    let _span = obs.span(
+        "recover.replay",
+        &[field("records", replay.payloads.len()), field("torn_bytes", replay.torn_bytes)],
+    );
+    let mut report = RecoverReport {
+        torn_records: replay.torn_records,
+        torn_bytes: replay.torn_bytes,
+        ..RecoverReport::default()
+    };
+    let mut state: Option<DurableState> = None;
+    let mut open_intents: Vec<Vec<u64>> = Vec::new();
+
+    'replay: for payload in &replay.payloads {
+        let mut d = Dec::new(payload);
+        let parsed: Result<(), WireError> = (|| {
+            match d.u8()? {
+                TAG_CHECKPOINT => {
+                    state = Some(dec_state(&mut d)?);
+                    open_intents.clear();
+                }
+                TAG_ADMITTED => {
+                    let meta = core_wire::dec_meta(&mut d, src_wire::dec_message)?;
+                    let st = state
+                        .as_mut()
+                        .ok_or_else(|| WireError::Invalid("record before checkpoint".into()))?;
+                    bump_mark(&mut st.marks, meta.source.0, meta.payload.source_version);
+                    if meta.kind.is_schema_change() {
+                        st.sc_flag = true;
+                    }
+                    st.batches.push(vec![meta]);
+                }
+                TAG_INTENT => {
+                    let keys = dec_seq(&mut d, |d| d.u64())?;
+                    let _has_sc = d.bool()?;
+                    open_intents.push(keys);
+                }
+                TAG_APPLIED => {
+                    let rec = dec_applied(&mut d)?;
+                    let st = state
+                        .as_mut()
+                        .ok_or_else(|| WireError::Invalid("record before checkpoint".into()))?;
+                    apply_record(st, &rec)?;
+                    open_intents.clear();
+                }
+                t => return Err(WireError::Invalid(format!("record tag {t}"))),
+            }
+            Ok(())
+        })();
+        match parsed {
+            Ok(()) => report.replayed_records += 1,
+            Err(_) => {
+                // A CRC-valid record that fails to decode can only come
+                // from a format bug or hand-corruption; treat it like a
+                // torn tail — keep the intact prefix, drop from here on.
+                report.torn_records += 1;
+                break 'replay;
+            }
+        }
+    }
+
+    let state = state.ok_or(RecoverError::NoCheckpoint)?;
+    report.reparked_intents = open_intents.len() as u64;
+
+    obs.counter("recover.replayed").add(report.replayed_records);
+    obs.counter("recover.torn_records").add(report.torn_records);
+    obs.counter("recover.reparked_intents").add(report.reparked_intents);
+
+    let mut log = DurableLog {
+        wal,
+        checkpoint_every: DEFAULT_CHECKPOINT_EVERY,
+        appends_since_ckpt: 0,
+        plan: None,
+        cut: false,
+        obs: obs.clone(),
+    };
+    log.bind_obs(obs);
+    // Recovery commits its result durably: the torn tail is truncated away
+    // and a second recovery from the same storage replays exactly this
+    // checkpoint.
+    log.checkpoint(&state);
+    Ok((log, state, report))
+}
+
+fn bump_mark(marks: &mut Vec<(u32, u64)>, source: u32, version: u64) {
+    match marks.iter_mut().find(|(s, _)| *s == source) {
+        Some((_, v)) => *v = (*v).max(version),
+        None => {
+            marks.push((source, version));
+            marks.sort_unstable();
+        }
+    }
+}
+
+/// Folds one `Applied` record into the replayed state — the replay-side
+/// mirror of the in-memory commit it describes.
+fn apply_record(st: &mut DurableState, rec: &AppliedRecord) -> Result<(), WireError> {
+    if rec.changes.len() != st.views.len() {
+        return Err(WireError::Invalid(format!(
+            "applied record covers {} views, state has {}",
+            rec.changes.len(),
+            st.views.len()
+        )));
+    }
+    for (view, change) in st.views.iter_mut().zip(&rec.changes) {
+        match change {
+            AppliedChange::Delta { rows } => view.extent.merge(rows),
+            AppliedChange::Replace { sql, cols, extent } => {
+                view.sql = sql.clone();
+                view.cols = cols.clone();
+                view.extent = extent.clone();
+            }
+            AppliedChange::Incremental { sql, rows } => {
+                view.sql = sql.clone();
+                view.extent.merge(rows);
+            }
+        }
+    }
+    st.reflected = rec.reflected.clone();
+    // The committed batch leaves the queue.
+    for batch in &mut st.batches {
+        batch.retain(|m| !rec.keys.contains(&m.key.0));
+    }
+    st.batches.retain(|b| !b.is_empty());
+    Ok(())
+}
+
+fn enc_state(e: &mut Enc, st: &DurableState) {
+    core_wire::enc_strategy(e, st.strategy);
+    core_wire::enc_policy(e, st.policy);
+    e.u8(match st.adaptation {
+        AdaptationMode::Auto => 0,
+        AdaptationMode::RecomputeOnly => 1,
+    });
+    e.bool(st.dedupe);
+    enc_seq(e, &st.views, |e, v| {
+        e.str(&v.sql);
+        enc_seq(e, &v.cols, |e, c| e.str(c));
+        rel_wire::enc_bag(e, &v.extent);
+    });
+    enc_seq(e, &st.reflected, |e, (s, v)| {
+        e.u32(*s);
+        e.u64(*v);
+    });
+    enc_seq(e, &st.marks, |e, (s, v)| {
+        e.u32(*s);
+        e.u64(*v);
+    });
+    enc_seq(e, &st.batches, |e, batch| {
+        enc_seq(e, batch, |e, m| core_wire::enc_meta(e, m, src_wire::enc_message));
+    });
+    e.bool(st.sc_flag);
+}
+
+fn dec_state(d: &mut Dec<'_>) -> Result<DurableState, WireError> {
+    let strategy = core_wire::dec_strategy(d)?;
+    let policy = core_wire::dec_policy(d)?;
+    let adaptation = match d.u8()? {
+        0 => AdaptationMode::Auto,
+        1 => AdaptationMode::RecomputeOnly,
+        t => return Err(WireError::Invalid(format!("adaptation tag {t}"))),
+    };
+    let dedupe = d.bool()?;
+    let views = dec_seq(d, |d| {
+        Ok(ViewState {
+            sql: d.str()?,
+            cols: dec_seq(d, |d| d.str())?,
+            extent: rel_wire::dec_bag(d)?,
+        })
+    })?;
+    let reflected = dec_seq(d, |d| Ok((d.u32()?, d.u64()?)))?;
+    let marks = dec_seq(d, |d| Ok((d.u32()?, d.u64()?)))?;
+    let batches = dec_seq(d, |d| dec_seq(d, |d| core_wire::dec_meta(d, src_wire::dec_message)))?;
+    let sc_flag = d.bool()?;
+    Ok(DurableState {
+        strategy,
+        policy,
+        adaptation,
+        dedupe,
+        views,
+        reflected,
+        marks,
+        batches,
+        sc_flag,
+    })
+}
+
+fn enc_applied(e: &mut Enc, rec: &AppliedRecord) {
+    enc_seq(e, &rec.keys, |e, k| e.u64(*k));
+    enc_seq(e, &rec.changes, |e, c| match c {
+        AppliedChange::Delta { rows } => {
+            e.u8(0);
+            rel_wire::enc_bag(e, rows);
+        }
+        AppliedChange::Replace { sql, cols, extent } => {
+            e.u8(1);
+            e.str(sql);
+            enc_seq(e, cols, |e, c| e.str(c));
+            rel_wire::enc_bag(e, extent);
+        }
+        AppliedChange::Incremental { sql, rows } => {
+            e.u8(2);
+            e.str(sql);
+            rel_wire::enc_bag(e, rows);
+        }
+    });
+    enc_seq(e, &rec.reflected, |e, (s, v)| {
+        e.u32(*s);
+        e.u64(*v);
+    });
+}
+
+fn dec_applied(d: &mut Dec<'_>) -> Result<AppliedRecord, WireError> {
+    let keys = dec_seq(d, |d| d.u64())?;
+    let changes = dec_seq(d, |d| {
+        Ok(match d.u8()? {
+            0 => AppliedChange::Delta { rows: rel_wire::dec_bag(d)? },
+            1 => AppliedChange::Replace {
+                sql: d.str()?,
+                cols: dec_seq(d, |d| d.str())?,
+                extent: rel_wire::dec_bag(d)?,
+            },
+            2 => AppliedChange::Incremental { sql: d.str()?, rows: rel_wire::dec_bag(d)? },
+            t => return Err(WireError::Invalid(format!("applied change tag {t}"))),
+        })
+    })?;
+    let reflected = dec_seq(d, |d| Ok((d.u32()?, d.u64()?)))?;
+    Ok(AppliedRecord { keys, changes, reflected })
+}
+
+/// Helper for warehouse/manager: sorted `(source, version)` pairs from any
+/// iterator of pairs (the canonical on-disk form of a version vector).
+pub fn sorted_versions(it: impl IntoIterator<Item = (u32, u64)>) -> Vec<(u32, u64)> {
+    let mut v: Vec<(u32, u64)> = it.into_iter().collect();
+    v.sort_unstable();
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dyno_core::UpdateKind;
+    use dyno_durable::storage::MemStorage;
+    use dyno_relational::{Tuple, Value};
+    use dyno_source::{SourceId, UpdateId};
+
+    fn msg(key: u64, source: u32, version: u64) -> UpdateMessage {
+        let schema = dyno_relational::Schema::of("R", &[("a", dyno_relational::AttrType::Int)]);
+        UpdateMessage {
+            id: UpdateId(key),
+            source: SourceId(source),
+            source_version: version,
+            update: dyno_relational::SourceUpdate::Data(dyno_relational::DataUpdate::new(
+                dyno_relational::Delta::inserts(schema, [Tuple::of([key as i64])]).unwrap(),
+            )),
+        }
+    }
+
+    fn meta(key: u64, source: u32, version: u64) -> UpdateMeta<UpdateMessage> {
+        UpdateMeta::new(key, source, UpdateKind::Data, msg(key, source, version))
+    }
+
+    fn bag(vals: &[i64]) -> SignedBag {
+        vals.iter().map(|&v| (Tuple::new(vec![Value::Int(v)]), 1)).collect()
+    }
+
+    fn sample_state() -> DurableState {
+        DurableState {
+            strategy: Strategy::Pessimistic,
+            policy: CorrectionPolicy::MergeCycles,
+            adaptation: AdaptationMode::Auto,
+            dedupe: true,
+            views: vec![ViewState {
+                sql: "CREATE VIEW V AS SELECT R.a FROM R".into(),
+                cols: vec!["a".into()],
+                extent: bag(&[1, 2]),
+            }],
+            reflected: vec![(0, 3), (1, 1)],
+            marks: vec![(0, 3), (1, 1)],
+            batches: vec![vec![meta(7, 0, 4)]],
+            sc_flag: false,
+        }
+    }
+
+    #[test]
+    fn state_round_trips_through_a_checkpoint() {
+        let disk = MemStorage::new();
+        let mut log = DurableLog::create(Box::new(disk.clone())).unwrap();
+        let st = sample_state();
+        log.checkpoint(&st);
+
+        let obs = Collector::wall();
+        let (_, recovered, report) = recover(Box::new(disk), &obs).unwrap();
+        assert_eq!(recovered, st);
+        assert_eq!(report.replayed_records, 1);
+        assert_eq!(report.torn_records, 0);
+        assert_eq!(report.reparked_intents, 0);
+    }
+
+    #[test]
+    fn admitted_and_applied_fold_into_the_state() {
+        let disk = MemStorage::new();
+        let mut log = DurableLog::create(Box::new(disk.clone())).unwrap();
+        let st = sample_state();
+        log.checkpoint(&st);
+        // A new message is admitted…
+        log.log_admitted(&meta(8, 1, 2));
+        // …then the older queued batch commits.
+        log.log_intent(&[7], false);
+        log.log_applied(&AppliedRecord {
+            keys: vec![7],
+            changes: vec![AppliedChange::Delta { rows: bag(&[4]) }],
+            reflected: vec![(0, 4), (1, 1)],
+        });
+
+        let obs = Collector::wall();
+        let (_, recovered, report) = recover(Box::new(disk), &obs).unwrap();
+        assert_eq!(report.replayed_records, 4);
+        assert_eq!(report.reparked_intents, 0, "the intent has its applied");
+        assert_eq!(recovered.views[0].extent, bag(&[1, 2, 4]));
+        assert_eq!(recovered.reflected, vec![(0, 4), (1, 1)]);
+        assert_eq!(recovered.marks, vec![(0, 3), (1, 2)], "admitted bumped source 1");
+        assert_eq!(recovered.batches.len(), 1, "batch 7 gone, admitted 8 queued");
+        assert_eq!(recovered.batches[0][0].key.0, 8);
+    }
+
+    #[test]
+    fn intent_without_applied_is_reparked() {
+        let disk = MemStorage::new();
+        let mut log = DurableLog::create(Box::new(disk.clone())).unwrap();
+        log.checkpoint(&sample_state());
+        log.log_intent(&[7], false);
+        // crash here — no Applied.
+        let obs = Collector::wall();
+        let (_, recovered, report) = recover(Box::new(disk), &obs).unwrap();
+        assert_eq!(report.reparked_intents, 1);
+        assert_eq!(recovered.batches.len(), 1, "the batch is still queued");
+        assert_eq!(obs.registry().counter_value("recover.reparked_intents"), Some(1));
+    }
+
+    #[test]
+    fn armed_after_intent_cut_drops_the_applied() {
+        let disk = MemStorage::new();
+        let mut log = DurableLog::create(Box::new(disk.clone())).unwrap();
+        log.checkpoint(&sample_state());
+        log.arm(CrashPlan { point: CrashPoint::AfterIntent, skip: 0 });
+        log.log_intent(&[7], false);
+        assert!(log.power_cut(), "single-DU intent trips AfterIntent");
+        // The in-memory commit still "happens" in the live process…
+        log.log_applied(&AppliedRecord {
+            keys: vec![7],
+            changes: vec![AppliedChange::Delta { rows: bag(&[4]) }],
+            reflected: vec![(0, 4), (1, 1)],
+        });
+        // …but was never durable.
+        let obs = Collector::wall();
+        let (_, recovered, report) = recover(Box::new(disk), &obs).unwrap();
+        assert_eq!(report.reparked_intents, 1);
+        assert_eq!(recovered.views[0].extent, bag(&[1, 2]), "the applied never landed");
+    }
+
+    #[test]
+    fn crash_point_classification() {
+        let disk = MemStorage::new();
+        let mut log = DurableLog::create(Box::new(disk)).unwrap();
+        log.arm(CrashPlan { point: CrashPoint::MidBatch, skip: 1 });
+        log.log_intent(&[1], false); // plain DU: no match
+        assert!(!log.power_cut());
+        log.log_intent(&[2], true); // SC node: first match, skipped
+        assert!(!log.power_cut());
+        log.log_intent(&[3, 4], false); // merged batch: second match → cut
+        assert!(log.power_cut());
+    }
+
+    #[test]
+    fn between_steps_cut_fires_on_applied() {
+        let disk = MemStorage::new();
+        let mut log = DurableLog::create(Box::new(disk)).unwrap();
+        log.arm(CrashPlan { point: CrashPoint::BetweenSteps, skip: 0 });
+        log.log_intent(&[1], false);
+        assert!(!log.power_cut());
+        log.log_applied(&AppliedRecord { keys: vec![1], changes: vec![], reflected: vec![] });
+        assert!(log.power_cut());
+    }
+
+    #[test]
+    fn torn_tail_is_reported_and_truncated_by_recovery() {
+        let disk = MemStorage::new();
+        let mut log = DurableLog::create(Box::new(disk.clone())).unwrap();
+        log.checkpoint(&sample_state());
+        let intact = disk.snapshot().len();
+        log.log_admitted(&meta(8, 1, 2));
+        // Tear the admitted record.
+        disk.truncate(intact + 5);
+
+        let obs = Collector::wall();
+        let (_, recovered, report) = recover(Box::new(disk.clone()), &obs).unwrap();
+        assert_eq!(report.torn_records, 1);
+        assert!(report.torn_bytes > 0);
+        assert_eq!(recovered, sample_state(), "checkpointed prefix survives intact");
+        assert_eq!(obs.registry().counter_value("recover.torn_records"), Some(1));
+
+        // Recovery re-checkpointed: a second pass replays cleanly.
+        let (_, again, report2) = recover(Box::new(disk), &obs).unwrap();
+        assert_eq!(again, recovered);
+        assert_eq!(report2.torn_records, 0, "the torn tail was truncated away");
+    }
+
+    #[test]
+    fn empty_log_has_no_checkpoint() {
+        let disk = MemStorage::new();
+        let obs = Collector::wall();
+        assert!(matches!(recover(Box::new(disk), &obs), Err(RecoverError::NoCheckpoint)));
+    }
+
+    #[test]
+    fn power_cut_makes_the_log_read_only() {
+        let disk = MemStorage::new();
+        let mut log = DurableLog::create(Box::new(disk.clone())).unwrap();
+        log.checkpoint(&sample_state());
+        let frozen = disk.snapshot();
+        log.arm(CrashPlan { point: CrashPoint::BetweenSteps, skip: 0 });
+        log.log_applied(&AppliedRecord { keys: vec![1], changes: vec![], reflected: vec![] });
+        let after_cut = disk.snapshot();
+        log.log_admitted(&meta(9, 0, 9));
+        log.checkpoint(&sample_state());
+        assert_eq!(disk.snapshot(), after_cut, "nothing lands after the cut");
+        assert!(after_cut.len() > frozen.len(), "the tripping record itself did land");
+    }
+}

@@ -21,9 +21,10 @@ use dyno_core::{
     CorrectionPolicy, Dyno, DynoStats, MaintainOutcome, Maintainer, StepOutcome, Strategy, Umq,
     UpdateKind, UpdateMeta,
 };
+use dyno_durable::storage::Storage;
 use dyno_obs::{field, Collector, Level};
 use dyno_relational::{RelationalError, SourceUpdate};
-use dyno_source::{InfoSpace, UpdateMessage};
+use dyno_source::{InfoSpace, SourceId, UpdateMessage};
 
 use crate::batch::{adapt_batch_observed, AdaptationMode, Adapted, BatchFailure};
 use crate::engine::{MaintEvent, SourcePort};
@@ -33,6 +34,10 @@ use crate::mview::MaterializedView;
 use crate::plan::PlanCache;
 use crate::viewdef::ViewDefinition;
 use crate::vm::sweep_maintain_observed;
+use crate::wal::{
+    sorted_versions, AppliedChange, AppliedRecord, CrashPlan, DurableLog, DurableState,
+    RecoverError, RecoverReport, ViewState,
+};
 
 /// One view's state inside the warehouse.
 #[derive(Debug, Clone)]
@@ -55,6 +60,7 @@ pub struct Warehouse {
     last_error: Option<ViewError>,
     obs: Collector,
     ingress: IngressGate,
+    wal: Option<DurableLog>,
 }
 
 impl Warehouse {
@@ -70,6 +76,7 @@ impl Warehouse {
             last_error: None,
             obs: Collector::disabled(),
             ingress: IngressGate::new(),
+            wal: None,
         }
     }
 
@@ -105,6 +112,111 @@ impl Warehouse {
     pub fn with_adaptation(mut self, mode: AdaptationMode) -> Self {
         self.adaptation = mode;
         self
+    }
+
+    /// Attaches a write-ahead log and writes the first checkpoint. Call
+    /// **after** [`Warehouse::initialize`] so the baseline snapshot covers
+    /// the populated extents.
+    pub fn with_wal(mut self, mut log: DurableLog) -> Self {
+        log.bind_obs(&self.obs);
+        self.wal = Some(log);
+        self.checkpoint_now();
+        self
+    }
+
+    /// Snapshots everything recovery needs into a [`DurableState`].
+    fn durable_state(&self) -> DurableState {
+        DurableState {
+            strategy: self.dyno.strategy(),
+            policy: self.dyno.policy(),
+            adaptation: self.adaptation,
+            dedupe: self.ingress.dedupe_enabled(),
+            views: self
+                .slots
+                .iter()
+                .map(|s| ViewState {
+                    sql: s.view.to_string(),
+                    cols: s.mv.cols().to_vec(),
+                    extent: s.mv.extent().clone(),
+                })
+                .collect(),
+            reflected: sorted_versions(self.reflected.iter().map(|(s, v)| (s.0, *v))),
+            marks: self.ingress.marks(),
+            batches: self.umq.nodes().iter().map(|b| b.to_vec()).collect(),
+            sc_flag: self.umq.schema_change_flag(),
+        }
+    }
+
+    /// Forces a checkpoint now (no-op without a WAL or after a power cut).
+    pub fn checkpoint_now(&mut self) {
+        if self.wal.is_some() {
+            let state = self.durable_state();
+            if let Some(log) = self.wal.as_mut() {
+                log.checkpoint(&state);
+            }
+        }
+    }
+
+    /// Arms a deterministic power cut on the attached WAL (chaos testing).
+    pub fn arm_crash(&mut self, plan: CrashPlan) {
+        if let Some(log) = self.wal.as_mut() {
+            log.arm(plan);
+        }
+    }
+
+    /// True once the attached WAL's simulated power has been cut.
+    pub fn wal_power_cut(&self) -> bool {
+        self.wal.as_ref().is_some_and(DurableLog::power_cut)
+    }
+
+    /// The ingress gate's admitted high-water marks (resubscription baseline).
+    pub fn ingress_marks(&self) -> Vec<(u32, u64)> {
+        self.ingress.marks()
+    }
+
+    /// Rebuilds a warehouse from a WAL: replays checkpoint + tail, restores
+    /// every view's definition and extent, the version vector, the ingress
+    /// marks, and the UMQ (with merged-batch boundaries); re-parks batches
+    /// whose `Intent` has no `Applied`; truncates any torn tail by writing a
+    /// fresh checkpoint. Plan caches restart cold — they are derived data.
+    ///
+    /// `info` is the information space (replacement metadata is config, not
+    /// warehouse state); `obs` receives `recover.*` counters and the reopened
+    /// log's `wal.*` counters.
+    pub fn recover(
+        storage: Box<dyn Storage>,
+        info: InfoSpace,
+        obs: Collector,
+    ) -> Result<(Self, RecoverReport), RecoverError> {
+        let (log, state, report) = crate::wal::recover(storage, &obs)?;
+        let mut dyno = Dyno::new(state.strategy).with_obs(obs.clone());
+        dyno.set_policy(state.policy);
+        let mut slots = Vec::with_capacity(state.views.len());
+        for vs in &state.views {
+            let view = ViewDefinition::parse(&vs.sql, "view")
+                .map_err(|e| RecoverError::Corrupt(format!("checkpointed view sql: {e}")))?;
+            let mut mv = MaterializedView::new(view.name.clone(), vs.cols.clone());
+            mv.replace(vs.cols.clone(), vs.extent.clone())
+                .map_err(|e| RecoverError::Corrupt(format!("checkpointed extent: {e}")))?;
+            slots.push(ViewSlot { view, mv, stats: ViewStats::default(), plans: PlanCache::new() });
+        }
+        let mut ingress = IngressGate::new();
+        ingress.bind_obs(&obs);
+        ingress.set_dedupe(state.dedupe);
+        ingress.restore_marks(&state.marks);
+        let wh = Warehouse {
+            dyno,
+            umq: Umq::restore(state.batches, state.sc_flag),
+            slots,
+            info,
+            reflected: state.reflected.iter().map(|&(s, v)| (SourceId(s), v)).collect(),
+            adaptation: state.adaptation,
+            last_error: None,
+            obs,
+            ingress,
+            wal: Some(log),
+        };
+        Ok((wh, report))
     }
 
     /// Registers a view. Call before [`Warehouse::initialize`].
@@ -152,7 +264,11 @@ impl Warehouse {
                         invalidates_view: self.slots.iter().any(|s| s.view.is_invalidated_by(sc)),
                     },
                 };
-                self.umq.enqueue(UpdateMeta::new(msg.id.0, msg.source.0, kind, msg));
+                let meta = UpdateMeta::new(msg.id.0, msg.source.0, kind, msg);
+                if let Some(log) = self.wal.as_mut() {
+                    log.log_admitted(&meta);
+                }
+                self.umq.enqueue(meta);
             }
         }
     }
@@ -170,6 +286,7 @@ impl Warehouse {
             obs: &self.obs,
             port,
             drained: Vec::new(),
+            wal: &mut self.wal,
         };
         let outcome = self.dyno.step(&mut self.umq, &mut ctx);
         let drained = std::mem::take(&mut ctx.drained);
@@ -183,11 +300,21 @@ impl Warehouse {
                 },
             )));
         }
+        if outcome == StepOutcome::Committed {
+            // A completed maintenance supersedes any earlier failure: the
+            // error was acted on (or healed) — holding it would make every
+            // later health check report a stale fault.
+            self.last_error = None;
+        }
+        if self.wal.as_ref().is_some_and(DurableLog::should_checkpoint) {
+            self.checkpoint_now();
+        }
         Ok(outcome)
     }
 
-    /// The most recent hard maintenance failure, if any (sticky until the
-    /// next one overwrites it).
+    /// The most recent hard maintenance failure, if any. Cleared when a
+    /// later step commits successfully — the warehouse is healthy again and
+    /// health checks must not keep reporting the resolved fault.
     pub fn last_error(&self) -> Option<&ViewError> {
         self.last_error.as_ref()
     }
@@ -253,6 +380,7 @@ struct WarehouseCtx<'a> {
     obs: &'a Collector,
     port: &'a mut dyn SourcePort,
     drained: Vec<UpdateMessage>,
+    wal: &'a mut Option<DurableLog>,
 }
 
 impl Maintainer<UpdateMessage> for WarehouseCtx<'_> {
@@ -278,6 +406,14 @@ impl Maintainer<UpdateMessage> for WarehouseCtx<'_> {
             ],
         );
         self.obs.counter("view.attempts").inc();
+
+        // Commit protocol, write 1 of 2: the intent is durable before any
+        // maintenance query runs. A crash from here until `Applied` lands
+        // leaves the batch in the checkpointed queue, to be redone whole.
+        if let Some(log) = self.wal.as_mut() {
+            let keys: Vec<u64> = batch.iter().map(|m| m.key.0).collect();
+            log.log_intent(&keys, schema_changes > 0);
+        }
 
         // Phase 1: compute every view's change without committing anything,
         // so a broken query in view k discards views 0..k's work too.
@@ -322,7 +458,26 @@ impl Maintainer<UpdateMessage> for WarehouseCtx<'_> {
         }
 
         // Phase 2: commit to every view.
+        let mut logged_changes: Vec<AppliedChange> = Vec::new();
         for (slot, change) in self.slots.iter_mut().zip(staged) {
+            if self.wal.is_some() {
+                logged_changes.push(match &change {
+                    Staged::Delta(delta) => AppliedChange::Delta { rows: delta.rows.clone() },
+                    Staged::Adapted(Adapted::Replaced { view, cols, extent }) => {
+                        AppliedChange::Replace {
+                            sql: view.to_string(),
+                            cols: cols.clone(),
+                            extent: extent.clone(),
+                        }
+                    }
+                    Staged::Adapted(Adapted::Incremental { view, delta }) => {
+                        AppliedChange::Incremental {
+                            sql: view.to_string(),
+                            rows: delta.rows.clone(),
+                        }
+                    }
+                });
+            }
             let applied = match change {
                 Staged::Delta(delta) => {
                     let written = delta.rows.weight();
@@ -362,6 +517,16 @@ impl Maintainer<UpdateMessage> for WarehouseCtx<'_> {
         for meta in batch {
             let entry = self.reflected.entry(meta.payload.source).or_insert(0);
             *entry = (*entry).max(meta.payload.source_version);
+        }
+        // Commit protocol, write 2 of 2: one atomic record across every
+        // view, making the whole batch durable or (on a crash) none of it —
+        // the durable form of Equation 6's all-or-nothing batch.
+        if let Some(log) = self.wal.as_mut() {
+            log.log_applied(&AppliedRecord {
+                keys: batch.iter().map(|m| m.key.0).collect(),
+                changes: logged_changes,
+                reflected: sorted_versions(self.reflected.iter().map(|(s, v)| (s.0, *v))),
+            });
         }
         self.obs.counter("view.commits").inc();
         self.port.on_maintenance_event(MaintEvent::Commit);
@@ -580,6 +745,133 @@ mod tests {
         );
         let wh = wh.with_correction(CorrectionPolicy::MergeCycles);
         assert_eq!(wh.dyno_stats(), before, "stats survive a mid-run policy change");
+    }
+
+    fn durable_warehouse() -> (Warehouse, InProcessPort, dyno_durable::MemStorage) {
+        let space = bookinfo_space();
+        let info = space.info().clone();
+        let mut port = InProcessPort::new(space);
+        let disk = dyno_durable::MemStorage::new();
+        let mut wh = Warehouse::new(info, Strategy::Pessimistic);
+        wh.add_view(bookinfo_view());
+        wh.add_view(pricelist_view());
+        wh.initialize(&mut port).unwrap();
+        let log = DurableLog::create(Box::new(disk.clone())).unwrap();
+        (wh.with_wal(log), port, disk)
+    }
+
+    #[test]
+    fn recover_restores_views_versions_and_queue() {
+        let (mut wh, mut port, disk) = durable_warehouse();
+        port.commit(
+            SourceId(0),
+            SourceUpdate::Data(insert_item(10, "Data Integration Guide", "Adams", 36)),
+        )
+        .unwrap();
+        wh.run_to_quiescence(&mut port, 100).unwrap();
+        // One more committed source update, ingested but not yet maintained.
+        port.commit(
+            SourceId(0),
+            SourceUpdate::Data(insert_item(11, "Adaptive Views", "Brook", 41)),
+        )
+        .unwrap();
+        let arrivals = port.drain_arrivals();
+        wh.ingest(arrivals);
+
+        // Kill: drop the warehouse, recover from the shared disk.
+        let info = port.space().info().clone();
+        drop(wh);
+        let (mut back, report) =
+            Warehouse::recover(Box::new(disk), info, Collector::wall()).unwrap();
+        assert_eq!(report.torn_records, 0);
+        assert_eq!(report.reparked_intents, 0);
+        assert_eq!(back.view_count(), 2);
+        assert_eq!(back.mv(0).len(), 2, "the committed maintenance survived");
+        // The queued-but-unmaintained update survives in the UMQ and is
+        // maintained by the restarted scheduler.
+        back.run_to_quiescence(&mut port, 100).unwrap();
+        for i in 0..back.view_count() {
+            let expected = dyno_relational::eval(&back.view(i).query, &port.space().provider())
+                .expect("definitions valid");
+            assert_eq!(back.mv(i).extent(), &expected.rows, "view {i} converged after restart");
+        }
+    }
+
+    #[test]
+    fn crash_after_intent_loses_nothing() {
+        let (mut wh, mut port, disk) = durable_warehouse();
+        port.commit(
+            SourceId(0),
+            SourceUpdate::Data(insert_item(10, "Data Integration Guide", "Adams", 36)),
+        )
+        .unwrap();
+        wh.arm_crash(CrashPlan { point: crate::wal::CrashPoint::AfterIntent, skip: 0 });
+        wh.run_to_quiescence(&mut port, 100).unwrap();
+        assert!(wh.wal_power_cut(), "the cut tripped during maintenance");
+        assert_eq!(wh.mv(0).len(), 2, "the doomed process still sees its commit");
+
+        let info = port.space().info().clone();
+        drop(wh);
+        let (mut back, report) =
+            Warehouse::recover(Box::new(disk), info, Collector::wall()).unwrap();
+        assert_eq!(report.reparked_intents, 1, "the intent had no applied");
+        assert_eq!(back.mv(0).len(), 1, "the un-applied commit is gone");
+        back.run_to_quiescence(&mut port, 100).unwrap();
+        assert_eq!(back.mv(0).len(), 2, "the re-parked batch is redone");
+    }
+
+    #[test]
+    fn schema_change_commit_is_durable_across_recovery() {
+        let (mut wh, mut port, disk) = durable_warehouse();
+        let store = port.space().server(SourceId(0)).catalog().get("Store").unwrap().clone();
+        let item = port.space().server(SourceId(0)).catalog().get("Item").unwrap().clone();
+        port.commit(SourceId(0), SourceUpdate::Schema(storeitems_change(&store, &item))).unwrap();
+        wh.run_to_quiescence(&mut port, 100).unwrap();
+        assert!(wh.view(0).references_relation("StoreItems"));
+
+        let expected = wh.reflected().clone();
+        let frozen = wh.mv(0).sorted_tuples();
+        let info = port.space().info().clone();
+        drop(wh);
+        let (back, report) = Warehouse::recover(Box::new(disk), info, Collector::wall()).unwrap();
+        assert_eq!(report.reparked_intents, 0);
+        assert!(back.view(0).references_relation("StoreItems"), "rewritten definition survives");
+        assert!(back.view(1).references_relation("StoreItems"));
+        assert_eq!(back.mv(0).sorted_tuples(), frozen, "extent is bit-identical after recovery");
+        assert_eq!(back.reflected(), &expected, "version vector survives");
+    }
+
+    #[test]
+    fn last_error_clears_when_a_later_step_succeeds() {
+        // Regression: last_error was sticky forever, so CLI `stats` kept
+        // reporting a failure long after maintenance had committed fine.
+        let (mut wh, mut port) = warehouse();
+        wh.last_error = Some(ViewError::Internal(RelationalError::InvalidQuery {
+            reason: "earlier maintenance failure".into(),
+        }));
+        assert!(wh.last_error().is_some());
+        port.commit(
+            SourceId(0),
+            SourceUpdate::Data(insert_item(10, "Data Integration Guide", "Adams", 36)),
+        )
+        .unwrap();
+        wh.run_to_quiescence(&mut port, 100).unwrap();
+        assert!(wh.dyno_stats().committed > 0, "a step committed");
+        assert!(wh.last_error().is_none(), "the successful commit cleared the stale error");
+    }
+
+    #[test]
+    fn last_error_stays_while_the_failure_persists() {
+        let (mut wh, mut port) = warehouse();
+        port.commit(
+            SourceId(1),
+            SourceUpdate::Schema(SchemaChange::DropRelation { relation: "Catalog".into() }),
+        )
+        .unwrap();
+        assert!(wh.run_to_quiescence(&mut port, 100).is_err());
+        assert!(wh.last_error().is_some(), "the failure is inspectable after being returned");
+        assert!(wh.step(&mut port).is_err(), "the poisoned head keeps failing");
+        assert!(wh.last_error().is_some(), "idle/failed steps do not clear the error");
     }
 
     #[test]

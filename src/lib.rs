@@ -14,7 +14,8 @@
 //! | [`core`] | Dyno itself: dependency graph, cycle merge, topological correction, pessimistic/optimistic scheduling — data-model-independent |
 //! | [`view`] | the view manager: UMQ, SWEEP maintenance with compensation, view synchronization, view adaptation (paper Equation 6) |
 //! | [`fault`] | deterministic fault injection: the transport seam between warehouse and sources, chaos profiles, retry policies, delivery recovery |
-//! | [`sim`] | the discrete-event testbed replacing the paper's Oracle cluster: virtual clock, cost model, workloads, consistency auditors, chaos runner |
+//! | [`durable`] | crash durability: CRC-framed write-ahead log, manual binary codec, in-memory and file storage backends |
+//! | [`sim`] | the discrete-event testbed replacing the paper's Oracle cluster: virtual clock, cost model, workloads, consistency auditors, chaos + crash runners |
 //!
 //! ## Quickstart
 //!
@@ -43,6 +44,7 @@
 //! ```
 
 pub use dyno_core as core;
+pub use dyno_durable as durable;
 pub use dyno_fault as fault;
 pub use dyno_obs as obs;
 pub use dyno_relational as relational;
