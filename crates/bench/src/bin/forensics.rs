@@ -1,0 +1,91 @@
+//! Provenance forensics over a seeded chaos run: reconstruct per-update
+//! timelines from the lineage ring and break end-to-end latency down by
+//! phase (queue wait, query time, park time, batch wait) and by anomaly
+//! class (paper Section 3.3's four conflict classes).
+//!
+//! Every fault profile is summarized in one table row; the heaviest profile
+//! then gets the full per-phase / per-class report. Not a paper figure —
+//! the paper has no observability story — but the forensics answer the
+//! question its correctness argument raises: *which* updates conflicted,
+//! how were they rescheduled, and what did that cost each of them.
+//!
+//! `--json <path>` writes the full report as JSON; `--explain <id>` prints
+//! the reconstructed timeline of one causal id from the detailed run.
+
+use dyno_bench::render_table;
+use dyno_fault::FaultProfile;
+use dyno_obs::forensics;
+use dyno_sim::{run_chaos, ChaosConfig, ChaosReport};
+
+fn usage(bin: &str) -> ! {
+    eprintln!("usage: {bin} [--json <path>] [--explain <id>] [--seed <n>]");
+    std::process::exit(2);
+}
+
+fn main() {
+    dyno_bench::warn_if_debug();
+    let bin = std::env::args().next().unwrap_or_else(|| "forensics".into());
+    let mut json: Option<String> = None;
+    let mut explain: Option<u64> = None;
+    let mut seed: u64 = 0;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--json" => json = Some(args.next().unwrap_or_else(|| usage(&bin))),
+            "--explain" => {
+                let id = args.next().unwrap_or_else(|| usage(&bin));
+                explain = Some(id.parse().unwrap_or_else(|_| usage(&bin)));
+            }
+            "--seed" => {
+                let s = args.next().unwrap_or_else(|| usage(&bin));
+                seed = s.parse().unwrap_or_else(|_| usage(&bin));
+            }
+            _ => usage(&bin),
+        }
+    }
+
+    println!("== provenance forensics (chaos workload, seed {seed}) ==\n");
+    let header = ["profile", "applied", "conflicted", "lineage", "dropped", "e2e p50", "e2e p95"];
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    let mut detailed: Option<(FaultProfile, ChaosReport)> = None;
+    for profile in FaultProfile::all() {
+        let report = run_chaos(&ChaosConfig::new(profile, seed).with_lineage());
+        assert!(report.last_error.is_none(), "chaos run died: {:?}", report.last_error);
+        let records = report.obs.lineage_records();
+        let f = forensics::analyze(&records);
+        let (p50, p95, _) = f.end_to_end_us.percentiles();
+        rows.push(vec![
+            profile.name.to_string(),
+            f.applied_updates.to_string(),
+            f.conflicted_updates.to_string(),
+            records.len().to_string(),
+            report.obs.lineage_dropped().to_string(),
+            format!("{p50}µs"),
+            format!("{p95}µs"),
+        ]);
+        detailed = Some((profile, report));
+    }
+    println!("{}", render_table(&header, &rows));
+
+    // Full per-phase / per-class breakdown for the heaviest profile (the
+    // last in FaultProfile::all(): crash_restart).
+    let (profile, report) = detailed.expect("at least one profile");
+    let records = report.obs.lineage_records();
+    let f = forensics::analyze(&records);
+    println!("-- detailed report: profile {} --\n", profile.name);
+    println!("{}", f.render_text());
+
+    if let Some(id) = explain {
+        println!("-- explain {id} (profile {}) --\n", profile.name);
+        println!("{}", forensics::explain_text(id, &report.obs.explain(id)));
+    } else if let Some(first) = records.iter().find(|r| r.stage == dyno_obs::stage::COMMIT) {
+        // No id requested: demonstrate on the first committed update.
+        println!("-- explain {} (first commit; pass --explain <id> to pick) --\n", first.id);
+        println!("{}", forensics::explain_text(first.id, &report.obs.explain(first.id)));
+    }
+
+    if let Some(path) = &json {
+        std::fs::write(path, f.render_json()).expect("write --json output");
+        println!("report written to {path}");
+    }
+}

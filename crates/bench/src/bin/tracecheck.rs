@@ -1,0 +1,121 @@
+//! Validates a Chrome `trace_event` JSON document (as written by
+//! `fig10 --chrome`, i.e. [`dyno_obs::export_chrome`]) without loading it
+//! into a browser:
+//!
+//! * the document parses and has a `traceEvents` array;
+//! * duration events balance — every `"B"` has a matching `"E"` with the
+//!   same name on the same `(pid, tid)` lane, properly nested, none left
+//!   open;
+//! * flow arrows resolve — every `"t"`/`"f"` step is preceded (in document
+//!   order) by the `"s"` that opened that flow id, and no flow is left
+//!   without a finish.
+//!
+//! Exits 0 with a one-line summary on success, 1 with a diagnostic on the
+//! first violation — `scripts/verify.sh` runs this as the trace-export
+//! smoke test.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::process::ExitCode;
+
+use dyno_obs::json::{parse, Value};
+
+fn fail(msg: &str) -> ExitCode {
+    eprintln!("tracecheck: FAIL: {msg}");
+    ExitCode::from(1)
+}
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let Some(path) = args.next() else {
+        eprintln!("usage: tracecheck <trace.json>");
+        return ExitCode::from(2);
+    };
+    let doc = match std::fs::read_to_string(&path) {
+        Ok(d) => d,
+        Err(e) => return fail(&format!("cannot read {path}: {e}")),
+    };
+    let v = match parse(&doc) {
+        Ok(v) => v,
+        Err(e) => return fail(&format!("{path} is not valid JSON: {e}")),
+    };
+    let Some(events) = v.get("traceEvents").and_then(Value::as_arr) else {
+        return fail("no traceEvents array");
+    };
+
+    // Per-lane span stacks and flow bookkeeping, in document order (the
+    // exporter emits capture order, which is timestamp order).
+    let mut stacks: BTreeMap<(u64, u64), Vec<String>> = BTreeMap::new();
+    let mut open_flows: BTreeSet<u64> = BTreeSet::new();
+    let mut finished_flows: BTreeSet<u64> = BTreeSet::new();
+    let (mut spans, mut flows, mut instants, mut slices) = (0u64, 0u64, 0u64, 0u64);
+
+    for (i, e) in events.iter().enumerate() {
+        let ph = e.get("ph").and_then(Value::as_str).unwrap_or("");
+        let name = e.get("name").and_then(Value::as_str).unwrap_or("");
+        let lane = (
+            e.get("pid").and_then(Value::as_num).unwrap_or(0.0) as u64,
+            e.get("tid").and_then(Value::as_num).unwrap_or(0.0) as u64,
+        );
+        match ph {
+            "B" => {
+                stacks.entry(lane).or_default().push(name.to_string());
+                spans += 1;
+            }
+            "E" => match stacks.entry(lane).or_default().pop() {
+                Some(open) if open == name => {}
+                Some(open) => {
+                    return fail(&format!(
+                        "event {i}: E \"{name}\" closes B \"{open}\" on lane {lane:?}"
+                    ));
+                }
+                None => {
+                    return fail(&format!("event {i}: E \"{name}\" with no open B on {lane:?}"));
+                }
+            },
+            "s" | "t" | "f" => {
+                let Some(id) = e.get("id").and_then(Value::as_num) else {
+                    return fail(&format!("event {i}: flow \"{ph}\" without an id"));
+                };
+                let id = id as u64;
+                match ph {
+                    "s" => {
+                        if !open_flows.insert(id) {
+                            return fail(&format!("event {i}: flow {id} started twice"));
+                        }
+                        flows += 1;
+                    }
+                    _ => {
+                        if !open_flows.contains(&id) {
+                            return fail(&format!(
+                                "event {i}: flow \"{ph}\" for {id} before its \"s\""
+                            ));
+                        }
+                        if ph == "f" {
+                            finished_flows.insert(id);
+                        }
+                    }
+                }
+            }
+            "i" => instants += 1,
+            "X" => slices += 1,
+            "M" => {}
+            other => return fail(&format!("event {i}: unknown phase \"{other}\"")),
+        }
+    }
+
+    for (lane, stack) in &stacks {
+        if let Some(open) = stack.last() {
+            return fail(&format!("lane {lane:?}: B \"{open}\" never closed"));
+        }
+    }
+    if let Some(id) = open_flows.difference(&finished_flows).next() {
+        return fail(&format!("flow {id} never finished"));
+    }
+
+    println!(
+        "tracecheck: OK: {} events ({spans} span pairs, {slices} prov slices, \
+         {instants} instants, {flows} flows, all balanced and resolved)",
+        events.len()
+    );
+    ExitCode::SUCCESS
+}

@@ -15,6 +15,11 @@ pub struct BenchArgs {
     /// tracing on, writing the JSONL trace to `<path>` and the metrics
     /// snapshot to `<path>.metrics.json` (binaries that support it).
     pub trace: Option<String>,
+    /// `--chrome <path>`: run one representative scenario with tracing and
+    /// lineage on, writing a Chrome `trace_event` JSON document to `<path>`
+    /// — load it in Perfetto to see per-subsystem lanes and per-update flow
+    /// arrows (binaries that support it).
+    pub chrome: Option<String>,
 }
 
 impl BenchArgs {
@@ -28,6 +33,7 @@ impl BenchArgs {
             match arg.as_str() {
                 "--json" => out.json = args.next().or_else(|| usage(&bin)),
                 "--trace" => out.trace = args.next().or_else(|| usage(&bin)),
+                "--chrome" => out.chrome = args.next().or_else(|| usage(&bin)),
                 _ => {
                     usage(&bin);
                 }
@@ -38,7 +44,7 @@ impl BenchArgs {
 }
 
 fn usage(bin: &str) -> Option<String> {
-    eprintln!("usage: {bin} [--json <path>] [--trace <path>]");
+    eprintln!("usage: {bin} [--json <path>] [--trace <path>] [--chrome <path>]");
     std::process::exit(2);
 }
 

@@ -106,7 +106,58 @@ impl DepGraph {
                 field("order_is_legal", graph.order_is_legal()),
             ],
         );
+        if obs.lineage_on() {
+            graph.record_conflicts(nodes, obs);
+        }
         graph
+    }
+
+    /// Emits one `conflict` provenance record per member of the dependent
+    /// node of every unsafe edge, tagged with the paper's anomaly class:
+    /// 1 = same-source DU ordering (SD between data updates), 2 = semantic
+    /// dependency involving a schema change, 3 = concurrent DU/SC conflict,
+    /// 4 = mutual concurrent conflict (the SC↔SC cycle of Section 3.5).
+    fn record_conflicts<P>(&self, nodes: &[&[UpdateMeta<P>]], obs: &Collector) {
+        let cd_pairs: BTreeSet<(usize, usize)> = self
+            .deps
+            .iter()
+            .filter(|d| d.kind == DepKind::Concurrent)
+            .map(|d| (d.dependent, d.prerequisite))
+            .collect();
+        for d in self.unsafe_dependencies() {
+            let class: u64 = match d.kind {
+                DepKind::Concurrent => {
+                    if cd_pairs.contains(&(d.prerequisite, d.dependent)) {
+                        4
+                    } else {
+                        3
+                    }
+                }
+                DepKind::Semantic => {
+                    let any_sc = nodes[d.dependent]
+                        .iter()
+                        .chain(nodes[d.prerequisite].iter())
+                        .any(|u| u.kind.is_schema_change());
+                    if any_sc {
+                        2
+                    } else {
+                        1
+                    }
+                }
+            };
+            let with = nodes[d.prerequisite].first().map_or(0, |u| u.key.0);
+            let kind = match d.kind {
+                DepKind::Concurrent => "CD",
+                DepKind::Semantic => "SD",
+            };
+            for u in nodes[d.dependent] {
+                obs.prov(
+                    u.key.0,
+                    dyno_obs::stage::CONFLICT,
+                    &[field("with", with), field("class", class), field("kind", kind)],
+                );
+            }
+        }
     }
 
     /// `(concurrent, semantic)` edge counts.

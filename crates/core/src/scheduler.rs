@@ -276,6 +276,10 @@ impl Dyno {
         let Some((head, rest)) = nodes.split_first() else {
             return StepOutcome::Idle;
         };
+        // Captured only when provenance is on: the `Parked` arm below needs
+        // the head's causal ids after the queue borrow ends.
+        let head_keys: Vec<u64> =
+            if self.obs.lineage_on() { head.iter().map(|u| u.key.0).collect() } else { Vec::new() };
         let outcome = {
             let _maintain = self.obs.span("dyno.maintain", &[field("batch", head.len())]);
             maintainer.maintain(head, rest)
@@ -305,6 +309,9 @@ impl Dyno {
                 self.stats.parked += 1;
                 self.metrics.parked.inc();
                 self.obs.event(Level::Warn, "dyno.parked", &[]);
+                for &k in &head_keys {
+                    self.obs.prov(k, dyno_obs::stage::PARK, &[]);
+                }
                 // No correction, no removal: the schedule is still legal; the
                 // entry simply cannot run until its source comes back.
                 StepOutcome::Parked
@@ -335,6 +342,31 @@ impl Dyno {
                 "dyno.reordered",
                 &[field("batches", schedule.batches.len()), field("merged_batches", merged)],
             );
+            if self.obs.lineage_on() {
+                let nodes = queue.nodes();
+                let mut flat_pos = 0usize;
+                for (pos, batch) in schedule.batches.iter().enumerate() {
+                    let members: Vec<u64> =
+                        batch.iter().flat_map(|&i| nodes[i].iter().map(|u| u.key.0)).collect();
+                    if batch.len() > 1 {
+                        // A cyclic-group merge: the batch record carries the
+                        // member causal ids.
+                        self.obs.prov_batch(
+                            &members,
+                            dyno_obs::stage::MERGE,
+                            &[field("position", pos as u64)],
+                        );
+                    }
+                    // Updates whose node moved were topologically reordered.
+                    let moved = batch.iter().enumerate().any(|(off, &i)| i != flat_pos + off);
+                    if moved {
+                        for &m in &members {
+                            self.obs.prov(m, dyno_obs::stage::REORDER, &[]);
+                        }
+                    }
+                    flat_pos += batch.len();
+                }
+            }
             queue.apply_schedule(&schedule);
         }
     }

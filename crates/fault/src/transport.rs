@@ -11,7 +11,7 @@
 
 use std::collections::{BTreeMap, HashMap};
 
-use dyno_obs::{Collector, Counter};
+use dyno_obs::{field, stage, Collector, Counter};
 use dyno_source::{SourceId, UpdateMessage};
 
 use crate::profile::FaultProfile;
@@ -162,6 +162,7 @@ pub struct ChaosTransport {
     /// *successfully* delivered once but died with a killed warehouse.
     sent: BTreeMap<SourceId, BTreeMap<u64, UpdateMessage>>,
     counters: FaultCounters,
+    obs: Collector,
 }
 
 impl ChaosTransport {
@@ -174,12 +175,15 @@ impl ChaosTransport {
             down_until: HashMap::new(),
             sent: BTreeMap::new(),
             counters: FaultCounters::default(),
+            obs: Collector::disabled(),
         }
     }
 
-    /// Binds the `fault.*` counters into a collector's registry.
+    /// Binds the `fault.*` counters into a collector's registry and keeps
+    /// the handle for per-message provenance (`xport.*` stages).
     pub fn with_obs(mut self, obs: &Collector) -> Self {
         self.counters = FaultCounters::bind(obs);
+        self.obs = obs.clone();
         self
     }
 
@@ -220,12 +224,14 @@ impl Transport for ChaosTransport {
             }
             if self.roll(self.profile.drop_pm) {
                 self.inject(|c| &c.dropped);
+                self.obs.prov(msg.id.0, stage::XPORT_DROP, &[]);
                 self.held.push((NEVER, msg));
                 continue;
             }
             if self.roll(self.profile.delay_pm) && self.profile.max_delay_us > 0 {
                 self.inject(|c| &c.delayed);
                 let dt = self.rng.gen_range(1..self.profile.max_delay_us);
+                self.obs.prov(msg.id.0, stage::XPORT_DELAY, &[field("until_us", now_us + dt)]);
                 self.held.push((now_us + dt, msg));
                 continue;
             }
@@ -233,11 +239,15 @@ impl Transport for ChaosTransport {
             out.push(msg.clone());
             if dup {
                 self.inject(|c| &c.duplicated);
+                self.obs.prov(msg.id.0, stage::XPORT_DUP, &[]);
                 out.push(msg);
             }
         }
         if out.len() > 1 && self.roll(self.profile.reorder_pm) {
             self.inject(|c| &c.reordered);
+            for m in &out {
+                self.obs.prov(m.id.0, stage::XPORT_REORDER, &[]);
+            }
             self.rng.shuffle(&mut out);
         }
         out
@@ -263,6 +273,9 @@ impl Transport for ChaosTransport {
         let mut out: Vec<UpdateMessage> = hit.into_iter().map(|(_, m)| m).collect();
         out.sort_by_key(|m| m.source_version);
         self.counters.redelivered.add(out.len() as u64);
+        for m in &out {
+            self.obs.prov(m.id.0, stage::XPORT_NACK, &[field("after", after)]);
+        }
         out
     }
 
@@ -278,6 +291,9 @@ impl Transport for ChaosTransport {
         };
         self.counters.nacks.inc();
         self.counters.redelivered.add(out.len() as u64);
+        for m in &out {
+            self.obs.prov(m.id.0, stage::XPORT_REPLAY, &[field("after", after)]);
+        }
         out
     }
 

@@ -20,6 +20,8 @@ use std::fmt;
 use std::rc::Rc;
 
 use crate::clock::{Clock, VirtualClock, WallClock};
+use crate::lineage::Lineage;
+use crate::lineage::ProvRecord;
 use crate::metrics::{Counter, Gauge, Histogram, Registry};
 use crate::trace::{Field, Level, Record, Tracer};
 
@@ -31,6 +33,8 @@ struct CollectorInner {
     registry: Registry,
     tracing: Cell<bool>,
     tracer: RefCell<Tracer>,
+    lineage_on: Cell<bool>,
+    lineage: RefCell<Lineage>,
 }
 
 /// A cloneable handle to an observability pipeline (or to nothing).
@@ -65,6 +69,8 @@ impl Collector {
                 registry: Registry::new(),
                 tracing: Cell::new(false),
                 tracer: RefCell::new(Tracer::new(DEFAULT_RING_CAPACITY)),
+                lineage_on: Cell::new(false),
+                lineage: RefCell::new(Lineage::new(0)),
             })),
         }
     }
@@ -89,6 +95,16 @@ impl Collector {
         self
     }
 
+    /// Turns provenance capture on with a [`Lineage`] store of `capacity`
+    /// records. No-op when disabled.
+    pub fn with_lineage(self, capacity: usize) -> Self {
+        if let Some(inner) = &self.inner {
+            *inner.lineage.borrow_mut() = Lineage::new(capacity);
+            inner.lineage_on.set(true);
+        }
+        self
+    }
+
     /// Whether this is an enabled collector (metrics are live).
     pub fn is_enabled(&self) -> bool {
         self.inner.is_some()
@@ -103,6 +119,18 @@ impl Collector {
     pub fn set_tracing(&self, on: bool) {
         if let Some(inner) = &self.inner {
             inner.tracing.set(on);
+        }
+    }
+
+    /// Whether provenance records are currently being captured.
+    pub fn lineage_on(&self) -> bool {
+        self.inner.as_ref().is_some_and(|i| i.lineage_on.get())
+    }
+
+    /// Toggles provenance capture (the store is kept). No-op when disabled.
+    pub fn set_lineage(&self, on: bool) {
+        if let Some(inner) = &self.inner {
+            inner.lineage_on.set(on);
         }
     }
 
@@ -178,6 +206,79 @@ impl Collector {
     /// [`Collector::event`] at [`Level::Warn`].
     pub fn warn(&self, name: &'static str, fields: &[Field]) {
         self.event(Level::Warn, name, fields);
+    }
+
+    /// Records a provenance record for causal id `id` at `stage`. True
+    /// no-op (no copy, no clock read, no allocation) when the collector is
+    /// disabled or lineage capture is off.
+    #[inline]
+    pub fn prov(&self, id: u64, stage: &'static str, fields: &[Field]) {
+        let Some(inner) = &self.inner else { return };
+        if !inner.lineage_on.get() {
+            return;
+        }
+        let ts = inner.clock.now_us();
+        inner.lineage.borrow_mut().record(ts, id, stage, fields.to_vec());
+    }
+
+    /// Registers a batch over `members` and records one provenance record
+    /// against the batch id at `stage`; the record additionally carries one
+    /// `member` field per causal id so exporters can expand it without the
+    /// side map. Returns the batch id, or 0 when capture is off.
+    pub fn prov_batch(&self, members: &[u64], stage: &'static str, fields: &[Field]) -> u64 {
+        let Some(inner) = &self.inner else { return 0 };
+        if !inner.lineage_on.get() {
+            return 0;
+        }
+        let ts = inner.clock.now_us();
+        let mut lineage = inner.lineage.borrow_mut();
+        let id = lineage.new_batch(members);
+        let mut all: Vec<Field> = Vec::with_capacity(fields.len() + members.len());
+        all.extend_from_slice(fields);
+        for &m in members {
+            all.push(("member", m.into()));
+        }
+        lineage.record(ts, id, stage, all);
+        id
+    }
+
+    /// The lineage of `id` (its own records plus batch traversal), oldest
+    /// first. Empty when disabled.
+    pub fn explain(&self, id: u64) -> Vec<ProvRecord> {
+        match &self.inner {
+            Some(inner) => inner.lineage.borrow().explain(id),
+            None => Vec::new(),
+        }
+    }
+
+    /// Snapshot of the lineage store, oldest first. Empty when disabled.
+    pub fn lineage_records(&self) -> Vec<ProvRecord> {
+        match &self.inner {
+            Some(inner) => inner.lineage.borrow().records().cloned().collect(),
+            None => Vec::new(),
+        }
+    }
+
+    /// Provenance records evicted from the store so far.
+    pub fn lineage_dropped(&self) -> u64 {
+        self.inner.as_ref().map_or(0, |i| i.lineage.borrow().dropped())
+    }
+
+    /// The lineage store as JSONL, oldest record first. Empty when
+    /// disabled. Byte-stable for identical runs, so same-seed determinism
+    /// tests can compare captures as strings.
+    pub fn lineage_jsonl(&self) -> String {
+        match &self.inner {
+            Some(inner) => inner.lineage.borrow().export_jsonl(),
+            None => String::new(),
+        }
+    }
+
+    /// Empties the lineage store.
+    pub fn clear_lineage(&self) {
+        if let Some(inner) = &self.inner {
+            inner.lineage.borrow_mut().clear();
+        }
     }
 
     /// Snapshot of the trace ring, oldest first. Empty when disabled.
@@ -338,6 +439,45 @@ mod tests {
         obs.event(Level::Info, "c", &[]);
         let names: Vec<&str> = obs.trace_records().iter().map(|r| r.name).collect();
         assert_eq!(names, vec!["a", "c"]);
+    }
+
+    #[test]
+    fn disabled_or_off_lineage_is_a_no_op() {
+        let off = Collector::disabled();
+        off.prov(1, crate::lineage::stage::COMMIT, &[field("k", 1u64)]);
+        assert_eq!(off.prov_batch(&[1, 2], crate::lineage::stage::MERGE, &[]), 0);
+        assert!(off.lineage_records().is_empty());
+        assert!(off.explain(1).is_empty());
+        assert_eq!(off.lineage_jsonl(), "");
+
+        // Enabled but lineage never turned on: same behaviour.
+        let obs = Collector::wall();
+        assert!(!obs.lineage_on());
+        obs.prov(1, crate::lineage::stage::COMMIT, &[]);
+        assert!(obs.lineage_records().is_empty());
+    }
+
+    #[test]
+    fn lineage_captures_and_toggles() {
+        let clock = VirtualClock::new();
+        let obs = Collector::with_virtual_clock(clock.clone()).with_lineage(16);
+        clock.set(40);
+        obs.prov(7, crate::lineage::stage::ADMIT, &[field("source", 2u64)]);
+        obs.set_lineage(false);
+        obs.prov(7, crate::lineage::stage::INTENT, &[]);
+        obs.set_lineage(true);
+        let b = obs.prov_batch(&[7, 9], crate::lineage::stage::MERGE, &[]);
+        assert_ne!(b, 0);
+        let recs = obs.lineage_records();
+        let stages: Vec<&str> = recs.iter().map(|r| r.stage).collect();
+        assert_eq!(stages, vec!["admit", "merge"], "record while off is dropped");
+        assert_eq!(recs[0].ts_us, 40);
+        // The batch record carries its members as fields and explain()
+        // reaches it from a member id.
+        assert_eq!(obs.explain(9).len(), 1);
+        assert_eq!(obs.explain(7).len(), 2);
+        obs.clear_lineage();
+        assert!(obs.lineage_records().is_empty());
     }
 
     #[test]

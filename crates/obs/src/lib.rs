@@ -26,6 +26,18 @@
 //! **simulated microseconds** via [`VirtualClock`], which shares a cell with
 //! `dyno-sim`'s virtual clock.
 //!
+//! On top of those sit the provenance pieces added for update forensics:
+//!
+//! - [`lineage`] — per-update causal history ([`Collector::prov`] /
+//!   [`Collector::explain`]) in a bounded ring, same no-op contract as
+//!   spans.
+//! - [`chrome`] — a Chrome `trace_event` exporter
+//!   ([`chrome::export_chrome`]) rendering spans, events, and lineage as a
+//!   Perfetto-loadable timeline with flow arrows following each causal id.
+//! - [`forensics`] — replays a lineage capture into per-phase latency
+//!   breakdowns and per-anomaly-class histograms
+//!   ([`forensics::analyze`]).
+//!
 //! ```
 //! use dyno_obs::{field, Collector, Level};
 //!
@@ -42,13 +54,18 @@
 
 #![warn(missing_docs)]
 
+pub mod chrome;
 pub mod clock;
 pub mod collector;
+pub mod forensics;
 pub mod json;
+pub mod lineage;
 pub mod metrics;
 pub mod trace;
 
+pub use chrome::export_chrome;
 pub use clock::{Clock, VirtualClock, WallClock};
 pub use collector::{Collector, Span};
+pub use lineage::{stage, Lineage, ProvRecord, BATCH_BIT};
 pub use metrics::{Counter, Gauge, Histogram, Registry};
 pub use trace::{field, Field, FieldValue, Level, Record, RecordKind};

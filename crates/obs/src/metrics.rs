@@ -147,6 +147,46 @@ impl Histogram {
             .map(|i| (bucket_lo(i), h.buckets[i]))
             .collect()
     }
+
+    /// Estimated `q`-quantile (`0.0 ..= 1.0`) of the recorded samples.
+    ///
+    /// Exact to the resolution of the log₂ buckets: the quantile's bucket is
+    /// found by rank, then the value is linearly interpolated across the
+    /// bucket's range (clamped to the observed `min`/`max`, so single-bucket
+    /// distributions report exact values). Returns 0 for an empty histogram.
+    pub fn quantile(&self, q: f64) -> u64 {
+        let h = self.0.borrow();
+        if h.count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * h.count as f64).ceil() as u64).clamp(1, h.count);
+        let mut cum = 0u64;
+        for i in 0..HISTOGRAM_BUCKETS {
+            let n = h.buckets[i];
+            if n == 0 {
+                continue;
+            }
+            if cum + n >= rank {
+                let bucket_hi = match i {
+                    0 => 0,
+                    64 => u64::MAX,
+                    k => (1u64 << k) - 1,
+                };
+                let lo = bucket_lo(i).max(h.min).min(h.max);
+                let hi = bucket_hi.min(h.max).max(lo);
+                let within = rank - cum; // 1 ..= n
+                let frac = if n <= 1 { 0.5 } else { (within - 1) as f64 / (n - 1) as f64 };
+                return lo + ((hi - lo) as f64 * frac).round() as u64;
+            }
+            cum += n;
+        }
+        h.max
+    }
+
+    /// The `(p50, p95, p99)` estimates (see [`Histogram::quantile`]).
+    pub fn percentiles(&self) -> (u64, u64, u64) {
+        (self.quantile(0.50), self.quantile(0.95), self.quantile(0.99))
+    }
 }
 
 #[derive(Debug, Default)]
@@ -220,9 +260,10 @@ impl Registry {
         if !inner.histograms.is_empty() {
             out.push_str("histograms\n");
             for (name, h) in &inner.histograms {
+                let (p50, p95, p99) = h.percentiles();
                 let _ = write!(
                     out,
-                    "  {name:<width$}  count={} sum={} min={} max={}",
+                    "  {name:<width$}  count={} sum={} min={} max={} p50={p50} p95={p95} p99={p99}",
                     h.count(),
                     h.sum(),
                     h.min(),
@@ -238,7 +279,7 @@ impl Registry {
     }
 
     /// The snapshot as a single JSON object:
-    /// `{"counters":{..},"gauges":{..},"histograms":{name:{count,sum,min,max,buckets:[[lo,n],..]}}}`.
+    /// `{"counters":{..},"gauges":{..},"histograms":{name:{count,sum,min,max,p50,p95,p99,buckets:[[lo,n],..]}}}`.
     pub fn snapshot_json(&self) -> String {
         let inner = self.inner.borrow();
         let mut out = String::from("{\"counters\":{");
@@ -263,9 +304,11 @@ impl Registry {
                 out.push(',');
             }
             json::push_str(&mut out, name);
+            let (p50, p95, p99) = h.percentiles();
             let _ = write!(
                 out,
-                ":{{\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"buckets\":[",
+                ":{{\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\
+                 \"p50\":{p50},\"p95\":{p95},\"p99\":{p99},\"buckets\":[",
                 h.count(),
                 h.sum(),
                 h.min(),
@@ -343,6 +386,33 @@ mod tests {
     }
 
     #[test]
+    fn quantiles_interpolate_within_buckets() {
+        let r = Registry::new();
+        let h = r.histogram("lat");
+        assert_eq!(h.quantile(0.5), 0, "empty histogram");
+        // 100 samples 1..=100: log₂ buckets blur values, but the estimates
+        // must stay within the containing bucket and be monotone in q.
+        for v in 1..=100u64 {
+            h.record(v);
+        }
+        let (p50, p95, p99) = h.percentiles();
+        assert!((32..=63).contains(&p50), "p50={p50} must land in the [32,64) bucket");
+        assert!((64..=100).contains(&p95), "p95={p95} clamped by max");
+        assert!((64..=100).contains(&p99), "p99={p99} clamped by max");
+        assert!(p50 <= p95 && p95 <= p99, "monotone in q");
+        assert_eq!(h.quantile(0.0), 1, "q=0 clamps to min");
+        assert_eq!(h.quantile(1.0), 100, "q=1 clamps to max");
+    }
+
+    #[test]
+    fn quantile_of_single_sample_is_exact() {
+        let h = Histogram::default();
+        h.record(777);
+        assert_eq!(h.quantile(0.5), 777);
+        assert_eq!(h.quantile(0.99), 777);
+    }
+
+    #[test]
     fn snapshots_render_all_metric_kinds() {
         let r = Registry::new();
         r.counter("a.count").add(7);
@@ -353,9 +423,11 @@ mod tests {
         assert!(text.contains('7'));
         assert!(text.contains("-2"));
         assert!(text.contains("count=1"));
+        assert!(text.contains("p50=5"), "quantiles in the text snapshot: {text}");
         let json = r.snapshot_json();
         assert!(json.contains("\"a.count\":7"));
         assert!(json.contains("\"b.depth\":-2"));
+        assert!(json.contains("\"p50\":5"), "quantiles in the JSON snapshot");
         assert!(json.contains("\"buckets\":[[4,1]]"));
     }
 }

@@ -58,6 +58,9 @@ pub struct ChaosConfig {
     pub audit: bool,
     /// Maintenance-step budget (committed/aborted/parked steps).
     pub max_steps: u64,
+    /// Capture per-update provenance (`ChaosReport::obs` then answers
+    /// `explain(id)` queries and exports the lineage as JSONL).
+    pub lineage: bool,
 }
 
 impl ChaosConfig {
@@ -76,7 +79,14 @@ impl ChaosConfig {
             tuples_per_relation: 200,
             audit: true,
             max_steps: 5_000,
+            lineage: false,
         }
+    }
+
+    /// Enables per-update provenance capture.
+    pub fn with_lineage(mut self) -> Self {
+        self.lineage = true;
+        self
     }
 
     /// Sets the strategy.
@@ -149,7 +159,8 @@ pub fn run_chaos(cfg: &ChaosConfig) -> ChaosReport {
     }
 
     let mut port = SimPort::new(space, schedule, CostModel::default());
-    let obs = port.obs().clone();
+    let obs =
+        if cfg.lineage { port.obs().clone().with_lineage(64 * 1024) } else { port.obs().clone() };
     let mut mgr = ViewManager::new(view, info, cfg.strategy)
         .with_obs(obs.clone())
         .with_correction(cfg.policy);

@@ -67,6 +67,9 @@ pub struct CrashConfig {
     pub tuples_per_relation: usize,
     /// Audit strong consistency after every commit and recovery.
     pub audit: bool,
+    /// Capture per-update lineage; the report's `obs` then answers
+    /// `explain(id)` across kills and recoveries.
+    pub lineage: bool,
     /// Maintenance-step budget.
     pub max_steps: u64,
 }
@@ -86,6 +89,7 @@ impl CrashConfig {
             sc_count: 3,
             tuples_per_relation: 200,
             audit: true,
+            lineage: false,
             max_steps: 5_000,
         }
     }
@@ -105,6 +109,12 @@ impl CrashConfig {
     /// Sets the strategy.
     pub fn with_strategy(mut self, strategy: Strategy) -> Self {
         self.strategy = strategy;
+        self
+    }
+
+    /// Enables lineage capture.
+    pub fn with_lineage(mut self) -> Self {
+        self.lineage = true;
         self
     }
 }
@@ -163,7 +173,8 @@ pub fn run_crash_chaos(cfg: &CrashConfig) -> CrashReport {
     }
 
     let mut port = SimPort::new(space, schedule, CostModel::default());
-    let obs = port.obs().clone();
+    let obs =
+        if cfg.lineage { port.obs().clone().with_lineage(64 * 1024) } else { port.obs().clone() };
     let mut mgr = ViewManager::new(view, info.clone(), cfg.strategy)
         .with_obs(obs.clone())
         .with_correction(cfg.policy);

@@ -227,7 +227,16 @@ impl SimPort {
             }
             let c = self.schedule.pop_front().expect("peeked");
             match self.space.commit(c.source, c.update) {
-                Ok(msg) => self.arrivals.push(msg),
+                Ok(msg) => {
+                    // The causal id is born here: every later provenance
+                    // record for this update keys on msg.id.
+                    self.obs.prov(
+                        msg.id.0,
+                        dyno_obs::stage::COMMIT,
+                        &[field("source", msg.source.0), field("version", msg.source_version)],
+                    );
+                    self.arrivals.push(msg);
+                }
                 Err(_) => {
                     self.sim.skipped_commits.inc();
                     self.obs.event(

@@ -38,6 +38,11 @@ pub struct Scenario {
     /// maintenance attempt, scheduler decisions, abort events) stamped in
     /// simulated µs; export it from [`RunReport::obs`].
     pub tracing: bool,
+    /// When true, the run's collector also captures per-update lineage
+    /// (causal provenance records); query it with
+    /// [`dyno_obs::Collector::explain`] or export it via
+    /// [`dyno_obs::export_chrome`] from [`RunReport::obs`].
+    pub lineage: bool,
 }
 
 impl Scenario {
@@ -60,6 +65,7 @@ impl Scenario {
             audit: false,
             max_steps,
             tracing: false,
+            lineage: false,
         }
     }
 
@@ -96,6 +102,12 @@ impl Scenario {
     /// Enables structured tracing for the run.
     pub fn with_tracing(mut self) -> Self {
         self.tracing = true;
+        self
+    }
+
+    /// Enables lineage (provenance) capture for the run.
+    pub fn with_lineage(mut self) -> Self {
+        self.lineage = true;
         self
     }
 }
@@ -139,11 +151,17 @@ pub fn run_scenario(scenario: Scenario) -> Result<RunReport, ViewError> {
         audit,
         max_steps,
         tracing,
+        lineage,
     } = scenario;
     let info = space.info().clone();
     let mut port = SimPort::new(space, schedule, cost);
     if tracing {
         port.obs().set_tracing(true);
+    }
+    if lineage {
+        // `with_lineage` installs the ring in the shared inner, so every
+        // clone of this run's collector sees it.
+        let _ = port.obs().clone().with_lineage(64 * 1024);
     }
     let mut mgr = ViewManager::new(view, info, strategy)
         .with_obs(port.obs().clone())

@@ -18,7 +18,7 @@
 
 use std::collections::{BTreeMap, HashMap};
 
-use dyno_obs::{Collector, Counter};
+use dyno_obs::{stage, Collector, Counter};
 use dyno_source::{SourceId, UpdateMessage};
 
 /// Admission state for one UMQ.
@@ -33,6 +33,7 @@ pub struct IngressGate {
     dedupe: bool,
     duplicates_dropped: Counter,
     resequenced: Counter,
+    obs: Collector,
 }
 
 impl Default for IngressGate {
@@ -50,13 +51,16 @@ impl IngressGate {
             dedupe: true,
             duplicates_dropped: Counter::default(),
             resequenced: Counter::default(),
+            obs: Collector::disabled(),
         }
     }
 
-    /// Binds the gate's counters into a collector's registry.
+    /// Binds the gate's counters into a collector's registry and keeps the
+    /// handle for per-message provenance (`ingress.*` stages).
     pub fn bind_obs(&mut self, obs: &Collector) {
         self.duplicates_dropped = obs.counter("fault.duplicates_dropped");
         self.resequenced = obs.counter("fault.resequenced");
+        self.obs = obs.clone();
     }
 
     /// Enables/disables dedupe+resequencing (disable only to demonstrate
@@ -111,11 +115,14 @@ impl IngressGate {
         let admitted = *self.admitted.entry(source).or_insert(floor);
         if msg.source_version <= admitted {
             self.duplicates_dropped.inc();
+            self.obs.prov(msg.id.0, stage::INGRESS_DUP, &[]);
             return Vec::new();
         }
         let buf = self.buffer.entry(source).or_default();
+        let dup_id = msg.id.0;
         if buf.insert(msg.source_version, msg).is_some() {
             self.duplicates_dropped.inc();
+            self.obs.prov(dup_id, stage::INGRESS_DUP, &[]);
         }
         // Release the contiguous prefix.
         let mut out = Vec::new();
@@ -130,6 +137,11 @@ impl IngressGate {
         }
         if out.len() > 1 {
             self.resequenced.add(out.len() as u64 - 1);
+            // The gap-filling arrival releases first; everything after it
+            // was waiting in the reorder buffer.
+            for m in &out[1..] {
+                self.obs.prov(m.id.0, stage::INGRESS_RESEQ, &[]);
+            }
         }
         // Everything below the high-water mark is evicted: a drained reorder
         // buffer must not leave a permanent per-source map entry behind.

@@ -286,6 +286,15 @@ impl ViewManager {
                         invalidates_view: self.core.view.is_invalidated_by(sc),
                     },
                 };
+                self.core.obs.prov(
+                    msg.id.0,
+                    dyno_obs::stage::ADMIT,
+                    &[
+                        field("source", msg.source.0),
+                        field("version", msg.source_version),
+                        field("kind", if msg.is_schema_change() { "SC" } else { "DU" }),
+                    ],
+                );
                 let meta = UpdateMeta::new(msg.id.0, msg.source.0, kind, msg);
                 if let Some(log) = self.core.wal.as_mut() {
                     log.log_admitted(&meta);
@@ -421,7 +430,11 @@ impl Maintainer<UpdateMessage> for MaintCtx<'_> {
             let keys: Vec<u64> = batch.iter().map(|m| m.key.0).collect();
             log.log_intent(&keys, schema_changes > 0);
         }
+        for meta in batch {
+            self.core.obs.prov(meta.key.0, dyno_obs::stage::INTENT, &[]);
+        }
 
+        let mut written_rows: u64 = 0;
         let mut logged: Option<AppliedChange> = None;
         let failure: Option<BatchFailure> = if is_plain_du {
             let (result, drained) = sweep_maintain_observed(
@@ -439,6 +452,7 @@ impl Maintainer<UpdateMessage> for MaintCtx<'_> {
                     match self.core.mv.apply_delta(&delta.cols, &delta.rows) {
                         Ok(()) => {
                             self.port.charge_mv_write(written);
+                            written_rows = written;
                             self.core.stats.du_committed += 1;
                             if self.core.wal.is_some() {
                                 logged = Some(AppliedChange::Delta { rows: delta.rows.clone() });
@@ -475,6 +489,7 @@ impl Maintainer<UpdateMessage> for MaintCtx<'_> {
                     match self.core.mv.replace(cols, extent) {
                         Ok(()) => {
                             self.port.charge_mv_write(written);
+                            written_rows = written;
                             self.core.view = view;
                             self.core.plans.invalidate(schema_changes as u64, &self.core.obs);
                             self.core.stats.batches_committed += 1;
@@ -495,6 +510,7 @@ impl Maintainer<UpdateMessage> for MaintCtx<'_> {
                     match self.core.mv.apply_delta(&delta.cols, &delta.rows) {
                         Ok(()) => {
                             self.port.charge_mv_write(written);
+                            written_rows = written;
                             self.core.view = view;
                             self.core.plans.invalidate(schema_changes as u64, &self.core.obs);
                             self.core.stats.batches_committed += 1;
@@ -514,6 +530,7 @@ impl Maintainer<UpdateMessage> for MaintCtx<'_> {
                 self.commit_bookkeeping(batch);
                 // Commit protocol, write 2 of 2: the applied record makes
                 // the in-memory commit durable (crash before it = redo).
+                let was_cut = self.core.wal.as_ref().is_some_and(DurableLog::power_cut);
                 if let Some(log) = self.core.wal.as_mut() {
                     let change =
                         logged.unwrap_or(AppliedChange::Delta { rows: Default::default() });
@@ -524,6 +541,25 @@ impl Maintainer<UpdateMessage> for MaintCtx<'_> {
                             self.core.reflected.iter().map(|(s, v)| (s.0, *v)),
                         ),
                     });
+                }
+                // Terminal provenance. Skipped when the power was already
+                // cut before the Applied append (the append was dropped, so
+                // recovery re-executes this batch and records the terminal
+                // stages exactly once, post-recovery). A cut that trips ON
+                // the append leaves the record durable — those terminals
+                // are recorded here, since recovery will not redo them.
+                if !was_cut {
+                    for meta in batch {
+                        self.core.obs.prov(meta.key.0, dyno_obs::stage::APPLIED, &[]);
+                    }
+                    if self.core.obs.lineage_on() {
+                        let keys: Vec<u64> = batch.iter().map(|m| m.key.0).collect();
+                        self.core.obs.prov_batch(
+                            &keys,
+                            dyno_obs::stage::EXTENT,
+                            &[field("rows", written_rows)],
+                        );
+                    }
                 }
                 self.core.obs.counter("view.commits").inc();
                 self.port.on_maintenance_event(MaintEvent::Commit);

@@ -104,6 +104,7 @@ pub fn sweep_maintain_observed(
     let _span = obs.span("vm.sweep", &[field("pending", pending.len())]);
     obs.counter("vm.sweeps").inc();
     obs.counter("vm.compensations").add(pending.len() as u64);
+    obs.prov(msg.id.0, dyno_obs::stage::SWEEP, &[field("pending", pending.len())]);
     let mut drained: Vec<UpdateMessage> = Vec::new();
     let result = sweep_inner(view, msg, pending, port, &mut drained, Some((plans, obs)));
     if let Err(MaintFailure::Broken { query, .. }) = &result {

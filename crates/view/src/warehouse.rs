@@ -264,6 +264,15 @@ impl Warehouse {
                         invalidates_view: self.slots.iter().any(|s| s.view.is_invalidated_by(sc)),
                     },
                 };
+                self.obs.prov(
+                    msg.id.0,
+                    dyno_obs::stage::ADMIT,
+                    &[
+                        field("source", msg.source.0),
+                        field("version", msg.source_version),
+                        field("kind", if msg.is_schema_change() { "SC" } else { "DU" }),
+                    ],
+                );
                 let meta = UpdateMeta::new(msg.id.0, msg.source.0, kind, msg);
                 if let Some(log) = self.wal.as_mut() {
                     log.log_admitted(&meta);
@@ -414,6 +423,9 @@ impl Maintainer<UpdateMessage> for WarehouseCtx<'_> {
             let keys: Vec<u64> = batch.iter().map(|m| m.key.0).collect();
             log.log_intent(&keys, schema_changes > 0);
         }
+        for meta in batch {
+            self.obs.prov(meta.key.0, dyno_obs::stage::INTENT, &[]);
+        }
 
         // Phase 1: compute every view's change without committing anything,
         // so a broken query in view k discards views 0..k's work too.
@@ -458,6 +470,7 @@ impl Maintainer<UpdateMessage> for WarehouseCtx<'_> {
         }
 
         // Phase 2: commit to every view.
+        let mut total_written: u64 = 0;
         let mut logged_changes: Vec<AppliedChange> = Vec::new();
         for (slot, change) in self.slots.iter_mut().zip(staged) {
             if self.wal.is_some() {
@@ -483,6 +496,7 @@ impl Maintainer<UpdateMessage> for WarehouseCtx<'_> {
                     let written = delta.rows.weight();
                     slot.mv.apply_delta(&delta.cols, &delta.rows).map(|()| {
                         self.port.charge_mv_write(written);
+                        total_written += written;
                         slot.stats.du_committed += 1;
                     })
                 }
@@ -490,6 +504,7 @@ impl Maintainer<UpdateMessage> for WarehouseCtx<'_> {
                     let written = extent.weight();
                     slot.mv.replace(cols, extent).map(|()| {
                         self.port.charge_mv_write(written);
+                        total_written += written;
                         slot.view = view;
                         slot.plans.invalidate(schema_changes as u64, self.obs);
                         slot.stats.batches_committed += 1;
@@ -500,6 +515,7 @@ impl Maintainer<UpdateMessage> for WarehouseCtx<'_> {
                     let written = delta.rows.weight();
                     slot.mv.apply_delta(&delta.cols, &delta.rows).map(|()| {
                         self.port.charge_mv_write(written);
+                        total_written += written;
                         slot.view = view;
                         slot.plans.invalidate(schema_changes as u64, self.obs);
                         slot.stats.batches_committed += 1;
@@ -521,12 +537,32 @@ impl Maintainer<UpdateMessage> for WarehouseCtx<'_> {
         // Commit protocol, write 2 of 2: one atomic record across every
         // view, making the whole batch durable or (on a crash) none of it —
         // the durable form of Equation 6's all-or-nothing batch.
+        let was_cut = self.wal.as_ref().is_some_and(|w| w.power_cut());
         if let Some(log) = self.wal.as_mut() {
             log.log_applied(&AppliedRecord {
                 keys: batch.iter().map(|m| m.key.0).collect(),
                 changes: logged_changes,
                 reflected: sorted_versions(self.reflected.iter().map(|(s, v)| (s.0, *v))),
             });
+        }
+        // Terminal provenance, skipped when the power was already cut
+        // before the Applied append (the append was dropped, so recovery
+        // re-executes this batch and records the terminal stages exactly
+        // once, post-recovery). A cut that trips ON the append leaves the
+        // record durable — those terminals are recorded here, since
+        // recovery will not redo them.
+        if !was_cut {
+            for meta in batch {
+                self.obs.prov(meta.key.0, dyno_obs::stage::APPLIED, &[]);
+            }
+            if self.obs.lineage_on() {
+                let keys: Vec<u64> = batch.iter().map(|m| m.key.0).collect();
+                self.obs.prov_batch(
+                    &keys,
+                    dyno_obs::stage::EXTENT,
+                    &[field("rows", total_written)],
+                );
+            }
         }
         self.obs.counter("view.commits").inc();
         self.port.on_maintenance_event(MaintEvent::Commit);

@@ -33,6 +33,22 @@ test -s "$out/fig10.json"
 test -s "$out/fig10.jsonl"
 test -s "$out/fig10.jsonl.metrics.json"
 
+echo "== chrome trace export + tracecheck (Perfetto document validity) =="
+# A lineage-traced chaos run exported as a Chrome trace_event document,
+# then structurally validated: every B/E span balanced per lane, every
+# flow arrow (s/t/f per causal id) resolved, no unknown phases.
+DYNO_TUPLES=300 cargo run -q --release --offline -p dyno-bench --bin fig10 -- \
+    --chrome "$out/fig10.chrome.json" >/dev/null
+test -s "$out/fig10.chrome.json"
+cargo run -q --release --offline -p dyno-bench --bin tracecheck -- \
+    "$out/fig10.chrome.json"
+
+echo "== forensics analyzer smoke (per-anomaly-class latency breakdown) =="
+cargo run -q --release --offline -p dyno-bench --bin forensics -- \
+    --json "$out/forensics.json" >/dev/null
+test -s "$out/forensics.json"
+grep -q '"by_class_us"' "$out/forensics.json"
+
 echo "== plan cache invalidates on every committed schema change =="
 # The traced fig10 run commits a train of 10 SCs; each must have cleared
 # the maintenance-plan cache.
@@ -70,6 +86,13 @@ injected_total="$(awk -F= '/^fault.injected_total=/ { n += $2 } END { print n+0 
     "$chaos_summary")"
 test "$injected_total" -gt 0
 echo "fault.injected_total = $injected_total (summed over $(wc -l < "$chaos_summary") runs)"
+
+echo "== provenance conservation (lineage vs. what maintenance did) =="
+# Every committed extent delta must trace to an admitted update, terminals
+# are exactly-once even across kill-restart, and same-seed captures are
+# byte-identical (tests/provenance_props.rs).
+timeout 600 cargo test -q --release --offline --test provenance_props -- \
+    "${grid_flags[@]}"
 
 echo "== crash-recovery smoke (seeded kill-restart, wall-clock capped) =="
 # Warehouse processes are killed at deterministic commit-protocol points and

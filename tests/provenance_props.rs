@@ -1,0 +1,185 @@
+//! Provenance conservation: the lineage captured by `dyno::obs` must agree
+//! with what the maintenance machinery actually did, under transport faults
+//! and across warehouse crashes.
+//!
+//! Invariants, checked over the full lineage capture of each run:
+//!
+//! * **conservation** — every member of every committed extent delta
+//!   (`stage::EXTENT` batch record) traces back to at least one `admit`
+//!   record: nothing reaches the view without passing the UMQ gate;
+//! * **no orphan terminals** — every `applied` id was admitted, and every
+//!   `applied` id appears in exactly one extent batch;
+//! * **exactly-once terminals** — no id carries two `applied` records, even
+//!   when the warehouse is killed mid-commit and recovery re-executes the
+//!   batch (a durable Applied record must *not* be re-recorded; a dropped
+//!   one must be recorded exactly once, post-recovery);
+//! * **no silent eviction** — these runs must fit the lineage ring, else
+//!   the conservation checks above would be vacuous;
+//! * **bit identity** — the same seed re-run yields a byte-identical
+//!   `lineage_jsonl()` capture: provenance is as deterministic as the run.
+//!
+//! The quick subset always runs; the full grids are `#[ignore]`d and
+//! exercised by `scripts/verify.sh` via `--include-ignored`.
+
+use std::collections::HashMap;
+
+use dyno::fault::FaultProfile;
+use dyno::obs::{stage, Collector, FieldValue, BATCH_BIT};
+use dyno::sim::{run_chaos, run_crash_chaos, ChaosConfig, CrashConfig};
+use dyno::view::wal::{CrashPlan, CrashPoint};
+
+const CLASSES: [CrashPoint; 3] =
+    [CrashPoint::BetweenSteps, CrashPoint::AfterIntent, CrashPoint::MidBatch];
+
+/// Per-id tallies extracted from one run's lineage capture.
+struct Tally {
+    admits: HashMap<u64, u64>,
+    applieds: HashMap<u64, u64>,
+    /// id → number of extent batches naming it as a member.
+    extent_memberships: HashMap<u64, u64>,
+    extent_batches: u64,
+}
+
+fn tally(obs: &Collector) -> Tally {
+    let mut t = Tally {
+        admits: HashMap::new(),
+        applieds: HashMap::new(),
+        extent_memberships: HashMap::new(),
+        extent_batches: 0,
+    };
+    for r in obs.lineage_records() {
+        if r.id & BATCH_BIT != 0 {
+            if r.stage == stage::EXTENT {
+                t.extent_batches += 1;
+                for (k, v) in &r.fields {
+                    if *k == "member" {
+                        if let FieldValue::U64(m) = v {
+                            *t.extent_memberships.entry(*m).or_insert(0) += 1;
+                        }
+                    }
+                }
+            }
+            continue;
+        }
+        match r.stage {
+            s if s == stage::ADMIT => *t.admits.entry(r.id).or_insert(0) += 1,
+            s if s == stage::APPLIED => *t.applieds.entry(r.id).or_insert(0) += 1,
+            _ => {}
+        }
+    }
+    t
+}
+
+/// The conservation + exactly-once invariants over one run's capture.
+fn assert_conserved(obs: &Collector, ctx: &str) {
+    assert_eq!(
+        obs.lineage_dropped(),
+        0,
+        "{ctx}: the run must fit the lineage ring (conservation would be vacuous)"
+    );
+    let t = tally(obs);
+    assert!(t.extent_batches > 0, "{ctx}: a converged run commits at least one extent delta");
+    assert!(!t.applieds.is_empty(), "{ctx}: a converged run applies at least one update");
+
+    for (id, n) in &t.extent_memberships {
+        assert!(
+            t.admits.contains_key(id),
+            "{ctx}: extent member u{id} has no admit record (untraceable delta)"
+        );
+        assert_eq!(*n, 1, "{ctx}: u{id} named in {n} extent batches (must be exactly one)");
+        assert!(t.applieds.contains_key(id), "{ctx}: extent member u{id} has no applied record");
+    }
+    for (id, n) in &t.applieds {
+        assert_eq!(*n, 1, "{ctx}: u{id} has {n} applied records (terminals are exactly-once)");
+        assert!(t.admits.contains_key(id), "{ctx}: applied u{id} was never admitted (orphan)");
+        assert!(
+            t.extent_memberships.contains_key(id),
+            "{ctx}: applied u{id} is in no extent batch"
+        );
+    }
+}
+
+#[test]
+fn chaos_lineage_conserves_every_extent_delta() {
+    for profile in FaultProfile::all() {
+        let cfg = ChaosConfig::new(profile, 7).with_lineage();
+        let report = run_chaos(&cfg);
+        let ctx = format!("profile={} seed=7", cfg.profile.name);
+        assert!(report.last_error.is_none(), "{ctx}: hard error {:?}", report.last_error);
+        assert!(report.converged, "{ctx}: run must converge");
+        assert_conserved(&report.obs, &ctx);
+    }
+}
+
+#[test]
+fn crash_lineage_terminals_survive_every_kill_class() {
+    // A kill at each point of the commit protocol: terminals must come out
+    // exactly-once whether the Applied record was durable (the cut tripped
+    // on that very append — recovery does not re-execute) or dropped (the
+    // cut came earlier — recovery re-executes and records them then).
+    for point in CLASSES {
+        let cfg = CrashConfig::new(FaultProfile::quiet(), 7)
+            .with_lineage()
+            .with_kills(vec![CrashPlan { point, skip: 1 }]);
+        let report = run_crash_chaos(&cfg);
+        let ctx = format!("kill={point:?} seed=7");
+        assert_eq!(report.kills, 1, "{ctx}: the kill must fire");
+        assert!(report.converged, "{ctx}: recovered run converges");
+        assert_conserved(&report.obs, &ctx);
+    }
+}
+
+#[test]
+fn lineage_is_bit_identical_across_same_seed_reruns() {
+    let cfg = ChaosConfig::new(FaultProfile::drop_dup(), 4).with_lineage();
+    let a = run_chaos(&cfg).obs.lineage_jsonl();
+    let b = run_chaos(&cfg).obs.lineage_jsonl();
+    assert!(!a.is_empty(), "capture must not be empty");
+    assert_eq!(a, b, "same seed, same faults, byte-identical lineage");
+}
+
+/// The full chaos grid with lineage on: every profile × 6 seeds, each run
+/// conserved. Run via `scripts/verify.sh` or `cargo test --release --test
+/// provenance_props -- --include-ignored`.
+#[test]
+#[ignore = "full grid; run with --include-ignored (scripts/verify.sh)"]
+fn chaos_full_grid_conserves_lineage() {
+    for profile in FaultProfile::all() {
+        for seed in 0..6u64 {
+            let cfg = ChaosConfig::new(profile, seed).with_lineage();
+            let report = run_chaos(&cfg);
+            let ctx = format!("profile={} seed={seed}", cfg.profile.name);
+            assert!(report.converged, "{ctx}: run must converge");
+            assert_conserved(&report.obs, &ctx);
+        }
+    }
+}
+
+/// The full crash grid with lineage on: every kill class × 6 seeds × skip
+/// variants, terminals exactly-once across every recovery, and the crashed
+/// capture bit-identical on rerun.
+#[test]
+#[ignore = "full grid; run with --include-ignored (VERIFY_FULL=1 scripts/verify.sh)"]
+fn crash_full_grid_conserves_lineage() {
+    let mut kills = 0u64;
+    for point in CLASSES {
+        for seed in 0..6u64 {
+            let cfg = CrashConfig::new(FaultProfile::quiet(), seed)
+                .with_lineage()
+                .with_kills(vec![CrashPlan { point, skip: seed % 3 }]);
+            let report = run_crash_chaos(&cfg);
+            let ctx = format!("kill={point:?} seed={seed}");
+            assert!(report.converged, "{ctx}: recovered run converges");
+            assert_conserved(&report.obs, &ctx);
+            kills += report.kills;
+
+            let again = run_crash_chaos(&cfg);
+            assert_eq!(
+                report.obs.lineage_jsonl(),
+                again.obs.lineage_jsonl(),
+                "{ctx}: crashed capture bit-identical on rerun"
+            );
+        }
+    }
+    assert!(kills >= 12, "the grid must actually kill processes (got {kills})");
+}
