@@ -1,0 +1,134 @@
+//! Compares two benchmark/monitor JSON captures and fails when any shared
+//! numeric leaf moved beyond a relative tolerance.
+//!
+//! ```text
+//! benchdiff <old.json> <new.json> [--tol 0.25]
+//! ```
+//!
+//! Accepts either a single JSON document (`monitor --json` output,
+//! `BENCH_scale.json`) or JSONL (`BENCH_pr*.json` micro-benchmark captures,
+//! keyed by their `group`/`bench` fields). Every numeric leaf is flattened
+//! to a `path.to.leaf` key; a key present in the old capture but missing
+//! from the new one is a failure, as is any value whose relative change
+//! exceeds `--tol` (default 0.25). New keys are reported but allowed —
+//! telemetry grows. `--tol 0` demands bit-identical numbers and is the
+//! self-check mode `scripts/verify.sh` runs against `BENCH_scale.json`.
+
+use std::collections::BTreeMap;
+
+use dyno_obs::json::{parse, Value};
+
+fn usage(bin: &str) -> ! {
+    eprintln!("usage: {bin} <old.json> <new.json> [--tol F]");
+    std::process::exit(2);
+}
+
+/// Flattens every numeric leaf of `v` into `out` under dotted/indexed paths.
+fn flatten(prefix: &str, v: &Value, out: &mut BTreeMap<String, f64>) {
+    match v {
+        Value::Num(n) => {
+            out.insert(prefix.to_string(), *n);
+        }
+        Value::Obj(map) => {
+            for (k, child) in map {
+                let p = if prefix.is_empty() { k.clone() } else { format!("{prefix}.{k}") };
+                flatten(&p, child, out);
+            }
+        }
+        Value::Arr(items) => {
+            for (i, child) in items.iter().enumerate() {
+                flatten(&format!("{prefix}[{i}]"), child, out);
+            }
+        }
+        _ => {}
+    }
+}
+
+/// Parses a capture: one whole-file JSON document, or JSONL with one object
+/// per line (keyed by `group/bench` when present, else by line number).
+fn load(path: &str) -> BTreeMap<String, f64> {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("benchdiff: cannot read {path}: {e}");
+        std::process::exit(2);
+    });
+    let mut out = BTreeMap::new();
+    if let Ok(v) = parse(&text) {
+        flatten("", &v, &mut out);
+        return out;
+    }
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let v = parse(line).unwrap_or_else(|e| {
+            eprintln!("benchdiff: {path}:{}: neither JSON nor JSONL: {e}", i + 1);
+            std::process::exit(2);
+        });
+        let key = match (
+            v.get("group").and_then(Value::as_str),
+            v.get("bench").and_then(Value::as_str),
+        ) {
+            (Some(g), Some(b)) => format!("{g}/{b}"),
+            _ => format!("line{}", i + 1),
+        };
+        flatten(&key, &v, &mut out);
+    }
+    out
+}
+
+fn main() {
+    let bin = std::env::args().next().unwrap_or_else(|| "benchdiff".into());
+    let mut paths: Vec<String> = Vec::new();
+    let mut tol = 0.25f64;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--tol" => {
+                tol = args.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| usage(&bin))
+            }
+            _ if arg.starts_with("--") => usage(&bin),
+            _ => paths.push(arg),
+        }
+    }
+    let [old_path, new_path] = paths.as_slice() else { usage(&bin) };
+
+    let old = load(old_path);
+    let new = load(new_path);
+
+    let mut missing = 0u64;
+    let mut moved: Vec<(String, f64, f64, f64)> = Vec::new();
+    for (key, &o) in &old {
+        match new.get(key) {
+            None => {
+                missing += 1;
+                eprintln!("MISSING  {key} (old {o})");
+            }
+            Some(&n) if n != o => {
+                let rel = (n - o).abs() / o.abs().max(1e-12);
+                if rel > tol {
+                    moved.push((key.clone(), o, n, rel));
+                }
+            }
+            Some(_) => {}
+        }
+    }
+    let added = new.keys().filter(|k| !old.contains_key(*k)).count();
+
+    moved.sort_by(|a, b| b.3.total_cmp(&a.3));
+    for (key, o, n, rel) in moved.iter().take(20) {
+        let signed = rel * 100.0 * (n - o).signum();
+        eprintln!("MOVED    {key}: {o} -> {n} ({signed:+.1}%)");
+    }
+    if moved.len() > 20 {
+        eprintln!("... and {} more beyond tolerance", moved.len() - 20);
+    }
+
+    println!(
+        "benchdiff: {} shared keys, {} moved beyond tol {tol}, {missing} missing, {added} added",
+        old.len() - missing as usize,
+        moved.len(),
+    );
+    if missing > 0 || !moved.is_empty() {
+        std::process::exit(1);
+    }
+}

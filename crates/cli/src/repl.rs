@@ -8,7 +8,7 @@ use std::fmt::Write as _;
 
 use dyno_core::Strategy;
 use dyno_durable::FileStorage;
-use dyno_obs::Collector;
+use dyno_obs::{Collector, Sampler, SloPolicy, StalenessTracker};
 use dyno_relational::{
     parse_query, AttrType, Catalog, DataUpdate, Delta, Schema, SchemaChange, SourceUpdate, Tuple,
     Value,
@@ -21,6 +21,12 @@ pub struct Repl {
     port: InProcessPort,
     warehouse: Warehouse,
     initialized: bool,
+    /// Per-view staleness lanes (`slo` command); lanes are registered by
+    /// `init`, commits/refreshes flow in from `insert`/`run`/`step`.
+    tracker: StalenessTracker,
+    /// Registry time-series sampling (`series` command); off until
+    /// `series on`.
+    sampler: Option<Sampler>,
 }
 
 impl Default for Repl {
@@ -51,11 +57,16 @@ impl Repl {
         for name in DURABILITY_COUNTERS {
             let _ = obs.registry().counter(name);
         }
+        let tracker = StalenessTracker::new(512);
+        tracker.bind_obs(&obs);
         Repl {
             port: InProcessPort::new(SourceSpace::new()),
             warehouse: Warehouse::new(dyno_source::InfoSpace::new(), Strategy::Pessimistic)
-                .with_obs(obs),
+                .with_obs(obs)
+                .with_staleness(tracker.clone()),
             initialized: false,
+            tracker,
+            sampler: None,
         }
     }
 
@@ -79,6 +90,9 @@ impl Repl {
          \x20 checkpoint <path>                     attach a write-ahead log at <path> and snapshot into it\n\
          \x20 recover <path>                        replace the warehouse with one recovered from <path>\n\
          \x20 trace on|off|dump <path>              toggle structured tracing / write the JSONL trace\n\
+         \x20 slo [<p99_ms> [window_ms]]            set / show the per-view staleness SLO (burn-rate alerts)\n\
+         \x20 series on <window_ms> [cap] | off     start/stop registry time-series sampling\n\
+         \x20 series [sample|show|dump <path>]      tick / render / export the sampled series\n\
          \x20 help                                  this text\n\
          \x20 quit                                  exit"
     }
@@ -110,6 +124,8 @@ impl Repl {
             "checkpoint" => self.cmd_checkpoint(rest),
             "recover" => self.cmd_recover(rest),
             "trace" => self.cmd_trace(rest),
+            "slo" => self.cmd_slo(rest),
+            "series" => self.cmd_series(rest),
             other => Err(format!("unknown command `{other}` — try `help`")),
         }
     }
@@ -134,6 +150,18 @@ impl Repl {
                 dyno_obs::field("version", msg.source_version),
             ],
         );
+        self.tracker.note_commit(msg.source.0, msg.source_version, self.warehouse.obs().now_us());
+    }
+
+    /// Advances the telemetry clocks past `now`: closes due sampler and
+    /// staleness windows. Called after every scheduling command so the
+    /// series stay fresh without a background thread.
+    fn tick_telemetry(&mut self) {
+        let now = self.warehouse.obs().now_us();
+        self.tracker.maybe_sample(now);
+        if let Some(s) = &mut self.sampler {
+            s.maybe_sample(now);
+        }
     }
 
     fn parse_source(&self, token: &str) -> Result<SourceId, String> {
@@ -314,6 +342,7 @@ impl Repl {
     fn cmd_step(&mut self) -> Result<String, String> {
         self.require_init()?;
         let outcome = self.warehouse.step(&mut self.port).map_err(|e| e.to_string())?;
+        self.tick_telemetry();
         Ok(format!("{outcome:?}"))
     }
 
@@ -321,6 +350,7 @@ impl Repl {
         self.require_init()?;
         let steps =
             self.warehouse.run_to_quiescence(&mut self.port, 10_000).map_err(|e| e.to_string())?;
+        self.tick_telemetry();
         Ok(format!("quiesced after {steps} step(s)"))
     }
 
@@ -385,7 +415,7 @@ impl Repl {
         let obs = self.warehouse.obs().clone();
         let (wh, report) = Warehouse::recover(Box::new(FileStorage::new(path)), info, obs)
             .map_err(|e| format!("cannot recover from `{path}`: {e}"))?;
-        self.warehouse = wh;
+        self.warehouse = wh.with_staleness(self.tracker.clone());
         self.initialized = true;
         Ok(format!(
             "recovered {} view(s) from {path}: {} record(s) replayed, {} torn, {} intent(s) re-parked",
@@ -424,6 +454,97 @@ impl Repl {
                 Ok(format!("{records} trace record(s) written to {path}"))
             }
             other => Err(format!("unknown trace subcommand `{other}` — on, off or dump <path>")),
+        }
+    }
+
+    fn cmd_slo(&mut self, rest: &str) -> Result<String, String> {
+        let rest = rest.trim();
+        if rest.is_empty() {
+            if self.tracker.view_count() == 0 {
+                return Ok("no staleness lanes yet — `init` registers one per view".into());
+            }
+            let now = self.warehouse.obs().now_us();
+            return Ok(self.tracker.render_text(now).trim_end().to_string());
+        }
+        let usage = || "usage: slo [<p99_ms> [window_ms]]".to_string();
+        let mut parts = rest.split_whitespace();
+        let p99_ms: u64 = parts.next().ok_or_else(usage)?.parse().map_err(|_| usage())?;
+        let window_ms: u64 = match parts.next() {
+            Some(t) => t.parse().map_err(|_| usage())?,
+            None => 1_000,
+        };
+        if p99_ms == 0 || window_ms == 0 {
+            return Err("p99_ms and window_ms must be positive".into());
+        }
+        self.tracker.set_slo(SloPolicy::target(p99_ms * 1_000));
+        self.tracker.set_cadence(window_ms * 1_000, self.warehouse.obs().now_us());
+        Ok(format!(
+            "staleness SLO set: p99 ≤ {p99_ms}ms over {window_ms}ms windows \
+             (burn-rate: warn at 2/3 bad short windows, page at 3/3 short + 6/12 long)"
+        ))
+    }
+
+    fn cmd_series(&mut self, rest: &str) -> Result<String, String> {
+        let (sub, arg) = rest.split_once(char::is_whitespace).unwrap_or((rest, ""));
+        let now = self.warehouse.obs().now_us();
+        match sub {
+            "" => Ok(match &self.sampler {
+                Some(s) => format!(
+                    "sampling every {}ms: {} window(s), {} series",
+                    s.window_us() / 1_000,
+                    s.windows(),
+                    s.series_count()
+                ),
+                None => "sampling is off — start with `series on <window_ms> [cap]`".into(),
+            }),
+            "on" => {
+                let usage = || "usage: series on <window_ms> [cap]".to_string();
+                let mut parts = arg.split_whitespace();
+                let window_ms: u64 =
+                    parts.next().ok_or_else(usage)?.parse().map_err(|_| usage())?;
+                if window_ms == 0 {
+                    return Err("window_ms must be positive".into());
+                }
+                let cap: usize = match parts.next() {
+                    Some(t) => t.parse().map_err(|_| usage())?,
+                    None => 512,
+                };
+                let registry = self.warehouse.obs().registry();
+                self.sampler = Some(Sampler::new(registry, window_ms * 1_000, cap, now));
+                Ok(format!("sampling every {window_ms}ms ({cap} windows retained)"))
+            }
+            "off" => {
+                self.sampler = None;
+                Ok("sampling off".into())
+            }
+            "sample" => match &mut self.sampler {
+                Some(s) => {
+                    s.sample_now(now);
+                    self.tracker.sample_now(now);
+                    Ok(format!("sampled at {now}us ({} window(s))", s.windows()))
+                }
+                None => Err("sampling is off — start with `series on <window_ms>`".into()),
+            },
+            "show" => match &self.sampler {
+                Some(s) => Ok(s.render_text().trim_end().to_string()),
+                None => Err("sampling is off — start with `series on <window_ms>`".into()),
+            },
+            "dump" => {
+                let path = arg.trim();
+                if path.is_empty() {
+                    return Err("usage: series dump <path>".into());
+                }
+                let Some(s) = &self.sampler else {
+                    return Err("sampling is off — start with `series on <window_ms>`".into());
+                };
+                let mut doc = s.to_json();
+                doc.push('\n');
+                std::fs::write(path, doc).map_err(|e| format!("cannot write `{path}`: {e}"))?;
+                Ok(format!("{} window(s) written to {path}", s.windows()))
+            }
+            other => {
+                Err(format!("unknown series subcommand `{other}` — on, off, sample, show or dump"))
+            }
         }
     }
 
@@ -562,6 +683,8 @@ mod tests {
             "checkpoint",
             "recover",
             "trace",
+            "slo",
+            "series",
             "quit",
         ] {
             assert!(Repl::help().contains(cmd), "help is missing `{cmd}`");
@@ -665,6 +788,57 @@ mod tests {
         std::fs::remove_file(&missing).ok();
         let err = r.execute(&format!("recover {}", missing.display())).unwrap_err();
         assert!(err.contains("cannot recover"), "{err}");
+    }
+
+    /// `slo` registers a lane per view at `init`, tracks commit→refresh
+    /// staleness through `insert`/`run`, and renders the burn-rate status.
+    #[test]
+    fn slo_tracks_staleness_lanes() {
+        let mut r = Repl::new();
+        assert!(ok(&mut r, "slo").contains("no staleness lanes"), "empty before init");
+        ok(&mut r, "source s0");
+        ok(&mut r, "table 0 T a:int");
+        ok(&mut r, "view CREATE VIEW W AS SELECT T.a FROM T");
+        ok(&mut r, "init");
+        let set = ok(&mut r, "slo 5000 1000");
+        assert!(set.contains("p99 ≤ 5000ms"), "{set}");
+        ok(&mut r, "insert 0 T 1");
+        ok(&mut r, "run");
+        let status = ok(&mut r, "slo");
+        assert!(status.contains('W'), "lane for the view: {status}");
+        assert!(status.contains("ok"), "fresh view is inside the SLO: {status}");
+        assert!(r.execute("slo nope").unwrap_err().contains("usage"));
+        assert!(r.execute("slo 0").unwrap_err().contains("positive"));
+    }
+
+    /// `series on` samples the registry; `sample`/`show`/`dump` expose the
+    /// windows; `off` stops sampling.
+    #[test]
+    fn series_sampling_lifecycle() {
+        let mut r = Repl::new();
+        assert!(ok(&mut r, "series").contains("off"));
+        assert!(r.execute("series show").is_err(), "show requires sampling on");
+        assert!(r.execute("series on").unwrap_err().contains("usage"));
+        ok(&mut r, "source s0");
+        ok(&mut r, "table 0 T a:int");
+        ok(&mut r, "view CREATE VIEW W AS SELECT T.a FROM T");
+        ok(&mut r, "init");
+        ok(&mut r, "series on 1000 64");
+        ok(&mut r, "insert 0 T 1");
+        ok(&mut r, "run");
+        let sampled = ok(&mut r, "series sample");
+        assert!(sampled.contains("window"), "{sampled}");
+        let show = ok(&mut r, "series show");
+        assert!(show.contains("view.commits"), "maintenance series present: {show}");
+        let path = std::env::temp_dir().join("dyno_cli_series_test.json");
+        let dump = ok(&mut r, &format!("series dump {}", path.display()));
+        assert!(dump.contains("written"), "{dump}");
+        let body = std::fs::read_to_string(&path).expect("dump file exists");
+        std::fs::remove_file(&path).ok();
+        assert!(body.contains("\"series\""), "{body}");
+        ok(&mut r, "series off");
+        assert!(ok(&mut r, "series").contains("off"));
+        assert!(r.execute("series bogus").is_err());
     }
 
     /// `trace on` captures spans; `trace dump` writes them as JSONL;

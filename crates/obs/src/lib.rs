@@ -38,6 +38,15 @@
 //!   breakdowns and per-anomaly-class histograms
 //!   ([`forensics::analyze`]).
 //!
+//! And the freshness layer (DESIGN.md §14):
+//!
+//! - [`timeseries`] — a [`Sampler`] snapshotting the registry on a window
+//!   cadence into bounded ring-buffered series (counter deltas, gauge
+//!   samples, per-window histogram quantiles);
+//! - [`slo`] — per-view end-to-end staleness ([`StalenessTracker`]) under
+//!   declarative targets with a multi-window burn-rate alert state machine
+//!   (ok/warn/page).
+//!
 //! ```
 //! use dyno_obs::{field, Collector, Level};
 //!
@@ -61,11 +70,15 @@ pub mod forensics;
 pub mod json;
 pub mod lineage;
 pub mod metrics;
+pub mod slo;
+pub mod timeseries;
 pub mod trace;
 
 pub use chrome::export_chrome;
 pub use clock::{Clock, VirtualClock, WallClock};
 pub use collector::{Collector, Span};
 pub use lineage::{stage, Lineage, ProvRecord, BATCH_BIT};
-pub use metrics::{Counter, Gauge, Histogram, Registry};
+pub use metrics::{Counter, Gauge, HistWindow, Histogram, Registry};
+pub use slo::{SloEvaluator, SloPolicy, SloState, StalenessTracker};
+pub use timeseries::{Sampler, SeriesKind};
 pub use trace::{field, Field, FieldValue, Level, Record, RecordKind};

@@ -55,6 +55,9 @@ pub mod stage {
     pub const INGRESS_RESEQ: &str = "ingress.reseq";
     /// Admitted to the UMQ (enqueued for maintenance).
     pub const ADMIT: &str = "admit";
+    /// Rejected at a full bounded UMQ (terminal: the update is never
+    /// reflected; fields: `source`, `version`, `depth`).
+    pub const SHED: &str = "shed";
     /// Found on an unsafe dependency edge (fields: `with`, `class`, `kind`).
     pub const CONFLICT: &str = "conflict";
     /// Merged into a cyclic-group batch (batch record lists the members).

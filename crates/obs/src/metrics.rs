@@ -80,6 +80,59 @@ pub fn bucket_lo(i: usize) -> u64 {
     }
 }
 
+/// One observation window's summary of a [`Histogram`], as produced by
+/// [`Histogram::snapshot_and_reset_window`]. All values concern only the
+/// samples recorded since the previous window snapshot.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HistWindow {
+    /// Samples recorded in the window.
+    pub count: u64,
+    /// Sum of the window's samples.
+    pub sum: u64,
+    /// Smallest sample in the window (0 if empty).
+    pub min: u64,
+    /// Largest sample in the window (0 if empty).
+    pub max: u64,
+    /// Estimated median of the window's samples.
+    pub p50: u64,
+    /// Estimated 95th percentile of the window's samples.
+    pub p95: u64,
+    /// Estimated 99th percentile of the window's samples.
+    pub p99: u64,
+}
+
+/// Rank-based quantile over a log₂ bucket array: the quantile's bucket is
+/// found by rank, then the value is linearly interpolated across the
+/// bucket's range, clamped to the observed `min`/`max`. Shared by the
+/// cumulative and windowed views of a histogram so both report identically
+/// for identical sample sets.
+fn quantile_in(count: u64, min: u64, max: u64, buckets: &[u64; HISTOGRAM_BUCKETS], q: f64) -> u64 {
+    if count == 0 {
+        return 0;
+    }
+    let rank = ((q.clamp(0.0, 1.0) * count as f64).ceil() as u64).clamp(1, count);
+    let mut cum = 0u64;
+    for (i, &n) in buckets.iter().enumerate() {
+        if n == 0 {
+            continue;
+        }
+        if cum + n >= rank {
+            let bucket_hi = match i {
+                0 => 0,
+                64 => u64::MAX,
+                k => (1u64 << k) - 1,
+            };
+            let lo = bucket_lo(i).max(min).min(max);
+            let hi = bucket_hi.min(max).max(lo);
+            let within = rank - cum; // 1 ..= n
+            let frac = if n <= 1 { 0.5 } else { (within - 1) as f64 / (n - 1) as f64 };
+            return lo + ((hi - lo) as f64 * frac).round() as u64;
+        }
+        cum += n;
+    }
+    max
+}
+
 #[derive(Debug)]
 struct HistData {
     count: u64,
@@ -87,11 +140,30 @@ struct HistData {
     min: u64,
     max: u64,
     buckets: [u64; HISTOGRAM_BUCKETS],
+    /// Window-scoped mirror of the fields above: reset by
+    /// `snapshot_and_reset_window`, never consulted by the cumulative
+    /// accessors, so lifetime quantiles are unaffected by windowing.
+    wcount: u64,
+    wsum: u64,
+    wmin: u64,
+    wmax: u64,
+    wbuckets: [u64; HISTOGRAM_BUCKETS],
 }
 
 impl Default for HistData {
     fn default() -> Self {
-        HistData { count: 0, sum: 0, min: 0, max: 0, buckets: [0; HISTOGRAM_BUCKETS] }
+        HistData {
+            count: 0,
+            sum: 0,
+            min: 0,
+            max: 0,
+            buckets: [0; HISTOGRAM_BUCKETS],
+            wcount: 0,
+            wsum: 0,
+            wmin: 0,
+            wmax: 0,
+            wbuckets: [0; HISTOGRAM_BUCKETS],
+        }
     }
 }
 
@@ -112,6 +184,45 @@ impl Histogram {
         h.count += 1;
         h.sum = h.sum.wrapping_add(v);
         h.buckets[bucket_index(v)] += 1;
+        if h.wcount == 0 || v < h.wmin {
+            h.wmin = v;
+        }
+        if v > h.wmax {
+            h.wmax = v;
+        }
+        h.wcount += 1;
+        h.wsum = h.wsum.wrapping_add(v);
+        h.wbuckets[bucket_index(v)] += 1;
+    }
+
+    /// Summarizes the samples recorded since the last call (or since
+    /// creation) and resets the window, leaving the cumulative state — and
+    /// therefore [`Histogram::quantile`] / [`Histogram::percentiles`] —
+    /// untouched. This is what lets `stats` and figure output keep lifetime
+    /// percentiles while the time-series sampler reads per-window ones off
+    /// the same histogram.
+    pub fn snapshot_and_reset_window(&self) -> HistWindow {
+        let mut h = self.0.borrow_mut();
+        let w = HistWindow {
+            count: h.wcount,
+            sum: h.wsum,
+            min: h.wmin,
+            max: h.wmax,
+            p50: quantile_in(h.wcount, h.wmin, h.wmax, &h.wbuckets, 0.50),
+            p95: quantile_in(h.wcount, h.wmin, h.wmax, &h.wbuckets, 0.95),
+            p99: quantile_in(h.wcount, h.wmin, h.wmax, &h.wbuckets, 0.99),
+        };
+        h.wcount = 0;
+        h.wsum = 0;
+        h.wmin = 0;
+        h.wmax = 0;
+        h.wbuckets = [0; HISTOGRAM_BUCKETS];
+        w
+    }
+
+    /// Samples recorded in the current (un-snapshotted) window.
+    pub fn window_count(&self) -> u64 {
+        self.0.borrow().wcount
     }
 
     /// Number of samples.
@@ -156,31 +267,7 @@ impl Histogram {
     /// distributions report exact values). Returns 0 for an empty histogram.
     pub fn quantile(&self, q: f64) -> u64 {
         let h = self.0.borrow();
-        if h.count == 0 {
-            return 0;
-        }
-        let rank = ((q.clamp(0.0, 1.0) * h.count as f64).ceil() as u64).clamp(1, h.count);
-        let mut cum = 0u64;
-        for i in 0..HISTOGRAM_BUCKETS {
-            let n = h.buckets[i];
-            if n == 0 {
-                continue;
-            }
-            if cum + n >= rank {
-                let bucket_hi = match i {
-                    0 => 0,
-                    64 => u64::MAX,
-                    k => (1u64 << k) - 1,
-                };
-                let lo = bucket_lo(i).max(h.min).min(h.max);
-                let hi = bucket_hi.min(h.max).max(lo);
-                let within = rank - cum; // 1 ..= n
-                let frac = if n <= 1 { 0.5 } else { (within - 1) as f64 / (n - 1) as f64 };
-                return lo + ((hi - lo) as f64 * frac).round() as u64;
-            }
-            cum += n;
-        }
-        h.max
+        quantile_in(h.count, h.min, h.max, &h.buckets, q)
     }
 
     /// The `(p50, p95, p99)` estimates (see [`Histogram::quantile`]).
@@ -231,6 +318,23 @@ impl Registry {
     /// Current value of a gauge, if registered.
     pub fn gauge_value(&self, name: &str) -> Option<i64> {
         self.inner.borrow().gauges.get(name).map(Gauge::get)
+    }
+
+    /// `(name, value)` for every registered counter, name order.
+    pub fn counters(&self) -> Vec<(&'static str, u64)> {
+        self.inner.borrow().counters.iter().map(|(n, c)| (*n, c.get())).collect()
+    }
+
+    /// `(name, value)` for every registered gauge, name order.
+    pub fn gauges(&self) -> Vec<(&'static str, i64)> {
+        self.inner.borrow().gauges.iter().map(|(n, g)| (*n, g.get())).collect()
+    }
+
+    /// `(name, handle)` for every registered histogram, name order. The
+    /// handles share state with the registry, so the time-series sampler can
+    /// take per-window snapshots without holding the registry borrowed.
+    pub fn histograms(&self) -> Vec<(&'static str, Histogram)> {
+        self.inner.borrow().histograms.iter().map(|(n, h)| (*n, h.clone())).collect()
     }
 
     /// An aligned, human-readable snapshot of every registered metric.
@@ -402,6 +506,43 @@ mod tests {
         assert!(p50 <= p95 && p95 <= p99, "monotone in q");
         assert_eq!(h.quantile(0.0), 1, "q=0 clamps to min");
         assert_eq!(h.quantile(1.0), 100, "q=1 clamps to max");
+    }
+
+    #[test]
+    fn window_reset_leaves_cumulative_quantiles_untouched() {
+        // Regression (ISSUE 6 satellite): the same histogram must serve both
+        // the lifetime view (stats / figure output) and per-window snapshots
+        // (time series) without either disturbing the other.
+        let h = Histogram::default();
+        for v in 1..=100u64 {
+            h.record(v);
+        }
+        let lifetime_before = h.percentiles();
+        let w1 = h.snapshot_and_reset_window();
+        assert_eq!(w1.count, 100);
+        assert_eq!(w1.sum, 5050);
+        assert_eq!((w1.min, w1.max), (1, 100));
+        assert_eq!((w1.p50, w1.p95, w1.p99), lifetime_before, "same samples, same estimates");
+        assert_eq!(h.percentiles(), lifetime_before, "cumulative view survives the reset");
+        assert_eq!(h.count(), 100, "cumulative count survives");
+        assert_eq!(h.window_count(), 0, "window is reset");
+
+        // A second window sees only its own (much larger) samples; the
+        // cumulative view blends both epochs.
+        for v in 10_000..10_050u64 {
+            h.record(v);
+        }
+        let w2 = h.snapshot_and_reset_window();
+        assert_eq!(w2.count, 50);
+        assert!(w2.min >= 10_000, "window min is window-scoped, got {}", w2.min);
+        assert!(w2.p50 >= 10_000, "window quantiles see only window samples");
+        assert_eq!(h.count(), 150);
+        assert_eq!(h.min(), 1, "cumulative min spans both windows");
+        assert!(h.quantile(0.5) < 10_000, "cumulative median still dominated by epoch one");
+
+        // An empty window snapshots as all zeros.
+        let w3 = h.snapshot_and_reset_window();
+        assert_eq!(w3, HistWindow::default());
     }
 
     #[test]

@@ -161,6 +161,23 @@ impl SignedBag {
         self.counts.values().all(|&c| c > 0)
     }
 
+    /// Drops every entry with a negative multiplicity, returning the total
+    /// magnitude removed (0 when the bag was already non-negative). Used by
+    /// knowingly-lossy consumers — a view maintained under admission
+    /// shedding can receive deletes for rows it never applied.
+    pub fn clamp_non_negative(&mut self) -> u64 {
+        let mut clamped = 0u64;
+        self.counts.retain(|_, c| {
+            if *c < 0 {
+                clamped += c.unsigned_abs();
+                false
+            } else {
+                true
+            }
+        });
+        clamped
+    }
+
     /// Iterates over `(tuple, multiplicity)` pairs in arbitrary order.
     pub fn iter(&self) -> impl Iterator<Item = (&Tuple, i64)> {
         self.counts.iter().map(|(t, &c)| (t, c))

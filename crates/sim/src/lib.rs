@@ -28,6 +28,7 @@ pub mod consistency;
 pub mod cost;
 pub mod crash;
 pub mod metrics;
+pub mod openloop;
 pub mod port;
 pub mod runner;
 
@@ -42,8 +43,9 @@ pub use consistency::{check_convergence, check_reflected, eval_view_at};
 pub use cost::CostModel;
 pub use crash::{run_crash_chaos, CrashConfig, CrashReport};
 pub use metrics::Metrics;
+pub use openloop::{run_monitor, tenant_views, MonitorConfig, MonitorReport};
 pub use port::{ScheduledCommit, SimPort};
 pub use rng::Rng;
 pub use runner::{run_scenario, RunReport, Scenario};
 pub use testbed::{build_space, build_testbed, build_view, TestbedConfig};
-pub use workload::{EventKind, WorkloadGen};
+pub use workload::{EventKind, OpenLoopConfig, WorkloadGen, Zipf};

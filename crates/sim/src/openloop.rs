@@ -1,0 +1,302 @@
+//! The monitored open-loop runner (DESIGN.md §14): drives a multi-view
+//! [`Warehouse`](dyno_view::Warehouse) with the
+//! [`open_loop`](crate::workload::WorkloadGen::open_loop) workload while a
+//! [`Sampler`] snapshots the metrics registry and a [`StalenessTracker`]
+//! measures per-view end-to-end staleness against an SLO.
+//!
+//! Open loop means the arrival schedule is fixed up front and never waits
+//! for the warehouse: when maintenance falls behind, the UMQ grows (or, with
+//! an admission bound, sheds), and staleness climbs — exactly the regime
+//! the burn-rate alerts are designed to catch. The whole run is driven by
+//! the virtual clock, so every series, state transition, and counter is
+//! bit-identical for a given seed.
+
+use dyno_core::{StepOutcome, Strategy};
+use dyno_obs::{Sampler, SloPolicy, SloState, StalenessTracker};
+use dyno_view::{SourcePort, ViewDefinition, ViewError, Warehouse};
+
+use crate::cost::CostModel;
+use crate::metrics::Metrics;
+use crate::port::SimPort;
+use crate::testbed::{build_space, build_view, TestbedConfig};
+use crate::workload::{OpenLoopConfig, WorkloadGen};
+
+/// Parameters of one monitored run.
+#[derive(Debug, Clone)]
+pub struct MonitorConfig {
+    /// Testbed shape (sources, relations, tuples).
+    pub testbed: TestbedConfig,
+    /// The open-loop arrival process.
+    pub open_loop: OpenLoopConfig,
+    /// Workload generator seed (independent of the testbed data seed).
+    pub workload_seed: u64,
+    /// Per-tenant views registered besides the full testbed join:
+    /// alternating single-relation and two-way-join views, so lanes have
+    /// divergent source footprints.
+    pub tenant_views: usize,
+    /// UMQ admission bound (`None` = unbounded, nothing is ever shed).
+    pub umq_bound: Option<usize>,
+    /// Sampling window, simulated µs.
+    pub window_us: u64,
+    /// Ring capacity per series, in windows.
+    pub window_capacity: usize,
+    /// The staleness SLO every view lane is evaluated against.
+    pub slo: SloPolicy,
+    /// Windows to keep ticking after the schedule is fully maintained, so
+    /// burn-rate states can recover to `ok` on the record.
+    pub drain_windows: u64,
+    /// Step budget (guards pathological schedules).
+    pub max_steps: u64,
+}
+
+impl Default for MonitorConfig {
+    fn default() -> Self {
+        MonitorConfig {
+            testbed: TestbedConfig { tuples_per_relation: 300, ..Default::default() },
+            open_loop: OpenLoopConfig::default(),
+            workload_seed: 42,
+            tenant_views: 3,
+            umq_bound: None,
+            window_us: 1_000_000,
+            window_capacity: 4096,
+            slo: SloPolicy::target(10_000_000),
+            drain_windows: 12,
+            max_steps: 200_000,
+        }
+    }
+}
+
+/// Builds the tenant views `T0..Tn`: even indices are single-relation
+/// passthroughs, odd indices two-way key joins, rotating over the testbed
+/// relations so different tenants watch different sources.
+pub fn tenant_views(cfg: &TestbedConfig, n: usize) -> Vec<ViewDefinition> {
+    let names = cfg.relation_names();
+    let mut out = Vec::with_capacity(n);
+    for t in 0..n {
+        let r = t % names.len();
+        let q = if t % 2 == 0 {
+            let mut b = dyno_relational::SpjQuery::over([names[r].clone()]);
+            for attr in cfg.schema(r).attrs() {
+                b = b.select_as(&names[r], &attr.name, &format!("{}_{}", names[r], attr.name));
+            }
+            b.build()
+        } else {
+            let r2 = (r + 1) % names.len();
+            let mut b = dyno_relational::SpjQuery::over([names[r].clone(), names[r2].clone()]);
+            b = b.select_as(&names[r], "K", "K");
+            for attr in cfg.schema(r2).attrs().iter().skip(1) {
+                b = b.select_as(&names[r2], &attr.name, &format!("{}_{}", names[r2], attr.name));
+            }
+            b.join_eq((names[r].as_str(), "K"), (names[r2].as_str(), "K")).build()
+        };
+        out.push(ViewDefinition::new(format!("T{t}"), q));
+    }
+    out
+}
+
+/// What a monitored run produced. Everything in here is derived from the
+/// virtual clock and the seeded generators, so [`MonitorReport::to_json`]
+/// is byte-identical across runs with the same [`MonitorConfig`].
+#[derive(Debug)]
+pub struct MonitorReport {
+    /// The registry sampler (counter rates, gauges, histogram windows).
+    pub sampler: Sampler,
+    /// The per-view staleness lanes and their SLO states.
+    pub tracker: StalenessTracker,
+    /// Simulated-time metrics of the run.
+    pub metrics: Metrics,
+    /// Updates admitted to the UMQ.
+    pub admitted: u64,
+    /// Updates rejected at the admission bound.
+    pub shed: u64,
+    /// Maintenance steps executed.
+    pub steps: u64,
+    /// Whether the step budget ran out before the schedule was maintained.
+    pub exhausted: bool,
+    /// Final SLO state per view lane.
+    pub final_states: Vec<(String, SloState)>,
+}
+
+impl MonitorReport {
+    /// The combined JSON document: run summary, registry series, staleness
+    /// lanes. This is the payload `dyno-bench monitor --json` writes and
+    /// `benchdiff` compares.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"monitor\":{");
+        out.push_str(&format!(
+            "\"steps\":{},\"admitted\":{},\"shed\":{},\"exhausted\":{},\"end_us\":{},\"committed_us\":{},\"aborts\":{}",
+            self.steps,
+            self.admitted,
+            self.shed,
+            self.exhausted,
+            self.metrics.end_us,
+            self.metrics.committed_us,
+            self.metrics.aborts,
+        ));
+        out.push_str("},\n\"series\":");
+        out.push_str(&self.sampler.to_json());
+        out.push_str(",\n\"slo\":");
+        out.push_str(&self.tracker.to_json());
+        out.push('}');
+        out
+    }
+
+    /// The text dashboard: registry series, staleness lanes, run summary.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&self.sampler.render_text());
+        out.push('\n');
+        out.push_str(&self.tracker.render_text(self.metrics.end_us));
+        out.push('\n');
+        out.push_str(&format!(
+            "run: {} steps, {} admitted, {} shed, {} aborts, {} queries, {} attempts, {:.1}s simulated{}\n",
+            self.steps,
+            self.admitted,
+            self.shed,
+            self.metrics.aborts,
+            self.metrics.queries,
+            self.metrics.attempts,
+            self.metrics.end_us as f64 / 1e6,
+            if self.exhausted { " [step budget exhausted]" } else { "" },
+        ));
+        out
+    }
+}
+
+/// Runs one monitored open-loop scenario to completion (schedule fully
+/// maintained plus [`MonitorConfig::drain_windows`] of recovery ticks).
+pub fn run_monitor(cfg: &MonitorConfig) -> Result<MonitorReport, ViewError> {
+    let space = build_space(&cfg.testbed);
+    let info = space.info().clone();
+    let mut gen = WorkloadGen::new(cfg.testbed, cfg.workload_seed);
+    let schedule = gen.open_loop(&cfg.open_loop);
+
+    let mut port = SimPort::new(space, schedule, CostModel::default());
+    let tracker = StalenessTracker::new(cfg.window_capacity);
+    tracker.bind_obs(port.obs());
+    tracker.set_cadence(cfg.window_us, 0);
+    tracker.set_slo(cfg.slo);
+    port.set_staleness(tracker.clone());
+    let mut sampler = Sampler::new(port.obs().registry(), cfg.window_us, cfg.window_capacity, 0);
+
+    let mut wh = Warehouse::new(info, Strategy::Pessimistic).with_obs(port.obs().clone());
+    if let Some(bound) = cfg.umq_bound {
+        wh = wh.with_umq_bound(bound);
+    }
+    wh = wh.with_staleness(tracker.clone());
+    wh.add_view(build_view(&cfg.testbed));
+    for v in tenant_views(&cfg.testbed, cfg.tenant_views) {
+        wh.add_view(v);
+    }
+    wh.initialize(&mut port)?;
+    port.start_metering();
+
+    let dbg_phase = std::env::var("DYNO_MONITOR_PHASES").is_ok();
+    let t_loop = std::time::Instant::now();
+    let mut steps = 0u64;
+    let mut exhausted = false;
+    loop {
+        if steps >= cfg.max_steps {
+            exhausted = true;
+            break;
+        }
+        let t_step = std::time::Instant::now();
+        let outcome = wh.step(&mut port)?;
+        if dbg_phase && t_step.elapsed().as_millis() > 100 {
+            eprintln!(
+                "slow step: {:?} {}ms at sim {}us depth={}",
+                outcome,
+                t_step.elapsed().as_millis(),
+                port.now_us(),
+                wh.admitted_count()
+            );
+        }
+        match outcome {
+            StepOutcome::Idle => {
+                if !port.advance_to_next_commit() {
+                    break;
+                }
+            }
+            _ => steps += 1,
+        }
+        let now = port.now_us();
+        sampler.maybe_sample(now);
+        tracker.maybe_sample(now);
+    }
+    if dbg_phase {
+        eprintln!("main loop: {}ms, {} steps", t_loop.elapsed().as_millis(), steps);
+    }
+
+    // Recovery ticks: with the schedule drained and the UMQ empty, clean
+    // windows accumulate and the burn-rate states walk back toward ok.
+    let t_drain = std::time::Instant::now();
+    for _ in 0..cfg.drain_windows {
+        let next = port.now_us() + cfg.window_us;
+        port.advance_to(next);
+        let _ = wh.step(&mut port)?;
+        sampler.maybe_sample(port.now_us());
+        tracker.maybe_sample(port.now_us());
+    }
+    if dbg_phase {
+        eprintln!("drain: {}ms", t_drain.elapsed().as_millis());
+    }
+
+    Ok(MonitorReport {
+        metrics: port.metrics(),
+        admitted: wh.admitted_count(),
+        shed: wh.shed_count(),
+        steps,
+        exhausted,
+        final_states: tracker.states(),
+        sampler,
+        tracker,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_cfg() -> MonitorConfig {
+        MonitorConfig {
+            testbed: TestbedConfig { tuples_per_relation: 60, ..Default::default() },
+            open_loop: OpenLoopConfig {
+                duration_us: 40_000_000,
+                du_per_sec: 2.0,
+                sc_storms: 0,
+                ..Default::default()
+            },
+            tenant_views: 2,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn steady_run_converges_to_ok_everywhere() {
+        let report = run_monitor(&quick_cfg()).unwrap();
+        assert!(!report.exhausted);
+        assert!(report.admitted > 0, "DUs flowed through the UMQ");
+        assert_eq!(report.shed, 0, "unbounded UMQ never sheds");
+        assert!(report.sampler.windows() >= 20, "a dense window series");
+        assert!(report.tracker.windows() >= 20);
+        for (name, state) in &report.final_states {
+            assert_eq!(*state, SloState::Ok, "lane {name} must recover to ok");
+        }
+    }
+
+    #[test]
+    fn lanes_cover_every_registered_view() {
+        let report = run_monitor(&quick_cfg()).unwrap();
+        let names = report.tracker.view_names();
+        assert_eq!(names, vec!["Testbed", "T0", "T1"]);
+    }
+
+    #[test]
+    fn report_json_is_deterministic_by_seed() {
+        let a = run_monitor(&quick_cfg()).unwrap().to_json();
+        let b = run_monitor(&quick_cfg()).unwrap().to_json();
+        assert_eq!(a, b, "same config, byte-identical report");
+        let c = run_monitor(&MonitorConfig { workload_seed: 43, ..quick_cfg() }).unwrap().to_json();
+        assert_ne!(a, c, "a different workload seed moves the series");
+    }
+}

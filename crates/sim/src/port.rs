@@ -10,7 +10,7 @@
 
 use std::collections::VecDeque;
 
-use dyno_obs::{field, Collector, Counter, Histogram, Level, VirtualClock};
+use dyno_obs::{field, Collector, Counter, Histogram, Level, StalenessTracker, VirtualClock};
 use dyno_relational::{QueryResult, Relation, RelationalError, SourceUpdate, SpjQuery};
 use dyno_source::{SourceId, SourceSpace, UpdateMessage};
 use dyno_view::{eval_with_bound, BoundTable, MaintEvent, SourcePort};
@@ -94,6 +94,7 @@ pub struct SimPort {
     clock: VirtualClock,
     obs: Collector,
     sim: SimCounters,
+    staleness: Option<StalenessTracker>,
 }
 
 impl SimPort {
@@ -125,12 +126,20 @@ impl SimPort {
             clock,
             obs,
             sim,
+            staleness: None,
         }
     }
 
     /// Enables cost metering (initialization is complete).
     pub fn start_metering(&mut self) {
         self.metering = true;
+    }
+
+    /// Attaches a staleness tracker: every applied scheduled commit is
+    /// noted at its true simulated commit time, which is the "commit"
+    /// endpoint of the end-to-end staleness measurement (DESIGN.md §14).
+    pub fn set_staleness(&mut self, tracker: StalenessTracker) {
+        self.staleness = Some(tracker);
     }
 
     /// The wrapped source space.
@@ -235,6 +244,9 @@ impl SimPort {
                         dyno_obs::stage::COMMIT,
                         &[field("source", msg.source.0), field("version", msg.source_version)],
                     );
+                    if let Some(tracker) = &self.staleness {
+                        tracker.note_commit(msg.source.0, msg.source_version, c.at_us);
+                    }
                     self.arrivals.push(msg);
                 }
                 Err(_) => {

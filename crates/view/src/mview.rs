@@ -78,6 +78,30 @@ impl MaterializedView {
         Ok(())
     }
 
+    /// Like [`MaterializedView::apply_delta`], but **clamps** instead of
+    /// erroring: entries that would go negative are dropped and their
+    /// magnitude returned. This is the apply path for warehouses running
+    /// admission shedding (DESIGN.md §14) — a shed insert's later delete
+    /// legitimately misses the extent, and the divergence is the priced-in
+    /// cost of bounding the queue, surfaced through the returned count
+    /// rather than a maintenance failure.
+    pub fn apply_delta_clamped(
+        &mut self,
+        cols: &[String],
+        delta: &SignedBag,
+    ) -> Result<u64, RelationalError> {
+        if cols != self.cols.as_slice() {
+            return Err(RelationalError::InvalidQuery {
+                reason: format!(
+                    "view delta columns {:?} do not match view columns {:?}",
+                    cols, self.cols
+                ),
+            });
+        }
+        self.extent.merge(delta);
+        Ok(self.extent.clamp_non_negative())
+    }
+
     /// Replaces columns and extent wholesale (view adaptation after a
     /// definition rewrite).
     pub fn replace(&mut self, cols: Vec<String>, extent: SignedBag) -> Result<(), RelationalError> {

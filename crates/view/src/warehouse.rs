@@ -22,8 +22,8 @@ use dyno_core::{
     UpdateKind, UpdateMeta,
 };
 use dyno_durable::storage::Storage;
-use dyno_obs::{field, Collector, Level};
-use dyno_relational::{RelationalError, SourceUpdate};
+use dyno_obs::{field, Collector, Counter, Gauge, Level, StalenessTracker};
+use dyno_relational::{RelationalError, SignedBag, SourceUpdate};
 use dyno_source::{InfoSpace, SourceId, UpdateMessage};
 
 use crate::batch::{adapt_batch_observed, AdaptationMode, Adapted, BatchFailure};
@@ -61,6 +61,13 @@ pub struct Warehouse {
     obs: Collector,
     ingress: IngressGate,
     wal: Option<DurableLog>,
+    /// Admission bound on queued (unmaintained) updates; `None` = unbounded.
+    umq_bound: Option<usize>,
+    umq_depth: Gauge,
+    umq_admitted: Counter,
+    umq_shed: Counter,
+    mv_clamped: Counter,
+    staleness: Option<StalenessTracker>,
 }
 
 impl Warehouse {
@@ -77,6 +84,12 @@ impl Warehouse {
             obs: Collector::disabled(),
             ingress: IngressGate::new(),
             wal: None,
+            umq_bound: None,
+            umq_depth: Gauge::default(),
+            umq_admitted: Counter::default(),
+            umq_shed: Counter::default(),
+            mv_clamped: Counter::default(),
+            staleness: None,
         }
     }
 
@@ -92,7 +105,42 @@ impl Warehouse {
     pub fn with_obs(mut self, obs: Collector) -> Self {
         self.dyno = self.dyno.clone().with_obs(obs.clone());
         self.ingress.bind_obs(&obs);
+        // Pre-register the admission metrics so `monitor`/`stats` see the
+        // series on an idle warehouse (same bug class as the PR 5 `wal.*`
+        // fix: a name that only appears once traffic flows reads as a
+        // missing metric, not a zero).
+        self.umq_depth = obs.gauge("umq.depth");
+        self.umq_admitted = obs.counter("umq.admitted");
+        self.umq_shed = obs.counter("umq.shed");
+        self.mv_clamped = obs.counter("view.clamped_rows");
         self.obs = obs;
+        self
+    }
+
+    /// Bounds the UMQ: once `capacity` updates are queued, further **data**
+    /// updates are shed at admission (counted in `umq.shed`, recorded at
+    /// lineage stage `shed`, reported to the staleness tracker). Schema
+    /// changes are always admitted — shedding one would leave every view
+    /// definition permanently behind the source schema.
+    ///
+    /// Shedding makes maintenance knowingly lossy: a later delete of a
+    /// shed insert misses the extent, so bounded warehouses apply deltas
+    /// clamped at zero and count the dropped magnitude in
+    /// `view.clamped_rows` instead of failing. Do not combine with
+    /// [`Warehouse::with_wal`]: the WAL logs raw admitted deltas and its
+    /// replay applies them strictly, so recovery of a shedding warehouse
+    /// is unsupported.
+    pub fn with_umq_bound(mut self, capacity: usize) -> Self {
+        self.umq_bound = Some(capacity);
+        self
+    }
+
+    /// Attaches a staleness tracker: [`Warehouse::initialize`] registers
+    /// one lane per view (with the sources its definition reads), committed
+    /// maintenance notes refreshes, and admission-control sheds are
+    /// reported so they stop aging the views.
+    pub fn with_staleness(mut self, tracker: StalenessTracker) -> Self {
+        self.staleness = Some(tracker);
         self
     }
 
@@ -204,17 +252,26 @@ impl Warehouse {
         ingress.bind_obs(&obs);
         ingress.set_dedupe(state.dedupe);
         ingress.restore_marks(&state.marks);
+        let umq = Umq::restore(state.batches, state.sc_flag);
+        let umq_depth = obs.gauge("umq.depth");
+        umq_depth.set(umq.update_count() as i64);
         let wh = Warehouse {
             dyno,
-            umq: Umq::restore(state.batches, state.sc_flag),
+            umq,
             slots,
             info,
             reflected: state.reflected.iter().map(|&(s, v)| (SourceId(s), v)).collect(),
             adaptation: state.adaptation,
             last_error: None,
+            umq_admitted: obs.counter("umq.admitted"),
+            umq_shed: obs.counter("umq.shed"),
+            mv_clamped: obs.counter("view.clamped_rows"),
+            umq_depth,
             obs,
             ingress,
             wal: Some(log),
+            umq_bound: None,
+            staleness: None,
         };
         Ok((wh, report))
     }
@@ -236,11 +293,19 @@ impl Warehouse {
         for slot in &mut self.slots {
             let result = port.execute(&slot.view.query, &[]).map_err(ViewError::Internal)?;
             slot.mv.replace(result.cols, result.rows).map_err(ViewError::Internal)?;
+            let mut sources: Vec<u32> = Vec::new();
             for table in &slot.view.query.tables {
                 if let Some(sid) = port.locate(table) {
                     let v = port.source_version(sid);
                     self.reflected.insert(sid, v);
+                    if !sources.contains(&sid.0) {
+                        sources.push(sid.0);
+                    }
                 }
+            }
+            if let Some(tracker) = &self.staleness {
+                sources.sort_unstable();
+                tracker.register_view(&slot.view.name, &sources);
             }
         }
         // Messages for updates already included in the initial evaluation
@@ -258,6 +323,35 @@ impl Warehouse {
             // committed before initialization.
             let floor = self.reflected.get(&msg.source).copied().unwrap_or(0);
             for msg in self.ingress.admit(msg, floor) {
+                // Admission control: at the bound, data updates are shed
+                // (freshness is sacrificed, visibly); schema changes always
+                // get through (correctness cannot be shed — a skipped SC
+                // would wedge every view definition behind its source).
+                let depth = self.umq.update_count();
+                if !msg.is_schema_change() && self.umq_bound.is_some_and(|cap| depth >= cap) {
+                    self.umq_shed.inc();
+                    self.obs.prov(
+                        msg.id.0,
+                        dyno_obs::stage::SHED,
+                        &[
+                            field("source", msg.source.0),
+                            field("version", msg.source_version),
+                            field("depth", depth),
+                        ],
+                    );
+                    if self.obs.tracing_on() {
+                        self.obs.event(
+                            Level::Warn,
+                            "umq.shed",
+                            &[field("source", msg.source.0), field("depth", depth)],
+                        );
+                    }
+                    if let Some(tracker) = &self.staleness {
+                        tracker.note_shed(msg.source.0, msg.source_version);
+                    }
+                    continue;
+                }
+                self.umq_admitted.inc();
                 let kind = match &msg.update {
                     SourceUpdate::Data(_) => UpdateKind::Data,
                     SourceUpdate::Schema(sc) => UpdateKind::Schema {
@@ -280,6 +374,7 @@ impl Warehouse {
                 self.umq.enqueue(meta);
             }
         }
+        self.umq_depth.set(self.umq.update_count() as i64);
     }
 
     /// Drains arrivals and runs one scheduling step.
@@ -296,10 +391,20 @@ impl Warehouse {
             port,
             drained: Vec::new(),
             wal: &mut self.wal,
+            clamp: self.umq_bound.is_some(),
+            clamped: self.mv_clamped.clone(),
         };
         let outcome = self.dyno.step(&mut self.umq, &mut ctx);
         let drained = std::mem::take(&mut ctx.drained);
         self.ingest(drained);
+        self.umq_depth.set(self.umq.update_count() as i64);
+        if outcome == StepOutcome::Committed {
+            if let Some(tracker) = &self.staleness {
+                let reflected: Vec<(u32, u64)> =
+                    sorted_versions(self.reflected.iter().map(|(s, v)| (s.0, *v)));
+                tracker.note_refresh(&reflected, self.obs.now_us());
+            }
+        }
         if outcome == StepOutcome::Failed {
             // Keep the error inspectable through `last_error()` even after
             // it has been returned (the CLI `stats` view reads it).
@@ -353,6 +458,17 @@ impl Warehouse {
         self.slots.len()
     }
 
+    /// Updates admitted to the UMQ so far (mirrors the `umq.admitted`
+    /// counter).
+    pub fn admitted_count(&self) -> u64 {
+        self.umq_admitted.get()
+    }
+
+    /// Updates shed at the admission bound so far (mirrors `umq.shed`).
+    pub fn shed_count(&self) -> u64 {
+        self.umq_shed.get()
+    }
+
     /// The `i`-th view's current definition.
     pub fn view(&self, i: usize) -> &ViewDefinition {
         &self.slots[i].view
@@ -390,6 +506,33 @@ struct WarehouseCtx<'a> {
     port: &'a mut dyn SourcePort,
     drained: Vec<UpdateMessage>,
     wal: &'a mut Option<DurableLog>,
+    /// True when the warehouse runs admission shedding (bounded UMQ):
+    /// deltas are applied clamped at zero, with the dropped magnitude
+    /// counted in `clamped` instead of failing maintenance.
+    clamp: bool,
+    clamped: Counter,
+}
+
+/// Applies a signed delta to a view extent: strict when maintenance is
+/// lossless (a negative multiplicity is a bug), clamped when admission
+/// shedding is on (a shed insert's later delete legitimately misses the
+/// extent; the dropped magnitude feeds `view.clamped_rows`).
+fn apply_signed(
+    mv: &mut MaterializedView,
+    cols: &[String],
+    rows: &SignedBag,
+    clamp: bool,
+    clamped: &Counter,
+) -> Result<(), RelationalError> {
+    if clamp {
+        let dropped = mv.apply_delta_clamped(cols, rows)?;
+        if dropped > 0 {
+            clamped.add(dropped);
+        }
+        Ok(())
+    } else {
+        mv.apply_delta(cols, rows)
+    }
 }
 
 impl Maintainer<UpdateMessage> for WarehouseCtx<'_> {
@@ -494,11 +637,12 @@ impl Maintainer<UpdateMessage> for WarehouseCtx<'_> {
             let applied = match change {
                 Staged::Delta(delta) => {
                     let written = delta.rows.weight();
-                    slot.mv.apply_delta(&delta.cols, &delta.rows).map(|()| {
-                        self.port.charge_mv_write(written);
-                        total_written += written;
-                        slot.stats.du_committed += 1;
-                    })
+                    apply_signed(&mut slot.mv, &delta.cols, &delta.rows, self.clamp, &self.clamped)
+                        .map(|()| {
+                            self.port.charge_mv_write(written);
+                            total_written += written;
+                            slot.stats.du_committed += 1;
+                        })
                 }
                 Staged::Adapted(Adapted::Replaced { view, cols, extent }) => {
                     let written = extent.weight();
@@ -513,15 +657,16 @@ impl Maintainer<UpdateMessage> for WarehouseCtx<'_> {
                 }
                 Staged::Adapted(Adapted::Incremental { view, delta }) => {
                     let written = delta.rows.weight();
-                    slot.mv.apply_delta(&delta.cols, &delta.rows).map(|()| {
-                        self.port.charge_mv_write(written);
-                        total_written += written;
-                        slot.view = view;
-                        slot.plans.invalidate(schema_changes as u64, self.obs);
-                        slot.stats.batches_committed += 1;
-                        slot.stats.incremental_batches += 1;
-                        slot.stats.batched_updates += batch.len() as u64;
-                    })
+                    apply_signed(&mut slot.mv, &delta.cols, &delta.rows, self.clamp, &self.clamped)
+                        .map(|()| {
+                            self.port.charge_mv_write(written);
+                            total_written += written;
+                            slot.view = view;
+                            slot.plans.invalidate(schema_changes as u64, self.obs);
+                            slot.stats.batches_committed += 1;
+                            slot.stats.incremental_batches += 1;
+                            slot.stats.batched_updates += batch.len() as u64;
+                        })
                 }
             };
             if let Err(e) = applied {
@@ -633,7 +778,7 @@ mod tests {
     use super::*;
     use crate::engine::InProcessPort;
     use crate::testkit::*;
-    use dyno_relational::{SchemaChange, SpjQuery};
+    use dyno_relational::{DataUpdate, SchemaChange, SpjQuery};
     use dyno_source::SourceId;
 
     /// A second view over the Retailer only: store price list.
@@ -908,6 +1053,112 @@ mod tests {
         assert!(wh.last_error().is_some(), "the failure is inspectable after being returned");
         assert!(wh.step(&mut port).is_err(), "the poisoned head keeps failing");
         assert!(wh.last_error().is_some(), "idle/failed steps do not clear the error");
+    }
+
+    #[test]
+    fn umq_metrics_are_pre_registered_on_an_idle_warehouse() {
+        // Satellite fix (same bug class as the PR 5 `wal.*` fix): the
+        // admission series must exist — at zero — before any traffic, or
+        // `monitor`/`stats` render a missing series for a healthy idle
+        // warehouse.
+        let obs = Collector::wall();
+        let space = bookinfo_space();
+        let _wh = Warehouse::new(space.info().clone(), Strategy::Pessimistic).with_obs(obs.clone());
+        assert_eq!(obs.registry().gauge_value("umq.depth"), Some(0));
+        assert_eq!(obs.registry().counter_value("umq.admitted"), Some(0));
+        assert_eq!(obs.registry().counter_value("umq.shed"), Some(0));
+    }
+
+    #[test]
+    fn bounded_umq_sheds_data_updates_but_never_schema_changes() {
+        let space = bookinfo_space();
+        let info = space.info().clone();
+        let mut port = InProcessPort::new(space);
+        let obs = Collector::wall();
+        let tracker = dyno_obs::StalenessTracker::new(8);
+        let mut wh = Warehouse::new(info, Strategy::Pessimistic)
+            .with_obs(obs.clone())
+            .with_umq_bound(1)
+            .with_staleness(tracker.clone());
+        wh.add_view(bookinfo_view());
+        wh.initialize(&mut port).unwrap();
+        assert_eq!(tracker.view_names(), vec!["BookInfo".to_string()], "lane registered");
+
+        // Three DUs into a bound of one: the first is admitted, the rest
+        // shed; an SC gets through regardless.
+        for k in 0..3 {
+            let book = if k == 0 { "Data Integration Guide" } else { "Shed Fodder" };
+            let msg = port
+                .commit(SourceId(0), SourceUpdate::Data(insert_item(10 + k, book, "Adams", 36)))
+                .unwrap();
+            tracker.note_commit(msg.source.0, msg.source_version, 100 + k as u64);
+        }
+        let sc = port
+            .commit(
+                SourceId(1),
+                SourceUpdate::Schema(SchemaChange::RenameAttribute {
+                    relation: "Catalog".into(),
+                    from: "Publisher".into(),
+                    to: "House".into(),
+                }),
+            )
+            .unwrap();
+        tracker.note_commit(sc.source.0, sc.source_version, 200);
+        wh.ingest(port.drain_arrivals());
+        assert_eq!(wh.admitted_count(), 2, "one DU plus the SC");
+        assert_eq!(wh.shed_count(), 2);
+        assert_eq!(obs.registry().counter_value("umq.shed"), Some(2));
+        assert!(obs.registry().gauge_value("umq.depth").unwrap() >= 1);
+        wh.run_to_quiescence(&mut port, 100).unwrap();
+        assert_eq!(obs.registry().gauge_value("umq.depth"), Some(0), "drained");
+        assert_eq!(tracker.lifetime(0).0, 2, "both admitted commits became staleness samples");
+        assert_eq!(tracker.current_staleness_us(0, u64::MAX), 0, "shed commits do not age views");
+        assert_eq!(wh.mv(0).len(), 2, "the admitted insert is reflected, the shed ones are not");
+    }
+
+    #[test]
+    fn bounded_umq_clamps_deletes_of_shed_inserts() {
+        // Shedding makes maintenance knowingly lossy: when an insert is
+        // shed and its row is later deleted at the source, the delete's
+        // view delta has nothing to cancel. A bounded warehouse must clamp
+        // (count the divergence in `view.clamped_rows`) instead of failing
+        // with a negative-multiplicity error.
+        let space = bookinfo_space();
+        let info = space.info().clone();
+        let mut port = InProcessPort::new(space);
+        let obs = Collector::wall();
+        let mut wh =
+            Warehouse::new(info, Strategy::Pessimistic).with_obs(obs.clone()).with_umq_bound(1);
+        wh.add_view(bookinfo_view());
+        wh.initialize(&mut port).unwrap();
+        assert_eq!(obs.registry().counter_value("view.clamped_rows"), Some(0), "pre-registered");
+
+        let admitted = insert_item(10, "Data Integration Guide", "Adams", 40);
+        let shed = insert_item(10, "Data Integration Guide", "Adams", 41);
+        port.commit(SourceId(0), SourceUpdate::Data(admitted)).unwrap();
+        wh.ingest(port.drain_arrivals());
+        port.commit(SourceId(0), SourceUpdate::Data(shed.clone())).unwrap();
+        wh.ingest(port.drain_arrivals());
+        assert_eq!(wh.shed_count(), 1, "the second insert hit the bound");
+        wh.run_to_quiescence(&mut port, 100).unwrap();
+        let len_before = wh.mv(0).len();
+
+        // Delete the shed row at the source. The source state is
+        // consistent (it applied both inserts); only the warehouse missed
+        // one — exactly the divergence shedding signs up for.
+        let row = shed.delta.rows().iter().next().unwrap().0.clone();
+        let delete = DataUpdate::new(
+            dyno_relational::Delta::deletes(item_schema(), [row]).expect("typed row"),
+        );
+        port.commit(SourceId(0), SourceUpdate::Data(delete)).unwrap();
+        wh.ingest(port.drain_arrivals());
+        wh.run_to_quiescence(&mut port, 100).expect("clamped apply absorbs the miss");
+        assert_eq!(wh.mv(0).len(), len_before, "extent unchanged: nothing to delete");
+        assert!(
+            obs.registry().counter_value("view.clamped_rows").unwrap() > 0,
+            "the dropped magnitude is visible as a counter"
+        );
+        assert!(wh.last_error().is_none(), "lossy apply is not a maintenance failure");
     }
 
     #[test]

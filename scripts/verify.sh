@@ -87,6 +87,26 @@ injected_total="$(awk -F= '/^fault.injected_total=/ { n += $2 } END { print n+0 
 test "$injected_total" -gt 0
 echo "fault.injected_total = $injected_total (summed over $(wc -l < "$chaos_summary") runs)"
 
+echo "== live monitor smoke (open-loop telemetry, DESIGN.md §14) =="
+# A short bursty run against a bounded UMQ: the admission bound must
+# actually shed, the load must still mostly flow, and the burn-rate SLO
+# machinery must complete at least one evaluation window per lane.
+cargo run -q --release --offline -p dyno-bench --bin monitor -- \
+    --profile burst --seed 42 --duration-s 30 --json "$out/monitor.json" >/dev/null
+test -s "$out/monitor.json"
+shed="$(grep -o '"shed":[0-9]*' "$out/monitor.json" | head -1 | grep -o '[0-9]*$')"
+admitted="$(grep -o '"admitted":[0-9]*' "$out/monitor.json" | head -1 | grep -o '[0-9]*$')"
+evals="$(grep -o '"evaluations":[0-9]*' "$out/monitor.json" | grep -o '[0-9]*$' \
+    | awk '{ n += $1 } END { print n+0 }')"
+test "$shed" -gt 0
+test "$admitted" -gt 0
+test "$evals" -gt 0
+echo "monitor: admitted=$admitted shed=$shed slo_evaluations=$evals"
+
+echo "== benchdiff self-check (a capture never regresses against itself) =="
+cargo run -q --release --offline -p dyno-bench --bin benchdiff -- \
+    BENCH_scale.json BENCH_scale.json --tol 0
+
 echo "== provenance conservation (lineage vs. what maintenance did) =="
 # Every committed extent delta must trace to an admitted update, terminals
 # are exactly-once even across kill-restart, and same-seed captures are

@@ -1,0 +1,134 @@
+//! Properties of the monitored open-loop runner (DESIGN.md §14): the
+//! telemetry stack — registry time series (`obs::timeseries`), per-view
+//! staleness lanes and burn-rate SLO states (`obs::slo`) — observed against
+//! the open-loop workload generator:
+//!
+//! * **burst** — a diurnal Zipfian load against a small admission bound
+//!   sheds hard (nonzero `shed`, clamped extents) while producing a dense
+//!   window series for every registry metric;
+//! * **slow-source** — a rename train stalls maintenance until every lane
+//!   pages (through warn first — the burn-rate ladder never skips a rung on
+//!   the way up from ok), then recovers to ok over the drain windows;
+//! * **determinism** — the entire report (every series point, transition,
+//!   and counter) is a pure function of the seed.
+//!
+//! Scales are kept small (tens of simulated seconds, 60-tuple relations);
+//! the full-size profiles live in `dyno-bench monitor`.
+
+use dyno::obs::{SloPolicy, SloState};
+use dyno::sim::{run_monitor, MonitorConfig, OpenLoopConfig, TestbedConfig};
+
+fn small_testbed() -> TestbedConfig {
+    TestbedConfig { tuples_per_relation: 60, ..Default::default() }
+}
+
+/// The bursty bounded-UMQ scenario at test scale.
+fn burst_cfg() -> MonitorConfig {
+    MonitorConfig {
+        testbed: small_testbed(),
+        open_loop: OpenLoopConfig {
+            duration_us: 40_000_000,
+            du_per_sec: 6.0,
+            zipf_skew: 1.1,
+            diurnal_amplitude: 0.9,
+            diurnal_period_us: 10_000_000,
+            sc_storms: 2,
+            sc_storm_len: 2,
+            sc_storm_gap_us: 2_000_000,
+        },
+        workload_seed: 42,
+        tenant_views: 3,
+        umq_bound: Some(8),
+        slo: SloPolicy::target(15_000_000),
+        drain_windows: 16,
+        ..Default::default()
+    }
+}
+
+/// The stalled-maintenance scenario. Full-size relations: the stall that
+/// drives the page state is the cost of re-adapting the views, which
+/// scales with the extent — at toy scale the train clears too fast to
+/// breach the SLO.
+fn slow_source_cfg() -> MonitorConfig {
+    MonitorConfig {
+        testbed: TestbedConfig { tuples_per_relation: 300, ..Default::default() },
+        open_loop: OpenLoopConfig {
+            duration_us: 40_000_000,
+            du_per_sec: 1.0,
+            sc_storms: 1,
+            sc_storm_len: 8,
+            sc_storm_gap_us: 2_000_000,
+            ..Default::default()
+        },
+        workload_seed: 42,
+        tenant_views: 3,
+        umq_bound: None,
+        slo: SloPolicy::target(3_000_000),
+        drain_windows: 24,
+        ..Default::default()
+    }
+}
+
+#[test]
+fn burst_profile_sheds_and_samples_densely() {
+    let report = run_monitor(&burst_cfg()).expect("burst run");
+    assert!(!report.exhausted, "must finish within the step budget");
+    assert!(report.shed > 0, "the admission bound must actually shed");
+    assert!(report.admitted > 0, "and still admit most of the load");
+    assert!(report.sampler.windows() >= 20, "a dense window series");
+    assert!(report.sampler.series_count() >= 3, "several registry series");
+    assert!(
+        report.sampler.counter_points("umq.shed").iter().any(|&(_, d)| d > 0),
+        "sheds are visible as a per-window rate, not just a lifetime total"
+    );
+    // Shedding implies clamped deletes sooner or later; at minimum the
+    // series must exist so a zero is a statement, not an omission.
+    assert!(
+        report.sampler.counter_points("view.clamped_rows").len() >= 20,
+        "the clamp counter is sampled every window"
+    );
+    for (name, _) in report.tracker.states() {
+        let (count, _p50, _p95, p99) = report.tracker.lifetime(
+            report.tracker.view_names().iter().position(|n| *n == name).expect("lane exists"),
+        );
+        assert!(count > 0, "lane {name} measured refreshes");
+        assert!(p99 > 0, "lane {name} has a lifetime p99");
+    }
+}
+
+#[test]
+fn slow_source_pages_then_recovers() {
+    let report = run_monitor(&slow_source_cfg()).expect("slow-source run");
+    assert!(!report.exhausted);
+    let transitions = report.tracker.transitions();
+    assert!(
+        transitions.iter().any(|(_, _, _, to)| *to == SloState::Page),
+        "the stall must page at least one lane: {transitions:?}"
+    );
+    // The burn-rate ladder climbs rung by rung: a lane can only reach page
+    // from warn, so its first page transition must be preceded by its own
+    // ok→warn.
+    for (at, view, _from, to) in &transitions {
+        if *to == SloState::Page {
+            assert!(
+                transitions
+                    .iter()
+                    .any(|(a2, v2, _, t2)| v2 == view && *t2 == SloState::Warn && a2 <= at),
+                "{view} paged at {at} without warning first: {transitions:?}"
+            );
+        }
+    }
+    for (name, state) in &report.final_states {
+        assert_eq!(*state, SloState::Ok, "lane {name} must recover over the drain windows");
+    }
+}
+
+#[test]
+fn monitor_report_is_a_pure_function_of_the_seed() {
+    let a = run_monitor(&burst_cfg()).expect("run a").to_json();
+    let b = run_monitor(&burst_cfg()).expect("run b").to_json();
+    assert_eq!(a, b, "same seed, byte-identical report");
+    let c =
+        run_monitor(&MonitorConfig { workload_seed: 7, ..burst_cfg() }).expect("run c").to_json();
+    assert_ne!(a, c, "a different seed moves the series");
+}
