@@ -1,0 +1,64 @@
+//! Temporary phase profiler for large testbed builds: times rows, server
+//! construction (snapshot clone), index creation, and one commit separately.
+//! Usage: buildprof <tuples_per_relation>
+
+use std::time::Instant;
+
+use dyno_relational::{Catalog, DataUpdate, Delta, Relation, SourceUpdate, Tuple, Value};
+use dyno_sim::TestbedConfig;
+use dyno_source::{SourceId, SourceServer, SourceSpace};
+
+fn rss_mb() -> f64 {
+    let s = std::fs::read_to_string("/proc/self/status").unwrap_or_default();
+    s.lines()
+        .find(|l| l.starts_with("VmRSS"))
+        .and_then(|l| l.split_whitespace().nth(1))
+        .and_then(|v| v.parse::<f64>().ok())
+        .map(|kb| kb / 1024.0)
+        .unwrap_or(0.0)
+}
+
+fn main() {
+    let n: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(1_000_000);
+    let cfg = TestbedConfig { tuples_per_relation: n, ..Default::default() };
+    let mut rng = dyno_sim::Rng::new(cfg.seed);
+    let mut space = SourceSpace::new();
+    let t0 = Instant::now();
+    for s in 0..cfg.sources {
+        let mut catalog = Catalog::new();
+        for r in 0..cfg.relations_per_source {
+            let idx = (s * cfg.relations_per_source + r) as usize;
+            let schema = cfg.schema(idx);
+            let t = Instant::now();
+            let mut rel = Relation::empty(schema);
+            for k in 0..cfg.tuples_per_relation {
+                let mut vals = vec![Value::from(k as i64)];
+                for _ in 0..cfg.extra_attrs {
+                    vals.push(Value::from(rng.gen_range(0..1_000_000i64)));
+                }
+                rel.insert(Tuple::new(vals)).expect("well-typed");
+            }
+            eprintln!("rows R{idx}: {:.1}s rss={:.0}MB", t.elapsed().as_secs_f64(), rss_mb());
+            catalog.add_relation(rel).expect("unique");
+        }
+        let t = Instant::now();
+        space.add_server(SourceServer::new(SourceId(s), format!("server{s}"), catalog));
+        eprintln!(
+            "server {s}: {:.1}s rss={:.0}MB",
+            t.elapsed().as_secs_f64(),
+            rss_mb()
+        );
+    }
+    for name in cfg.relation_names() {
+        let t = Instant::now();
+        space.create_index(&name, &["K"]).expect("exists");
+        eprintln!("index {name}: {:.1}s rss={:.0}MB", t.elapsed().as_secs_f64(), rss_mb());
+    }
+    let schema = cfg.schema(0);
+    let vals: Vec<Value> = (0..schema.arity()).map(|i| Value::from(i as i64)).collect();
+    let du = DataUpdate::new(Delta::inserts(schema, [Tuple::new(vals)]).expect("schema"));
+    let t = Instant::now();
+    let _msg = space.commit(SourceId(0), SourceUpdate::Data(du)).expect("valid");
+    eprintln!("commit 1 DU: {:.2}s rss={:.0}MB", t.elapsed().as_secs_f64(), rss_mb());
+    eprintln!("TOTAL {n}: {:.1}s rss={:.0}MB", t0.elapsed().as_secs_f64(), rss_mb());
+}

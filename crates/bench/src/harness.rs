@@ -81,6 +81,7 @@ impl Harness {
 
     /// Benchmarks a routine callable back-to-back (no per-call setup).
     pub fn bench<R>(&mut self, id: &str, mut routine: impl FnMut() -> R) {
+        self.progress_start(id);
         // Warm up and estimate cost: at least 3 calls or 10 ms.
         let warm_start = Instant::now();
         let mut warm_calls = 0u64;
@@ -104,7 +105,9 @@ impl Harness {
             }
             per_call.push(t.elapsed().as_nanos() as f64 / block as f64);
         }
-        self.rows.push((id.to_string(), Stats::from_samples(per_call, block)));
+        let stats = Stats::from_samples(per_call, block);
+        self.progress_end(id, &stats);
+        self.rows.push((id.to_string(), stats));
     }
 
     /// Benchmarks a routine that consumes fresh state built by `setup`
@@ -116,6 +119,7 @@ impl Harness {
         mut setup: impl FnMut() -> S,
         mut routine: impl FnMut(S) -> R,
     ) {
+        self.progress_start(id);
         let warm_start = Instant::now();
         let mut est_ns = 0.0;
         for _ in 0..3 {
@@ -135,7 +139,26 @@ impl Harness {
             black_box(routine(s));
             per_call.push(t.elapsed().as_nanos() as f64);
         }
-        self.rows.push((id.to_string(), Stats::from_samples(per_call, 1)));
+        let stats = Stats::from_samples(per_call, 1);
+        self.progress_end(id, &stats);
+        self.rows.push((id.to_string(), stats));
+    }
+
+    /// Live progress on stderr: benches can run for minutes on multi-million
+    /// row testbeds, and the results table only prints at [`Harness::finish`],
+    /// so without these lines a long run is indistinguishable from a hang.
+    fn progress_start(&self, id: &str) {
+        eprintln!("[{}] {id} ...", self.group);
+    }
+
+    fn progress_end(&self, id: &str, stats: &Stats) {
+        eprintln!(
+            "[{}] {id}: median {} ({} samples x {} calls)",
+            self.group,
+            fmt_ns(stats.median_ns),
+            stats.samples,
+            stats.block
+        );
     }
 
     /// The collected results.

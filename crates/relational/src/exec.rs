@@ -624,6 +624,177 @@ fn hash_join<P: RelationProvider + ?Sized>(
     Ok(Cursor { cols: out_cols, rows })
 }
 
+// ---------------------------------------------------------------------------
+// Incremental (delta-only) operators over Z-sets.
+//
+// These are the building blocks the view layer composes instead of replaying
+// full SPJ queries: every operator touches only rows reachable from a delta,
+// and all of them preserve the executor's edge semantics exactly — NULL join
+// keys match nothing, constant filters error on type mismatches via
+// [`compare`], and weights multiply through joins / add through projections.
+// ---------------------------------------------------------------------------
+
+/// δσ — filters a delta by constant predicates, with the executor's
+/// comparison semantics: NULL never satisfies, and a type mismatch is an
+/// error (raised for *every* row visited, exactly like the scan path —
+/// ill-typed workloads surface instead of silently returning empty).
+pub fn delta_select(
+    delta: &SignedBag,
+    filters: &[(usize, CmpOp, Value)],
+) -> Result<SignedBag, RelationalError> {
+    if filters.is_empty() {
+        return Ok(delta.clone());
+    }
+    let mut out = SignedBag::new();
+    let mut scanned = 0u64;
+    'tuples: for (t, c) in delta.iter() {
+        scanned += 1;
+        for (idx, op, v) in filters {
+            if !compare(t.get(*idx), *op, v)? {
+                continue 'tuples;
+            }
+        }
+        out.add(t.clone(), c);
+    }
+    bump(|s| s.rows_scanned += scanned);
+    Ok(out)
+}
+
+/// δπ — projects a delta onto `indices`, combining weights (and cancelling
+/// entries whose projections collide to zero). Identical to
+/// [`ZSet::project`](crate::ZSet::project); exported under the operator
+/// vocabulary so delta pipelines read uniformly.
+pub fn delta_project(delta: &SignedBag, indices: &[usize]) -> SignedBag {
+    delta.project(indices)
+}
+
+/// Δ ⋈ B via index probes on the non-delta side — the delta-only join of
+/// the incremental identity `(B + Δ) ⋈ S = B ⋈ S + Δ ⋈ S`, costing
+/// O(|Δ| × fan-out) regardless of |B|.
+///
+/// `probe_cols` are positions in the delta's tuples, **aligned with
+/// `index.attrs()` order**. Output rows are `d ⧺ b` with weight product.
+/// Rows with a NULL key match nothing (SQL equi-join semantics); bucket
+/// hits are collision-checked against the actual key values.
+pub fn delta_join_probe(delta: &SignedBag, probe_cols: &[usize], index: &HashIndex) -> SignedBag {
+    let mut out = SignedBag::new();
+    let mut probes = 0u64;
+    let mut scanned = 0u64;
+    for (dt, dc) in delta.iter() {
+        if probe_cols.iter().any(|&i| dt.get(i).is_null()) {
+            continue;
+        }
+        let key: Vec<&Value> = probe_cols.iter().map(|&i| dt.get(i)).collect();
+        probes += 1;
+        if let Some(bucket) = index.lookup(&key) {
+            for (bt, bc) in bucket.iter() {
+                scanned += 1;
+                if index.key_matches(bt, &key) {
+                    out.add(dt.concat(bt), dc * bc);
+                }
+            }
+        }
+    }
+    bump(|s| {
+        s.index_probes += probes;
+        s.rows_scanned += scanned;
+        s.index_join_steps += 1;
+    });
+    out
+}
+
+/// ΔA ⋈ ΔB — equi-join of two deltas on positional keys (`left_keys[i]`
+/// pairs with `right_keys[i]`), the cross term of the bilinear join
+/// expansion and the whole of a SWEEP compensation join. Hash-built over
+/// the smaller side; output rows are `l ⧺ r` with weight product. An empty
+/// key set degenerates to the cartesian product, mirroring the executor's
+/// fallback for disconnected joins.
+pub fn delta_join(
+    left: &SignedBag,
+    left_keys: &[usize],
+    right: &SignedBag,
+    right_keys: &[usize],
+) -> SignedBag {
+    debug_assert_eq!(left_keys.len(), right_keys.len());
+    let null_key = |t: &Tuple, idx: &[usize]| idx.iter().any(|&i| t.get(i).is_null());
+    let hash_of = |t: &Tuple, idx: &[usize]| key_hash(idx.iter().map(|&i| t.get(i)));
+    let keys_match = |lt: &Tuple, rt: &Tuple| {
+        left_keys.iter().zip(right_keys).all(|(&li, &ri)| lt.get(li) == rt.get(ri))
+    };
+
+    let mut out = SignedBag::new();
+    let mut scanned = 0u64;
+    if left.distinct_len() <= right.distinct_len() {
+        let mut table: HashMap<u64, Vec<(&Tuple, i64)>> = HashMap::new();
+        for (t, c) in left.iter() {
+            if !null_key(t, left_keys) {
+                table.entry(hash_of(t, left_keys)).or_default().push((t, c));
+            }
+        }
+        for (rt, rc) in right.iter() {
+            scanned += 1;
+            if null_key(rt, right_keys) {
+                continue;
+            }
+            if let Some(matches) = table.get(&hash_of(rt, right_keys)) {
+                for (lt, lc) in matches {
+                    if keys_match(lt, rt) {
+                        out.add(lt.concat(rt), lc * rc);
+                    }
+                }
+            }
+        }
+    } else {
+        let mut table: HashMap<u64, Vec<(&Tuple, i64)>> = HashMap::new();
+        for (t, c) in right.iter() {
+            if !null_key(t, right_keys) {
+                table.entry(hash_of(t, right_keys)).or_default().push((t, c));
+            }
+        }
+        for (lt, lc) in left.iter() {
+            scanned += 1;
+            if null_key(lt, left_keys) {
+                continue;
+            }
+            if let Some(matches) = table.get(&hash_of(lt, left_keys)) {
+                for (rt, rc) in matches {
+                    if keys_match(lt, rt) {
+                        out.add(lt.concat(rt), lc * rc);
+                    }
+                }
+            }
+        }
+    }
+    bump(|s| {
+        s.rows_scanned += scanned;
+        s.hash_join_steps += 1;
+    });
+    out
+}
+
+/// Incremental distinct-by-weight: the change `distinct(base + delta) −
+/// distinct(base)`, touching only the tuples in `delta`'s support. A tuple
+/// enters the distinct image (+1) when its weight crosses from ≤ 0 to > 0
+/// and leaves it (−1) on the opposite crossing; all other weight changes
+/// are absorbed.
+pub fn distinct_delta(base: &SignedBag, delta: &SignedBag) -> SignedBag {
+    let mut out = SignedBag::new();
+    for (t, dc) in delta.iter() {
+        let before = base.count(t);
+        let after = before + dc;
+        match (before > 0, after > 0) {
+            (false, true) => {
+                out.add(t.clone(), 1);
+            }
+            (true, false) => {
+                out.add(t.clone(), -1);
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -974,5 +1145,111 @@ mod tests {
         let overlay = Overlay::new(&f).bind("S", (&delta).into());
         let order = plan_order(&q, &overlay).unwrap();
         assert_eq!(order, vec!["S", "R"], "the 1-row bound delta must drive the join");
+    }
+
+    #[test]
+    fn delta_join_probe_equals_eval_with_bound_delta() {
+        // The operator form of ΔR ⋈ S must agree with evaluating the join
+        // query over an overlay binding Δ in place of R.
+        let f = fixture();
+        let mut c = crate::Catalog::new();
+        c.add_relation(f.r.clone()).unwrap();
+        c.add_relation(f.s.clone()).unwrap();
+        c.create_index("S", &["id"]).unwrap();
+        let delta = Delta::from_rows(
+            Schema::of("R", &[("id", AttrType::Int), ("name", AttrType::Str)]),
+            [
+                (Tuple::of([Value::from(2), Value::str("z")]), 3),
+                (Tuple::of([Value::from(1), Value::str("a")]), -1),
+                (Tuple::of([Value::Null, Value::str("n")]), 1),
+            ],
+        )
+        .unwrap();
+        let overlay = Overlay::new(&c).bind("R", (&delta).into());
+        let q = SpjQuery::over(["R", "S"])
+            .select("R", "id")
+            .select("R", "name")
+            .select("S", "id")
+            .select("S", "price")
+            .join_eq(("R", "id"), ("S", "id"))
+            .build();
+        let via_eval = eval(&q, &overlay).unwrap();
+        let idx = c.index_on("S", &["id"]).unwrap();
+        let via_op = delta_join_probe(delta.rows(), &[0], idx);
+        assert_eq!(via_op, via_eval.rows);
+    }
+
+    #[test]
+    fn delta_join_equals_nested_loop_on_both_orders() {
+        let a: SignedBag = [
+            (Tuple::of([1i64, 10]), 2),
+            (Tuple::of([2i64, 20]), -1),
+            (Tuple::of([Value::Null, Value::from(9)]), 5),
+        ]
+        .into_iter()
+        .collect();
+        let b: SignedBag =
+            [(Tuple::of([1i64, 100]), 3), (Tuple::of([3i64, 300]), 1)].into_iter().collect();
+        let expected: SignedBag = [(Tuple::of([1i64, 10, 1, 100]), 6)].into_iter().collect();
+        assert_eq!(delta_join(&a, &[0], &b, &[0]), expected);
+        // Swapping which side is smaller must not change the result layout.
+        let bigger: SignedBag = (0..10).map(|i| (Tuple::of([i as i64, i as i64]), 1)).collect();
+        let lhs = delta_join(&a, &[0], &bigger, &[0]);
+        let rhs: SignedBag = [(Tuple::of([1i64, 10, 1, 1]), 2), (Tuple::of([2i64, 20, 2, 2]), -1)]
+            .into_iter()
+            .collect();
+        assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn delta_join_empty_keys_is_cartesian() {
+        let a: SignedBag = [(Tuple::of([1i64]), 2)].into_iter().collect();
+        let b: SignedBag = [(Tuple::of([7i64]), -3)].into_iter().collect();
+        let out = delta_join(&a, &[], &b, &[]);
+        assert_eq!(out.count(&Tuple::of([1i64, 7])), -6);
+    }
+
+    #[test]
+    fn delta_select_matches_scan_semantics() {
+        let z: SignedBag = [
+            (Tuple::of([Value::from(1), Value::str("a")]), 1),
+            (Tuple::of([Value::from(5), Value::str("b")]), -2),
+            (Tuple::of([Value::Null, Value::str("c")]), 1),
+        ]
+        .into_iter()
+        .collect();
+        let out = delta_select(&z, &[(0, CmpOp::Ge, Value::from(2))]).unwrap();
+        assert_eq!(out.count(&Tuple::of([Value::from(5), Value::str("b")])), -2);
+        assert_eq!(out.distinct_len(), 1, "NULL never satisfies a filter");
+        // Ill-typed filters error, exactly like the scan path.
+        let err = delta_select(&z, &[(0, CmpOp::Eq, Value::str("x"))]).unwrap_err();
+        assert!(matches!(err, RelationalError::IncomparableTypes { .. }));
+    }
+
+    #[test]
+    fn distinct_delta_tracks_support_crossings() {
+        let base: SignedBag =
+            [(Tuple::of([1i64]), 2), (Tuple::of([2i64]), 1), (Tuple::of([3i64]), -1)]
+                .into_iter()
+                .collect();
+        let delta: SignedBag = [
+            (Tuple::of([1i64]), -1), // 2 → 1: stays in the image
+            (Tuple::of([2i64]), -1), // 1 → 0: leaves
+            (Tuple::of([3i64]), 2),  // -1 → 1: enters
+            (Tuple::of([4i64]), 3),  // 0 → 3: enters
+        ]
+        .into_iter()
+        .collect();
+        let d = distinct_delta(&base, &delta);
+        // Differential check: distinct(base+delta) == distinct(base) + d.
+        let mut new = base.clone();
+        new.merge(&delta);
+        let mut composed = base.distinct();
+        composed.merge(&d);
+        assert_eq!(composed, new.distinct());
+        assert_eq!(d.count(&Tuple::of([2i64])), -1);
+        assert_eq!(d.count(&Tuple::of([3i64])), 1);
+        assert_eq!(d.count(&Tuple::of([4i64])), 1);
+        assert_eq!(d.count(&Tuple::of([1i64])), 0);
     }
 }

@@ -50,7 +50,11 @@ impl HashIndex {
     pub fn build(relation: &Relation, attrs: &[String]) -> Result<HashIndex, RelationalError> {
         let cols =
             attrs.iter().map(|a| relation.schema().require(a)).collect::<Result<Vec<_>, _>>()?;
-        let mut index = HashIndex { attrs: attrs.to_vec(), cols, buckets: HashMap::new() };
+        // Pre-size for the distinct-row count: a multi-million-row build
+        // would otherwise rehash through every table doubling, churning
+        // hundreds of megabytes of transient allocations.
+        let buckets = HashMap::with_capacity(relation.rows().distinct_len());
+        let mut index = HashIndex { attrs: attrs.to_vec(), cols, buckets };
         index.apply(relation.rows().iter());
         Ok(index)
     }

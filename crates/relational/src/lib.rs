@@ -36,13 +36,14 @@ pub use catalog::Catalog;
 pub use ddl::{apply_to_relation, compose, SchemaChange};
 pub use error::RelationalError;
 pub use exec::{
-    eval, thread_stats, validate, ExecStats, Overlay, QueryResult, RelationProvider, TableSlice,
+    delta_join, delta_join_probe, delta_project, delta_select, distinct_delta, eval, thread_stats,
+    validate, ExecStats, Overlay, QueryResult, RelationProvider, TableSlice,
 };
 pub use index::{key_hash, HashIndex};
 pub use parser::{parse_create_view, parse_query, ParseError};
 pub use query::{CmpOp, Predicate, ProjItem, SpjQuery, SpjQueryBuilder};
 pub use relation::{Delta, Relation};
 pub use schema::{AttrType, Attribute, ColRef, Schema};
-pub use tuple::{SignedBag, Tuple};
+pub use tuple::{SignedBag, Tuple, ZSet};
 pub use update::{DataUpdate, SourceUpdate};
 pub use value::{Value, F64};

@@ -1,6 +1,12 @@
-//! Tuples (rows) and signed bags of tuples.
+//! Tuples (rows) and weighted sets ([`ZSet`]s) of tuples.
+//!
+//! The [`ZSet`] here is the DBSP-style weighted multiset: a map from row to
+//! a non-zero signed weight, ordered by row. It is the single carrier type
+//! for relations (non-negative weights), deltas (arbitrary signs), and
+//! every intermediate of incremental maintenance, which keeps the algebra
+//! `(R + Δ) ⋈ S = R ⋈ S + Δ ⋈ S` uniform across the whole engine.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::fmt;
 
 use crate::error::RelationalError;
@@ -89,31 +95,44 @@ impl fmt::Display for Tuple {
     }
 }
 
-/// A signed multiset of tuples: each tuple maps to a non-zero multiplicity.
+/// A weighted set (Z-set) of tuples: each tuple maps to a **non-zero**
+/// signed weight. Positive weights represent presence (or insertions in a
+/// delta); negative weights represent deletions.
 ///
-/// Positive counts represent presence (or insertions in a delta); negative
-/// counts represent deletions. Both relations (non-negative bags) and deltas
-/// (arbitrary-signed bags) are built on this type, which keeps the
-/// incremental-maintenance algebra — `(R + Δ) ⋈ S = R ⋈ S + Δ ⋈ S` — uniform.
+/// Two invariants hold on every mutation path (`add`, `merge`, `negated`,
+/// `diff`, `project`, `retain`-style clamping, `FromIterator`):
+///
+/// * **Zero-weight cancellation** — an entry whose weight reaches zero is
+///   removed immediately, so equality of Z-sets is equality of the
+///   mathematical objects and `distinct_len`/`is_empty` never count
+///   phantom rows.
+/// * **Deterministic order** — entries are stored sorted by tuple, so
+///   [`ZSet::iter`] (and anything derived from it: `Debug`, wire encoding,
+///   replay) is byte-stable across runs and independent of insertion order.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
-pub struct SignedBag {
-    counts: HashMap<Tuple, i64>,
+pub struct ZSet {
+    weights: BTreeMap<Tuple, i64>,
 }
 
-impl SignedBag {
-    /// Empty bag.
+/// The historical name of [`ZSet`]: relations and deltas were built on a
+/// "signed bag" before the weighted-delta core landed. The alias keeps the
+/// whole API surface source-compatible.
+pub type SignedBag = ZSet;
+
+impl ZSet {
+    /// Empty set.
     pub fn new() -> Self {
-        SignedBag::default()
+        ZSet::default()
     }
 
     /// Adds `count` occurrences of `tuple`, removing the entry if the total
-    /// reaches zero. Returns the new multiplicity.
+    /// reaches zero. Returns the new weight.
     pub fn add(&mut self, tuple: Tuple, count: i64) -> i64 {
         if count == 0 {
             return self.count(&tuple);
         }
-        use std::collections::hash_map::Entry;
-        match self.counts.entry(tuple) {
+        use std::collections::btree_map::Entry;
+        match self.weights.entry(tuple) {
             Entry::Occupied(mut e) => {
                 let c = e.get_mut();
                 *c += count;
@@ -131,43 +150,43 @@ impl SignedBag {
         }
     }
 
-    /// Multiplicity of `tuple` (zero if absent).
+    /// Weight of `tuple` (zero if absent).
     pub fn count(&self, tuple: &Tuple) -> i64 {
-        self.counts.get(tuple).copied().unwrap_or(0)
+        self.weights.get(tuple).copied().unwrap_or(0)
     }
 
     /// Number of distinct tuples.
     pub fn distinct_len(&self) -> usize {
-        self.counts.len()
+        self.weights.len()
     }
 
-    /// Sum of absolute multiplicities (the "size" of the bag as a workload).
+    /// Sum of absolute weights (the "size" of the set as a workload).
     pub fn weight(&self) -> u64 {
-        self.counts.values().map(|c| c.unsigned_abs()).sum()
+        self.weights.values().map(|c| c.unsigned_abs()).sum()
     }
 
-    /// Sum of signed multiplicities.
+    /// Sum of signed weights.
     pub fn net(&self) -> i64 {
-        self.counts.values().sum()
+        self.weights.values().sum()
     }
 
     /// True iff no tuples are present.
     pub fn is_empty(&self) -> bool {
-        self.counts.is_empty()
+        self.weights.is_empty()
     }
 
-    /// True iff every multiplicity is positive.
+    /// True iff every weight is positive.
     pub fn is_non_negative(&self) -> bool {
-        self.counts.values().all(|&c| c > 0)
+        self.weights.values().all(|&c| c > 0)
     }
 
-    /// Drops every entry with a negative multiplicity, returning the total
-    /// magnitude removed (0 when the bag was already non-negative). Used by
+    /// Drops every entry with a negative weight, returning the total
+    /// magnitude removed (0 when the set was already non-negative). Used by
     /// knowingly-lossy consumers — a view maintained under admission
     /// shedding can receive deletes for rows it never applied.
     pub fn clamp_non_negative(&mut self) -> u64 {
         let mut clamped = 0u64;
-        self.counts.retain(|_, c| {
+        self.weights.retain(|_, c| {
             if *c < 0 {
                 clamped += c.unsigned_abs();
                 false
@@ -178,52 +197,78 @@ impl SignedBag {
         clamped
     }
 
-    /// Iterates over `(tuple, multiplicity)` pairs in arbitrary order.
+    /// Iterates over `(tuple, weight)` pairs in sorted tuple order — the
+    /// deterministic-replay guarantee: two equal Z-sets iterate
+    /// identically regardless of how they were built.
     pub fn iter(&self) -> impl Iterator<Item = (&Tuple, i64)> {
-        self.counts.iter().map(|(t, &c)| (t, c))
+        self.weights.iter().map(|(t, &c)| (t, c))
     }
 
-    /// Adds every entry of `other` into `self`.
-    pub fn merge(&mut self, other: &SignedBag) {
+    /// Adds every entry of `other` into `self` (Z-set addition).
+    pub fn merge(&mut self, other: &ZSet) {
         for (t, c) in other.iter() {
             self.add(t.clone(), c);
         }
     }
 
-    /// The bag with all multiplicities negated.
-    pub fn negated(&self) -> SignedBag {
-        SignedBag { counts: self.counts.iter().map(|(t, c)| (t.clone(), -c)).collect() }
+    /// Subtracts every entry of `other` from `self` in place — the fused
+    /// form of `merge(&other.negated())`, without materializing the
+    /// negation.
+    pub fn merge_negated(&mut self, other: &ZSet) {
+        for (t, c) in other.iter() {
+            self.add(t.clone(), -c);
+        }
     }
 
-    /// `self − other` as a new bag.
-    pub fn diff(&self, other: &SignedBag) -> SignedBag {
+    /// The set with all weights negated. Negation maps non-zero to
+    /// non-zero, so cancellation holds by construction.
+    pub fn negated(&self) -> ZSet {
+        ZSet { weights: self.weights.iter().map(|(t, c)| (t.clone(), -c)).collect() }
+    }
+
+    /// `self − other` as a new set.
+    pub fn diff(&self, other: &ZSet) -> ZSet {
         let mut out = self.clone();
-        for (t, c) in other.iter() {
-            out.add(t.clone(), -c);
-        }
+        out.merge_negated(other);
         out
     }
 
-    /// Projects every tuple onto `indices`, combining multiplicities.
-    pub fn project(&self, indices: &[usize]) -> SignedBag {
-        let mut out = SignedBag::new();
+    /// Projects every tuple onto `indices`, combining weights (entries
+    /// whose projections collide and cancel disappear).
+    pub fn project(&self, indices: &[usize]) -> ZSet {
+        let mut out = ZSet::new();
         for (t, c) in self.iter() {
             out.add(t.project(indices), c);
         }
         out
     }
 
-    /// Tuples in a deterministic (sorted) order — for display and tests.
+    /// The distinct (set) image: every tuple with positive weight maps to
+    /// weight 1; non-positive entries vanish. This is DBSP's `distinct`
+    /// operator on a state (not on a delta — see
+    /// [`crate::exec::distinct_delta`] for the incremental form).
+    pub fn distinct(&self) -> ZSet {
+        ZSet {
+            weights: self
+                .weights
+                .iter()
+                .filter(|(_, &c)| c > 0)
+                .map(|(t, _)| (t.clone(), 1))
+                .collect(),
+        }
+    }
+
+    /// Tuples in deterministic (sorted) order. Iteration is already
+    /// sorted, so this is a plain copy-out — kept for display, tests, and
+    /// the wire encoding.
     pub fn sorted_entries(&self) -> Vec<(Tuple, i64)> {
-        let mut v: Vec<_> = self.counts.iter().map(|(t, &c)| (t.clone(), c)).collect();
-        v.sort();
-        v
+        self.weights.iter().map(|(t, &c)| (t.clone(), c)).collect()
     }
 }
 
-impl FromIterator<(Tuple, i64)> for SignedBag {
+impl FromIterator<(Tuple, i64)> for ZSet {
     fn from_iter<I: IntoIterator<Item = (Tuple, i64)>>(iter: I) -> Self {
-        let mut bag = SignedBag::new();
+        let mut bag = ZSet::new();
         for (t, c) in iter {
             bag.add(t, c);
         }
@@ -241,7 +286,7 @@ mod tests {
 
     #[test]
     fn add_and_cancel() {
-        let mut b = SignedBag::new();
+        let mut b = ZSet::new();
         b.add(t(&[1]), 2);
         b.add(t(&[1]), -2);
         assert!(b.is_empty());
@@ -250,16 +295,70 @@ mod tests {
 
     #[test]
     fn merge_and_diff_are_inverse() {
-        let a: SignedBag = [(t(&[1]), 2), (t(&[2]), -1)].into_iter().collect();
-        let b: SignedBag = [(t(&[1]), 1), (t(&[3]), 4)].into_iter().collect();
+        let a: ZSet = [(t(&[1]), 2), (t(&[2]), -1)].into_iter().collect();
+        let b: ZSet = [(t(&[1]), 1), (t(&[3]), 4)].into_iter().collect();
         let mut m = a.clone();
         m.merge(&b);
         assert_eq!(m.diff(&b), a);
     }
 
     #[test]
+    fn merge_cancellation_leaves_no_zero_entries() {
+        // The type invariant: merging a set with its own negation yields
+        // the canonical empty set — no zero-weight residue that would
+        // corrupt distinct_len or equality.
+        let a: ZSet = [(t(&[1]), 2), (t(&[2]), -3), (t(&[3]), 1)].into_iter().collect();
+        let mut m = a.clone();
+        m.merge(&a.negated());
+        assert!(m.is_empty());
+        assert_eq!(m.distinct_len(), 0);
+        assert_eq!(m, ZSet::new());
+
+        let mut n = a.clone();
+        n.merge_negated(&a);
+        assert!(n.is_empty());
+    }
+
+    #[test]
+    fn diff_cancellation_leaves_no_zero_entries() {
+        let a: ZSet = [(t(&[1]), 2), (t(&[2]), -1)].into_iter().collect();
+        let d = a.diff(&a);
+        assert!(d.is_empty());
+        assert_eq!(d.distinct_len(), 0);
+        // Partial cancellation: only the surviving entry remains.
+        let b: ZSet = [(t(&[1]), 2)].into_iter().collect();
+        let d2 = a.diff(&b);
+        assert_eq!(d2.distinct_len(), 1);
+        assert_eq!(d2.count(&t(&[2])), -1);
+        assert_eq!(d2.count(&t(&[1])), 0);
+    }
+
+    #[test]
+    fn negated_is_an_involution_without_residue() {
+        let a: ZSet = [(t(&[1]), 5), (t(&[2]), -7)].into_iter().collect();
+        let n = a.negated();
+        assert_eq!(n.count(&t(&[1])), -5);
+        assert_eq!(n.count(&t(&[2])), 7);
+        assert_eq!(n.distinct_len(), 2);
+        assert_eq!(n.negated(), a);
+    }
+
+    #[test]
+    fn iteration_is_sorted_and_insertion_order_independent() {
+        let fwd: ZSet = (0..100).map(|i| (t(&[i]), 1)).collect();
+        let rev: ZSet = (0..100).rev().map(|i| (t(&[i]), 1)).collect();
+        assert_eq!(fwd, rev);
+        let order: Vec<_> = fwd.iter().map(|(tp, _)| tp.clone()).collect();
+        let mut sorted = order.clone();
+        sorted.sort();
+        assert_eq!(order, sorted, "iter() yields tuples in sorted order");
+        // Debug formatting (BTreeMap) is therefore byte-stable too.
+        assert_eq!(format!("{fwd:?}"), format!("{rev:?}"));
+    }
+
+    #[test]
     fn weight_and_net() {
-        let a: SignedBag = [(t(&[1]), 2), (t(&[2]), -3)].into_iter().collect();
+        let a: ZSet = [(t(&[1]), 2), (t(&[2]), -3)].into_iter().collect();
         assert_eq!(a.weight(), 5);
         assert_eq!(a.net(), -1);
         assert!(!a.is_non_negative());
@@ -267,9 +366,26 @@ mod tests {
 
     #[test]
     fn projection_combines_counts() {
-        let a: SignedBag = [(Tuple::of([1, 10]), 1), (Tuple::of([1, 20]), 2)].into_iter().collect();
+        let a: ZSet = [(Tuple::of([1, 10]), 1), (Tuple::of([1, 20]), 2)].into_iter().collect();
         let p = a.project(&[0]);
         assert_eq!(p.count(&t(&[1])), 3);
+    }
+
+    #[test]
+    fn projection_cancellation_removes_colliding_entries() {
+        let a: ZSet = [(Tuple::of([1, 10]), 2), (Tuple::of([1, 20]), -2)].into_iter().collect();
+        let p = a.project(&[0]);
+        assert!(p.is_empty(), "collapsing projections that cancel must vanish");
+    }
+
+    #[test]
+    fn distinct_by_weight() {
+        let a: ZSet = [(t(&[1]), 3), (t(&[2]), 1), (t(&[3]), -2)].into_iter().collect();
+        let d = a.distinct();
+        assert_eq!(d.count(&t(&[1])), 1);
+        assert_eq!(d.count(&t(&[2])), 1);
+        assert_eq!(d.count(&t(&[3])), 0, "non-positive weights leave the support");
+        assert_eq!(d.distinct_len(), 2);
     }
 
     #[test]

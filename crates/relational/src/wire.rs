@@ -63,13 +63,15 @@ pub fn dec_tuple(d: &mut Dec<'_>) -> Result<Tuple, WireError> {
 }
 
 /// Encode a [`SignedBag`] deterministically (entries in sorted order, so
-/// two equal bags always produce identical bytes).
+/// two equal bags always produce identical bytes). The Z-set iterates
+/// sorted natively, so no copy of the entries is materialized — the byte
+/// layout is unchanged from the `sorted_entries`-based encoding.
 pub fn enc_bag(e: &mut Enc, bag: &SignedBag) {
-    let entries = bag.sorted_entries();
-    enc_seq(e, &entries, |e, (t, n)| {
+    e.u32(bag.distinct_len() as u32);
+    for (t, n) in bag.iter() {
         enc_tuple(e, t);
-        e.i64(*n);
-    });
+        e.i64(n);
+    }
 }
 
 /// Decode a [`SignedBag`].

@@ -513,31 +513,14 @@ mod tests {
     }
 
     /// Same seed → byte-identical arrival schedule; a different seed moves
-    /// the arrivals. Compared through a canonical rendering: a raw `Debug`
-    /// of a delta's `SignedBag` iterates a `HashMap` in per-instance order,
-    /// which would flake on upsert deltas (two rows) even when the
-    /// schedules are identical.
+    /// the arrivals. Compared through a raw `Debug` of the whole schedule:
+    /// `SignedBag` is a `ZSet` over a `BTreeMap`, so its iteration (and
+    /// `Debug`) order is sorted and instance-independent — byte-stable even
+    /// on upsert deltas (two rows), with no canonicalization step needed.
     #[test]
     fn open_loop_is_deterministic_by_seed() {
         fn canon(schedule: &[ScheduledCommit]) -> String {
-            let mut out = String::new();
-            for c in schedule {
-                match &c.update {
-                    SourceUpdate::Data(du) => {
-                        out.push_str(&format!(
-                            "{}us s{} {} {:?}\n",
-                            c.at_us,
-                            c.source.0,
-                            du.relation,
-                            du.delta.rows().sorted_entries()
-                        ));
-                    }
-                    SourceUpdate::Schema(sc) => {
-                        out.push_str(&format!("{}us s{} {:?}\n", c.at_us, c.source.0, sc));
-                    }
-                }
-            }
-            out
+            format!("{schedule:#?}")
         }
         let olc = OpenLoopConfig {
             duration_us: 5_000_000,

@@ -6,13 +6,22 @@
 //! answered against the **current** state — this is what makes concurrent
 //! updates corrupt or break in-flight maintenance queries.
 //!
-//! The server keeps its commit log and sparse snapshots (one per schema
-//! change), so any historical state can be reconstructed. The view-adaptation
-//! algorithm uses this to obtain the pre-image of a replaced relation
-//! (`ΔRᵢ = Rᵢⁿᵉʷ − Rᵢ` in paper Equation 6); the paper attributes this
-//! capability to the "intelligent wrapper".
+//! The server keeps its commit log and sparse snapshots, so any historical
+//! state can be reconstructed. The view-adaptation algorithm uses this to
+//! obtain the pre-image of a replaced relation (`ΔRᵢ = Rᵢⁿᵉʷ − Rᵢ` in paper
+//! Equation 6); the paper attributes this capability to the "intelligent
+//! wrapper".
+//!
+//! Snapshots are lazy: data updates are signed deltas and therefore
+//! *invertible*, so a data-only history needs no snapshot at all —
+//! [`SourceServer::state_at`] rewinds from the current catalog by applying
+//! negated deltas. Only a schema change is irreversible; committing one pins
+//! a pre-image snapshot (and a post-image, so later versions replay forward
+//! cheaply). A multi-gigabyte source that never changes schema thus carries
+//! zero snapshot overhead, where an eager version-0 snapshot would double
+//! its memory.
 
-use dyno_relational::{Catalog, RelationalError, SourceUpdate};
+use dyno_relational::{Catalog, DataUpdate, RelationalError, SourceUpdate};
 
 use crate::id::SourceId;
 
@@ -33,16 +42,25 @@ pub struct SourceServer {
     catalog: Catalog,
     version: u64,
     log: Vec<LogEntry>,
-    /// Sparse snapshots `(version, catalog-at-that-version)`; always contains
-    /// version 0, plus one entry per committed schema change.
+    /// Sparse snapshots `(version, catalog-at-that-version)`, sorted by
+    /// version. Empty until the first schema change commits, which pins a
+    /// pre-image and a post-image pair; every later schema change adds its
+    /// post-image. Versions between snapshots are reachable by replaying
+    /// (or, before the first snapshot, rewinding) logged data deltas.
     snapshots: Vec<(u64, Catalog)>,
 }
 
 impl SourceServer {
     /// Creates a server over an initial catalog (version 0).
     pub fn new(id: SourceId, name: impl Into<String>, catalog: Catalog) -> Self {
-        let snapshots = vec![(0, catalog.clone())];
-        SourceServer { id, name: name.into(), catalog, version: 0, log: Vec::new(), snapshots }
+        SourceServer {
+            id,
+            name: name.into(),
+            catalog,
+            version: 0,
+            log: Vec::new(),
+            snapshots: Vec::new(),
+        }
     }
 
     /// The server's id.
@@ -61,14 +79,12 @@ impl SourceServer {
     }
 
     /// Declares a secondary hash index on a relation of this source; the
-    /// catalog maintains it across committed updates. The index also joins
-    /// the version-0 snapshot so historical reconstructions keep it.
+    /// catalog maintains it across committed updates. Historical states
+    /// reconstructed by rewinding from the current catalog carry the current
+    /// index set (indexes speed reconstruction-time queries; they never
+    /// change their results).
     pub fn create_index(&mut self, relation: &str, attrs: &[&str]) -> Result<(), RelationalError> {
-        self.catalog.create_index(relation, attrs)?;
-        if self.version == 0 {
-            self.snapshots[0].1.create_index(relation, attrs)?;
-        }
-        Ok(())
+        self.catalog.create_index(relation, attrs)
     }
 
     /// The current source-local version.
@@ -84,18 +100,32 @@ impl SourceServer {
     /// Commits an update autonomously. On success the catalog reflects the
     /// update and the new version is returned; on failure nothing changes.
     pub fn commit(&mut self, update: SourceUpdate) -> Result<u64, RelationalError> {
+        let is_sc = update.is_schema_change();
+        // The first schema change is the first irreversible step: pin the
+        // pre-image so versions before it stay reachable (everything earlier
+        // is invertible data deltas).
+        let pre_image =
+            if is_sc && self.snapshots.is_empty() { Some(self.catalog.clone()) } else { None };
         self.catalog.apply_update(&update)?;
         self.version += 1;
-        let is_sc = update.is_schema_change();
         self.log.push(LogEntry { version: self.version, update });
         if is_sc {
+            if let Some(pre) = pre_image {
+                self.snapshots.push((self.version - 1, pre));
+            }
             self.snapshots.push((self.version, self.catalog.clone()));
         }
         Ok(self.version)
     }
 
-    /// Reconstructs the catalog as of `version` by replaying the log from
-    /// the nearest earlier snapshot.
+    /// Reconstructs the catalog as of `version`: forward-replays the log
+    /// from the nearest snapshot at or before `version`, or — when no such
+    /// snapshot exists — rewinds from the nearest later state by applying
+    /// logged data deltas negated. The rewind is always well-defined: the
+    /// first schema change pins a pre-image snapshot, so everything before
+    /// the earliest snapshot is invertible data updates. For a data-only
+    /// history this reconstructs recent versions in time proportional to
+    /// the rewound tail, not the whole log.
     pub fn state_at(&self, version: u64) -> Result<Catalog, RelationalError> {
         if version > self.version {
             return Err(RelationalError::InvalidQuery {
@@ -105,17 +135,33 @@ impl SourceServer {
                 ),
             });
         }
-        let (snap_v, snap) = self
-            .snapshots
-            .iter()
-            .rev()
-            .find(|(v, _)| *v <= version)
-            .expect("snapshot at version 0 always exists");
-        let mut catalog = snap.clone();
-        for entry in &self.log {
-            if entry.version > *snap_v && entry.version <= version {
-                catalog.apply_update(&entry.update)?;
+        if let Some((snap_v, snap)) = self.snapshots.iter().rev().find(|(v, _)| *v <= version) {
+            let mut catalog = snap.clone();
+            for entry in &self.log {
+                if entry.version > *snap_v && entry.version <= version {
+                    catalog.apply_update(&entry.update)?;
+                }
             }
+            return Ok(catalog);
+        }
+        let (mut catalog, from) = match self.snapshots.first() {
+            Some((v, snap)) => (snap.clone(), *v),
+            None => (self.catalog.clone(), self.version),
+        };
+        for entry in self.log.iter().rev() {
+            if entry.version > from || entry.version <= version {
+                continue;
+            }
+            let SourceUpdate::Data(du) = &entry.update else {
+                return Err(RelationalError::InvalidQuery {
+                    reason: format!(
+                        "source {}: schema change at version {} has no snapshot",
+                        self.id, entry.version
+                    ),
+                });
+            };
+            let undo = SourceUpdate::Data(DataUpdate::new(du.delta.negated()));
+            catalog.apply_update(&undo)?;
         }
         Ok(catalog)
     }
@@ -207,6 +253,52 @@ mod tests {
             Delta::inserts(schema, [Tuple::of([Value::from(a)])]).unwrap(),
         )))
         .unwrap();
+    }
+
+    #[test]
+    fn data_only_history_needs_no_snapshot() {
+        let mut s = server();
+        insert(&mut s, 2, "y");
+        insert(&mut s, 3, "z");
+        assert!(s.snapshots.is_empty(), "data updates are invertible; nothing to pin");
+        assert_eq!(s.state_at(0).unwrap().get("R").unwrap().len(), 1);
+        assert_eq!(s.state_at(1).unwrap().get("R").unwrap().len(), 2);
+        assert_eq!(s.state_at(2).unwrap().get("R").unwrap().len(), 3);
+    }
+
+    #[test]
+    fn rewind_reinserts_deleted_rows() {
+        let mut s = server();
+        let schema = s.catalog().get("R").unwrap().schema().clone();
+        s.commit(SourceUpdate::Data(DataUpdate::new(
+            Delta::deletes(schema, [Tuple::of([Value::from(1), Value::str("x")])]).unwrap(),
+        )))
+        .unwrap();
+        assert_eq!(s.catalog().get("R").unwrap().len(), 0);
+        assert_eq!(s.state_at(0).unwrap().get("R").unwrap().len(), 1);
+    }
+
+    #[test]
+    fn first_schema_change_pins_pre_and_post_images() {
+        let mut s = server();
+        insert(&mut s, 2, "y");
+        s.commit(SourceUpdate::Schema(SchemaChange::DropAttribute {
+            relation: "R".into(),
+            attr: "b".into(),
+        }))
+        .unwrap();
+        let versions: Vec<u64> = s.snapshots.iter().map(|(v, _)| *v).collect();
+        assert_eq!(versions, vec![1, 2], "pre-image at SC-1, post-image at SC");
+    }
+
+    #[test]
+    fn rewound_state_carries_current_indexes() {
+        let mut s = server();
+        s.create_index("R", &["a"]).unwrap();
+        insert(&mut s, 2, "y");
+        let v0 = s.state_at(0).unwrap();
+        assert!(v0.index_covering("R", &["a"]).is_some());
+        assert_eq!(v0.index_covering("R", &["a"]).unwrap().len(), 1);
     }
 
     #[test]

@@ -27,6 +27,7 @@
 
 use std::collections::HashMap;
 
+use dyno_relational::exec::{RelationProvider, TableSlice};
 use dyno_relational::{
     ProjItem, QueryResult, RelationalError, Schema, SchemaChange, SignedBag, SourceUpdate, SpjQuery,
 };
@@ -249,7 +250,7 @@ fn fetch_batch_point_state(
             if du.relation == *table {
                 let projected = du.delta.project_to(&col_names).map_err(classify_rollback_error)?;
                 port.charge_local(projected.weight());
-                rows.merge(&projected.rows().negated());
+                rows.merge_negated(projected.rows());
             }
         }
     }
@@ -339,7 +340,7 @@ fn adapt_incremental(
         if let Some(delta) = batch_deltas.get(table) {
             let cols: Vec<String> = schema.attrs().iter().map(|a| a.name.clone()).collect();
             let projected = delta.project_to(&cols).map_err(classify_rollback_error)?;
-            rows.merge(&projected.rows().negated());
+            rows.merge_negated(projected.rows());
             deltas.insert(table.clone(), projected.rows().clone());
         }
         old_states.insert(table.clone(), (schema, rows));
@@ -475,6 +476,20 @@ pub fn equation6_delta(
     let empty_cols: Vec<String> = query.projection.iter().map(|p| p.output.clone()).collect();
     let mut total = QueryResult::empty(empty_cols);
 
+    // Materialize each changed relation's new state exactly once for the whole
+    // equation (one clone + merge per changed table); every term below then
+    // borrows old / new / delta Z-sets instead of cloning tables per term.
+    let mut new_states: HashMap<&str, SignedBag> = HashMap::new();
+    for table in tables {
+        if let Some(d) = deltas.get(table) {
+            if !d.is_empty() {
+                let mut r = old[table].1.clone();
+                r.merge(d);
+                new_states.insert(table.as_str(), r);
+            }
+        }
+    }
+
     for (i, table_i) in tables.iter().enumerate() {
         let Some(delta_i) = deltas.get(table_i) else {
             continue; // unchanged relation contributes no term
@@ -482,28 +497,39 @@ pub fn equation6_delta(
         if delta_i.is_empty() {
             continue;
         }
-        let mut provider = LocalProvider::new();
+        let mut provider = SliceProvider { tables: HashMap::new() };
         for (j, table_j) in tables.iter().enumerate() {
             let (schema, old_rows) = &old[table_j];
             let rows = if j < i {
-                // New state: old + delta.
-                let mut r = old_rows.clone();
-                if let Some(d) = deltas.get(table_j) {
-                    r.merge(d);
-                }
-                r
+                // New state: old + delta (unchanged tables have no new state).
+                new_states.get(table_j.as_str()).unwrap_or(old_rows)
             } else if j == i {
-                delta_i.clone()
+                delta_i
             } else {
-                old_rows.clone()
+                old_rows
             };
-            provider.insert(schema.clone(), rows);
+            provider.tables.insert(table_j.as_str(), TableSlice { schema, rows });
         }
         let term = dyno_relational::eval(query, &provider)?;
         total.rows.merge(&term.rows);
         total.cols = term.cols;
     }
     Ok(total)
+}
+
+/// Borrow-only relation provider for [`equation6_delta`]: each term of the
+/// equation views the same old/new/delta Z-sets without copying them.
+struct SliceProvider<'a> {
+    tables: HashMap<&'a str, TableSlice<'a>>,
+}
+
+impl RelationProvider for SliceProvider<'_> {
+    fn table(&self, name: &str) -> Result<TableSlice<'_>, RelationalError> {
+        self.tables
+            .get(name)
+            .copied()
+            .ok_or_else(|| RelationalError::UnknownRelation { relation: name.into() })
+    }
 }
 
 /// Convenience: applies Equation 6 and wraps the result as a [`ViewDelta`].

@@ -20,13 +20,21 @@ use std::hash::{Hash, Hasher};
 use std::rc::Rc;
 
 use dyno_obs::Collector;
-use dyno_relational::{ColRef, Predicate, ProjItem, RelationalError, SpjQuery};
+use dyno_relational::{CmpOp, ColRef, Predicate, ProjItem, RelationalError, SpjQuery, Value};
 
 use crate::viewdef::ViewDefinition;
 use crate::vm::{flat, D};
 
 /// One maintenance-query step: join the running intermediate `__D` with
 /// `target` through the view's predicates.
+///
+/// Besides the shippable [`SpjQuery`], each step carries the *compiled*
+/// delta-operator form of the same join — key positions, residual filters,
+/// and the target projection — so view-manager-local work (SWEEP
+/// compensation against a pending delta) runs as direct Z-set algebra
+/// instead of replaying the query over rebuilt bound tables. Target-side
+/// attribute names are resolved against the concrete delta schema at use
+/// time, which keeps the plan valid across schema versions.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct MaintStep {
     /// The view relation this step joins in.
@@ -36,6 +44,13 @@ pub struct MaintStep {
     /// Column names of the intermediate flowing *into* this step (the
     /// bound `__D` table's columns).
     pub d_cols_in: Vec<String>,
+    /// Equi-join keys: position in `d_cols_in` ↔ target attribute name.
+    pub join_keys: Vec<(usize, String)>,
+    /// Residual constant filters on the target (attribute, op, literal).
+    pub t_filters: Vec<(String, CmpOp, Value)>,
+    /// Target attributes the view references, in step-projection order
+    /// (the step output is all of `d_cols_in` followed by these).
+    pub t_proj: Vec<String>,
 }
 
 /// The full per-relation maintenance plan for a view.
@@ -45,6 +60,12 @@ pub struct MaintPlan {
     pub relation: String,
     /// Step 0: local projection/selection of the delta itself.
     pub local_query: SpjQuery,
+    /// Step 0 compiled: constant filters on the updated relation
+    /// (attribute, op, literal), applied with executor semantics.
+    pub local_filters: Vec<(String, CmpOp, Value)>,
+    /// Step 0 compiled: referenced attributes of the updated relation, in
+    /// seed-projection order.
+    pub local_proj: Vec<String>,
     /// The `__D ⋈ target` chain, in join order.
     pub steps: Vec<MaintStep>,
     /// Projection from the final intermediate to the view's SELECT list.
@@ -72,6 +93,15 @@ impl MaintPlan {
                 .cloned()
                 .collect(),
         };
+        let local_filters: Vec<(String, CmpOp, Value)> = local_query
+            .predicates
+            .iter()
+            .filter_map(|p| match p {
+                Predicate::Compare(c, op, v) => Some((c.attr.clone(), *op, v.clone())),
+                _ => None,
+            })
+            .collect();
+        let local_proj: Vec<String> = referenced.iter().map(|c| c.attr.clone()).collect();
         let mut d_cols: Vec<String> =
             local_query.projection.iter().map(|p| p.output.clone()).collect();
         let mut joined: Vec<String> = vec![relation.to_string()];
@@ -109,6 +139,8 @@ impl MaintPlan {
                     .collect(),
                 predicates: Vec::new(),
             };
+            let mut join_keys: Vec<(usize, String)> = Vec::new();
+            let mut t_filters: Vec<(String, CmpOp, Value)> = Vec::new();
             for p in &view.query.predicates {
                 match p {
                     Predicate::JoinEq(a, b) => {
@@ -120,10 +152,20 @@ impl MaintPlan {
                             } else {
                                 continue;
                             };
+                        let d_pos =
+                            d_cols.iter().position(|c| *c == flat(d_side)).ok_or_else(|| {
+                                RelationalError::InvalidQuery {
+                                    reason: format!(
+                                        "join column {d_side} missing from intermediate"
+                                    ),
+                                }
+                            })?;
+                        join_keys.push((d_pos, t_side.attr.clone()));
                         q.predicates
                             .push(Predicate::JoinEq(ColRef::new(D, flat(d_side)), t_side.clone()));
                     }
                     Predicate::Compare(c, op, v) if c.relation == target => {
+                        t_filters.push((c.attr.clone(), *op, v.clone()));
                         q.predicates.push(Predicate::Compare(c.clone(), *op, v.clone()));
                     }
                     Predicate::Compare(..) => {}
@@ -131,7 +173,15 @@ impl MaintPlan {
             }
 
             let d_cols_out: Vec<String> = q.projection.iter().map(|p| p.output.clone()).collect();
-            steps.push(MaintStep { target: target.clone(), query: q, d_cols_in: d_cols });
+            let t_proj: Vec<String> = target_refs.iter().map(|c| c.attr.clone()).collect();
+            steps.push(MaintStep {
+                target: target.clone(),
+                query: q,
+                d_cols_in: d_cols,
+                join_keys,
+                t_filters,
+                t_proj,
+            });
             d_cols = d_cols_out;
             joined.push(target);
         }
@@ -153,6 +203,8 @@ impl MaintPlan {
         Ok(MaintPlan {
             relation: relation.to_string(),
             local_query,
+            local_filters,
+            local_proj,
             steps,
             final_indices,
             out_cols,

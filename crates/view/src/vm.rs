@@ -13,11 +13,13 @@
 use std::rc::Rc;
 
 use dyno_obs::{field, Collector, Level};
-use dyno_relational::{ColRef, RelationalError, SignedBag, SpjQuery};
+use dyno_relational::{
+    delta_join, delta_select, ColRef, DataUpdate, RelationalError, SignedBag, SpjQuery,
+};
 use dyno_source::UpdateMessage;
 
-use crate::engine::{eval_with_bound, BoundTable, LocalProvider, SourcePort};
-use crate::plan::{MaintPlan, PlanCache};
+use crate::engine::{BoundTable, SourcePort};
+use crate::plan::{MaintPlan, MaintStep, PlanCache};
 use crate::viewdef::ViewDefinition;
 
 /// A computed change to the view extent.
@@ -164,13 +166,12 @@ fn execute_plan(
         }
     };
 
-    // Step 0: local projection/selection of the delta itself.
-    let mut lp = LocalProvider::new();
-    lp.insert(du.delta.schema().clone(), du.delta.rows().clone());
-    let seed = dyno_relational::eval(&plan.local_query, &lp)
-        .map_err(|e| MaintFailure::from_query(&plan.local_query, e))?;
+    // Step 0: local projection/selection of the delta itself — a direct
+    // Z-set pipeline (δσ then δπ) over the update's rows; no provider, no
+    // clone of the delta, no executor round.
+    let seed = seed_delta(plan, du).map_err(|e| MaintFailure::from_query(&plan.local_query, e))?;
     port.charge_local(du.delta.weight());
-    let mut d_rows = seed.rows;
+    let mut d_rows = seed;
 
     for step in &plan.steps {
         if d_rows.is_empty() {
@@ -195,28 +196,10 @@ fn execute_plan(
             }
             if let dyno_relational::SourceUpdate::Data(pdu) = &m.update {
                 if pdu.relation == step.target {
-                    let comp_bound = vec![
-                        BoundTable {
-                            name: D.to_string(),
-                            cols: step.d_cols_in.clone(),
-                            rows: d_rows.clone(),
-                        },
-                        BoundTable {
-                            name: step.target.clone(),
-                            cols: pdu
-                                .delta
-                                .schema()
-                                .attrs()
-                                .iter()
-                                .map(|a| a.name.clone())
-                                .collect(),
-                            rows: pdu.delta.rows().clone(),
-                        },
-                    ];
-                    let comp = eval_with_bound(&LocalProvider::new(), q, &comp_bound)
+                    let comp = compensate(step, &d_rows, pdu)
                         .map_err(|e| MaintFailure::from_query(q, e))?;
                     port.charge_local(comp.weight() + pdu.delta.weight());
-                    rows.merge(&comp.rows.negated());
+                    rows.merge_negated(&comp);
                 }
             }
         }
@@ -225,6 +208,63 @@ fn execute_plan(
 
     port.charge_local(d_rows.weight());
     Ok(ViewDelta { cols: plan.out_cols.clone(), rows: d_rows.project(&plan.final_indices) })
+}
+
+/// Step 0 as Z-set algebra: the update's delta through the plan's compiled
+/// local filters and projection. Attribute names resolve against the
+/// delta's *own* schema, so an attribute the view references but the delta
+/// no longer carries surfaces as the same schema-conflict error the
+/// executor's validation would raise.
+fn seed_delta(plan: &MaintPlan, du: &DataUpdate) -> Result<SignedBag, RelationalError> {
+    let schema = du.delta.schema();
+    let filters = plan
+        .local_filters
+        .iter()
+        .map(|(a, op, v)| Ok((schema.require(a)?, *op, v.clone())))
+        .collect::<Result<Vec<_>, RelationalError>>()?;
+    let proj = plan
+        .local_proj
+        .iter()
+        .map(|a| schema.require(a))
+        .collect::<Result<Vec<_>, RelationalError>>()?;
+    Ok(delta_select(du.delta.rows(), &filters)?.project(&proj))
+}
+
+/// The SWEEP compensation term `__D ⋈ Δⱼ` for one pending update of the
+/// step's target — a direct delta-delta join (both sides are small Z-sets)
+/// instead of a replay of the step query over rebuilt bound tables. The
+/// executor's edge semantics survive intact: unknown attributes are schema
+/// conflicts, ill-typed filters error on every visited row, NULL join keys
+/// match nothing, and the output layout (all of `__D`, then the target's
+/// referenced attributes) equals the step query's projection exactly.
+fn compensate(
+    step: &MaintStep,
+    d_rows: &SignedBag,
+    pdu: &DataUpdate,
+) -> Result<SignedBag, RelationalError> {
+    let schema = pdu.delta.schema();
+    let filters = step
+        .t_filters
+        .iter()
+        .map(|(a, op, v)| Ok((schema.require(a)?, *op, v.clone())))
+        .collect::<Result<Vec<_>, RelationalError>>()?;
+    let t_keys = step
+        .join_keys
+        .iter()
+        .map(|(_, a)| schema.require(a))
+        .collect::<Result<Vec<usize>, RelationalError>>()?;
+    let t_proj = step
+        .t_proj
+        .iter()
+        .map(|a| schema.require(a))
+        .collect::<Result<Vec<usize>, RelationalError>>()?;
+    let d_keys: Vec<usize> = step.join_keys.iter().map(|&(i, _)| i).collect();
+
+    let filtered = delta_select(pdu.delta.rows(), &filters)?;
+    let joined = delta_join(d_rows, &d_keys, &filtered, &t_keys);
+    let d_len = step.d_cols_in.len();
+    let out: Vec<usize> = (0..d_len).chain(t_proj.iter().map(|&i| d_len + i)).collect();
+    Ok(joined.project(&out))
 }
 
 #[cfg(test)]

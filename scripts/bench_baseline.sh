@@ -1,15 +1,20 @@
 #!/usr/bin/env bash
-# Regenerates the checked-in performance baseline `BENCH_pr2.json`:
+# Regenerates the checked-in performance baseline `BENCH_pr7.json`:
 #
 #  - the maintenance micro-benchmarks, including the per-DU index size
-#    sweep (`sweep_du_indexed/N` vs `sweep_du_scan/N` — flat vs linear),
-#    exported as JSON lines via DYNO_BENCH_JSON;
+#    sweep (`sweep_du_indexed/N` — flat from 100 k to 10 M rows — vs
+#    `sweep_du_scan/N`, linear and capped at 400 k), and the
+#    `join_replay/N` vs `delta_join_probe/N` pair isolating the per-step
+#    executor machinery the Z-set operators eliminate, exported as JSON
+#    lines via DYNO_BENCH_JSON;
 #  - the fig08 and fig10 simulated-seconds series (`--json`), which must
 #    be byte-identical with the plan cache on or off — the executor's
 #    access path never feeds the simulated cost model.
 #
 # Knobs (env): DYNO_BENCH_MS per-bench budget, DYNO_SWEEP_TUPLES sweep
-# sizes, DYNO_TUPLES testbed scale for the figure runs.
+# sizes, DYNO_TUPLES testbed scale for the figure runs. The default sweep
+# reaches 10 M rows per relation (six relations); budget ~30 GB of RAM
+# and several minutes of testbed setup for the top size.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -17,13 +22,25 @@ out="$(mktemp -d)"
 trap 'rm -rf "$out"' EXIT
 
 : "${DYNO_BENCH_MS:=200}"
-: "${DYNO_SWEEP_TUPLES:=100000,200000,400000}"
+: "${DYNO_SWEEP_TUPLES:=100000,1000000,10000000}"
 : "${DYNO_TUPLES:=2000}"
 
 echo "== maintenance micro-benchmarks (sweep sizes: $DYNO_SWEEP_TUPLES) =="
-DYNO_BENCH_MS="$DYNO_BENCH_MS" DYNO_SWEEP_TUPLES="$DYNO_SWEEP_TUPLES" \
-DYNO_BENCH_JSON="$out/bench.jsonl" \
-    cargo bench -q --offline -p dyno-bench --bench maintenance
+# One process per sweep size: heap state left behind by a smaller
+# testbed (allocator fragmentation, page-fault warm-in) measurably
+# inflates the next size's medians when the sizes share a process, so
+# each size gets a fresh heap and appends to the same JSONL capture.
+# The fixed-size groups ride with the first size only (DYNO_SWEEP_ONLY).
+first=1
+IFS=',' read -ra sweep_sizes <<< "$DYNO_SWEEP_TUPLES"
+for size in "${sweep_sizes[@]}"; do
+    extra_env=()
+    if [ "$first" = 1 ]; then first=0; else extra_env=(DYNO_SWEEP_ONLY=1); fi
+    env "${extra_env[@]}" \
+        DYNO_BENCH_MS="$DYNO_BENCH_MS" DYNO_SWEEP_TUPLES="$size" \
+        DYNO_BENCH_JSON="$out/bench.jsonl" \
+        cargo bench -q --offline -p dyno-bench --bench maintenance
+done
 
 echo "== fig08 / fig10 simulated-seconds series (DYNO_TUPLES=$DYNO_TUPLES) =="
 DYNO_TUPLES="$DYNO_TUPLES" cargo run -q --release --offline -p dyno-bench \
@@ -32,13 +49,13 @@ DYNO_TUPLES="$DYNO_TUPLES" cargo run -q --release --offline -p dyno-bench \
     --bin fig10 -- --json "$out/fig10.json" >/dev/null
 
 {
-    printf '{"baseline":"pr2",\n"bench":[\n'
+    printf '{"baseline":"pr7",\n"bench":[\n'
     sed '$!s/$/,/' "$out/bench.jsonl"
     printf '],\n"fig08":'
     cat "$out/fig08.json"
     printf ',"fig10":'
     cat "$out/fig10.json"
     printf '}\n'
-} > BENCH_pr2.json
+} > BENCH_pr7.json
 
-echo "wrote BENCH_pr2.json"
+echo "wrote BENCH_pr7.json"

@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Regenerates `BENCH_smoke.json`, the checked-in baseline for the
+# `benchdiff` regression gate in scripts/verify.sh.
+#
+# The capture is the same bounded bench smoke verify.sh runs
+# (DYNO_BENCH_MS=50, DYNO_SWEEP_TUPLES=400,800 — every micro-benchmark
+# group, tiny sizes), reduced to median-only JSONL: medians are the one
+# statistic stable enough to gate on; samples/block/min/max vary with
+# machine speed and would make the diff meaningless.
+#
+# Regenerate on the machine that runs verification whenever benchmarks are
+# added, renamed, or intentionally re-costed.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out="$(mktemp -d)"
+trap 'rm -rf "$out"' EXIT
+
+DYNO_BENCH_MS=50 DYNO_SWEEP_TUPLES=400,800 DYNO_BENCH_JSON="$out/smoke.jsonl" \
+    cargo bench -q --offline -p dyno-bench >/dev/null
+
+sed -E 's/"samples":[0-9]+,"block":[0-9]+,"min_ns":[0-9.]+,//; s/,"mean_ns":[0-9.]+,"max_ns":[0-9.]+//' \
+    "$out/smoke.jsonl" > BENCH_smoke.json
+
+echo "wrote BENCH_smoke.json ($(wc -l < BENCH_smoke.json) benches)"

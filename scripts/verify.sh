@@ -20,13 +20,27 @@ cargo test -q --workspace --offline
 echo "== cargo test --features proptest (randomized suites) =="
 cargo test -q --workspace --offline --features proptest
 
-echo "== bench harness smoke test (bounded budget) =="
-DYNO_BENCH_MS=50 DYNO_SWEEP_TUPLES=400,800 \
-    cargo bench -q --offline -p dyno-bench >/dev/null
-
-echo "== fig10 --json/--trace smoke test =="
 out="$(mktemp -d)"
 trap 'rm -rf "$out"' EXIT
+
+echo "== bench harness smoke test (bounded budget) =="
+DYNO_BENCH_MS=50 DYNO_SWEEP_TUPLES=400,800 DYNO_BENCH_JSON="$out/smoke.jsonl" \
+    cargo bench -q --offline -p dyno-bench >/dev/null
+
+echo "== benchdiff regression gate (smoke medians vs BENCH_smoke.json) =="
+# The smoke capture, reduced to median-only lines (the reduction in
+# scripts/bench_smoke_baseline.sh), must stay within 4x of the checked-in
+# baseline on every benchmark. The tolerance is deliberately loose — it
+# absorbs machine-to-machine variance and the smoke's tiny budget — while
+# still catching structural regressions: losing an index path, a delta
+# operator falling back to replay, or an accidentally quadratic loop all
+# move medians by well over 4x. Exit 1 on regression.
+sed -E 's/"samples":[0-9]+,"block":[0-9]+,"min_ns":[0-9.]+,//; s/,"mean_ns":[0-9.]+,"max_ns":[0-9.]+//' \
+    "$out/smoke.jsonl" > "$out/smoke_medians.jsonl"
+cargo run -q --release --offline -p dyno-bench --bin benchdiff -- \
+    BENCH_smoke.json "$out/smoke_medians.jsonl" --tol 4.0
+
+echo "== fig10 --json/--trace smoke test =="
 DYNO_TUPLES=300 cargo run -q --release --offline -p dyno-bench --bin fig10 -- \
     --json "$out/fig10.json" --trace "$out/fig10.jsonl" >/dev/null
 test -s "$out/fig10.json"
