@@ -2,7 +2,7 @@
 //! numeric leaf moved beyond a relative tolerance.
 //!
 //! ```text
-//! benchdiff <old.json> <new.json> [--tol 0.25]
+//! benchdiff <old.json> <new.json> [--tol 0.25] [--abs 0]
 //! ```
 //!
 //! Accepts either a single JSON document (`monitor --json` output,
@@ -13,14 +13,50 @@
 //! exceeds `--tol` (default 0.25). New keys are reported but allowed —
 //! telemetry grows. `--tol 0` demands bit-identical numbers and is the
 //! self-check mode `scripts/verify.sh` runs against `BENCH_scale.json`.
+//!
+//! A zero baseline has no relative scale: `0 -> 0` always passes, and
+//! `0 -> x` is judged against the absolute threshold `--abs` (default 0,
+//! i.e. any move off a zero baseline is flagged) rather than dividing by
+//! zero and reporting an astronomically inflated percentage.
 
 use std::collections::BTreeMap;
 
 use dyno_obs::json::{parse, Value};
 
 fn usage(bin: &str) -> ! {
-    eprintln!("usage: {bin} <old.json> <new.json> [--tol F]");
+    eprintln!("usage: {bin} <old.json> <new.json> [--tol F] [--abs F]");
     std::process::exit(2);
+}
+
+/// How one shared leaf compares between captures.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Verdict {
+    /// Within tolerance (includes the exact `0 -> 0` case).
+    Ok,
+    /// Moved beyond the relative tolerance; carries the relative change.
+    MovedRel(f64),
+    /// Moved off a zero baseline beyond the absolute threshold; carries the
+    /// absolute delta (a relative change is undefined here).
+    MovedAbs(f64),
+}
+
+/// Compares one leaf. `tol` is the relative tolerance for nonzero
+/// baselines; `abs_tol` is the absolute threshold used when the baseline is
+/// exactly zero, where dividing would invent a near-infinite percentage.
+fn compare(o: f64, n: f64, tol: f64, abs_tol: f64) -> Verdict {
+    if n == o {
+        return Verdict::Ok;
+    }
+    if o == 0.0 {
+        let delta = n.abs();
+        return if delta > abs_tol { Verdict::MovedAbs(delta) } else { Verdict::Ok };
+    }
+    let rel = (n - o).abs() / o.abs();
+    if rel > tol {
+        Verdict::MovedRel(rel)
+    } else {
+        Verdict::Ok
+    }
 }
 
 /// Flattens every numeric leaf of `v` into `out` under dotted/indexed paths.
@@ -80,11 +116,15 @@ fn main() {
     let bin = std::env::args().next().unwrap_or_else(|| "benchdiff".into());
     let mut paths: Vec<String> = Vec::new();
     let mut tol = 0.25f64;
+    let mut abs_tol = 0.0f64;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--tol" => {
                 tol = args.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| usage(&bin))
+            }
+            "--abs" => {
+                abs_tol = args.next().and_then(|s| s.parse().ok()).unwrap_or_else(|| usage(&bin))
             }
             _ if arg.starts_with("--") => usage(&bin),
             _ => paths.push(arg),
@@ -96,28 +136,37 @@ fn main() {
     let new = load(new_path);
 
     let mut missing = 0u64;
-    let mut moved: Vec<(String, f64, f64, f64)> = Vec::new();
+    let mut moved: Vec<(String, f64, f64, Verdict)> = Vec::new();
     for (key, &o) in &old {
         match new.get(key) {
             None => {
                 missing += 1;
                 eprintln!("MISSING  {key} (old {o})");
             }
-            Some(&n) if n != o => {
-                let rel = (n - o).abs() / o.abs().max(1e-12);
-                if rel > tol {
-                    moved.push((key.clone(), o, n, rel));
-                }
-            }
-            Some(_) => {}
+            Some(&n) => match compare(o, n, tol, abs_tol) {
+                Verdict::Ok => {}
+                v => moved.push((key.clone(), o, n, v)),
+            },
         }
     }
     let added = new.keys().filter(|k| !old.contains_key(*k)).count();
 
-    moved.sort_by(|a, b| b.3.total_cmp(&a.3));
-    for (key, o, n, rel) in moved.iter().take(20) {
-        let signed = rel * 100.0 * (n - o).signum();
-        eprintln!("MOVED    {key}: {o} -> {n} ({signed:+.1}%)");
+    let severity = |v: &Verdict| match v {
+        Verdict::MovedRel(r) | Verdict::MovedAbs(r) => *r,
+        Verdict::Ok => 0.0,
+    };
+    moved.sort_by(|a, b| severity(&b.3).total_cmp(&severity(&a.3)));
+    for (key, o, n, verdict) in moved.iter().take(20) {
+        match verdict {
+            Verdict::MovedRel(rel) => {
+                let signed = rel * 100.0 * (n - o).signum();
+                eprintln!("MOVED    {key}: {o} -> {n} ({signed:+.1}%)");
+            }
+            Verdict::MovedAbs(delta) => {
+                eprintln!("MOVED    {key}: {o} -> {n} (+{delta} absolute, zero baseline)");
+            }
+            Verdict::Ok => {}
+        }
     }
     if moved.len() > 20 {
         eprintln!("... and {} more beyond tolerance", moved.len() - 20);
@@ -130,5 +179,41 @@ fn main() {
     );
     if missing > 0 || !moved.is_empty() {
         std::process::exit(1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::{compare, Verdict};
+
+    #[test]
+    fn zero_to_zero_always_passes() {
+        assert_eq!(compare(0.0, 0.0, 0.25, 0.0), Verdict::Ok);
+        assert_eq!(compare(0.0, 0.0, 0.0, 0.0), Verdict::Ok);
+    }
+
+    #[test]
+    fn zero_baseline_uses_absolute_threshold_not_inflated_percentages() {
+        // The old formula divided by max(|0|, 1e-12) and reported a move of
+        // roughly 5e12 "relative" — here the verdict carries the absolute
+        // delta instead.
+        assert_eq!(compare(0.0, 5.0, 0.25, 0.0), Verdict::MovedAbs(5.0));
+        assert_eq!(compare(0.0, 5.0, 0.25, 5.0), Verdict::Ok);
+        assert_eq!(compare(0.0, -3.0, 0.25, 2.0), Verdict::MovedAbs(3.0));
+    }
+
+    #[test]
+    fn nonzero_baseline_keeps_relative_tolerance() {
+        assert_eq!(compare(100.0, 110.0, 0.25, 0.0), Verdict::Ok);
+        assert_eq!(compare(100.0, 140.0, 0.25, 0.0), Verdict::MovedRel(0.4));
+        assert_eq!(compare(100.0, 100.0, 0.0, 0.0), Verdict::Ok);
+        assert_eq!(compare(100.0, 100.1, 0.0, 0.0), Verdict::MovedRel((100.1 - 100.0) / 100.0));
+    }
+
+    #[test]
+    fn x_to_zero_is_still_a_full_relative_drop() {
+        // Only a *zero baseline* is special; collapsing to zero from a real
+        // value is a 100% move and must flag.
+        assert_eq!(compare(7.0, 0.0, 0.25, 0.0), Verdict::MovedRel(1.0));
     }
 }

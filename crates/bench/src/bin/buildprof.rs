@@ -43,11 +43,7 @@ fn main() {
         }
         let t = Instant::now();
         space.add_server(SourceServer::new(SourceId(s), format!("server{s}"), catalog));
-        eprintln!(
-            "server {s}: {:.1}s rss={:.0}MB",
-            t.elapsed().as_secs_f64(),
-            rss_mb()
-        );
+        eprintln!("server {s}: {:.1}s rss={:.0}MB", t.elapsed().as_secs_f64(), rss_mb());
     }
     for name in cfg.relation_names() {
         let t = Instant::now();

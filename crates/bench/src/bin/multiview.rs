@@ -1,0 +1,275 @@
+//! Multi-view sweep: one shared warehouse (cross-view subplan sharing)
+//! versus N independent single-view warehouses over the same overlapping
+//! views and the same DU stream.
+//!
+//! The views all join `R0 ⋈ R1` on `K` with per-view projections (widest
+//! first, so every later view's first hop is covered by the first view's
+//! cached hop). In the shared warehouse each DU batch is admitted once and
+//! its `ΔR ⋈ target` first hop is computed once, then derived per view by
+//! Z-set filtering/projection; the independent configuration repeats
+//! admission and the hop N times. The sweep runs with indexes off — a hop
+//! is then a full scan of the target, making the shared/unshared work gap
+//! directly visible — plus one indexed reference row where the PR 2 key
+//! index reduces each hop to a probe and sharing saves proportionally less.
+//!
+//! Every cell also cross-checks correctness: the shared warehouse's extents
+//! must be bit-identical to the N independent warehouses', and the shared
+//! run must actually register subplan cache hits.
+//!
+//! ```text
+//! multiview [--views N] [--rows R] [--dus D] [--batch B] [--reps K]
+//!           [--check-ratio F] [--json PATH]
+//! ```
+//!
+//! `--check-ratio F` exits nonzero unless the scan-mode speedup at the
+//! largest view count is at least `F` (the PR 8 acceptance gate, enforced
+//! from `scripts/verify.sh` at 1.5x alongside a benchdiff comparison
+//! against `BENCH_pr8.json`).
+
+use std::io::Write as _;
+use std::time::Instant;
+
+use dyno_core::Strategy;
+use dyno_relational::{DataUpdate, Delta, SourceUpdate, SpjQuery, Tuple, Value};
+use dyno_sim::{build_space, Rng, TestbedConfig};
+use dyno_source::{SourceId, SourceSpace};
+use dyno_view::{InProcessPort, ViewDefinition, Warehouse};
+
+struct Args {
+    views: usize,
+    rows: usize,
+    dus: usize,
+    batch: usize,
+    reps: usize,
+    check_ratio: Option<f64>,
+    json: Option<String>,
+}
+
+fn usage(bin: &str) -> ! {
+    eprintln!(
+        "usage: {bin} [--views N] [--rows R] [--dus D] [--batch B] [--reps K] \
+         [--check-ratio F] [--json PATH]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let bin = std::env::args().next().unwrap_or_else(|| "multiview".into());
+    let mut out =
+        Args { views: 3, rows: 4_000, dus: 24, batch: 8, reps: 3, check_ratio: None, json: None };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut num = |a: &mut dyn FnMut(&str)| match args.next() {
+            Some(v) => a(&v),
+            None => usage(&bin),
+        };
+        match arg.as_str() {
+            "--views" => num(&mut |v| out.views = v.parse().unwrap_or_else(|_| usage(&bin))),
+            "--rows" => num(&mut |v| out.rows = v.parse().unwrap_or_else(|_| usage(&bin))),
+            "--dus" => num(&mut |v| out.dus = v.parse().unwrap_or_else(|_| usage(&bin))),
+            "--batch" => num(&mut |v| out.batch = v.parse().unwrap_or_else(|_| usage(&bin))),
+            "--reps" => num(&mut |v| out.reps = v.parse().unwrap_or_else(|_| usage(&bin))),
+            "--check-ratio" => {
+                num(&mut |v| out.check_ratio = Some(v.parse().unwrap_or_else(|_| usage(&bin))))
+            }
+            "--json" => num(&mut |v| out.json = Some(v.to_string())),
+            _ => usage(&bin),
+        }
+    }
+    if out.views < 2 {
+        usage(&bin);
+    }
+    out
+}
+
+fn testbed(rows: usize, indexes: bool) -> TestbedConfig {
+    TestbedConfig {
+        sources: 1,
+        relations_per_source: 2,
+        tuples_per_relation: rows,
+        indexes,
+        ..Default::default()
+    }
+}
+
+/// `n` overlapping views over `R0 ⋈ R1`, widest projection first: `V0`
+/// projects every attribute of both relations; each later view drops one
+/// more `R1` attribute, so its first hop is always covered by the hop `V0`
+/// already cached (no per-batch coverage widening).
+fn overlapping_views(cfg: &TestbedConfig, n: usize) -> Vec<ViewDefinition> {
+    (0..n)
+        .map(|i| {
+            let mut b = SpjQuery::over(["R0", "R1"]);
+            b = b.select_as("R0", "K", "K");
+            for a in 1..=cfg.extra_attrs {
+                b = b.select_as("R0", &format!("A{a}"), &format!("r0_A{a}"));
+            }
+            let keep = cfg.extra_attrs.saturating_sub(i.min(cfg.extra_attrs - 1));
+            for a in 1..=keep {
+                b = b.select_as("R1", &format!("A{a}"), &format!("r1_A{a}"));
+            }
+            b = b.join_eq(("R0", "K"), ("R1", "K"));
+            ViewDefinition::new(format!("V{i}"), b.build())
+        })
+        .collect()
+}
+
+/// A deterministic DU stream alternating inserts into `R0` and `R1`,
+/// `batch` rows per update, keys drawn from the populated key range so
+/// every row joins.
+fn du_stream(cfg: &TestbedConfig, dus: usize, batch: usize, seed: u64) -> Vec<SourceUpdate> {
+    let mut rng = Rng::new(seed);
+    (0..dus)
+        .map(|d| {
+            let rel = d % 2;
+            let schema = cfg.schema(rel);
+            let rows = (0..batch).map(|_| {
+                let mut vals = vec![Value::from(rng.gen_range(0..cfg.tuples_per_relation as i64))];
+                for _ in 0..cfg.extra_attrs {
+                    vals.push(Value::from(rng.gen_range(0..1_000_000i64)));
+                }
+                Tuple::new(vals)
+            });
+            let delta = Delta::inserts(schema, rows).expect("generated tuples are well-typed");
+            SourceUpdate::Data(DataUpdate::new(delta))
+        })
+        .collect()
+}
+
+struct Cell {
+    shared_ns: u64,
+    independent_ns: u64,
+    subplan_hits: u64,
+}
+
+/// Times one configuration: the shared N-view warehouse and N independent
+/// single-view warehouses over the same space and DU stream, verifying the
+/// extents agree bit for bit.
+fn run_cell(space: &SourceSpace, views: &[ViewDefinition], dus: &[SourceUpdate]) -> Cell {
+    let info = space.info().clone();
+    let src = SourceId(0);
+
+    // Shared warehouse: one admission, one first hop per batch.
+    let mut port = InProcessPort::new(space.clone());
+    let mut wh = Warehouse::new(info.clone(), Strategy::Pessimistic);
+    for v in views {
+        wh.add_view(v.clone());
+    }
+    wh.initialize(&mut port).expect("initialize shared");
+    let t0 = Instant::now();
+    for du in dus {
+        port.commit(src, du.clone()).expect("commit");
+        wh.run_to_quiescence(&mut port, 1_000).expect("maintain shared");
+    }
+    let shared_ns = t0.elapsed().as_nanos() as u64;
+
+    // Independent warehouses: admission and hop repeated per view.
+    let mut indep: Vec<(Warehouse, InProcessPort)> = views
+        .iter()
+        .map(|v| {
+            let mut port = InProcessPort::new(space.clone());
+            let mut w = Warehouse::new(info.clone(), Strategy::Pessimistic);
+            w.add_view(v.clone());
+            w.initialize(&mut port).expect("initialize independent");
+            (w, port)
+        })
+        .collect();
+    let t1 = Instant::now();
+    for du in dus {
+        for (w, port) in &mut indep {
+            port.commit(src, du.clone()).expect("commit");
+            w.run_to_quiescence(port, 1_000).expect("maintain independent");
+        }
+    }
+    let independent_ns = t1.elapsed().as_nanos() as u64;
+
+    for (i, (w, _)) in indep.iter().enumerate() {
+        assert_eq!(
+            wh.mv(i).extent(),
+            w.mv(0).extent(),
+            "view {i}: shared execution must be bit-identical to unshared"
+        );
+    }
+    assert!(wh.subplan_hits() > 0, "overlapping views must share first hops");
+    Cell { shared_ns, independent_ns, subplan_hits: wh.subplan_hits() }
+}
+
+fn median(mut xs: Vec<u64>) -> u64 {
+    xs.sort_unstable();
+    xs[xs.len() / 2]
+}
+
+fn main() {
+    let args = parse_args();
+    if cfg!(debug_assertions) {
+        eprintln!("warning: debug build; timings are not representative");
+    }
+    println!(
+        "== multiview: shared warehouse vs {}x independent (rows={}, dus={}, batch={}) ==",
+        args.views, args.rows, args.dus, args.batch
+    );
+
+    let mut json_lines: Vec<String> = Vec::new();
+    let mut gate_ratio: Option<f64> = None;
+    for (mode, indexed) in [("scan", false), ("indexed", true)] {
+        let sweep: Vec<usize> = if indexed { vec![args.views] } else { (2..=args.views).collect() };
+        for n in sweep {
+            let cfg = testbed(args.rows, indexed);
+            let space = build_space(&cfg);
+            let views = overlapping_views(&cfg, n);
+            let dus = du_stream(&cfg, args.dus, args.batch, 0x9e37 + n as u64);
+            let (mut shared, mut independent, mut hits) = (Vec::new(), Vec::new(), 0);
+            for _ in 0..args.reps {
+                let cell = run_cell(&space, &views, &dus);
+                shared.push(cell.shared_ns);
+                independent.push(cell.independent_ns);
+                hits = cell.subplan_hits;
+            }
+            let (s, i) = (median(shared), median(independent));
+            let ratio = i as f64 / s.max(1) as f64;
+            println!(
+                "{mode:>7}/v{n}: shared {:>8.2} ms  independent {:>8.2} ms  speedup {ratio:.2}x  \
+                 (subplan hits {hits})",
+                s as f64 / 1e6,
+                i as f64 / 1e6,
+            );
+            for (name, v) in [("shared", s), ("independent", i)] {
+                json_lines.push(format!(
+                    "{{\"group\":\"multiview\",\"bench\":\"{name}_{mode}/v{n}\",\
+                     \"median_ns\":{v}}}"
+                ));
+            }
+            json_lines.push(format!(
+                "{{\"group\":\"multiview\",\"bench\":\"speedup_x1000_{mode}/v{n}\",\
+                 \"median_ns\":{}}}",
+                (ratio * 1000.0).round() as u64
+            ));
+            if mode == "scan" && n == args.views {
+                gate_ratio = Some(ratio);
+            }
+        }
+    }
+
+    if let Some(path) = &args.json {
+        let mut f = std::fs::File::create(path).expect("create --json output");
+        for line in &json_lines {
+            writeln!(f, "{line}").expect("write --json output");
+        }
+        println!("series written to {path}");
+    }
+    if let Some(min) = args.check_ratio {
+        let got = gate_ratio.expect("sweep always runs the gated cell");
+        if got < min {
+            eprintln!(
+                "multiview: FAIL shared-subplan speedup {got:.2}x < required {min:.2}x \
+                 at {} views (scan mode)",
+                args.views
+            );
+            std::process::exit(1);
+        }
+        println!(
+            "multiview: shared-subplan speedup {got:.2}x >= {min:.2}x at {} views",
+            args.views
+        );
+    }
+}

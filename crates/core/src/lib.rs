@@ -26,6 +26,7 @@
 #![warn(missing_docs)]
 
 pub mod correct;
+pub mod dag;
 pub mod dependency;
 pub mod graph;
 pub mod meta;
@@ -35,6 +36,7 @@ pub mod umq;
 pub mod wire;
 
 pub use correct::{legal_schedule, merge_all_schedule, Schedule};
+pub use dag::ViewDag;
 pub use dependency::{classify_pair, DepKind, Dependency, PairRelationship};
 pub use graph::DepGraph;
 pub use meta::{SourceKey, UpdateKey, UpdateKind, UpdateMeta};

@@ -216,6 +216,10 @@ struct Lane {
     evaluator: Option<SloEvaluator>,
     points: VecDeque<LanePoint>,
     dropped: u64,
+    /// Tombstone: a retired (dropped) view keeps its lane index — indices
+    /// were handed out to callers — but stops participating in commit
+    /// tracking, refreshes, sampling, and burn-rate evaluation.
+    retired: bool,
 }
 
 #[derive(Debug)]
@@ -309,8 +313,26 @@ impl StalenessTracker {
             evaluator,
             points: VecDeque::new(),
             dropped: 0,
+            retired: false,
         });
         t.lanes.len() - 1
+    }
+
+    /// Retires view `lane`: discards its pending commits, disables its
+    /// evaluator, and excludes it from future commits, refreshes, and
+    /// window sampling. The lane is tombstoned in place (indices stay
+    /// stable); its emitted points and lifetime histogram remain readable.
+    pub fn drop_view(&self, lane: usize) {
+        let mut t = self.inner.borrow_mut();
+        let l = &mut t.lanes[lane];
+        l.retired = true;
+        l.pending.clear();
+        l.evaluator = None;
+    }
+
+    /// Whether view `lane` has been retired via [`StalenessTracker::drop_view`].
+    pub fn is_retired(&self, lane: usize) -> bool {
+        self.inner.borrow().lanes[lane].retired
     }
 
     /// Number of registered views.
@@ -328,7 +350,7 @@ impl StalenessTracker {
     pub fn note_commit(&self, source: u32, version: u64, at_us: u64) {
         let mut t = self.inner.borrow_mut();
         for lane in &mut t.lanes {
-            if lane.sources.contains(&source) {
+            if !lane.retired && lane.sources.contains(&source) {
                 lane.pending.push_back((source, version, at_us));
             }
         }
@@ -350,17 +372,34 @@ impl StalenessTracker {
     pub fn note_refresh(&self, reflected: &[(u32, u64)], at_us: u64) {
         let mut t = self.inner.borrow_mut();
         for lane in &mut t.lanes {
-            let before = lane.pending.len();
-            let hist = &lane.hist;
-            lane.pending.retain(|&(s, v, committed)| {
-                let covered = reflected.iter().any(|&(rs, rv)| rs == s && rv >= v);
-                if covered {
-                    hist.record(at_us.saturating_sub(committed));
-                }
-                !covered
-            });
-            lane.refreshed += (before - lane.pending.len()) as u64;
+            Self::refresh_lane(lane, reflected, at_us);
         }
+    }
+
+    /// Notes a refresh of *one* view: only `lane`'s pending commits are
+    /// resolved against the reflected vector. A multi-view warehouse whose
+    /// views advance independently (a parked view defers a batch its peers
+    /// commit) reports each view's own reflected vector through this,
+    /// keeping the deferred view's staleness honestly aging.
+    pub fn note_refresh_for(&self, lane: usize, reflected: &[(u32, u64)], at_us: u64) {
+        let mut t = self.inner.borrow_mut();
+        Self::refresh_lane(&mut t.lanes[lane], reflected, at_us);
+    }
+
+    fn refresh_lane(lane: &mut Lane, reflected: &[(u32, u64)], at_us: u64) {
+        if lane.retired {
+            return;
+        }
+        let before = lane.pending.len();
+        let hist = &lane.hist;
+        lane.pending.retain(|&(s, v, committed)| {
+            let covered = reflected.iter().any(|&(rs, rv)| rs == s && rv >= v);
+            if covered {
+                hist.record(at_us.saturating_sub(committed));
+            }
+            !covered
+        });
+        lane.refreshed += (before - lane.pending.len()) as u64;
     }
 
     /// Age of view `lane`'s oldest pending commit at `now_us` (0 when
@@ -416,6 +455,9 @@ impl StalenessTracker {
         let mut evals = 0u64;
         let mut breaches = 0u64;
         for lane in &mut t.lanes {
+            if lane.retired {
+                continue;
+            }
             let window = lane.hist.snapshot_and_reset_window();
             let pending_age = lane
                 .pending
@@ -531,10 +573,11 @@ impl StalenessTracker {
             let state = lane.evaluator.as_ref().map_or(SloState::Ok, SloEvaluator::state);
             let _ = write!(
                 out,
-                ":{{\"sources\":{:?},\"state\":\"{}\",\"refreshed\":{},\"pending\":{},\
+                ":{{{}\"sources\":{:?},\"state\":\"{}\",\"refreshed\":{},\"pending\":{},\
                  \"dropped\":{},\"evaluations\":{},\"breaches\":{},\
                  \"lifetime\":{{\"count\":{},\"p50\":{p50},\"p95\":{p95},\
                  \"p99\":{p99}}},\"points\":[",
+                if lane.retired { "\"retired\":true," } else { "" },
                 lane.sources,
                 state.as_str(),
                 lane.refreshed,
@@ -640,6 +683,43 @@ mod tests {
         t.note_shed(0, 2);
         assert_eq!(t.current_staleness_us(a, 1_000), 0);
         assert_eq!(t.lifetime(a).0, 0, "shed commits never become samples");
+    }
+
+    #[test]
+    fn per_lane_refresh_leaves_peer_views_pending() {
+        let t = StalenessTracker::new(16);
+        let a = t.register_view("A", &[0]);
+        let b = t.register_view("B", &[0]);
+        t.note_commit(0, 1, 100);
+        t.note_refresh_for(a, &[(0, 1)], 600);
+        assert_eq!(t.current_staleness_us(a, 1_000), 0);
+        assert_eq!(t.current_staleness_us(b, 1_000), 900, "B's copy stays pending");
+        assert_eq!(t.lifetime(a), (1, 500, 500, 500));
+        assert_eq!(t.lifetime(b).0, 0, "no sample until B itself refreshes");
+    }
+
+    #[test]
+    fn dropped_view_stops_contributing_to_evaluation() {
+        let t = StalenessTracker::new(16);
+        let a = t.register_view("A", &[0]);
+        let b = t.register_view("B", &[0]);
+        t.set_slo(SloPolicy::target(1_000));
+        t.set_cadence(1_000, 0);
+        t.note_commit(0, 1, 0);
+        t.drop_view(b);
+        assert!(t.is_retired(b));
+        assert_eq!(t.current_staleness_us(b, 10_000), 0, "pending discarded on drop");
+        for w in 1..=8u64 {
+            t.maybe_sample(w * 1_000);
+        }
+        assert_eq!(t.state(a), SloState::Page, "the live lane still pages");
+        assert_eq!(t.state(b), SloState::Ok, "a retired lane never evaluates");
+        assert!(t.points(b).is_empty(), "no windows emitted after retirement");
+        t.note_commit(0, 2, 9_000);
+        assert_eq!(t.current_staleness_us(b, 10_000), 0, "new commits skip the lane");
+        t.note_refresh_for(b, &[(0, 2)], 9_500);
+        assert_eq!(t.lifetime(b).0, 0, "refreshes are no-ops for the lane");
+        assert!(t.to_json().contains("\"retired\":true"));
     }
 
     #[test]

@@ -28,6 +28,7 @@ pub mod consistency;
 pub mod cost;
 pub mod crash;
 pub mod metrics;
+pub mod multiview;
 pub mod openloop;
 pub mod port;
 pub mod runner;
@@ -43,6 +44,7 @@ pub use consistency::{check_convergence, check_reflected, eval_view_at};
 pub use cost::CostModel;
 pub use crash::{run_crash_chaos, CrashConfig, CrashReport};
 pub use metrics::Metrics;
+pub use multiview::{build_multiview, run_multiview, MultiViewConfig, MultiViewReport};
 pub use openloop::{run_monitor, tenant_views, MonitorConfig, MonitorReport};
 pub use port::{ScheduledCommit, SimPort};
 pub use rng::Rng;

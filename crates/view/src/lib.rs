@@ -26,6 +26,7 @@ pub mod ingress;
 pub mod manager;
 pub mod mview;
 pub mod plan;
+pub mod subplan;
 pub mod testkit;
 pub mod viewdef;
 pub mod vm;
@@ -46,8 +47,11 @@ pub use ingress::IngressGate;
 pub use manager::{ReflectedVersions, ViewError, ViewManager, ViewStats};
 pub use mview::MaterializedView;
 pub use plan::{MaintPlan, MaintStep, PlanCache};
+pub use subplan::SharedSubplans;
 pub use viewdef::ViewDefinition;
-pub use vm::{sweep_maintain, sweep_maintain_observed, MaintFailure, ViewDelta};
+pub use vm::{
+    sweep_maintain, sweep_maintain_observed, sweep_maintain_shared, MaintFailure, ViewDelta,
+};
 pub use vs::{synchronize, synchronize_all, VsError};
 pub use wal::{
     AppliedChange, AppliedRecord, CrashPlan, CrashPoint, DurableLog, DurableState, RecoverError,

@@ -133,6 +133,9 @@ impl ViewManager {
                 sql: self.core.view.to_string(),
                 cols: self.core.mv.cols().to_vec(),
                 extent: self.core.mv.extent().clone(),
+                reflected: sorted_versions(self.core.reflected.iter().map(|(s, v)| (s.0, *v))),
+                deferred: vec![],
+                tier: 0,
             }],
             reflected: sorted_versions(self.core.reflected.iter().map(|(s, v)| (s.0, *v))),
             marks: self.core.ingress.marks(),
@@ -534,12 +537,13 @@ impl Maintainer<UpdateMessage> for MaintCtx<'_> {
                 if let Some(log) = self.core.wal.as_mut() {
                     let change =
                         logged.unwrap_or(AppliedChange::Delta { rows: Default::default() });
+                    let reflected =
+                        sorted_versions(self.core.reflected.iter().map(|(s, v)| (s.0, *v)));
                     log.log_applied(&AppliedRecord {
                         keys: batch.iter().map(|m| m.key.0).collect(),
                         changes: vec![change],
-                        reflected: sorted_versions(
-                            self.core.reflected.iter().map(|(s, v)| (s.0, *v)),
-                        ),
+                        view_reflected: vec![reflected.clone()],
+                        reflected,
                     });
                 }
                 // Terminal provenance. Skipped when the power was already

@@ -64,9 +64,13 @@ impl MaterializedView {
                 ),
             });
         }
-        let mut next = self.extent.clone();
-        next.merge(delta);
-        if !next.is_non_negative() {
+        // A negative multiplicity can only appear at a tuple the delta
+        // touches, so merge in place and check just those keys — O(|Δ| log n)
+        // instead of cloning and re-walking the whole extent. On violation
+        // the merge is undone, preserving the unchanged-on-error contract.
+        self.extent.merge(delta);
+        if delta.iter().any(|(t, _)| self.extent.count(t) < 0) {
+            self.extent.merge_negated(delta);
             return Err(RelationalError::InvalidQuery {
                 reason: format!(
                     "applying delta to view `{}` would produce negative multiplicities",
@@ -74,7 +78,6 @@ impl MaterializedView {
                 ),
             });
         }
-        self.extent = next;
         Ok(())
     }
 

@@ -1,0 +1,256 @@
+//! Cross-view sharing of the first maintenance-join hop.
+//!
+//! When N overlapping views maintain the *same* data update ΔR in the same
+//! batch, each view's SWEEP chain starts with the same shape of work: join
+//! ΔR against the first target relation on the same equi-join keys — the
+//! keys the PR 2 secondary indexes are built over, which is why the cache
+//! key is exactly that index signature: `(updated relation, target, sorted
+//! join-attribute pairs)`. A [`SharedSubplans`] cache computes that hop
+//! **once per batch** at full width — the *unfiltered, unprojected* ΔR rows
+//! joined to the union of every view's referenced target attributes, with
+//! SWEEP compensation applied at hop level — and each view then derives its
+//! own step-1 intermediate by pure Z-set algebra: `δσ` of its local and
+//! target filters followed by `δπ` to its step layout.
+//!
+//! ## Why the derived result is bit-identical to unshared execution
+//!
+//! Selection commutes with join on disjoint attribute sets and projection
+//! is linear over Z-sets, so
+//! `π_V σ_V (ΔR ⋈ T) = π_V ((σ_R ΔR) ⋈ (σ_T T))` — the right-hand side is
+//! what the unshared per-view step computes. Both sides aggregate into a
+//! canonical [`SignedBag`] (sorted, zero-weights cancelled), so equal
+//! multisets are equal bytes. SWEEP compensation distributes the same way:
+//! compensating the full-width hop then filtering equals filtering then
+//! compensating, because `__D ⋈ Δⱼ` is bilinear.
+//!
+//! The cache lives for one maintenance batch (the hop embeds that batch's
+//! pending-set compensation), so the warehouse creates a fresh instance per
+//! [`crate::Warehouse`] maintain call and rolls the hit/miss counts into
+//! `subplan.shared_hits` / `subplan.shared_misses`.
+
+use std::collections::HashMap;
+
+use dyno_relational::{
+    delta_select, CmpOp, ColRef, DataUpdate, Predicate, ProjItem, RelationalError, SignedBag,
+    SpjQuery, Value,
+};
+use dyno_source::UpdateMessage;
+
+use crate::engine::{BoundTable, SourcePort};
+use crate::plan::{MaintPlan, MaintStep};
+use crate::vm::{compensate, flat, MaintFailure, D};
+
+/// Cache key: the shared-join signature of a first hop. Two views share a
+/// hop iff they join the same updated relation to the same target over the
+/// same attribute pairs — the signature the secondary indexes key on.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct HopKey {
+    relation: String,
+    target: String,
+    /// Sorted `(ΔR flat column, target attribute)` equi-join pairs.
+    keys: Vec<(String, String)>,
+}
+
+/// One computed full-width hop: `ΔR ⋈ target` (compensated), no per-view
+/// filters, no per-view projection.
+#[derive(Debug, Clone)]
+struct Hop {
+    /// Column names of `rows`: all of ΔR flattened (`R.a`), then the
+    /// covered target attributes flattened (`T.b`).
+    cols: Vec<String>,
+    /// Target attributes covered (unflattened), for coverage checks.
+    t_attrs: Vec<String>,
+    rows: SignedBag,
+}
+
+/// Per-batch cache of shared first hops. See the module docs.
+#[derive(Debug, Default)]
+pub struct SharedSubplans {
+    entries: HashMap<HopKey, Hop>,
+    hits: u64,
+    misses: u64,
+}
+
+impl SharedSubplans {
+    /// An empty cache (one maintenance batch's lifetime).
+    pub fn new() -> Self {
+        SharedSubplans::default()
+    }
+
+    /// Hops served from cache.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Hops computed (first computation or coverage widening).
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Executes (or reuses) the shared first hop for `plan.steps[0]` and
+    /// derives this view's step-1 intermediate, in the exact layout the
+    /// unshared step would produce (`step.d_cols_in` then the flattened
+    /// `step.t_proj`).
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn first_hop(
+        &mut self,
+        plan: &MaintPlan,
+        step: &MaintStep,
+        du: &DataUpdate,
+        msg: &UpdateMessage,
+        pending: &[UpdateMessage],
+        port: &mut dyn SourcePort,
+        drained: &mut Vec<UpdateMessage>,
+    ) -> Result<SignedBag, MaintFailure> {
+        let schema = du.delta.schema();
+        let d_full: Vec<String> =
+            schema.attrs().iter().map(|a| flat(&ColRef::new(&du.relation, &a.name))).collect();
+
+        // The join signature, in ΔR-full-layout terms. `d_cols_in[pos]` is
+        // already the flat `R.a` spelling, so it names a full-layout column.
+        let mut keys: Vec<(String, String)> = step
+            .join_keys
+            .iter()
+            .map(|(pos, t_attr)| (step.d_cols_in[*pos].clone(), t_attr.clone()))
+            .collect();
+        keys.sort();
+        let key = HopKey { relation: du.relation.clone(), target: step.target.clone(), keys };
+
+        let covered = self
+            .entries
+            .get(&key)
+            .is_some_and(|h| step.t_proj.iter().all(|a| h.t_attrs.contains(a)));
+        if covered {
+            self.hits += 1;
+        } else {
+            // First computation, or a later view needs target attributes
+            // the cached hop does not carry: (re)compute at the widened
+            // attribute set so every view seen so far stays covered.
+            self.misses += 1;
+            let mut t_attrs: Vec<String> =
+                self.entries.get(&key).map(|h| h.t_attrs.clone()).unwrap_or_default();
+            for a in &step.t_proj {
+                if !t_attrs.contains(a) {
+                    t_attrs.push(a.clone());
+                }
+            }
+            let hop = compute_hop(&key, &d_full, &t_attrs, du, msg, pending, port, drained)?;
+            self.entries.insert(key.clone(), hop);
+        }
+        let hop = &self.entries[&key];
+
+        // Per-view derivation: δσ (local ΔR filters + target filters) then
+        // δπ to the unshared step's output layout.
+        let resolve = |name: &str| -> Result<usize, RelationalError> {
+            hop.cols.iter().position(|c| c == name).ok_or_else(|| RelationalError::InvalidQuery {
+                reason: format!("column {name} missing from shared hop"),
+            })
+        };
+        let derive = || -> Result<SignedBag, RelationalError> {
+            let mut filters: Vec<(usize, CmpOp, Value)> = Vec::new();
+            for (a, op, v) in &plan.local_filters {
+                filters.push((resolve(&flat(&ColRef::new(&du.relation, a)))?, *op, v.clone()));
+            }
+            for (a, op, v) in &step.t_filters {
+                filters.push((resolve(&flat(&ColRef::new(&step.target, a)))?, *op, v.clone()));
+            }
+            let out: Vec<usize> = step
+                .d_cols_in
+                .iter()
+                .map(String::as_str)
+                .map(resolve)
+                .chain(step.t_proj.iter().map(|a| resolve(&flat(&ColRef::new(&step.target, a)))))
+                .collect::<Result<_, _>>()?;
+            Ok(delta_select(&hop.rows, &filters)?.project(&out))
+        };
+        let derived = derive().map_err(|e| MaintFailure::from_query(&step.query, e))?;
+        port.charge_local(derived.weight());
+        Ok(derived)
+    }
+}
+
+/// Runs the full-width hop query and applies SWEEP compensation at hop
+/// width.
+#[allow(clippy::too_many_arguments)]
+fn compute_hop(
+    key: &HopKey,
+    d_full: &[String],
+    t_attrs: &[String],
+    du: &DataUpdate,
+    msg: &UpdateMessage,
+    pending: &[UpdateMessage],
+    port: &mut dyn SourcePort,
+    drained: &mut Vec<UpdateMessage>,
+) -> Result<Hop, MaintFailure> {
+    let target = &key.target;
+    let query = SpjQuery {
+        tables: vec![D.to_string(), target.clone()],
+        projection: d_full
+            .iter()
+            .map(|c| ProjItem::aliased(ColRef::new(D, c.clone()), c.clone()))
+            .chain(t_attrs.iter().map(|a| {
+                let c = ColRef::new(target.clone(), a.clone());
+                let out = flat(&c);
+                ProjItem::aliased(c, out)
+            }))
+            .collect(),
+        predicates: key
+            .keys
+            .iter()
+            .map(|(d_flat, t_attr)| {
+                Predicate::JoinEq(
+                    ColRef::new(D, d_flat.clone()),
+                    ColRef::new(target.clone(), t_attr.clone()),
+                )
+            })
+            .collect(),
+    };
+    let cols: Vec<String> = query.projection.iter().map(|p| p.output.clone()).collect();
+
+    let bound = vec![BoundTable {
+        name: D.to_string(),
+        cols: d_full.to_vec(),
+        rows: du.delta.rows().clone(),
+    }];
+    let result = port.execute(&query, &bound).map_err(|e| MaintFailure::from_query(&query, e))?;
+    drained.extend(port.drain_arrivals());
+
+    // SWEEP compensation at hop width: subtract `ΔR ⋈ Δⱼ` for every pending
+    // update of the target the query result may already include. The
+    // synthetic step mirrors the hop exactly (no target filters — they are
+    // per-view and applied in the derivation).
+    let synth = MaintStep {
+        target: target.clone(),
+        query: query.clone(),
+        d_cols_in: d_full.to_vec(),
+        join_keys: key
+            .keys
+            .iter()
+            .map(|(d_flat, t_attr)| {
+                let pos = d_full
+                    .iter()
+                    .position(|c| c == d_flat)
+                    .expect("join key names a ΔR full-layout column");
+                (pos, t_attr.clone())
+            })
+            .collect(),
+        t_filters: Vec::new(),
+        t_proj: t_attrs.to_vec(),
+    };
+    let mut rows = result.rows;
+    let d_rows = du.delta.rows();
+    for m in pending.iter().chain(drained.iter()) {
+        if m.id == msg.id {
+            continue;
+        }
+        if let dyno_relational::SourceUpdate::Data(pdu) = &m.update {
+            if pdu.relation == *target {
+                let comp = compensate(&synth, d_rows, pdu)
+                    .map_err(|e| MaintFailure::from_query(&query, e))?;
+                port.charge_local(comp.weight() + pdu.delta.weight());
+                rows.merge_negated(&comp);
+            }
+        }
+    }
+    Ok(Hop { cols, t_attrs: t_attrs.to_vec(), rows })
+}

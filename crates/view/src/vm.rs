@@ -20,6 +20,7 @@ use dyno_source::UpdateMessage;
 
 use crate::engine::{BoundTable, SourcePort};
 use crate::plan::{MaintPlan, MaintStep, PlanCache};
+use crate::subplan::SharedSubplans;
 use crate::viewdef::ViewDefinition;
 
 /// A computed change to the view extent.
@@ -86,7 +87,37 @@ pub fn sweep_maintain(
     port: &mut dyn SourcePort,
 ) -> (Result<ViewDelta, MaintFailure>, Vec<UpdateMessage>) {
     let mut drained: Vec<UpdateMessage> = Vec::new();
-    let result = sweep_inner(view, msg, pending, port, &mut drained, None);
+    let result = sweep_inner(view, msg, pending, port, &mut drained, None, None);
+    (result, drained)
+}
+
+/// [`sweep_maintain_observed`] with a cross-view [`SharedSubplans`] cache:
+/// the first `__D ⋈ target` hop is served from (or computed into) `shared`,
+/// so overlapping views maintaining the same batch pay for it once. The
+/// derived per-view result is bit-identical to the unshared path (see the
+/// [`crate::subplan`] module docs for the algebra).
+pub fn sweep_maintain_shared(
+    view: &ViewDefinition,
+    msg: &UpdateMessage,
+    pending: &[UpdateMessage],
+    port: &mut dyn SourcePort,
+    plans: &mut PlanCache,
+    obs: &Collector,
+    shared: &mut SharedSubplans,
+) -> (Result<ViewDelta, MaintFailure>, Vec<UpdateMessage>) {
+    let _span = obs.span("vm.sweep", &[field("pending", pending.len())]);
+    obs.counter("vm.sweeps").inc();
+    obs.counter("vm.compensations").add(pending.len() as u64);
+    obs.prov(msg.id.0, dyno_obs::stage::SWEEP, &[field("pending", pending.len())]);
+    let mut drained: Vec<UpdateMessage> = Vec::new();
+    let result =
+        sweep_inner(view, msg, pending, port, &mut drained, Some((plans, obs)), Some(shared));
+    if let Err(MaintFailure::Broken { query, .. }) = &result {
+        obs.counter("engine.break_detections").inc();
+        if obs.tracing_on() {
+            obs.event(Level::Warn, "vm.broken_query", &[field("query", query.clone())]);
+        }
+    }
     (result, drained)
 }
 
@@ -108,7 +139,7 @@ pub fn sweep_maintain_observed(
     obs.counter("vm.compensations").add(pending.len() as u64);
     obs.prov(msg.id.0, dyno_obs::stage::SWEEP, &[field("pending", pending.len())]);
     let mut drained: Vec<UpdateMessage> = Vec::new();
-    let result = sweep_inner(view, msg, pending, port, &mut drained, Some((plans, obs)));
+    let result = sweep_inner(view, msg, pending, port, &mut drained, Some((plans, obs)), None);
     if let Err(MaintFailure::Broken { query, .. }) = &result {
         obs.counter("engine.break_detections").inc();
         if obs.tracing_on() {
@@ -125,6 +156,7 @@ fn sweep_inner(
     port: &mut dyn SourcePort,
     drained: &mut Vec<UpdateMessage>,
     plans: Option<(&mut PlanCache, &Collector)>,
+    shared: Option<&mut SharedSubplans>,
 ) -> Result<ViewDelta, MaintFailure> {
     let du = match &msg.update {
         dyno_relational::SourceUpdate::Data(du) => du,
@@ -144,18 +176,20 @@ fn sweep_inner(
         }
         None => Rc::new(MaintPlan::build(view, &du.relation).map_err(MaintFailure::Internal)?),
     };
-    execute_plan(&plan, msg, pending, port, drained)
+    execute_plan(&plan, msg, pending, port, drained, shared)
 }
 
 /// Runs a maintenance plan: seed the intermediate from the delta, walk the
 /// `__D ⋈ target` chain with SWEEP compensation, project to the view's
-/// SELECT list.
+/// SELECT list. With a `shared` cache the first hop (seed + join to
+/// `steps[0].target`) is derived from the cross-view shared hop instead.
 fn execute_plan(
     plan: &MaintPlan,
     msg: &UpdateMessage,
     pending: &[UpdateMessage],
     port: &mut dyn SourcePort,
     drained: &mut Vec<UpdateMessage>,
+    shared: Option<&mut SharedSubplans>,
 ) -> Result<ViewDelta, MaintFailure> {
     let du = match &msg.update {
         dyno_relational::SourceUpdate::Data(du) => du,
@@ -166,14 +200,29 @@ fn execute_plan(
         }
     };
 
-    // Step 0: local projection/selection of the delta itself — a direct
-    // Z-set pipeline (δσ then δπ) over the update's rows; no provider, no
-    // clone of the delta, no executor round.
-    let seed = seed_delta(plan, du).map_err(|e| MaintFailure::from_query(&plan.local_query, e))?;
-    port.charge_local(du.delta.weight());
-    let mut d_rows = seed;
+    // With a shared-subplan cache and at least one join step, the seed plus
+    // the first `__D ⋈ target` hop come out of the cross-view cache; the
+    // chain then resumes at the second step. Otherwise: step 0 is the local
+    // projection/selection of the delta itself — a direct Z-set pipeline
+    // (δσ then δπ) over the update's rows; no provider, no clone of the
+    // delta, no executor round.
+    let start;
+    let mut d_rows = match (shared, plan.steps.first()) {
+        (Some(sh), Some(step)) => {
+            port.charge_local(du.delta.weight());
+            start = 1;
+            sh.first_hop(plan, step, du, msg, pending, port, drained)?
+        }
+        _ => {
+            let seed =
+                seed_delta(plan, du).map_err(|e| MaintFailure::from_query(&plan.local_query, e))?;
+            port.charge_local(du.delta.weight());
+            start = 0;
+            seed
+        }
+    };
 
-    for step in &plan.steps {
+    for step in &plan.steps[start.min(plan.steps.len())..] {
         if d_rows.is_empty() {
             // Empty intermediate joins to empty: skip the remaining queries.
             return Ok(ViewDelta { cols: plan.out_cols.clone(), rows: SignedBag::new() });
@@ -237,7 +286,7 @@ fn seed_delta(plan: &MaintPlan, du: &DataUpdate) -> Result<SignedBag, Relational
 /// conflicts, ill-typed filters error on every visited row, NULL join keys
 /// match nothing, and the output layout (all of `__D`, then the target's
 /// referenced attributes) equals the step query's projection exactly.
-fn compensate(
+pub(crate) fn compensate(
     step: &MaintStep,
     d_rows: &SignedBag,
     pdu: &DataUpdate,

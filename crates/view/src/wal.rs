@@ -50,7 +50,8 @@ use dyno_source::UpdateMessage;
 use crate::batch::AdaptationMode;
 
 /// One view's recoverable state: its definition (as round-trippable SQL),
-/// output columns, and extent.
+/// output columns, extent, and — in a multi-view warehouse — the per-view
+/// progress a deferring view may hold back from its peers.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ViewState {
     /// `CREATE VIEW name AS SELECT …` — the Display form of the definition.
@@ -59,6 +60,16 @@ pub struct ViewState {
     pub cols: Vec<String>,
     /// The extent itself.
     pub extent: SignedBag,
+    /// *This* view's reflected version vector, sorted by source. Views
+    /// advance independently: a batch one view defers freezes its vector
+    /// while its peers move on.
+    pub reflected: Vec<(u32, u64)>,
+    /// Batches committed warehouse-wide but deferred by this view (its
+    /// source was unavailable), in arrival order — replayed by the
+    /// per-view drain after recovery.
+    pub deferred: Vec<Vec<UpdateMeta<UpdateMessage>>>,
+    /// SLA tier (lower = refreshed earlier).
+    pub tier: u8,
 }
 
 /// Everything a warehouse needs to resume after a kill: scheduler
@@ -113,6 +124,13 @@ pub enum AppliedChange {
         /// Signed rows merged into the extent.
         rows: SignedBag,
     },
+    /// The batch did not touch this view's sources/relations: the view's
+    /// extent is unchanged but its reflected vector still advances.
+    Skipped,
+    /// The view could not maintain this batch (source unavailable) while
+    /// its peers committed: the batch moves to the view's deferred queue
+    /// and its reflected vector freezes.
+    Deferred,
 }
 
 /// One atomic commit: which queue entries it consumed, what it did to every
@@ -125,6 +143,9 @@ pub struct AppliedRecord {
     pub changes: Vec<AppliedChange>,
     /// The full reflected version vector after the commit, sorted.
     pub reflected: Vec<(u32, u64)>,
+    /// Per-view reflected vectors after the commit, in slot order (a
+    /// deferring view's vector stays frozen while its peers advance).
+    pub view_reflected: Vec<Vec<(u32, u64)>>,
 }
 
 /// Where in the commit protocol a planned power cut strikes.
@@ -460,6 +481,17 @@ fn apply_record(st: &mut DurableState, rec: &AppliedRecord) -> Result<(), WireEr
             st.views.len()
         )));
     }
+    if !rec.view_reflected.is_empty() && rec.view_reflected.len() != st.views.len() {
+        return Err(WireError::Invalid(format!(
+            "applied record carries {} view vectors, state has {} views",
+            rec.view_reflected.len(),
+            st.views.len()
+        )));
+    }
+    // A deferring view takes its copy of the batch from the queue *before*
+    // the committed keys are removed from it.
+    let deferred_batch: Vec<UpdateMeta<UpdateMessage>> =
+        st.batches.iter().flatten().filter(|m| rec.keys.contains(&m.key.0)).cloned().collect();
     for (view, change) in st.views.iter_mut().zip(&rec.changes) {
         match change {
             AppliedChange::Delta { rows } => view.extent.merge(rows),
@@ -472,7 +504,33 @@ fn apply_record(st: &mut DurableState, rec: &AppliedRecord) -> Result<(), WireEr
                 view.sql = sql.clone();
                 view.extent.merge(rows);
             }
+            AppliedChange::Skipped => {}
+            AppliedChange::Deferred => {
+                if deferred_batch.is_empty() {
+                    return Err(WireError::Invalid(
+                        "deferred change with no queued batch to defer".into(),
+                    ));
+                }
+                view.deferred.push(deferred_batch.clone());
+            }
         }
+        // A materializing change resolves the keys from this view's own
+        // deferred queue too (the per-view drain commits deferred batches
+        // through the same record shape, the peers marked `Skipped`).
+        if matches!(
+            change,
+            AppliedChange::Delta { .. }
+                | AppliedChange::Replace { .. }
+                | AppliedChange::Incremental { .. }
+        ) {
+            for batch in &mut view.deferred {
+                batch.retain(|m| !rec.keys.contains(&m.key.0));
+            }
+            view.deferred.retain(|b| !b.is_empty());
+        }
+    }
+    for (view, vr) in st.views.iter_mut().zip(&rec.view_reflected) {
+        view.reflected = vr.clone();
     }
     st.reflected = rec.reflected.clone();
     // The committed batch leaves the queue.
@@ -495,6 +553,14 @@ fn enc_state(e: &mut Enc, st: &DurableState) {
         e.str(&v.sql);
         enc_seq(e, &v.cols, |e, c| e.str(c));
         rel_wire::enc_bag(e, &v.extent);
+        enc_seq(e, &v.reflected, |e, (s, ver)| {
+            e.u32(*s);
+            e.u64(*ver);
+        });
+        enc_seq(e, &v.deferred, |e, batch| {
+            enc_seq(e, batch, |e, m| core_wire::enc_meta(e, m, src_wire::enc_message));
+        });
+        e.u8(v.tier);
     });
     enc_seq(e, &st.reflected, |e, (s, v)| {
         e.u32(*s);
@@ -524,6 +590,11 @@ fn dec_state(d: &mut Dec<'_>) -> Result<DurableState, WireError> {
             sql: d.str()?,
             cols: dec_seq(d, |d| d.str())?,
             extent: rel_wire::dec_bag(d)?,
+            reflected: dec_seq(d, |d| Ok((d.u32()?, d.u64()?)))?,
+            deferred: dec_seq(d, |d| {
+                dec_seq(d, |d| core_wire::dec_meta(d, src_wire::dec_message))
+            })?,
+            tier: d.u8()?,
         })
     })?;
     let reflected = dec_seq(d, |d| Ok((d.u32()?, d.u64()?)))?;
@@ -561,10 +632,18 @@ fn enc_applied(e: &mut Enc, rec: &AppliedRecord) {
             e.str(sql);
             rel_wire::enc_bag(e, rows);
         }
+        AppliedChange::Skipped => e.u8(3),
+        AppliedChange::Deferred => e.u8(4),
     });
     enc_seq(e, &rec.reflected, |e, (s, v)| {
         e.u32(*s);
         e.u64(*v);
+    });
+    enc_seq(e, &rec.view_reflected, |e, vr| {
+        enc_seq(e, vr, |e, (s, v)| {
+            e.u32(*s);
+            e.u64(*v);
+        });
     });
 }
 
@@ -579,11 +658,14 @@ fn dec_applied(d: &mut Dec<'_>) -> Result<AppliedRecord, WireError> {
                 extent: rel_wire::dec_bag(d)?,
             },
             2 => AppliedChange::Incremental { sql: d.str()?, rows: rel_wire::dec_bag(d)? },
+            3 => AppliedChange::Skipped,
+            4 => AppliedChange::Deferred,
             t => return Err(WireError::Invalid(format!("applied change tag {t}"))),
         })
     })?;
     let reflected = dec_seq(d, |d| Ok((d.u32()?, d.u64()?)))?;
-    Ok(AppliedRecord { keys, changes, reflected })
+    let view_reflected = dec_seq(d, |d| dec_seq(d, |d| Ok((d.u32()?, d.u64()?))))?;
+    Ok(AppliedRecord { keys, changes, reflected, view_reflected })
 }
 
 /// Helper for warehouse/manager: sorted `(source, version)` pairs from any
@@ -632,6 +714,9 @@ mod tests {
                 sql: "CREATE VIEW V AS SELECT R.a FROM R".into(),
                 cols: vec!["a".into()],
                 extent: bag(&[1, 2]),
+                reflected: vec![(0, 3), (1, 1)],
+                deferred: vec![],
+                tier: 0,
             }],
             reflected: vec![(0, 3), (1, 1)],
             marks: vec![(0, 3), (1, 1)],
@@ -669,6 +754,7 @@ mod tests {
             keys: vec![7],
             changes: vec![AppliedChange::Delta { rows: bag(&[4]) }],
             reflected: vec![(0, 4), (1, 1)],
+            view_reflected: vec![vec![(0, 4), (1, 1)]],
         });
 
         let obs = Collector::wall();
@@ -680,6 +766,87 @@ mod tests {
         assert_eq!(recovered.marks, vec![(0, 3), (1, 2)], "admitted bumped source 1");
         assert_eq!(recovered.batches.len(), 1, "batch 7 gone, admitted 8 queued");
         assert_eq!(recovered.batches[0][0].key.0, 8);
+    }
+
+    /// Two-view state: V0 as in `sample_state`, V1 a peer over source 1.
+    fn two_view_state() -> DurableState {
+        let mut st = sample_state();
+        st.views.push(ViewState {
+            sql: "CREATE VIEW W AS SELECT R.a FROM R".into(),
+            cols: vec!["a".into()],
+            extent: bag(&[9]),
+            reflected: vec![(0, 3), (1, 1)],
+            deferred: vec![],
+            tier: 1,
+        });
+        st
+    }
+
+    #[test]
+    fn deferred_change_moves_the_batch_to_the_views_queue() {
+        let disk = MemStorage::new();
+        let mut log = DurableLog::create(Box::new(disk.clone())).unwrap();
+        let st = two_view_state();
+        log.checkpoint(&st);
+        // V0 commits batch 7, V1 defers it (its source was down): V1's
+        // vector freezes while V0's advances.
+        log.log_intent(&[7], false);
+        log.log_applied(&AppliedRecord {
+            keys: vec![7],
+            changes: vec![AppliedChange::Delta { rows: bag(&[4]) }, AppliedChange::Deferred],
+            reflected: vec![(0, 4), (1, 1)],
+            view_reflected: vec![vec![(0, 4), (1, 1)], vec![(0, 3), (1, 1)]],
+        });
+
+        let obs = Collector::wall();
+        let (_, recovered, _) = recover(Box::new(disk.clone()), &obs).unwrap();
+        assert_eq!(recovered.views[0].extent, bag(&[1, 2, 4]));
+        assert_eq!(recovered.views[0].reflected, vec![(0, 4), (1, 1)]);
+        assert_eq!(recovered.views[1].extent, bag(&[9]), "deferring view untouched");
+        assert_eq!(recovered.views[1].reflected, vec![(0, 3), (1, 1)], "frozen vector");
+        assert_eq!(recovered.views[1].deferred.len(), 1, "batch parked per-view");
+        assert_eq!(recovered.views[1].deferred[0][0].key.0, 7);
+        assert!(recovered.batches.is_empty(), "the shared queue is drained");
+
+        // The per-view drain later commits the deferred batch for V1 alone
+        // (V0 marked Skipped) — replay must resolve V1's deferred copy.
+        let mut log2 = DurableLog::create(Box::new(disk.clone())).unwrap();
+        log2.checkpoint(&recovered);
+        log2.log_intent(&[7], false);
+        log2.log_applied(&AppliedRecord {
+            keys: vec![7],
+            changes: vec![AppliedChange::Skipped, AppliedChange::Delta { rows: bag(&[4]) }],
+            reflected: vec![(0, 4), (1, 1)],
+            view_reflected: vec![vec![(0, 4), (1, 1)], vec![(0, 4), (1, 1)]],
+        });
+        let (_, drained, _) = recover(Box::new(disk), &obs).unwrap();
+        assert_eq!(drained.views[0].extent, bag(&[1, 2, 4]), "skipped peer untouched");
+        assert_eq!(drained.views[1].extent, bag(&[9, 4]));
+        assert!(drained.views[1].deferred.is_empty(), "deferred copy resolved");
+        assert_eq!(drained.views[1].reflected, vec![(0, 4), (1, 1)], "vector caught up");
+    }
+
+    #[test]
+    fn skipped_peer_keeps_its_own_deferred_copy() {
+        // Both views deferred batch 7; V0 drains it first. V1's copy must
+        // survive the drain record (its change is `Skipped`, not applied).
+        let mut st = two_view_state();
+        st.views[0].deferred = vec![vec![meta(7, 0, 4)]];
+        st.views[1].deferred = vec![vec![meta(7, 0, 4)]];
+        st.batches.clear();
+        let disk = MemStorage::new();
+        let mut log = DurableLog::create(Box::new(disk.clone())).unwrap();
+        log.checkpoint(&st);
+        log.log_applied(&AppliedRecord {
+            keys: vec![7],
+            changes: vec![AppliedChange::Delta { rows: bag(&[4]) }, AppliedChange::Skipped],
+            reflected: vec![(0, 4), (1, 1)],
+            view_reflected: vec![vec![(0, 4), (1, 1)], vec![(0, 3), (1, 1)]],
+        });
+        let obs = Collector::wall();
+        let (_, recovered, _) = recover(Box::new(disk), &obs).unwrap();
+        assert!(recovered.views[0].deferred.is_empty(), "drained view's copy resolved");
+        assert_eq!(recovered.views[1].deferred.len(), 1, "peer's copy survives");
     }
 
     #[test]
@@ -709,6 +876,7 @@ mod tests {
             keys: vec![7],
             changes: vec![AppliedChange::Delta { rows: bag(&[4]) }],
             reflected: vec![(0, 4), (1, 1)],
+            view_reflected: vec![vec![(0, 4), (1, 1)]],
         });
         // …but was never durable.
         let obs = Collector::wall();
@@ -737,7 +905,12 @@ mod tests {
         log.arm(CrashPlan { point: CrashPoint::BetweenSteps, skip: 0 });
         log.log_intent(&[1], false);
         assert!(!log.power_cut());
-        log.log_applied(&AppliedRecord { keys: vec![1], changes: vec![], reflected: vec![] });
+        log.log_applied(&AppliedRecord {
+            keys: vec![1],
+            changes: vec![],
+            reflected: vec![],
+            view_reflected: vec![],
+        });
         assert!(log.power_cut());
     }
 
@@ -778,7 +951,12 @@ mod tests {
         log.checkpoint(&sample_state());
         let frozen = disk.snapshot();
         log.arm(CrashPlan { point: CrashPoint::BetweenSteps, skip: 0 });
-        log.log_applied(&AppliedRecord { keys: vec![1], changes: vec![], reflected: vec![] });
+        log.log_applied(&AppliedRecord {
+            keys: vec![1],
+            changes: vec![],
+            reflected: vec![],
+            view_reflected: vec![],
+        });
         let after_cut = disk.snapshot();
         log.log_admitted(&meta(9, 0, 9));
         log.checkpoint(&sample_state());

@@ -15,11 +15,11 @@
 //!   them (their already-computed deltas are discarded — abort cost), so
 //!   every view reflects the same per-source state vector at all times.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 
 use dyno_core::{
     CorrectionPolicy, Dyno, DynoStats, MaintainOutcome, Maintainer, StepOutcome, Strategy, Umq,
-    UpdateKind, UpdateMeta,
+    UpdateKind, UpdateMeta, ViewDag,
 };
 use dyno_durable::storage::Storage;
 use dyno_obs::{field, Collector, Counter, Gauge, Level, StalenessTracker};
@@ -32,20 +32,74 @@ use crate::ingress::IngressGate;
 use crate::manager::{ReflectedVersions, ViewError, ViewStats};
 use crate::mview::MaterializedView;
 use crate::plan::PlanCache;
+use crate::subplan::SharedSubplans;
 use crate::viewdef::ViewDefinition;
-use crate::vm::sweep_maintain_observed;
+use crate::vm::{sweep_maintain_observed, sweep_maintain_shared};
 use crate::wal::{
     sorted_versions, AppliedChange, AppliedRecord, CrashPlan, DurableLog, DurableState,
     RecoverError, RecoverReport, ViewState,
 };
 
-/// One view's state inside the warehouse.
+/// One view's state inside the warehouse. Views advance independently: each
+/// slot carries its own reflected version vector and a queue of batches it
+/// had to defer (its source was unavailable) while its peers moved on.
 #[derive(Debug, Clone)]
 struct ViewSlot {
     view: ViewDefinition,
     mv: MaterializedView,
     stats: ViewStats,
     plans: PlanCache,
+    /// Per-source versions *this* view reflects.
+    reflected: ReflectedVersions,
+    /// Batches committed warehouse-wide but not yet applied to this view,
+    /// in arrival order (the per-view drain replays them FIFO).
+    deferred: VecDeque<Vec<UpdateMeta<UpdateMessage>>>,
+    /// SLA tier: lower tiers are refreshed/drained first.
+    tier: u8,
+    /// Staleness-tracker lane, when a tracker is attached.
+    lane: Option<usize>,
+    /// Sources this view's definition reads (resolved at initialize).
+    sources: Vec<u32>,
+}
+
+impl ViewSlot {
+    fn new(view: ViewDefinition, tier: u8) -> Self {
+        let mv = MaterializedView::new(view.name.clone(), view.output_cols());
+        ViewSlot {
+            view,
+            mv,
+            stats: ViewStats::default(),
+            plans: PlanCache::new(),
+            reflected: HashMap::new(),
+            deferred: VecDeque::new(),
+            tier,
+            lane: None,
+            sources: Vec::new(),
+        }
+    }
+
+    fn sorted_reflected(&self) -> Vec<(u32, u64)> {
+        sorted_versions(self.reflected.iter().map(|(s, v)| (s.0, *v)))
+    }
+}
+
+/// What one batch does to one view slot.
+enum Disposition {
+    /// The batch touches this view: maintenance runs against it.
+    Active,
+    /// No updated relation is referenced: the extent is untouched, the
+    /// view's vector still advances (irrelevant-by-relation updates cannot
+    /// change its evaluation).
+    Skip,
+    /// The slot already holds deferred batches (or its source turned out to
+    /// be unavailable): the batch joins its FIFO queue, the vector freezes.
+    Defer,
+}
+
+/// A staged (computed but uncommitted) change for one view.
+enum Staged {
+    Delta(crate::vm::ViewDelta),
+    Adapted(Adapted),
 }
 
 /// A set of materialized views maintained together.
@@ -68,6 +122,14 @@ pub struct Warehouse {
     umq_shed: Counter,
     mv_clamped: Counter,
     staleness: Option<StalenessTracker>,
+    /// Source → view dependency DAG (tiers + fan-out topology).
+    dag: ViewDag,
+    /// Whether overlapping views share first-hop join subplans per batch.
+    share_subplans: bool,
+    divergent: Counter,
+    shared_hits: Counter,
+    shared_misses: Counter,
+    drains: Counter,
 }
 
 impl Warehouse {
@@ -90,7 +152,21 @@ impl Warehouse {
             umq_shed: Counter::default(),
             mv_clamped: Counter::default(),
             staleness: None,
+            dag: ViewDag::new(),
+            share_subplans: true,
+            divergent: Counter::default(),
+            shared_hits: Counter::default(),
+            shared_misses: Counter::default(),
+            drains: Counter::default(),
         }
+    }
+
+    /// Enables/disables cross-view sharing of first-hop join subplans
+    /// (default on). Shared and unshared execution produce bit-identical
+    /// view deltas; the toggle exists for benchmarking and bisection.
+    pub fn with_subplan_sharing(mut self, enabled: bool) -> Self {
+        self.share_subplans = enabled;
+        self
     }
 
     /// Overrides the correction policy. Mutates the scheduler in place, so
@@ -113,6 +189,10 @@ impl Warehouse {
         self.umq_admitted = obs.counter("umq.admitted");
         self.umq_shed = obs.counter("umq.shed");
         self.mv_clamped = obs.counter("view.clamped_rows");
+        self.divergent = obs.counter("safety.divergent_verdicts");
+        self.shared_hits = obs.counter("subplan.shared_hits");
+        self.shared_misses = obs.counter("subplan.shared_misses");
+        self.drains = obs.counter("view.deferred_drains");
         self.obs = obs;
         self
     }
@@ -186,6 +266,9 @@ impl Warehouse {
                     sql: s.view.to_string(),
                     cols: s.mv.cols().to_vec(),
                     extent: s.mv.extent().clone(),
+                    reflected: s.sorted_reflected(),
+                    deferred: s.deferred.iter().cloned().collect(),
+                    tier: s.tier,
                 })
                 .collect(),
             reflected: sorted_versions(self.reflected.iter().map(|(s, v)| (s.0, *v))),
@@ -240,13 +323,20 @@ impl Warehouse {
         let mut dyno = Dyno::new(state.strategy).with_obs(obs.clone());
         dyno.set_policy(state.policy);
         let mut slots = Vec::with_capacity(state.views.len());
-        for vs in &state.views {
+        let mut dag = ViewDag::new();
+        for (idx, vs) in state.views.iter().enumerate() {
             let view = ViewDefinition::parse(&vs.sql, "view")
                 .map_err(|e| RecoverError::Corrupt(format!("checkpointed view sql: {e}")))?;
-            let mut mv = MaterializedView::new(view.name.clone(), vs.cols.clone());
-            mv.replace(vs.cols.clone(), vs.extent.clone())
+            let mut slot = ViewSlot::new(view, vs.tier);
+            slot.mv
+                .replace(vs.cols.clone(), vs.extent.clone())
                 .map_err(|e| RecoverError::Corrupt(format!("checkpointed extent: {e}")))?;
-            slots.push(ViewSlot { view, mv, stats: ViewStats::default(), plans: PlanCache::new() });
+            slot.reflected = vs.reflected.iter().map(|&(s, v)| (SourceId(s), v)).collect();
+            slot.deferred = vs.deferred.iter().cloned().collect();
+            // The sources a view reads are exactly the ones it reflects.
+            slot.sources = vs.reflected.iter().map(|&(s, _)| s).collect();
+            dag.add_view(idx, &slot.sources, slot.tier);
+            slots.push(slot);
         }
         let mut ingress = IngressGate::new();
         ingress.bind_obs(&obs);
@@ -255,6 +345,7 @@ impl Warehouse {
         let umq = Umq::restore(state.batches, state.sc_flag);
         let umq_depth = obs.gauge("umq.depth");
         umq_depth.set(umq.update_count() as i64);
+        let obs2 = obs.clone();
         let wh = Warehouse {
             dyno,
             umq,
@@ -272,25 +363,35 @@ impl Warehouse {
             wal: Some(log),
             umq_bound: None,
             staleness: None,
+            dag,
+            share_subplans: true,
+            divergent: obs2.counter("safety.divergent_verdicts"),
+            shared_hits: obs2.counter("subplan.shared_hits"),
+            shared_misses: obs2.counter("subplan.shared_misses"),
+            drains: obs2.counter("view.deferred_drains"),
         };
         Ok((wh, report))
     }
 
-    /// Registers a view. Call before [`Warehouse::initialize`].
+    /// Registers a view at tier 0. Call before [`Warehouse::initialize`].
     pub fn add_view(&mut self, view: ViewDefinition) {
-        let mv = MaterializedView::new(view.name.clone(), view.output_cols());
-        self.slots.push(ViewSlot {
-            view,
-            mv,
-            stats: ViewStats::default(),
-            plans: PlanCache::new(),
-        });
+        self.add_view_tiered(view, 0);
+    }
+
+    /// Registers a view at an SLA tier (lower = refreshed earlier when
+    /// several views need the same batch, and drained first after a
+    /// deferral). Call before [`Warehouse::initialize`].
+    pub fn add_view_tiered(&mut self, view: ViewDefinition, tier: u8) {
+        let idx = self.slots.len();
+        self.slots.push(ViewSlot::new(view, tier));
+        self.dag.add_view(idx, &[], tier);
     }
 
     /// Populates every view's extent from the sources' current states and
-    /// records the reflected versions.
+    /// records the reflected versions — global and per view — plus the
+    /// source→view dependency DAG and (when attached) the staleness lanes.
     pub fn initialize(&mut self, port: &mut dyn SourcePort) -> Result<(), ViewError> {
-        for slot in &mut self.slots {
+        for (idx, slot) in self.slots.iter_mut().enumerate() {
             let result = port.execute(&slot.view.query, &[]).map_err(ViewError::Internal)?;
             slot.mv.replace(result.cols, result.rows).map_err(ViewError::Internal)?;
             let mut sources: Vec<u32> = Vec::new();
@@ -298,15 +399,18 @@ impl Warehouse {
                 if let Some(sid) = port.locate(table) {
                     let v = port.source_version(sid);
                     self.reflected.insert(sid, v);
+                    slot.reflected.insert(sid, v);
                     if !sources.contains(&sid.0) {
                         sources.push(sid.0);
                     }
                 }
             }
+            sources.sort_unstable();
             if let Some(tracker) = &self.staleness {
-                sources.sort_unstable();
-                tracker.register_view(&slot.view.name, &sources);
+                slot.lane = Some(tracker.register_view(&slot.view.name, &sources));
             }
+            self.dag.add_view(idx, &sources, slot.tier);
+            slot.sources = sources;
         }
         // Messages for updates already included in the initial evaluation
         // must not be maintained again.
@@ -354,9 +458,26 @@ impl Warehouse {
                 self.umq_admitted.inc();
                 let kind = match &msg.update {
                     SourceUpdate::Data(_) => UpdateKind::Data,
-                    SourceUpdate::Schema(sc) => UpdateKind::Schema {
-                        invalidates_view: self.slots.iter().any(|s| s.view.is_invalidated_by(sc)),
-                    },
+                    SourceUpdate::Schema(sc) => {
+                        // Per-view safety verdicts: the SC is scheduled
+                        // first if it invalidates *any* view; a split
+                        // verdict (safe for A, unsafe for B) is the
+                        // cross-view safety divergence the monitor tracks.
+                        let verdicts: Vec<bool> =
+                            self.slots.iter().map(|s| s.view.is_invalidated_by(sc)).collect();
+                        let any = verdicts.iter().any(|&b| b);
+                        if any && !verdicts.iter().all(|&b| b) {
+                            self.divergent.inc();
+                            if self.obs.tracing_on() {
+                                self.obs.event(
+                                    Level::Info,
+                                    "safety.divergent_verdict",
+                                    &[field("update", msg.id.0)],
+                                );
+                            }
+                        }
+                        UpdateKind::Schema { invalidates_view: any }
+                    }
                 };
                 self.obs.prov(
                     msg.id.0,
@@ -377,10 +498,19 @@ impl Warehouse {
         self.umq_depth.set(self.umq.update_count() as i64);
     }
 
-    /// Drains arrivals and runs one scheduling step.
+    /// Drains arrivals, replays any view's deferred batches that have
+    /// become maintainable (per-view catch-up, in tier order), then runs
+    /// one scheduling step.
+    ///
+    /// The deferred drain runs *before* the scheduler because Dyno reports
+    /// `Idle` on an empty queue without consulting the maintainer — a
+    /// warehouse whose only remaining work is deferred would otherwise
+    /// never catch up. A step whose scheduler was idle but whose drain
+    /// committed reports `Committed`.
     pub fn step(&mut self, port: &mut dyn SourcePort) -> Result<StepOutcome, ViewError> {
         let arrivals = port.drain_arrivals();
         self.ingest(arrivals);
+        let drained_commits = self.drain_deferred(port)?;
         let mut ctx = WarehouseCtx {
             slots: &mut self.slots,
             info: &self.info,
@@ -393,17 +523,18 @@ impl Warehouse {
             wal: &mut self.wal,
             clamp: self.umq_bound.is_some(),
             clamped: self.mv_clamped.clone(),
+            staleness: self.staleness.as_ref(),
+            share: self.share_subplans,
+            shared_hits: self.shared_hits.clone(),
+            shared_misses: self.shared_misses.clone(),
+            divergent: self.divergent.clone(),
         };
-        let outcome = self.dyno.step(&mut self.umq, &mut ctx);
+        let mut outcome = self.dyno.step(&mut self.umq, &mut ctx);
         let drained = std::mem::take(&mut ctx.drained);
         self.ingest(drained);
         self.umq_depth.set(self.umq.update_count() as i64);
-        if outcome == StepOutcome::Committed {
-            if let Some(tracker) = &self.staleness {
-                let reflected: Vec<(u32, u64)> =
-                    sorted_versions(self.reflected.iter().map(|(s, v)| (s.0, *v)));
-                tracker.note_refresh(&reflected, self.obs.now_us());
-            }
+        if outcome == StepOutcome::Idle && drained_commits > 0 {
+            outcome = StepOutcome::Committed;
         }
         if outcome == StepOutcome::Failed {
             // Keep the error inspectable through `last_error()` even after
@@ -489,10 +620,277 @@ impl Warehouse {
         self.dyno.stats()
     }
 
-    /// Per-source versions every view currently reflects (they advance in
-    /// lockstep — entries are maintained atomically across views).
+    /// Per-source versions the warehouse as a whole has maintained (the
+    /// admission floor). A deferring view's own vector may trail this —
+    /// see [`Warehouse::view_reflected`].
     pub fn reflected(&self) -> &ReflectedVersions {
         &self.reflected
+    }
+
+    /// The `i`-th view's own reflected version vector, sorted by source.
+    pub fn view_reflected(&self, i: usize) -> Vec<(u32, u64)> {
+        self.slots[i].sorted_reflected()
+    }
+
+    /// Batches currently deferred by the `i`-th view.
+    pub fn deferred_len(&self, i: usize) -> usize {
+        self.slots[i].deferred.len()
+    }
+
+    /// Batches currently deferred across all views.
+    pub fn deferred_total(&self) -> usize {
+        self.slots.iter().map(|s| s.deferred.len()).sum()
+    }
+
+    /// The source→view dependency DAG.
+    pub fn dag(&self) -> &ViewDag {
+        &self.dag
+    }
+
+    /// Times per-view safety verdicts diverged — an SC safe for one view
+    /// but unsafe for another, or a batch some views committed while others
+    /// deferred (mirrors `safety.divergent_verdicts`).
+    pub fn divergent_verdicts(&self) -> u64 {
+        self.divergent.get()
+    }
+
+    /// First-hop subplans served from the cross-view cache (mirrors
+    /// `subplan.shared_hits`).
+    pub fn subplan_hits(&self) -> u64 {
+        self.shared_hits.get()
+    }
+
+    /// First-hop subplans computed (mirrors `subplan.shared_misses`).
+    pub fn subplan_misses(&self) -> u64 {
+        self.shared_misses.get()
+    }
+
+    /// Deferred batches replayed to their view by the drain (mirrors
+    /// `view.deferred_drains`).
+    pub fn drained_commits(&self) -> u64 {
+        self.drains.get()
+    }
+
+    /// Unregisters the `i`-th view: its slot (extent, deferred queue) is
+    /// dropped, its staleness lane retired, the DAG rebuilt over the
+    /// remaining views, and — when a WAL is attached — a fresh checkpoint
+    /// written so subsequent `Applied` records match the new view count.
+    pub fn drop_view(&mut self, i: usize) {
+        let slot = self.slots.remove(i);
+        if let (Some(tracker), Some(lane)) = (&self.staleness, slot.lane) {
+            tracker.drop_view(lane);
+        }
+        self.dag = ViewDag::new();
+        for (idx, s) in self.slots.iter().enumerate() {
+            self.dag.add_view(idx, &s.sources, s.tier);
+        }
+        self.checkpoint_now();
+    }
+
+    /// The commit/drain order: ascending SLA tier, slot index breaking ties
+    /// (the DAG's refresh order, restricted to registered slots).
+    fn commit_order(&self) -> Vec<usize> {
+        let mut order: Vec<usize> = (0..self.slots.len()).collect();
+        order.sort_by_key(|&i| (self.slots[i].tier, i));
+        order
+    }
+
+    /// Replays deferred batches, per view in tier order, until each view's
+    /// queue is empty or blocked again. Returns how many batches committed.
+    ///
+    /// A deferred batch is maintained against *one* view with the rest of
+    /// that view's queue plus the shared UMQ as its SWEEP compensation set.
+    /// A broken query means the correcting SC is further down the view's
+    /// own queue: the drain merges batches forward up to and including the
+    /// next SC-bearing batch and retries as one atomic adaptation — the
+    /// per-view form of Dyno's cycle merge. If no SC is queued yet, the
+    /// batch stays deferred (the SC will arrive and defer behind it).
+    fn drain_deferred(&mut self, port: &mut dyn SourcePort) -> Result<u64, ViewError> {
+        let mut commits = 0u64;
+        for idx in self.commit_order() {
+            while let Some(front) = self.slots[idx].deferred.front() {
+                let batch = front.clone();
+                let schema_changes = batch.iter().filter(|m| m.payload.is_schema_change()).count();
+                let pending: Vec<UpdateMessage> = self.slots[idx]
+                    .deferred
+                    .iter()
+                    .skip(1)
+                    .flatten()
+                    .map(|m| m.payload.clone())
+                    .chain(self.umq.nodes().into_iter().flatten().map(|m| m.payload.clone()))
+                    .collect();
+                let is_single_du = batch.len() == 1 && !batch[0].payload.is_schema_change();
+                port.on_maintenance_event(MaintEvent::Begin {
+                    updates: batch.len(),
+                    schema_changes,
+                });
+                let (staged, arrivals) = {
+                    let slot = &mut self.slots[idx];
+                    if is_single_du {
+                        let (r, arrivals) = sweep_maintain_observed(
+                            &slot.view,
+                            &batch[0].payload,
+                            &pending,
+                            port,
+                            &mut slot.plans,
+                            &self.obs,
+                        );
+                        (r.map(Staged::Delta).map_err(BatchFailure::from), arrivals)
+                    } else {
+                        let refs: Vec<&UpdateMessage> = batch.iter().map(|m| &m.payload).collect();
+                        let (r, arrivals) = adapt_batch_observed(
+                            &slot.view,
+                            &refs,
+                            &pending,
+                            &self.info,
+                            self.adaptation,
+                            port,
+                            &self.obs,
+                        );
+                        (r.map(Staged::Adapted), arrivals)
+                    }
+                };
+                self.ingest(arrivals);
+                match staged {
+                    Ok(st) => {
+                        self.commit_drained(idx, &batch, st, schema_changes, port)?;
+                        commits += 1;
+                    }
+                    Err(BatchFailure::Unavailable(_)) => {
+                        self.obs.counter("view.parked").inc();
+                        port.on_maintenance_event(MaintEvent::Park);
+                        break;
+                    }
+                    Err(BatchFailure::Broken(_)) => {
+                        self.slots[idx].stats.aborts += 1;
+                        self.obs.counter("view.aborts").inc();
+                        port.on_maintenance_event(MaintEvent::Abort);
+                        let next_sc = self.slots[idx]
+                            .deferred
+                            .iter()
+                            .skip(1)
+                            .position(|b| b.iter().any(|m| m.payload.is_schema_change()));
+                        let Some(ahead) = next_sc else { break };
+                        let q = &mut self.slots[idx].deferred;
+                        let mut merged = q.pop_front().expect("front exists");
+                        for _ in 0..=ahead {
+                            merged.extend(q.pop_front().expect("position was in range"));
+                        }
+                        q.push_front(merged);
+                        // Retry the merged batch immediately.
+                    }
+                    Err(BatchFailure::Undefinable(e)) => {
+                        self.last_error = Some(ViewError::Undefinable(e.clone()));
+                        port.on_maintenance_event(MaintEvent::Abort);
+                        return Err(ViewError::Undefinable(e));
+                    }
+                    Err(BatchFailure::Internal(e)) => {
+                        self.last_error = Some(ViewError::Internal(e.clone()));
+                        port.on_maintenance_event(MaintEvent::Abort);
+                        return Err(ViewError::Internal(e));
+                    }
+                }
+            }
+        }
+        Ok(commits)
+    }
+
+    /// Commits one drained batch to one view: extent + definition update,
+    /// per-view vector advance, staleness refresh, and a WAL `Applied`
+    /// record whose peers are `Skipped` (they already handled these keys).
+    fn commit_drained(
+        &mut self,
+        idx: usize,
+        batch: &[UpdateMeta<UpdateMessage>],
+        staged: Staged,
+        schema_changes: usize,
+        port: &mut dyn SourcePort,
+    ) -> Result<(), ViewError> {
+        let keys: Vec<u64> = batch.iter().map(|m| m.key.0).collect();
+        if let Some(log) = self.wal.as_mut() {
+            log.log_intent(&keys, schema_changes > 0);
+        }
+        let clamp = self.umq_bound.is_some();
+        let log_change = self.wal.is_some().then(|| match &staged {
+            Staged::Delta(delta) => AppliedChange::Delta { rows: delta.rows.clone() },
+            Staged::Adapted(Adapted::Replaced { view, cols, extent }) => AppliedChange::Replace {
+                sql: view.to_string(),
+                cols: cols.clone(),
+                extent: extent.clone(),
+            },
+            Staged::Adapted(Adapted::Incremental { view, delta }) => {
+                AppliedChange::Incremental { sql: view.to_string(), rows: delta.rows.clone() }
+            }
+        });
+        {
+            let slot = &mut self.slots[idx];
+            let applied = match staged {
+                Staged::Delta(delta) => {
+                    let written = delta.rows.weight();
+                    apply_signed(&mut slot.mv, &delta.cols, &delta.rows, clamp, &self.mv_clamped)
+                        .map(|()| {
+                            port.charge_mv_write(written);
+                            slot.stats.du_committed += 1;
+                        })
+                }
+                Staged::Adapted(Adapted::Replaced { view, cols, extent }) => {
+                    let written = extent.weight();
+                    slot.mv.replace(cols, extent).map(|()| {
+                        port.charge_mv_write(written);
+                        slot.view = view;
+                        slot.plans.invalidate(schema_changes as u64, &self.obs);
+                        slot.stats.batches_committed += 1;
+                        slot.stats.batched_updates += batch.len() as u64;
+                    })
+                }
+                Staged::Adapted(Adapted::Incremental { view, delta }) => {
+                    let written = delta.rows.weight();
+                    apply_signed(&mut slot.mv, &delta.cols, &delta.rows, clamp, &self.mv_clamped)
+                        .map(|()| {
+                            port.charge_mv_write(written);
+                            slot.view = view;
+                            slot.plans.invalidate(schema_changes as u64, &self.obs);
+                            slot.stats.batches_committed += 1;
+                            slot.stats.incremental_batches += 1;
+                            slot.stats.batched_updates += batch.len() as u64;
+                        })
+                }
+            };
+            if let Err(e) = applied {
+                self.last_error = Some(ViewError::Internal(e.clone()));
+                port.on_maintenance_event(MaintEvent::Abort);
+                return Err(ViewError::Internal(e));
+            }
+            for meta in batch {
+                let entry = slot.reflected.entry(meta.payload.source).or_insert(0);
+                *entry = (*entry).max(meta.payload.source_version);
+            }
+            slot.deferred.pop_front();
+        }
+        if let (Some(tracker), Some(lane)) = (&self.staleness, self.slots[idx].lane) {
+            tracker.note_refresh_for(lane, &self.slots[idx].sorted_reflected(), self.obs.now_us());
+        }
+        if self.wal.is_some() {
+            let change = log_change.expect("built when a wal is attached");
+            let rec = AppliedRecord {
+                keys,
+                changes: (0..self.slots.len())
+                    .map(|i| if i == idx { change.clone() } else { AppliedChange::Skipped })
+                    .collect(),
+                reflected: sorted_versions(self.reflected.iter().map(|(s, v)| (s.0, *v))),
+                view_reflected: self.slots.iter().map(ViewSlot::sorted_reflected).collect(),
+            };
+            if let Some(log) = self.wal.as_mut() {
+                log.log_applied(&rec);
+            }
+        }
+        self.drains.inc();
+        self.obs.counter("view.commits").inc();
+        port.on_maintenance_event(MaintEvent::Commit);
+        if self.wal.as_ref().is_some_and(DurableLog::should_checkpoint) {
+            self.checkpoint_now();
+        }
+        Ok(())
     }
 }
 
@@ -511,6 +909,12 @@ struct WarehouseCtx<'a> {
     /// counted in `clamped` instead of failing maintenance.
     clamp: bool,
     clamped: Counter,
+    staleness: Option<&'a StalenessTracker>,
+    /// Whether overlapping views share first-hop subplans this batch.
+    share: bool,
+    shared_hits: Counter,
+    shared_misses: Counter,
+    divergent: Counter,
 }
 
 /// Applies a signed delta to a view extent: strict when maintenance is
@@ -570,28 +974,71 @@ impl Maintainer<UpdateMessage> for WarehouseCtx<'_> {
             self.obs.prov(meta.key.0, dyno_obs::stage::INTENT, &[]);
         }
 
-        // Phase 1: compute every view's change without committing anything,
-        // so a broken query in view k discards views 0..k's work too.
-        enum Staged {
-            Delta(crate::vm::ViewDelta),
-            Adapted(Adapted),
-        }
-        let mut staged: Vec<Staged> = Vec::with_capacity(self.slots.len());
-        for slot in self.slots.iter_mut() {
-            let outcome = if is_plain_du {
-                let (result, drained) = sweep_maintain_observed(
-                    &slot.view,
-                    &batch[0].payload,
-                    &pending,
-                    self.port,
-                    &mut slot.plans,
-                    self.obs,
-                );
-                self.drained.extend(drained);
-                match result {
-                    Ok(delta) => Staged::Delta(delta),
-                    Err(f) => return self.fail(BatchFailure::from(f)),
+        // Classify the batch per view. A slot with a non-empty deferred
+        // queue defers *unconditionally* (per-view FIFO: skip-advancing its
+        // vector past queued updates of the same source would corrupt the
+        // point-in-time audit). SC-bearing batches are active for every
+        // current slot — adaptation handles irrelevance internally, and the
+        // relation-irrelevance argument that justifies `Skip` only holds
+        // for data updates.
+        let has_sc = schema_changes > 0;
+        let mut dispo: Vec<Disposition> = self
+            .slots
+            .iter()
+            .map(|slot| {
+                if !slot.deferred.is_empty() {
+                    Disposition::Defer
+                } else if has_sc
+                    || batch.iter().any(|m| match &m.payload.update {
+                        SourceUpdate::Data(du) => slot.view.references_relation(&du.relation),
+                        SourceUpdate::Schema(_) => true,
+                    })
+                {
+                    Disposition::Active
+                } else {
+                    Disposition::Skip
                 }
+            })
+            .collect();
+
+        // Phase 1: compute every active view's change without committing
+        // anything, so a broken query in view k discards views 0..k's work
+        // too. Overlapping views share first-hop join subplans through one
+        // per-batch cache. A source being unavailable is per-view: that
+        // view defers while its peers proceed — unless *every* active view
+        // is blocked, which parks the whole entry (classic Dyno semantics).
+        let mut shared = if is_plain_du && self.share { Some(SharedSubplans::new()) } else { None };
+        let mut staged: Vec<Option<Staged>> = (0..self.slots.len()).map(|_| None).collect();
+        let mut active_total = 0usize;
+        let mut blocked = 0usize;
+        for i in 0..self.slots.len() {
+            if !matches!(dispo[i], Disposition::Active) {
+                continue;
+            }
+            active_total += 1;
+            let slot = &mut self.slots[i];
+            let result = if is_plain_du {
+                let (result, drained) = match shared.as_mut() {
+                    Some(sh) => sweep_maintain_shared(
+                        &slot.view,
+                        &batch[0].payload,
+                        &pending,
+                        self.port,
+                        &mut slot.plans,
+                        self.obs,
+                        sh,
+                    ),
+                    None => sweep_maintain_observed(
+                        &slot.view,
+                        &batch[0].payload,
+                        &pending,
+                        self.port,
+                        &mut slot.plans,
+                        self.obs,
+                    ),
+                };
+                self.drained.extend(drained);
+                result.map(Staged::Delta).map_err(BatchFailure::from)
             } else {
                 let refs: Vec<&UpdateMessage> = batch.iter().map(|m| &m.payload).collect();
                 let (result, drained) = adapt_batch_observed(
@@ -604,75 +1051,145 @@ impl Maintainer<UpdateMessage> for WarehouseCtx<'_> {
                     self.obs,
                 );
                 self.drained.extend(drained);
-                match result {
-                    Ok(adapted) => Staged::Adapted(adapted),
-                    Err(f) => return self.fail(f),
-                }
+                result.map(Staged::Adapted)
             };
-            staged.push(outcome);
+            match result {
+                Ok(s) => staged[i] = Some(s),
+                Err(BatchFailure::Unavailable(e)) => {
+                    blocked += 1;
+                    dispo[i] = Disposition::Defer;
+                    if self.obs.tracing_on() {
+                        self.obs.event(
+                            Level::Warn,
+                            "view.defer",
+                            &[field("view", i), field("error", e.to_string())],
+                        );
+                    }
+                }
+                Err(f) => return self.fail(f),
+            }
+        }
+        if let Some(sh) = &shared {
+            self.shared_hits.add(sh.hits());
+            self.shared_misses.add(sh.misses());
+        }
+        if active_total > 0 && blocked == active_total {
+            // Every view that needs this batch is blocked: nothing to
+            // commit, nothing to defer — park the entry and retry whole.
+            return self.fail(BatchFailure::Unavailable(RelationalError::Unavailable {
+                source: "batch".into(),
+                reason: format!("all {active_total} dependent views blocked"),
+            }));
+        }
+        if blocked > 0 {
+            // Split verdict: some views commit this batch, others defer.
+            self.divergent.inc();
         }
 
-        // Phase 2: commit to every view.
+        // Phase 2: commit in the DAG's refresh order (ascending tier, then
+        // slot index). Active slots apply their staged change; skipped
+        // slots advance their vector for free; deferring slots enqueue the
+        // batch and freeze.
+        let mut order: Vec<usize> = (0..self.slots.len()).collect();
+        order.sort_by_key(|&i| (self.slots[i].tier, i));
         let mut total_written: u64 = 0;
-        let mut logged_changes: Vec<AppliedChange> = Vec::new();
-        for (slot, change) in self.slots.iter_mut().zip(staged) {
-            if self.wal.is_some() {
-                logged_changes.push(match &change {
-                    Staged::Delta(delta) => AppliedChange::Delta { rows: delta.rows.clone() },
-                    Staged::Adapted(Adapted::Replaced { view, cols, extent }) => {
-                        AppliedChange::Replace {
-                            sql: view.to_string(),
-                            cols: cols.clone(),
-                            extent: extent.clone(),
-                        }
+        let mut logged_changes: Vec<AppliedChange> =
+            (0..self.slots.len()).map(|_| AppliedChange::Skipped).collect();
+        for &i in &order {
+            let slot = &mut self.slots[i];
+            match &dispo[i] {
+                Disposition::Defer => {
+                    logged_changes[i] = AppliedChange::Deferred;
+                    slot.deferred.push_back(batch.to_vec());
+                    continue;
+                }
+                Disposition::Skip => {
+                    // `logged_changes[i]` stays `Skipped`.
+                }
+                Disposition::Active => {
+                    let change = staged[i].take().expect("active slot staged a change");
+                    if self.wal.is_some() {
+                        logged_changes[i] = match &change {
+                            Staged::Delta(delta) => {
+                                AppliedChange::Delta { rows: delta.rows.clone() }
+                            }
+                            Staged::Adapted(Adapted::Replaced { view, cols, extent }) => {
+                                AppliedChange::Replace {
+                                    sql: view.to_string(),
+                                    cols: cols.clone(),
+                                    extent: extent.clone(),
+                                }
+                            }
+                            Staged::Adapted(Adapted::Incremental { view, delta }) => {
+                                AppliedChange::Incremental {
+                                    sql: view.to_string(),
+                                    rows: delta.rows.clone(),
+                                }
+                            }
+                        };
                     }
-                    Staged::Adapted(Adapted::Incremental { view, delta }) => {
-                        AppliedChange::Incremental {
-                            sql: view.to_string(),
-                            rows: delta.rows.clone(),
+                    let applied = match change {
+                        Staged::Delta(delta) => {
+                            let written = delta.rows.weight();
+                            apply_signed(
+                                &mut slot.mv,
+                                &delta.cols,
+                                &delta.rows,
+                                self.clamp,
+                                &self.clamped,
+                            )
+                            .map(|()| {
+                                self.port.charge_mv_write(written);
+                                total_written += written;
+                                slot.stats.du_committed += 1;
+                            })
                         }
+                        Staged::Adapted(Adapted::Replaced { view, cols, extent }) => {
+                            let written = extent.weight();
+                            slot.mv.replace(cols, extent).map(|()| {
+                                self.port.charge_mv_write(written);
+                                total_written += written;
+                                slot.view = view;
+                                slot.plans.invalidate(schema_changes as u64, self.obs);
+                                slot.stats.batches_committed += 1;
+                                slot.stats.batched_updates += batch.len() as u64;
+                            })
+                        }
+                        Staged::Adapted(Adapted::Incremental { view, delta }) => {
+                            let written = delta.rows.weight();
+                            apply_signed(
+                                &mut slot.mv,
+                                &delta.cols,
+                                &delta.rows,
+                                self.clamp,
+                                &self.clamped,
+                            )
+                            .map(|()| {
+                                self.port.charge_mv_write(written);
+                                total_written += written;
+                                slot.view = view;
+                                slot.plans.invalidate(schema_changes as u64, self.obs);
+                                slot.stats.batches_committed += 1;
+                                slot.stats.incremental_batches += 1;
+                                slot.stats.batched_updates += batch.len() as u64;
+                            })
+                        }
+                    };
+                    if let Err(e) = applied {
+                        *self.last_error = Some(ViewError::Internal(e));
+                        self.port.on_maintenance_event(MaintEvent::Abort);
+                        return MaintainOutcome::Failed;
                     }
-                });
+                }
             }
-            let applied = match change {
-                Staged::Delta(delta) => {
-                    let written = delta.rows.weight();
-                    apply_signed(&mut slot.mv, &delta.cols, &delta.rows, self.clamp, &self.clamped)
-                        .map(|()| {
-                            self.port.charge_mv_write(written);
-                            total_written += written;
-                            slot.stats.du_committed += 1;
-                        })
-                }
-                Staged::Adapted(Adapted::Replaced { view, cols, extent }) => {
-                    let written = extent.weight();
-                    slot.mv.replace(cols, extent).map(|()| {
-                        self.port.charge_mv_write(written);
-                        total_written += written;
-                        slot.view = view;
-                        slot.plans.invalidate(schema_changes as u64, self.obs);
-                        slot.stats.batches_committed += 1;
-                        slot.stats.batched_updates += batch.len() as u64;
-                    })
-                }
-                Staged::Adapted(Adapted::Incremental { view, delta }) => {
-                    let written = delta.rows.weight();
-                    apply_signed(&mut slot.mv, &delta.cols, &delta.rows, self.clamp, &self.clamped)
-                        .map(|()| {
-                            self.port.charge_mv_write(written);
-                            total_written += written;
-                            slot.view = view;
-                            slot.plans.invalidate(schema_changes as u64, self.obs);
-                            slot.stats.batches_committed += 1;
-                            slot.stats.incremental_batches += 1;
-                            slot.stats.batched_updates += batch.len() as u64;
-                        })
-                }
-            };
-            if let Err(e) = applied {
-                *self.last_error = Some(ViewError::Internal(e));
-                self.port.on_maintenance_event(MaintEvent::Abort);
-                return MaintainOutcome::Failed;
+            // Committed and skipped slots advance their own vector;
+            // deferring slots froze above (they `continue`d).
+            for meta in batch {
+                let entry = slot.reflected.entry(meta.payload.source).or_insert(0);
+                *entry = (*entry).max(meta.payload.source_version);
+            }
+            if let (Some(tracker), Some(lane)) = (self.staleness, slot.lane) {
+                tracker.note_refresh_for(lane, &slot.sorted_reflected(), self.obs.now_us());
             }
         }
         for meta in batch {
@@ -681,13 +1198,16 @@ impl Maintainer<UpdateMessage> for WarehouseCtx<'_> {
         }
         // Commit protocol, write 2 of 2: one atomic record across every
         // view, making the whole batch durable or (on a crash) none of it —
-        // the durable form of Equation 6's all-or-nothing batch.
+        // the durable form of Equation 6's all-or-nothing batch. Deferring
+        // views are part of the atom: replay moves their copy of the batch
+        // into their durable deferred queue.
         let was_cut = self.wal.as_ref().is_some_and(|w| w.power_cut());
         if let Some(log) = self.wal.as_mut() {
             log.log_applied(&AppliedRecord {
                 keys: batch.iter().map(|m| m.key.0).collect(),
                 changes: logged_changes,
                 reflected: sorted_versions(self.reflected.iter().map(|(s, v)| (s.0, *v))),
+                view_reflected: self.slots.iter().map(ViewSlot::sorted_reflected).collect(),
             });
         }
         // Terminal provenance, skipped when the power was already cut
@@ -716,9 +1236,27 @@ impl Maintainer<UpdateMessage> for WarehouseCtx<'_> {
 
     fn refresh_view_relevance(&mut self, queue: &mut Umq<UpdateMessage>) {
         // Shadow-evolve every view through the queue; a schema change is
-        // relevant if it invalidates any shadow at its queue position.
+        // relevant if it invalidates any shadow at its queue position. A
+        // deferring view sees its own queued SCs *before* anything in the
+        // shared queue, so its shadow starts from its deferred tail.
         self.obs.counter("vs.relevance_refreshes").inc();
-        let mut shadows: Vec<ViewDefinition> = self.slots.iter().map(|s| s.view.clone()).collect();
+        let mut shadows: Vec<ViewDefinition> = self
+            .slots
+            .iter()
+            .map(|s| {
+                let mut shadow = s.view.clone();
+                for meta in s.deferred.iter().flatten() {
+                    if let SourceUpdate::Schema(sc) = &meta.payload.update {
+                        if shadow.is_invalidated_by(sc) {
+                            if let Ok(next) = crate::vs::synchronize(&shadow, sc, self.info) {
+                                shadow = next;
+                            }
+                        }
+                    }
+                }
+                shadow
+            })
+            .collect();
         for meta in queue.metas_mut() {
             if let SourceUpdate::Schema(sc) = &meta.payload.update {
                 let mut invalidates = false;
@@ -1159,6 +1697,272 @@ mod tests {
             "the dropped magnitude is visible as a counter"
         );
         assert!(wh.last_error().is_none(), "lossy apply is not a maintenance failure");
+    }
+
+    /// Delegates to an [`InProcessPort`] but reports queries touching a
+    /// relation in `down` as unavailable — the liveness failure that makes
+    /// one view defer while its peers proceed.
+    struct DownPort {
+        inner: InProcessPort,
+        down: std::collections::BTreeSet<String>,
+    }
+
+    impl DownPort {
+        fn new(inner: InProcessPort) -> Self {
+            DownPort { inner, down: Default::default() }
+        }
+
+        fn err(rel: &str) -> RelationalError {
+            RelationalError::Unavailable { source: rel.into(), reason: "host down".into() }
+        }
+    }
+
+    impl SourcePort for DownPort {
+        fn now_ms(&self) -> u64 {
+            self.inner.now_ms()
+        }
+
+        fn execute(
+            &mut self,
+            query: &SpjQuery,
+            bound: &[crate::engine::BoundTable],
+        ) -> Result<dyno_relational::QueryResult, RelationalError> {
+            if let Some(t) = query.tables.iter().find(|t| self.down.contains(t.as_str())) {
+                return Err(Self::err(t));
+            }
+            self.inner.execute(query, bound)
+        }
+
+        fn fetch_relation_at(
+            &mut self,
+            source: SourceId,
+            relation: &str,
+            version: u64,
+        ) -> Result<dyno_relational::Relation, RelationalError> {
+            if self.down.contains(relation) {
+                return Err(Self::err(relation));
+            }
+            self.inner.fetch_relation_at(source, relation, version)
+        }
+
+        fn locate(&mut self, relation: &str) -> Option<SourceId> {
+            self.inner.locate(relation)
+        }
+
+        fn source_version(&mut self, source: SourceId) -> u64 {
+            self.inner.source_version(source)
+        }
+
+        fn charge_local(&mut self, tuples: u64) {
+            self.inner.charge_local(tuples)
+        }
+
+        fn drain_arrivals(&mut self) -> Vec<UpdateMessage> {
+            self.inner.drain_arrivals()
+        }
+    }
+
+    #[test]
+    fn irrelevant_du_skips_but_advances_every_views_vector() {
+        let (mut wh, mut port) = warehouse();
+        let schema = port
+            .space()
+            .server(SourceId(2))
+            .catalog()
+            .get("ReaderDigest")
+            .unwrap()
+            .schema()
+            .clone();
+        let du = DataUpdate::new(
+            dyno_relational::Delta::inserts(
+                schema,
+                [dyno_relational::Tuple::of([
+                    dyno_relational::Value::str("On Views"),
+                    dyno_relational::Value::str("insightful"),
+                ])],
+            )
+            .unwrap(),
+        );
+        let msg = port.commit(SourceId(2), SourceUpdate::Data(du)).unwrap();
+        let before: Vec<_> = (0..3).map(|i| wh.mv(i).sorted_tuples()).collect();
+        wh.run_to_quiescence(&mut port, 100).unwrap();
+        for (i, extent) in before.iter().enumerate() {
+            assert_eq!(&wh.mv(i).sorted_tuples(), extent, "view {i} extent untouched");
+            assert!(
+                wh.view_reflected(i).contains(&(2, msg.source_version)),
+                "view {i} vector still advanced past the irrelevant update"
+            );
+        }
+        assert_eq!(wh.deferred_total(), 0, "nothing deferred: the batch was skipped, not parked");
+    }
+
+    #[test]
+    fn unavailable_source_defers_one_view_while_peers_commit() {
+        let space = bookinfo_space();
+        let info = space.info().clone();
+        let mut port = DownPort::new(InProcessPort::new(space));
+        let mut wh = Warehouse::new(info, Strategy::Pessimistic);
+        wh.add_view(bookinfo_view()); // Store ⋈ Item ⋈ Catalog — needs the Library
+        wh.add_view(pricelist_view()); // Store ⋈ Item — Retailer only
+        wh.add_view(catalog_view()); // Catalog only — the DU does not touch it
+        wh.initialize(&mut port).unwrap();
+
+        port.down.insert("Catalog".into());
+        port.inner
+            .commit(
+                SourceId(0),
+                SourceUpdate::Data(insert_item(10, "Data Integration Guide", "Adams", 36)),
+            )
+            .unwrap();
+        wh.run_to_quiescence(&mut port, 100).unwrap();
+
+        assert_eq!(wh.mv(1).len(), 2, "PriceList committed the insert");
+        assert_eq!(wh.deferred_len(0), 1, "BookInfo deferred it");
+        assert_eq!(wh.mv(0).len(), 1, "BookInfo's extent is frozen");
+        assert!(wh.divergent_verdicts() >= 1, "commit/defer split is a divergent verdict");
+        assert!(wh.subplan_hits() >= 1, "PriceList reused BookInfo's ΔItem ⋈ Store hop");
+        let retailer = |vec: Vec<(u32, u64)>| vec.iter().find(|&&(s, _)| s == 0).map(|&(_, v)| v);
+        assert!(
+            retailer(wh.view_reflected(0)) < retailer(wh.view_reflected(1)),
+            "the deferring view's Retailer version trails its peer's"
+        );
+
+        port.down.clear();
+        wh.run_to_quiescence(&mut port, 100).unwrap();
+        assert_eq!(wh.deferred_total(), 0, "the drain caught BookInfo up");
+        assert_eq!(wh.drained_commits(), 1);
+        assert_eq!(
+            wh.view_reflected(0).iter().find(|&&(s, _)| s == 0),
+            wh.view_reflected(1).iter().find(|&&(s, _)| s == 0),
+            "Retailer versions re-converge after the drain"
+        );
+        for i in 0..wh.view_count() {
+            let expected =
+                dyno_relational::eval(&wh.view(i).query, &port.inner.space().provider()).unwrap();
+            assert_eq!(wh.mv(i).extent(), &expected.rows, "view {i} converged");
+        }
+    }
+
+    #[test]
+    fn shared_and_unshared_execution_are_bit_identical() {
+        let run = |share: bool| {
+            let space = bookinfo_space();
+            let info = space.info().clone();
+            let mut port = InProcessPort::new(space);
+            let mut wh = Warehouse::new(info, Strategy::Pessimistic).with_subplan_sharing(share);
+            wh.add_view(bookinfo_view());
+            wh.add_view(pricelist_view());
+            wh.add_view(catalog_view());
+            wh.initialize(&mut port).unwrap();
+            for k in 0..4 {
+                port.commit(
+                    SourceId(0),
+                    SourceUpdate::Data(insert_item(10 + k, "Data Integration Guide", "Adams", 36)),
+                )
+                .unwrap();
+                wh.run_to_quiescence(&mut port, 100).unwrap();
+            }
+            let extents: Vec<_> = (0..wh.view_count()).map(|i| wh.mv(i).sorted_tuples()).collect();
+            (extents, wh.subplan_hits())
+        };
+        let (shared, hits) = run(true);
+        let (unshared, no_hits) = run(false);
+        assert_eq!(shared, unshared, "shared hops derive bit-identical view deltas");
+        assert!(hits >= 4, "each DU's ΔItem ⋈ Store hop was shared, got {hits}");
+        assert_eq!(no_hits, 0, "sharing off never consults the cache");
+    }
+
+    #[test]
+    fn dag_refresh_order_follows_tiers() {
+        let space = bookinfo_space();
+        let info = space.info().clone();
+        let mut port = InProcessPort::new(space);
+        let mut wh = Warehouse::new(info, Strategy::Pessimistic);
+        wh.add_view_tiered(bookinfo_view(), 1);
+        wh.add_view_tiered(pricelist_view(), 0);
+        wh.add_view_tiered(catalog_view(), 1);
+        wh.initialize(&mut port).unwrap();
+        assert_eq!(wh.dag().refresh_order(), vec![1, 0, 2], "ascending tier, index breaks ties");
+        assert_eq!(
+            wh.dag().dependents_of(1),
+            vec![0, 2],
+            "the Library feeds BookInfo and Titles, in refresh order"
+        );
+        assert!(wh.dag().overlapping(0).contains(&1), "BookInfo and PriceList share the Retailer");
+    }
+
+    #[test]
+    fn drop_view_retires_its_lane_and_checkpoints_the_new_shape() {
+        let space = bookinfo_space();
+        let info = space.info().clone();
+        let mut port = InProcessPort::new(space);
+        let disk = dyno_durable::MemStorage::new();
+        let tracker = dyno_obs::StalenessTracker::new(8);
+        let mut wh = Warehouse::new(info, Strategy::Pessimistic).with_staleness(tracker.clone());
+        wh.add_view(bookinfo_view());
+        wh.add_view(pricelist_view());
+        wh.add_view(catalog_view());
+        wh.initialize(&mut port).unwrap();
+        let mut wh = wh.with_wal(DurableLog::create(Box::new(disk.clone())).unwrap());
+        assert_eq!(wh.dag().view_count(), 3);
+
+        wh.drop_view(1);
+        assert_eq!(wh.view_count(), 2);
+        assert_eq!(wh.dag().view_count(), 2);
+        assert!(tracker.is_retired(1), "the dropped view's lane is tombstoned, not reindexed");
+
+        // Maintenance after the drop logs records in the 2-view shape and
+        // recovery replays them cleanly.
+        port.commit(
+            SourceId(0),
+            SourceUpdate::Data(insert_item(10, "Data Integration Guide", "Adams", 36)),
+        )
+        .unwrap();
+        wh.run_to_quiescence(&mut port, 100).unwrap();
+        let info = port.space().info().clone();
+        drop(wh);
+        let (back, report) = Warehouse::recover(Box::new(disk), info, Collector::wall()).unwrap();
+        assert_eq!(report.torn_records, 0);
+        assert_eq!(back.view_count(), 2);
+        assert_eq!(back.mv(0).len(), 2, "post-drop maintenance survived recovery");
+    }
+
+    #[test]
+    fn deferred_batch_survives_recovery_and_drains() {
+        let space = bookinfo_space();
+        let info = space.info().clone();
+        let disk = dyno_durable::MemStorage::new();
+        let mut port = DownPort::new(InProcessPort::new(space));
+        let mut wh = Warehouse::new(info, Strategy::Pessimistic);
+        wh.add_view(bookinfo_view());
+        wh.add_view(pricelist_view());
+        wh.initialize(&mut port).unwrap();
+        let mut wh = wh.with_wal(DurableLog::create(Box::new(disk.clone())).unwrap());
+
+        port.down.insert("Catalog".into());
+        port.inner
+            .commit(
+                SourceId(0),
+                SourceUpdate::Data(insert_item(10, "Data Integration Guide", "Adams", 36)),
+            )
+            .unwrap();
+        wh.run_to_quiescence(&mut port, 100).unwrap();
+        assert_eq!(wh.deferred_len(0), 1);
+
+        let info = port.inner.space().info().clone();
+        drop(wh);
+        let (mut back, _) = Warehouse::recover(Box::new(disk), info, Collector::wall()).unwrap();
+        assert_eq!(back.deferred_len(0), 1, "the deferred batch is durable");
+        assert_eq!(back.mv(1).len(), 2, "the peer's commit is durable");
+
+        port.down.clear();
+        back.run_to_quiescence(&mut port, 100).unwrap();
+        assert_eq!(back.deferred_total(), 0);
+        for i in 0..back.view_count() {
+            let expected =
+                dyno_relational::eval(&back.view(i).query, &port.inner.space().provider()).unwrap();
+            assert_eq!(back.mv(i).extent(), &expected.rows, "view {i} converged after restart");
+        }
     }
 
     #[test]

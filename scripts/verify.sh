@@ -117,6 +117,42 @@ test "$admitted" -gt 0
 test "$evals" -gt 0
 echo "monitor: admitted=$admitted shed=$shed slo_evaluations=$evals"
 
+echo "== multi-view smoke (shared maintenance DAG, per-view safety) =="
+# The differential multi-view suite (tests/multiview_props.rs): N
+# incrementally maintained views audited per view at every commit. The
+# summary must show the suite exercised >= 3 overlapping views, actually
+# served first-hop joins from the shared-subplan cache, and recorded at
+# least one batch whose safety verdicts split across views (safe for A,
+# unsafe/deferred for B) — a run that never shares and never diverges is
+# not testing the multi-view machinery.
+multiview_summary="$out/multiview_summary.txt"
+: > "$multiview_summary"
+DYNO_MULTIVIEW_SUMMARY="$multiview_summary" timeout 600 \
+    cargo test -q --release --offline --test multiview_props -- "${grid_flags[@]}"
+test -s "$multiview_summary"
+max_views="$(awk -F= '/^views=/ { if ($2 > n) n = $2 } END { print n+0 }' "$multiview_summary")"
+shared_hits="$(awk -F= '/^subplan.shared_hits=/ { n += $2 } END { print n+0 }' \
+    "$multiview_summary")"
+divergent="$(awk -F= '/^safety.divergent_verdicts=/ { n += $2 } END { print n+0 }' \
+    "$multiview_summary")"
+test "$max_views" -ge 3
+test "$shared_hits" -gt 0
+test "$divergent" -gt 0
+echo "multiview: views=$max_views subplan.shared_hits=$shared_hits" \
+     "safety.divergent_verdicts=$divergent (over $(wc -l < "$multiview_summary") lines)"
+
+echo "== multiview bench sweep (shared vs independent warehouses) =="
+# Shared-subplan maintenance must beat N independent single-view warehouses
+# by >= 1.5x at 3 overlapping views (the in-bin gate), and the whole sweep
+# must stay within 4x of the checked-in BENCH_pr8.json baseline — the same
+# loose-but-structural tolerance as the smoke gate above. The speedup
+# ratios (speedup_x1000_*) are scale-free, so the benchdiff comparison
+# also catches a sharing regression that a fast machine would mask.
+cargo run -q --release --offline -p dyno-bench --bin multiview -- \
+    --check-ratio 1.5 --json "$out/multiview.jsonl"
+cargo run -q --release --offline -p dyno-bench --bin benchdiff -- \
+    BENCH_pr8.json "$out/multiview.jsonl" --tol 4.0
+
 echo "== benchdiff self-check (a capture never regresses against itself) =="
 cargo run -q --release --offline -p dyno-bench --bin benchdiff -- \
     BENCH_scale.json BENCH_scale.json --tol 0

@@ -124,6 +124,60 @@ fn slow_source_pages_then_recovers() {
 }
 
 #[test]
+fn dropped_lane_stops_contributing_to_burn_rate_evaluation() {
+    // Regression: lanes registered by `Warehouse::initialize` were never
+    // deregistered, so a rotated-out tenant view kept aging forever and
+    // eventually paged the SLO on traffic it no longer consumed.
+    use dyno::obs::StalenessTracker;
+
+    let tracker = StalenessTracker::new(64);
+    tracker.set_slo(SloPolicy::target(1_000));
+    tracker.set_cadence(1_000_000, 0);
+    let a = tracker.register_view("A", &[0]);
+    let b = tracker.register_view("B", &[0]);
+    let c = tracker.register_view("C", &[1]);
+
+    // One commit each view reads, refreshed only by A and C: B is now the
+    // tenant being rotated out with a commit still pending.
+    tracker.note_commit(0, 1, 10);
+    tracker.note_commit(1, 1, 10);
+    tracker.note_refresh_for(a, &[(0, 1)], 500);
+    tracker.note_refresh_for(c, &[(1, 1)], 500);
+    assert!(tracker.current_staleness_us(b, 1_000) > 0, "B's pending commit is aging");
+
+    tracker.drop_view(b);
+    assert!(tracker.is_retired(b));
+    assert!(!tracker.is_retired(a) && !tracker.is_retired(c), "peers untouched");
+    assert_eq!(
+        tracker.current_staleness_us(b, u64::MAX / 2),
+        0,
+        "retirement discards the pending backlog"
+    );
+
+    // New commits and refreshes no longer touch the tombstoned lane…
+    tracker.note_commit(0, 2, 2_000);
+    assert_eq!(tracker.current_staleness_us(b, 1_000_000), 0, "retired lanes ignore commits");
+    let (count_before, ..) = tracker.lifetime(b);
+    tracker.note_refresh_for(b, &[(0, 2)], 2_500);
+    let (count_after, ..) = tracker.lifetime(b);
+    assert_eq!(count_before, count_after, "refreshing a retired lane is a no-op");
+
+    // …while surviving lanes keep their indexes and keep measuring.
+    tracker.note_refresh_for(a, &[(0, 2)], 3_000);
+    let (a_count, ..) = tracker.lifetime(a);
+    assert_eq!(a_count, 2, "A resolved both commits under its stable index");
+
+    // Burn-rate evaluation over many windows of un-refreshed aging: the
+    // survivors may escalate, the retired lane must stay out of the ladder.
+    tracker.note_commit(1, 2, 3_000);
+    tracker.maybe_sample(80_000_000);
+    let states = tracker.states();
+    assert_eq!(states.len(), 3, "tombstoned in place: indices stay stable");
+    assert_eq!(states[b].1, SloState::Ok, "a rotated-out view can never warn or page");
+    assert_ne!(states[c].1, SloState::Ok, "a live stalled lane still escalates");
+}
+
+#[test]
 fn monitor_report_is_a_pure_function_of_the_seed() {
     let a = run_monitor(&burst_cfg()).expect("run a").to_json();
     let b = run_monitor(&burst_cfg()).expect("run b").to_json();
