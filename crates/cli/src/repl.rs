@@ -395,6 +395,11 @@ impl Repl {
             return Err("usage: checkpoint <path>".into());
         }
         self.require_init()?;
+        if self.warehouse.umq_bound().is_some() {
+            // Checked up front: `with_wal` is a by-value builder, so letting
+            // it reject after the swap would drop the live warehouse.
+            return Err("cannot attach a WAL to a bounded (shedding) warehouse".into());
+        }
         let log = DurableLog::create(Box::new(FileStorage::new(path)))
             .map_err(|e| format!("cannot open log `{path}`: {e}"))?;
         // `with_wal` is a by-value builder; swap the warehouse through it.
@@ -402,7 +407,7 @@ impl Repl {
             &mut self.warehouse,
             Warehouse::new(dyno_source::InfoSpace::new(), Strategy::Pessimistic),
         );
-        self.warehouse = wh.with_wal(log);
+        self.warehouse = wh.with_wal(log).map_err(|e| e.to_string())?;
         Ok(format!("write-ahead log attached, state checkpointed to {path}"))
     }
 

@@ -2,7 +2,8 @@
 
 use std::fmt;
 
-/// The two dependency classes of the paper.
+/// The dependency classes: the paper's two intra-warehouse classes plus the
+/// cross-replica class replicated warehouses add.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum DepKind {
     /// Concurrent dependency (Definition 3): `M(X) cd← M(Y)` iff `M(X)`
@@ -15,6 +16,13 @@ pub enum DepKind {
     /// were committed at the same source and `Y` committed first — the view
     /// must reflect that source's states in commit order.
     Semantic,
+    /// Replica dependency: a committed extent delta from a peer warehouse
+    /// whose vector clock is causally **concurrent** with the receiver's
+    /// last write to the same key — neither happened-before the other, so
+    /// applying either blindly loses the other. Detected by
+    /// [`crate::VectorClock::compare`] and corrected deterministically
+    /// (HLC last-writer-wins; the loser is superseded, never applied).
+    Replica,
 }
 
 impl fmt::Display for DepKind {
@@ -22,6 +30,7 @@ impl fmt::Display for DepKind {
         match self {
             DepKind::Concurrent => f.write_str("cd"),
             DepKind::Semantic => f.write_str("sd"),
+            DepKind::Replica => f.write_str("rd"),
         }
     }
 }

@@ -144,11 +144,16 @@ impl DepGraph {
                         1
                     }
                 }
+                // Cross-replica conflicts never enter the intra-warehouse
+                // queue graph (they are detected at the peer-ingest path),
+                // but the class is numbered for forensics continuity.
+                DepKind::Replica => 5,
             };
             let with = nodes[d.prerequisite].first().map_or(0, |u| u.key.0);
             let kind = match d.kind {
                 DepKind::Concurrent => "CD",
                 DepKind::Semantic => "SD",
+                DepKind::Replica => "RD",
             };
             for u in nodes[d.dependent] {
                 obs.prov(
@@ -212,6 +217,7 @@ impl DepGraph {
             let (color, style) = match d.kind {
                 DepKind::Concurrent => ("red", "solid"),
                 DepKind::Semantic => ("blue", "dashed"),
+                DepKind::Replica => ("purple", "dotted"),
             };
             let penwidth = if d.is_unsafe() { 2.5 } else { 1.0 };
             out.push_str(&format!(

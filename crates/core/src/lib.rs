@@ -25,6 +25,7 @@
 
 #![warn(missing_docs)]
 
+pub mod clock;
 pub mod correct;
 pub mod dag;
 pub mod dependency;
@@ -35,6 +36,7 @@ pub mod tarjan;
 pub mod umq;
 pub mod wire;
 
+pub use clock::{CausalOrder, Hlc, VectorClock};
 pub use correct::{legal_schedule, merge_all_schedule, Schedule};
 pub use dag::ViewDag;
 pub use dependency::{classify_pair, DepKind, Dependency, PairRelationship};

@@ -26,13 +26,15 @@
 //! seed)`, which is what lets the chaos suite assert convergence instead of
 //! merely hoping for it.
 
+pub mod peernet;
 pub mod profile;
 pub mod recovery;
 pub mod retry;
 pub mod rng;
 pub mod transport;
 
+pub use peernet::{PartitionWindow, PeerNet};
 pub use profile::FaultProfile;
-pub use recovery::Recovery;
+pub use recovery::{Offer, Recovery, Sequencer};
 pub use retry::RetryPolicy;
 pub use transport::{ChaosTransport, Direct, QueryFault, Transport};

@@ -1,0 +1,346 @@
+//! Peer-to-peer delivery fabric for replicated warehouses: every ordered
+//! peer pair is a lossy link driven by the same seeded [`FaultProfile`]
+//! machinery as the source-side [`ChaosTransport`], plus the fault class
+//! replication adds — **network partitions**. A [`PartitionWindow`] severs
+//! both directions between one peer pair for a simulated-time window;
+//! messages sent into the partition are *held* and scheduled for delivery at
+//! the heal instant (the link layer retransmits until reachable), so a
+//! partition delays but never destroys.
+//!
+//! Like the wrapper send log on the ingress path, each link keeps every sent
+//! message until the receiver acks it, so a gap NACK can always refetch —
+//! dropped messages are withheld, not lost. Delivery order is deterministic:
+//! envelopes sit in a BTreeMap keyed by `(deliver_at, tie)` where `tie` is a
+//! monotone send counter.
+//!
+//! [`ChaosTransport`]: crate::transport::ChaosTransport
+
+use std::collections::BTreeMap;
+
+use dyno_obs::{Collector, Counter};
+
+use crate::profile::FaultProfile;
+use crate::rng::Rng;
+
+/// One scheduled (or held) envelope.
+#[derive(Debug, Clone)]
+struct Envelope<M> {
+    from: u16,
+    to: u16,
+    seq: u64,
+    msg: M,
+}
+
+/// A delivered message: `(from, to, seq, message)`.
+pub type Delivery<M> = (u16, u16, u64, M);
+
+/// Per-link state: the unacked send log, keyed by link sequence.
+#[derive(Debug, Clone)]
+struct Link<M> {
+    log: BTreeMap<u64, M>,
+}
+
+impl<M> Default for Link<M> {
+    fn default() -> Self {
+        Link { log: BTreeMap::new() }
+    }
+}
+
+/// A scheduled connectivity cut between peers `a` and `b` (both directions)
+/// over `[start_us, end_us)` of simulated time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PartitionWindow {
+    /// One side of the severed pair.
+    pub a: u16,
+    /// The other side.
+    pub b: u16,
+    /// First microsecond the pair is unreachable.
+    pub start_us: u64,
+    /// First microsecond the pair is reachable again.
+    pub end_us: u64,
+}
+
+impl PartitionWindow {
+    fn covers(&self, x: u16, y: u16, now_us: u64) -> bool {
+        let pair = (self.a == x && self.b == y) || (self.a == y && self.b == x);
+        pair && now_us >= self.start_us && now_us < self.end_us
+    }
+}
+
+/// The fault-injected peer fabric. `M` is the wire message (the replication
+/// engine sends encoded peer deltas).
+#[derive(Debug, Clone)]
+pub struct PeerNet<M> {
+    profile: FaultProfile,
+    rng: Rng,
+    links: BTreeMap<(u16, u16), Link<M>>,
+    /// Envelopes awaiting delivery, keyed `(deliver_at_us, tie)`.
+    inflight: BTreeMap<(u64, u64), Envelope<M>>,
+    partitions: Vec<PartitionWindow>,
+    /// Windows that have already held at least one message (counted once).
+    tripped: Vec<bool>,
+    tie: u64,
+    partitions_injected: u64,
+    injected_counter: Counter,
+}
+
+impl<M: Clone> PeerNet<M> {
+    /// A fabric injecting `profile`'s delivery faults from `seed`.
+    pub fn new(profile: FaultProfile, seed: u64) -> Self {
+        PeerNet {
+            profile,
+            rng: Rng::new(seed ^ 0xC0FF_EE00_D15C_0000),
+            links: BTreeMap::new(),
+            inflight: BTreeMap::new(),
+            partitions: Vec::new(),
+            tripped: Vec::new(),
+            tie: 0,
+            partitions_injected: 0,
+            injected_counter: Counter::default(),
+        }
+    }
+
+    /// Binds the `replica.partitions_injected` counter into a collector.
+    pub fn with_obs(mut self, obs: &Collector) -> Self {
+        self.injected_counter = obs.counter("replica.partitions_injected");
+        self
+    }
+
+    /// Schedules a partition window; overlapping windows compose (the pair
+    /// heals only when every covering window has ended).
+    pub fn add_partition(&mut self, w: PartitionWindow) {
+        self.partitions.push(w);
+        self.tripped.push(false);
+    }
+
+    /// True iff `a` and `b` are currently unreachable from each other.
+    pub fn partitioned(&self, a: u16, b: u16, now_us: u64) -> bool {
+        self.partitions.iter().any(|w| w.covers(a, b, now_us))
+    }
+
+    /// Partition windows that actually held traffic so far.
+    pub fn partitions_injected(&self) -> u64 {
+        self.partitions_injected
+    }
+
+    /// Messages currently scheduled or held for delivery.
+    pub fn inflight_len(&self) -> usize {
+        self.inflight.len()
+    }
+
+    /// Unacked messages retained in link send logs.
+    pub fn logged_len(&self) -> usize {
+        self.links.values().map(|l| l.log.len()).sum()
+    }
+
+    /// Latest sequence ever sent on the `from → to` link (0 if none).
+    pub fn last_sent(&self, from: u16, to: u16) -> u64 {
+        self.links.get(&(from, to)).and_then(|l| l.log.keys().next_back().copied()).unwrap_or(0)
+    }
+
+    /// The heal instant of the latest window covering `(a, b)` at `now_us`.
+    fn heal_at(&self, a: u16, b: u16, now_us: u64) -> u64 {
+        self.partitions
+            .iter()
+            .filter(|w| w.covers(a, b, now_us))
+            .map(|w| w.end_us)
+            .max()
+            .unwrap_or(now_us)
+    }
+
+    fn mark_tripped(&mut self, a: u16, b: u16, now_us: u64) {
+        for (i, w) in self.partitions.iter().enumerate() {
+            if w.covers(a, b, now_us) && !self.tripped[i] {
+                self.tripped[i] = true;
+                self.partitions_injected += 1;
+                self.injected_counter.inc();
+            }
+        }
+    }
+
+    fn schedule(&mut self, at_us: u64, env: Envelope<M>) {
+        self.tie += 1;
+        self.inflight.insert((at_us, self.tie), env);
+    }
+
+    /// Sends one sequenced message on the `from → to` link. The message
+    /// enters the link log unconditionally (acks prune it); delivery is then
+    /// subject to partitions, drops, duplication, delay and reordering.
+    pub fn send(&mut self, from: u16, to: u16, seq: u64, msg: M, now_us: u64) {
+        self.links.entry((from, to)).or_default().log.insert(seq, msg.clone());
+        let env = Envelope { from, to, seq, msg };
+
+        if self.partitioned(from, to, now_us) {
+            // Held until heal: the link layer keeps retransmitting, so the
+            // first post-heal instant is when delivery can first succeed.
+            self.mark_tripped(from, to, now_us);
+            let at = self.heal_at(from, to, now_us);
+            self.schedule(at, env);
+            return;
+        }
+
+        if self.profile.drop_pm > 0 && self.rng.gen_ratio(self.profile.drop_pm, 1000) {
+            // Withheld entirely; only the log copy survives, recoverable by
+            // a receiver gap NACK.
+            return;
+        }
+        let mut at = now_us;
+        if self.profile.delay_pm > 0
+            && self.profile.max_delay_us > 0
+            && self.rng.gen_ratio(self.profile.delay_pm, 1000)
+        {
+            at += self.rng.gen_range(0..self.profile.max_delay_us);
+        }
+        if self.profile.reorder_pm > 0 && self.rng.gen_ratio(self.profile.reorder_pm, 1000) {
+            // Small forward jitter: enough to invert arrival order among
+            // near-simultaneous sends without stalling quiescence.
+            at += self.rng.gen_range(1..1_000u64);
+        }
+        if self.profile.dup_pm > 0 && self.rng.gen_ratio(self.profile.dup_pm, 1000) {
+            let extra = self.rng.gen_range(0..self.profile.max_delay_us.max(1_000));
+            self.schedule(at + extra, env.clone());
+        }
+        self.schedule(at, env);
+    }
+
+    /// Every envelope due at or before `now_us`, in deterministic order.
+    /// Envelopes whose pair is (still, or again) partitioned at `now_us` are
+    /// re-held until the covering window heals.
+    pub fn poll(&mut self, now_us: u64) -> Vec<Delivery<M>> {
+        let mut out = Vec::new();
+        let due: Vec<(u64, u64)> =
+            self.inflight.range(..=(now_us, u64::MAX)).map(|(&k, _)| k).collect();
+        for key in due {
+            let env = self.inflight.remove(&key).expect("due key present");
+            if self.partitioned(env.from, env.to, now_us) {
+                self.mark_tripped(env.from, env.to, now_us);
+                let at = self.heal_at(env.from, env.to, now_us);
+                self.schedule(at, env);
+            } else {
+                out.push((env.from, env.to, env.seq, env.msg));
+            }
+        }
+        out
+    }
+
+    /// Gap refetch: returns every logged message on `origin → requester`
+    /// with sequence above `after`, immediately and reliably — unless the
+    /// pair is partitioned right now, in which case the NACK itself cannot
+    /// cross and the caller must retry after heal.
+    pub fn nack(&mut self, requester: u16, origin: u16, after: u64, now_us: u64) -> Vec<(u64, M)> {
+        if self.partitioned(origin, requester, now_us) {
+            self.mark_tripped(origin, requester, now_us);
+            return Vec::new();
+        }
+        match self.links.get(&(origin, requester)) {
+            Some(link) => link.log.range(after + 1..).map(|(&s, m)| (s, m.clone())).collect(),
+            None => Vec::new(),
+        }
+    }
+
+    /// The receiver acknowledged everything through `seq` on `from → to`;
+    /// the link log below the ack floor is pruned.
+    pub fn ack(&mut self, from: u16, to: u16, seq: u64) {
+        if let Some(link) = self.links.get_mut(&(from, to)) {
+            link.log = link.log.split_off(&(seq + 1));
+        }
+    }
+
+    /// The earliest instant anything in flight becomes due (for the
+    /// harness's virtual-time stepping), if anything is in flight.
+    pub fn next_event_us(&self) -> Option<u64> {
+        self.inflight.keys().next().map(|&(at, _)| at)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quiet_net() -> PeerNet<u64> {
+        PeerNet::new(FaultProfile::quiet(), 1)
+    }
+
+    #[test]
+    fn quiet_link_delivers_immediately_in_order() {
+        let mut net = quiet_net();
+        net.send(0, 1, 1, 10, 0);
+        net.send(0, 1, 2, 20, 0);
+        let got = net.poll(0);
+        assert_eq!(got, vec![(0, 1, 1, 10), (0, 1, 2, 20)]);
+        assert_eq!(net.inflight_len(), 0);
+        assert_eq!(net.logged_len(), 2, "log retained until acked");
+        net.ack(0, 1, 2);
+        assert_eq!(net.logged_len(), 0);
+    }
+
+    #[test]
+    fn partition_holds_until_heal_and_counts_once() {
+        let mut net = quiet_net();
+        net.add_partition(PartitionWindow { a: 0, b: 1, start_us: 100, end_us: 500 });
+        net.send(0, 1, 1, 10, 200);
+        net.send(1, 0, 1, 11, 250);
+        assert!(net.poll(499).is_empty(), "both directions held");
+        assert_eq!(net.partitions_injected(), 1, "window counted once");
+        let healed = net.poll(500);
+        assert_eq!(healed.len(), 2);
+        assert_eq!(healed[0], (0, 1, 1, 10));
+        assert_eq!(healed[1], (1, 0, 1, 11));
+    }
+
+    #[test]
+    fn partition_does_not_touch_other_pairs() {
+        let mut net = quiet_net();
+        net.add_partition(PartitionWindow { a: 0, b: 1, start_us: 0, end_us: 1_000 });
+        net.send(0, 2, 1, 7, 10);
+        assert_eq!(net.poll(10), vec![(0, 2, 1, 7)]);
+        assert_eq!(net.partitions_injected(), 0, "no traffic was held");
+    }
+
+    #[test]
+    fn dropped_messages_are_recoverable_by_nack() {
+        let mut net: PeerNet<u64> =
+            PeerNet::new(FaultProfile { drop_pm: 1000, ..FaultProfile::quiet() }, 3);
+        net.send(0, 1, 1, 10, 0);
+        net.send(0, 1, 2, 20, 0);
+        assert!(net.poll(1_000_000).is_empty(), "everything dropped");
+        let refetched = net.nack(1, 0, 0, 1_000_000);
+        assert_eq!(refetched, vec![(1, 10), (2, 20)]);
+    }
+
+    #[test]
+    fn nack_cannot_cross_a_partition() {
+        let mut net = quiet_net();
+        net.send(0, 1, 1, 10, 0);
+        net.add_partition(PartitionWindow { a: 0, b: 1, start_us: 50, end_us: 150 });
+        assert!(net.nack(1, 0, 0, 100).is_empty());
+        assert_eq!(net.nack(1, 0, 0, 150), vec![(1, 10)]);
+    }
+
+    #[test]
+    fn delayed_delivery_surfaces_next_event() {
+        let mut net: PeerNet<u64> = PeerNet::new(
+            FaultProfile { delay_pm: 1000, max_delay_us: 5_000, ..FaultProfile::quiet() },
+            9,
+        );
+        net.send(0, 1, 1, 10, 0);
+        if net.poll(0).is_empty() {
+            let at = net.next_event_us().expect("delayed envelope in flight");
+            assert!(at > 0 && at < 5_000);
+            assert_eq!(net.poll(at).len(), 1);
+        }
+    }
+
+    #[test]
+    fn same_seed_same_fault_schedule() {
+        let profile = FaultProfile::drop_dup();
+        let run = |seed| {
+            let mut net: PeerNet<u64> = PeerNet::new(profile, seed);
+            for s in 1..=50u64 {
+                net.send(0, 1, s, s, s * 10);
+            }
+            net.poll(u64::MAX / 2)
+        };
+        assert_eq!(run(42), run(42));
+    }
+}

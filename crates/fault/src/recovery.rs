@@ -35,14 +35,105 @@ impl RecoveryCounters {
     }
 }
 
-/// Per-source resequencing state between a [`Transport`] and the consumer.
+/// What [`Sequencer::offer`] decided about one message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Offer {
+    /// Redundant copy: at or below the release floor, or already buffered.
+    pub duplicate: bool,
+    /// Arrived ahead of a gap (`seq > floor + 1`).
+    pub out_of_order: bool,
+}
+
+/// The message-agnostic resequencing core: per-stream exactly-once, in-order
+/// release via a dense sequence number. Streams are keyed by `u32` (a
+/// `SourceId` for warehouse ingress, a peer replica id for the replication
+/// engine); the caller owns counters and gap refetching, the sequencer owns
+/// floors and reorder buffers.
+#[derive(Debug, Clone, Default)]
+pub struct Sequencer<M> {
+    /// Highest sequence released to the consumer, per stream.
+    delivered: HashMap<u32, u64>,
+    /// Out-of-order arrivals waiting for their predecessors, keyed by
+    /// stream then sequence (BTreeMaps so release order is deterministic).
+    buffer: BTreeMap<u32, BTreeMap<u64, M>>,
+}
+
+impl<M> Sequencer<M> {
+    /// A sequencer whose baseline is the per-stream sequences already known
+    /// to the consumer (messages at or below the baseline are duplicates).
+    pub fn new(baseline: HashMap<u32, u64>) -> Self {
+        Sequencer { delivered: baseline, buffer: BTreeMap::new() }
+    }
+
+    /// Highest sequence released for `stream` (0 if unknown).
+    pub fn delivered(&self, stream: u32) -> u64 {
+        self.delivered.get(&stream).copied().unwrap_or(0)
+    }
+
+    /// Registers `stream` and raises its release floor to at least `seq`
+    /// (used when restoring durable floors after a restart).
+    pub fn set_floor(&mut self, stream: u32, seq: u64) {
+        let d = self.delivered.entry(stream).or_insert(0);
+        *d = (*d).max(seq);
+    }
+
+    /// Messages currently parked in reorder buffers.
+    pub fn buffered(&self) -> usize {
+        self.buffer.values().map(BTreeMap::len).sum()
+    }
+
+    /// Every known stream (released or buffered), ascending.
+    pub fn streams(&self) -> Vec<u32> {
+        let mut s: Vec<u32> = self.delivered.keys().copied().collect();
+        s.sort_unstable();
+        s
+    }
+
+    /// Offers one message; duplicates are discarded, everything else parks
+    /// in the reorder buffer until [`Sequencer::pop_ready`].
+    pub fn offer(&mut self, stream: u32, seq: u64, m: M) -> Offer {
+        let d = self.delivered.entry(stream).or_insert(0);
+        if seq <= *d {
+            return Offer { duplicate: true, out_of_order: false };
+        }
+        let out_of_order = seq > *d + 1;
+        let duplicate = self.buffer.entry(stream).or_default().insert(seq, m).is_some();
+        Offer { duplicate, out_of_order }
+    }
+
+    /// Releases every contiguous prefix (per stream, ascending stream order)
+    /// into `out`, advancing the floors.
+    pub fn pop_ready(&mut self, out: &mut Vec<M>) {
+        for (s, buf) in self.buffer.iter_mut() {
+            let d = self.delivered.entry(*s).or_insert(0);
+            while let Some(entry) = buf.first_entry() {
+                if *entry.key() == *d + 1 {
+                    out.push(entry.remove());
+                    *d += 1;
+                } else {
+                    break;
+                }
+            }
+        }
+    }
+
+    /// Streams still holding parked messages, with their release floors —
+    /// i.e. where the caller should refetch `(floor, first_buffered)` from.
+    pub fn gaps(&self) -> Vec<(u32, u64)> {
+        self.buffer
+            .iter()
+            .filter(|(_, buf)| !buf.is_empty())
+            .map(|(&s, _)| (s, self.delivered(s)))
+            .collect()
+    }
+}
+
+/// Per-source resequencing state between a [`Transport`] and the consumer:
+/// a [`Sequencer`] keyed by source id plus the transport-facing NACK loop
+/// and fault counters.
 #[derive(Debug, Clone)]
 pub struct Recovery {
-    /// Highest version released to the consumer, per source.
-    delivered: HashMap<SourceId, u64>,
-    /// Out-of-order arrivals waiting for their predecessors, keyed by
-    /// source then version (BTreeMaps so release order is deterministic).
-    buffer: BTreeMap<SourceId, BTreeMap<u64, UpdateMessage>>,
+    seq: Sequencer<UpdateMessage>,
     /// False = broken-recovery ablation: everything passes through verbatim
     /// (duplicates, gaps and all), which demonstrably violates convergence.
     enabled: bool,
@@ -54,8 +145,7 @@ impl Recovery {
     /// to the consumer (messages at or below the baseline are duplicates).
     pub fn new(baseline: HashMap<SourceId, u64>) -> Self {
         Recovery {
-            delivered: baseline,
-            buffer: BTreeMap::new(),
+            seq: Sequencer::new(baseline.into_iter().map(|(s, v)| (s.0, v)).collect()),
             enabled: true,
             counters: RecoveryCounters::default(),
         }
@@ -77,12 +167,12 @@ impl Recovery {
 
     /// Highest version released for `source`.
     pub fn delivered(&self, source: SourceId) -> u64 {
-        self.delivered.get(&source).copied().unwrap_or(0)
+        self.seq.delivered(source.0)
     }
 
     /// Messages currently parked in reorder buffers.
     pub fn buffered(&self) -> usize {
-        self.buffer.values().map(BTreeMap::len).sum()
+        self.seq.buffered()
     }
 
     /// Feeds transport deliveries through the sequencer; released in-order
@@ -136,10 +226,8 @@ impl Recovery {
             out.extend(transport.poll(u64::MAX));
             return;
         }
-        let mut sources: Vec<SourceId> = self.delivered.keys().copied().collect();
-        sources.sort_unstable();
-        for s in sources {
-            let refetched = transport.nack(s, self.delivered(s));
+        for s in self.seq.streams() {
+            let refetched = transport.nack(SourceId(s), self.seq.delivered(s));
             for m in refetched {
                 self.insert(m);
             }
@@ -148,16 +236,11 @@ impl Recovery {
     }
 
     fn insert(&mut self, m: UpdateMessage) {
-        let d = self.delivered.entry(m.source).or_insert(0);
-        if m.source_version <= *d {
-            self.counters.duplicates_dropped.inc();
-            return;
-        }
-        if m.source_version > *d + 1 {
+        let offer = self.seq.offer(m.source.0, m.source_version, m);
+        if offer.out_of_order {
             self.counters.out_of_order.inc();
         }
-        let buf = self.buffer.entry(m.source).or_default();
-        if buf.insert(m.source_version, m).is_some() {
+        if offer.duplicate {
             self.counters.duplicates_dropped.inc();
         }
     }
@@ -166,20 +249,15 @@ impl Recovery {
     /// retries until the transport has nothing more to give.
     fn release(&mut self, transport: &mut dyn Transport, out: &mut Vec<UpdateMessage>) {
         loop {
-            self.pop_ready(out);
-            let gaps: Vec<(SourceId, u64)> = self
-                .buffer
-                .iter()
-                .filter(|(_, buf)| !buf.is_empty())
-                .map(|(&s, _)| (s, self.delivered(s)))
-                .collect();
+            self.seq.pop_ready(out);
+            let gaps = self.seq.gaps();
             if gaps.is_empty() {
                 return;
             }
             let mut refetched = Vec::new();
             for (s, d) in gaps {
                 self.counters.gap_refetches.inc();
-                refetched.extend(transport.nack(s, d));
+                refetched.extend(transport.nack(SourceId(s), d));
             }
             if refetched.is_empty() {
                 // The missing messages have not reached the transport yet
@@ -189,20 +267,6 @@ impl Recovery {
             }
             for m in refetched {
                 self.insert(m);
-            }
-        }
-    }
-
-    fn pop_ready(&mut self, out: &mut Vec<UpdateMessage>) {
-        for (s, buf) in self.buffer.iter_mut() {
-            let d = self.delivered.entry(*s).or_insert(0);
-            while let Some(entry) = buf.first_entry() {
-                if *entry.key() == *d + 1 {
-                    out.push(entry.remove());
-                    *d += 1;
-                } else {
-                    break;
-                }
             }
         }
     }
@@ -230,6 +294,33 @@ mod tests {
 
     fn versions(out: &[UpdateMessage]) -> Vec<(u32, u64)> {
         out.iter().map(|m| (m.source.0, m.source_version)).collect()
+    }
+
+    #[test]
+    fn sequencer_is_message_agnostic() {
+        let mut s: Sequencer<&'static str> = Sequencer::new(HashMap::new());
+        assert!(s.offer(7, 2, "b").out_of_order, "arrived over a gap");
+        assert!(s.offer(7, 2, "b2").duplicate, "buffer duplicate");
+        let mut out = Vec::new();
+        s.pop_ready(&mut out);
+        assert!(out.is_empty());
+        assert_eq!(s.gaps(), vec![(7, 0)]);
+        let first = s.offer(7, 1, "a");
+        assert!(!first.duplicate && !first.out_of_order);
+        s.pop_ready(&mut out);
+        assert_eq!(out, vec!["a", "b2"], "latest copy wins the buffer slot");
+        assert_eq!(s.delivered(7), 2);
+        assert!(s.offer(7, 2, "b3").duplicate, "below the floor");
+        assert_eq!(s.streams(), vec![7]);
+    }
+
+    #[test]
+    fn sequencer_set_floor_only_raises() {
+        let mut s: Sequencer<u8> = Sequencer::new(HashMap::new());
+        s.set_floor(1, 5);
+        s.set_floor(1, 3);
+        assert_eq!(s.delivered(1), 5);
+        assert!(s.offer(1, 4, 0).duplicate);
     }
 
     #[test]

@@ -35,14 +35,17 @@ impl Default for RetryPolicy {
 impl RetryPolicy {
     /// The backoff before retry number `attempt` (1-based): exponential in
     /// `attempt`, capped, plus up to `jitter_pm`‰ of deterministic jitter.
+    /// Every step saturates and the result is clamped at `max_backoff_us`,
+    /// so no attempt count or policy extreme can overflow past the
+    /// configured ceiling (attempt 0 is treated as attempt 1).
     pub fn backoff_us(&self, attempt: u32, rng: &mut Rng) -> u64 {
-        let exp = self.base_backoff_us.saturating_mul(1u64 << (attempt - 1).min(20));
+        let exp = self.base_backoff_us.saturating_mul(1u64 << attempt.saturating_sub(1).min(20));
         let capped = exp.min(self.max_backoff_us);
-        let jitter_span = capped * self.jitter_pm / 1000;
+        let jitter_span = capped.saturating_mul(self.jitter_pm.min(1000)) / 1000;
         if jitter_span == 0 {
             capped
         } else {
-            capped + rng.gen_range(0..jitter_span)
+            capped.saturating_add(rng.gen_range(0..jitter_span)).min(self.max_backoff_us)
         }
     }
 }
@@ -61,6 +64,40 @@ mod tests {
         assert_eq!(b1, policy.base_backoff_us);
         assert_eq!(b2, 2 * b1);
         assert_eq!(b6, policy.max_backoff_us, "capped at the ceiling");
+    }
+
+    #[test]
+    fn high_attempt_counts_never_overflow_past_the_ceiling() {
+        // Attempt 64+ used to feed `attempt - 1` into a shift whose result
+        // was multiplied by the jitter per-mille — with an extreme base the
+        // multiply wrapped. Every step now saturates and clamps.
+        let policy = RetryPolicy {
+            max_attempts: u32::MAX,
+            base_backoff_us: u64::MAX / 2,
+            max_backoff_us: u64::MAX,
+            budget_us: u64::MAX,
+            jitter_pm: 1000,
+        };
+        let mut rng = Rng::new(7);
+        for attempt in [64, 65, 100, 1000, u32::MAX] {
+            let b = policy.backoff_us(attempt, &mut rng);
+            assert!(b <= policy.max_backoff_us, "attempt {attempt} exceeded the ceiling");
+        }
+        // A finite ceiling holds even when base * jitter would overflow.
+        let capped = RetryPolicy { max_backoff_us: 1_000_000, ..policy };
+        for attempt in [1, 64, 128] {
+            let b = capped.backoff_us(attempt, &mut rng);
+            assert!(b <= capped.max_backoff_us, "attempt {attempt} exceeded the cap");
+        }
+    }
+
+    #[test]
+    fn attempt_zero_is_treated_as_attempt_one() {
+        // `attempt` is documented 1-based, but a 0 from a confused caller
+        // must not underflow the shift.
+        let policy = RetryPolicy { jitter_pm: 0, ..RetryPolicy::default() };
+        let mut rng = Rng::new(1);
+        assert_eq!(policy.backoff_us(0, &mut rng), policy.backoff_us(1, &mut rng));
     }
 
     #[test]

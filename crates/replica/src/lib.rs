@@ -1,0 +1,18 @@
+//! Peer replication for warehouses (DESIGN.md §17): N replicas maintain the
+//! same view set, exchange committed extent changes as stamped per-key
+//! post-images over a fault-injected peer network, detect causally
+//! concurrent remote writes as the cross-replica dependency class
+//! (`DepKind::Replica`, "rd"), and resolve them deterministically by
+//! hybrid-logical-clock last-writer-wins — so every replica converges to
+//! bit-identical extents once partitions heal.
+//!
+//! * [`wire`] — the [`PeerDelta`](wire::PeerDelta) message, conflict-register
+//!   [`Stamp`](wire::Stamp)s, and the durable record bodies.
+//! * [`engine`] — the per-replica [`ReplicaEngine`](engine::ReplicaEngine):
+//!   publish (log-then-send), receive/resolve, kill recovery.
+
+pub mod engine;
+pub mod wire;
+
+pub use engine::{msg_lineage_id, Outgoing, RemoteApply, ReplicaEngine, REPL_BIT};
+pub use wire::{PeerDelta, PublishedRecord, RemoteMeta, Stamp};

@@ -31,6 +31,7 @@ pub mod metrics;
 pub mod multiview;
 pub mod openloop;
 pub mod port;
+pub mod replica;
 pub mod runner;
 
 /// The in-repo seeded PRNG (now hosted by `dyno-fault`, re-exported here so
@@ -47,6 +48,7 @@ pub use metrics::Metrics;
 pub use multiview::{build_multiview, run_multiview, MultiViewConfig, MultiViewReport};
 pub use openloop::{run_monitor, tenant_views, MonitorConfig, MonitorReport};
 pub use port::{ScheduledCommit, SimPort};
+pub use replica::{build_replica_views, run_replicated, ReplicaConfig, ReplicaReport};
 pub use rng::Rng;
 pub use runner::{run_scenario, RunReport, Scenario};
 pub use testbed::{build_space, build_testbed, build_view, TestbedConfig};

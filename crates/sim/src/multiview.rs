@@ -254,7 +254,7 @@ pub fn run_multiview(cfg: &MultiViewConfig) -> MultiViewReport {
         let log = DurableLog::create(Box::new(disk.clone()))
             .expect("MemStorage never fails")
             .with_checkpoint_every(cfg.checkpoint_every);
-        wh = wh.with_wal(log);
+        wh = wh.with_wal(log).expect("no admission bound is configured");
     }
 
     let init_versions = port.space().versions();

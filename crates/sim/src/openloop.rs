@@ -181,7 +181,7 @@ pub fn run_monitor(cfg: &MonitorConfig) -> Result<MonitorReport, ViewError> {
 
     let mut wh = Warehouse::new(info, Strategy::Pessimistic).with_obs(port.obs().clone());
     if let Some(bound) = cfg.umq_bound {
-        wh = wh.with_umq_bound(bound);
+        wh = wh.with_umq_bound(bound).expect("open-loop warehouses never attach a WAL");
     }
     wh = wh.with_staleness(tracker.clone());
     wh.add_view(build_view(&cfg.testbed));

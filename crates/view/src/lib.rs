@@ -55,6 +55,6 @@ pub use vm::{
 pub use vs::{synchronize, synchronize_all, VsError};
 pub use wal::{
     AppliedChange, AppliedRecord, CrashPlan, CrashPoint, DurableLog, DurableState, RecoverError,
-    RecoverReport, ViewState,
+    RecoverReport, ReplicaTailEvent, ViewState,
 };
-pub use warehouse::Warehouse;
+pub use warehouse::{PendingPublish, Warehouse};

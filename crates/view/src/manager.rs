@@ -141,6 +141,8 @@ impl ViewManager {
             marks: self.core.ingress.marks(),
             batches: self.umq.nodes().iter().map(|b| b.to_vec()).collect(),
             sc_flag: self.umq.schema_change_flag(),
+            ext: Vec::new(),
+            tail: Vec::new(),
         }
     }
 

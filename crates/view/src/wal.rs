@@ -8,6 +8,7 @@
 //! | 2 | `Admitted(UpdateMeta)` | when the ingress gate admits a message to the UMQ |
 //! | 3 | `Intent{keys, has_sc}` | immediately **before** a batch's maintenance executes |
 //! | 4 | `Applied{keys, changes, reflected}` | immediately **after** the in-memory commit of a batch, as **one** record covering every view |
+//! | 5 | `Replica` (`Published{bytes}` / `Remote{view, key, post, applied, bytes}`) | when the replication engine publishes a commit's peer deltas (before they reach the network) and when a received peer delta is resolved (applied or superseded) |
 //!
 //! ## The recovery invariants
 //!
@@ -43,7 +44,7 @@ use dyno_durable::storage::Storage;
 use dyno_durable::wal::{Wal, WalError};
 use dyno_obs::{field, Collector};
 use dyno_relational::wire as rel_wire;
-use dyno_relational::SignedBag;
+use dyno_relational::{SignedBag, Value};
 use dyno_source::wire as src_wire;
 use dyno_source::UpdateMessage;
 
@@ -97,6 +98,60 @@ pub struct DurableState {
     pub batches: Vec<Vec<UpdateMeta<UpdateMessage>>>,
     /// The `NewSchemaChangeFlag`.
     pub sc_flag: bool,
+    /// Opaque replication-engine snapshot (vector clock, HLC, conflict
+    /// registers, outbox, sequence floors) — owned and encoded by the
+    /// engine, carried in every checkpoint. Empty when the warehouse is
+    /// not replicated.
+    pub ext: Vec<u8>,
+    /// Post-checkpoint replication events, rebuilt by replay and **never
+    /// encoded**: the engine pairs `Applied` with `Published` to re-publish
+    /// commits the crash cut off before their peer deltas went out, and
+    /// replays `Remote` write-backs/registers. Recovery truncates these
+    /// records with its closing checkpoint, so the engine must fold the
+    /// tail and re-checkpoint before normal operation resumes.
+    pub tail: Vec<ReplicaTailEvent>,
+}
+
+/// One post-checkpoint replication event surfaced to the engine by replay
+/// (see [`DurableState::tail`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReplicaTailEvent {
+    /// A local commit landed (its `Applied` record was durable). `rows` are
+    /// the per-view extent changes — enough for the engine to recompute
+    /// which `(view, key)` post-images the commit should have published.
+    Applied {
+        /// Update keys of the committed batch.
+        keys: Vec<u64>,
+        /// Per-view changed rows, in slot order (a `Replace` contributes
+        /// its whole new extent; `Skipped`/`Deferred` contribute nothing).
+        rows: Vec<SignedBag>,
+    },
+    /// The engine published the peer deltas for a commit; `bytes` is the
+    /// engine-encoded publish event (assigned sequences, message bodies,
+    /// stamps).
+    Published {
+        /// Engine-opaque publish event.
+        bytes: Vec<u8>,
+    },
+    /// A peer delta was received and resolved. Replay has already folded an
+    /// `applied` event's post-image into the view extent (exactly once);
+    /// `bytes` is the engine-encoded stamp metadata for register/floor
+    /// restoration.
+    Remote {
+        /// View slot the delta targeted.
+        view: u32,
+        /// Join-key column in the view's output row.
+        key_col: u32,
+        /// The key whose post-image the delta replaced.
+        key: Value,
+        /// The winning post-image rows.
+        post: SignedBag,
+        /// True iff the delta won resolution and was applied (a superseded
+        /// loser is logged too, so registers survive the crash).
+        applied: bool,
+        /// Engine-opaque stamp metadata.
+        bytes: Vec<u8>,
+    },
 }
 
 /// The change one `Applied` record carries for one view slot.
@@ -219,6 +274,10 @@ const TAG_CHECKPOINT: u8 = 1;
 const TAG_ADMITTED: u8 = 2;
 const TAG_INTENT: u8 = 3;
 const TAG_APPLIED: u8 = 4;
+const TAG_REPLICA: u8 = 5;
+
+const REPL_PUBLISHED: u8 = 0;
+const REPL_REMOTE: u8 = 1;
 
 /// Default checkpoint policy: snapshot after this many appended records.
 pub const DEFAULT_CHECKPOINT_EVERY: u64 = 64;
@@ -244,6 +303,7 @@ enum RecordKind {
     Admitted,
     Intent { batch_len: usize, has_sc: bool },
     Applied,
+    Replica,
 }
 
 impl DurableLog {
@@ -346,6 +406,42 @@ impl DurableLog {
         self.append(RecordKind::Applied, &e.finish());
     }
 
+    /// Logs the engine-encoded publish event for a commit — written
+    /// **before** the messages reach the network, so a crash after this
+    /// record re-sends (receivers dedupe by sequence) rather than assigning
+    /// the same sequences to different bodies.
+    pub fn log_replica_published(&mut self, bytes: &[u8]) {
+        let mut e = Enc::new();
+        e.u8(TAG_REPLICA);
+        e.u8(REPL_PUBLISHED);
+        e.bytes(bytes);
+        self.append(RecordKind::Replica, &e.finish());
+    }
+
+    /// Logs one received peer delta and its resolution. Replay folds an
+    /// `applied` record's post-image into the view extent exactly once;
+    /// `bytes` carries the engine's stamp metadata either way.
+    pub fn log_replica_remote(
+        &mut self,
+        view: u32,
+        key_col: u32,
+        key: &Value,
+        post: &SignedBag,
+        applied: bool,
+        bytes: &[u8],
+    ) {
+        let mut e = Enc::new();
+        e.u8(TAG_REPLICA);
+        e.u8(REPL_REMOTE);
+        e.u32(view);
+        e.u32(key_col);
+        rel_wire::enc_value(&mut e, key);
+        rel_wire::enc_bag(&mut e, post);
+        e.bool(applied);
+        e.bytes(bytes);
+        self.append(RecordKind::Replica, &e.finish());
+    }
+
     /// True when the size/record-count policy says it is checkpoint time.
     pub fn should_checkpoint(&self) -> bool {
         !self.cut && self.appends_since_ckpt >= self.checkpoint_every
@@ -420,7 +516,56 @@ pub fn recover(
                         .as_mut()
                         .ok_or_else(|| WireError::Invalid("record before checkpoint".into()))?;
                     apply_record(st, &rec)?;
+                    st.tail.push(ReplicaTailEvent::Applied {
+                        keys: rec.keys.clone(),
+                        rows: rec
+                            .changes
+                            .iter()
+                            .map(|c| match c {
+                                AppliedChange::Delta { rows }
+                                | AppliedChange::Incremental { rows, .. } => rows.clone(),
+                                AppliedChange::Replace { extent, .. } => extent.clone(),
+                                AppliedChange::Skipped | AppliedChange::Deferred => {
+                                    SignedBag::new()
+                                }
+                            })
+                            .collect(),
+                    });
                     open_intents.clear();
+                }
+                TAG_REPLICA => {
+                    let st = state
+                        .as_mut()
+                        .ok_or_else(|| WireError::Invalid("record before checkpoint".into()))?;
+                    match d.u8()? {
+                        REPL_PUBLISHED => {
+                            st.tail
+                                .push(ReplicaTailEvent::Published { bytes: d.bytes()?.to_vec() });
+                        }
+                        REPL_REMOTE => {
+                            let view = d.u32()?;
+                            let key_col = d.u32()?;
+                            let key = rel_wire::dec_value(&mut d)?;
+                            let post = rel_wire::dec_bag(&mut d)?;
+                            let applied = d.bool()?;
+                            let bytes = d.bytes()?.to_vec();
+                            if applied {
+                                let vs = st.views.get_mut(view as usize).ok_or_else(|| {
+                                    WireError::Invalid(format!("remote delta for view {view}"))
+                                })?;
+                                fold_remote(vs, key_col as usize, &key, &post);
+                            }
+                            st.tail.push(ReplicaTailEvent::Remote {
+                                view,
+                                key_col,
+                                key,
+                                post,
+                                applied,
+                                bytes,
+                            });
+                        }
+                        t => return Err(WireError::Invalid(format!("replica subtag {t}"))),
+                    }
                 }
                 t => return Err(WireError::Invalid(format!("record tag {t}"))),
             }
@@ -459,6 +604,22 @@ pub fn recover(
     // checkpoint.
     log.checkpoint(&state);
     Ok((log, state, report))
+}
+
+/// Replaces `key`'s rows in a view extent with the winning post-image — the
+/// replay-side mirror of [`Warehouse::apply_remote`](crate::Warehouse::apply_remote),
+/// idempotent because the post-image is absolute.
+fn fold_remote(vs: &mut ViewState, key_col: usize, key: &Value, post: &SignedBag) {
+    let mut delta = SignedBag::new();
+    for (t, w) in vs.extent.iter() {
+        if t.get(key_col) == key {
+            delta.add(t.clone(), -w);
+        }
+    }
+    for (t, w) in post.iter() {
+        delta.add(t.clone(), w);
+    }
+    vs.extent.merge(&delta);
 }
 
 fn bump_mark(marks: &mut Vec<(u32, u64)>, source: u32, version: u64) {
@@ -574,6 +735,7 @@ fn enc_state(e: &mut Enc, st: &DurableState) {
         enc_seq(e, batch, |e, m| core_wire::enc_meta(e, m, src_wire::enc_message));
     });
     e.bool(st.sc_flag);
+    e.bytes(&st.ext);
 }
 
 fn dec_state(d: &mut Dec<'_>) -> Result<DurableState, WireError> {
@@ -601,6 +763,7 @@ fn dec_state(d: &mut Dec<'_>) -> Result<DurableState, WireError> {
     let marks = dec_seq(d, |d| Ok((d.u32()?, d.u64()?)))?;
     let batches = dec_seq(d, |d| dec_seq(d, |d| core_wire::dec_meta(d, src_wire::dec_message)))?;
     let sc_flag = d.bool()?;
+    let ext = d.bytes()?.to_vec();
     Ok(DurableState {
         strategy,
         policy,
@@ -611,6 +774,8 @@ fn dec_state(d: &mut Dec<'_>) -> Result<DurableState, WireError> {
         marks,
         batches,
         sc_flag,
+        ext,
+        tail: Vec::new(),
     })
 }
 
@@ -722,6 +887,8 @@ mod tests {
             marks: vec![(0, 3), (1, 1)],
             batches: vec![vec![meta(7, 0, 4)]],
             sc_flag: false,
+            ext: vec![0xAB, 0xCD],
+            tail: Vec::new(),
         }
     }
 
@@ -935,6 +1102,56 @@ mod tests {
         let (_, again, report2) = recover(Box::new(disk), &obs).unwrap();
         assert_eq!(again, recovered);
         assert_eq!(report2.torn_records, 0, "the torn tail was truncated away");
+    }
+
+    #[test]
+    fn replica_records_fold_and_surface_in_the_tail() {
+        let disk = MemStorage::new();
+        let mut log = DurableLog::create(Box::new(disk.clone())).unwrap();
+        log.checkpoint(&sample_state());
+        log.log_replica_published(&[1, 2, 3]);
+        // A winning remote post-image replaces key 1's rows…
+        log.log_replica_remote(0, 0, &Value::Int(1), &bag(&[5]), true, &[9]);
+        // …a superseded loser is logged but never applied.
+        log.log_replica_remote(0, 0, &Value::Int(2), &bag(&[7]), false, &[8]);
+
+        let obs = Collector::wall();
+        let (_, recovered, report) = recover(Box::new(disk.clone()), &obs).unwrap();
+        assert_eq!(report.replayed_records, 4);
+        assert_eq!(recovered.views[0].extent, bag(&[2, 5]), "applied folded exactly once");
+        assert_eq!(recovered.tail.len(), 3);
+        assert_eq!(recovered.tail[0], ReplicaTailEvent::Published { bytes: vec![1, 2, 3] });
+        assert!(matches!(
+            &recovered.tail[1],
+            ReplicaTailEvent::Remote { applied: true, bytes, .. } if bytes == &vec![9]
+        ));
+        assert!(matches!(&recovered.tail[2], ReplicaTailEvent::Remote { applied: false, .. }));
+
+        // Recovery's closing checkpoint truncated the tail records: a
+        // second pass starts from the folded extent with an empty tail.
+        let (_, again, _) = recover(Box::new(disk), &obs).unwrap();
+        assert_eq!(again.views[0].extent, bag(&[2, 5]));
+        assert!(again.tail.is_empty());
+    }
+
+    #[test]
+    fn applied_records_surface_their_rows_in_the_tail() {
+        let disk = MemStorage::new();
+        let mut log = DurableLog::create(Box::new(disk.clone())).unwrap();
+        log.checkpoint(&sample_state());
+        log.log_intent(&[7], false);
+        log.log_applied(&AppliedRecord {
+            keys: vec![7],
+            changes: vec![AppliedChange::Delta { rows: bag(&[4]) }],
+            reflected: vec![(0, 4), (1, 1)],
+            view_reflected: vec![vec![(0, 4), (1, 1)]],
+        });
+        let obs = Collector::wall();
+        let (_, recovered, _) = recover(Box::new(disk), &obs).unwrap();
+        assert_eq!(
+            recovered.tail,
+            vec![ReplicaTailEvent::Applied { keys: vec![7], rows: vec![bag(&[4])] }]
+        );
     }
 
     #[test]

@@ -23,7 +23,7 @@ use dyno_core::{
 };
 use dyno_durable::storage::Storage;
 use dyno_obs::{field, Collector, Counter, Gauge, Level, StalenessTracker};
-use dyno_relational::{RelationalError, SignedBag, SourceUpdate};
+use dyno_relational::{RelationalError, SignedBag, SourceUpdate, Value};
 use dyno_source::{InfoSpace, SourceId, UpdateMessage};
 
 use crate::batch::{adapt_batch_observed, AdaptationMode, Adapted, BatchFailure};
@@ -37,7 +37,7 @@ use crate::viewdef::ViewDefinition;
 use crate::vm::{sweep_maintain_observed, sweep_maintain_shared};
 use crate::wal::{
     sorted_versions, AppliedChange, AppliedRecord, CrashPlan, DurableLog, DurableState,
-    RecoverError, RecoverReport, ViewState,
+    RecoverError, RecoverReport, ReplicaTailEvent, ViewState,
 };
 
 /// One view's state inside the warehouse. Views advance independently: each
@@ -102,6 +102,29 @@ enum Staged {
     Adapted(Adapted),
 }
 
+/// One committed batch waiting for the replication engine to publish it to
+/// peer warehouses (see [`Warehouse::take_published`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PendingPublish {
+    /// Update keys of the committed batch.
+    pub keys: Vec<u64>,
+    /// Per-view changed rows, in slot order (a full replace contributes its
+    /// whole new extent; untouched/deferring views contribute nothing) —
+    /// the engine derives the changed `(view, key)` post-images from these.
+    pub rows: Vec<SignedBag>,
+}
+
+/// The construction-time rejection for the documented-unsupported
+/// [`Warehouse::with_umq_bound`] + [`Warehouse::with_wal`] combination.
+fn shedding_wal_conflict() -> ViewError {
+    ViewError::Internal(RelationalError::InvalidQuery {
+        reason: "a bounded UMQ (admission shedding) cannot be combined with a WAL: \
+                 replay applies admitted deltas strictly, so recovery of a shedding \
+                 warehouse would diverge from the live process"
+            .into(),
+    })
+}
+
 /// A set of materialized views maintained together.
 #[derive(Debug, Clone)]
 pub struct Warehouse {
@@ -130,6 +153,17 @@ pub struct Warehouse {
     shared_hits: Counter,
     shared_misses: Counter,
     drains: Counter,
+    /// True once a replication engine is attached: commits queue
+    /// [`PendingPublish`] entries and auto-checkpoints are held while the
+    /// buffer is non-empty (a checkpoint must not outrun the durable
+    /// `Published` record for a commit it covers).
+    replicate: bool,
+    /// Commits awaiting publication to peer replicas.
+    publish: Vec<PendingPublish>,
+    /// Engine-owned replication snapshot, carried in every checkpoint.
+    replica_ext: Vec<u8>,
+    /// Post-checkpoint replication events restored by [`Warehouse::recover`].
+    replica_tail: Vec<ReplicaTailEvent>,
 }
 
 impl Warehouse {
@@ -158,6 +192,10 @@ impl Warehouse {
             shared_hits: Counter::default(),
             shared_misses: Counter::default(),
             drains: Counter::default(),
+            replicate: false,
+            publish: Vec::new(),
+            replica_ext: Vec::new(),
+            replica_tail: Vec::new(),
         }
     }
 
@@ -206,13 +244,17 @@ impl Warehouse {
     /// Shedding makes maintenance knowingly lossy: a later delete of a
     /// shed insert misses the extent, so bounded warehouses apply deltas
     /// clamped at zero and count the dropped magnitude in
-    /// `view.clamped_rows` instead of failing. Do not combine with
-    /// [`Warehouse::with_wal`]: the WAL logs raw admitted deltas and its
-    /// replay applies them strictly, so recovery of a shedding warehouse
-    /// is unsupported.
-    pub fn with_umq_bound(mut self, capacity: usize) -> Self {
+    /// `view.clamped_rows` instead of failing. The combination with
+    /// [`Warehouse::with_wal`] is rejected at construction: the WAL logs
+    /// raw admitted deltas and its replay applies them strictly, so
+    /// recovery of a shedding warehouse would diverge from the live
+    /// process.
+    pub fn with_umq_bound(mut self, capacity: usize) -> Result<Self, ViewError> {
+        if self.wal.is_some() {
+            return Err(shedding_wal_conflict());
+        }
         self.umq_bound = Some(capacity);
-        self
+        Ok(self)
     }
 
     /// Attaches a staleness tracker: [`Warehouse::initialize`] registers
@@ -244,12 +286,16 @@ impl Warehouse {
 
     /// Attaches a write-ahead log and writes the first checkpoint. Call
     /// **after** [`Warehouse::initialize`] so the baseline snapshot covers
-    /// the populated extents.
-    pub fn with_wal(mut self, mut log: DurableLog) -> Self {
+    /// the populated extents. Rejected when an admission bound is set —
+    /// see [`Warehouse::with_umq_bound`].
+    pub fn with_wal(mut self, mut log: DurableLog) -> Result<Self, ViewError> {
+        if self.umq_bound.is_some() {
+            return Err(shedding_wal_conflict());
+        }
         log.bind_obs(&self.obs);
         self.wal = Some(log);
         self.checkpoint_now();
-        self
+        Ok(self)
     }
 
     /// Snapshots everything recovery needs into a [`DurableState`].
@@ -275,6 +321,8 @@ impl Warehouse {
             marks: self.ingress.marks(),
             batches: self.umq.nodes().iter().map(|b| b.to_vec()).collect(),
             sc_flag: self.umq.schema_change_flag(),
+            ext: self.replica_ext.clone(),
+            tail: Vec::new(),
         }
     }
 
@@ -369,8 +417,103 @@ impl Warehouse {
             shared_hits: obs2.counter("subplan.shared_hits"),
             shared_misses: obs2.counter("subplan.shared_misses"),
             drains: obs2.counter("view.deferred_drains"),
+            replicate: false,
+            publish: Vec::new(),
+            replica_ext: state.ext.clone(),
+            replica_tail: state.tail.clone(),
         };
         Ok((wh, report))
+    }
+
+    /// Marks this warehouse as one peer of a replicated set: every commit
+    /// queues a [`PendingPublish`] entry for the replication engine, and
+    /// periodic checkpoints are held until the engine drains the buffer
+    /// (via [`Warehouse::take_published`]) and logs the publish events.
+    pub fn enable_replication(&mut self) {
+        self.replicate = true;
+    }
+
+    /// Drains the commits awaiting publication, oldest first.
+    pub fn take_published(&mut self) -> Vec<PendingPublish> {
+        std::mem::take(&mut self.publish)
+    }
+
+    /// True while commits are queued for publication.
+    pub fn publish_pending(&self) -> bool {
+        !self.publish.is_empty()
+    }
+
+    /// Stores the engine's encoded snapshot; carried in every later
+    /// checkpoint (see [`DurableState::ext`]).
+    pub fn set_replica_ext(&mut self, ext: Vec<u8>) {
+        self.replica_ext = ext;
+    }
+
+    /// The engine snapshot restored by [`Warehouse::recover`] (empty for a
+    /// fresh or non-replicated warehouse).
+    pub fn replica_ext(&self) -> &[u8] {
+        &self.replica_ext
+    }
+
+    /// Drains the post-checkpoint replication events [`Warehouse::recover`]
+    /// replayed from the WAL (the engine folds these exactly once).
+    pub fn take_replica_tail(&mut self) -> Vec<ReplicaTailEvent> {
+        std::mem::take(&mut self.replica_tail)
+    }
+
+    /// Writes the durable `Published` record for a commit's peer deltas —
+    /// call **before** handing the messages to the network.
+    pub fn log_replica_published(&mut self, bytes: &[u8]) {
+        if let Some(log) = self.wal.as_mut() {
+            log.log_replica_published(bytes);
+        }
+    }
+
+    /// Applies one resolved peer delta: when `applied`, `key`'s rows in
+    /// view `view` are replaced by the winning post-image `post` (returned
+    /// as the signed delta that was merged); a superseded loser only logs.
+    /// Either way the durable `Remote` record (with the engine's stamp
+    /// `meta`) lands so registers and floors survive a kill — replay
+    /// re-folds applied post-images idempotently, exactly once.
+    pub fn apply_remote(
+        &mut self,
+        view: usize,
+        key_col: usize,
+        key: &Value,
+        post: &SignedBag,
+        applied: bool,
+        meta: &[u8],
+    ) -> Result<SignedBag, ViewError> {
+        let mut delta = SignedBag::new();
+        if applied {
+            let slot = self.slots.get_mut(view).ok_or_else(|| {
+                ViewError::Internal(RelationalError::InvalidQuery {
+                    reason: format!("remote delta for unknown view {view}"),
+                })
+            })?;
+            for (t, w) in slot.mv.extent().iter() {
+                if t.get(key_col) == key {
+                    delta.add(t.clone(), -w);
+                }
+            }
+            for (t, w) in post.iter() {
+                delta.add(t.clone(), w);
+            }
+            let cols = slot.mv.cols().to_vec();
+            slot.mv.apply_delta(&cols, &delta).map_err(ViewError::Internal)?;
+        }
+        if let Some(log) = self.wal.as_mut() {
+            log.log_replica_remote(view as u32, key_col as u32, key, post, applied, meta);
+        }
+        Ok(delta)
+    }
+
+    /// Checkpoints when the record-count policy says so **and** no commit
+    /// is awaiting publication (the engine calls this after draining).
+    pub fn maybe_checkpoint(&mut self) {
+        if self.publish.is_empty() && self.wal.as_ref().is_some_and(DurableLog::should_checkpoint) {
+            self.checkpoint_now();
+        }
     }
 
     /// Registers a view at tier 0. Call before [`Warehouse::initialize`].
@@ -528,6 +671,8 @@ impl Warehouse {
             shared_hits: self.shared_hits.clone(),
             shared_misses: self.shared_misses.clone(),
             divergent: self.divergent.clone(),
+            replicate: self.replicate,
+            publish: &mut self.publish,
         };
         let mut outcome = self.dyno.step(&mut self.umq, &mut ctx);
         let drained = std::mem::take(&mut ctx.drained);
@@ -551,9 +696,7 @@ impl Warehouse {
             // later health check report a stale fault.
             self.last_error = None;
         }
-        if self.wal.as_ref().is_some_and(DurableLog::should_checkpoint) {
-            self.checkpoint_now();
-        }
+        self.maybe_checkpoint();
         Ok(outcome)
     }
 
@@ -598,6 +741,11 @@ impl Warehouse {
     /// Updates shed at the admission bound so far (mirrors `umq.shed`).
     pub fn shed_count(&self) -> u64 {
         self.umq_shed.get()
+    }
+
+    /// The admission bound, if one was set (see [`Warehouse::with_umq_bound`]).
+    pub fn umq_bound(&self) -> Option<usize> {
+        self.umq_bound
     }
 
     /// The `i`-th view's current definition.
@@ -810,6 +958,11 @@ impl Warehouse {
         if let Some(log) = self.wal.as_mut() {
             log.log_intent(&keys, schema_changes > 0);
         }
+        let pub_rows = self.replicate.then(|| match &staged {
+            Staged::Delta(delta) => delta.rows.clone(),
+            Staged::Adapted(Adapted::Replaced { extent, .. }) => extent.clone(),
+            Staged::Adapted(Adapted::Incremental { delta, .. }) => delta.rows.clone(),
+        });
         let clamp = self.umq_bound.is_some();
         let log_change = self.wal.is_some().then(|| match &staged {
             Staged::Delta(delta) => AppliedChange::Delta { rows: delta.rows.clone() },
@@ -873,7 +1026,7 @@ impl Warehouse {
         if self.wal.is_some() {
             let change = log_change.expect("built when a wal is attached");
             let rec = AppliedRecord {
-                keys,
+                keys: keys.clone(),
                 changes: (0..self.slots.len())
                     .map(|i| if i == idx { change.clone() } else { AppliedChange::Skipped })
                     .collect(),
@@ -884,12 +1037,18 @@ impl Warehouse {
                 log.log_applied(&rec);
             }
         }
+        if let Some(rows) = pub_rows {
+            self.publish.push(PendingPublish {
+                keys,
+                rows: (0..self.slots.len())
+                    .map(|i| if i == idx { rows.clone() } else { SignedBag::new() })
+                    .collect(),
+            });
+        }
         self.drains.inc();
         self.obs.counter("view.commits").inc();
         port.on_maintenance_event(MaintEvent::Commit);
-        if self.wal.as_ref().is_some_and(DurableLog::should_checkpoint) {
-            self.checkpoint_now();
-        }
+        self.maybe_checkpoint();
         Ok(())
     }
 }
@@ -915,6 +1074,9 @@ struct WarehouseCtx<'a> {
     shared_hits: Counter,
     shared_misses: Counter,
     divergent: Counter,
+    /// Replication: committed changes queue a [`PendingPublish`].
+    replicate: bool,
+    publish: &'a mut Vec<PendingPublish>,
 }
 
 /// Applies a signed delta to a view extent: strict when maintenance is
@@ -1095,6 +1257,8 @@ impl Maintainer<UpdateMessage> for WarehouseCtx<'_> {
         let mut total_written: u64 = 0;
         let mut logged_changes: Vec<AppliedChange> =
             (0..self.slots.len()).map(|_| AppliedChange::Skipped).collect();
+        let mut pub_rows: Vec<SignedBag> =
+            (0..self.slots.len()).map(|_| SignedBag::new()).collect();
         for &i in &order {
             let slot = &mut self.slots[i];
             match &dispo[i] {
@@ -1108,6 +1272,15 @@ impl Maintainer<UpdateMessage> for WarehouseCtx<'_> {
                 }
                 Disposition::Active => {
                     let change = staged[i].take().expect("active slot staged a change");
+                    if self.replicate {
+                        pub_rows[i] = match &change {
+                            Staged::Delta(delta) => delta.rows.clone(),
+                            Staged::Adapted(Adapted::Replaced { extent, .. }) => extent.clone(),
+                            Staged::Adapted(Adapted::Incremental { delta, .. }) => {
+                                delta.rows.clone()
+                            }
+                        };
+                    }
                     if self.wal.is_some() {
                         logged_changes[i] = match &change {
                             Staged::Delta(delta) => {
@@ -1208,6 +1381,12 @@ impl Maintainer<UpdateMessage> for WarehouseCtx<'_> {
                 changes: logged_changes,
                 reflected: sorted_versions(self.reflected.iter().map(|(s, v)| (s.0, *v))),
                 view_reflected: self.slots.iter().map(ViewSlot::sorted_reflected).collect(),
+            });
+        }
+        if self.replicate {
+            self.publish.push(PendingPublish {
+                keys: batch.iter().map(|m| m.key.0).collect(),
+                rows: pub_rows,
             });
         }
         // Terminal provenance, skipped when the power was already cut
@@ -1476,7 +1655,7 @@ mod tests {
         wh.add_view(pricelist_view());
         wh.initialize(&mut port).unwrap();
         let log = DurableLog::create(Box::new(disk.clone())).unwrap();
-        (wh.with_wal(log), port, disk)
+        (wh.with_wal(log).expect("no admission bound"), port, disk)
     }
 
     #[test]
@@ -1608,6 +1787,36 @@ mod tests {
     }
 
     #[test]
+    fn bounded_warehouse_rejects_wal_and_vice_versa() {
+        // A shedding warehouse cannot be durable: WAL replay applies every
+        // admitted delta strictly, so a bound that sheds under pressure
+        // would make recovery diverge from the live process. Both builder
+        // orders must fail at construction time.
+        let space = bookinfo_space();
+        let info = space.info().clone();
+
+        let bounded = Warehouse::new(info.clone(), Strategy::Pessimistic)
+            .with_umq_bound(4)
+            .expect("a bound alone is fine");
+        let disk = dyno_durable::MemStorage::new();
+        let log = DurableLog::create(Box::new(disk.clone())).unwrap();
+        let err = bounded.with_wal(log).expect_err("bound + WAL must be rejected");
+        assert!(
+            err.to_string().contains("bounded UMQ"),
+            "error names the conflicting combination: {err}"
+        );
+
+        let log = DurableLog::create(Box::new(disk)).unwrap();
+        let durable =
+            Warehouse::new(info, Strategy::Pessimistic).with_wal(log).expect("a WAL alone is fine");
+        let err = durable.with_umq_bound(4).expect_err("WAL + bound must be rejected");
+        assert!(
+            err.to_string().contains("bounded UMQ"),
+            "error names the conflicting combination: {err}"
+        );
+    }
+
+    #[test]
     fn bounded_umq_sheds_data_updates_but_never_schema_changes() {
         let space = bookinfo_space();
         let info = space.info().clone();
@@ -1617,6 +1826,7 @@ mod tests {
         let mut wh = Warehouse::new(info, Strategy::Pessimistic)
             .with_obs(obs.clone())
             .with_umq_bound(1)
+            .expect("no wal attached")
             .with_staleness(tracker.clone());
         wh.add_view(bookinfo_view());
         wh.initialize(&mut port).unwrap();
@@ -1665,8 +1875,10 @@ mod tests {
         let info = space.info().clone();
         let mut port = InProcessPort::new(space);
         let obs = Collector::wall();
-        let mut wh =
-            Warehouse::new(info, Strategy::Pessimistic).with_obs(obs.clone()).with_umq_bound(1);
+        let mut wh = Warehouse::new(info, Strategy::Pessimistic)
+            .with_obs(obs.clone())
+            .with_umq_bound(1)
+            .expect("no wal attached");
         wh.add_view(bookinfo_view());
         wh.initialize(&mut port).unwrap();
         assert_eq!(obs.registry().counter_value("view.clamped_rows"), Some(0), "pre-registered");
@@ -1903,7 +2115,8 @@ mod tests {
         wh.add_view(pricelist_view());
         wh.add_view(catalog_view());
         wh.initialize(&mut port).unwrap();
-        let mut wh = wh.with_wal(DurableLog::create(Box::new(disk.clone())).unwrap());
+        let mut wh =
+            wh.with_wal(DurableLog::create(Box::new(disk.clone())).unwrap()).expect("no bound");
         assert_eq!(wh.dag().view_count(), 3);
 
         wh.drop_view(1);
@@ -1937,7 +2150,8 @@ mod tests {
         wh.add_view(bookinfo_view());
         wh.add_view(pricelist_view());
         wh.initialize(&mut port).unwrap();
-        let mut wh = wh.with_wal(DurableLog::create(Box::new(disk.clone())).unwrap());
+        let mut wh =
+            wh.with_wal(DurableLog::create(Box::new(disk.clone())).unwrap()).expect("no bound");
 
         port.down.insert("Catalog".into());
         port.inner

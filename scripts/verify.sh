@@ -183,4 +183,48 @@ test "$torn_total" -eq 0
 echo "wal.kills = $kills_total, recover.torn_records = $torn_total" \
      "(over $(wc -l < "$crash_summary") runs)"
 
+echo "== replication smoke (partitioned peer replicas, causal conflicts) =="
+# The replicated-warehouse suite (tests/replica_props.rs): N peer replicas
+# exchanging committed post-images across a partition-capable fabric. The
+# summary must show the suite actually held traffic in partition windows,
+# detected concurrent writes (rd conflicts) and discarded LWW losers, and
+# that *every* run converged to bit-identical extents — a suite that never
+# partitions proves nothing about partition tolerance.
+replica_summary="$out/replica_summary.txt"
+: > "$replica_summary"
+DYNO_REPLICA_SUMMARY="$replica_summary" timeout 600 \
+    cargo test -q --release --offline --test replica_props -- "${grid_flags[@]}"
+test -s "$replica_summary"
+partitions="$(awk -F= '/^replica.partitions_injected=/ { n += $2 } END { print n+0 }' \
+    "$replica_summary")"
+superseded="$(awk -F= '/^replica.superseded=/ { n += $2 } END { print n+0 }' \
+    "$replica_summary")"
+runs="$(awk -F= '/^replica.bit_identical=/ { n += 1 } END { print n+0 }' "$replica_summary")"
+identical="$(awk -F= '/^replica.bit_identical=/ { n += $2 } END { print n+0 }' \
+    "$replica_summary")"
+test "$partitions" -gt 0
+test "$superseded" -gt 0
+test "$runs" -gt 0
+test "$identical" -eq "$runs"
+echo "replica: partitions_injected=$partitions superseded=$superseded" \
+     "bit_identical=$identical/$runs runs"
+
+echo "== replication bench sweep (replica count x profile, counter drift) =="
+# Convergence wall-clock medians plus the deterministic per-seed conflict
+# and superseded counters; benchdiff holds both within 4x of the checked-in
+# BENCH_pr9.json baseline. The counter rows are scale-free, so a resolver
+# change (missed conflicts, double supersede) trips the gate even on a
+# machine where timings would mask it.
+cargo run -q --release --offline -p dyno-bench --bin replicate -- \
+    --json "$out/replicate.jsonl"
+cargo run -q --release --offline -p dyno-bench --bin benchdiff -- \
+    BENCH_pr9.json "$out/replicate.jsonl" --tol 4.0
+
+echo "== replication forensics lens smoke =="
+# Capture to a file rather than piping into `grep -q`: an early-exiting
+# grep closes the pipe and the bin dies on EPIPE mid-print.
+cargo run -q --release --offline -p dyno-bench --bin forensics -- --replica \
+    > "$out/forensics_replica.txt"
+grep -q "extents bit-identical: true" "$out/forensics_replica.txt"
+
 echo "verify: all green"

@@ -48,6 +48,7 @@ pub use dyno_durable as durable;
 pub use dyno_fault as fault;
 pub use dyno_obs as obs;
 pub use dyno_relational as relational;
+pub use dyno_replica as replica;
 pub use dyno_sim as sim;
 pub use dyno_source as source;
 pub use dyno_view as view;

@@ -25,7 +25,9 @@ use std::collections::HashMap;
 
 use dyno::fault::FaultProfile;
 use dyno::obs::{stage, Collector, FieldValue, BATCH_BIT};
-use dyno::sim::{run_chaos, run_crash_chaos, ChaosConfig, CrashConfig};
+use dyno::sim::{
+    run_chaos, run_crash_chaos, run_replicated, ChaosConfig, CrashConfig, ReplicaConfig,
+};
 use dyno::view::wal::{CrashPlan, CrashPoint};
 
 const CLASSES: [CrashPoint; 3] =
@@ -136,6 +138,60 @@ fn lineage_is_bit_identical_across_same_seed_reruns() {
     let b = run_chaos(&cfg).obs.lineage_jsonl();
     assert!(!a.is_empty(), "capture must not be empty");
     assert_eq!(a, b, "same seed, same faults, byte-identical lineage");
+}
+
+/// Counts ids per stage in one replica's lineage JSONL capture (replica
+/// runs export per-replica JSONL strings rather than sharing a collector).
+fn stage_ids(jsonl: &str, stage: &str) -> HashMap<u64, u64> {
+    let needle = format!("\"stage\":\"{stage}\"");
+    let mut out = HashMap::new();
+    for line in jsonl.lines().filter(|l| l.contains(&needle)) {
+        let id = line
+            .split("\"id\":")
+            .nth(1)
+            .and_then(|s| s.split(|c: char| !c.is_ascii_digit()).next())
+            .and_then(|s| s.parse::<u64>().ok())
+            .expect("every lineage line carries an id");
+        *out.entry(id).or_insert(0) += 1;
+    }
+    out
+}
+
+/// Replica-message conservation: at every receiving replica, each resolved
+/// peer message reaches **exactly one** terminal — `repl.apply` when it won
+/// (or was causally ordered), `superseded` when a causally later or
+/// LWW-winning write already holds the register — never both, never twice,
+/// and never without a `repl.recv` record. Holds across partitions,
+/// concurrent-write conflicts, and a mid-run kill/recovery.
+#[test]
+fn replica_lineage_terminates_each_message_exactly_once() {
+    let cfg = ReplicaConfig::named("partition", 3, 9).with_kill(6).with_lineage();
+    let report = run_replicated(&cfg);
+    assert!(report.converged, "run must converge: {:?}", report.last_error);
+    assert!(report.superseded > 0, "partition conflicts must supersede at least once");
+    assert_eq!(report.kills, 1, "the armed kill fired");
+    for (r, jsonl) in report.lineage.iter().enumerate() {
+        let recv = stage_ids(jsonl, stage::REPL_RECV);
+        let apply = stage_ids(jsonl, stage::REPL_APPLY);
+        let superseded = stage_ids(jsonl, stage::SUPERSEDED);
+        assert!(!recv.is_empty(), "replica {r}: resolved at least one peer message");
+        for (id, n) in &recv {
+            assert_eq!(*n, 1, "replica {r}: message {id:#x} resolved {n} times");
+            let a = apply.get(id).copied().unwrap_or(0);
+            let s = superseded.get(id).copied().unwrap_or(0);
+            assert_eq!(
+                a + s,
+                1,
+                "replica {r}: message {id:#x} has apply={a} superseded={s} terminals"
+            );
+        }
+        for id in apply.keys().chain(superseded.keys()) {
+            assert!(
+                recv.contains_key(id),
+                "replica {r}: terminal for {id:#x} without a repl.recv record"
+            );
+        }
+    }
 }
 
 /// The full chaos grid with lineage on: every profile × 6 seeds, each run

@@ -1,0 +1,127 @@
+//! The replicated-warehouse convergence suite: N peer warehouses over the
+//! shared testbed, exchanging committed per-key post-images through the
+//! partition-capable `PeerNet` fabric (`dyno::sim::run_replicated`).
+//!
+//! Invariants every healthy run must satisfy:
+//!
+//! * **bit identity** — after the final heal and flush, every replica's
+//!   per-view extent CRCs are identical;
+//! * **source-deep convergence** — each replica's extent equals its view
+//!   evaluated over its *own* written-back source tables;
+//! * **conflict detection** — partition runs must detect concurrent writes
+//!   (the `rd` dependency class) and discard LWW losers as superseded;
+//! * **crash tolerance** — a replica killed between its durable `Published`
+//!   record and the send recovers and re-sends identical bytes;
+//! * **determinism** — the same seed reproduces the run bit-for-bit,
+//!   lineage capture included.
+//!
+//! The quick subset always runs; the full grid (replica counts × profiles ×
+//! seeds × kill/no-kill) is `#[ignore]`d and exercised by
+//! `scripts/verify.sh` under `VERIFY_FULL=1` via `--include-ignored`. When
+//! `DYNO_REPLICA_SUMMARY` names a file, each run appends its partition,
+//! conflict, and superseded counters plus the bit-identity verdict so the
+//! harness can assert the suite actually partitioned, conflicted, and
+//! converged.
+
+use dyno::sim::{run_replicated, ReplicaConfig, ReplicaReport};
+
+/// Runs one configuration, enforces the invariants, appends the summary.
+fn assert_healthy(cfg: &ReplicaConfig, profile: &str) -> ReplicaReport {
+    let report = run_replicated(cfg);
+    let ctx = format!(
+        "profile={profile} replicas={} seed={} kill={:?}",
+        cfg.replicas, cfg.seed, cfg.kill_round
+    );
+    assert!(report.last_error.is_none(), "{ctx}: hard error {:?}", report.last_error);
+    assert!(report.bit_identical, "{ctx}: replica extents diverged: {:?}", report.extent_crcs);
+    assert!(report.source_consistent, "{ctx}: an extent disagrees with its own sources");
+    assert!(report.converged, "{ctx}: run must converge");
+    if profile == "partition" {
+        assert!(report.partitions_injected > 0, "{ctx}: windows must hold traffic");
+        assert!(report.conflicts > 0, "{ctx}: concurrent writes must be detected");
+        assert!(report.superseded > 0, "{ctx}: LWW losers must be discarded");
+    }
+    write_summary(&report);
+    report
+}
+
+/// Appends `replica.*` key=value lines to `$DYNO_REPLICA_SUMMARY` when set
+/// (the verify.sh hook).
+fn write_summary(report: &ReplicaReport) {
+    use std::io::Write;
+    if let Some(path) = std::env::var_os("DYNO_REPLICA_SUMMARY") {
+        if let Ok(mut f) = std::fs::OpenOptions::new().create(true).append(true).open(path) {
+            let _ = writeln!(f, "replica.partitions_injected={}", report.partitions_injected);
+            let _ = writeln!(f, "replica.conflicts={}", report.conflicts);
+            let _ = writeln!(f, "replica.superseded={}", report.superseded);
+            let _ = writeln!(f, "replica.remote_applied={}", report.remote_applied);
+            let _ = writeln!(f, "replica.bit_identical={}", u64::from(report.bit_identical));
+            let _ = writeln!(f, "replica.kills={}", report.kills);
+        }
+    }
+}
+
+#[test]
+fn replica_smoke_partition_trio_conflicts_and_converges() {
+    // The headline scenario: three replicas, two partition/heal windows
+    // with concurrent same-key writes scheduled inside them. The heal must
+    // drain to bit-identical extents with nonzero detected conflicts.
+    let report = assert_healthy(&ReplicaConfig::named("partition", 3, 42), "partition");
+    assert!(report.published > 0);
+    assert!(report.remote_applied > 0);
+}
+
+#[test]
+fn replica_smoke_each_profile_converges() {
+    for profile in ["quiet", "drop_dup", "partition"] {
+        assert_healthy(&ReplicaConfig::named(profile, 2, 1), profile);
+    }
+}
+
+#[test]
+fn replica_smoke_crash_before_send_recovers() {
+    let report = assert_healthy(&ReplicaConfig::named("quiet", 3, 3).with_kill(5), "quiet");
+    assert_eq!(report.kills, 1, "the armed kill fired");
+}
+
+#[test]
+fn replica_same_seed_is_bit_reproducible() {
+    let run = || run_replicated(&ReplicaConfig::named("partition", 3, 23).with_lineage());
+    let (a, b) = (run(), run());
+    assert_eq!(a.extent_crcs, b.extent_crcs, "extents reproduce bit-for-bit");
+    assert_eq!(a.conflicts, b.conflicts);
+    assert_eq!(a.superseded, b.superseded);
+    assert_eq!(a.lineage, b.lineage, "lineage capture reproduces bit-for-bit");
+}
+
+/// The full partition/heal chaos grid: replica counts × profiles × 8 seeds,
+/// each both uncrashed and with a mid-run kill. `#[ignore]`d (minutes);
+/// run via `scripts/verify.sh` under `VERIFY_FULL=1` or
+/// `cargo test --release --test replica_props -- --include-ignored`.
+#[test]
+#[ignore = "full grid; run with --include-ignored (VERIFY_FULL=1 scripts/verify.sh)"]
+fn replica_full_grid_converges_under_partitions_and_kills() {
+    let mut partitions = 0u64;
+    let mut conflicts = 0u64;
+    let mut superseded = 0u64;
+    let mut kills = 0u64;
+    for replicas in [2usize, 3, 5] {
+        for profile in ["quiet", "drop_dup", "partition"] {
+            for seed in 0..8u64 {
+                let base = ReplicaConfig::named(profile, replicas, seed);
+                let clean = assert_healthy(&base, profile);
+                let crashed =
+                    assert_healthy(&base.clone().with_kill(4 + (seed as usize % 3)), profile);
+                assert!(crashed.kills >= 1, "{profile} r{replicas} seed={seed}: kill fired");
+                partitions += clean.partitions_injected + crashed.partitions_injected;
+                conflicts += clean.conflicts + crashed.conflicts;
+                superseded += clean.superseded + crashed.superseded;
+                kills += crashed.kills;
+            }
+        }
+    }
+    assert!(partitions > 0, "the grid must partition");
+    assert!(conflicts > 0, "the grid must detect concurrent writes");
+    assert!(superseded > 0, "the grid must discard LWW losers");
+    assert!(kills >= 72, "every crashed run must kill (got {kills})");
+}
