@@ -64,12 +64,24 @@ fn replica_lens(seed: u64) {
     assert!(report.converged, "replica forensics run died: {:?}", report.last_error);
 
     println!("== replication forensics (partition profile, 3 replicas, seed {seed}) ==\n");
-    let header =
-        ["replica", "resolved", "applied", "superseded", "rd conflicts", "lag p50", "lag p95"];
+    let header = [
+        "replica",
+        "resolved",
+        "applied",
+        "superseded",
+        "rd conflicts",
+        "lag p50",
+        "lag p95",
+        "live p50/p95/p99",
+    ];
     let mut rows: Vec<Vec<String>> = Vec::new();
     for (r, jsonl) in report.lineage.iter().enumerate() {
         let mut lags = field_values(jsonl, dyno_obs::stage::REPL_APPLY, "lag_us");
         lags.sort_unstable();
+        // Two lag sources, one truth: the post-hoc lineage replay above and
+        // the live `replica.lag_us` histogram sampled by the engine. The
+        // live column is what `monitor` sees without lineage capture on.
+        let (count, p50, p95, p99) = report.lag_quantiles[r];
         rows.push(vec![
             format!("r{r}"),
             count_stage(jsonl, dyno_obs::stage::REPL_RECV).to_string(),
@@ -82,6 +94,7 @@ fn replica_lens(seed: u64) {
                 .to_string(),
             format!("{}µs", percentile(&lags, 50)),
             format!("{}µs", percentile(&lags, 95)),
+            format!("{p50}/{p95}/{p99}µs (n={count})"),
         ]);
     }
     println!("{}", render_table(&header, &rows));
@@ -129,7 +142,7 @@ fn main() {
     let mut rows: Vec<Vec<String>> = Vec::new();
     let mut detailed: Option<(FaultProfile, ChaosReport)> = None;
     for profile in FaultProfile::all() {
-        let report = run_chaos(&ChaosConfig::new(profile, seed).with_lineage());
+        let report = run_chaos(&ChaosConfig::new(profile, seed).with_lineage().with_profile());
         assert!(report.last_error.is_none(), "chaos run died: {:?}", report.last_error);
         let records = report.obs.lineage_records();
         let f = forensics::analyze(&records);
@@ -153,7 +166,7 @@ fn main() {
     let records = report.obs.lineage_records();
     let f = forensics::analyze(&records);
     println!("-- detailed report: profile {} --\n", profile.name);
-    println!("{}", f.render_text());
+    println!("{}", f.render_text_with_profile(&report.obs.profile_snapshot()));
 
     if let Some(id) = explain {
         println!("-- explain {id} (profile {}) --\n", profile.name);

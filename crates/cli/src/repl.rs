@@ -48,13 +48,29 @@ const DURABILITY_COUNTERS: [&str; 7] = [
     "recover.reparked_intents",
 ];
 
+/// Delta-execution and shared-subplan counters, same discipline as
+/// [`DURABILITY_COUNTERS`]: the warehouse samples `exec.*` from the
+/// relational layer's thread-locals and bumps `subplan.*` on cache
+/// hits/misses, but a session that never maintains anything should still
+/// show them at zero in `stats`.
+const EXEC_COUNTERS: [&str; 8] = [
+    "exec.rows_scanned",
+    "exec.index_probes",
+    "exec.index_join_steps",
+    "exec.hash_join_steps",
+    "exec.cartesian_fallbacks",
+    "exec.weights_cancelled",
+    "subplan.shared_hits",
+    "subplan.shared_misses",
+];
+
 impl Repl {
     /// A fresh shell: no sources, no views, pessimistic scheduling.
     /// Lineage capture is on from the start so `explain <id>` works for
     /// every update committed in the session.
     pub fn new() -> Self {
         let obs = Collector::wall().with_lineage(16 * 1024);
-        for name in DURABILITY_COUNTERS {
+        for name in DURABILITY_COUNTERS.iter().chain(EXEC_COUNTERS.iter()) {
             let _ = obs.registry().counter(name);
         }
         let tracker = StalenessTracker::new(512);
@@ -90,6 +106,8 @@ impl Repl {
          \x20 checkpoint <path>                     attach a write-ahead log at <path> and snapshot into it\n\
          \x20 recover <path>                        replace the warehouse with one recovered from <path>\n\
          \x20 trace on|off|dump <path>              toggle structured tracing / write the JSONL trace\n\
+         \x20 profile on|off|show                   toggle / render the per-operator cost profiler\n\
+         \x20 explain-plan <view>                   EXPLAIN ANALYZE tree of one view's maintenance plans\n\
          \x20 slo [<p99_ms> [window_ms]]            set / show the per-view staleness SLO (burn-rate alerts)\n\
          \x20 series on <window_ms> [cap] | off     start/stop registry time-series sampling\n\
          \x20 series [sample|show|dump <path>]      tick / render / export the sampled series\n\
@@ -121,6 +139,8 @@ impl Repl {
             "show" => Ok(self.render_state()),
             "stats" => Ok(self.cmd_stats()),
             "explain" => self.cmd_explain(rest),
+            "explain-plan" => self.cmd_explain_plan(rest),
+            "profile" => self.cmd_profile(rest),
             "checkpoint" => self.cmd_checkpoint(rest),
             "recover" => self.cmd_recover(rest),
             "trace" => self.cmd_trace(rest),
@@ -387,6 +407,50 @@ impl Repl {
         })?;
         let obs = self.warehouse.obs();
         Ok(dyno_obs::forensics::explain_text(id, &obs.explain(id)).trim_end().to_string())
+    }
+
+    /// `profile on|off|show` — the per-operator cost profiler. `show`
+    /// renders every captured plan; `explain-plan <view>` narrows to one.
+    fn cmd_profile(&mut self, rest: &str) -> Result<String, String> {
+        let obs = self.warehouse.obs();
+        match rest.trim() {
+            "" => Ok(format!(
+                "profiler is {} ({} plan(s) captured)",
+                if obs.profile_on() { "on" } else { "off" },
+                obs.profile_snapshot().plan_count()
+            )),
+            "on" => {
+                obs.set_profile(true);
+                Ok("profiler on — maintenance work now records per-operator costs".into())
+            }
+            "off" => {
+                obs.set_profile(false);
+                Ok("profiler off (captured plans kept; `profile show` still renders them)".into())
+            }
+            "show" => Ok(obs.profile_text(None).trim_end().to_string()),
+            other => Err(format!("unknown profile subcommand `{other}` — on, off or show")),
+        }
+    }
+
+    /// `explain-plan <view>` — the EXPLAIN ANALYZE tree of one view's
+    /// maintenance plans (one plan per driving relation, plus the
+    /// warehouse pipeline plan under the `warehouse` pseudo-view).
+    fn cmd_explain_plan(&self, rest: &str) -> Result<String, String> {
+        let name = rest.trim();
+        if name.is_empty() || name.contains(char::is_whitespace) {
+            return Err("usage: explain-plan <view> (turn capture on with `profile on`)".into());
+        }
+        let known = name == "warehouse"
+            || (0..self.warehouse.view_count()).any(|i| self.warehouse.view(i).name == name);
+        if !known {
+            return Err(format!(
+                "no view `{name}` (registered views{}; `warehouse` is the pipeline plan)",
+                (0..self.warehouse.view_count())
+                    .map(|i| format!(" {}", self.warehouse.view(i).name))
+                    .collect::<String>()
+            ));
+        }
+        Ok(self.warehouse.obs().profile_text(Some(name)).trim_end().to_string())
     }
 
     fn cmd_checkpoint(&mut self, rest: &str) -> Result<String, String> {
@@ -685,6 +749,8 @@ mod tests {
             "show",
             "stats",
             "explain",
+            "explain-plan",
+            "profile",
             "checkpoint",
             "recover",
             "trace",
@@ -719,9 +785,39 @@ mod tests {
     fn stats_always_surface_durability_counters() {
         let mut r = Repl::new();
         let stats = ok(&mut r, "stats");
-        for name in DURABILITY_COUNTERS {
+        for name in DURABILITY_COUNTERS.iter().chain(EXEC_COUNTERS.iter()) {
             assert!(stats.contains(name), "stats is missing `{name}`: {stats}");
         }
+    }
+
+    /// `profile on` captures per-operator plans during maintenance;
+    /// `profile show` and `explain-plan <view>` render them; `profile off`
+    /// stops capture but keeps what was recorded.
+    #[test]
+    fn profile_capture_and_explain_plan() {
+        let mut r = Repl::new();
+        assert!(ok(&mut r, "profile").contains("off"));
+        ok(&mut r, "source s0");
+        ok(&mut r, "table 0 T a:int");
+        ok(&mut r, "view CREATE VIEW W AS SELECT T.a FROM T");
+        ok(&mut r, "init");
+        ok(&mut r, "profile on");
+        ok(&mut r, "insert 0 T 1");
+        ok(&mut r, "run");
+        assert!(ok(&mut r, "profile").contains("on"));
+        let show = ok(&mut r, "profile show");
+        assert!(show.contains("plan W"), "SWEEP plan captured: {show}");
+        assert!(show.contains("phase totals:"), "{show}");
+        let plan = ok(&mut r, "explain-plan W");
+        assert!(plan.contains("delta_select") || plan.contains("delta_project"), "{plan}");
+        let pipeline = ok(&mut r, "explain-plan warehouse");
+        assert!(pipeline.contains("classify"), "pipeline plan captured: {pipeline}");
+        let err = r.execute("explain-plan NoSuch").unwrap_err();
+        assert!(err.contains("no view `NoSuch`") && err.contains('W'), "{err}");
+        assert!(r.execute("explain-plan").unwrap_err().contains("usage"));
+        assert!(r.execute("profile bogus").is_err());
+        ok(&mut r, "profile off");
+        assert!(ok(&mut r, "profile show").contains("plan W"), "plans survive `off`");
     }
 
     /// `explain <id>` reconstructs a committed update's provenance timeline

@@ -23,6 +23,7 @@ use crate::clock::{Clock, VirtualClock, WallClock};
 use crate::lineage::Lineage;
 use crate::lineage::ProvRecord;
 use crate::metrics::{Counter, Gauge, Histogram, Registry};
+use crate::profile::{NodeKey, OpSample, Profile};
 use crate::trace::{Field, Level, Record, Tracer};
 
 /// Default ring capacity when tracing is enabled without an explicit size.
@@ -35,6 +36,8 @@ struct CollectorInner {
     tracer: RefCell<Tracer>,
     lineage_on: Cell<bool>,
     lineage: RefCell<Lineage>,
+    profile_on: Cell<bool>,
+    profile: RefCell<Profile>,
 }
 
 /// A cloneable handle to an observability pipeline (or to nothing).
@@ -71,6 +74,8 @@ impl Collector {
                 tracer: RefCell::new(Tracer::new(DEFAULT_RING_CAPACITY)),
                 lineage_on: Cell::new(false),
                 lineage: RefCell::new(Lineage::new(0)),
+                profile_on: Cell::new(false),
+                profile: RefCell::new(Profile::default()),
             })),
         }
     }
@@ -105,6 +110,15 @@ impl Collector {
         self
     }
 
+    /// Turns the per-operator profiler on (the store keeps its default
+    /// caps). No-op when disabled.
+    pub fn with_profile(self) -> Self {
+        if let Some(inner) = &self.inner {
+            inner.profile_on.set(true);
+        }
+        self
+    }
+
     /// Whether this is an enabled collector (metrics are live).
     pub fn is_enabled(&self) -> bool {
         self.inner.is_some()
@@ -131,6 +145,78 @@ impl Collector {
     pub fn set_lineage(&self, on: bool) {
         if let Some(inner) = &self.inner {
             inner.lineage_on.set(on);
+        }
+    }
+
+    /// Whether per-operator profiling is currently on. Instrumented call
+    /// sites check this **before** reading any clock or sizing any bag, so
+    /// the disabled path is one `Option` deref plus one `Cell` read.
+    #[inline]
+    pub fn profile_on(&self) -> bool {
+        self.inner.as_ref().is_some_and(|i| i.profile_on.get())
+    }
+
+    /// Toggles per-operator profiling (the store is kept). No-op when
+    /// disabled.
+    pub fn set_profile(&self, on: bool) {
+        if let Some(inner) = &self.inner {
+            inner.profile_on.set(on);
+        }
+    }
+
+    /// Records one operator sample under the `(view, scope)` plan. True
+    /// no-op when the collector is disabled or profiling is off — though
+    /// call sites should gate on [`Collector::profile_on`] first so the
+    /// `key` and `sample` are never even built.
+    #[inline]
+    pub fn profile_op(&self, view: &str, scope: &str, key: NodeKey, sample: OpSample) {
+        let Some(inner) = &self.inner else { return };
+        if !inner.profile_on.get() {
+            return;
+        }
+        inner.profile.borrow_mut().record(view, scope, key, sample);
+    }
+
+    /// Counts one invocation of the `(view, scope)` plan. Gated like
+    /// [`Collector::profile_op`].
+    #[inline]
+    pub fn profile_invocation(&self, view: &str, scope: &str) {
+        let Some(inner) = &self.inner else { return };
+        if !inner.profile_on.get() {
+            return;
+        }
+        inner.profile.borrow_mut().invocation(view, scope);
+    }
+
+    /// The profile as an `EXPLAIN ANALYZE`-style text tree, optionally
+    /// restricted to one view. Empty-store hint when nothing was captured.
+    pub fn profile_text(&self, view: Option<&str>) -> String {
+        match &self.inner {
+            Some(inner) => inner.profile.borrow().render_text(view),
+            None => String::from("no profile captured (is the profiler on?)\n"),
+        }
+    }
+
+    /// The profile as one JSON document (`{}`-shaped empty when disabled).
+    pub fn profile_json(&self) -> String {
+        match &self.inner {
+            Some(inner) => inner.profile.borrow().render_json(),
+            None => Profile::default().render_json(),
+        }
+    }
+
+    /// A clone of the profile store (empty when disabled).
+    pub fn profile_snapshot(&self) -> Profile {
+        match &self.inner {
+            Some(inner) => inner.profile.borrow().clone(),
+            None => Profile::default(),
+        }
+    }
+
+    /// Empties the profile store.
+    pub fn clear_profile(&self) {
+        if let Some(inner) = &self.inner {
+            inner.profile.borrow_mut().clear();
         }
     }
 
@@ -478,6 +564,49 @@ mod tests {
         assert_eq!(obs.explain(7).len(), 2);
         obs.clear_lineage();
         assert!(obs.lineage_records().is_empty());
+    }
+
+    #[test]
+    fn profile_gate_toggles_and_records() {
+        use crate::profile::{NodeKey, OpPhase, OpSample};
+        let key =
+            || NodeKey { step: 0, phase: OpPhase::Seed, op: "delta_select", detail: "R".into() };
+        let s = OpSample { rows_in: 3, rows_out: 2, ..Default::default() };
+
+        let off = Collector::disabled();
+        assert!(!off.profile_on());
+        off.profile_op("V", "R", key(), s);
+        assert!(off.profile_snapshot().is_empty());
+        assert!(off.profile_text(None).contains("no profile captured"));
+
+        let obs = Collector::wall();
+        assert!(!obs.profile_on(), "profiling is off by default");
+        obs.profile_op("V", "R", key(), s);
+        assert!(obs.profile_snapshot().is_empty(), "samples while off are dropped");
+
+        obs.set_profile(true);
+        obs.profile_invocation("V", "R");
+        obs.profile_op("V", "R", key(), s);
+        let snap = obs.profile_snapshot();
+        assert_eq!(snap.plan("V", "R").unwrap().invocations, 1);
+        assert!(obs.profile_text(Some("V")).contains("delta_select R"));
+        crate::json::parse(&obs.profile_json()).expect("valid JSON");
+
+        obs.set_profile(false);
+        obs.profile_op("V", "R", key(), s);
+        assert_eq!(
+            obs.profile_snapshot().plan("V", "R").unwrap().nodes.values().next().unwrap().calls,
+            1,
+            "the store is kept but records while off are dropped"
+        );
+        obs.clear_profile();
+        assert!(obs.profile_snapshot().is_empty());
+    }
+
+    #[test]
+    fn with_profile_builder_flips_the_gate() {
+        assert!(Collector::wall().with_profile().profile_on());
+        assert!(!Collector::disabled().with_profile().profile_on());
     }
 
     #[test]

@@ -205,6 +205,19 @@ impl Forensics {
     }
 }
 
+impl Forensics {
+    /// [`Forensics::render_text`] followed by the per-operator drill-down
+    /// from a [`Profile`](crate::profile::Profile) capture, so the
+    /// phase-level attribution above is explained operator-by-operator
+    /// below. When the profile is empty the drill-down is a one-line hint.
+    pub fn render_text_with_profile(&self, profile: &crate::profile::Profile) -> String {
+        let mut out = self.render_text();
+        out.push_str("operator drill-down (query-time phase, per maintenance plan)\n");
+        out.push_str(&profile.render_text(None));
+        out
+    }
+}
+
 /// Renders one id's lineage as a human-readable timeline (the CLI
 /// `explain <id>` output). `records` should come from
 /// [`Collector::explain`](crate::Collector::explain).

@@ -37,6 +37,10 @@
 //! - [`forensics`] — replays a lineage capture into per-phase latency
 //!   breakdowns and per-anomaly-class histograms
 //!   ([`forensics::analyze`]).
+//! - [`profile`] — the per-operator maintenance-cost profiler (DESIGN.md
+//!   §18): `EXPLAIN ANALYZE`-style plan trees recording rows in/out,
+//!   weights cancelled, index probes, and nanoseconds per Z-set operator,
+//!   off by default behind the same zero-cost gate as lineage.
 //!
 //! And the freshness layer (DESIGN.md §14):
 //!
@@ -70,6 +74,7 @@ pub mod forensics;
 pub mod json;
 pub mod lineage;
 pub mod metrics;
+pub mod profile;
 pub mod slo;
 pub mod timeseries;
 pub mod trace;
@@ -79,6 +84,7 @@ pub use clock::{Clock, VirtualClock, WallClock};
 pub use collector::{Collector, Span};
 pub use lineage::{stage, Lineage, ProvRecord, BATCH_BIT};
 pub use metrics::{Counter, Gauge, HistWindow, Histogram, Registry};
+pub use profile::{NodeKey, OpAgg, OpPhase, OpSample, PlanProfile, Profile};
 pub use slo::{SloEvaluator, SloPolicy, SloState, StalenessTracker};
 pub use timeseries::{Sampler, SeriesKind};
 pub use trace::{field, Field, FieldValue, Level, Record, RecordKind};

@@ -39,6 +39,11 @@ pub struct ExecStats {
     /// Join steps that degenerated to a cartesian product because no
     /// equi-join predicate connected the next table to the intermediate.
     pub cartesian_fallbacks: u64,
+    /// Output entries annihilated by Z-set weight cancellation — an `add`
+    /// that brought a tuple's net weight to exactly zero inside a delta
+    /// operator (projection collisions, join cross terms). High counts mean
+    /// the operator did work the downstream pipeline never sees.
+    pub weights_cancelled: u64,
 }
 
 impl ExecStats {
@@ -50,6 +55,7 @@ impl ExecStats {
             index_join_steps: self.index_join_steps.wrapping_sub(earlier.index_join_steps),
             hash_join_steps: self.hash_join_steps.wrapping_sub(earlier.hash_join_steps),
             cartesian_fallbacks: self.cartesian_fallbacks.wrapping_sub(earlier.cartesian_fallbacks),
+            weights_cancelled: self.weights_cancelled.wrapping_sub(earlier.weights_cancelled),
         }
     }
 }
@@ -62,6 +68,7 @@ thread_local! {
             index_join_steps: 0,
             hash_join_steps: 0,
             cartesian_fallbacks: 0,
+            weights_cancelled: 0,
         })
     };
 }
@@ -661,11 +668,22 @@ pub fn delta_select(
 }
 
 /// δπ — projects a delta onto `indices`, combining weights (and cancelling
-/// entries whose projections collide to zero). Identical to
+/// entries whose projections collide to zero). Result-identical to
 /// [`ZSet::project`](crate::ZSet::project); exported under the operator
-/// vocabulary so delta pipelines read uniformly.
+/// vocabulary so delta pipelines read uniformly, and counting collisions
+/// that annihilate into [`ExecStats::weights_cancelled`].
 pub fn delta_project(delta: &SignedBag, indices: &[usize]) -> SignedBag {
-    delta.project(indices)
+    let mut out = SignedBag::new();
+    let mut cancelled = 0u64;
+    for (t, c) in delta.iter() {
+        if out.add(t.project(indices), c) == 0 {
+            cancelled += 1;
+        }
+    }
+    if cancelled > 0 {
+        bump(|s| s.weights_cancelled += cancelled);
+    }
+    out
 }
 
 /// Δ ⋈ B via index probes on the non-delta side — the delta-only join of
@@ -680,6 +698,7 @@ pub fn delta_join_probe(delta: &SignedBag, probe_cols: &[usize], index: &HashInd
     let mut out = SignedBag::new();
     let mut probes = 0u64;
     let mut scanned = 0u64;
+    let mut cancelled = 0u64;
     for (dt, dc) in delta.iter() {
         if probe_cols.iter().any(|&i| dt.get(i).is_null()) {
             continue;
@@ -689,8 +708,8 @@ pub fn delta_join_probe(delta: &SignedBag, probe_cols: &[usize], index: &HashInd
         if let Some(bucket) = index.lookup(&key) {
             for (bt, bc) in bucket.iter() {
                 scanned += 1;
-                if index.key_matches(bt, &key) {
-                    out.add(dt.concat(bt), dc * bc);
+                if index.key_matches(bt, &key) && out.add(dt.concat(bt), dc * bc) == 0 {
+                    cancelled += 1;
                 }
             }
         }
@@ -699,6 +718,7 @@ pub fn delta_join_probe(delta: &SignedBag, probe_cols: &[usize], index: &HashInd
         s.index_probes += probes;
         s.rows_scanned += scanned;
         s.index_join_steps += 1;
+        s.weights_cancelled += cancelled;
     });
     out
 }
@@ -724,6 +744,7 @@ pub fn delta_join(
 
     let mut out = SignedBag::new();
     let mut scanned = 0u64;
+    let mut cancelled = 0u64;
     if left.distinct_len() <= right.distinct_len() {
         let mut table: HashMap<u64, Vec<(&Tuple, i64)>> = HashMap::new();
         for (t, c) in left.iter() {
@@ -738,8 +759,8 @@ pub fn delta_join(
             }
             if let Some(matches) = table.get(&hash_of(rt, right_keys)) {
                 for (lt, lc) in matches {
-                    if keys_match(lt, rt) {
-                        out.add(lt.concat(rt), lc * rc);
+                    if keys_match(lt, rt) && out.add(lt.concat(rt), lc * rc) == 0 {
+                        cancelled += 1;
                     }
                 }
             }
@@ -758,8 +779,8 @@ pub fn delta_join(
             }
             if let Some(matches) = table.get(&hash_of(lt, left_keys)) {
                 for (rt, rc) in matches {
-                    if keys_match(lt, rt) {
-                        out.add(lt.concat(rt), lc * rc);
+                    if keys_match(lt, rt) && out.add(lt.concat(rt), lc * rc) == 0 {
+                        cancelled += 1;
                     }
                 }
             }
@@ -768,6 +789,7 @@ pub fn delta_join(
     bump(|s| {
         s.rows_scanned += scanned;
         s.hash_join_steps += 1;
+        s.weights_cancelled += cancelled;
     });
     out
 }
@@ -1224,6 +1246,24 @@ mod tests {
         // Ill-typed filters error, exactly like the scan path.
         let err = delta_select(&z, &[(0, CmpOp::Eq, Value::str("x"))]).unwrap_err();
         assert!(matches!(err, RelationalError::IncomparableTypes { .. }));
+    }
+
+    #[test]
+    fn projection_cancellations_are_counted() {
+        let z: SignedBag =
+            [(Tuple::of([1i64, 10]), 2), (Tuple::of([1i64, 20]), -2), (Tuple::of([2i64, 5]), 1)]
+                .into_iter()
+                .collect();
+        let before = thread_stats();
+        let p = delta_project(&z, &[0]);
+        let d = thread_stats().since(before);
+        assert_eq!(p, z.project(&[0]), "operator form matches ZSet::project");
+        assert_eq!(p.count(&Tuple::of([2i64])), 1);
+        assert_eq!(d.weights_cancelled, 1, "the colliding pair annihilated once");
+        // A collision-free projection cancels nothing.
+        let before = thread_stats();
+        delta_project(&z, &[0, 1]);
+        assert_eq!(thread_stats().since(before).weights_cancelled, 0);
     }
 
     #[test]

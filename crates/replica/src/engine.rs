@@ -37,7 +37,7 @@ use dyno_core::DepKind;
 use dyno_durable::codec::{dec_seq, enc_seq, Dec, Enc, WireError};
 use dyno_fault::Sequencer;
 use dyno_obs::trace::field;
-use dyno_obs::{stage, Collector, Counter, Gauge};
+use dyno_obs::{stage, Collector, Counter, Gauge, Histogram};
 use dyno_relational::{SignedBag, Value};
 use dyno_view::wal::ReplicaTailEvent;
 use dyno_view::{PendingPublish, ViewError, Warehouse};
@@ -117,6 +117,10 @@ pub struct ReplicaEngine {
     conflicts: Counter,
     duplicates: Counter,
     lag: Vec<Gauge>,
+    /// Apply-side lag distribution across all origins (`replica.lag_us`):
+    /// the histogram behind `monitor`'s lag lane and the live p50/p95/p99
+    /// in `forensics --replica`.
+    lag_hist: Histogram,
 }
 
 impl ReplicaEngine {
@@ -142,6 +146,7 @@ impl ReplicaEngine {
             conflicts: obs.counter("replica.conflicts"),
             duplicates: obs.counter("replica.duplicates"),
             lag,
+            lag_hist: obs.histogram("replica.lag_us"),
             obs,
         }
     }
@@ -334,6 +339,7 @@ impl ReplicaEngine {
         );
         let lag_us = now_us.saturating_sub(Hlc::unpack(msg.hlc).0);
         self.lag[msg.origin as usize].set(lag_us as i64);
+        self.lag_hist.record(lag_us);
 
         let slot = (msg.view, msg.key.clone());
         let stamp = msg.stamp();

@@ -61,6 +61,9 @@ pub struct ChaosConfig {
     /// Capture per-update provenance (`ChaosReport::obs` then answers
     /// `explain(id)` queries and exports the lineage as JSONL).
     pub lineage: bool,
+    /// Turn the per-operator cost profiler on for the run
+    /// (`ChaosReport::obs.profile_snapshot()` then holds the plan trees).
+    pub op_profile: bool,
 }
 
 impl ChaosConfig {
@@ -80,12 +83,19 @@ impl ChaosConfig {
             audit: true,
             max_steps: 5_000,
             lineage: false,
+            op_profile: false,
         }
     }
 
     /// Enables per-update provenance capture.
     pub fn with_lineage(mut self) -> Self {
         self.lineage = true;
+        self
+    }
+
+    /// Enables the per-operator cost profiler for the run.
+    pub fn with_profile(mut self) -> Self {
+        self.op_profile = true;
         self
     }
 
@@ -161,6 +171,9 @@ pub fn run_chaos(cfg: &ChaosConfig) -> ChaosReport {
     let mut port = SimPort::new(space, schedule, CostModel::default());
     let obs =
         if cfg.lineage { port.obs().clone().with_lineage(64 * 1024) } else { port.obs().clone() };
+    if cfg.op_profile {
+        obs.set_profile(true);
+    }
     let mut mgr = ViewManager::new(view, info, cfg.strategy)
         .with_obs(obs.clone())
         .with_correction(cfg.policy);

@@ -47,6 +47,10 @@ pub struct MonitorConfig {
     pub drain_windows: u64,
     /// Step budget (guards pathological schedules).
     pub max_steps: u64,
+    /// Turn the per-operator cost profiler on for the run; the captured
+    /// plan trees land in [`MonitorReport::profile`] (and nowhere else —
+    /// [`MonitorReport::to_json`] stays byte-deterministic either way).
+    pub profile: bool,
 }
 
 impl Default for MonitorConfig {
@@ -62,6 +66,7 @@ impl Default for MonitorConfig {
             slo: SloPolicy::target(10_000_000),
             drain_windows: 12,
             max_steps: 200_000,
+            profile: false,
         }
     }
 }
@@ -115,6 +120,11 @@ pub struct MonitorReport {
     pub exhausted: bool,
     /// Final SLO state per view lane.
     pub final_states: Vec<(String, SloState)>,
+    /// Per-operator cost profile snapshot (empty unless
+    /// [`MonitorConfig::profile`] was on). Deliberately **not** part of
+    /// [`MonitorReport::to_json`]: node `ns` fields are wall-clock, and the
+    /// JSON payload is asserted byte-deterministic by seed.
+    pub profile: dyno_obs::Profile,
 }
 
 impl MonitorReport {
@@ -172,6 +182,9 @@ pub fn run_monitor(cfg: &MonitorConfig) -> Result<MonitorReport, ViewError> {
     let schedule = gen.open_loop(&cfg.open_loop);
 
     let mut port = SimPort::new(space, schedule, CostModel::default());
+    if cfg.profile {
+        port.obs().set_profile(true);
+    }
     let tracker = StalenessTracker::new(cfg.window_capacity);
     tracker.bind_obs(port.obs());
     tracker.set_cadence(cfg.window_us, 0);
@@ -248,6 +261,7 @@ pub fn run_monitor(cfg: &MonitorConfig) -> Result<MonitorReport, ViewError> {
         steps,
         exhausted,
         final_states: tracker.states(),
+        profile: port.obs().profile_snapshot(),
         sampler,
         tracker,
     })
@@ -289,6 +303,15 @@ mod tests {
         let report = run_monitor(&quick_cfg()).unwrap();
         let names = report.tracker.view_names();
         assert_eq!(names, vec!["Testbed", "T0", "T1"]);
+    }
+
+    #[test]
+    fn profiled_run_captures_plans_and_keeps_json_identical() {
+        let off = run_monitor(&quick_cfg()).unwrap();
+        let on = run_monitor(&MonitorConfig { profile: true, ..quick_cfg() }).unwrap();
+        assert_eq!(off.to_json(), on.to_json(), "the profiler must not perturb the report");
+        assert!(off.profile.is_empty(), "profiler off captures nothing");
+        assert!(on.profile.plan_count() > 0, "profiled run captured plan trees");
     }
 
     #[test]

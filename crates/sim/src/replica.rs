@@ -180,6 +180,11 @@ pub struct ReplicaReport {
     pub last_error: Option<String>,
     /// Per-replica lineage JSONL (empty unless `lineage` was on).
     pub lineage: Vec<String>,
+    /// Per-replica live apply-lag quantiles from the `replica.lag_us`
+    /// histogram: `(count, p50, p95, p99)` in virtual µs. Unlike
+    /// [`ReplicaReport::lineage`], these are populated on every run — the
+    /// histogram is always registered and recorded by the engine.
+    pub lag_quantiles: Vec<(u64, u64, u64, u64)>,
 }
 
 struct Peer {
@@ -553,6 +558,14 @@ pub fn run_replicated(cfg: &ReplicaConfig) -> ReplicaReport {
         kills,
         last_error,
         lineage: peers.iter().map(|p| p.obs.lineage_jsonl()).collect(),
+        lag_quantiles: peers
+            .iter()
+            .map(|p| {
+                let h = p.obs.registry().histogram("replica.lag_us");
+                let (p50, p95, p99) = h.percentiles();
+                (h.count(), p50, p95, p99)
+            })
+            .collect(),
     }
 }
 
@@ -567,6 +580,11 @@ mod tests {
         assert!(report.published > 0);
         assert!(report.remote_applied > 0);
         assert_eq!(report.conflicts, 0, "sharded keys, no partitions, no conflicts");
+        assert_eq!(report.lag_quantiles.len(), 2, "one lag summary per replica");
+        assert!(
+            report.lag_quantiles.iter().any(|&(count, ..)| count > 0),
+            "remote applies recorded live lag samples"
+        );
     }
 
     #[test]

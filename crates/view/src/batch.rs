@@ -35,7 +35,7 @@ use dyno_source::UpdateMessage;
 
 use crate::engine::{schema_from_bag, LocalProvider, SourcePort};
 use crate::viewdef::ViewDefinition;
-use crate::vm::{MaintFailure, ViewDelta};
+use crate::vm::{prof_op, prof_start, MaintFailure, Prof, ViewDelta};
 use crate::vs::{synchronize_all, VsError};
 
 /// The result of adapting the view for one (possibly merged) batch.
@@ -117,7 +117,7 @@ pub fn adapt_batch(
     port: &mut dyn SourcePort,
 ) -> (Result<Adapted, BatchFailure>, Vec<UpdateMessage>) {
     let mut drained = Vec::new();
-    let result = adapt_inner(view, batch, pending, info, mode, port, &mut drained);
+    let result = adapt_inner(view, batch, pending, info, mode, port, &mut drained, None);
     (result, drained)
 }
 
@@ -137,7 +137,11 @@ pub fn adapt_batch_observed(
     use dyno_obs::{field, Level};
     let _span =
         obs.span("va.adapt", &[field("updates", batch.len()), field("pending", pending.len())]);
-    let out = adapt_batch(view, batch, pending, info, mode, port);
+    let prof: Option<Prof<'_>> =
+        if obs.profile_on() { Some((obs, view.name.as_str())) } else { None };
+    let mut drained = Vec::new();
+    let result = adapt_inner(view, batch, pending, info, mode, port, &mut drained, prof);
+    let out = (result, drained);
     match &out.0 {
         Ok(Adapted::Incremental { .. }) => {
             obs.counter("va.incremental").inc();
@@ -158,6 +162,7 @@ pub fn adapt_batch_observed(
     out
 }
 
+#[allow(clippy::too_many_arguments)]
 fn adapt_inner(
     view: &ViewDefinition,
     batch: &[&UpdateMessage],
@@ -166,6 +171,7 @@ fn adapt_inner(
     mode: AdaptationMode,
     port: &mut dyn SourcePort,
     drained: &mut Vec<UpdateMessage>,
+    prof: Option<Prof<'_>>,
 ) -> Result<Adapted, BatchFailure> {
     // Step 1: compose the batch's schema changes (in commit order — the
     // batch preserves queue order, which preserves per-source commit order).
@@ -183,7 +189,7 @@ fn adapt_inner(
     port.charge_local(composed.len() as u64);
 
     if mode == AdaptationMode::Auto && incremental_applicable(view, &new_view, &composed) {
-        adapt_incremental(&new_view, batch, pending, port, drained)
+        adapt_incremental(&new_view, batch, pending, port, drained, prof)
     } else {
         adapt_recompute(new_view, batch, pending, port, drained)
     }
@@ -294,6 +300,7 @@ fn adapt_incremental(
     pending: &[UpdateMessage],
     port: &mut dyn SourcePort,
     drained: &mut Vec<UpdateMessage>,
+    prof: Option<Prof<'_>>,
 ) -> Result<Adapted, BatchFailure> {
     let batch_ids: Vec<_> = batch.iter().map(|m| m.id).collect();
 
@@ -346,8 +353,11 @@ fn adapt_incremental(
         old_states.insert(table.clone(), (schema, rows));
     }
 
-    let dv =
-        equation6_delta(&new_view.query, &old_states, &deltas).map_err(BatchFailure::Internal)?;
+    if let Some((o, v)) = prof {
+        o.profile_invocation(v, "batch");
+    }
+    let dv = equation6_delta_profiled(&new_view.query, &old_states, &deltas, prof)
+        .map_err(BatchFailure::Internal)?;
     port.charge_local(dv.weight());
     Ok(Adapted::Incremental {
         view: new_view.clone(),
@@ -467,6 +477,18 @@ pub fn equation6_delta(
     old: &HashMap<String, (Schema, SignedBag)>,
     deltas: &HashMap<String, SignedBag>,
 ) -> Result<QueryResult, RelationalError> {
+    equation6_delta_profiled(query, old, deltas, None)
+}
+
+/// [`equation6_delta`] with per-term cost profiling: when `prof` is set,
+/// each evaluated term lands in the plan profile as an `eq6_term` node
+/// (scope `"batch"`, phase `adapt`) keyed by the changed relation.
+pub(crate) fn equation6_delta_profiled(
+    query: &SpjQuery,
+    old: &HashMap<String, (Schema, SignedBag)>,
+    deltas: &HashMap<String, SignedBag>,
+    prof: Option<Prof<'_>>,
+) -> Result<QueryResult, RelationalError> {
     let tables = &query.tables;
     for t in tables {
         if !old.contains_key(t) {
@@ -510,7 +532,19 @@ pub fn equation6_delta(
             };
             provider.tables.insert(table_j.as_str(), TableSlice { schema, rows });
         }
+        let started = prof_start(prof);
         let term = dyno_relational::eval(query, &provider)?;
+        prof_op(
+            prof,
+            started,
+            "batch",
+            (i + 1) as u32,
+            dyno_obs::OpPhase::Adapt,
+            "eq6_term",
+            table_i,
+            delta_i.distinct_len() as u64,
+            term.rows.distinct_len() as u64,
+        );
         total.rows.merge(&term.rows);
         total.cols = term.cols;
     }

@@ -36,9 +36,11 @@ use dyno_relational::{
 };
 use dyno_source::UpdateMessage;
 
+use dyno_obs::OpPhase;
+
 use crate::engine::{BoundTable, SourcePort};
 use crate::plan::{MaintPlan, MaintStep};
-use crate::vm::{compensate, flat, MaintFailure, D};
+use crate::vm::{compensate, flat, prof_op, prof_start, MaintFailure, Prof, D};
 
 /// Cache key: the shared-join signature of a first hop. Two views share a
 /// hop iff they join the same updated relation to the same target over the
@@ -101,6 +103,7 @@ impl SharedSubplans {
         pending: &[UpdateMessage],
         port: &mut dyn SourcePort,
         drained: &mut Vec<UpdateMessage>,
+        prof: Option<Prof<'_>>,
     ) -> Result<SignedBag, MaintFailure> {
         let schema = du.delta.schema();
         let d_full: Vec<String> =
@@ -134,7 +137,19 @@ impl SharedSubplans {
                     t_attrs.push(a.clone());
                 }
             }
+            let started = prof_start(prof);
             let hop = compute_hop(&key, &d_full, &t_attrs, du, msg, pending, port, drained)?;
+            prof_op(
+                prof,
+                started,
+                &du.relation,
+                1,
+                OpPhase::Hop,
+                "first_hop_compute",
+                &step.target,
+                du.delta.rows().distinct_len() as u64,
+                hop.rows.distinct_len() as u64,
+            );
             self.entries.insert(key.clone(), hop);
         }
         let hop = &self.entries[&key];
@@ -163,7 +178,19 @@ impl SharedSubplans {
                 .collect::<Result<_, _>>()?;
             Ok(delta_select(&hop.rows, &filters)?.project(&out))
         };
+        let started = prof_start(prof);
         let derived = derive().map_err(|e| MaintFailure::from_query(&step.query, e))?;
+        prof_op(
+            prof,
+            started,
+            &du.relation,
+            1,
+            OpPhase::Hop,
+            "first_hop_derive",
+            &step.target,
+            hop.rows.distinct_len() as u64,
+            derived.distinct_len() as u64,
+        );
         port.charge_local(derived.weight());
         Ok(derived)
     }

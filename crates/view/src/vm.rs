@@ -12,9 +12,10 @@
 
 use std::rc::Rc;
 
-use dyno_obs::{field, Collector, Level};
+use dyno_obs::{field, Collector, Level, NodeKey, OpPhase, OpSample};
 use dyno_relational::{
-    delta_join, delta_select, ColRef, DataUpdate, RelationalError, SignedBag, SpjQuery,
+    delta_join, delta_project, delta_select, thread_stats, ColRef, DataUpdate, ExecStats,
+    RelationalError, SignedBag, SpjQuery,
 };
 use dyno_source::UpdateMessage;
 
@@ -71,6 +72,49 @@ pub(crate) fn flat(c: &ColRef) -> String {
 
 /// Name of the shipped intermediate table in maintenance queries.
 pub(crate) const D: &str = "__D";
+
+/// Profiling context threaded through plan execution: the collector plus
+/// the owning view's name. Built (and therefore `Some`) only when
+/// [`Collector::profile_on`] held at plan entry, so the disabled path never
+/// reads a clock, sizes a bag, or allocates a key.
+pub(crate) type Prof<'a> = (&'a Collector, &'a str);
+
+/// Opens a timing window for one operator: a wall-clock start plus an
+/// [`ExecStats`] snapshot. `None` when profiling is off.
+pub(crate) fn prof_start(prof: Option<Prof<'_>>) -> Option<(std::time::Instant, ExecStats)> {
+    prof.map(|_| (std::time::Instant::now(), thread_stats()))
+}
+
+/// Closes a timing window and records the operator sample. Index probes and
+/// weight cancellations come from the thread's [`ExecStats`] delta across
+/// the window; rows are supplied by the call site.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn prof_op(
+    prof: Option<Prof<'_>>,
+    started: Option<(std::time::Instant, ExecStats)>,
+    scope: &str,
+    step: u32,
+    phase: OpPhase,
+    op: &'static str,
+    detail: &str,
+    rows_in: u64,
+    rows_out: u64,
+) {
+    let (Some((obs, view)), Some((t0, pre))) = (prof, started) else { return };
+    let d = thread_stats().since(pre);
+    obs.profile_op(
+        view,
+        scope,
+        NodeKey { step, phase, op, detail: detail.to_string() },
+        OpSample {
+            rows_in,
+            rows_out,
+            weights_cancelled: d.weights_cancelled,
+            index_probes: d.index_probes,
+            ns: t0.elapsed().as_nanos() as u64,
+        },
+    );
+}
 
 /// Maintains one data update against the view.
 ///
@@ -170,13 +214,19 @@ fn sweep_inner(
         // The update is irrelevant to this view: empty delta, no queries.
         return Ok(ViewDelta { cols: view.output_cols(), rows: SignedBag::new() });
     }
-    let plan: Rc<MaintPlan> = match plans {
+    let (plan, obs): (Rc<MaintPlan>, Option<&Collector>) = match plans {
         Some((cache, obs)) => {
-            cache.plan_for(view, &du.relation, obs).map_err(MaintFailure::Internal)?
+            (cache.plan_for(view, &du.relation, obs).map_err(MaintFailure::Internal)?, Some(obs))
         }
-        None => Rc::new(MaintPlan::build(view, &du.relation).map_err(MaintFailure::Internal)?),
+        None => {
+            (Rc::new(MaintPlan::build(view, &du.relation).map_err(MaintFailure::Internal)?), None)
+        }
     };
-    execute_plan(&plan, msg, pending, port, drained, shared)
+    let prof: Option<Prof<'_>> = obs.filter(|o| o.profile_on()).map(|o| (o, view.name.as_str()));
+    if let Some((o, v)) = prof {
+        o.profile_invocation(v, &du.relation);
+    }
+    execute_plan(&plan, msg, pending, port, drained, shared, prof)
 }
 
 /// Runs a maintenance plan: seed the intermediate from the delta, walk the
@@ -190,6 +240,7 @@ fn execute_plan(
     port: &mut dyn SourcePort,
     drained: &mut Vec<UpdateMessage>,
     shared: Option<&mut SharedSubplans>,
+    prof: Option<Prof<'_>>,
 ) -> Result<ViewDelta, MaintFailure> {
     let du = match &msg.update {
         dyno_relational::SourceUpdate::Data(du) => du,
@@ -199,6 +250,7 @@ fn execute_plan(
             }))
         }
     };
+    let scope = du.relation.as_str();
 
     // With a shared-subplan cache and at least one join step, the seed plus
     // the first `__D ⋈ target` hop come out of the cross-view cache; the
@@ -211,29 +263,43 @@ fn execute_plan(
         (Some(sh), Some(step)) => {
             port.charge_local(du.delta.weight());
             start = 1;
-            sh.first_hop(plan, step, du, msg, pending, port, drained)?
+            sh.first_hop(plan, step, du, msg, pending, port, drained, prof)?
         }
         _ => {
-            let seed =
-                seed_delta(plan, du).map_err(|e| MaintFailure::from_query(&plan.local_query, e))?;
+            let seed = seed_delta(plan, du, prof)
+                .map_err(|e| MaintFailure::from_query(&plan.local_query, e))?;
             port.charge_local(du.delta.weight());
             start = 0;
             seed
         }
     };
 
-    for step in &plan.steps[start.min(plan.steps.len())..] {
+    for (i, step) in plan.steps.iter().enumerate().skip(start) {
         if d_rows.is_empty() {
             // Empty intermediate joins to empty: skip the remaining queries.
             return Ok(ViewDelta { cols: plan.out_cols.clone(), rows: SignedBag::new() });
         }
+        let step_no = (i + 1) as u32;
         let q = &step.query;
         let bound = vec![BoundTable {
             name: D.to_string(),
             cols: step.d_cols_in.clone(),
             rows: d_rows.clone(),
         }];
+        let rows_in = if prof.is_some() { d_rows.distinct_len() as u64 } else { 0 };
+        let t = prof_start(prof);
         let result = port.execute(q, &bound).map_err(|e| MaintFailure::from_query(q, e))?;
+        prof_op(
+            prof,
+            t,
+            scope,
+            step_no,
+            OpPhase::Hop,
+            "join",
+            &step.target,
+            rows_in,
+            if prof.is_some() { result.rows.distinct_len() as u64 } else { 0 },
+        );
         drained.extend(port.drain_arrivals());
 
         // SWEEP compensation: subtract the effect of every pending data
@@ -245,10 +311,22 @@ fn execute_plan(
             }
             if let dyno_relational::SourceUpdate::Data(pdu) = &m.update {
                 if pdu.relation == step.target {
+                    let t = prof_start(prof);
                     let comp = compensate(step, &d_rows, pdu)
                         .map_err(|e| MaintFailure::from_query(q, e))?;
                     port.charge_local(comp.weight() + pdu.delta.weight());
                     rows.merge_negated(&comp);
+                    prof_op(
+                        prof,
+                        t,
+                        scope,
+                        step_no,
+                        OpPhase::Compensate,
+                        "compensate",
+                        &step.target,
+                        if prof.is_some() { pdu.delta.rows().distinct_len() as u64 } else { 0 },
+                        if prof.is_some() { comp.distinct_len() as u64 } else { 0 },
+                    );
                 }
             }
         }
@@ -256,7 +334,21 @@ fn execute_plan(
     }
 
     port.charge_local(d_rows.weight());
-    Ok(ViewDelta { cols: plan.out_cols.clone(), rows: d_rows.project(&plan.final_indices) })
+    let rows_in = if prof.is_some() { d_rows.distinct_len() as u64 } else { 0 };
+    let t = prof_start(prof);
+    let projected = delta_project(&d_rows, &plan.final_indices);
+    prof_op(
+        prof,
+        t,
+        scope,
+        (plan.steps.len() + 1) as u32,
+        OpPhase::Final,
+        "delta_project",
+        "",
+        rows_in,
+        if prof.is_some() { projected.distinct_len() as u64 } else { 0 },
+    );
+    Ok(ViewDelta { cols: plan.out_cols.clone(), rows: projected })
 }
 
 /// Step 0 as Z-set algebra: the update's delta through the plan's compiled
@@ -264,7 +356,11 @@ fn execute_plan(
 /// delta's *own* schema, so an attribute the view references but the delta
 /// no longer carries surfaces as the same schema-conflict error the
 /// executor's validation would raise.
-fn seed_delta(plan: &MaintPlan, du: &DataUpdate) -> Result<SignedBag, RelationalError> {
+fn seed_delta(
+    plan: &MaintPlan,
+    du: &DataUpdate,
+    prof: Option<Prof<'_>>,
+) -> Result<SignedBag, RelationalError> {
     let schema = du.delta.schema();
     let filters = plan
         .local_filters
@@ -276,7 +372,26 @@ fn seed_delta(plan: &MaintPlan, du: &DataUpdate) -> Result<SignedBag, Relational
         .iter()
         .map(|a| schema.require(a))
         .collect::<Result<Vec<_>, RelationalError>>()?;
-    Ok(delta_select(du.delta.rows(), &filters)?.project(&proj))
+    let scope = du.relation.as_str();
+    let rows_in = if prof.is_some() { du.delta.rows().distinct_len() as u64 } else { 0 };
+    let t = prof_start(prof);
+    let selected = delta_select(du.delta.rows(), &filters)?;
+    let sel_out = if prof.is_some() { selected.distinct_len() as u64 } else { 0 };
+    prof_op(prof, t, scope, 0, OpPhase::Seed, "delta_select", scope, rows_in, sel_out);
+    let t = prof_start(prof);
+    let out = delta_project(&selected, &proj);
+    prof_op(
+        prof,
+        t,
+        scope,
+        0,
+        OpPhase::Seed,
+        "delta_project",
+        scope,
+        sel_out,
+        if prof.is_some() { out.distinct_len() as u64 } else { 0 },
+    );
+    Ok(out)
 }
 
 /// The SWEEP compensation term `__D ⋈ Δⱼ` for one pending update of the

@@ -22,8 +22,8 @@ use dyno_core::{
     UpdateKind, UpdateMeta, ViewDag,
 };
 use dyno_durable::storage::Storage;
-use dyno_obs::{field, Collector, Counter, Gauge, Level, StalenessTracker};
-use dyno_relational::{RelationalError, SignedBag, SourceUpdate, Value};
+use dyno_obs::{field, Collector, Counter, Gauge, Level, OpPhase, StalenessTracker};
+use dyno_relational::{thread_stats, ExecStats, RelationalError, SignedBag, SourceUpdate, Value};
 use dyno_source::{InfoSpace, SourceId, UpdateMessage};
 
 use crate::batch::{adapt_batch_observed, AdaptationMode, Adapted, BatchFailure};
@@ -34,7 +34,7 @@ use crate::mview::MaterializedView;
 use crate::plan::PlanCache;
 use crate::subplan::SharedSubplans;
 use crate::viewdef::ViewDefinition;
-use crate::vm::{sweep_maintain_observed, sweep_maintain_shared};
+use crate::vm::{prof_op, prof_start, sweep_maintain_observed, sweep_maintain_shared, Prof};
 use crate::wal::{
     sorted_versions, AppliedChange, AppliedRecord, CrashPlan, DurableLog, DurableState,
     RecoverError, RecoverReport, ReplicaTailEvent, ViewState,
@@ -114,6 +114,43 @@ pub struct PendingPublish {
     pub rows: Vec<SignedBag>,
 }
 
+/// Pre-registered `exec.*` registry counters mirroring the delta executor's
+/// thread-local [`ExecStats`]. The warehouse samples the thread-local once
+/// per [`Warehouse::step`] and folds the delta in here, so `monitor` /
+/// `stats` surface executor-level cost (scans, index probes, join steps,
+/// cartesian fallbacks, cancelled weights) without the profiler being on.
+#[derive(Debug, Clone, Default)]
+struct ExecCounters {
+    rows_scanned: Counter,
+    index_probes: Counter,
+    index_join_steps: Counter,
+    hash_join_steps: Counter,
+    cartesian_fallbacks: Counter,
+    weights_cancelled: Counter,
+}
+
+impl ExecCounters {
+    fn registered(obs: &Collector) -> Self {
+        ExecCounters {
+            rows_scanned: obs.counter("exec.rows_scanned"),
+            index_probes: obs.counter("exec.index_probes"),
+            index_join_steps: obs.counter("exec.index_join_steps"),
+            hash_join_steps: obs.counter("exec.hash_join_steps"),
+            cartesian_fallbacks: obs.counter("exec.cartesian_fallbacks"),
+            weights_cancelled: obs.counter("exec.weights_cancelled"),
+        }
+    }
+
+    fn add(&self, d: &ExecStats) {
+        self.rows_scanned.add(d.rows_scanned);
+        self.index_probes.add(d.index_probes);
+        self.index_join_steps.add(d.index_join_steps);
+        self.hash_join_steps.add(d.hash_join_steps);
+        self.cartesian_fallbacks.add(d.cartesian_fallbacks);
+        self.weights_cancelled.add(d.weights_cancelled);
+    }
+}
+
 /// The construction-time rejection for the documented-unsupported
 /// [`Warehouse::with_umq_bound`] + [`Warehouse::with_wal`] combination.
 fn shedding_wal_conflict() -> ViewError {
@@ -153,6 +190,8 @@ pub struct Warehouse {
     shared_hits: Counter,
     shared_misses: Counter,
     drains: Counter,
+    /// Per-step samples of the delta executor's thread-local stats.
+    exec: ExecCounters,
     /// True once a replication engine is attached: commits queue
     /// [`PendingPublish`] entries and auto-checkpoints are held while the
     /// buffer is non-empty (a checkpoint must not outrun the durable
@@ -192,6 +231,7 @@ impl Warehouse {
             shared_hits: Counter::default(),
             shared_misses: Counter::default(),
             drains: Counter::default(),
+            exec: ExecCounters::default(),
             replicate: false,
             publish: Vec::new(),
             replica_ext: Vec::new(),
@@ -231,6 +271,12 @@ impl Warehouse {
         self.shared_hits = obs.counter("subplan.shared_hits");
         self.shared_misses = obs.counter("subplan.shared_misses");
         self.drains = obs.counter("view.deferred_drains");
+        self.exec = ExecCounters::registered(&obs);
+        // Replica apply lag feeds this histogram live (satellite of the
+        // profiler work): pre-registering gives `monitor` a timeseries lane
+        // and `forensics --replica` live quantiles even before any remote
+        // delta lands.
+        obs.histogram("replica.lag_us");
         self.obs = obs;
         self
     }
@@ -417,6 +463,7 @@ impl Warehouse {
             shared_hits: obs2.counter("subplan.shared_hits"),
             shared_misses: obs2.counter("subplan.shared_misses"),
             drains: obs2.counter("view.deferred_drains"),
+            exec: ExecCounters::registered(&obs2),
             replicate: false,
             publish: Vec::new(),
             replica_ext: state.ext.clone(),
@@ -484,8 +531,11 @@ impl Warehouse {
         applied: bool,
         meta: &[u8],
     ) -> Result<SignedBag, ViewError> {
+        let prof: Option<Prof<'_>> =
+            if self.obs.profile_on() { Some((&self.obs, "warehouse")) } else { None };
         let mut delta = SignedBag::new();
         if applied {
+            let started = prof_start(prof);
             let slot = self.slots.get_mut(view).ok_or_else(|| {
                 ViewError::Internal(RelationalError::InvalidQuery {
                     reason: format!("remote delta for unknown view {view}"),
@@ -501,9 +551,32 @@ impl Warehouse {
             }
             let cols = slot.mv.cols().to_vec();
             slot.mv.apply_delta(&cols, &delta).map_err(ViewError::Internal)?;
+            prof_op(
+                prof,
+                started,
+                "pipeline",
+                2,
+                OpPhase::Apply,
+                "apply_remote",
+                &slot.view.name,
+                post.distinct_len() as u64,
+                delta.distinct_len() as u64,
+            );
         }
         if let Some(log) = self.wal.as_mut() {
+            let started = prof_start(prof);
             log.log_replica_remote(view as u32, key_col as u32, key, post, applied, meta);
+            prof_op(
+                prof,
+                started,
+                "pipeline",
+                3,
+                OpPhase::Wal,
+                "log_replica_remote",
+                "remote",
+                post.distinct_len() as u64,
+                delta.distinct_len() as u64,
+            );
         }
         Ok(delta)
     }
@@ -651,6 +724,7 @@ impl Warehouse {
     /// never catch up. A step whose scheduler was idle but whose drain
     /// committed reports `Committed`.
     pub fn step(&mut self, port: &mut dyn SourcePort) -> Result<StepOutcome, ViewError> {
+        let exec_pre = thread_stats();
         let arrivals = port.drain_arrivals();
         self.ingest(arrivals);
         let drained_commits = self.drain_deferred(port)?;
@@ -676,6 +750,7 @@ impl Warehouse {
         };
         let mut outcome = self.dyno.step(&mut self.umq, &mut ctx);
         let drained = std::mem::take(&mut ctx.drained);
+        self.exec.add(&thread_stats().since(exec_pre));
         self.ingest(drained);
         self.umq_depth.set(self.umq.update_count() as i64);
         if outcome == StepOutcome::Idle && drained_commits > 0 {
@@ -1125,12 +1200,33 @@ impl Maintainer<UpdateMessage> for WarehouseCtx<'_> {
         );
         self.obs.counter("view.attempts").inc();
 
+        // Pipeline-level profiling (the per-operator query profiles are
+        // recorded deeper down, per view plan): one `(warehouse, pipeline)`
+        // plan collecting classification, apply, and WAL-append costs.
+        let prof: Option<Prof<'_>> =
+            if self.obs.profile_on() { Some((self.obs, "warehouse")) } else { None };
+        if let Some((o, v)) = prof {
+            o.profile_invocation(v, "pipeline");
+        }
+
         // Commit protocol, write 1 of 2: the intent is durable before any
         // maintenance query runs. A crash from here until `Applied` lands
         // leaves the batch in the checkpointed queue, to be redone whole.
         if let Some(log) = self.wal.as_mut() {
             let keys: Vec<u64> = batch.iter().map(|m| m.key.0).collect();
+            let started = prof_start(prof);
             log.log_intent(&keys, schema_changes > 0);
+            prof_op(
+                prof,
+                started,
+                "pipeline",
+                1,
+                OpPhase::Wal,
+                "log_intent",
+                "batch",
+                batch.len() as u64,
+                batch.len() as u64,
+            );
         }
         for meta in batch {
             self.obs.prov(meta.key.0, dyno_obs::stage::INTENT, &[]);
@@ -1144,6 +1240,7 @@ impl Maintainer<UpdateMessage> for WarehouseCtx<'_> {
         // relation-irrelevance argument that justifies `Skip` only holds
         // for data updates.
         let has_sc = schema_changes > 0;
+        let classify_started = prof_start(prof);
         let mut dispo: Vec<Disposition> = self
             .slots
             .iter()
@@ -1162,6 +1259,17 @@ impl Maintainer<UpdateMessage> for WarehouseCtx<'_> {
                 }
             })
             .collect();
+        prof_op(
+            prof,
+            classify_started,
+            "pipeline",
+            0,
+            OpPhase::Detect,
+            "classify",
+            "batch",
+            batch.len() as u64,
+            dispo.iter().filter(|d| matches!(d, Disposition::Active)).count() as u64,
+        );
 
         // Phase 1: compute every active view's change without committing
         // anything, so a broken query in view k discards views 0..k's work
@@ -1301,6 +1409,19 @@ impl Maintainer<UpdateMessage> for WarehouseCtx<'_> {
                             }
                         };
                     }
+                    let apply_meta = prof.map(|_| {
+                        let (op, rows): (&'static str, u64) = match &change {
+                            Staged::Delta(d) => ("apply_delta", d.rows.distinct_len() as u64),
+                            Staged::Adapted(Adapted::Replaced { extent, .. }) => {
+                                ("replace", extent.distinct_len() as u64)
+                            }
+                            Staged::Adapted(Adapted::Incremental { delta, .. }) => {
+                                ("apply_incremental", delta.rows.distinct_len() as u64)
+                            }
+                        };
+                        (op, rows, slot.view.name.clone())
+                    });
+                    let apply_started = prof_start(prof);
                     let applied = match change {
                         Staged::Delta(delta) => {
                             let written = delta.rows.weight();
@@ -1348,6 +1469,19 @@ impl Maintainer<UpdateMessage> for WarehouseCtx<'_> {
                             })
                         }
                     };
+                    if let Some((op, rows, vname)) = apply_meta {
+                        prof_op(
+                            prof,
+                            apply_started,
+                            "pipeline",
+                            2,
+                            OpPhase::Apply,
+                            op,
+                            &vname,
+                            rows,
+                            rows,
+                        );
+                    }
                     if let Err(e) = applied {
                         *self.last_error = Some(ViewError::Internal(e));
                         self.port.on_maintenance_event(MaintEvent::Abort);
@@ -1375,13 +1509,28 @@ impl Maintainer<UpdateMessage> for WarehouseCtx<'_> {
         // views are part of the atom: replay moves their copy of the batch
         // into their durable deferred queue.
         let was_cut = self.wal.as_ref().is_some_and(|w| w.power_cut());
-        if let Some(log) = self.wal.as_mut() {
-            log.log_applied(&AppliedRecord {
+        if self.wal.is_some() {
+            let rec = AppliedRecord {
                 keys: batch.iter().map(|m| m.key.0).collect(),
                 changes: logged_changes,
                 reflected: sorted_versions(self.reflected.iter().map(|(s, v)| (s.0, *v))),
                 view_reflected: self.slots.iter().map(ViewSlot::sorted_reflected).collect(),
-            });
+            };
+            let started = prof_start(prof);
+            if let Some(log) = self.wal.as_mut() {
+                log.log_applied(&rec);
+            }
+            prof_op(
+                prof,
+                started,
+                "pipeline",
+                3,
+                OpPhase::Wal,
+                "log_applied",
+                "batch",
+                batch.len() as u64,
+                total_written,
+            );
         }
         if self.replicate {
             self.publish.push(PendingPublish {

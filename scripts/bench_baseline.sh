@@ -59,3 +59,12 @@ DYNO_TUPLES="$DYNO_TUPLES" cargo run -q --release --offline -p dyno-bench \
 } > BENCH_pr7.json
 
 echo "wrote BENCH_pr7.json"
+
+echo "== saturation sweep (PR 10 baseline) =="
+# The capacity knee curve: every field is virtual-clock deterministic, so
+# this capture is byte-identical across machines for the default seed and
+# verify.sh can hold reruns to it with a loose structural tolerance.
+cargo run -q --release --offline -p dyno-bench --bin saturate -- \
+    --json BENCH_pr10.json >/dev/null
+
+echo "wrote BENCH_pr10.json"

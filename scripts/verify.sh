@@ -117,6 +117,30 @@ test "$admitted" -gt 0
 test "$evals" -gt 0
 echo "monitor: admitted=$admitted shed=$shed slo_evaluations=$evals"
 
+echo "== saturation sweep (capacity knee curve, DESIGN.md §18) =="
+# Steps the open-loop arrival rate across the default grid with the
+# per-operator profiler on. The bin itself asserts the offered-load ramp is
+# monotone; here we require a detected knee and hold the deterministic
+# capture (admitted/shed, staleness quantiles, profile row/probe totals —
+# no wall-ns) within 4x of the checked-in BENCH_pr10.json baseline. The
+# fields are virtual-clock driven, so in practice the rerun is
+# byte-identical; the loose tolerance only absorbs intentional retunes.
+cargo run -q --release --offline -p dyno-bench --bin saturate -- \
+    --json "$out/saturate.jsonl" > "$out/saturate.txt"
+grep -q '"bench":"knee"' "$out/saturate.jsonl"
+grep -q '^knee: ' "$out/saturate.txt"
+cargo run -q --release --offline -p dyno-bench --bin benchdiff -- \
+    BENCH_pr10.json "$out/saturate.jsonl" --tol 4.0
+
+echo "== profiler gates (conservation, bit-identity, disabled = 0 alloc) =="
+# tests/profile_props.rs: per-phase totals are sums of operator nodes on a
+# real capture, monitor/chaos determinism surfaces are byte-identical with
+# the profiler on and off, and the disabled gate path performs zero heap
+# allocations (counting global allocator). Release mode so the zero-alloc
+# loop measures the real codegen, not debug-build temporaries.
+timeout 600 cargo test -q --release --offline --features proptest \
+    --test profile_props
+
 echo "== multi-view smoke (shared maintenance DAG, per-view safety) =="
 # The differential multi-view suite (tests/multiview_props.rs): N
 # incrementally maintained views audited per view at every commit. The
